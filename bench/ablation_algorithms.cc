@@ -1,0 +1,89 @@
+// Ablation — PSFA vs baseline control algorithms.
+//
+// Runs each algorithm over the same contended demand picture and reports
+// (a) budget adherence, (b) wasted allocation (granted to jobs that
+// cannot use it — PSFA's "false allocation"), and (c) Jain's fairness
+// index over the demand-normalized allocations of active jobs.
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "policy/baselines.h"
+#include "policy/psfa.h"
+
+using namespace sds;
+using namespace sds::policy;
+
+namespace {
+
+struct Metrics {
+  double granted = 0;
+  double wasted = 0;    // allocation beyond what the job can use
+  double fairness = 0;  // Jain's index over allocation/demand of active jobs
+};
+
+Metrics evaluate(const ControlAlgorithm& algo,
+                 const std::vector<JobDemand>& demands, double budget) {
+  std::vector<JobAllocation> out;
+  algo.compute(demands, budget, out);
+
+  Metrics m;
+  std::vector<double> normalized;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    m.granted += out[i].allocation;
+    const double usable = demands[i].demand * 1.2;  // same headroom as PSFA
+    if (out[i].allocation > usable) m.wasted += out[i].allocation - usable;
+    if (demands[i].demand >= 1.0) {
+      normalized.push_back(out[i].allocation / demands[i].demand);
+    }
+  }
+  double sum = 0;
+  double sum_sq = 0;
+  for (const double x : normalized) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  m.fairness = normalized.empty() || sum_sq == 0
+                   ? 1.0
+                   : sum * sum / (static_cast<double>(normalized.size()) * sum_sq);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\nAblation — PSFA vs baselines (same demands, budget 100k)\n");
+  std::printf("=========================================================\n");
+
+  // 200 jobs: 30% idle, the rest uniform demand in [100, 5000) ops/s.
+  Rng rng(7);
+  std::vector<JobDemand> demands;
+  for (std::uint32_t j = 0; j < 200; ++j) {
+    const bool idle = rng.bernoulli(0.3);
+    demands.push_back(
+        {JobId{j}, idle ? 0.0 : rng.uniform(100.0, 5000.0), 1.0});
+  }
+  const double budget = 100'000.0;
+
+  std::vector<std::unique_ptr<ControlAlgorithm>> algorithms;
+  algorithms.push_back(std::make_unique<Psfa>());
+  algorithms.push_back(std::make_unique<StaticPartition>());
+  algorithms.push_back(std::make_unique<UniformShare>());
+  algorithms.push_back(std::make_unique<PriorityWaterfill>());
+
+  std::printf("%-12s %14s %14s %12s\n", "algorithm", "granted(ops/s)",
+              "wasted(ops/s)", "fairness");
+  for (const auto& algo : algorithms) {
+    const Metrics m = evaluate(*algo, demands, budget);
+    std::printf("%-12s %14.0f %14.0f %12.4f\n",
+                std::string(algo->name()).c_str(), m.granted, m.wasted,
+                m.fairness);
+  }
+  std::printf(
+      "\nExpected: PSFA wastes ~nothing (no false allocation) with high\n"
+      "fairness; static partitioning wastes the idle jobs' shares; strict\n"
+      "priority has the worst fairness (starvation).\n");
+  return 0;
+}

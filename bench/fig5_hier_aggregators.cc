@@ -1,0 +1,43 @@
+// Fig. 5 — Average latency of control cycles for the hierarchical design
+// managing 10,000 compute nodes with 4 / 5 / 10 / 20 aggregator
+// controllers.
+//
+// Paper reference: ~103 ms with 4 aggregators, under 80 ms with 10,
+// under 70 ms with 20; the compute phase stays approximately constant
+// while collect and enforce shrink as aggregators are added.
+#include "bench/harness.h"
+
+using namespace sds;
+
+int main() {
+  bench::print_title(
+      "Fig. 5 — hierarchical design: 10,000 nodes, varying aggregators");
+  bench::print_latency_header();
+  bench::DatWriter dat("fig5_hier_aggregators");
+
+  struct Point {
+    std::size_t aggregators;
+    double paper_ms;  // 5/10 read off the figure (approximate)
+  };
+  const Point points[] = {{4, 103.0}, {5, 95.0}, {10, 79.0}, {20, 69.0}};
+
+  for (const auto& point : points) {
+    sim::ExperimentConfig config;
+    config.num_stages = 10'000;
+    config.num_aggregators = point.aggregators;
+    config.duration = bench::bench_duration();
+    auto result = bench::run_repeated(config);
+    if (!result.is_ok()) {
+      std::printf("A=%zu: %s\n", point.aggregators,
+                  result.status().to_string().c_str());
+      return 1;
+    }
+    bench::print_latency_row("hier A=" + std::to_string(point.aggregators),
+                             *result, point.paper_ms);
+    dat.row(static_cast<double>(point.aggregators), *result, point.paper_ms);
+  }
+  bench::print_paper_note(
+      "103 ms with 4 aggregators, < 80 ms with 10, < 70 ms with 20; "
+      "compute ~constant, collect/enforce shrink with more aggregators.");
+  return 0;
+}

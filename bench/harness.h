@@ -1,0 +1,149 @@
+// Shared bench harness: runs a simulator configuration the way the paper
+// runs its experiments (>= 3 repetitions with distinct seeds), aggregates
+// cycle-latency and resource statistics across repetitions, and prints
+// rows in the same shape the paper reports (mean latency + phase
+// breakdown; CPU% / memory / tx / rx per controller).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "sim/experiment.h"
+
+namespace sds::bench {
+
+struct RepeatedResult {
+  RunningStats total_ms;
+  RunningStats collect_ms;
+  RunningStats compute_ms;
+  RunningStats enforce_ms;
+  RunningStats cycles;
+  sim::ControllerUsage global{};
+  sim::ControllerUsage aggregator{};
+  /// Coefficient of variation of the per-repetition mean total latency
+  /// (the paper reports stdev below 6%).
+  [[nodiscard]] double cv() const { return total_ms.cv(); }
+};
+
+/// Run `reps` repetitions of `config` with seeds seed, seed+1, ...
+/// (paper §III-D: "Each test was repeated at least 3 times").
+inline Result<RepeatedResult> run_repeated(sim::ExperimentConfig config,
+                                           int reps = 3) {
+  RepeatedResult out;
+  sim::ControllerUsage global_sum{};
+  sim::ControllerUsage agg_sum{};
+  for (int r = 0; r < reps; ++r) {
+    config.seed = 42 + static_cast<std::uint64_t>(r);
+    auto result = sim::run_experiment(config);
+    if (!result.is_ok()) return result.status();
+    out.total_ms.add(result->stats.mean_total_ms());
+    out.collect_ms.add(result->stats.mean_collect_ms());
+    out.compute_ms.add(result->stats.mean_compute_ms());
+    out.enforce_ms.add(result->stats.mean_enforce_ms());
+    out.cycles.add(static_cast<double>(result->cycles));
+    global_sum.cpu_percent += result->global.cpu_percent;
+    global_sum.memory_gb += result->global.memory_gb;
+    global_sum.transmitted_mbps += result->global.transmitted_mbps;
+    global_sum.received_mbps += result->global.received_mbps;
+    agg_sum.cpu_percent += result->aggregator.cpu_percent;
+    agg_sum.memory_gb += result->aggregator.memory_gb;
+    agg_sum.transmitted_mbps += result->aggregator.transmitted_mbps;
+    agg_sum.received_mbps += result->aggregator.received_mbps;
+  }
+  const double n = reps;
+  out.global = {global_sum.cpu_percent / n, global_sum.memory_gb / n,
+                global_sum.transmitted_mbps / n, global_sum.received_mbps / n};
+  out.aggregator = {agg_sum.cpu_percent / n, agg_sum.memory_gb / n,
+                    agg_sum.transmitted_mbps / n, agg_sum.received_mbps / n};
+  return out;
+}
+
+inline void print_title(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(title.size(), '=').c_str());
+}
+
+inline void print_latency_header() {
+  std::printf("%-24s %10s %10s %10s %10s %10s %8s %8s\n", "configuration",
+              "total(ms)", "paper(ms)", "collect", "compute", "enforce",
+              "cycles", "cv%");
+}
+
+inline void print_latency_row(const std::string& label,
+                              const RepeatedResult& result, double paper_ms) {
+  std::printf("%-24s %10.2f %10.1f %10.2f %10.2f %10.2f %8.0f %8.2f\n",
+              label.c_str(), result.total_ms.mean(), paper_ms,
+              result.collect_ms.mean(), result.compute_ms.mean(),
+              result.enforce_ms.mean(), result.cycles.mean(),
+              result.cv() * 100.0);
+}
+
+inline void print_resource_header() {
+  std::printf("%-24s %-11s %9s %9s %9s %9s\n", "configuration", "controller",
+              "cpu(%)", "mem(GB)", "tx(MB/s)", "rx(MB/s)");
+}
+
+inline void print_resource_row(const std::string& label,
+                               const std::string& controller,
+                               const sim::ControllerUsage& usage) {
+  std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", label.c_str(),
+              controller.c_str(), usage.cpu_percent, usage.memory_gb,
+              usage.transmitted_mbps, usage.received_mbps);
+}
+
+inline void print_paper_note(const char* note) { std::printf("  paper: %s\n", note); }
+
+/// Default simulated stress duration for bench runs. The paper runs >= 5
+/// simulated minutes; the deterministic simulator converges to the same
+/// means within seconds (cv < 1%), so benches default to 10 s. Override
+/// with SDSCALE_BENCH_SECONDS.
+inline Nanos bench_duration() {
+  if (const char* env = std::getenv("SDSCALE_BENCH_SECONDS")) {
+    const long secs = std::strtol(env, nullptr, 10);
+    if (secs > 0) return seconds(secs);
+  }
+  return seconds(10);
+}
+
+/// Gnuplot-friendly data-file writer. When SDSCALE_BENCH_OUT names a
+/// directory, each figure bench drops a whitespace-separated .dat there
+/// (x  total  collect  compute  enforce  paper); tools/plots/*.gp turn
+/// them into the paper's figures.
+class DatWriter {
+ public:
+  explicit DatWriter(const std::string& name) {
+    if (const char* dir = std::getenv("SDSCALE_BENCH_OUT")) {
+      path_ = std::string(dir) + "/" + name + ".dat";
+      file_ = std::fopen(path_.c_str(), "w");
+      if (file_ != nullptr) {
+        std::fprintf(file_,
+                     "# x total_ms collect_ms compute_ms enforce_ms paper_ms\n");
+      }
+    }
+  }
+
+  ~DatWriter() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      std::printf("  wrote %s\n", path_.c_str());
+    }
+  }
+
+  DatWriter(const DatWriter&) = delete;
+  DatWriter& operator=(const DatWriter&) = delete;
+
+  void row(double x, const RepeatedResult& result, double paper_ms) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%g %.4f %.4f %.4f %.4f %.4f\n", x,
+                 result.total_ms.mean(), result.collect_ms.mean(),
+                 result.compute_ms.mean(), result.enforce_ms.mean(), paper_ms);
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace sds::bench

@@ -1,0 +1,162 @@
+// Micro-benchmarks (google-benchmark): hot paths of the controller stack.
+//
+//  * PSFA compute vs job count (the per-cycle compute phase kernel)
+//  * Aggregator merge vs stage count
+//  * Rule splitting vs stage count
+//  * Codec: StageMetrics / EnforceBatch encode+decode throughput
+//  * Token-bucket admission throughput
+//  * Discrete-event engine throughput
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/aggregator.h"
+#include "core/global.h"
+#include "policy/psfa.h"
+#include "sim/engine.h"
+#include "stage/token_bucket.h"
+
+using namespace sds;
+
+namespace {
+
+std::vector<policy::JobDemand> make_demands(std::size_t n) {
+  Rng rng(1);
+  std::vector<policy::JobDemand> demands;
+  demands.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    demands.push_back({JobId{i}, rng.uniform(0, 5000), rng.uniform(0.5, 4)});
+  }
+  return demands;
+}
+
+std::vector<proto::StageMetrics> make_metrics(std::size_t n,
+                                              std::size_t stages_per_job) {
+  Rng rng(2);
+  std::vector<proto::StageMetrics> metrics;
+  metrics.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    proto::StageMetrics m;
+    m.cycle_id = 1;
+    m.stage_id = StageId{i};
+    m.job_id = JobId{static_cast<std::uint32_t>(i / stages_per_job)};
+    m.data_iops = rng.uniform(100, 2000);
+    m.meta_iops = rng.uniform(10, 200);
+    metrics.push_back(m);
+  }
+  return metrics;
+}
+
+void BM_PsfaCompute(benchmark::State& state) {
+  const auto demands = make_demands(static_cast<std::size_t>(state.range(0)));
+  policy::Psfa psfa;
+  std::vector<policy::JobAllocation> out;
+  for (auto _ : state) {
+    psfa.compute(demands, 1e6, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PsfaCompute)->Range(8, 8192);
+
+void BM_AggregatorMerge(benchmark::State& state) {
+  const auto metrics =
+      make_metrics(static_cast<std::size_t>(state.range(0)), 50);
+  core::AggregatorCore agg(core::AggregatorOptions{ControllerId{0}});
+  for (auto _ : state) {
+    auto report = agg.aggregate(1, metrics);
+    benchmark::DoNotOptimize(report.jobs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AggregatorMerge)->Range(64, 16384);
+
+void BM_GlobalFlatCompute(benchmark::State& state) {
+  const auto metrics =
+      make_metrics(static_cast<std::size_t>(state.range(0)), 50);
+  core::GlobalControllerCore global;
+  for (auto _ : state) {
+    auto result = global.compute(metrics);
+    benchmark::DoNotOptimize(result.rules.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GlobalFlatCompute)->Range(64, 16384);
+
+void BM_EncodeStageMetrics(benchmark::State& state) {
+  const auto metrics = make_metrics(1, 1);
+  for (auto _ : state) {
+    auto frame = proto::to_frame(metrics[0]);
+    benchmark::DoNotOptimize(frame.payload.data());
+  }
+}
+BENCHMARK(BM_EncodeStageMetrics);
+
+void BM_DecodeStageMetrics(benchmark::State& state) {
+  const auto frame = proto::to_frame(make_metrics(1, 1)[0]);
+  for (auto _ : state) {
+    auto decoded = proto::from_frame<proto::StageMetrics>(frame);
+    benchmark::DoNotOptimize(&decoded);
+  }
+}
+BENCHMARK(BM_DecodeStageMetrics);
+
+void BM_EncodeEnforceBatch(benchmark::State& state) {
+  proto::EnforceBatch batch;
+  batch.cycle_id = 1;
+  for (std::uint32_t i = 0; i < state.range(0); ++i) {
+    batch.rules.push_back({StageId{i}, JobId{i / 50}, 1000.0, 100.0, 7});
+  }
+  for (auto _ : state) {
+    auto frame = proto::to_frame(batch);
+    benchmark::DoNotOptimize(frame.payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.wire_size()));
+}
+BENCHMARK(BM_EncodeEnforceBatch)->Range(64, 8192);
+
+void BM_DecodeEnforceBatch(benchmark::State& state) {
+  proto::EnforceBatch batch;
+  batch.cycle_id = 1;
+  for (std::uint32_t i = 0; i < state.range(0); ++i) {
+    batch.rules.push_back({StageId{i}, JobId{i / 50}, 1000.0, 100.0, 7});
+  }
+  const auto frame = proto::to_frame(batch);
+  for (auto _ : state) {
+    auto decoded = proto::from_frame<proto::EnforceBatch>(frame);
+    benchmark::DoNotOptimize(&decoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.wire_size()));
+}
+BENCHMARK(BM_DecodeEnforceBatch)->Range(64, 8192);
+
+void BM_TokenBucketAdmit(benchmark::State& state) {
+  stage::TokenBucket bucket(1e9, 1e6, Nanos{0});
+  Nanos now{0};
+  for (auto _ : state) {
+    now += Nanos{100};
+    benchmark::DoNotOptimize(bucket.try_acquire(1.0, now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenBucketAdmit);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    const int n = 10'000;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < n; ++i) {
+      engine.schedule_at(Nanos{i % 97}, [&sink] { ++sink; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

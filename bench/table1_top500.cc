@@ -1,0 +1,31 @@
+// Table I — Top500 context table (paper §II-A). Static data reproduced
+// verbatim: it motivates the node-count axis of every other experiment.
+#include <cstdio>
+
+int main() {
+  std::printf("\nTABLE I: Supercomputers Top500 rank, peak performance,\n"
+              "number of nodes, and installation year (June 2024 list).\n\n");
+  std::printf("%-10s %5s %15s %16s %6s\n", "System", "Rank", "Rmax (PFlop/s)",
+              "Number of nodes", "Year");
+  struct Row {
+    const char* system;
+    int rank;
+    const char* rmax;
+    const char* nodes;
+    int year;
+  };
+  const Row rows[] = {
+      {"Frontier", 1, "1,206", "9,408", 2021},
+      {"Aurora", 2, "1,012", "10,624", 2023},
+      {"Fugaku", 4, "442", "158,976", 2020},
+      {"Summit", 9, "148.6", "4,608", 2018},
+      {"Frontera", 33, "23.52", "8,368", 2019},
+  };
+  for (const auto& row : rows) {
+    std::printf("%-10s %5d %15s %16s %6d\n", row.system, row.rank, row.rmax,
+                row.nodes, row.year);
+  }
+  std::printf("\nThe scalability study targets this range: a flat design up\n"
+              "to 2,500 nodes and hierarchical designs up to 10,000 nodes.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table II — Resource utilization (CPU, memory, network) for a flat
+// control plane with a single global controller, for 50 / 500 / 1,250 /
+// 2,500 compute nodes.
+//
+// Paper reference: CPU 6.07→10.34%, memory 0.07→1.18 GB, transmitted
+// 5.67→9.73 MB/s, received 3.74→5.36 MB/s.
+#include "bench/harness.h"
+
+using namespace sds;
+
+int main() {
+  bench::print_title(
+      "Table II — flat design: global-controller resource utilization");
+  bench::print_resource_header();
+
+  struct Paper {
+    std::size_t nodes;
+    double cpu, mem, tx, rx;
+  };
+  const Paper paper[] = {{50, 6.07, 0.07, 5.67, 3.74},
+                         {500, 9.58, 0.31, 8.74, 5.75},
+                         {1250, 10.39, 0.64, 8.74, 5.74},
+                         {2500, 10.34, 1.18, 9.73, 5.36}};
+
+  for (const auto& row : paper) {
+    sim::ExperimentConfig config;
+    config.num_stages = row.nodes;
+    config.duration = bench::bench_duration();
+    auto result = bench::run_repeated(config);
+    if (!result.is_ok()) {
+      std::printf("N=%zu: %s\n", row.nodes, result.status().to_string().c_str());
+      return 1;
+    }
+    const std::string label = "flat N=" + std::to_string(row.nodes);
+    bench::print_resource_row(label, "global", result->global);
+    std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)", "global",
+                row.cpu, row.mem, row.tx, row.rx);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Scenario: a dynamic HPC system — jobs continuously enter and leave
+// (Poisson arrivals, exponential lifetimes), each bringing I/O demand.
+// Shows PSFA re-allocating the PFS budget as the active set changes, on
+// the 10,000-node simulated cluster. This is the "highly dynamic"
+// environment the paper argues static tools like OOOPS cannot handle.
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "workload/generators.h"
+
+using namespace sds;
+
+int main() {
+  // One churn schedule shared by all stages: stage i follows episode
+  // i mod |episodes|, so the number of active stages tracks the number
+  // of live jobs over time.
+  workload::JobChurnOptions churn;
+  churn.mean_interarrival = millis(600);
+  churn.mean_lifetime = seconds(3);
+  churn.active_rate = 1200.0;
+  churn.horizon = seconds(30);
+  const auto schedule =
+      std::make_shared<workload::JobChurnSchedule>(churn, /*seed=*/2024);
+
+  sim::ExperimentConfig config;
+  config.num_stages = 2000;
+  config.num_aggregators = 4;
+  config.stages_per_job = 50;
+  config.duration = seconds(12);
+  config.budgets = {500'000.0, 50'000.0};
+  config.demand_factory = [schedule](StageId stage, stage::Dimension dim) {
+    const auto base = schedule->demand_for(stage.value());
+    if (dim == stage::Dimension::kData) return base;
+    return stage::DemandFn(
+        [base](Nanos t) { return base(t) / 10.0; });  // 10:1 data:meta
+  };
+
+  auto result = sim::run_experiment(config);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("job churn on a %zu-stage hierarchical cluster (%zu aggs)\n",
+              config.num_stages, config.num_aggregators);
+  std::printf("episodes generated: %zu\n", schedule->episodes().size());
+  std::printf("active episodes over time:");
+  for (int s = 0; s <= 12; s += 2) {
+    std::printf("  t=%ds:%zu", s, schedule->active_at(seconds(s)));
+  }
+  std::printf("\n\ncontrol plane under churn:\n");
+  std::printf("  cycles: %llu, mean latency %.2f ms "
+              "(collect %.2f / compute %.2f / enforce %.2f)\n",
+              static_cast<unsigned long long>(result->cycles),
+              result->stats.mean_total_ms(), result->stats.mean_collect_ms(),
+              result->stats.mean_compute_ms(), result->stats.mean_enforce_ms());
+  std::printf("  final enforced data-IOPS sum: %.0f (budget %.0f)\n",
+              result->final_data_limit_sum, config.budgets.data_iops);
+  std::printf(
+      "\nEvery cycle the controller re-runs PSFA over whatever jobs are\n"
+      "currently active; departed jobs stop receiving budget within one\n"
+      "cycle (~%.0f ms) — the dynamic coordination static per-node tools\n"
+      "cannot provide.\n",
+      result->stats.mean_total_ms());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Scenario: taming a metadata-intensive job (the Cheferd use case the
+// control plane was built for). A "storm" job hammers the PFS metadata
+// servers with open/stat/create calls — the classic untar-a-dataset or
+// hyperparameter-sweep pattern — while a well-behaved job streams data.
+//
+// This example drives the *real* enforcement path: PosixStage admission
+// control (token buckets per dimension) + the sans-I/O
+// GlobalControllerCore, wired directly without transports, showing the
+// library's layered API.
+#include <cstdio>
+#include <vector>
+
+#include "core/global.h"
+#include "stage/posix_stage.h"
+
+using namespace sds;
+
+namespace {
+
+/// Drive both jobs concurrently for `window`: each simulation step the
+/// storm wants 10 metadata ops and the stream wants 10 data ops. Returns
+/// the admitted counts.
+struct Admitted {
+  std::uint64_t storm_meta = 0;
+  std::uint64_t stream_data = 0;
+};
+
+Admitted drive(stage::PosixStage& storm, stage::PosixStage& stream,
+               ManualClock& clock, Nanos window, Nanos step) {
+  Admitted admitted;
+  const Nanos end = clock.now() + window;
+  while (clock.now() < end) {
+    for (int burst = 0; burst < 10; ++burst) {
+      if (storm.try_submit(stage::OpClass::kOpen)) ++admitted.storm_meta;
+      if (stream.try_submit(stage::OpClass::kRead)) ++admitted.stream_data;
+    }
+    clock.advance(step);
+  }
+  return admitted;
+}
+
+}  // namespace
+
+int main() {
+  ManualClock clock;
+
+  // Two single-stage jobs: job 0 is the metadata storm, job 1 streams data.
+  stage::PosixStage storm({StageId{0}, NodeId{0}, JobId{0}, "c001"}, clock);
+  stage::PosixStage stream({StageId{1}, NodeId{1}, JobId{1}, "c002"}, clock);
+
+  core::GlobalOptions options;
+  options.budgets = {50'000.0, 2'000.0};  // MDS sustains 2k metadata ops/s
+  core::GlobalControllerCore controller(options);
+
+  std::printf("%-6s %18s %18s %14s %14s\n", "cycle", "storm meta(adm/s)",
+              "stream data(adm/s)", "storm limit", "stream limit");
+
+  for (int cycle = 1; cycle <= 6; ++cycle) {
+    // Drive one second of workload under the current limits.
+    const Admitted admitted =
+        drive(storm, stream, clock, seconds(1), micros(500));
+
+    // One control cycle: collect -> PSFA -> enforce.
+    (void)controller.begin_cycle();
+    const std::vector<proto::StageMetrics> metrics = {storm.collect(cycle),
+                                                      stream.collect(cycle)};
+    const auto result = controller.compute(metrics);
+    for (const auto& rule : result.rules) {
+      (rule.stage_id == StageId{0} ? storm : stream).apply(rule);
+    }
+
+    std::printf("%-6d %18llu %18llu %14.0f %14.0f\n", cycle,
+                static_cast<unsigned long long>(admitted.storm_meta),
+                static_cast<unsigned long long>(admitted.stream_data),
+                storm.limit(stage::Dimension::kMeta),
+                stream.limit(stage::Dimension::kData));
+  }
+
+  std::printf(
+      "\nThe storm job is rate-limited on the METADATA dimension (its\n"
+      "admitted open/stat rate converges to the 2,000 ops/s MDS budget\n"
+      "x PSFA headroom) while the streaming job's data dimension stays\n"
+      "effectively unthrottled — per-dimension QoS, not blanket caps.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Scenario: an LLM-training job shares the PFS with best-effort analytics
+// (the data-centric workloads the paper's introduction motivates). The
+// training job gets a 4x QoS weight; PSFA guarantees it the lion's share
+// under contention but — crucially — gives its unused budget away when it
+// idles between epochs ("proportional sharing without false allocation").
+#include <cstdio>
+
+#include "runtime/deployment.h"
+#include "workload/generators.h"
+
+using namespace sds;
+using namespace sds::runtime;
+
+int main() {
+  transport::InProcNetwork network;
+  DeploymentOptions options;
+  options.num_stages = 8;
+  options.stages_per_job = 4;  // job 0 = training, job 1 = analytics
+  options.budgets = {10'000.0, 1'000.0};
+
+  // Training alternates epochs: heavy I/O for 2 s, idle (compute-bound)
+  // for 2 s. Analytics wants as much as it can get, always.
+  options.demand_factory = [](StageId stage, stage::Dimension dim) {
+    const bool training = stage.value() < 4;
+    const double scale = dim == stage::Dimension::kData ? 1.0 : 0.1;
+    if (training) {
+      return workload::bursty(5000.0 * scale, 0.0, seconds(2), seconds(2));
+    }
+    return workload::constant(5000.0 * scale);
+  };
+
+  auto deployment = Deployment::create(network, options);
+  if (!deployment.is_ok()) {
+    std::fprintf(stderr, "deployment failed: %s\n",
+                 deployment.status().to_string().c_str());
+    return 1;
+  }
+  auto& cluster = **deployment;
+  cluster.global().set_job_weight(JobId{0}, 4.0);  // training priority
+
+  std::printf("%-8s %14s %14s %s\n", "time", "training(ops/s)",
+              "analytics(ops/s)", "phase");
+  const Nanos start = SystemClock::instance().now();
+  for (int tick = 0; tick < 10; ++tick) {
+    // A control cycle every ~400 ms of wall time (demands are functions
+    // of real time here).
+    (void)cluster.global().run_cycle();
+    double training = 0;
+    double analytics = 0;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      const double limit =
+          cluster.stage_limit(StageId{i}, stage::Dimension::kData).value();
+      (i < 4 ? training : analytics) += limit;
+    }
+    const double t = to_seconds(SystemClock::instance().now() - start);
+    const bool burst = static_cast<long>(t) % 4 < 2;
+    std::printf("%6.1fs %14.0f %14.0f  %s\n", t, training, analytics,
+                burst ? "training burst: weight 4x binds"
+                      : "training idle: analytics absorbs the budget");
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  }
+
+  std::printf(
+      "\nDuring bursts the 4x weight gives training ~80%% of the budget;\n"
+      "while it idles, PSFA hands (nearly) the whole budget to analytics\n"
+      "instead of falsely reserving it — the paper's PSFA property.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Clock abstraction: the live runtime uses the steady clock; the simulator
+// and unit tests substitute a manually-advanced clock. All sdscale time is
+// carried as std::chrono::nanoseconds since an arbitrary epoch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace sds {
+
+using Nanos = std::chrono::nanoseconds;
+
+constexpr Nanos nanos(std::int64_t n) { return Nanos{n}; }
+constexpr Nanos micros(std::int64_t n) { return Nanos{n * 1'000}; }
+constexpr Nanos millis(std::int64_t n) { return Nanos{n * 1'000'000}; }
+constexpr Nanos seconds(std::int64_t n) { return Nanos{n * 1'000'000'000}; }
+
+constexpr double to_seconds(Nanos t) { return static_cast<double>(t.count()) * 1e-9; }
+constexpr double to_millis(Nanos t) { return static_cast<double>(t.count()) * 1e-6; }
+constexpr double to_micros(Nanos t) { return static_cast<double>(t.count()) * 1e-3; }
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual Nanos now() const = 0;
+};
+
+/// Wall/steady time source for the live runtime.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] Nanos now() const override {
+    return std::chrono::duration_cast<Nanos>(
+        std::chrono::steady_clock::now().time_since_epoch());
+  }
+
+  static SystemClock& instance() {
+    static SystemClock clock;
+    return clock;
+  }
+};
+
+/// Manually advanced time source for tests and the discrete-event simulator.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Nanos start = Nanos{0}) : now_(start.count()) {}
+
+  [[nodiscard]] Nanos now() const override {
+    return Nanos{now_.load(std::memory_order_acquire)};
+  }
+
+  void advance(Nanos delta) { now_.fetch_add(delta.count(), std::memory_order_acq_rel); }
+  void set(Nanos t) { now_.store(t.count(), std::memory_order_release); }
+
+ private:
+  std::atomic<std::int64_t> now_;
+};
+
+/// Scoped stopwatch measuring elapsed time against any Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(&clock), start_(clock.now()) {}
+
+  [[nodiscard]] Nanos elapsed() const { return clock_->now() - start_; }
+  void restart() { start_ = clock_->now(); }
+
+ private:
+  const Clock* clock_;
+  Nanos start_;
+};
+
+}  // namespace sds

@@ -1,0 +1,154 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace sds {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<Config> Config::from_string(std::string_view text) {
+  Config config;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::invalid_argument("config line " + std::to_string(line_no) +
+                                      ": missing '='");
+    }
+    const auto key = trim(line.substr(0, eq));
+    const auto value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status::invalid_argument("config line " + std::to_string(line_no) +
+                                      ": empty key");
+    }
+    config.set(std::string(key), std::string(value));
+  }
+  return config;
+}
+
+Result<Config> Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::not_found("config file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return from_string(ss.str());
+}
+
+std::vector<std::string> Config::apply_args(int argc, const char* const* argv) {
+  std::vector<std::string> rest;
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.starts_with("--")) {
+      const auto body = arg.substr(2);
+      if (const auto eq = body.find('='); eq != std::string_view::npos) {
+        set(std::string(body.substr(0, eq)), std::string(body.substr(eq + 1)));
+        continue;
+      }
+    }
+    rest.emplace_back(arg);
+  }
+  return rest;
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_.insert_or_assign(std::move(key), std::move(value));
+}
+
+bool Config::contains(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(std::string_view key, std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+Result<std::int64_t> Config::get_int(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) return Status::not_found(std::string(key));
+  std::int64_t out{};
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) {
+    return Status::invalid_argument(std::string(key) + ": not an integer: " + *v);
+  }
+  return out;
+}
+
+std::int64_t Config::get_int_or(std::string_view key, std::int64_t fallback) const {
+  const auto r = get_int(key);
+  return r.is_ok() ? r.value() : fallback;
+}
+
+Result<double> Config::get_double(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) return Status::not_found(std::string(key));
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(*v, &consumed);
+    if (consumed != v->size()) {
+      return Status::invalid_argument(std::string(key) + ": not a number: " + *v);
+    }
+    return out;
+  } catch (const std::exception&) {
+    return Status::invalid_argument(std::string(key) + ": not a number: " + *v);
+  }
+}
+
+double Config::get_double_or(std::string_view key, double fallback) const {
+  const auto r = get_double(key);
+  return r.is_ok() ? r.value() : fallback;
+}
+
+Result<bool> Config::get_bool(std::string_view key) const {
+  const auto v = get(key);
+  if (!v) return Status::not_found(std::string(key));
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") return false;
+  return Status::invalid_argument(std::string(key) + ": not a bool: " + *v);
+}
+
+bool Config::get_bool_or(std::string_view key, bool fallback) const {
+  const auto r = get_bool(key);
+  return r.is_ok() ? r.value() : fallback;
+}
+
+void Config::merge_from(const Config& other) {
+  for (const auto& [k, v] : other.entries_) entries_.insert_or_assign(k, v);
+}
+
+}  // namespace sds

@@ -1,0 +1,53 @@
+// Flat key=value configuration with typed getters.
+//
+// Sources: `key=value` lines (file or string; '#' comments) and argv-style
+// `--key=value` overrides. Later sources win. Keys are dot-namespaced by
+// convention ("sim.link_latency_us").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sds {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse `key=value` lines; '#' starts a comment. Blank lines ignored.
+  [[nodiscard]] static Result<Config> from_string(std::string_view text);
+  [[nodiscard]] static Result<Config> from_file(const std::string& path);
+
+  /// Apply `--key=value` arguments; non-matching arguments are returned.
+  std::vector<std::string> apply_args(int argc, const char* const* argv);
+
+  void set(std::string key, std::string value);
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+  [[nodiscard]] std::string get_or(std::string_view key, std::string fallback) const;
+  [[nodiscard]] Result<std::int64_t> get_int(std::string_view key) const;
+  [[nodiscard]] std::int64_t get_int_or(std::string_view key, std::int64_t fallback) const;
+  [[nodiscard]] Result<double> get_double(std::string_view key) const;
+  [[nodiscard]] double get_double_or(std::string_view key, double fallback) const;
+  [[nodiscard]] Result<bool> get_bool(std::string_view key) const;
+  [[nodiscard]] bool get_bool_or(std::string_view key, bool fallback) const;
+
+  /// Merge another config on top of this one (other wins).
+  void merge_from(const Config& other);
+
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace sds

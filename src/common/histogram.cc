@@ -1,0 +1,127 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+
+namespace sds {
+
+Histogram::Histogram() : buckets_(kSubBuckets * 64, 0) {}
+
+std::size_t Histogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int octave = 63 - std::countl_zero(v);  // index of top set bit
+  // Within octave o (values [2^o, 2^(o+1))), 16 linear sub-buckets of
+  // width 2^(o-4): v >> (o-4) lands in [16, 32).
+  const int shift = octave - kSubBucketBits + 1;
+  const auto sub = static_cast<std::size_t>(v >> shift) - kSubBuckets / 2;
+  return static_cast<std::size_t>(octave - kSubBucketBits) * (kSubBuckets / 2) +
+         kSubBuckets + sub;
+}
+
+std::int64_t Histogram::bucket_upper_bound(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<std::int64_t>(index);
+  const std::size_t rel = index - kSubBuckets;
+  const std::uint64_t shift = rel / (kSubBuckets / 2) + 1;
+  const std::uint64_t sub = rel % (kSubBuckets / 2) + kSubBuckets / 2;
+  if (shift >= 58) return std::numeric_limits<std::int64_t>::max();
+  return static_cast<std::int64_t>(((sub + 1) << shift) - 1);
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  const std::size_t idx = bucket_index(value);
+  if (idx < buckets_.size()) {
+    ++buckets_[idx];
+  } else {
+    ++buckets_.back();
+  }
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  const auto x = static_cast<double>(value);
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+std::int64_t Histogram::min() const { return count_ ? min_ : 0; }
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(bucket_upper_bound(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = sum_sq_ = 0;
+}
+
+std::string Histogram::summary_ms() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.3fms p50=%.3fms p99=%.3fms max=%.3fms",
+                static_cast<unsigned long long>(count_), mean() * 1e-6,
+                static_cast<double>(percentile(0.50)) * 1e-6,
+                static_cast<double>(percentile(0.99)) * 1e-6,
+                static_cast<double>(max()) * 1e-6);
+  return buf;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += o.m2_ + delta * delta * na * nb / total;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+}  // namespace sds

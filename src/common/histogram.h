@@ -1,0 +1,87 @@
+// Log-bucketed latency histogram (HdrHistogram-style) and streaming summary
+// statistics. Used by the cycle engine to record per-phase latencies and by
+// benches to report percentiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace sds {
+
+/// Histogram over non-negative int64 values (typically nanoseconds).
+///
+/// Values are bucketed with bounded relative error (~1/32 by default):
+/// each power-of-two range is split into `kSubBuckets` linear buckets.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  Histogram();
+
+  void record(std::int64_t value);
+  void record(Nanos value) { record(value.count()); }
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t min() const;
+  [[nodiscard]] std::int64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Value at quantile q in [0,1]. Returns 0 for an empty histogram.
+  [[nodiscard]] std::int64_t percentile(double q) const;
+
+  void reset();
+
+  /// "count=.. mean=..ms p50=..ms p99=..ms max=..ms" (values as millis).
+  [[nodiscard]] std::string summary_ms() const;
+
+ private:
+  static std::size_t bucket_index(std::int64_t value);
+  static std::int64_t bucket_upper_bound(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  /// Coefficient of variation (stddev/mean); the paper reports stdev < 6%.
+  [[nodiscard]] double cv() const { return mean() != 0.0 ? stddev() / mean() : 0.0; }
+
+  void merge(const RunningStats& o);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0, m2_ = 0, min_ = 0, max_ = 0;
+};
+
+}  // namespace sds

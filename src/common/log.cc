@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace sds {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view file, int line,
+                   std::string_view msg) {
+  // Strip directories from the file path for compact records.
+  if (auto pos = file.rfind('/'); pos != std::string_view::npos) {
+    file = file.substr(pos + 1);
+  }
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%lld.%06lld] %-5s %.*s:%d] %.*s\n",
+               static_cast<long long>(us / 1'000'000),
+               static_cast<long long>(us % 1'000'000),
+               std::string(to_string(level)).c_str(),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace sds

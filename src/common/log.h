@@ -1,0 +1,74 @@
+// Thread-safe leveled logger.
+//
+// Usage:  SDS_LOG(INFO) << "cycle " << n << " took " << ms << " ms";
+// Severity below the global threshold is compiled to a cheap branch.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace sds {
+
+enum class LogLevel : int { kTRACE = 0, kDEBUG, kINFO, kWARN, kERROR, kOFF };
+
+[[nodiscard]] constexpr std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTRACE: return "TRACE";
+    case LogLevel::kDEBUG: return "DEBUG";
+    case LogLevel::kINFO: return "INFO";
+    case LogLevel::kWARN: return "WARN";
+    case LogLevel::kERROR: return "ERROR";
+    case LogLevel::kOFF: return "OFF";
+  }
+  return "?";
+}
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= this->level(); }
+
+  /// Write one formatted record to stderr (single syscall-ish, locked).
+  void write(LogLevel level, std::string_view file, int line, std::string_view msg);
+
+ private:
+  std::atomic<LogLevel> level_{LogLevel::kWARN};
+};
+
+namespace detail {
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogRecord() { Logger::instance().write(level_, file_, line_, stream_.str()); }
+
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+
+  template <typename T>
+  LogRecord& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace sds
+
+#define SDS_LOG_ENABLED(severity) \
+  (::sds::Logger::instance().enabled(::sds::LogLevel::k##severity))
+
+#define SDS_LOG(severity)                 \
+  if (!SDS_LOG_ENABLED(severity)) {       \
+  } else                                  \
+    ::sds::detail::LogRecord(::sds::LogLevel::k##severity, __FILE__, __LINE__)

@@ -1,0 +1,166 @@
+// Minimal Status / Result<T> error-handling vocabulary.
+//
+// sdscale avoids exceptions on hot paths; fallible operations return a
+// Status or Result<T>. Both are cheap to move and carry a code + message.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sds {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,   // e.g. connection cap reached
+  kUnavailable,         // peer down / transport closed
+  kDeadlineExceeded,
+  kFailedPrecondition,
+  kInternal,
+  kCancelled,
+  kOutOfRange,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+  [[nodiscard]] static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  [[nodiscard]] static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  [[nodiscard]] static Status already_exists(std::string m) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  [[nodiscard]] static Status resource_exhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  [[nodiscard]] static Status unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  [[nodiscard]] static Status deadline_exceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  [[nodiscard]] static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  [[nodiscard]] static Status internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+  [[nodiscard]] static Status cancelled(std::string m) {
+    return {StatusCode::kCancelled, std::move(m)};
+  }
+  [[nodiscard]] static Status out_of_range(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string out{sds::to_string(code_)};
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+/// Result<T>: either a value or an error Status. Like std::expected.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.is_ok() && "Result error constructed from OK status");
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() {
+    assert(is_ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(is_ok());
+    return &*value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagate a non-OK Status from an expression.
+#define SDS_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::sds::Status _sds_status = (expr);             \
+    if (!_sds_status.is_ok()) return _sds_status;   \
+  } while (false)
+
+}  // namespace sds

@@ -1,0 +1,61 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sds {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  return tasks_.push(std::move(task));
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunk the index space so small bodies do not drown in queue overhead.
+  const std::size_t chunks = std::min(n, workers_.size() * 4);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  WaitGroup wg;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = std::min(n, begin + chunk_size);
+    if (begin >= end) break;
+    wg.add();
+    const bool queued = submit([&, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      wg.done();
+    });
+    if (!queued) {
+      // Pool is shutting down: run inline to preserve the contract.
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      wg.done();
+    }
+  }
+  wg.wait();
+}
+
+void ThreadPool::shutdown() {
+  tasks_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = tasks_.pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace sds

@@ -1,0 +1,68 @@
+// Fixed-size thread pool with a companion WaitGroup for fork/join phases.
+//
+// The control plane's live runtime uses this for parallel collect/enforce
+// fan-out; the simulator does not (it is single-threaded by design).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+
+namespace sds {
+
+/// Counts outstanding work; wait() blocks until the count returns to zero.
+class WaitGroup {
+ public:
+  void add(std::size_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += n;
+  }
+
+  void done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t count_ = 0;
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns false after shutdown began.
+  bool submit(std::function<void()> task);
+
+  /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Stop accepting work and join all workers (drains queued tasks first).
+  void shutdown();
+
+ private:
+  void worker_loop();
+
+  Queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sds

@@ -1,0 +1,66 @@
+// Strong identifier types and fundamental aliases shared across sdscale.
+//
+// IDs are thin wrappers over integers so that a StageId cannot be passed
+// where a JobId is expected. They are hashable, comparable, and printable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace sds {
+
+/// CRTP-free tagged integer id. `Tag` only disambiguates the type.
+template <typename Tag, typename Rep = std::uint64_t>
+class TaggedId {
+ public:
+  using rep_type = Rep;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const TaggedId&) const = default;
+
+  static constexpr Rep kInvalid = static_cast<Rep>(-1);
+  static constexpr TaggedId invalid() { return TaggedId{kInvalid}; }
+
+ private:
+  Rep value_ = kInvalid;
+};
+
+template <typename Tag, typename Rep>
+std::ostream& operator<<(std::ostream& os, const TaggedId<Tag, Rep>& id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+struct NodeIdTag {};
+struct StageIdTag {};
+struct JobIdTag {};
+struct ControllerIdTag {};
+struct ConnIdTag {};
+
+/// A physical (or simulated) compute node.
+using NodeId = TaggedId<NodeIdTag, std::uint32_t>;
+/// A data-plane stage instance (one per compute node in the paper's setup).
+using StageId = TaggedId<StageIdTag, std::uint32_t>;
+/// An HPC job; stages belong to jobs, QoS policies are expressed per job.
+using JobId = TaggedId<JobIdTag, std::uint32_t>;
+/// A control-plane controller (global, aggregator, or local).
+using ControllerId = TaggedId<ControllerIdTag, std::uint32_t>;
+/// A transport-level connection.
+using ConnId = TaggedId<ConnIdTag, std::uint64_t>;
+
+}  // namespace sds
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<sds::TaggedId<Tag, Rep>> {
+  size_t operator()(const sds::TaggedId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,134 @@
+#include "core/aggregator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sds::core {
+
+AggregatorCore::AggregatorCore(
+    AggregatorOptions options,
+    std::unique_ptr<policy::ControlAlgorithm> local_algorithm)
+    : options_(options),
+      algorithm_(local_algorithm ? std::move(local_algorithm)
+                                 : std::make_unique<policy::Psfa>()),
+      splitter_(policy::SplitStrategy::kProportional) {}
+
+proto::AggregatedMetrics AggregatorCore::aggregate(
+    std::uint64_t cycle_id, std::span<const proto::StageMetrics> metrics) const {
+  proto::AggregatedMetrics out;
+  out.cycle_id = cycle_id;
+  out.from = options_.id;
+  out.total_stages = static_cast<std::uint32_t>(metrics.size());
+
+  std::unordered_map<JobId, std::size_t> index;
+  for (const auto& m : metrics) {
+    const auto [it, inserted] = index.try_emplace(m.job_id, out.jobs.size());
+    if (inserted) {
+      proto::JobMetrics job;
+      job.job_id = m.job_id;
+      out.jobs.push_back(job);
+    }
+    auto& job = out.jobs[it->second];
+    job.data_iops += std::max(m.data_iops, 0.0);
+    job.meta_iops += std::max(m.meta_iops, 0.0);
+    ++job.stage_count;
+  }
+  if (options_.include_digests) {
+    out.digests.reserve(metrics.size());
+    for (const auto& m : metrics) {
+      proto::StageDigest digest;
+      digest.stage_id = m.stage_id;
+      digest.data_iops = static_cast<float>(std::max(m.data_iops, 0.0));
+      digest.meta_iops = static_cast<float>(std::max(m.meta_iops, 0.0));
+      out.digests.push_back(digest);
+    }
+  }
+  return out;
+}
+
+proto::MetricsBatch AggregatorCore::passthrough(
+    std::uint64_t cycle_id, std::span<const proto::StageMetrics> metrics) const {
+  proto::MetricsBatch out;
+  out.cycle_id = cycle_id;
+  out.from = options_.id;
+  out.entries.assign(metrics.begin(), metrics.end());
+  return out;
+}
+
+AggregatorCore::RoutedRules AggregatorCore::route(
+    const proto::EnforceBatch& batch) const {
+  RoutedRules routed;
+  routed.owned.reserve(batch.rules.size());
+  for (const auto& rule : batch.rules) {
+    if (registry_.contains(rule.stage_id)) {
+      routed.owned.push_back(rule);
+    } else {
+      routed.unknown.push_back(rule);
+    }
+  }
+  return routed;
+}
+
+proto::EnforceAck AggregatorCore::merge_acks(
+    std::uint64_t cycle_id, std::span<const proto::EnforceAck> acks) const {
+  proto::EnforceAck out;
+  out.cycle_id = cycle_id;
+  for (const auto& ack : acks) {
+    if (ack.cycle_id == cycle_id) out.applied += ack.applied;
+  }
+  return out;
+}
+
+std::vector<proto::Rule> AggregatorCore::local_compute(
+    std::uint64_t cycle_id, std::span<const proto::StageMetrics> metrics,
+    std::uint64_t now_ns) const {
+  std::vector<proto::Rule> rules;
+  if (lease_.valid_until_ns < now_ns) return rules;  // lease expired
+
+  // Same shape as the global flat path, scoped to this subtree and the
+  // leased budgets.
+  std::unordered_map<JobId, std::size_t> index;
+  std::vector<policy::JobDemand> data_demands;
+  std::vector<policy::JobDemand> meta_demands;
+  for (const auto& m : metrics) {
+    const auto [it, inserted] = index.try_emplace(m.job_id, data_demands.size());
+    if (inserted) {
+      data_demands.push_back({m.job_id, 0.0, policies_.weight(m.job_id)});
+      meta_demands.push_back({m.job_id, 0.0, policies_.weight(m.job_id)});
+    }
+    data_demands[it->second].demand += std::max(m.data_iops, 0.0);
+    meta_demands[it->second].demand += std::max(m.meta_iops, 0.0);
+  }
+
+  std::vector<policy::JobAllocation> data_alloc;
+  std::vector<policy::JobAllocation> meta_alloc;
+  algorithm_->compute(data_demands, lease_.data_budget, data_alloc);
+  algorithm_->compute(meta_demands, lease_.meta_budget, meta_alloc);
+
+  std::vector<policy::StageDemand> data_stage;
+  std::vector<policy::StageDemand> meta_stage;
+  data_stage.reserve(metrics.size());
+  meta_stage.reserve(metrics.size());
+  for (const auto& m : metrics) {
+    data_stage.push_back({m.stage_id, m.job_id, m.data_iops});
+    meta_stage.push_back({m.stage_id, m.job_id, m.meta_iops});
+  }
+  std::vector<policy::StageLimit> data_limits;
+  std::vector<policy::StageLimit> meta_limits;
+  splitter_.split(data_alloc, data_stage, data_limits);
+  splitter_.split(meta_alloc, meta_stage, meta_limits);
+
+  rules.reserve(metrics.size());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    proto::Rule rule;
+    rule.stage_id = metrics[i].stage_id;
+    rule.job_id = metrics[i].job_id;
+    rule.data_iops_limit = data_limits[i].limit;
+    rule.meta_iops_limit = meta_limits[i].limit;
+    rule.epoch = lease_.cycle_id << 8 | (cycle_id & 0xFF);
+    rules.push_back(rule);
+  }
+  return rules;
+}
+
+}  // namespace sds::core

@@ -1,0 +1,92 @@
+// AggregatorCore — decision logic of the hierarchical design's middle
+// tier. Sits between the global controller and a disjoint set of stages:
+// disseminates collect requests downward, merges stage metrics into
+// per-job summaries upward (Cheferd-style pre-aggregation), routes
+// enforcement rules to its stages, and merges their acks.
+//
+// Two extensions beyond the paper's prototype, both from its future-work
+// section: pass-through mode (no pre-aggregation; the ablation for
+// Observation #7) and local-decision mode, where the aggregator runs the
+// control algorithm itself inside a budget lease granted by the global
+// controller.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/policy_table.h"
+#include "core/registry.h"
+#include "policy/algorithm.h"
+#include "policy/psfa.h"
+#include "policy/splitter.h"
+#include "proto/messages.h"
+
+namespace sds::core {
+
+struct AggregatorOptions {
+  ControllerId id;
+  /// Merge stage metrics into per-job summaries before forwarding.
+  bool preaggregate = true;
+  /// Attach compact per-stage digests to the upward summary so the
+  /// global controller can split job allocations proportionally to
+  /// per-stage demand (see proto::StageDigest).
+  bool include_digests = true;
+};
+
+class AggregatorCore {
+ public:
+  explicit AggregatorCore(
+      AggregatorOptions options,
+      std::unique_ptr<policy::ControlAlgorithm> local_algorithm = nullptr);
+
+  [[nodiscard]] ControllerId id() const { return options_.id; }
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] const Registry& registry() const { return registry_; }
+  [[nodiscard]] bool preaggregate() const { return options_.preaggregate; }
+
+  /// Merge per-stage metrics into the upward job summary.
+  [[nodiscard]] proto::AggregatedMetrics aggregate(
+      std::uint64_t cycle_id, std::span<const proto::StageMetrics> metrics) const;
+
+  /// Pass-through alternative: relay raw stage metrics in one batch.
+  [[nodiscard]] proto::MetricsBatch passthrough(
+      std::uint64_t cycle_id, std::span<const proto::StageMetrics> metrics) const;
+
+  /// Split a global enforce batch into (stage, rule) pairs for stages this
+  /// aggregator owns; rules for unknown stages are returned separately so
+  /// the caller can report them.
+  struct RoutedRules {
+    std::vector<proto::Rule> owned;
+    std::vector<proto::Rule> unknown;
+  };
+  [[nodiscard]] RoutedRules route(const proto::EnforceBatch& batch) const;
+
+  /// Merge per-stage acks into the single upward ack.
+  [[nodiscard]] proto::EnforceAck merge_acks(
+      std::uint64_t cycle_id, std::span<const proto::EnforceAck> acks) const;
+
+  // -- Local-decision mode (paper §VI) -------------------------------
+
+  /// Install the lease under which local decisions are made.
+  void set_lease(const proto::BudgetLease& lease) { lease_ = lease; }
+  [[nodiscard]] const proto::BudgetLease& lease() const { return lease_; }
+  [[nodiscard]] PolicyTable& policies() { return policies_; }
+
+  /// Run the control algorithm locally over this subtree using the leased
+  /// budgets; `now_ns` validates the lease. Returns rules for owned
+  /// stages (empty if the lease expired — the safe failure mode).
+  [[nodiscard]] std::vector<proto::Rule> local_compute(
+      std::uint64_t cycle_id, std::span<const proto::StageMetrics> metrics,
+      std::uint64_t now_ns) const;
+
+ private:
+  AggregatorOptions options_;
+  std::unique_ptr<policy::ControlAlgorithm> algorithm_;
+  policy::RuleSplitter splitter_;
+  Registry registry_;
+  PolicyTable policies_;
+  proto::BudgetLease lease_;
+};
+
+}  // namespace sds::core

@@ -1,0 +1,63 @@
+// CoordinatedControllerCore — the paper's future-work "flat control
+// design with multiple controllers that coordinate their actions ...
+// each orchestrating different sets of nodes while maintaining global
+// visibility" (§VI).
+//
+// Protocol: K peer controllers each own a disjoint stage set. Every
+// cycle, each peer (1) collects from its own stages, (2) publishes a
+// compact per-job demand summary to all peers, (3) merges every peer's
+// summary — including its own — into the global demand picture and runs
+// the control algorithm on it *deterministically*, and (4) enforces the
+// resulting allocations on its own stages only.
+//
+// Because all peers run the same deterministic algorithm on the same
+// merged input (summaries are merged in ascending peer-id order), they
+// reach identical global allocations with no further coordination — one
+// summary exchange round replaces a central controller.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/policy_table.h"
+#include "core/registry.h"
+#include "policy/algorithm.h"
+#include "policy/psfa.h"
+#include "policy/splitter.h"
+#include "proto/messages.h"
+
+namespace sds::core {
+
+class CoordinatedControllerCore {
+ public:
+  CoordinatedControllerCore(
+      ControllerId id, Budgets budgets,
+      std::unique_ptr<policy::ControlAlgorithm> algorithm = nullptr);
+
+  [[nodiscard]] ControllerId id() const { return id_; }
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] PolicyTable& policies() { return policies_; }
+
+  /// Phase 2: build this peer's demand summary from its own stages.
+  /// (Reuses AggregatedMetrics: it is exactly a per-job summary.)
+  [[nodiscard]] proto::AggregatedMetrics summarize(
+      std::uint64_t cycle_id, std::span<const proto::StageMetrics> metrics) const;
+
+  /// Phases 3+4: merge all summaries (callers must pass every peer's,
+  /// including this one's) and compute rules for OWN stages only.
+  /// `local_metrics` supplies per-stage demand for proportional splitting.
+  [[nodiscard]] std::vector<proto::Rule> compute_own_rules(
+      std::uint64_t cycle_id,
+      std::span<const proto::AggregatedMetrics> all_summaries,
+      std::span<const proto::StageMetrics> local_metrics) const;
+
+ private:
+  ControllerId id_;
+  std::unique_ptr<policy::ControlAlgorithm> algorithm_;
+  policy::RuleSplitter splitter_;
+  Registry registry_;
+  PolicyTable policies_;
+};
+
+}  // namespace sds::core

@@ -1,0 +1,75 @@
+// Per-phase control-cycle latency accounting.
+//
+// A control cycle has three phases (paper §II-B): collect metrics from
+// stages, compute the control algorithm, and enforce the resulting rules.
+// The cycle engine records each phase's latency here; Figs. 4–6 are
+// breakdowns of exactly these numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+
+namespace sds::core {
+
+enum class Phase : std::uint8_t { kCollect = 0, kCompute = 1, kEnforce = 2 };
+
+[[nodiscard]] constexpr std::string_view to_string(Phase p) {
+  switch (p) {
+    case Phase::kCollect: return "collect";
+    case Phase::kCompute: return "compute";
+    case Phase::kEnforce: return "enforce";
+  }
+  return "?";
+}
+
+struct PhaseBreakdown {
+  Nanos collect{0};
+  Nanos compute{0};
+  Nanos enforce{0};
+
+  [[nodiscard]] Nanos total() const { return collect + compute + enforce; }
+};
+
+/// Aggregated latency distributions across cycles.
+class CycleStats {
+ public:
+  void record(const PhaseBreakdown& cycle) {
+    collect_.record(cycle.collect);
+    compute_.record(cycle.compute);
+    enforce_.record(cycle.enforce);
+    total_.record(cycle.total());
+    ++cycles_;
+  }
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] const Histogram& collect() const { return collect_; }
+  [[nodiscard]] const Histogram& compute() const { return compute_; }
+  [[nodiscard]] const Histogram& enforce() const { return enforce_; }
+  [[nodiscard]] const Histogram& total() const { return total_; }
+
+  /// Mean latencies in milliseconds (the unit the paper reports).
+  [[nodiscard]] double mean_collect_ms() const { return collect_.mean() * 1e-6; }
+  [[nodiscard]] double mean_compute_ms() const { return compute_.mean() * 1e-6; }
+  [[nodiscard]] double mean_enforce_ms() const { return enforce_.mean() * 1e-6; }
+  [[nodiscard]] double mean_total_ms() const { return total_.mean() * 1e-6; }
+
+  void reset() {
+    collect_.reset();
+    compute_.reset();
+    enforce_.reset();
+    total_.reset();
+    cycles_ = 0;
+  }
+
+ private:
+  Histogram collect_;
+  Histogram compute_;
+  Histogram enforce_;
+  Histogram total_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace sds::core

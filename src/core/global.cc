@@ -1,0 +1,192 @@
+#include "core/global.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sds::core {
+
+namespace {
+
+/// Accumulates per-job demand while preserving first-seen order so that
+/// results are deterministic regardless of map iteration order.
+class DemandBuilder {
+ public:
+  explicit DemandBuilder(const PolicyTable& policies) : policies_(&policies) {}
+
+  void add(JobId job, double data, double meta) {
+    const auto [it, inserted] = index_.try_emplace(job, data_.size());
+    if (inserted) {
+      data_.push_back({job, 0.0, policies_->weight(job)});
+      meta_.push_back({job, 0.0, policies_->weight(job)});
+    }
+    data_[it->second].demand += std::max(data, 0.0);
+    meta_[it->second].demand += std::max(meta, 0.0);
+  }
+
+  std::vector<policy::JobDemand> take_data() { return std::move(data_); }
+  std::vector<policy::JobDemand> take_meta() { return std::move(meta_); }
+
+ private:
+  const PolicyTable* policies_;
+  std::unordered_map<JobId, std::size_t> index_;
+  std::vector<policy::JobDemand> data_;
+  std::vector<policy::JobDemand> meta_;
+};
+
+}  // namespace
+
+GlobalControllerCore::GlobalControllerCore(
+    GlobalOptions options, std::unique_ptr<policy::ControlAlgorithm> algorithm)
+    : options_(options),
+      algorithm_(algorithm ? std::move(algorithm)
+                           : std::make_unique<policy::Psfa>()),
+      splitter_(options.split),
+      policies_(options.budgets) {}
+
+proto::CollectRequest GlobalControllerCore::begin_cycle() {
+  ++cycle_;
+  proto::CollectRequest req;
+  req.cycle_id = cycle_;
+  req.detailed = false;
+  return req;
+}
+
+std::uint64_t GlobalControllerCore::rule_epoch() const {
+  // 24 bits of controller epoch above 40 bits of cycle counter: a newer
+  // controller incarnation always outranks any cycle of an older one.
+  return (static_cast<std::uint64_t>(options_.epoch) << 40) |
+         (cycle_ & ((1ULL << 40) - 1));
+}
+
+void GlobalControllerCore::advance_epoch() { ++options_.epoch; }
+
+ComputeResult GlobalControllerCore::compute(
+    std::span<const proto::StageMetrics> metrics) const {
+  DemandBuilder demands(policies_);
+  for (const auto& m : metrics) demands.add(m.job_id, m.data_iops, m.meta_iops);
+  return compute_from_job_demands(demands.take_data(), demands.take_meta(),
+                                  metrics);
+}
+
+ComputeResult GlobalControllerCore::compute(
+    std::span<const proto::AggregatedMetrics> aggregated) const {
+  DemandBuilder demands(policies_);
+  for (const auto& agg : aggregated) {
+    for (const auto& job : agg.jobs) {
+      demands.add(job.job_id, job.data_iops, job.meta_iops);
+    }
+  }
+
+  // When every report carries per-stage digests, reconstruct the stage
+  // detail so rules can be split proportionally to demand, as in the
+  // flat design. Job identity comes from the registry.
+  std::vector<proto::StageMetrics> detail;
+  bool digests_complete = !aggregated.empty();
+  for (const auto& agg : aggregated) {
+    if (agg.digests.size() != agg.total_stages) {
+      digests_complete = false;
+      break;
+    }
+  }
+  if (digests_complete) {
+    for (const auto& agg : aggregated) {
+      for (const auto& digest : agg.digests) {
+        const StageRecord* record = registry_.find(digest.stage_id);
+        if (record == nullptr) continue;  // departed since the collect
+        proto::StageMetrics m;
+        m.stage_id = digest.stage_id;
+        m.job_id = record->info.job_id;
+        m.data_iops = digest.data_iops;
+        m.meta_iops = digest.meta_iops;
+        detail.push_back(m);
+      }
+    }
+  }
+  return compute_from_job_demands(demands.take_data(), demands.take_meta(),
+                                  detail);
+}
+
+ComputeResult GlobalControllerCore::compute_from_job_demands(
+    std::vector<policy::JobDemand> data_demands,
+    std::vector<policy::JobDemand> meta_demands,
+    std::span<const proto::StageMetrics> stage_detail) const {
+  ComputeResult result;
+  algorithm_->compute(data_demands, policies_.budgets().data_iops,
+                      result.data_allocations);
+  algorithm_->compute(meta_demands, policies_.budgets().meta_iops,
+                      result.meta_allocations);
+
+  const std::uint64_t epoch = rule_epoch();
+
+  if (!stage_detail.empty()) {
+    // Flat path: split each dimension by observed per-stage demand.
+    std::vector<policy::StageDemand> data_stage;
+    std::vector<policy::StageDemand> meta_stage;
+    data_stage.reserve(stage_detail.size());
+    meta_stage.reserve(stage_detail.size());
+    for (const auto& m : stage_detail) {
+      data_stage.push_back({m.stage_id, m.job_id, m.data_iops});
+      meta_stage.push_back({m.stage_id, m.job_id, m.meta_iops});
+    }
+    std::vector<policy::StageLimit> data_limits;
+    std::vector<policy::StageLimit> meta_limits;
+    splitter_.split(result.data_allocations, data_stage, data_limits);
+    splitter_.split(result.meta_allocations, meta_stage, meta_limits);
+    assert(data_limits.size() == stage_detail.size());
+    assert(meta_limits.size() == stage_detail.size());
+
+    result.rules.reserve(stage_detail.size());
+    for (std::size_t i = 0; i < stage_detail.size(); ++i) {
+      proto::Rule rule;
+      rule.stage_id = stage_detail[i].stage_id;
+      rule.job_id = stage_detail[i].job_id;
+      rule.data_iops_limit = data_limits[i].limit;
+      rule.meta_iops_limit = meta_limits[i].limit;
+      rule.epoch = epoch;
+      result.rules.push_back(rule);
+    }
+    return result;
+  }
+
+  // Hierarchical path: uniform split over each job's registered stages.
+  std::unordered_map<JobId, std::pair<double, double>> per_stage_share;
+  per_stage_share.reserve(result.data_allocations.size());
+  for (std::size_t i = 0; i < result.data_allocations.size(); ++i) {
+    const JobId job = result.data_allocations[i].job_id;
+    const auto count = registry_.job_stage_count(job);
+    if (count == 0) continue;
+    per_stage_share[job] = {
+        result.data_allocations[i].allocation / count,
+        result.meta_allocations[i].allocation / count,
+    };
+  }
+
+  result.rules.reserve(registry_.size());
+  registry_.for_each([&](const StageRecord& record) {
+    const auto it = per_stage_share.find(record.info.job_id);
+    if (it == per_stage_share.end()) return;  // job idle this cycle
+    proto::Rule rule;
+    rule.stage_id = record.info.stage_id;
+    rule.job_id = record.info.job_id;
+    rule.data_iops_limit = it->second.first;
+    rule.meta_iops_limit = it->second.second;
+    rule.epoch = epoch;
+    result.rules.push_back(rule);
+  });
+  return result;
+}
+
+std::unordered_map<ControllerId, proto::EnforceBatch>
+GlobalControllerCore::group_rules(const ComputeResult& result) const {
+  std::unordered_map<ControllerId, proto::EnforceBatch> batches;
+  for (const auto& rule : result.rules) {
+    const StageRecord* record = registry_.find(rule.stage_id);
+    const ControllerId via = record ? record->via : ControllerId::invalid();
+    auto& batch = batches[via];
+    batch.cycle_id = cycle_;
+    batch.rules.push_back(rule);
+  }
+  return batches;
+}
+
+}  // namespace sds::core

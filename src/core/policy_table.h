@@ -1,0 +1,44 @@
+// Per-job QoS policy table: weights for proportional sharing and the
+// global PFS budgets administrators configure (paper §III-C: "the maximum
+// rate of operations that can be handled efficiently by the PFS ... is
+// defined by system administrators").
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace sds::core {
+
+struct Budgets {
+  /// Maximum aggregate data-operation rate the PFS sustains (ops/s).
+  double data_iops = 1'000'000;
+  /// Maximum aggregate metadata-operation rate (ops/s).
+  double meta_iops = 500'000;
+};
+
+class PolicyTable {
+ public:
+  explicit PolicyTable(Budgets budgets = {}) : budgets_(budgets) {}
+
+  [[nodiscard]] const Budgets& budgets() const { return budgets_; }
+  void set_budgets(Budgets budgets) { budgets_ = budgets; }
+
+  /// Set a job's QoS weight (relative share under contention).
+  void set_weight(JobId job, double weight) { weights_[job] = weight; }
+
+  [[nodiscard]] double weight(JobId job) const {
+    const auto it = weights_.find(job);
+    return it == weights_.end() ? kDefaultWeight : it->second;
+  }
+
+  void clear_weight(JobId job) { weights_.erase(job); }
+
+  static constexpr double kDefaultWeight = 1.0;
+
+ private:
+  Budgets budgets_;
+  std::unordered_map<JobId, double> weights_;
+};
+
+}  // namespace sds::core

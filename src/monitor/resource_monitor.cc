@@ -1,0 +1,86 @@
+#include "monitor/resource_monitor.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace sds::monitor {
+
+std::optional<Nanos> read_process_cpu_time() {
+  std::ifstream stat("/proc/self/stat");
+  if (!stat) return std::nullopt;
+  std::string line;
+  std::getline(stat, line);
+  // Field 2 (comm) may contain spaces; skip past the closing paren.
+  const auto paren = line.rfind(')');
+  if (paren == std::string::npos) return std::nullopt;
+  std::istringstream rest(line.substr(paren + 1));
+  std::string field;
+  // Fields 3..13 precede utime (14) and stime (15).
+  for (int i = 3; i <= 13; ++i) rest >> field;
+  long long utime = 0;
+  long long stime = 0;
+  rest >> utime >> stime;
+  if (!rest) return std::nullopt;
+  const long ticks_per_sec = ::sysconf(_SC_CLK_TCK);
+  if (ticks_per_sec <= 0) return std::nullopt;
+  const double secs =
+      static_cast<double>(utime + stime) / static_cast<double>(ticks_per_sec);
+  return Nanos{static_cast<std::int64_t>(secs * 1e9)};
+}
+
+std::optional<std::uint64_t> read_process_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  if (!status) return std::nullopt;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream rest(line.substr(6));
+      std::uint64_t kb = 0;
+      rest >> kb;
+      if (!rest) return std::nullopt;
+      return kb * 1024;
+    }
+  }
+  return std::nullopt;
+}
+
+ResourceMonitor::ResourceMonitor(
+    std::vector<const transport::Endpoint*> endpoints)
+    : endpoints_(std::move(endpoints)) {}
+
+void ResourceMonitor::add_endpoint(const transport::Endpoint* endpoint) {
+  endpoints_.push_back(endpoint);
+}
+
+ResourceSample ResourceMonitor::sample() const {
+  ResourceSample s;
+  s.wall = SystemClock::instance().now();
+  s.cpu_time = read_process_cpu_time().value_or(Nanos{0});
+  s.rss_bytes = read_process_rss_bytes().value_or(0);
+  for (const auto* endpoint : endpoints_) {
+    const auto counters = endpoint->counters();
+    s.bytes_tx += counters.bytes_sent;
+    s.bytes_rx += counters.bytes_received;
+  }
+  return s;
+}
+
+ResourceUsage ResourceMonitor::usage_between(const ResourceSample& a,
+                                             const ResourceSample& b) {
+  ResourceUsage u;
+  const double wall_s = std::max(to_seconds(b.wall - a.wall), 1e-9);
+  u.cpu_percent = to_seconds(b.cpu_time - a.cpu_time) / wall_s * 100.0;
+  u.rss_gb = static_cast<double>(b.rss_bytes) / 1e9;
+  u.transmitted_mbps =
+      static_cast<double>(b.bytes_tx - a.bytes_tx) / wall_s / 1e6;
+  u.received_mbps = static_cast<double>(b.bytes_rx - a.bytes_rx) / wall_s / 1e6;
+  return u;
+}
+
+}  // namespace sds::monitor

@@ -1,0 +1,59 @@
+// REMORA-style resource monitor for the live runtime: samples process CPU
+// time (/proc/self/stat), resident set size (/proc/self/status), and
+// transport byte counters, producing the CPU% / memory / MB/s columns of
+// Tables II–IV for real deployments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "transport/transport.h"
+
+namespace sds::monitor {
+
+struct ResourceSample {
+  Nanos wall{0};
+  /// Cumulative process CPU time (user+system).
+  Nanos cpu_time{0};
+  /// Resident set size in bytes.
+  std::uint64_t rss_bytes = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+};
+
+/// Usage over an interval between two samples.
+struct ResourceUsage {
+  double cpu_percent = 0;       // process CPU / wall * 100
+  double rss_gb = 0;            // at the end of the interval
+  double transmitted_mbps = 0;  // MB/s over the interval
+  double received_mbps = 0;
+};
+
+/// Read the current process's CPU time from procfs (nullopt off-Linux).
+[[nodiscard]] std::optional<Nanos> read_process_cpu_time();
+
+/// Read the current process's RSS from procfs.
+[[nodiscard]] std::optional<std::uint64_t> read_process_rss_bytes();
+
+class ResourceMonitor {
+ public:
+  /// `endpoints` contribute their byte counters to each sample; they must
+  /// outlive the monitor.
+  explicit ResourceMonitor(std::vector<const transport::Endpoint*> endpoints = {});
+
+  void add_endpoint(const transport::Endpoint* endpoint);
+
+  /// Take a sample now.
+  [[nodiscard]] ResourceSample sample() const;
+
+  /// Usage rates between two samples (b taken after a).
+  [[nodiscard]] static ResourceUsage usage_between(const ResourceSample& a,
+                                                   const ResourceSample& b);
+
+ private:
+  std::vector<const transport::Endpoint*> endpoints_;
+};
+
+}  // namespace sds::monitor

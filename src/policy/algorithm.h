@@ -1,0 +1,51 @@
+// Control-algorithm interface: map per-job I/O demands to per-job
+// allocations under a global budget (the PFS's maximum sustainable rate,
+// set by system administrators).
+//
+// Algorithms operate on one metric dimension at a time (data IOPS or
+// metadata IOPS); the controller core runs them once per dimension.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sds::policy {
+
+/// A job's observed demand for one metric dimension.
+struct JobDemand {
+  JobId job_id;
+  /// Observed operation rate (ops/s) the job is currently submitting.
+  double demand = 0;
+  /// QoS weight; jobs receive budget proportionally to weight when
+  /// contended. Must be > 0.
+  double weight = 1.0;
+
+  bool operator==(const JobDemand&) const = default;
+};
+
+/// Resulting allocation for one job.
+struct JobAllocation {
+  JobId job_id;
+  /// Granted operation rate (ops/s); stages enforce this via rate limits.
+  double allocation = 0;
+
+  bool operator==(const JobAllocation&) const = default;
+};
+
+class ControlAlgorithm {
+ public:
+  virtual ~ControlAlgorithm() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Compute allocations for `demands` under total `budget` (ops/s).
+  /// Postcondition: out has one entry per input job (same order) and the
+  /// allocations sum to at most `budget` (within floating-point slack).
+  virtual void compute(std::span<const JobDemand> demands, double budget,
+                       std::vector<JobAllocation>& out) const = 0;
+};
+
+}  // namespace sds::policy

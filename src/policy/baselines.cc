@@ -1,0 +1,62 @@
+#include "policy/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sds::policy {
+
+void StaticPartition::compute(std::span<const JobDemand> demands, double budget,
+                              std::vector<JobAllocation>& out) const {
+  out.clear();
+  out.reserve(demands.size());
+  budget = std::max(0.0, budget);
+  double weight_sum = 0;
+  for (const auto& d : demands) weight_sum += std::max(d.weight, 0.0);
+  for (const auto& d : demands) {
+    const double share =
+        weight_sum > 0 ? budget * std::max(d.weight, 0.0) / weight_sum : 0.0;
+    out.push_back({d.job_id, share});
+  }
+}
+
+void UniformShare::compute(std::span<const JobDemand> demands, double budget,
+                           std::vector<JobAllocation>& out) const {
+  out.clear();
+  out.reserve(demands.size());
+  budget = std::max(0.0, budget);
+  std::size_t active = 0;
+  for (const auto& d : demands) {
+    if (d.demand >= activity_threshold_) ++active;
+  }
+  const double share = active > 0 ? budget / static_cast<double>(active) : 0.0;
+  for (const auto& d : demands) {
+    out.push_back(
+        {d.job_id, d.demand >= activity_threshold_ ? share : 0.0});
+  }
+}
+
+void PriorityWaterfill::compute(std::span<const JobDemand> demands, double budget,
+                                std::vector<JobAllocation>& out) const {
+  out.clear();
+  out.resize(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    out[i] = {demands[i].job_id, 0.0};
+  }
+  budget = std::max(0.0, budget);
+
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a].weight > demands[b].weight;
+  });
+
+  double remaining = budget;
+  for (const std::size_t i : order) {
+    const double grant = std::min(std::max(demands[i].demand, 0.0), remaining);
+    out[i].allocation = grant;
+    remaining -= grant;
+    if (remaining <= 0) break;
+  }
+}
+
+}  // namespace sds::policy

@@ -1,0 +1,47 @@
+// Baseline control algorithms the study's PSFA is compared against in
+// ablations: static weighted partitioning (has "false allocation"),
+// uniform sharing among active jobs, and strict-priority water-filling.
+#pragma once
+
+#include "policy/algorithm.h"
+
+namespace sds::policy {
+
+/// Splits the budget proportionally to weight regardless of demand.
+/// Simple and stateless, but wastes budget on idle jobs (the false
+/// allocation PSFA eliminates).
+class StaticPartition final : public ControlAlgorithm {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "static"; }
+
+  void compute(std::span<const JobDemand> demands, double budget,
+               std::vector<JobAllocation>& out) const override;
+};
+
+/// Equal share of the budget for every active job, demand-capped.
+class UniformShare final : public ControlAlgorithm {
+ public:
+  explicit UniformShare(double activity_threshold = 1.0)
+      : activity_threshold_(activity_threshold) {}
+
+  [[nodiscard]] std::string_view name() const override { return "uniform"; }
+
+  void compute(std::span<const JobDemand> demands, double budget,
+               std::vector<JobAllocation>& out) const override;
+
+ private:
+  double activity_threshold_;
+};
+
+/// Strict priority: jobs are served in descending weight order; each is
+/// granted min(demand, remaining budget). Starvation-prone by design —
+/// included as the adversarial baseline.
+class PriorityWaterfill final : public ControlAlgorithm {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "priority"; }
+
+  void compute(std::span<const JobDemand> demands, double budget,
+               std::vector<JobAllocation>& out) const override;
+};
+
+}  // namespace sds::policy

@@ -1,0 +1,105 @@
+#include "policy/psfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sds::policy {
+
+void Psfa::compute(std::span<const JobDemand> demands, double budget,
+                   std::vector<JobAllocation>& out) const {
+  out.clear();
+  out.reserve(demands.size());
+  if (demands.empty()) return;
+  budget = std::max(0.0, budget);
+
+  // Pass 1: hand inactive jobs their probe allocation.
+  const double probe = options_.probe_fraction * budget;
+  double remaining = budget;
+  std::size_t active_count = 0;
+  for (const auto& d : demands) {
+    const bool active = d.demand >= options_.activity_threshold;
+    if (active) {
+      ++active_count;
+      out.push_back({d.job_id, 0.0});
+    } else {
+      const double grant = std::min(probe, remaining);
+      remaining -= grant;
+      out.push_back({d.job_id, grant});
+    }
+  }
+  if (active_count == 0 || remaining <= 0) return;
+
+  if (!options_.demand_capped) {
+    // Pure weighted proportional sharing among active jobs.
+    double weight_sum = 0;
+    for (const auto& d : demands) {
+      if (d.demand >= options_.activity_threshold) weight_sum += d.weight;
+    }
+    if (weight_sum <= 0) return;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (demands[i].demand >= options_.activity_threshold) {
+        out[i].allocation = remaining * demands[i].weight / weight_sum;
+      }
+    }
+    return;
+  }
+
+  // Pass 2: weighted water-filling over active jobs with caps of
+  // headroom × demand. Each round grants every unsatisfied job its
+  // weighted share; jobs whose cap is below the share are frozen at the
+  // cap and their leftover re-enters the pool. Terminates in at most
+  // `active_count` rounds because every round freezes >= 1 job or exits.
+  struct Entry {
+    std::size_t index;   // position in `out`
+    double cap;
+    double weight;
+    bool satisfied = false;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(active_count);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const auto& d = demands[i];
+    if (d.demand >= options_.activity_threshold) {
+      entries.push_back({i, d.demand * options_.headroom,
+                         std::max(d.weight, 1e-12), false});
+    }
+  }
+
+  std::size_t unsatisfied = entries.size();
+  while (unsatisfied > 0 && remaining > 1e-9) {
+    double weight_sum = 0;
+    for (const auto& e : entries) {
+      if (!e.satisfied) weight_sum += e.weight;
+    }
+    assert(weight_sum > 0);
+
+    bool froze_any = false;
+    const double pool = remaining;
+    for (auto& e : entries) {
+      if (e.satisfied) continue;
+      const double share = pool * e.weight / weight_sum;
+      const double current = out[e.index].allocation;
+      if (current + share >= e.cap) {
+        // Cap reached: freeze at cap, return the unused slice to the pool.
+        remaining -= (e.cap - current);
+        out[e.index].allocation = e.cap;
+        e.satisfied = true;
+        --unsatisfied;
+        froze_any = true;
+      }
+    }
+    if (froze_any) continue;  // re-share the returned budget
+
+    // No job capped out: distribute the whole pool by weight and finish.
+    for (auto& e : entries) {
+      if (e.satisfied) continue;
+      out[e.index].allocation += pool * e.weight / weight_sum;
+      e.satisfied = true;
+      --unsatisfied;
+    }
+    remaining = 0;
+  }
+}
+
+}  // namespace sds::policy

@@ -1,0 +1,51 @@
+// PSFA — proportional sharing without false allocation (Cheferd's control
+// algorithm, the one executed by the paper's global controller in every
+// control cycle).
+//
+// Semantics:
+//  * Jobs whose observed demand is below `activity_threshold` are
+//    *inactive*: they receive only a small probe allocation (so they can
+//    ramp back up) instead of their full proportional share — this is the
+//    "without false allocation" part: budget is not wasted on jobs that
+//    will not use it.
+//  * Active jobs share the remaining budget proportionally to weight,
+//    capped at `headroom × demand` (a job may grow a bit past its current
+//    rate before the next cycle reacts). Budget left by capped jobs is
+//    re-distributed to still-uncapped jobs by weight (water-filling), so
+//    the algorithm is work-conserving and never over-provisions: the sum
+//    of allocations never exceeds the budget.
+#pragma once
+
+#include "policy/algorithm.h"
+
+namespace sds::policy {
+
+struct PsfaOptions {
+  /// Demands below this rate (ops/s) mark a job inactive.
+  double activity_threshold = 1.0;
+  /// Active jobs may be granted up to headroom × demand.
+  double headroom = 1.2;
+  /// Fraction of the budget reserved per inactive job as a probe
+  /// allocation (lets an idle job issue enough requests to re-activate).
+  double probe_fraction = 0.001;
+  /// When false, active jobs are not demand-capped (pure weighted
+  /// proportional sharing among active jobs).
+  bool demand_capped = true;
+};
+
+class Psfa final : public ControlAlgorithm {
+ public:
+  explicit Psfa(PsfaOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const override { return "psfa"; }
+
+  void compute(std::span<const JobDemand> demands, double budget,
+               std::vector<JobAllocation>& out) const override;
+
+  [[nodiscard]] const PsfaOptions& options() const { return options_; }
+
+ private:
+  PsfaOptions options_;
+};
+
+}  // namespace sds::policy

@@ -1,0 +1,78 @@
+#include "policy/spec.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace sds::policy {
+
+Result<PolicySpec> PolicySpec::from_config(const Config& config) {
+  PolicySpec spec;
+  spec.data_budget = config.get_double_or("budget.data_iops", spec.data_budget);
+  spec.meta_budget = config.get_double_or("budget.meta_iops", spec.meta_budget);
+  spec.psfa.headroom = config.get_double_or("psfa.headroom", spec.psfa.headroom);
+  spec.psfa.activity_threshold = config.get_double_or(
+      "psfa.activity_threshold", spec.psfa.activity_threshold);
+  spec.psfa.probe_fraction =
+      config.get_double_or("psfa.probe_fraction", spec.psfa.probe_fraction);
+  spec.psfa.demand_capped =
+      config.get_bool_or("psfa.demand_capped", spec.psfa.demand_capped);
+
+  if (spec.data_budget < 0 || spec.meta_budget < 0) {
+    return Status::invalid_argument("budgets must be non-negative");
+  }
+  if (spec.psfa.headroom < 1.0) {
+    return Status::invalid_argument("psfa.headroom must be >= 1");
+  }
+  if (spec.psfa.probe_fraction < 0 || spec.psfa.probe_fraction > 1) {
+    return Status::invalid_argument("psfa.probe_fraction must be in [0, 1]");
+  }
+
+  for (const auto& [key, value] : config.entries()) {
+    // job.<id>.weight = <double>
+    constexpr std::size_t kPrefix = 4;                      // "job."
+    constexpr std::size_t kSuffix = sizeof(".weight") - 1;  // 7
+    if (!key.starts_with("job.") || !key.ends_with(".weight") ||
+        key.size() <= kPrefix + kSuffix) {
+      continue;
+    }
+    const std::string_view id_text{key.data() + kPrefix,
+                                   key.size() - kPrefix - kSuffix};
+    std::uint32_t job = 0;
+    const auto [ptr, ec] =
+        std::from_chars(id_text.data(), id_text.data() + id_text.size(), job);
+    if (ec != std::errc{} || ptr != id_text.data() + id_text.size()) {
+      return Status::invalid_argument("bad job id in key: " + key);
+    }
+    const auto weight = config.get_double(key);
+    if (!weight.is_ok()) return weight.status();
+    if (*weight <= 0) {
+      return Status::invalid_argument(key + ": weight must be > 0");
+    }
+    spec.job_weights[job] = *weight;
+  }
+  return spec;
+}
+
+Result<PolicySpec> PolicySpec::from_file(const std::string& path) {
+  auto config = Config::from_file(path);
+  if (!config.is_ok()) return config.status();
+  return from_config(*config);
+}
+
+std::string PolicySpec::to_string() const {
+  std::ostringstream out;
+  out.precision(12);
+  out << "budget.data_iops = " << data_budget << '\n';
+  out << "budget.meta_iops = " << meta_budget << '\n';
+  out << "psfa.headroom = " << psfa.headroom << '\n';
+  out << "psfa.activity_threshold = " << psfa.activity_threshold << '\n';
+  out << "psfa.probe_fraction = " << psfa.probe_fraction << '\n';
+  out << "psfa.demand_capped = " << (psfa.demand_capped ? "true" : "false")
+      << '\n';
+  for (const auto& [job, weight] : job_weights) {
+    out << "job." << job << ".weight = " << weight << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sds::policy

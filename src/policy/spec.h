@@ -1,0 +1,35 @@
+// PolicySpec — administrator-facing QoS policy: the PFS budgets, per-job
+// weights, and PSFA tuning, parsed from key=value text (file or CLI):
+//
+//   budget.data_iops = 1000000
+//   budget.meta_iops = 500000
+//   job.3.weight     = 2.5        # job 3 gets 2.5x shares
+//   psfa.headroom    = 1.5
+//   psfa.activity_threshold = 1.0
+//   psfa.probe_fraction = 0.001
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/config.h"
+#include "policy/psfa.h"
+
+namespace sds::policy {
+
+struct PolicySpec {
+  double data_budget = 1'000'000;
+  double meta_budget = 500'000;
+  PsfaOptions psfa{};
+  /// JobId value -> weight.
+  std::map<std::uint32_t, double> job_weights;
+
+  [[nodiscard]] static Result<PolicySpec> from_config(const Config& config);
+  [[nodiscard]] static Result<PolicySpec> from_file(const std::string& path);
+
+  /// Serialize back to the text format (round-trips through
+  /// from_config).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace sds::policy

@@ -1,0 +1,48 @@
+#include "policy/splitter.h"
+
+#include <algorithm>
+
+namespace sds::policy {
+
+void RuleSplitter::split(std::span<const JobAllocation> allocations,
+                         std::span<const StageDemand> stages,
+                         std::vector<StageLimit>& out) const {
+  out.clear();
+  out.reserve(stages.size());
+
+  struct JobAgg {
+    double allocation = 0;
+    double demand_sum = 0;
+    std::uint32_t stage_count = 0;
+    bool known = false;
+  };
+  std::unordered_map<JobId, JobAgg> jobs;
+  jobs.reserve(allocations.size());
+  for (const auto& a : allocations) {
+    auto& agg = jobs[a.job_id];
+    agg.allocation = a.allocation;
+    agg.known = true;
+  }
+  for (const auto& s : stages) {
+    auto& agg = jobs[s.job_id];
+    agg.demand_sum += std::max(s.demand, 0.0);
+    ++agg.stage_count;
+  }
+
+  for (const auto& s : stages) {
+    const auto& agg = jobs[s.job_id];
+    double limit = 0;
+    if (agg.known && agg.stage_count > 0) {
+      const bool proportional = strategy_ == SplitStrategy::kProportional &&
+                                agg.demand_sum > 0;
+      if (proportional) {
+        limit = agg.allocation * std::max(s.demand, 0.0) / agg.demand_sum;
+      } else {
+        limit = agg.allocation / static_cast<double>(agg.stage_count);
+      }
+    }
+    out.push_back({s.stage_id, limit});
+  }
+}
+
+}  // namespace sds::policy

@@ -1,0 +1,59 @@
+// Turn per-job allocations into per-stage rate limits.
+//
+// A job spans many stages (one per compute node it runs on). The
+// controller must split the job-level grant into stage-level limits that
+// the data plane can enforce locally. Two strategies:
+//   * kUniform      — grant / stage_count for every stage
+//   * kProportional — split by each stage's share of the job's demand
+//                     (stages that submit more I/O get more budget),
+//                     falling back to uniform when the job is idle.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "policy/algorithm.h"
+
+namespace sds::policy {
+
+enum class SplitStrategy { kUniform, kProportional };
+
+/// One stage's share of a metric dimension as seen at collect time.
+struct StageDemand {
+  StageId stage_id;
+  JobId job_id;
+  double demand = 0;
+
+  bool operator==(const StageDemand&) const = default;
+};
+
+/// Per-stage limit for one metric dimension.
+struct StageLimit {
+  StageId stage_id;
+  double limit = 0;
+
+  bool operator==(const StageLimit&) const = default;
+};
+
+class RuleSplitter {
+ public:
+  explicit RuleSplitter(SplitStrategy strategy = SplitStrategy::kProportional)
+      : strategy_(strategy) {}
+
+  /// Split `allocations` (per job) across `stages`; stages of jobs absent
+  /// from `allocations` receive a zero limit. Output order matches the
+  /// `stages` input order. The per-job sum of limits equals the job's
+  /// allocation (within floating-point slack).
+  void split(std::span<const JobAllocation> allocations,
+             std::span<const StageDemand> stages,
+             std::vector<StageLimit>& out) const;
+
+  [[nodiscard]] SplitStrategy strategy() const { return strategy_; }
+
+ private:
+  SplitStrategy strategy_;
+};
+
+}  // namespace sds::policy

@@ -1,0 +1,383 @@
+#include "proto/messages.h"
+
+namespace sds::proto {
+
+namespace {
+
+using wire::Decoder;
+using wire::Encoder;
+
+void put_id32(Encoder& enc, std::uint32_t v) { enc.put_u32(v); }
+
+template <typename Id>
+Id get_id32(Decoder& dec) {
+  return Id{dec.get_u32()};
+}
+
+}  // namespace
+
+std::string_view to_string(MessageType t) {
+  switch (t) {
+    case MessageType::kInvalid: return "Invalid";
+    case MessageType::kRegisterRequest: return "RegisterRequest";
+    case MessageType::kRegisterAck: return "RegisterAck";
+    case MessageType::kCollectRequest: return "CollectRequest";
+    case MessageType::kStageMetrics: return "StageMetrics";
+    case MessageType::kMetricsBatch: return "MetricsBatch";
+    case MessageType::kAggregatedMetrics: return "AggregatedMetrics";
+    case MessageType::kEnforceBatch: return "EnforceBatch";
+    case MessageType::kEnforceAck: return "EnforceAck";
+    case MessageType::kHeartbeat: return "Heartbeat";
+    case MessageType::kHeartbeatAck: return "HeartbeatAck";
+    case MessageType::kBudgetLease: return "BudgetLease";
+    case MessageType::kError: return "Error";
+  }
+  return "Unknown";
+}
+
+// --------------------------------------------------------------------------
+// StageInfo
+
+void StageInfo::encode(Encoder& enc) const {
+  put_id32(enc, stage_id.value());
+  put_id32(enc, node_id.value());
+  put_id32(enc, job_id.value());
+  enc.put_string(hostname);
+}
+
+Result<StageInfo> StageInfo::decode(Decoder& dec) {
+  StageInfo info;
+  info.stage_id = get_id32<StageId>(dec);
+  info.node_id = get_id32<NodeId>(dec);
+  info.job_id = get_id32<JobId>(dec);
+  info.hostname = dec.get_string();
+  if (!dec.ok()) return Status::invalid_argument("StageInfo: truncated");
+  return info;
+}
+
+std::size_t StageInfo::wire_size() const {
+  return 4 + 4 + 4 + Encoder::varint_size(hostname.size()) + hostname.size();
+}
+
+Result<RegisterRequest> RegisterRequest::decode(Decoder& dec) {
+  auto info = StageInfo::decode(dec);
+  if (!info.is_ok()) return info.status();
+  return RegisterRequest{std::move(info).value()};
+}
+
+void RegisterAck::encode(Encoder& enc) const {
+  enc.put_bool(accepted);
+  enc.put_u32(epoch);
+}
+
+Result<RegisterAck> RegisterAck::decode(Decoder& dec) {
+  RegisterAck ack;
+  ack.accepted = dec.get_bool();
+  ack.epoch = dec.get_u32();
+  if (!dec.ok()) return Status::invalid_argument("RegisterAck: truncated");
+  return ack;
+}
+
+// --------------------------------------------------------------------------
+// Collect
+
+void CollectRequest::encode(Encoder& enc) const {
+  enc.put_varint(cycle_id);
+  enc.put_bool(detailed);
+}
+
+Result<CollectRequest> CollectRequest::decode(Decoder& dec) {
+  CollectRequest req;
+  req.cycle_id = dec.get_varint();
+  req.detailed = dec.get_bool();
+  if (!dec.ok()) return Status::invalid_argument("CollectRequest: truncated");
+  return req;
+}
+
+std::size_t CollectRequest::wire_size() const {
+  return Encoder::varint_size(cycle_id) + 1;
+}
+
+void StageMetrics::encode(Encoder& enc) const {
+  enc.put_varint(cycle_id);
+  put_id32(enc, stage_id.value());
+  put_id32(enc, job_id.value());
+  enc.put_double(data_iops);
+  enc.put_double(meta_iops);
+  enc.put_double(data_limit);
+  enc.put_double(meta_limit);
+}
+
+Result<StageMetrics> StageMetrics::decode(Decoder& dec) {
+  StageMetrics m;
+  m.cycle_id = dec.get_varint();
+  m.stage_id = get_id32<StageId>(dec);
+  m.job_id = get_id32<JobId>(dec);
+  m.data_iops = dec.get_double();
+  m.meta_iops = dec.get_double();
+  m.data_limit = dec.get_double();
+  m.meta_limit = dec.get_double();
+  if (!dec.ok()) return Status::invalid_argument("StageMetrics: truncated");
+  return m;
+}
+
+std::size_t StageMetrics::wire_size() const {
+  return Encoder::varint_size(cycle_id) + 4 + 4 + 8 * 4;
+}
+
+void MetricsBatch::encode(Encoder& enc) const {
+  enc.put_varint(cycle_id);
+  put_id32(enc, from.value());
+  enc.put_varint(entries.size());
+  for (const auto& e : entries) e.encode(enc);
+}
+
+Result<MetricsBatch> MetricsBatch::decode(Decoder& dec) {
+  MetricsBatch batch;
+  batch.cycle_id = dec.get_varint();
+  batch.from = get_id32<ControllerId>(dec);
+  const std::uint64_t n = dec.get_varint();
+  if (!dec.ok() || n > (1u << 26)) {
+    return Status::invalid_argument("MetricsBatch: bad count");
+  }
+  batch.entries.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto entry = StageMetrics::decode(dec);
+    if (!entry.is_ok()) return entry.status();
+    batch.entries.push_back(std::move(entry).value());
+  }
+  return batch;
+}
+
+std::size_t MetricsBatch::wire_size() const {
+  std::size_t size = Encoder::varint_size(cycle_id) + 4 +
+                     Encoder::varint_size(entries.size());
+  for (const auto& e : entries) size += e.wire_size();
+  return size;
+}
+
+void JobMetrics::encode(Encoder& enc) const {
+  put_id32(enc, job_id.value());
+  enc.put_double(data_iops);
+  enc.put_double(meta_iops);
+  enc.put_u32(stage_count);
+}
+
+Result<JobMetrics> JobMetrics::decode(Decoder& dec) {
+  JobMetrics m;
+  m.job_id = get_id32<JobId>(dec);
+  m.data_iops = dec.get_double();
+  m.meta_iops = dec.get_double();
+  m.stage_count = dec.get_u32();
+  if (!dec.ok()) return Status::invalid_argument("JobMetrics: truncated");
+  return m;
+}
+
+std::size_t JobMetrics::wire_size() const { return 4 + 8 + 8 + 4; }
+
+void StageDigest::encode(Encoder& enc) const {
+  put_id32(enc, stage_id.value());
+  enc.put_f32(data_iops);
+  enc.put_f32(meta_iops);
+}
+
+Result<StageDigest> StageDigest::decode(Decoder& dec) {
+  StageDigest d;
+  d.stage_id = get_id32<StageId>(dec);
+  d.data_iops = dec.get_f32();
+  d.meta_iops = dec.get_f32();
+  if (!dec.ok()) return Status::invalid_argument("StageDigest: truncated");
+  return d;
+}
+
+void AggregatedMetrics::encode(Encoder& enc) const {
+  enc.put_varint(cycle_id);
+  put_id32(enc, from.value());
+  enc.put_u32(total_stages);
+  enc.put_varint(jobs.size());
+  for (const auto& j : jobs) j.encode(enc);
+  enc.put_varint(digests.size());
+  for (const auto& d : digests) d.encode(enc);
+}
+
+Result<AggregatedMetrics> AggregatedMetrics::decode(Decoder& dec) {
+  AggregatedMetrics agg;
+  agg.cycle_id = dec.get_varint();
+  agg.from = get_id32<ControllerId>(dec);
+  agg.total_stages = dec.get_u32();
+  const std::uint64_t n = dec.get_varint();
+  if (!dec.ok() || n > (1u << 26)) {
+    return Status::invalid_argument("AggregatedMetrics: bad count");
+  }
+  agg.jobs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto job = JobMetrics::decode(dec);
+    if (!job.is_ok()) return job.status();
+    agg.jobs.push_back(std::move(job).value());
+  }
+  const std::uint64_t d = dec.get_varint();
+  if (!dec.ok() || d > (1u << 26)) {
+    return Status::invalid_argument("AggregatedMetrics: bad digest count");
+  }
+  agg.digests.reserve(static_cast<std::size_t>(d));
+  for (std::uint64_t i = 0; i < d; ++i) {
+    auto digest = StageDigest::decode(dec);
+    if (!digest.is_ok()) return digest.status();
+    agg.digests.push_back(std::move(digest).value());
+  }
+  return agg;
+}
+
+std::size_t AggregatedMetrics::wire_size() const {
+  std::size_t size = Encoder::varint_size(cycle_id) + 4 + 4 +
+                     Encoder::varint_size(jobs.size());
+  for (const auto& j : jobs) size += j.wire_size();
+  size += Encoder::varint_size(digests.size()) +
+          digests.size() * StageDigest::wire_size();
+  return size;
+}
+
+// --------------------------------------------------------------------------
+// Enforce
+
+void Rule::encode(Encoder& enc) const {
+  put_id32(enc, stage_id.value());
+  put_id32(enc, job_id.value());
+  enc.put_double(data_iops_limit);
+  enc.put_double(meta_iops_limit);
+  enc.put_varint(epoch);
+}
+
+Result<Rule> Rule::decode(Decoder& dec) {
+  Rule r;
+  r.stage_id = get_id32<StageId>(dec);
+  r.job_id = get_id32<JobId>(dec);
+  r.data_iops_limit = dec.get_double();
+  r.meta_iops_limit = dec.get_double();
+  r.epoch = dec.get_varint();
+  if (!dec.ok()) return Status::invalid_argument("Rule: truncated");
+  return r;
+}
+
+std::size_t Rule::wire_size() const {
+  return 4 + 4 + 8 + 8 + Encoder::varint_size(epoch);
+}
+
+void EnforceBatch::encode(Encoder& enc) const {
+  enc.put_varint(cycle_id);
+  enc.put_varint(rules.size());
+  for (const auto& r : rules) r.encode(enc);
+}
+
+Result<EnforceBatch> EnforceBatch::decode(Decoder& dec) {
+  EnforceBatch batch;
+  batch.cycle_id = dec.get_varint();
+  const std::uint64_t n = dec.get_varint();
+  if (!dec.ok() || n > (1u << 26)) {
+    return Status::invalid_argument("EnforceBatch: bad count");
+  }
+  batch.rules.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto rule = Rule::decode(dec);
+    if (!rule.is_ok()) return rule.status();
+    batch.rules.push_back(std::move(rule).value());
+  }
+  return batch;
+}
+
+std::size_t EnforceBatch::wire_size() const {
+  std::size_t size =
+      Encoder::varint_size(cycle_id) + Encoder::varint_size(rules.size());
+  for (const auto& r : rules) size += r.wire_size();
+  return size;
+}
+
+void EnforceAck::encode(Encoder& enc) const {
+  enc.put_varint(cycle_id);
+  enc.put_u32(applied);
+}
+
+Result<EnforceAck> EnforceAck::decode(Decoder& dec) {
+  EnforceAck ack;
+  ack.cycle_id = dec.get_varint();
+  ack.applied = dec.get_u32();
+  if (!dec.ok()) return Status::invalid_argument("EnforceAck: truncated");
+  return ack;
+}
+
+std::size_t EnforceAck::wire_size() const {
+  return Encoder::varint_size(cycle_id) + 4;
+}
+
+// --------------------------------------------------------------------------
+// Liveness / delegation
+
+void Heartbeat::encode(Encoder& enc) const {
+  put_id32(enc, from.value());
+  enc.put_varint(seq);
+}
+
+Result<Heartbeat> Heartbeat::decode(Decoder& dec) {
+  Heartbeat hb;
+  hb.from = get_id32<ControllerId>(dec);
+  hb.seq = dec.get_varint();
+  if (!dec.ok()) return Status::invalid_argument("Heartbeat: truncated");
+  return hb;
+}
+
+std::size_t Heartbeat::wire_size() const {
+  return 4 + Encoder::varint_size(seq);
+}
+
+void HeartbeatAck::encode(Encoder& enc) const { enc.put_varint(seq); }
+
+Result<HeartbeatAck> HeartbeatAck::decode(Decoder& dec) {
+  HeartbeatAck ack;
+  ack.seq = dec.get_varint();
+  if (!dec.ok()) return Status::invalid_argument("HeartbeatAck: truncated");
+  return ack;
+}
+
+std::size_t HeartbeatAck::wire_size() const {
+  return Encoder::varint_size(seq);
+}
+
+void BudgetLease::encode(Encoder& enc) const {
+  enc.put_varint(cycle_id);
+  enc.put_double(data_budget);
+  enc.put_double(meta_budget);
+  enc.put_u64(valid_until_ns);
+}
+
+Result<BudgetLease> BudgetLease::decode(Decoder& dec) {
+  BudgetLease lease;
+  lease.cycle_id = dec.get_varint();
+  lease.data_budget = dec.get_double();
+  lease.meta_budget = dec.get_double();
+  lease.valid_until_ns = dec.get_u64();
+  if (!dec.ok()) return Status::invalid_argument("BudgetLease: truncated");
+  return lease;
+}
+
+std::size_t BudgetLease::wire_size() const {
+  return Encoder::varint_size(cycle_id) + 8 + 8 + 8;
+}
+
+void ErrorMessage::encode(Encoder& enc) const {
+  enc.put_u32(code);
+  enc.put_string(detail);
+}
+
+Result<ErrorMessage> ErrorMessage::decode(Decoder& dec) {
+  ErrorMessage err;
+  err.code = dec.get_u32();
+  err.detail = dec.get_string();
+  if (!dec.ok()) return Status::invalid_argument("ErrorMessage: truncated");
+  return err;
+}
+
+std::size_t ErrorMessage::wire_size() const {
+  return 4 + Encoder::varint_size(detail.size()) + detail.size();
+}
+
+}  // namespace sds::proto

@@ -1,0 +1,113 @@
+#include "rpc/gather.h"
+
+#include <algorithm>
+
+namespace sds::rpc {
+
+std::optional<std::uint64_t> peek_cycle_id(const wire::Frame& frame) {
+  wire::Decoder dec(frame.payload);
+  const std::uint64_t cycle = dec.get_varint();
+  if (!dec.ok()) return std::nullopt;
+  return cycle;
+}
+
+Gather::Gather(proto::MessageType type, std::optional<std::uint64_t> cycle,
+               std::vector<ConnId> expected)
+    : type_(type), cycle_(cycle) {
+  waiting_.reserve(expected.size());
+  for (const ConnId c : expected) waiting_.insert(c);
+  replies_.reserve(expected.size());
+}
+
+bool Gather::offer(ConnId conn, const wire::Frame& frame) {
+  if (frame.type != static_cast<std::uint16_t>(type_)) return false;
+  if (cycle_.has_value()) {
+    const auto cycle = peek_cycle_id(frame);
+    if (!cycle || *cycle != *cycle_) return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = waiting_.find(conn);
+  if (it == waiting_.end()) return false;
+  waiting_.erase(it);
+  replies_.push_back({conn, frame});
+  if (waiting_.empty()) cv_.notify_all();
+  return true;
+}
+
+void Gather::fail(ConnId conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (waiting_.erase(conn) > 0) {
+    ++failed_;
+    if (waiting_.empty()) cv_.notify_all();
+  }
+}
+
+Status Gather::wait_for(Nanos timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool complete =
+      cv_.wait_for(lock, timeout, [&] { return waiting_.empty(); });
+  if (!complete) {
+    return Status::deadline_exceeded(std::to_string(waiting_.size()) +
+                                     " replies missing");
+  }
+  if (failed_ > 0) {
+    return Status::unavailable(std::to_string(failed_) + " peers failed");
+  }
+  return Status::ok();
+}
+
+std::vector<Gather::Reply> Gather::take_replies() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(replies_);
+}
+
+std::size_t Gather::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_.size();
+}
+
+void Dispatcher::set_fallback(FallbackHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fallback_ = std::move(handler);
+}
+
+std::shared_ptr<Gather> Dispatcher::start_gather(
+    proto::MessageType type, std::optional<std::uint64_t> cycle,
+    std::vector<ConnId> expected) {
+  auto gather = std::make_shared<Gather>(type, cycle, std::move(expected));
+  std::lock_guard<std::mutex> lock(mu_);
+  gathers_.push_back(gather);
+  return gather;
+}
+
+void Dispatcher::finish(const std::shared_ptr<Gather>& gather) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gathers_.erase(std::remove(gathers_.begin(), gathers_.end(), gather),
+                 gathers_.end());
+}
+
+void Dispatcher::on_frame(ConnId conn, wire::Frame frame) {
+  std::vector<std::shared_ptr<Gather>> gathers;
+  FallbackHandler fallback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gathers = gathers_;
+    fallback = fallback_;
+  }
+  for (const auto& gather : gathers) {
+    if (gather->offer(conn, frame)) return;
+  }
+  if (fallback) fallback(conn, std::move(frame));
+}
+
+void Dispatcher::on_conn_event(ConnId conn, transport::ConnEvent event) {
+  if (event != transport::ConnEvent::kClosed) return;
+  std::vector<std::shared_ptr<Gather>> gathers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gathers = gathers_;
+  }
+  for (const auto& gather : gathers) gather->fail(conn);
+}
+
+}  // namespace sds::rpc

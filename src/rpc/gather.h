@@ -1,0 +1,123 @@
+// Scatter/gather RPC primitives used by the live control plane.
+//
+// A control cycle's collect phase is a scatter (CollectRequest to every
+// stage) followed by a gather (one StageMetrics from each). The enforce
+// phase is the same with EnforceBatch / EnforceAck. Replies are matched by
+// (message type, cycle id, sender connection).
+//
+// The Dispatcher sits in the endpoint's frame handler: frames matching a
+// registered Gather are routed to it; everything else falls through to the
+// default handler (registrations, heartbeats, ...).
+//
+// All gatherable message bodies start with a varint cycle id, so the
+// dispatcher can route without fully decoding payloads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "proto/messages.h"
+#include "transport/transport.h"
+
+namespace sds::rpc {
+
+/// Reads the leading varint (cycle id) of a frame payload.
+[[nodiscard]] std::optional<std::uint64_t> peek_cycle_id(const wire::Frame& frame);
+
+/// One in-flight gather: waits for a reply of `type` from each expected
+/// connection, optionally filtered by cycle id.
+class Gather {
+ public:
+  struct Reply {
+    ConnId conn;
+    wire::Frame frame;
+  };
+
+  Gather(proto::MessageType type, std::optional<std::uint64_t> cycle,
+         std::vector<ConnId> expected);
+
+  /// Offer a frame; returns true if this gather consumed it.
+  bool offer(ConnId conn, const wire::Frame& frame);
+
+  /// Mark a connection as failed (e.g. it closed); the gather no longer
+  /// waits for it.
+  void fail(ConnId conn);
+
+  /// Block until every expected reply arrived or `timeout` elapsed.
+  /// Returns OK when complete, kDeadlineExceeded with the number of
+  /// missing replies otherwise.
+  [[nodiscard]] Status wait_for(Nanos timeout);
+
+  /// Collected replies (call after wait_for).
+  [[nodiscard]] std::vector<Reply> take_replies();
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  const proto::MessageType type_;
+  const std::optional<std::uint64_t> cycle_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_set<ConnId> waiting_;
+  std::vector<Reply> replies_;
+  std::size_t failed_ = 0;
+};
+
+/// Routes inbound frames to active gathers; thread-safe.
+class Dispatcher {
+ public:
+  using FallbackHandler = std::function<void(ConnId, wire::Frame)>;
+
+  void set_fallback(FallbackHandler handler);
+
+  /// Create and register a gather. Automatically unregistered when the
+  /// returned shared_ptr is the last reference and removed via collect().
+  std::shared_ptr<Gather> start_gather(proto::MessageType type,
+                                       std::optional<std::uint64_t> cycle,
+                                       std::vector<ConnId> expected);
+
+  /// Remove a finished gather.
+  void finish(const std::shared_ptr<Gather>& gather);
+
+  /// Endpoint frame handler: route to a gather or the fallback.
+  void on_frame(ConnId conn, wire::Frame frame);
+
+  /// Endpoint connection handler: fail pending gathers on closed conns.
+  void on_conn_event(ConnId conn, transport::ConnEvent event);
+
+ private:
+  std::mutex mu_;
+  std::vector<std::shared_ptr<Gather>> gathers_;
+  FallbackHandler fallback_;
+};
+
+/// Convenience: send `request` on `conn` and wait for a single reply of
+/// type `Reply::kType` (no cycle filter). Used for registration.
+template <typename ReplyT, typename RequestT>
+Result<ReplyT> call(transport::Endpoint& endpoint, Dispatcher& dispatcher,
+                    ConnId conn, const RequestT& request, Nanos timeout) {
+  auto gather = dispatcher.start_gather(ReplyT::kType, std::nullopt, {conn});
+  const Status sent = endpoint.send(conn, proto::to_frame(request));
+  if (!sent.is_ok()) {
+    dispatcher.finish(gather);
+    return sent;
+  }
+  const Status status = gather->wait_for(timeout);
+  dispatcher.finish(gather);
+  if (!status.is_ok()) return status;
+  auto replies = gather->take_replies();
+  if (replies.empty()) return Status::unavailable("no reply");
+  return proto::from_frame<ReplyT>(replies.front().frame);
+}
+
+}  // namespace sds::rpc

@@ -1,0 +1,275 @@
+#include "runtime/aggregator_server.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace sds::runtime {
+
+AggregatorServer::AggregatorServer(transport::Network& network,
+                                   std::string address,
+                                   AggregatorServerOptions options,
+                                   const Clock& clock)
+    : network_(&network),
+      address_(std::move(address)),
+      options_(std::move(options)),
+      clock_(&clock),
+      core_(core::AggregatorOptions{options_.id, /*preaggregate=*/true}) {}
+
+AggregatorServer::~AggregatorServer() { shutdown(); }
+
+Status AggregatorServer::start(
+    const transport::EndpointOptions& endpoint_options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::failed_precondition("already started");
+    auto endpoint = network_->bind(address_, endpoint_options);
+    if (!endpoint.is_ok()) return endpoint.status();
+    endpoint_ = std::move(endpoint).value();
+    started_ = true;
+  }
+  dispatcher_.set_fallback(
+      [this](ConnId conn, wire::Frame frame) { on_frame(conn, std::move(frame)); });
+  endpoint_->set_frame_handler([this](ConnId conn, wire::Frame frame) {
+    dispatcher_.on_frame(conn, std::move(frame));
+  });
+  endpoint_->set_conn_handler([this](ConnId conn, transport::ConnEvent event) {
+    dispatcher_.on_conn_event(conn, event);
+    if (event == transport::ConnEvent::kClosed) on_conn_closed(conn);
+  });
+
+  worker_ = std::thread([this] {
+    while (auto task = work_.pop()) (*task)();
+  });
+
+  auto upstream = endpoint_->connect(options_.upstream_address);
+  if (!upstream.is_ok()) return upstream.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    upstream_ = upstream.value();
+  }
+  proto::Heartbeat intro;
+  intro.from = options_.id;
+  intro.seq = 0;
+  return endpoint_->send(upstream.value(), proto::to_frame(intro));
+}
+
+void AggregatorServer::on_frame(ConnId conn, wire::Frame frame) {
+  using proto::MessageType;
+  switch (static_cast<MessageType>(frame.type)) {
+    case MessageType::kRegisterRequest: {
+      const auto request = proto::from_frame<proto::RegisterRequest>(frame);
+      if (!request.is_ok()) return;
+      proto::RegisterAck ack;
+      ConnId upstream;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Upsert: a stage reconnecting (e.g. after a transient drop) may
+        // re-register before its old connection is reaped.
+        Status added = core_.registry().add(
+            {request->info, conn, ControllerId::invalid()});
+        if (added.code() == StatusCode::kAlreadyExists) {
+          (void)core_.registry().remove(request->info.stage_id);
+          added = core_.registry().add(
+              {request->info, conn, ControllerId::invalid()});
+        }
+        ack.accepted = added.is_ok();
+        ack.epoch = 0;
+        if (added.is_ok()) stages_by_conn_[conn].push_back(request->info.stage_id);
+        upstream = upstream_;
+      }
+      (void)endpoint_->send(conn, proto::to_frame(ack));
+      // Forward upstream so the global controller learns the roster; the
+      // upstream ack is informational and ignored here.
+      if (ack.accepted && upstream.valid()) {
+        (void)endpoint_->send(upstream, frame);
+      }
+      break;
+    }
+    case MessageType::kCollectRequest: {
+      auto request = proto::from_frame<proto::CollectRequest>(frame);
+      if (!request.is_ok()) return;
+      work_.push([this, req = std::move(request).value()] { serve_collect(req); });
+      break;
+    }
+    case MessageType::kEnforceBatch: {
+      auto batch = proto::from_frame<proto::EnforceBatch>(frame);
+      if (!batch.is_ok()) return;
+      work_.push([this, b = std::move(batch).value()] { serve_enforce(b); });
+      break;
+    }
+    case MessageType::kBudgetLease: {
+      auto lease = proto::from_frame<proto::BudgetLease>(frame);
+      if (!lease.is_ok()) return;
+      work_.push([this, l = std::move(lease).value()] { serve_lease(l); });
+      break;
+    }
+    case MessageType::kHeartbeat: {
+      // Liveness probe from the global controller.
+      const auto hb = proto::from_frame<proto::Heartbeat>(frame);
+      if (!hb.is_ok()) return;
+      proto::HeartbeatAck ack;
+      ack.seq = hb->seq;
+      (void)endpoint_->send(conn, proto::to_frame(ack));
+      break;
+    }
+    case MessageType::kRegisterAck:
+    case MessageType::kHeartbeatAck:
+      break;  // upstream responses to forwarded traffic
+    default:
+      SDS_LOG(DEBUG) << address_ << ": unrouted frame type " << frame.type;
+  }
+}
+
+void AggregatorServer::serve_collect(proto::CollectRequest request) {
+  std::vector<ConnId> conns;
+  ConnId upstream;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    core_.registry().for_each(
+        [&](const core::StageRecord& record) { conns.push_back(record.conn); });
+    upstream = upstream_;
+    ++cycles_served_;
+  }
+
+  auto gather = dispatcher_.start_gather(proto::MessageType::kStageMetrics,
+                                         request.cycle_id, conns);
+  const wire::Frame collect_frame = proto::to_frame(request);
+  for (const ConnId conn : conns) (void)endpoint_->send(conn, collect_frame);
+  const Status wait = gather->wait_for(options_.phase_timeout);
+  if (!wait.is_ok()) {
+    SDS_LOG(WARN) << address_ << ": collect incomplete in cycle "
+                  << request.cycle_id;
+  }
+  std::vector<proto::StageMetrics> metrics;
+  for (auto& reply : gather->take_replies()) {
+    auto m = proto::from_frame<proto::StageMetrics>(reply.frame);
+    if (m.is_ok()) metrics.push_back(std::move(m).value());
+  }
+  dispatcher_.finish(gather);
+
+  proto::AggregatedMetrics report;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report = core_.aggregate(request.cycle_id, metrics);
+    last_collected_ = std::move(metrics);
+    last_collect_cycle_ = request.cycle_id;
+  }
+  if (upstream.valid()) {
+    (void)endpoint_->send(upstream, proto::to_frame(report));
+  }
+}
+
+void AggregatorServer::serve_lease(proto::BudgetLease lease) {
+  std::vector<proto::Rule> rules;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    core_.set_lease(lease);
+    rules = core_.local_compute(
+        lease.cycle_id, last_collected_,
+        static_cast<std::uint64_t>(clock_->now().count()));
+  }
+  enforce_rules(lease.cycle_id, rules);
+}
+
+void AggregatorServer::serve_enforce(proto::EnforceBatch batch) {
+  core::AggregatorCore::RoutedRules routed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    routed = core_.route(batch);
+  }
+  if (!routed.unknown.empty()) {
+    SDS_LOG(WARN) << address_ << ": " << routed.unknown.size()
+                  << " rules for unknown stages";
+  }
+  enforce_rules(batch.cycle_id, routed.owned);
+}
+
+void AggregatorServer::enforce_rules(std::uint64_t cycle_id,
+                                     const std::vector<proto::Rule>& rules) {
+  ConnId upstream;
+  std::vector<std::pair<ConnId, proto::EnforceBatch>> deliveries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    upstream = upstream_;
+    for (const auto& rule : rules) {
+      const core::StageRecord* record = core_.registry().find(rule.stage_id);
+      if (record == nullptr) continue;
+      proto::EnforceBatch single;
+      single.cycle_id = cycle_id;
+      single.rules.push_back(rule);
+      deliveries.emplace_back(record->conn, std::move(single));
+    }
+  }
+
+  std::vector<ConnId> conns;
+  conns.reserve(deliveries.size());
+  for (const auto& [conn, _] : deliveries) conns.push_back(conn);
+  auto gather = dispatcher_.start_gather(proto::MessageType::kEnforceAck,
+                                         cycle_id, conns);
+  for (const auto& [conn, single] : deliveries) {
+    (void)endpoint_->send(conn, proto::to_frame(single));
+  }
+  const Status wait = gather->wait_for(options_.phase_timeout);
+  if (!wait.is_ok()) {
+    SDS_LOG(WARN) << address_ << ": enforce incomplete in cycle "
+                  << cycle_id;
+  }
+  std::vector<proto::EnforceAck> acks;
+  for (auto& reply : gather->take_replies()) {
+    auto ack = proto::from_frame<proto::EnforceAck>(reply.frame);
+    if (ack.is_ok()) acks.push_back(std::move(ack).value());
+  }
+  dispatcher_.finish(gather);
+
+  proto::EnforceAck merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    merged = core_.merge_acks(cycle_id, acks);
+  }
+  if (upstream.valid()) {
+    (void)endpoint_->send(upstream, proto::to_frame(merged));
+  }
+}
+
+void AggregatorServer::on_conn_closed(ConnId conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (conn == upstream_) {
+    SDS_LOG(WARN) << address_ << ": upstream connection lost";
+    upstream_ = ConnId::invalid();
+    return;
+  }
+  if (const auto it = stages_by_conn_.find(conn); it != stages_by_conn_.end()) {
+    for (const StageId stage : it->second) {
+      // Skip stages that already re-registered over a newer connection.
+      const core::StageRecord* record = core_.registry().find(stage);
+      if (record != nullptr && record->conn == conn) {
+        (void)core_.registry().remove(stage);
+      }
+    }
+    stages_by_conn_.erase(it);
+  }
+}
+
+std::size_t AggregatorServer::registered_stages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core_.registry().size();
+}
+
+std::uint64_t AggregatorServer::cycles_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cycles_served_;
+}
+
+void AggregatorServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  work_.close();
+  if (worker_.joinable()) worker_.join();
+  endpoint_->shutdown();
+}
+
+}  // namespace sds::runtime

@@ -1,0 +1,102 @@
+// AggregatorServer — live middle-tier controller of the hierarchical
+// design. Binds an endpoint for its stages, dials the global controller
+// upstream, introduces itself with a Heartbeat carrying its ControllerId,
+// and then serves the global controller's control cycles:
+//
+//   CollectRequest (from global)  → scatter to stages → gather
+//     StageMetrics → pre-aggregate (Cheferd-style) → AggregatedMetrics up
+//   EnforceBatch (from global)    → route one single-rule batch per stage
+//     → gather EnforceAcks → merged EnforceAck up
+//
+// Stage registrations are accepted locally (immediate ack to the stage)
+// and forwarded upstream so the global controller learns the roster.
+// Cycle work runs on a dedicated worker thread: the endpoint's delivery
+// thread must stay free to route gather replies.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/queue.h"
+#include "common/status.h"
+#include "core/aggregator.h"
+#include "rpc/gather.h"
+#include "transport/transport.h"
+
+namespace sds::runtime {
+
+struct AggregatorServerOptions {
+  ControllerId id;
+  std::string upstream_address;
+  Nanos phase_timeout = seconds(5);
+};
+
+class AggregatorServer {
+ public:
+  AggregatorServer(transport::Network& network, std::string address,
+                   AggregatorServerOptions options,
+                   const Clock& clock = SystemClock::instance());
+  ~AggregatorServer();
+
+  AggregatorServer(const AggregatorServer&) = delete;
+  AggregatorServer& operator=(const AggregatorServer&) = delete;
+
+  /// Bind, dial upstream, introduce this aggregator to the global
+  /// controller.
+  Status start(const transport::EndpointOptions& endpoint_options = {});
+
+  [[nodiscard]] std::size_t registered_stages() const;
+  /// Bound address (resolved — actual port when bound to port 0).
+  [[nodiscard]] const std::string& address() const {
+    return endpoint_ ? endpoint_->address() : address_;
+  }
+  [[nodiscard]] ControllerId id() const { return options_.id; }
+  [[nodiscard]] transport::Endpoint* endpoint() { return endpoint_.get(); }
+
+  /// Control cycles relayed downward so far (introspection).
+  [[nodiscard]] std::uint64_t cycles_served() const;
+
+  void shutdown();
+
+ private:
+  void on_frame(ConnId conn, wire::Frame frame);
+  void on_conn_closed(ConnId conn);
+  void serve_collect(proto::CollectRequest request);
+  void serve_enforce(proto::EnforceBatch batch);
+  /// Local-decision mode (paper §VI): run PSFA over the subtree within
+  /// the leased budgets and enforce the result.
+  void serve_lease(proto::BudgetLease lease);
+  /// Push one single-rule batch per owned stage; gather acks; send the
+  /// merged ack upstream.
+  void enforce_rules(std::uint64_t cycle_id,
+                     const std::vector<proto::Rule>& rules);
+
+  transport::Network* network_;
+  const std::string address_;
+  AggregatorServerOptions options_;
+  const Clock* clock_;
+
+  std::unique_ptr<transport::Endpoint> endpoint_;
+  rpc::Dispatcher dispatcher_;
+
+  mutable std::mutex mu_;
+  core::AggregatorCore core_;
+  std::unordered_map<ConnId, std::vector<StageId>> stages_by_conn_;
+  ConnId upstream_ = ConnId::invalid();
+  std::uint64_t cycles_served_ = 0;
+  /// Most recent collect results, kept for local-decision leases.
+  std::vector<proto::StageMetrics> last_collected_;
+  std::uint64_t last_collect_cycle_ = 0;
+  bool started_ = false;
+
+  Queue<std::function<void()>> work_;
+  std::thread worker_;
+};
+
+}  // namespace sds::runtime

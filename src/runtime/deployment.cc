@@ -1,0 +1,118 @@
+#include "runtime/deployment.h"
+
+#include <thread>
+
+#include "workload/generators.h"
+
+namespace sds::runtime {
+
+Result<std::unique_ptr<Deployment>> Deployment::create(
+    transport::Network& network, const DeploymentOptions& options) {
+  auto deployment = std::unique_ptr<Deployment>(new Deployment());
+
+  GlobalServerOptions global_options;
+  global_options.core.budgets = options.budgets;
+  global_options.phase_timeout = options.phase_timeout;
+  global_options.local_decisions = options.local_decisions;
+  if (options.local_decisions && options.num_aggregators == 0) {
+    return Status::invalid_argument(
+        "local_decisions requires a hierarchical topology");
+  }
+  deployment->global_ = std::make_unique<GlobalControllerServer>(
+      network, "global", global_options);
+  SDS_RETURN_IF_ERROR(deployment->global_->start(
+      transport::EndpointOptions{options.max_connections, 0}));
+
+  for (std::size_t a = 0; a < options.num_aggregators; ++a) {
+    AggregatorServerOptions agg_options;
+    agg_options.id = ControllerId{static_cast<std::uint32_t>(a)};
+    agg_options.upstream_address = "global";
+    agg_options.phase_timeout = options.phase_timeout;
+    auto agg = std::make_unique<AggregatorServer>(
+        network, "agg" + std::to_string(a), agg_options);
+    SDS_RETURN_IF_ERROR(
+        agg->start(transport::EndpointOptions{options.max_connections, 0}));
+    deployment->aggregators_.push_back(std::move(agg));
+  }
+
+  const std::size_t num_hosts =
+      (options.num_stages + options.stages_per_host - 1) /
+      std::max<std::size_t>(1, options.stages_per_host);
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    StageHostOptions host_options;
+    if (options.num_aggregators == 0) {
+      host_options.controller_addresses = {"global"};
+    } else {
+      // Stages pick their aggregator round-robin by host; failover walks
+      // the rest of the list.
+      for (std::size_t a = 0; a < options.num_aggregators; ++a) {
+        const std::size_t pick = (h + a) % options.num_aggregators;
+        host_options.controller_addresses.push_back("agg" +
+                                                    std::to_string(pick));
+      }
+    }
+    auto host = std::make_unique<StageHost>(
+        network, "host" + std::to_string(h), host_options);
+    SDS_RETURN_IF_ERROR(host->start());
+    deployment->stage_hosts_.push_back(std::move(host));
+  }
+
+  for (std::size_t i = 0; i < options.num_stages; ++i) {
+    proto::StageInfo info;
+    info.stage_id = StageId{static_cast<std::uint32_t>(i)};
+    info.node_id = NodeId{static_cast<std::uint32_t>(i)};
+    info.job_id = JobId{static_cast<std::uint32_t>(
+        i / std::max<std::size_t>(1, options.stages_per_job))};
+    info.hostname = "host" + std::to_string(i / options.stages_per_host);
+    stage::DemandFn data;
+    stage::DemandFn meta;
+    if (options.demand_factory) {
+      data = options.demand_factory(info.stage_id, stage::Dimension::kData);
+      meta = options.demand_factory(info.stage_id, stage::Dimension::kMeta);
+    } else {
+      data = workload::constant(options.data_demand);
+      meta = workload::constant(options.meta_demand);
+    }
+    SDS_RETURN_IF_ERROR(
+        deployment->stage_hosts_[i / options.stages_per_host]->add_stage(
+            info, std::move(data), std::move(meta)));
+  }
+
+  for (auto& host : deployment->stage_hosts_) {
+    SDS_RETURN_IF_ERROR(host->register_all());
+  }
+
+  // Wait for forwarded registrations to land at the global controller.
+  const Nanos deadline = SystemClock::instance().now() + seconds(10);
+  while (deployment->global_->registered_stages() < options.num_stages) {
+    if (SystemClock::instance().now() > deadline) {
+      return Status::deadline_exceeded(
+          "global controller saw only " +
+          std::to_string(deployment->global_->registered_stages()) + "/" +
+          std::to_string(options.num_stages) + " registrations");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return deployment;
+}
+
+Deployment::~Deployment() { shutdown(); }
+
+Result<double> Deployment::stage_limit(StageId stage,
+                                       stage::Dimension dim) const {
+  for (const auto& host : stage_hosts_) {
+    auto limit = host->stage_limit(stage, dim);
+    if (limit.is_ok()) return limit;
+  }
+  return Status::not_found("stage " + std::to_string(stage.value()));
+}
+
+void Deployment::shutdown() {
+  // Stages first (they would otherwise try to fail over), then the
+  // middle tier, then the global controller.
+  for (auto& host : stage_hosts_) host->shutdown();
+  for (auto& agg : aggregators_) agg->shutdown();
+  if (global_) global_->shutdown();
+}
+
+}  // namespace sds::runtime

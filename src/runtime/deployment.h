@@ -1,0 +1,72 @@
+// Deployment — convenience builder for a full live control plane on one
+// transport network (in-process by default): a global controller, an
+// optional layer of aggregators, and stage hosts with virtual stages.
+// Used by the examples and the integration tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/aggregator_server.h"
+#include "runtime/global_server.h"
+#include "runtime/stage_host.h"
+#include "transport/inproc.h"
+
+namespace sds::runtime {
+
+struct DeploymentOptions {
+  std::size_t num_stages = 8;
+  std::size_t num_aggregators = 0;  // 0 = flat
+  std::size_t stages_per_job = 4;
+  std::size_t stages_per_host = 8;  // paper: 50 virtual stages per node
+  core::Budgets budgets{};
+  Nanos phase_timeout = seconds(5);
+  /// Local-decision mode (paper §VI): lease budgets to aggregators that
+  /// run PSFA over their own subtree. Requires num_aggregators > 0.
+  bool local_decisions = false;
+  /// Per-endpoint connection cap (0 = unlimited), mirroring the paper's
+  /// per-node limit.
+  std::size_t max_connections = 0;
+  /// Demand for every stage when no factory is given.
+  double data_demand = 1000;
+  double meta_demand = 100;
+  std::function<stage::DemandFn(StageId, stage::Dimension)> demand_factory;
+};
+
+class Deployment {
+ public:
+  /// Build and start the whole topology on `network`; registers all
+  /// stages and waits until the global controller knows the full roster.
+  static Result<std::unique_ptr<Deployment>> create(
+      transport::Network& network, const DeploymentOptions& options);
+
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  [[nodiscard]] GlobalControllerServer& global() { return *global_; }
+  [[nodiscard]] std::vector<std::unique_ptr<AggregatorServer>>& aggregators() {
+    return aggregators_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<StageHost>>& stage_hosts() {
+    return stage_hosts_;
+  }
+
+  /// Limit currently enforced at a stage (searches all hosts).
+  [[nodiscard]] Result<double> stage_limit(StageId stage,
+                                           stage::Dimension dim) const;
+
+  void shutdown();
+
+ private:
+  Deployment() = default;
+
+  std::unique_ptr<GlobalControllerServer> global_;
+  std::vector<std::unique_ptr<AggregatorServer>> aggregators_;
+  std::vector<std::unique_ptr<StageHost>> stage_hosts_;
+};
+
+}  // namespace sds::runtime

@@ -1,0 +1,442 @@
+#include "runtime/global_server.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/log.h"
+#include "core/aggregator.h"
+
+namespace sds::runtime {
+
+GlobalControllerServer::GlobalControllerServer(
+    transport::Network& network, std::string address,
+    GlobalServerOptions options,
+    std::unique_ptr<policy::ControlAlgorithm> algorithm, const Clock& clock)
+    : network_(&network),
+      address_(std::move(address)),
+      options_(options),
+      clock_(&clock),
+      core_(options.core, std::move(algorithm)) {}
+
+GlobalControllerServer::~GlobalControllerServer() { shutdown(); }
+
+Status GlobalControllerServer::start(
+    const transport::EndpointOptions& endpoint_options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::failed_precondition("already started");
+  auto endpoint = network_->bind(address_, endpoint_options);
+  if (!endpoint.is_ok()) return endpoint.status();
+  endpoint_ = std::move(endpoint).value();
+  dispatcher_.set_fallback(
+      [this](ConnId conn, wire::Frame frame) { on_frame(conn, std::move(frame)); });
+  endpoint_->set_frame_handler([this](ConnId conn, wire::Frame frame) {
+    dispatcher_.on_frame(conn, std::move(frame));
+  });
+  endpoint_->set_conn_handler([this](ConnId conn, transport::ConnEvent event) {
+    dispatcher_.on_conn_event(conn, event);
+    if (event == transport::ConnEvent::kClosed) on_conn_closed(conn);
+  });
+  started_ = true;
+  return Status::ok();
+}
+
+void GlobalControllerServer::on_frame(ConnId conn, wire::Frame frame) {
+  using proto::MessageType;
+  switch (static_cast<MessageType>(frame.type)) {
+    case MessageType::kRegisterRequest: {
+      const auto request = proto::from_frame<proto::RegisterRequest>(frame);
+      if (!request.is_ok()) return;
+      proto::RegisterAck ack;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ControllerId via = ControllerId::invalid();
+        if (const auto it = aggregators_by_conn_.find(conn);
+            it != aggregators_by_conn_.end()) {
+          via = it->second;
+        }
+        // Registration is an upsert: after a failover, a stage's new
+        // registration (via its new route) may arrive before the old
+        // route's teardown — the latest registration wins.
+        Status added = core_.registry().add({request->info, conn, via});
+        if (added.code() == StatusCode::kAlreadyExists) {
+          (void)core_.registry().remove(request->info.stage_id);
+          added = core_.registry().add({request->info, conn, via});
+          SDS_LOG(INFO) << "global: stage " << request->info.stage_id
+                        << " re-registered";
+        }
+        ack.accepted = added.is_ok();
+        ack.epoch = core_.epoch();
+        if (added.is_ok()) {
+          stages_by_conn_[conn].push_back(request->info.stage_id);
+        } else {
+          SDS_LOG(WARN) << "registration rejected: " << added.to_string();
+        }
+      }
+      (void)endpoint_->send(conn, proto::to_frame(ack));
+      break;
+    }
+    case MessageType::kHeartbeat: {
+      const auto hb = proto::from_frame<proto::Heartbeat>(frame);
+      if (!hb.is_ok()) return;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        aggregators_by_conn_[conn] = hb->from;
+      }
+      proto::HeartbeatAck ack;
+      ack.seq = hb->seq;
+      (void)endpoint_->send(conn, proto::to_frame(ack));
+      break;
+    }
+    default:
+      SDS_LOG(DEBUG) << "global: unrouted frame type " << frame.type;
+  }
+}
+
+void GlobalControllerServer::on_conn_closed(ConnId conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = aggregators_by_conn_.find(conn);
+      it != aggregators_by_conn_.end()) {
+    const ControllerId id = it->second;
+    aggregators_by_conn_.erase(it);
+    const auto evicted = core_.registry().evict_via(id);
+    SDS_LOG(WARN) << "global: aggregator " << id << " lost, evicted "
+                  << evicted.size() << " stages (they will re-register)";
+  }
+  if (const auto it = stages_by_conn_.find(conn); it != stages_by_conn_.end()) {
+    for (const StageId stage : it->second) {
+      // Skip stages that already re-registered over a different route.
+      const core::StageRecord* record = core_.registry().find(stage);
+      if (record != nullptr && record->conn == conn) {
+        (void)core_.registry().remove(stage);
+      }
+    }
+    stages_by_conn_.erase(it);
+  }
+}
+
+GlobalControllerServer::CycleTargets
+GlobalControllerServer::snapshot_targets() const {
+  CycleTargets targets;
+  std::lock_guard<std::mutex> lock(mu_);
+  targets.aggregators.reserve(aggregators_by_conn_.size());
+  for (const auto& [conn, id] : aggregators_by_conn_) {
+    targets.aggregators.emplace_back(conn, id);
+  }
+  // Deterministic order for tests.
+  std::sort(targets.aggregators.begin(), targets.aggregators.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  core_.registry().for_each([&](const core::StageRecord& record) {
+    if (!record.via.valid()) targets.stage_conns.push_back(record.conn);
+  });
+  return targets;
+}
+
+Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
+  const CycleTargets targets = snapshot_targets();
+  if (targets.stage_conns.empty() && targets.aggregators.empty()) {
+    return Status::failed_precondition("no stages or aggregators registered");
+  }
+
+  proto::CollectRequest request;
+  std::uint64_t cycle = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    request = core_.begin_cycle();
+    cycle = core_.current_cycle();
+  }
+
+  core::PhaseBreakdown breakdown;
+  Stopwatch phase(*clock_);
+
+  // ---- Collect -------------------------------------------------------
+  auto stage_gather = dispatcher_.start_gather(
+      proto::MessageType::kStageMetrics, cycle, targets.stage_conns);
+  std::vector<ConnId> agg_conns;
+  agg_conns.reserve(targets.aggregators.size());
+  for (const auto& [conn, _] : targets.aggregators) agg_conns.push_back(conn);
+  auto agg_gather = dispatcher_.start_gather(
+      proto::MessageType::kAggregatedMetrics, cycle, agg_conns);
+
+  const wire::Frame collect_frame = proto::to_frame(request);
+  for (const ConnId conn : targets.stage_conns) {
+    (void)endpoint_->send(conn, collect_frame);
+  }
+  for (const ConnId conn : agg_conns) {
+    (void)endpoint_->send(conn, collect_frame);
+  }
+  const Status stage_wait = stage_gather->wait_for(options_.phase_timeout);
+  const Status agg_wait = agg_gather->wait_for(options_.phase_timeout);
+  if (!stage_wait.is_ok() || !agg_wait.is_ok()) {
+    SDS_LOG(WARN) << "global: collect incomplete in cycle " << cycle;
+  }
+
+  std::vector<proto::StageMetrics> stage_metrics;
+  for (auto& reply : stage_gather->take_replies()) {
+    auto metrics = proto::from_frame<proto::StageMetrics>(reply.frame);
+    if (metrics.is_ok()) stage_metrics.push_back(std::move(metrics).value());
+  }
+  std::vector<proto::AggregatedMetrics> aggregated;
+  for (auto& reply : agg_gather->take_replies()) {
+    auto metrics = proto::from_frame<proto::AggregatedMetrics>(reply.frame);
+    if (metrics.is_ok()) aggregated.push_back(std::move(metrics).value());
+  }
+  dispatcher_.finish(stage_gather);
+  dispatcher_.finish(agg_gather);
+  breakdown.collect = phase.elapsed();
+  phase.restart();
+
+  if (stage_metrics.empty() && aggregated.empty()) {
+    return Status::unavailable("no metrics collected in cycle " +
+                               std::to_string(cycle));
+  }
+
+  if (options_.local_decisions) {
+    if (!stage_metrics.empty()) {
+      return Status::failed_precondition(
+          "local-decision mode requires all stages behind aggregators");
+    }
+    return run_lease_phase(cycle, aggregated, targets, breakdown, phase);
+  }
+
+  // ---- Compute -------------------------------------------------------
+  core::ComputeResult result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aggregated.empty()) {
+      result = core_.compute(std::span<const proto::StageMetrics>(
+          stage_metrics.data(), stage_metrics.size()));
+    } else {
+      // Mixed/hierarchical: fold any direct stage metrics into a synthetic
+      // summary so one compute path covers the whole roster.
+      if (!stage_metrics.empty()) {
+        core::AggregatorCore folder(
+            core::AggregatorOptions{ControllerId::invalid(), true});
+        aggregated.push_back(folder.aggregate(cycle, stage_metrics));
+      }
+      result = core_.compute(std::span<const proto::AggregatedMetrics>(
+          aggregated.data(), aggregated.size()));
+    }
+  }
+  breakdown.compute = phase.elapsed();
+  phase.restart();
+
+  // ---- Enforce -------------------------------------------------------
+  std::unordered_map<ControllerId, proto::EnforceBatch> batches;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batches = core_.group_rules(result);
+  }
+
+  // Build every delivery first so the ack gather can be registered
+  // BEFORE the first send — otherwise a fast ack could arrive before the
+  // gather exists and be dropped.
+  std::vector<std::pair<ConnId, proto::EnforceBatch>> deliveries;
+  if (const auto it = batches.find(ControllerId::invalid());
+      it != batches.end()) {
+    // Direct stages: one batch per stage connection.
+    std::unordered_map<ConnId, proto::EnforceBatch> per_conn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& rule : it->second.rules) {
+        const core::StageRecord* record = core_.registry().find(rule.stage_id);
+        if (record == nullptr) continue;
+        auto& batch = per_conn[record->conn];
+        batch.cycle_id = cycle;
+        batch.rules.push_back(rule);
+      }
+    }
+    for (auto& [conn, batch] : per_conn) {
+      deliveries.emplace_back(conn, std::move(batch));
+    }
+  }
+  // Aggregators: the whole subtree batch on the aggregator connection.
+  for (const auto& [conn, id] : targets.aggregators) {
+    const auto it = batches.find(id);
+    proto::EnforceBatch batch;
+    batch.cycle_id = cycle;
+    if (it != batches.end()) batch = it->second;
+    deliveries.emplace_back(conn, std::move(batch));
+  }
+
+  if (!deliveries.empty()) {
+    std::vector<ConnId> ack_conns;
+    ack_conns.reserve(deliveries.size());
+    for (const auto& [conn, _] : deliveries) ack_conns.push_back(conn);
+    auto ack_gather = dispatcher_.start_gather(proto::MessageType::kEnforceAck,
+                                               cycle, ack_conns);
+    for (const auto& [conn, batch] : deliveries) {
+      (void)endpoint_->send(conn, proto::to_frame(batch));
+    }
+    const Status ack_wait = ack_gather->wait_for(options_.phase_timeout);
+    if (!ack_wait.is_ok()) {
+      SDS_LOG(WARN) << "global: enforce incomplete in cycle " << cycle;
+    }
+    dispatcher_.finish(ack_gather);
+  }
+  breakdown.enforce = phase.elapsed();
+
+  stats_.record(breakdown);
+  return breakdown;
+}
+
+Result<core::PhaseBreakdown> GlobalControllerServer::run_lease_phase(
+    std::uint64_t cycle,
+    const std::vector<proto::AggregatedMetrics>& aggregated,
+    const CycleTargets& targets, core::PhaseBreakdown breakdown,
+    Stopwatch& phase) {
+  // ---- Compute: demand-proportional budget leases --------------------
+  double total_data = 0;
+  double total_meta = 0;
+  for (const auto& report : aggregated) {
+    for (const auto& job : report.jobs) {
+      total_data += job.data_iops;
+      total_meta += job.meta_iops;
+    }
+  }
+  core::Budgets budgets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    budgets = core_.policies().budgets();
+  }
+  const std::uint64_t valid_until = static_cast<std::uint64_t>(
+      (clock_->now() + options_.lease_validity).count());
+
+  std::unordered_map<ControllerId, proto::BudgetLease> leases;
+  const double fallback = aggregated.empty() ? 1.0 : 1.0 / aggregated.size();
+  for (const auto& report : aggregated) {
+    double agg_data = 0;
+    double agg_meta = 0;
+    for (const auto& job : report.jobs) {
+      agg_data += job.data_iops;
+      agg_meta += job.meta_iops;
+    }
+    proto::BudgetLease lease;
+    lease.cycle_id = cycle;
+    lease.data_budget = budgets.data_iops *
+                        (total_data > 0 ? agg_data / total_data : fallback);
+    lease.meta_budget = budgets.meta_iops *
+                        (total_meta > 0 ? agg_meta / total_meta : fallback);
+    lease.valid_until_ns = valid_until;
+    leases[report.from] = lease;
+  }
+  breakdown.compute = phase.elapsed();
+  phase.restart();
+
+  // ---- Enforce: grant leases, await merged acks ------------------------
+  std::vector<ConnId> ack_conns;
+  std::vector<std::pair<ConnId, proto::BudgetLease>> deliveries;
+  for (const auto& [conn, id] : targets.aggregators) {
+    const auto it = leases.find(id);
+    if (it == leases.end()) continue;  // no report this cycle: skip
+    ack_conns.push_back(conn);
+    deliveries.emplace_back(conn, it->second);
+  }
+  if (!deliveries.empty()) {
+    auto gather = dispatcher_.start_gather(proto::MessageType::kEnforceAck,
+                                           cycle, ack_conns);
+    for (const auto& [conn, lease] : deliveries) {
+      (void)endpoint_->send(conn, proto::to_frame(lease));
+    }
+    const Status wait = gather->wait_for(options_.phase_timeout);
+    if (!wait.is_ok()) {
+      SDS_LOG(WARN) << "global: lease enforcement incomplete in cycle "
+                    << cycle;
+    }
+    dispatcher_.finish(gather);
+  }
+  breakdown.enforce = phase.elapsed();
+  stats_.record(breakdown);
+  return breakdown;
+}
+
+Result<std::vector<GlobalControllerServer::DeadPeer>>
+GlobalControllerServer::probe_liveness(Nanos timeout) {
+  const CycleTargets targets = snapshot_targets();
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = ++heartbeat_seq_;
+  }
+
+  std::vector<ConnId> probe_conns = targets.stage_conns;
+  for (const auto& [conn, _] : targets.aggregators) probe_conns.push_back(conn);
+  if (probe_conns.empty()) return std::vector<DeadPeer>{};
+
+  // HeartbeatAck's body starts with the varint seq, so the gather can
+  // correlate on it like a cycle id.
+  auto gather = dispatcher_.start_gather(proto::MessageType::kHeartbeatAck,
+                                         seq, probe_conns);
+  proto::Heartbeat heartbeat;
+  heartbeat.from = ControllerId::invalid();  // "the global controller"
+  heartbeat.seq = seq;
+  const wire::Frame frame = proto::to_frame(heartbeat);
+  for (const ConnId conn : probe_conns) (void)endpoint_->send(conn, frame);
+
+  (void)gather->wait_for(timeout);
+  std::unordered_set<ConnId> answered;
+  for (const auto& reply : gather->take_replies()) answered.insert(reply.conn);
+  dispatcher_.finish(gather);
+
+  std::vector<DeadPeer> dead;
+  for (const auto& [conn, id] : targets.aggregators) {
+    if (!answered.contains(conn)) dead.push_back({conn, id});
+  }
+  for (const ConnId conn : targets.stage_conns) {
+    if (!answered.contains(conn)) dead.push_back({conn, ControllerId::invalid()});
+  }
+  return dead;
+}
+
+void GlobalControllerServer::evict(const DeadPeer& peer) {
+  on_conn_closed(peer.conn);  // registry cleanup, as if the conn dropped
+  endpoint_->close(peer.conn);
+}
+
+Status GlobalControllerServer::run_cycles(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    auto cycle = run_cycle();
+    if (!cycle.is_ok()) return cycle.status();
+  }
+  return Status::ok();
+}
+
+void GlobalControllerServer::set_job_weight(JobId job, double weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  core_.policies().set_weight(job, weight);
+}
+
+void GlobalControllerServer::set_budgets(core::Budgets budgets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  core_.policies().set_budgets(budgets);
+}
+
+std::size_t GlobalControllerServer::registered_stages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core_.registry().size();
+}
+
+std::size_t GlobalControllerServer::known_aggregators() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregators_by_conn_.size();
+}
+
+std::uint32_t GlobalControllerServer::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core_.epoch();
+}
+
+void GlobalControllerServer::advance_epoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  core_.advance_epoch();
+}
+
+void GlobalControllerServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  endpoint_->shutdown();
+}
+
+}  // namespace sds::runtime

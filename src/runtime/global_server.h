@@ -1,0 +1,137 @@
+// GlobalControllerServer — the live global controller: binds an endpoint,
+// accepts stage/aggregator registrations, and drives collect → compute →
+// enforce control cycles over real transports using the sans-I/O
+// GlobalControllerCore for every decision.
+//
+// Topologies:
+//  * Flat: stages register directly; the collect/enforce fan-out goes to
+//    one connection per stage (Fig. 2).
+//  * Hierarchical: aggregators introduce themselves (Heartbeat) and
+//    forward their stages' registrations; fan-out goes to one connection
+//    per aggregator (Fig. 3). Mixed topologies also work — directly
+//    attached stages are folded into the hierarchical compute path.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/cycle_stats.h"
+#include "core/global.h"
+#include "rpc/gather.h"
+#include "transport/transport.h"
+
+namespace sds::runtime {
+
+struct GlobalServerOptions {
+  core::GlobalOptions core;
+  /// Deadline for each gather (collect replies / enforce acks).
+  Nanos phase_timeout = seconds(5);
+  /// Local-decision mode (paper §VI): instead of computing per-stage
+  /// rules centrally, grant each aggregator a demand-proportional budget
+  /// lease and let it run PSFA over its own subtree. Requires a purely
+  /// hierarchical topology (no directly-attached stages).
+  bool local_decisions = false;
+  /// How long each granted lease stays valid.
+  Nanos lease_validity = seconds(10);
+};
+
+class GlobalControllerServer {
+ public:
+  GlobalControllerServer(
+      transport::Network& network, std::string address,
+      GlobalServerOptions options,
+      std::unique_ptr<policy::ControlAlgorithm> algorithm = nullptr,
+      const Clock& clock = SystemClock::instance());
+  ~GlobalControllerServer();
+
+  GlobalControllerServer(const GlobalControllerServer&) = delete;
+  GlobalControllerServer& operator=(const GlobalControllerServer&) = delete;
+
+  Status start(const transport::EndpointOptions& endpoint_options = {});
+
+  /// Run one full control cycle; returns its phase breakdown. Partial
+  /// collect/enforce rounds (timeouts, dead peers) still complete the
+  /// cycle over the replies that did arrive.
+  Result<core::PhaseBreakdown> run_cycle();
+
+  /// Run `n` back-to-back cycles (the paper's stress workload).
+  Status run_cycles(std::size_t n);
+
+  [[nodiscard]] const core::CycleStats& stats() const { return stats_; }
+
+  /// Set a job's QoS weight (thread-safe).
+  void set_job_weight(JobId job, double weight);
+  void set_budgets(core::Budgets budgets);
+
+  /// Liveness probe (paper §VI dependability): heartbeat every known
+  /// aggregator and directly-attached stage connection, wait up to
+  /// `timeout` for acks, and return the peers that did not answer —
+  /// candidates for eviction/failover. A hung peer (process alive,
+  /// thread stuck) is detected here even though its connection stays
+  /// open.
+  struct DeadPeer {
+    ConnId conn;
+    /// Valid when the silent peer was an aggregator.
+    ControllerId aggregator = ControllerId::invalid();
+  };
+  [[nodiscard]] Result<std::vector<DeadPeer>> probe_liveness(Nanos timeout);
+
+  /// Evict a silent peer: drop its registry entries and close the
+  /// connection (its stages will re-register via their failover list).
+  void evict(const DeadPeer& peer);
+
+  [[nodiscard]] std::size_t registered_stages() const;
+  [[nodiscard]] std::size_t known_aggregators() const;
+  [[nodiscard]] std::uint32_t epoch() const;
+  /// Failover takeover: bump the rule epoch (newer rules supersede).
+  void advance_epoch();
+
+  [[nodiscard]] transport::Endpoint* endpoint() { return endpoint_.get(); }
+  /// Bound address (the resolved one — e.g. the actual port when the
+  /// endpoint was bound to port 0).
+  [[nodiscard]] const std::string& address() const {
+    return endpoint_ ? endpoint_->address() : address_;
+  }
+
+  void shutdown();
+
+ private:
+  struct CycleTargets {
+    std::vector<ConnId> stage_conns;              // direct stages
+    std::vector<std::pair<ConnId, ControllerId>> aggregators;
+  };
+
+  void on_frame(ConnId conn, wire::Frame frame);
+  void on_conn_closed(ConnId conn);
+  [[nodiscard]] CycleTargets snapshot_targets() const;
+  /// Local-decision mode: compute + grant budget leases and await the
+  /// aggregators' merged enforcement acks.
+  Result<core::PhaseBreakdown> run_lease_phase(
+      std::uint64_t cycle,
+      const std::vector<proto::AggregatedMetrics>& aggregated,
+      const CycleTargets& targets, core::PhaseBreakdown breakdown,
+      Stopwatch& phase);
+
+  transport::Network* network_;
+  const std::string address_;
+  GlobalServerOptions options_;
+  const Clock* clock_;
+
+  std::unique_ptr<transport::Endpoint> endpoint_;
+  rpc::Dispatcher dispatcher_;
+
+  mutable std::mutex mu_;
+  core::GlobalControllerCore core_;
+  std::unordered_map<ConnId, std::vector<StageId>> stages_by_conn_;
+  std::unordered_map<ConnId, ControllerId> aggregators_by_conn_;
+  core::CycleStats stats_;
+  std::uint64_t heartbeat_seq_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace sds::runtime

@@ -1,0 +1,213 @@
+#include "runtime/stage_host.h"
+
+#include "common/log.h"
+
+namespace sds::runtime {
+
+StageHost::StageHost(transport::Network& network, std::string address,
+                     StageHostOptions options, const Clock& clock)
+    : network_(&network),
+      address_(std::move(address)),
+      options_(std::move(options)),
+      clock_(&clock) {}
+
+StageHost::~StageHost() { shutdown(); }
+
+Status StageHost::start(const transport::EndpointOptions& endpoint_options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::failed_precondition("already started");
+    auto endpoint = network_->bind(address_, endpoint_options);
+    if (!endpoint.is_ok()) return endpoint.status();
+    endpoint_ = std::move(endpoint).value();
+    started_ = true;
+  }
+  dispatcher_.set_fallback(
+      [this](ConnId conn, wire::Frame frame) { on_frame(conn, std::move(frame)); });
+  endpoint_->set_frame_handler([this](ConnId conn, wire::Frame frame) {
+    dispatcher_.on_frame(conn, std::move(frame));
+  });
+  endpoint_->set_conn_handler([this](ConnId conn, transport::ConnEvent event) {
+    dispatcher_.on_conn_event(conn, event);
+    on_conn_event(conn, event);
+  });
+  // Failover re-registration must not run on the endpoint's delivery
+  // thread (the registration RPC waits for a reply that the delivery
+  // thread routes), so a dedicated worker drains the failover queue.
+  failover_thread_ = std::thread([this] {
+    while (auto task = failover_queue_.pop()) {
+      const Status status = register_stage(task->first, task->second);
+      if (!status.is_ok()) {
+        SDS_LOG(WARN) << address_
+                      << ": re-registration failed: " << status.to_string();
+      }
+    }
+  });
+  return Status::ok();
+}
+
+Status StageHost::add_stage(proto::StageInfo info, stage::DemandFn data_demand,
+                            stage::DemandFn meta_demand) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slot : slots_) {
+    if (slot->stage.info().stage_id == info.stage_id) {
+      return Status::already_exists("stage " +
+                                    std::to_string(info.stage_id.value()));
+    }
+  }
+  auto slot = std::make_unique<Slot>(Slot{
+      stage::VirtualStage(std::move(info), std::move(data_demand),
+                          std::move(meta_demand)),
+      ConnId::invalid(), 0});
+  slots_.push_back(std::move(slot));
+  return Status::ok();
+}
+
+Status StageHost::register_all() {
+  std::size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return Status::failed_precondition("not started");
+    count = slots_.size();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    bool needs_registration = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      needs_registration = !slots_[i]->conn.valid();
+    }
+    if (needs_registration) SDS_RETURN_IF_ERROR(register_stage(i, 0));
+  }
+  return Status::ok();
+}
+
+Status StageHost::register_stage(std::size_t index, std::size_t address_index) {
+  std::string target;
+  proto::StageInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.controller_addresses.empty()) {
+      return Status::failed_precondition("no controller addresses configured");
+    }
+    address_index %= options_.controller_addresses.size();
+    target = options_.controller_addresses[address_index];
+    info = slots_[index]->stage.info();
+  }
+
+  auto conn = endpoint_->connect(target);
+  if (!conn.is_ok()) return conn.status();
+  const ConnId c = conn.value();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[index]->conn = c;
+    slots_[index]->address_index = address_index;
+    by_conn_[c] = index;
+  }
+
+  auto ack = rpc::call<proto::RegisterAck>(
+      *endpoint_, dispatcher_, c, proto::RegisterRequest{std::move(info)},
+      options_.register_timeout);
+  if (!ack.is_ok() || !ack->accepted) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      by_conn_.erase(c);
+      if (slots_[index]->conn == c) slots_[index]->conn = ConnId::invalid();
+    }
+    endpoint_->close(c);
+    return ack.is_ok() ? Status::failed_precondition("registration rejected")
+                       : ack.status();
+  }
+  return Status::ok();
+}
+
+void StageHost::on_frame(ConnId conn, wire::Frame frame) {
+  using proto::MessageType;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_conn_.find(conn);
+  if (it == by_conn_.end()) return;
+  Slot& slot = *slots_[it->second];
+
+  switch (static_cast<MessageType>(frame.type)) {
+    case MessageType::kCollectRequest: {
+      const auto request = proto::from_frame<proto::CollectRequest>(frame);
+      if (!request.is_ok()) return;
+      const auto metrics = slot.stage.collect(request->cycle_id, clock_->now());
+      ++collects_answered_;
+      (void)endpoint_->send(conn, proto::to_frame(metrics));
+      break;
+    }
+    case MessageType::kEnforceBatch: {
+      const auto batch = proto::from_frame<proto::EnforceBatch>(frame);
+      if (!batch.is_ok()) return;
+      proto::EnforceAck ack;
+      ack.cycle_id = batch->cycle_id;
+      for (const auto& rule : batch->rules) {
+        if (rule.stage_id == slot.stage.info().stage_id &&
+            slot.stage.apply(rule)) {
+          ++ack.applied;
+        }
+      }
+      (void)endpoint_->send(conn, proto::to_frame(ack));
+      break;
+    }
+    case MessageType::kHeartbeat: {
+      const auto hb = proto::from_frame<proto::Heartbeat>(frame);
+      if (!hb.is_ok()) return;
+      proto::HeartbeatAck ack;
+      ack.seq = hb->seq;
+      (void)endpoint_->send(conn, proto::to_frame(ack));
+      break;
+    }
+    default:
+      SDS_LOG(DEBUG) << address_ << ": unexpected frame type " << frame.type;
+  }
+}
+
+void StageHost::on_conn_event(ConnId conn, transport::ConnEvent event) {
+  if (event != transport::ConnEvent::kClosed) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutting_down_ || !options_.auto_failover) return;
+  const auto it = by_conn_.find(conn);
+  if (it == by_conn_.end()) return;
+  const std::size_t index = it->second;
+  by_conn_.erase(it);
+  slots_[index]->conn = ConnId::invalid();
+  SDS_LOG(INFO) << address_ << ": controller connection lost for stage "
+                << slots_[index]->stage.info().stage_id
+                << ", scheduling re-registration";
+  failover_queue_.push({index, slots_[index]->address_index + 1});
+}
+
+Result<double> StageHost::stage_limit(StageId stage_id,
+                                      stage::Dimension dim) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& slot : slots_) {
+    if (slot->stage.info().stage_id == stage_id) {
+      return slot->stage.limit(dim);
+    }
+  }
+  return Status::not_found("stage " + std::to_string(stage_id.value()));
+}
+
+std::size_t StageHost::stage_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+std::uint64_t StageHost::collects_answered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return collects_answered_;
+}
+
+void StageHost::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || shutting_down_) return;
+    shutting_down_ = true;
+  }
+  failover_queue_.close();
+  if (failover_thread_.joinable()) failover_thread_.join();
+  endpoint_->shutdown();
+}
+
+}  // namespace sds::runtime

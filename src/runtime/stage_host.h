@@ -1,0 +1,99 @@
+// StageHost — live data-plane process hosting one or more virtual stages
+// (the paper runs 50 per compute node). Each stage keeps its OWN
+// connection to its controller, exactly like the paper's deployment, so
+// controller-side connection counts are realistic.
+//
+// Reactive: collect requests and enforce batches are answered inline on
+// the endpoint's delivery thread. Supports failover: when a stage's
+// controller connection drops, the host re-dials the next address in its
+// controller list and re-registers (paper §VI dependability).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/queue.h"
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "rpc/gather.h"
+#include "stage/virtual_stage.h"
+#include "transport/transport.h"
+
+namespace sds::runtime {
+
+struct StageHostOptions {
+  /// Addresses of controllers to register with, in failover order.
+  std::vector<std::string> controller_addresses;
+  Nanos register_timeout = seconds(5);
+  /// Redial + re-register when a controller connection closes.
+  bool auto_failover = true;
+};
+
+class StageHost {
+ public:
+  StageHost(transport::Network& network, std::string address,
+            StageHostOptions options, const Clock& clock = SystemClock::instance());
+  ~StageHost();
+
+  StageHost(const StageHost&) = delete;
+  StageHost& operator=(const StageHost&) = delete;
+
+  /// Bind the endpoint and install handlers.
+  Status start(const transport::EndpointOptions& endpoint_options = {});
+
+  /// Add a virtual stage (before or after start).
+  Status add_stage(proto::StageInfo info, stage::DemandFn data_demand,
+                   stage::DemandFn meta_demand);
+
+  /// Dial the primary controller and register every stage.
+  Status register_all();
+
+  /// The stage's currently enforced limit (test introspection).
+  [[nodiscard]] Result<double> stage_limit(StageId stage_id,
+                                           stage::Dimension dim) const;
+
+  [[nodiscard]] std::size_t stage_count() const;
+  [[nodiscard]] transport::Endpoint* endpoint() { return endpoint_.get(); }
+
+  /// Total collect requests answered (liveness introspection).
+  [[nodiscard]] std::uint64_t collects_answered() const;
+
+  void shutdown();
+
+ private:
+  void on_frame(ConnId conn, wire::Frame frame);
+  void on_conn_event(ConnId conn, transport::ConnEvent event);
+  Status register_stage(std::size_t index, std::size_t address_index);
+
+  transport::Network* network_;
+  const std::string address_;
+  StageHostOptions options_;
+  const Clock* clock_;
+
+  std::unique_ptr<transport::Endpoint> endpoint_;
+  rpc::Dispatcher dispatcher_;
+
+  mutable std::mutex mu_;
+  struct Slot {
+    stage::VirtualStage stage;
+    ConnId conn;                    // connection to the controller
+    std::size_t address_index = 0;  // which controller it registered with
+  };
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::unordered_map<ConnId, std::size_t> by_conn_;
+  std::uint64_t collects_answered_ = 0;
+  bool started_ = false;
+  bool shutting_down_ = false;
+
+  /// (slot index, next controller address index) re-registration tasks.
+  Queue<std::pair<std::size_t, std::size_t>> failover_queue_;
+  std::thread failover_thread_;
+};
+
+}  // namespace sds::runtime

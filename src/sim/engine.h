@@ -1,0 +1,87 @@
+// Discrete-event simulation engine: a time-ordered event queue with a
+// simulated clock. Deterministic — ties are broken by insertion order.
+//
+// The simulator exists because the paper's experiments need up to 10,000
+// compute nodes; we model the cluster's time behaviour while running the
+// *real* controller logic (core::GlobalControllerCore etc.) for every
+// decision, so simulated experiments exercise the same code as live ones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace sds::sim {
+
+class Engine {
+ public:
+  using EventFn = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Nanos now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `at` (clamped to now).
+  void schedule_at(Nanos at, EventFn fn) {
+    if (at < now_) at = now_;
+    queue_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` after a simulated delay.
+  void schedule_in(Nanos delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Execute the next event; returns false when the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // Move the event out before popping so its closure may schedule.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    ++executed_;
+    event.fn();
+    return true;
+  }
+
+  /// Run until the queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run events with timestamps <= `deadline`; the clock ends at
+  /// `deadline` even if the queue drained earlier.
+  void run_until(Nanos deadline) {
+    while (!queue_.empty() && queue_.top().at <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+ private:
+  struct Event {
+    Nanos at;
+    std::uint64_t seq;
+    EventFn fn;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Nanos now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace sds::sim

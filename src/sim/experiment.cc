@@ -1,0 +1,1135 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aggregator.h"
+#include "core/coordinated.h"
+#include "core/global.h"
+#include "sim/engine.h"
+#include "sim/host.h"
+
+namespace sds::sim {
+
+namespace {
+
+template <typename M>
+std::size_t frame_size(const M& msg) {
+  return msg.wire_size() + wire::kFrameHeaderSize;
+}
+
+Nanos scaled(Nanos per_item, std::size_t count) {
+  return Nanos{per_item.count() * static_cast<std::int64_t>(count)};
+}
+
+/// One simulated run. Event closures capture `this` and plain indices;
+/// all vectors are sized before the first event fires.
+class Run {
+ public:
+  explicit Run(const ExperimentConfig& config)
+      : cfg_(config),
+        prof_(config.profile),
+        global_host_(engine_, prof_, "global"),
+        global_(core::GlobalOptions{config.budgets,
+                                    policy::SplitStrategy::kProportional,
+                                    /*epoch=*/1},
+                std::make_unique<policy::Psfa>(config.psfa)) {}
+
+  Status validate() const {
+    const std::size_t cap = prof_.max_connections_per_node;
+    if (cfg_.num_stages == 0) {
+      return Status::invalid_argument("num_stages must be > 0");
+    }
+    if (cfg_.coordinated_peers > 0) {
+      if (cfg_.num_aggregators > 0) {
+        return Status::invalid_argument(
+            "coordinated_peers and num_aggregators are mutually exclusive");
+      }
+      const std::size_t k = cfg_.coordinated_peers;
+      const std::size_t per_peer = (cfg_.num_stages + k - 1) / k;
+      if (cap != 0 && per_peer + (k - 1) > cap) {
+        return Status::resource_exhausted(
+            "coordinated peer would hold " + std::to_string(per_peer + k - 1) +
+            " connections, above the per-node cap of " + std::to_string(cap));
+      }
+      return Status::ok();
+    }
+    if (flat()) {
+      if (cap != 0 && cfg_.num_stages > cap) {
+        return Status::resource_exhausted(
+            "flat design: " + std::to_string(cfg_.num_stages) +
+            " stages exceed the per-node connection cap of " +
+            std::to_string(cap));
+      }
+      return Status::ok();
+    }
+    if (deep()) {
+      if (!cfg_.preaggregate || !cfg_.parallel_fanout || cfg_.local_decisions) {
+        return Status::invalid_argument(
+            "3-level hierarchies require pre-aggregation, parallel fan-out "
+            "and central decisions");
+      }
+      if (cfg_.num_super_aggregators > cfg_.num_aggregators) {
+        return Status::invalid_argument(
+            "more super-aggregators than aggregators");
+      }
+      const std::size_t children =
+          (cfg_.num_aggregators + cfg_.num_super_aggregators - 1) /
+          cfg_.num_super_aggregators;
+      if (cap != 0 && cfg_.num_super_aggregators > cap) {
+        return Status::resource_exhausted("too many super-aggregators");
+      }
+      if (cap != 0 && children + 1 > cap) {
+        return Status::resource_exhausted(
+            "super-aggregator subtree exceeds the connection cap");
+      }
+      const std::size_t per_agg =
+          (cfg_.num_stages + cfg_.num_aggregators - 1) / cfg_.num_aggregators;
+      if (cap != 0 && per_agg + 1 > cap) {
+        return Status::resource_exhausted(
+            "aggregator subtree of " + std::to_string(per_agg) +
+            " stages (+1 upstream link) exceeds the per-node connection "
+            "cap of " + std::to_string(cap));
+      }
+      return Status::ok();
+    }
+    if (cap != 0 && cfg_.num_aggregators > cap) {
+      return Status::resource_exhausted("too many aggregators for one node");
+    }
+    const std::size_t per_agg =
+        (cfg_.num_stages + cfg_.num_aggregators - 1) / cfg_.num_aggregators;
+    if (cap != 0 && per_agg > cap) {
+      return Status::resource_exhausted(
+          "aggregator subtree of " + std::to_string(per_agg) +
+          " stages exceeds the per-node connection cap of " +
+          std::to_string(cap));
+    }
+    return Status::ok();
+  }
+
+  ExperimentResult execute() {
+    build_topology();
+    schedule_utilization_sampler();
+    start_cycle();
+    engine_.run();
+    return finalize();
+  }
+
+ private:
+  [[nodiscard]] bool coordinated() const { return cfg_.coordinated_peers > 0; }
+  [[nodiscard]] bool deep() const {
+    return cfg_.num_super_aggregators > 0 && cfg_.num_aggregators > 0;
+  }
+  [[nodiscard]] bool flat() const {
+    return cfg_.num_aggregators == 0 && !coordinated();
+  }
+
+  [[nodiscard]] std::size_t num_jobs() const {
+    return (cfg_.num_stages + cfg_.stages_per_job - 1) / cfg_.stages_per_job;
+  }
+
+  void build_topology() {
+    Rng rng(cfg_.seed);
+    stages_.reserve(cfg_.num_stages);
+    for (std::size_t i = 0; i < cfg_.num_stages; ++i) {
+      proto::StageInfo info;
+      info.stage_id = StageId{static_cast<std::uint32_t>(i)};
+      info.node_id = NodeId{static_cast<std::uint32_t>(i)};
+      info.job_id =
+          JobId{static_cast<std::uint32_t>(i / cfg_.stages_per_job)};
+      info.hostname = "c" + std::to_string(i);
+      stage::DemandFn data;
+      stage::DemandFn meta;
+      if (cfg_.demand_factory) {
+        data = cfg_.demand_factory(info.stage_id, stage::Dimension::kData);
+        meta = cfg_.demand_factory(info.stage_id, stage::Dimension::kMeta);
+      } else {
+        const double d = rng.uniform(500.0, 1500.0);
+        const double m = rng.uniform(50.0, 150.0);
+        data = [d](Nanos) { return d; };
+        meta = [m](Nanos) { return m; };
+      }
+      stages_.emplace_back(info, std::move(data), std::move(meta));
+    }
+
+    if (coordinated()) {
+      const std::size_t n = cfg_.num_stages;
+      const std::size_t k = cfg_.coordinated_peers;
+      peers_.reserve(k);
+      for (std::size_t p = 0; p < k; ++p) {
+        auto peer = std::make_unique<Peer>();
+        peer->core = std::make_unique<core::CoordinatedControllerCore>(
+            ControllerId{static_cast<std::uint32_t>(p)}, cfg_.budgets);
+        peer->host = std::make_unique<SimHost>(engine_, prof_,
+                                               "peer" + std::to_string(p));
+        const std::size_t begin = p * n / k;
+        const std::size_t end = (p + 1) * n / k;
+        for (std::size_t i = begin; i < end; ++i) {
+          peer->stage_indices.push_back(i);
+        }
+        peers_.push_back(std::move(peer));
+      }
+      return;
+    }
+
+    if (!flat()) {
+      aggs_.reserve(cfg_.num_aggregators);
+      const std::size_t n = cfg_.num_stages;
+      const std::size_t a_count = cfg_.num_aggregators;
+      for (std::size_t a = 0; a < a_count; ++a) {
+        auto agg = std::make_unique<Agg>();
+        agg->core = std::make_unique<core::AggregatorCore>(
+            core::AggregatorOptions{ControllerId{static_cast<std::uint32_t>(a)},
+                                    cfg_.preaggregate});
+        agg->host = std::make_unique<SimHost>(engine_, prof_,
+                                              "agg" + std::to_string(a));
+        const std::size_t begin = a * n / a_count;
+        const std::size_t end = (a + 1) * n / a_count;
+        for (std::size_t i = begin; i < end; ++i) agg->stage_indices.push_back(i);
+        aggs_.push_back(std::move(agg));
+      }
+
+      if (deep()) {
+        const std::size_t s_count = cfg_.num_super_aggregators;
+        supers_.reserve(s_count);
+        for (std::size_t s = 0; s < s_count; ++s) {
+          auto super = std::make_unique<Super>();
+          super->host = std::make_unique<SimHost>(
+              engine_, prof_, "super" + std::to_string(s));
+          const std::size_t begin = s * a_count / s_count;
+          const std::size_t end = (s + 1) * a_count / s_count;
+          for (std::size_t a = begin; a < end; ++a) {
+            super->children.push_back(a);
+            aggs_[a]->parent = static_cast<int>(s);
+          }
+          supers_.push_back(std::move(super));
+        }
+      }
+    }
+
+    // Register every stage with the controllers that manage it.
+    for (std::size_t i = 0; i < cfg_.num_stages; ++i) {
+      const ControllerId via =
+          flat() ? ControllerId::invalid()
+                 : ControllerId{static_cast<std::uint32_t>(agg_of(i))};
+      const Status added = global_.registry().add(
+          {stages_[i].info(), ConnId{i}, via});
+      assert(added.is_ok());
+      (void)added;
+      if (!flat()) {
+        const Status agg_added = aggs_[agg_of(i)]->core->registry().add(
+            {stages_[i].info(), ConnId{i}, ControllerId::invalid()});
+        assert(agg_added.is_ok());
+        (void)agg_added;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t agg_of(std::size_t stage_index) const {
+    // Inverse of the contiguous block partition above.
+    const std::size_t n = cfg_.num_stages;
+    const std::size_t a_count = cfg_.num_aggregators;
+    std::size_t a = stage_index * a_count / n;
+    while (a + 1 < a_count && stage_index >= (a + 1) * n / a_count) ++a;
+    while (a > 0 && stage_index < a * n / a_count) --a;
+    return a;
+  }
+
+  // ------------------------------------------------------------------
+  // Cycle driver
+
+  /// Non-CPU synchronization wait at a phase boundary.
+  void after_sync(Engine::EventFn fn) {
+    engine_.schedule_in(prof_.phase_sync_overhead, std::move(fn));
+  }
+
+  /// Wire size of one enforce message carrying `rules` rules (the real
+  /// Cheferd payload is larger per rule; see FronteraProfile).
+  [[nodiscard]] std::size_t enforce_frame_size(const proto::EnforceBatch& batch) const {
+    return frame_size(batch) + batch.rules.size() * prof_.rule_extra_wire_bytes;
+  }
+
+  void start_cycle() {
+    if (done_) return;
+    const proto::CollectRequest req = global_.begin_cycle();
+    cycle_ = global_.current_cycle();
+    cycle_start_ = engine_.now();
+    collect_req_size_ = frame_size(req);
+    after_sync([this] {
+      if (coordinated()) {
+        start_cycle_coordinated();
+      } else if (flat()) {
+        start_collect_flat();
+      } else {
+        start_collect_hier();
+      }
+    });
+  }
+
+  // -- Coordinated flat design (paper §VI future work #1) ----------------
+  //
+  // Phase accounting: peers pipeline independently, so phase boundaries
+  // are taken as the time the LAST peer passes each stage — collect ends
+  // when every peer holds all K summaries, compute when every peer has
+  // computed, enforce when the last ack lands.
+
+  void start_cycle_coordinated() {
+    for (auto& peer : peers_) {
+      peer->collected.clear();
+      peer->pending_metrics = peer->stage_indices.size();
+      peer->summaries.clear();
+      peer->pending_acks = 0;
+    }
+    peers_exchanging_ = peers_.size();
+    peers_computing_ = peers_.size();
+    peers_enforcing_ = peers_.size();
+    for (std::size_t p = 0; p < peers_.size(); ++p) peer_collect_fanout(p);
+  }
+
+  void peer_collect_fanout(std::size_t p) {
+    for (const std::size_t idx : peers_[p]->stage_indices) {
+      peers_[p]->host->send(collect_req_size_, [this, p, idx] {
+        const proto::StageMetrics m = stages_[idx].collect(cycle_, engine_.now());
+        const std::size_t sz = frame_size(m);
+        engine_.schedule_in(prof_.stage_service + prof_.wire_latency,
+                            [this, p, m, sz] {
+                              peers_[p]->host->receive(sz, [this, p, m] {
+                                peers_[p]->collected.push_back(m);
+                                if (--peers_[p]->pending_metrics == 0) {
+                                  peer_broadcast_summary(p);
+                                }
+                              });
+                            });
+      });
+    }
+  }
+
+  void peer_broadcast_summary(std::size_t p) {
+    Peer& peer = *peers_[p];
+    const proto::AggregatedMetrics summary =
+        peer.core->summarize(cycle_, peer.collected);
+    const Nanos cost =
+        scaled(prof_.cpu_agg_merge_per_stage, peer.stage_indices.size());
+    const std::size_t sz = frame_size(summary);
+    peer.host->run(cost, [this, p, summary, sz] {
+      peer_accept_summary(p, summary);  // own summary, no wire
+      for (std::size_t q = 0; q < peers_.size(); ++q) {
+        if (q == p) continue;
+        peers_[p]->host->send(sz, [this, q, sz, summary] {
+          peers_[q]->host->receive(
+              sz, [this, q, summary] { peer_accept_summary(q, summary); });
+        });
+      }
+    });
+  }
+
+  void peer_accept_summary(std::size_t p, const proto::AggregatedMetrics& summary) {
+    Peer& peer = *peers_[p];
+    peer.summaries.push_back(summary);
+    if (peer.summaries.size() < peers_.size()) return;
+    if (--peers_exchanging_ == 0) collect_end_ = engine_.now();
+    peer_compute(p);
+  }
+
+  void peer_compute(std::size_t p) {
+    Peer& peer = *peers_[p];
+    // Every peer runs the full global PSFA (the redundancy that buys
+    // central-controller-free global visibility), then splits only its
+    // own subtree.
+    auto rules = std::make_shared<std::vector<proto::Rule>>(
+        peer.core->compute_own_rules(cycle_, peer.summaries, peer.collected));
+    const Nanos cost = scaled(prof_.cpu_psfa_per_job, num_jobs()) +
+                       scaled(prof_.cpu_split_per_stage,
+                              peer.stage_indices.size());
+    peer.host->run(cost, [this, p, rules] {
+      if (--peers_computing_ == 0) compute_end_ = engine_.now();
+      peer_enforce(p, *rules);
+    });
+  }
+
+  void peer_enforce(std::size_t p, const std::vector<proto::Rule>& rules) {
+    Peer& peer = *peers_[p];
+    peer.pending_acks = rules.size();
+    if (rules.empty()) {
+      peer_enforce_done(p);
+      return;
+    }
+    for (const auto& rule : rules) {
+      proto::EnforceBatch single;
+      single.cycle_id = cycle_;
+      single.rules.push_back(rule);
+      const std::size_t sz = enforce_frame_size(single);
+      peer.host->send(
+          sz,
+          [this, p, rule] {
+            apply_rule_and_ack(rule, peers_[p]->host.get(), [this, p] {
+              if (--peers_[p]->pending_acks == 0) peer_enforce_done(p);
+            });
+          },
+          prof_.cpu_route_per_rule);
+    }
+  }
+
+  void peer_enforce_done(std::size_t p) {
+    (void)p;
+    if (--peers_enforcing_ == 0) finish_cycle();
+  }
+
+  // -- Flat design -----------------------------------------------------
+
+  void start_collect_flat() {
+    flat_metrics_.clear();
+    flat_metrics_.resize(cfg_.num_stages);
+    flat_pending_ = cfg_.num_stages;
+    for (std::size_t i = 0; i < cfg_.num_stages; ++i) {
+      global_host_.send(collect_req_size_,
+                        [this, i] { on_stage_collect_flat(i); });
+    }
+  }
+
+  void on_stage_collect_flat(std::size_t i) {
+    const proto::StageMetrics m = stages_[i].collect(cycle_, engine_.now());
+    const std::size_t sz = frame_size(m);
+    engine_.schedule_in(prof_.stage_service + prof_.wire_latency,
+                        [this, i, m, sz] {
+                          global_host_.receive(sz, [this, i, m] {
+                            flat_metrics_[i] = m;
+                            if (--flat_pending_ == 0) {
+                              collect_end_ = engine_.now();
+                              compute_flat();
+                            }
+                          });
+                        });
+  }
+
+  void compute_flat() {
+    compute_result_ = global_.compute(std::span<const proto::StageMetrics>(
+        flat_metrics_.data(), flat_metrics_.size()));
+    const Nanos cost = scaled(prof_.cpu_merge_per_stage, cfg_.num_stages) +
+                       scaled(prof_.cpu_psfa_per_job, num_jobs()) +
+                       scaled(prof_.cpu_split_per_stage, cfg_.num_stages);
+    after_sync([this, cost] {
+      global_host_.run(cost, [this] {
+        compute_end_ = engine_.now();
+        after_sync([this] { enforce_flat(); });
+      });
+    });
+  }
+
+  void enforce_flat() {
+    global_acks_pending_ = compute_result_.rules.size();
+    if (global_acks_pending_ == 0) {
+      finish_cycle();
+      return;
+    }
+    for (const auto& rule : compute_result_.rules) {
+      proto::EnforceBatch single;
+      single.cycle_id = cycle_;
+      single.rules.push_back(rule);
+      const std::size_t sz = enforce_frame_size(single);
+      global_host_.send(
+          sz,
+          [this, rule] {
+            apply_rule_and_ack(rule, &global_host_,
+                               [this] { on_global_direct_ack(); });
+          },
+          prof_.cpu_route_per_rule);
+    }
+  }
+
+  void on_global_direct_ack() {
+    if (--global_acks_pending_ == 0) finish_cycle();
+  }
+
+  /// At the stage: apply `rule` (real logic), then send the ack back to
+  /// `receiver` which runs `done` after its receive cost.
+  void apply_rule_and_ack(const proto::Rule& rule, SimHost* receiver,
+                          Engine::EventFn done) {
+    const std::size_t idx = rule.stage_id.value();
+    assert(idx < stages_.size());
+    stages_[idx].apply(rule);
+    proto::EnforceAck ack;
+    ack.cycle_id = cycle_;
+    ack.applied = 1;
+    const std::size_t sz = frame_size(ack);
+    engine_.schedule_in(
+        prof_.stage_service + prof_.wire_latency,
+        [this, receiver, sz, done = std::move(done)]() mutable {
+          receiver->receive(sz, std::move(done));
+        });
+  }
+
+  // -- Hierarchical design ----------------------------------------------
+
+  void start_collect_hier() {
+    agg_reports_.clear();
+    passthrough_metrics_.clear();
+    for (auto& agg : aggs_) {
+      agg->collected.clear();
+      agg->pending_metrics = agg->stage_indices.size();
+    }
+    serial_cursor_ = 0;
+    if (deep()) {
+      reports_pending_ = supers_.size();
+      for (auto& super : supers_) {
+        super->child_reports.clear();
+        super->pending_reports = super->children.size();
+        super->acks_applied = 0;
+        super->pending_acks = 0;
+      }
+      for (std::size_t s = 0; s < supers_.size(); ++s) {
+        global_host_.send(collect_req_size_, [this, s] {
+          supers_[s]->host->receive(collect_req_size_,
+                                    [this, s] { super_collect_fanout(s); });
+        });
+      }
+      return;
+    }
+    reports_pending_ = aggs_.size();
+    if (cfg_.parallel_fanout) {
+      for (std::size_t a = 0; a < aggs_.size(); ++a) send_collect_to_agg(a);
+    } else {
+      send_collect_to_agg(0);
+    }
+  }
+
+  // -- Third level (super-aggregators) -----------------------------------
+
+  void super_collect_fanout(std::size_t s) {
+    for (const std::size_t a : supers_[s]->children) {
+      supers_[s]->host->send(collect_req_size_, [this, a] {
+        aggs_[a]->host->receive(collect_req_size_,
+                                [this, a] { agg_collect_fanout(a); });
+      });
+    }
+  }
+
+  void super_accept_report(std::size_t s, const proto::AggregatedMetrics& report) {
+    Super& super = *supers_[s];
+    super.child_reports.push_back(report);
+    if (--super.pending_reports > 0) return;
+
+    // Merge the children's summaries (job rows merged, digests
+    // concatenated so the global controller keeps per-stage visibility).
+    proto::AggregatedMetrics merged;
+    merged.cycle_id = cycle_;
+    merged.from = ControllerId{
+        static_cast<std::uint32_t>(0x40000000u + s)};  // super-tier ids
+    std::unordered_map<JobId, std::size_t> index;
+    std::size_t digest_count = 0;
+    for (const auto& child : super.child_reports) {
+      merged.total_stages += child.total_stages;
+      digest_count += child.digests.size();
+      for (const auto& job : child.jobs) {
+        const auto [it, inserted] = index.try_emplace(job.job_id, merged.jobs.size());
+        if (inserted) {
+          merged.jobs.push_back(job);
+        } else {
+          auto& row = merged.jobs[it->second];
+          row.data_iops += job.data_iops;
+          row.meta_iops += job.meta_iops;
+          row.stage_count += job.stage_count;
+        }
+      }
+    }
+    merged.digests.reserve(digest_count);
+    for (const auto& child : super.child_reports) {
+      merged.digests.insert(merged.digests.end(), child.digests.begin(),
+                            child.digests.end());
+    }
+    const Nanos cost = scaled(prof_.cpu_relay_per_stage, digest_count);
+    const std::size_t sz = frame_size(merged);
+    super.host->run(cost, [this, s, merged, sz] {
+      supers_[s]->host->send(sz, [this, merged, sz] {
+        global_host_.receive(sz, [this, merged] {
+          agg_reports_.push_back(merged);
+          if (--reports_pending_ == 0) {
+            collect_end_ = engine_.now();
+            compute_hier();
+          }
+        });
+      });
+    });
+  }
+
+  void send_collect_to_agg(std::size_t a) {
+    global_host_.send(collect_req_size_, [this, a] {
+      aggs_[a]->host->receive(collect_req_size_,
+                              [this, a] { agg_collect_fanout(a); });
+    });
+  }
+
+  void agg_collect_fanout(std::size_t a) {
+    for (const std::size_t idx : aggs_[a]->stage_indices) {
+      aggs_[a]->host->send(collect_req_size_, [this, a, idx] {
+        const proto::StageMetrics m = stages_[idx].collect(cycle_, engine_.now());
+        const std::size_t sz = frame_size(m);
+        engine_.schedule_in(prof_.stage_service + prof_.wire_latency,
+                            [this, a, m, sz] {
+                              aggs_[a]->host->receive(sz, [this, a, m] {
+                                aggs_[a]->collected.push_back(m);
+                                if (--aggs_[a]->pending_metrics == 0) {
+                                  agg_report(a);
+                                }
+                              });
+                            });
+      });
+    }
+  }
+
+  void agg_report(std::size_t a) {
+    Agg& agg = *aggs_[a];
+    const std::size_t n_a = agg.stage_indices.size();
+    if (cfg_.preaggregate) {
+      const proto::AggregatedMetrics report =
+          agg.core->aggregate(cycle_, agg.collected);
+      const Nanos cost = scaled(prof_.cpu_agg_merge_per_stage, n_a);
+      const std::size_t sz = frame_size(report);
+      const int parent = agg.parent;
+      agg.host->run(cost, [this, a, report, sz, parent] {
+        if (parent >= 0) {
+          // Three-level tree: report to the parent super-aggregator.
+          const auto s = static_cast<std::size_t>(parent);
+          aggs_[a]->host->send(sz, [this, s, report, sz] {
+            supers_[s]->host->receive(sz, [this, s, report] {
+              super_accept_report(s, report);
+            });
+          });
+          return;
+        }
+        aggs_[a]->host->send(sz, [this, a, report, sz] {
+          global_host_.receive(sz, [this, a, report] {
+            agg_reports_.push_back(report);
+            on_agg_report_received(a);
+          });
+        });
+      });
+    } else {
+      const proto::MetricsBatch batch = agg.core->passthrough(cycle_, agg.collected);
+      const Nanos cost = scaled(prof_.cpu_relay_per_stage, n_a);
+      const std::size_t sz = frame_size(batch);
+      agg.host->run(cost, [this, a, batch, sz] {
+        aggs_[a]->host->send(sz, [this, a, batch, sz] {
+          global_host_.receive(sz, [this, a, batch] {
+            passthrough_metrics_.insert(passthrough_metrics_.end(),
+                                        batch.entries.begin(),
+                                        batch.entries.end());
+            on_agg_report_received(a);
+          });
+        });
+      });
+    }
+  }
+
+  void on_agg_report_received(std::size_t a) {
+    if (--reports_pending_ == 0) {
+      collect_end_ = engine_.now();
+      compute_hier();
+      return;
+    }
+    if (!cfg_.parallel_fanout) {
+      serial_cursor_ = a + 1;
+      if (serial_cursor_ < aggs_.size()) send_collect_to_agg(serial_cursor_);
+    }
+  }
+
+  void compute_hier() {
+    Nanos cost = scaled(prof_.cpu_psfa_per_job, num_jobs());
+    if (cfg_.local_decisions) {
+      // Global only recomputes per-aggregator budget leases.
+      compute_leases();
+    } else if (cfg_.preaggregate) {
+      compute_result_ = global_.compute(std::span<const proto::AggregatedMetrics>(
+          agg_reports_.data(), agg_reports_.size()));
+      cost = cost + scaled(prof_.cpu_split_per_stage, cfg_.num_stages);
+    } else {
+      compute_result_ = global_.compute(std::span<const proto::StageMetrics>(
+          passthrough_metrics_.data(), passthrough_metrics_.size()));
+      cost = cost + scaled(prof_.cpu_merge_per_stage, cfg_.num_stages) +
+             scaled(prof_.cpu_split_per_stage, cfg_.num_stages);
+    }
+    after_sync([this, cost] {
+      global_host_.run(cost, [this] {
+        compute_end_ = engine_.now();
+        after_sync([this] { enforce_hier(); });
+      });
+    });
+  }
+
+  /// Local-decision mode: split the global budgets across aggregators in
+  /// proportion to their reported demand.
+  void compute_leases() {
+    double total_data = 0;
+    double total_meta = 0;
+    for (const auto& report : agg_reports_) {
+      for (const auto& job : report.jobs) {
+        total_data += job.data_iops;
+        total_meta += job.meta_iops;
+      }
+    }
+    leases_.assign(aggs_.size(), proto::BudgetLease{});
+    for (const auto& report : agg_reports_) {
+      double agg_data = 0;
+      double agg_meta = 0;
+      for (const auto& job : report.jobs) {
+        agg_data += job.data_iops;
+        agg_meta += job.meta_iops;
+      }
+      const std::size_t a = report.from.value();
+      proto::BudgetLease lease;
+      lease.cycle_id = cycle_;
+      lease.data_budget =
+          total_data > 0 ? cfg_.budgets.data_iops * agg_data / total_data
+                         : cfg_.budgets.data_iops / static_cast<double>(aggs_.size());
+      lease.meta_budget =
+          total_meta > 0 ? cfg_.budgets.meta_iops * agg_meta / total_meta
+                         : cfg_.budgets.meta_iops / static_cast<double>(aggs_.size());
+      lease.valid_until_ns =
+          static_cast<std::uint64_t>((engine_.now() + seconds(10)).count());
+      leases_[a] = lease;
+    }
+  }
+
+  void enforce_hier() {
+    serial_cursor_ = 0;
+    if (cfg_.local_decisions) {
+      global_acks_pending_ = aggs_.size();
+      if (cfg_.parallel_fanout) {
+        for (std::size_t a = 0; a < aggs_.size(); ++a) send_lease_to_agg(a);
+      } else {
+        send_lease_to_agg(0);
+      }
+      return;
+    }
+
+    enforce_batches_.clear();
+    enforce_batches_.resize(aggs_.size());
+    auto grouped = global_.group_rules(compute_result_);
+    for (auto& [via, batch] : grouped) {
+      if (!via.valid()) continue;  // no directly-attached stages here
+      enforce_batches_[via.value()] = std::move(batch);
+    }
+
+    if (deep()) {
+      global_acks_pending_ = supers_.size();
+      for (std::size_t s = 0; s < supers_.size(); ++s) {
+        // One combined batch per super-aggregator subtree.
+        proto::EnforceBatch combined;
+        combined.cycle_id = cycle_;
+        for (const std::size_t a : supers_[s]->children) {
+          combined.rules.insert(combined.rules.end(),
+                                enforce_batches_[a].rules.begin(),
+                                enforce_batches_[a].rules.end());
+        }
+        const std::size_t sz = enforce_frame_size(combined);
+        const Nanos routing =
+            scaled(prof_.cpu_route_per_rule, combined.rules.size());
+        global_host_.send(
+            sz,
+            [this, s, sz] {
+              supers_[s]->host->receive(sz,
+                                        [this, s] { super_enforce_fanout(s); });
+            },
+            routing);
+      }
+      return;
+    }
+
+    global_acks_pending_ = aggs_.size();
+    if (cfg_.parallel_fanout) {
+      for (std::size_t a = 0; a < aggs_.size(); ++a) send_enforce_to_agg(a);
+    } else {
+      send_enforce_to_agg(0);
+    }
+  }
+
+  void super_enforce_fanout(std::size_t s) {
+    Super& super = *supers_[s];
+    super.pending_acks = super.children.size();
+    super.acks_applied = 0;
+    for (const std::size_t a : super.children) {
+      const proto::EnforceBatch& batch = enforce_batches_[a];
+      const std::size_t sz = enforce_frame_size(batch);
+      const Nanos routing = scaled(prof_.cpu_route_per_rule, batch.rules.size());
+      super.host->send(
+          sz,
+          [this, a, sz] {
+            aggs_[a]->host->receive(sz, [this, a] { agg_enforce_fanout(a); });
+          },
+          routing);
+    }
+  }
+
+  void super_accept_ack(std::size_t s, std::uint32_t applied) {
+    Super& super = *supers_[s];
+    super.acks_applied += applied;
+    if (--super.pending_acks > 0) return;
+    proto::EnforceAck merged;
+    merged.cycle_id = cycle_;
+    merged.applied = super.acks_applied;
+    const std::size_t sz = frame_size(merged);
+    super.host->send(sz, [this, sz] {
+      global_host_.receive(sz, [this] {
+        if (--global_acks_pending_ == 0) finish_cycle();
+      });
+    });
+  }
+
+  void send_enforce_to_agg(std::size_t a) {
+    const proto::EnforceBatch& batch = enforce_batches_[a];
+    const std::size_t sz = enforce_frame_size(batch);
+    const Nanos routing = scaled(prof_.cpu_route_per_rule, batch.rules.size());
+    global_host_.send(
+        sz,
+        [this, a, sz] {
+          aggs_[a]->host->receive(sz, [this, a] { agg_enforce_fanout(a); });
+        },
+        routing);
+  }
+
+  void agg_enforce_fanout(std::size_t a) {
+    Agg& agg = *aggs_[a];
+    const auto routed = agg.core->route(enforce_batches_[a]);
+    agg.pending_acks = routed.owned.size();
+    agg.acks_applied = 0;
+    if (agg.pending_acks == 0) {
+      agg_merged_ack(a);
+      return;
+    }
+    for (const auto& rule : routed.owned) {
+      send_rule_from_agg(a, rule);
+    }
+  }
+
+  void send_rule_from_agg(std::size_t a, const proto::Rule& rule) {
+    proto::EnforceBatch single;
+    single.cycle_id = cycle_;
+    single.rules.push_back(rule);
+    const std::size_t sz = enforce_frame_size(single);
+    aggs_[a]->host->send(
+        sz,
+        [this, a, rule] {
+          apply_rule_and_ack(rule, aggs_[a]->host.get(), [this, a] {
+            Agg& agg = *aggs_[a];
+            ++agg.acks_applied;
+            if (--agg.pending_acks == 0) agg_merged_ack(a);
+          });
+        },
+        prof_.cpu_route_per_rule);
+  }
+
+  void send_lease_to_agg(std::size_t a) {
+    const std::size_t sz = frame_size(leases_[a]);
+    global_host_.send(sz, [this, a, sz] {
+      aggs_[a]->host->receive(sz, [this, a] { agg_local_decide(a); });
+    });
+  }
+
+  void agg_local_decide(std::size_t a) {
+    Agg& agg = *aggs_[a];
+    agg.core->set_lease(leases_[a]);
+    const auto rules = agg.core->local_compute(
+        cycle_, agg.collected,
+        static_cast<std::uint64_t>(engine_.now().count()));
+    const std::size_t n_a = agg.stage_indices.size();
+    const Nanos cost =
+        scaled(prof_.cpu_psfa_per_job, std::max<std::size_t>(1, num_jobs() / aggs_.size())) +
+        scaled(prof_.cpu_split_per_stage, n_a);
+    agg.host->run(cost, [this, a, rules] {
+      Agg& agg_ref = *aggs_[a];
+      agg_ref.pending_acks = rules.size();
+      agg_ref.acks_applied = 0;
+      if (rules.empty()) {
+        agg_merged_ack(a);
+        return;
+      }
+      for (const auto& rule : rules) send_rule_from_agg(a, rule);
+    });
+  }
+
+  void agg_merged_ack(std::size_t a) {
+    Agg& agg = *aggs_[a];
+    proto::EnforceAck merged;
+    merged.cycle_id = cycle_;
+    merged.applied = agg.acks_applied;
+    const std::size_t sz = frame_size(merged);
+    if (agg.parent >= 0) {
+      const auto s = static_cast<std::size_t>(agg.parent);
+      const std::uint32_t applied = merged.applied;
+      agg.host->send(sz, [this, s, sz, applied] {
+        supers_[s]->host->receive(
+            sz, [this, s, applied] { super_accept_ack(s, applied); });
+      });
+      return;
+    }
+    agg.host->send(sz, [this, a, sz] {
+      global_host_.receive(sz, [this, a] {
+        if (--global_acks_pending_ == 0) {
+          finish_cycle();
+          return;
+        }
+        if (!cfg_.parallel_fanout) {
+          serial_cursor_ = a + 1;
+          if (serial_cursor_ < aggs_.size()) {
+            if (cfg_.local_decisions) {
+              send_lease_to_agg(serial_cursor_);
+            } else {
+              send_enforce_to_agg(serial_cursor_);
+            }
+          }
+        }
+      });
+    });
+  }
+
+  // ------------------------------------------------------------------
+
+  void finish_cycle() {
+    core::PhaseBreakdown breakdown;
+    breakdown.collect = collect_end_ - cycle_start_;
+    breakdown.compute = compute_end_ - collect_end_;
+    breakdown.enforce = engine_.now() - compute_end_;
+    stats_.record(breakdown);
+    last_cycle_end_ = engine_.now();
+
+    const bool hit_cycle_cap =
+        cfg_.max_cycles != 0 && stats_.cycles() >= cfg_.max_cycles;
+    if (hit_cycle_cap || engine_.now() >= cfg_.duration) {
+      done_ = true;
+      return;
+    }
+    if (cfg_.cycle_period > Nanos{0}) {
+      const Nanos next = cycle_start_ + cfg_.cycle_period;
+      if (next > engine_.now()) {
+        engine_.schedule_at(next, [this] { start_cycle(); });
+        return;
+      }
+    }
+    start_cycle();  // stress workload: no idle gap between cycles
+  }
+
+  /// Sample the PFS load factor on a fixed simulated-time grid,
+  /// independent of cycle boundaries (sampling only at enforcement
+  /// instants would alias: limits are freshest exactly then).
+  void schedule_utilization_sampler() {
+    if (cfg_.utilization_sample_interval <= Nanos{0}) return;
+    engine_.schedule_in(cfg_.utilization_sample_interval, [this] {
+      if (done_) return;
+      sample_utilization();
+      schedule_utilization_sampler();
+    });
+  }
+
+  /// PFS load factor: what each stage would submit now (its demand
+  /// clipped by its enforced limit), summed, relative to the budget.
+  void sample_utilization() {
+    const Nanos now = engine_.now();
+    double data = 0;
+    double meta = 0;
+    for (const auto& stage : stages_) {
+      const double dd = stage.demand(stage::Dimension::kData, now);
+      const double dl = stage.limit(stage::Dimension::kData);
+      data += dl < 0 ? dd : std::min(dd, dl);
+      const double md = stage.demand(stage::Dimension::kMeta, now);
+      const double ml = stage.limit(stage::Dimension::kMeta);
+      meta += ml < 0 ? md : std::min(md, ml);
+    }
+    if (cfg_.budgets.data_iops > 0) {
+      data_utilization_.add(data / cfg_.budgets.data_iops);
+    }
+    if (cfg_.budgets.meta_iops > 0) {
+      meta_utilization_.add(meta / cfg_.budgets.meta_iops);
+    }
+  }
+
+  ExperimentResult finalize() {
+    ExperimentResult result;
+    result.stats = stats_;
+    result.cycles = stats_.cycles();
+    result.elapsed = last_cycle_end_;
+    result.events_executed = engine_.executed();
+    result.mean_data_utilization = data_utilization_.mean();
+    result.mean_meta_utilization = meta_utilization_.mean();
+    result.final_data_limits.reserve(stages_.size());
+    result.final_meta_limits.reserve(stages_.size());
+    for (const auto& stage : stages_) {
+      const double dl = stage.limit(stage::Dimension::kData);
+      const double ml = stage.limit(stage::Dimension::kMeta);
+      result.final_data_limits.push_back(dl);
+      result.final_meta_limits.push_back(ml);
+      if (dl >= 0) result.final_data_limit_sum += dl;
+      if (ml >= 0) result.final_meta_limit_sum += ml;
+    }
+
+    const double elapsed_s = std::max(to_seconds(last_cycle_end_), 1e-9);
+    const auto usage = [&](const SimHost& host, double mem_bytes,
+                           double cpu_scale) {
+      ControllerUsage u;
+      u.cpu_percent =
+          to_seconds(host.busy()) / elapsed_s * cpu_scale;
+      u.memory_gb = mem_bytes / 1e9;
+      u.transmitted_mbps =
+          static_cast<double>(host.bytes_tx()) / elapsed_s / 1e6;
+      u.received_mbps = static_cast<double>(host.bytes_rx()) / elapsed_s / 1e6;
+      return u;
+    };
+
+    const double n = static_cast<double>(cfg_.num_stages);
+    if (coordinated()) {
+      // Each peer looks like a small flat controller plus K-1 peer links.
+      const double k = static_cast<double>(peers_.size());
+      const auto peer_mem = [&](const Peer& peer) {
+        return prof_.mem_base_bytes +
+               static_cast<double>(peer.stage_indices.size()) *
+                   (prof_.mem_per_conn_bytes + prof_.mem_per_stage_state_bytes) +
+               (k - 1) * prof_.mem_per_conn_bytes;
+      };
+      result.global =
+          usage(*peers_[0]->host, peer_mem(*peers_[0]), prof_.cpu_percent_scale);
+      ControllerUsage sum;
+      for (const auto& peer : peers_) {
+        const ControllerUsage u =
+            usage(*peer->host, peer_mem(*peer), prof_.cpu_percent_scale);
+        sum.cpu_percent += u.cpu_percent;
+        sum.memory_gb += u.memory_gb;
+        sum.transmitted_mbps += u.transmitted_mbps;
+        sum.received_mbps += u.received_mbps;
+      }
+      result.aggregator = {sum.cpu_percent / k, sum.memory_gb / k,
+                           sum.transmitted_mbps / k, sum.received_mbps / k};
+      return result;
+    }
+    if (flat()) {
+      const double mem = prof_.mem_base_bytes +
+                         n * (prof_.mem_per_conn_bytes +
+                              prof_.mem_per_stage_state_bytes);
+      result.global = usage(global_host_, mem, prof_.cpu_percent_scale);
+    } else {
+      const double mem =
+          prof_.mem_base_bytes +
+          static_cast<double>(aggs_.size()) * prof_.mem_per_conn_bytes +
+          n * (prof_.mem_per_stage_state_bytes + prof_.mem_per_stage_hier_bytes);
+      result.global = usage(global_host_, mem, prof_.cpu_percent_scale);
+
+      ControllerUsage sum;
+      for (const auto& agg : aggs_) {
+        const double agg_mem =
+            prof_.mem_agg_base_bytes +
+            static_cast<double>(agg->stage_indices.size()) *
+                prof_.mem_agg_per_stage_bytes;
+        const ControllerUsage u =
+            usage(*agg->host, agg_mem, prof_.agg_cpu_percent_scale);
+        sum.cpu_percent += u.cpu_percent;
+        sum.memory_gb += u.memory_gb;
+        sum.transmitted_mbps += u.transmitted_mbps;
+        sum.received_mbps += u.received_mbps;
+      }
+      const double a = static_cast<double>(aggs_.size());
+      result.aggregator = {sum.cpu_percent / a, sum.memory_gb / a,
+                           sum.transmitted_mbps / a, sum.received_mbps / a};
+
+      if (!supers_.empty()) {
+        ControllerUsage ssum;
+        for (const auto& super : supers_) {
+          const double super_mem =
+              prof_.mem_agg_base_bytes +
+              static_cast<double>(super->children.size()) *
+                  prof_.mem_per_conn_bytes;
+          const ControllerUsage u =
+              usage(*super->host, super_mem, prof_.agg_cpu_percent_scale);
+          ssum.cpu_percent += u.cpu_percent;
+          ssum.memory_gb += u.memory_gb;
+          ssum.transmitted_mbps += u.transmitted_mbps;
+          ssum.received_mbps += u.received_mbps;
+        }
+        const double s = static_cast<double>(supers_.size());
+        result.super_aggregator = {ssum.cpu_percent / s, ssum.memory_gb / s,
+                                   ssum.transmitted_mbps / s,
+                                   ssum.received_mbps / s};
+      }
+    }
+    return result;
+  }
+
+  // ------------------------------------------------------------------
+
+  struct Agg {
+    std::unique_ptr<core::AggregatorCore> core;
+    std::unique_ptr<SimHost> host;
+    std::vector<std::size_t> stage_indices;
+    std::vector<proto::StageMetrics> collected;
+    std::size_t pending_metrics = 0;
+    std::size_t pending_acks = 0;
+    std::uint32_t acks_applied = 0;
+    /// Parent super-aggregator index (-1 = reports directly to global).
+    int parent = -1;
+  };
+
+  /// Third-level controller (3-level hierarchies).
+  struct Super {
+    std::unique_ptr<SimHost> host;
+    std::vector<std::size_t> children;  // aggregator indices
+    std::vector<proto::AggregatedMetrics> child_reports;
+    std::size_t pending_reports = 0;
+    std::size_t pending_acks = 0;
+    std::uint32_t acks_applied = 0;
+  };
+
+  struct Peer {
+    std::unique_ptr<core::CoordinatedControllerCore> core;
+    std::unique_ptr<SimHost> host;
+    std::vector<std::size_t> stage_indices;
+    std::vector<proto::StageMetrics> collected;
+    std::vector<proto::AggregatedMetrics> summaries;
+    std::size_t pending_metrics = 0;
+    std::size_t pending_acks = 0;
+  };
+
+  const ExperimentConfig& cfg_;
+  const FronteraProfile& prof_;
+  Engine engine_;
+  SimHost global_host_;
+  core::GlobalControllerCore global_;
+  std::vector<std::unique_ptr<Agg>> aggs_;
+  std::vector<std::unique_ptr<Super>> supers_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::vector<stage::VirtualStage> stages_;
+
+  // Per-cycle state.
+  std::uint64_t cycle_ = 0;
+  Nanos cycle_start_{0};
+  Nanos collect_end_{0};
+  Nanos compute_end_{0};
+  Nanos last_cycle_end_{0};
+  std::size_t collect_req_size_ = 0;
+  std::vector<proto::StageMetrics> flat_metrics_;
+  std::size_t flat_pending_ = 0;
+  std::vector<proto::AggregatedMetrics> agg_reports_;
+  std::vector<proto::StageMetrics> passthrough_metrics_;
+  std::size_t reports_pending_ = 0;
+  std::vector<proto::EnforceBatch> enforce_batches_;
+  std::vector<proto::BudgetLease> leases_;
+  std::size_t global_acks_pending_ = 0;
+  std::size_t serial_cursor_ = 0;
+  std::size_t peers_exchanging_ = 0;
+  std::size_t peers_computing_ = 0;
+  std::size_t peers_enforcing_ = 0;
+  core::ComputeResult compute_result_;
+  core::CycleStats stats_;
+  RunningStats data_utilization_;
+  RunningStats meta_utilization_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+Result<ExperimentResult> run_experiment(const ExperimentConfig& config) {
+  Run run(config);
+  SDS_RETURN_IF_ERROR(run.validate());
+  return run.execute();
+}
+
+}  // namespace sds::sim

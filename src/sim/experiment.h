@@ -1,0 +1,131 @@
+// Scale-experiment driver: reproduces the paper's methodology (§III) in
+// the discrete-event simulator.
+//
+// A run deploys one global controller, optionally a layer of aggregator
+// controllers, and N virtual data-plane stages, then executes the stress
+// workload: control cycles back-to-back with no idle gap, each cycle
+// collecting metrics from every stage, running PSFA, and enforcing rules
+// on every stage. Latency per phase is recorded exactly as the paper
+// measures it (at the global controller), and per-controller resource
+// usage mirrors the REMORA columns of Tables II–IV.
+//
+// All control decisions are made by the real core:: logic; the simulator
+// models only *time* and *resources*.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cycle_stats.h"
+#include "core/policy_table.h"
+#include "policy/psfa.h"
+#include "sim/profile.h"
+#include "stage/virtual_stage.h"
+
+namespace sds::sim {
+
+struct ExperimentConfig {
+  /// Virtual data-plane stages (the paper treats each as one compute
+  /// node; §III-D).
+  std::size_t num_stages = 50;
+  /// Aggregator controllers; 0 selects the flat design.
+  std::size_t num_aggregators = 0;
+  /// Optional third control level: super-aggregators between the global
+  /// controller and the aggregators (global → supers → aggregators →
+  /// stages). Each super-aggregator relays collects downward, merges its
+  /// children's summaries upward, and splits enforce batches per child.
+  /// Requires num_aggregators > 0, pre-aggregation, parallel fan-out and
+  /// central decisions. A deeper tree becomes *necessary* only when the
+  /// 2-level fan-outs exceed the connection cap (cap² stages); below
+  /// that it just adds a hop — which this mode lets you measure.
+  std::size_t num_super_aggregators = 0;
+  /// Coordinated flat peers (paper §VI future work #1): K controllers
+  /// each own a disjoint stage set, exchange per-job demand summaries
+  /// all-to-all each cycle, and deterministically compute the same
+  /// global PSFA before enforcing their own subtree. Mutually exclusive
+  /// with num_aggregators; 0 disables.
+  std::size_t coordinated_peers = 0;
+  /// Stages per job (jobs drive the PSFA input size).
+  std::size_t stages_per_job = 50;
+  /// Simulated stress duration (the paper runs >= 5 min; the default is
+  /// shorter because the deterministic simulator needs no settling).
+  Nanos duration = seconds(20);
+  /// Optional hard cap on executed cycles (0 = run until `duration`).
+  std::uint64_t max_cycles = 0;
+  /// Control-cycle periodicity (paper §II-B: "usually set by the system
+  /// administrator"). 0 = stress mode, cycles run back-to-back; > 0 =
+  /// cycle n+1 starts `cycle_period` after cycle n started (or
+  /// immediately, if the cycle ran longer than the period).
+  Nanos cycle_period = Nanos{0};
+  /// Aggregators merge stage metrics into job summaries before
+  /// forwarding (ablation for Observation #7 when disabled).
+  bool preaggregate = true;
+  /// Aggregator subtrees work concurrently (ablation when disabled:
+  /// the global controller walks aggregators one at a time).
+  bool parallel_fanout = true;
+  /// Future-work mode (§VI): aggregators run PSFA locally under budget
+  /// leases; the global controller only re-leases budgets.
+  bool local_decisions = false;
+  core::Budgets budgets{};
+  /// PSFA tuning (activity threshold, headroom ramp, probe share).
+  policy::PsfaOptions psfa{};
+  FronteraProfile profile{};
+  /// Wall-clock-independent utilization sampling interval (see
+  /// ExperimentResult::mean_data_utilization).
+  Nanos utilization_sample_interval = millis(50);
+  std::uint64_t seed = 42;
+  /// Optional custom demand model; default: constant per-stage demand
+  /// drawn uniformly from [500, 1500) data ops/s and [50, 150) meta
+  /// ops/s.
+  std::function<stage::DemandFn(StageId, stage::Dimension)> demand_factory;
+};
+
+/// One controller's resource usage in the units of Tables II–IV.
+struct ControllerUsage {
+  double cpu_percent = 0;
+  double memory_gb = 0;
+  double transmitted_mbps = 0;
+  double received_mbps = 0;
+};
+
+struct ExperimentResult {
+  core::CycleStats stats;
+  std::uint64_t cycles = 0;
+  Nanos elapsed{0};
+  ControllerUsage global;
+  /// Average across the middle tier — aggregators in the hierarchical
+  /// design or peer controllers in the coordinated-flat design (all
+  /// zero for the plain flat design). In coordinated mode `global` is
+  /// peer 0's usage (all peers are statistically identical).
+  ControllerUsage aggregator;
+  /// Average across super-aggregators (3-level hierarchies only).
+  ControllerUsage super_aggregator;
+  std::uint64_t events_executed = 0;
+  /// Sum of enforced per-stage data limits in the final cycle —
+  /// invariant-checked against the budget in tests.
+  double final_data_limit_sum = 0;
+  double final_meta_limit_sum = 0;
+  /// Per-stage limits after the final cycle, indexed by stage id
+  /// (kUnlimited where no rule was ever applied). Used to cross-validate
+  /// simulated against live runs.
+  std::vector<double> final_data_limits;
+  std::vector<double> final_meta_limits;
+  /// Time-averaged PFS load factor (sampled every
+  /// `utilization_sample_interval` of simulated time):
+  /// Σ_stages min(demand, enforced limit) / budget, per dimension.
+  /// > 1 means the PFS is overloaded (limits not yet enforced);
+  /// < 1 under contention means the control plane is reallocating too
+  /// slowly (stale limits strand budget). The paper's reaction-time
+  /// discussion (Obs. #1/#4) is about exactly this quantity.
+  double mean_data_utilization = 0;
+  double mean_meta_utilization = 0;
+};
+
+/// Run one configuration. Fails with kResourceExhausted when a topology
+/// exceeds the per-node connection cap (e.g. flat beyond 2,500 stages) —
+/// the hardware ceiling the paper identifies.
+[[nodiscard]] Result<ExperimentResult> run_experiment(const ExperimentConfig& config);
+
+}  // namespace sds::sim

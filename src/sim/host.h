@@ -1,0 +1,100 @@
+// SimHost — time model of one controller node: a serial CPU queue and a
+// serializing NIC transmit link, with byte/busy-time accounting.
+//
+// The model is deliberately simple (it is the paper's own observation
+// that per-message controller work and the connection fan-out dominate):
+//   * CPU work items execute FIFO on one core; `busy_ns` accumulates.
+//   * Outbound messages first cost CPU (build/serialize), then occupy the
+//     NIC for size/bandwidth, then arrive after the wire latency.
+//   * Inbound messages cost CPU on receive before their handler runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/engine.h"
+#include "sim/profile.h"
+
+namespace sds::sim {
+
+class SimHost {
+ public:
+  SimHost(Engine& engine, const FronteraProfile& profile, std::string name)
+      : engine_(&engine), profile_(&profile), name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Execute `fn` after `cpu_cost` of serial CPU work on this host.
+  void run(Nanos cpu_cost, Engine::EventFn fn) {
+    const Nanos start = std::max(engine_->now(), cpu_free_);
+    cpu_free_ = start + cpu_cost;
+    busy_ns_ += cpu_cost.count();
+    engine_->schedule_at(cpu_free_, std::move(fn));
+  }
+
+  /// Send a message of `payload_bytes`: charges send CPU (plus
+  /// `extra_cpu`, e.g. per-rule routing work), serializes on the NIC,
+  /// then invokes `on_arrival` at the destination time. The receiver is
+  /// responsible for charging its own receive cost (use `receive` in the
+  /// continuation).
+  void send(std::size_t payload_bytes, Engine::EventFn on_arrival,
+            Nanos extra_cpu = Nanos{0}) {
+    const std::size_t wire_bytes = payload_bytes + profile_->msg_overhead_bytes;
+    bytes_tx_ += wire_bytes;
+    ++messages_tx_;
+    const Nanos cpu_cost =
+        extra_cpu + profile_->cpu_send_fixed +
+        Nanos{static_cast<std::int64_t>(
+            static_cast<double>(payload_bytes) * profile_->cpu_send_per_byte_ns)};
+    run(cpu_cost, [this, wire_bytes, on_arrival = std::move(on_arrival)]() mutable {
+      const Nanos serialize{static_cast<std::int64_t>(
+          static_cast<double>(wire_bytes) / profile_->nic_bytes_per_ns)};
+      const Nanos start = std::max(engine_->now(), tx_free_);
+      tx_free_ = start + serialize;
+      engine_->schedule_at(tx_free_ + profile_->wire_latency,
+                           std::move(on_arrival));
+    });
+  }
+
+  /// Account an inbound message and run `fn` after the receive CPU cost.
+  void receive(std::size_t payload_bytes, Engine::EventFn fn) {
+    bytes_rx_ += payload_bytes + profile_->msg_overhead_bytes;
+    ++messages_rx_;
+    const Nanos cpu_cost =
+        profile_->cpu_recv_fixed +
+        Nanos{static_cast<std::int64_t>(
+            static_cast<double>(payload_bytes) * profile_->cpu_recv_per_byte_ns)};
+    run(cpu_cost, std::move(fn));
+  }
+
+  // -- Accounting ------------------------------------------------------
+  [[nodiscard]] Nanos busy() const { return Nanos{busy_ns_} ; }
+  [[nodiscard]] std::uint64_t bytes_tx() const { return bytes_tx_; }
+  [[nodiscard]] std::uint64_t bytes_rx() const { return bytes_rx_; }
+  [[nodiscard]] std::uint64_t messages_tx() const { return messages_tx_; }
+  [[nodiscard]] std::uint64_t messages_rx() const { return messages_rx_; }
+
+  void reset_accounting() {
+    busy_ns_ = Nanos{0}.count();
+    bytes_tx_ = bytes_rx_ = 0;
+    messages_tx_ = messages_rx_ = 0;
+  }
+
+ private:
+  Engine* engine_;
+  const FronteraProfile* profile_;
+  std::string name_;
+
+  Nanos cpu_free_{0};
+  Nanos tx_free_{0};
+  std::int64_t busy_ns_ = 0;
+  std::uint64_t bytes_tx_ = 0;
+  std::uint64_t bytes_rx_ = 0;
+  std::uint64_t messages_tx_ = 0;
+  std::uint64_t messages_rx_ = 0;
+};
+
+}  // namespace sds::sim

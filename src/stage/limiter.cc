@@ -1,0 +1,38 @@
+#include "stage/limiter.h"
+
+#include <algorithm>
+
+namespace sds::stage {
+
+RateLimiter::RateLimiter(Nanos now, LimiterOptions options)
+    : options_(options),
+      buckets_{TokenBucket(proto::kUnlimited, 1.0, now),
+               TokenBucket(proto::kUnlimited, 1.0, now)},
+      limits_{proto::kUnlimited, proto::kUnlimited} {}
+
+double RateLimiter::burst_for(double rate) const {
+  return std::max(options_.min_burst, rate * options_.burst_fraction);
+}
+
+bool RateLimiter::apply(const proto::Rule& rule, Nanos now) {
+  if (rule.epoch < epoch_) return false;  // stale rule from an old epoch
+  epoch_ = rule.epoch;
+
+  limits_[index(Dimension::kData)] = rule.data_iops_limit;
+  limits_[index(Dimension::kMeta)] = rule.meta_iops_limit;
+  buckets_[index(Dimension::kData)].set_rate(
+      rule.data_iops_limit, burst_for(rule.data_iops_limit), now);
+  buckets_[index(Dimension::kMeta)].set_rate(
+      rule.meta_iops_limit, burst_for(rule.meta_iops_limit), now);
+  return true;
+}
+
+bool RateLimiter::try_admit(OpClass op, Nanos now) {
+  return buckets_[index(dimension_of(op))].try_acquire(1.0, now);
+}
+
+Nanos RateLimiter::admission_delay(OpClass op, Nanos now) {
+  return buckets_[index(dimension_of(op))].time_until(1.0, now);
+}
+
+}  // namespace sds::stage

@@ -1,0 +1,59 @@
+// Per-dimension admission control for one stage: a token bucket per
+// metric dimension (data / metadata IOPS), reconfigured by enforcement
+// rules pushed from the control plane.
+//
+// Rules carry epochs (monotonically increasing per controller epoch ×
+// cycle). A rule older than the newest applied one is *stale* — e.g. a
+// delayed batch from a failed-over controller — and is rejected, which is
+// the dependability behaviour the paper's §VI calls for.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "proto/messages.h"
+#include "stage/op.h"
+#include "stage/token_bucket.h"
+
+namespace sds::stage {
+
+struct LimiterOptions {
+  /// Bucket burst as a fraction of the per-second rate (how much a stage
+  /// can catch up after an idle gap).
+  double burst_fraction = 0.1;
+  /// Minimum burst in operations.
+  double min_burst = 8.0;
+};
+
+class RateLimiter {
+ public:
+  explicit RateLimiter(Nanos now, LimiterOptions options = {});
+
+  /// Apply a rule. Returns false (and changes nothing) if the rule's
+  /// epoch is older than the last applied epoch.
+  bool apply(const proto::Rule& rule, Nanos now);
+
+  /// Admit one operation of class `op` now?
+  bool try_admit(OpClass op, Nanos now);
+
+  /// Delay until an operation of class `op` could be admitted.
+  [[nodiscard]] Nanos admission_delay(OpClass op, Nanos now);
+
+  [[nodiscard]] double limit(Dimension d) const { return limits_[index(d)]; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  static constexpr std::size_t index(Dimension d) {
+    return static_cast<std::size_t>(d);
+  }
+
+  [[nodiscard]] double burst_for(double rate) const;
+
+  LimiterOptions options_;
+  std::array<TokenBucket, kNumDimensions> buckets_;
+  std::array<double, kNumDimensions> limits_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace sds::stage

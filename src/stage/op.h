@@ -1,0 +1,64 @@
+// Operation classes intercepted by a data-plane stage.
+//
+// The paper's control plane manages two metric dimensions: data IOPS and
+// metadata IOPS (Cheferd/PADLL terminology). Each concrete POSIX-level
+// operation class maps onto one dimension.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sds::stage {
+
+enum class Dimension : std::uint8_t { kData = 0, kMeta = 1 };
+constexpr std::size_t kNumDimensions = 2;
+
+[[nodiscard]] constexpr std::string_view to_string(Dimension d) {
+  return d == Dimension::kData ? "data" : "meta";
+}
+
+enum class OpClass : std::uint8_t {
+  kRead = 0,
+  kWrite,
+  kOpen,
+  kClose,
+  kStat,
+  kCreate,
+  kUnlink,
+  kRename,
+  kReaddir,
+};
+
+[[nodiscard]] constexpr Dimension dimension_of(OpClass op) {
+  switch (op) {
+    case OpClass::kRead:
+    case OpClass::kWrite:
+      return Dimension::kData;
+    case OpClass::kOpen:
+    case OpClass::kClose:
+    case OpClass::kStat:
+    case OpClass::kCreate:
+    case OpClass::kUnlink:
+    case OpClass::kRename:
+    case OpClass::kReaddir:
+      return Dimension::kMeta;
+  }
+  return Dimension::kData;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(OpClass op) {
+  switch (op) {
+    case OpClass::kRead: return "read";
+    case OpClass::kWrite: return "write";
+    case OpClass::kOpen: return "open";
+    case OpClass::kClose: return "close";
+    case OpClass::kStat: return "stat";
+    case OpClass::kCreate: return "create";
+    case OpClass::kUnlink: return "unlink";
+    case OpClass::kRename: return "rename";
+    case OpClass::kReaddir: return "readdir";
+  }
+  return "?";
+}
+
+}  // namespace sds::stage

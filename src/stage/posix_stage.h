@@ -1,0 +1,102 @@
+// PosixStage — a real enforcement engine in the PADLL mould.
+//
+// Applications (or, here, synthetic workload drivers) submit classified
+// POSIX-level operations; the stage admits or delays them through its
+// RateLimiter and accounts per-dimension rates that the collect phase
+// reports to the control plane.
+//
+// Thread-safe: multiple application threads may submit concurrently while
+// the control-plane thread collects and enforces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+#include "proto/messages.h"
+#include "stage/limiter.h"
+#include "stage/op.h"
+
+namespace sds::stage {
+
+class PosixStage {
+ public:
+  PosixStage(proto::StageInfo info, const Clock& clock,
+             LimiterOptions options = {})
+      : info_(std::move(info)),
+        clock_(&clock),
+        limiter_(clock.now(), options),
+        window_start_(clock.now()) {}
+
+  [[nodiscard]] const proto::StageInfo& info() const { return info_; }
+
+  /// Try to admit one operation right now; returns true if admitted.
+  /// Rejected operations are counted as throttled (callers typically
+  /// retry after admission_delay()).
+  bool try_submit(OpClass op) {
+    const Nanos now = clock_->now();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (limiter_.try_admit(op, now)) {
+      ++admitted_[static_cast<std::size_t>(dimension_of(op))];
+      return true;
+    }
+    ++throttled_[static_cast<std::size_t>(dimension_of(op))];
+    return false;
+  }
+
+  /// Delay until `op` could be admitted (0 = admissible now).
+  [[nodiscard]] Nanos admission_delay(OpClass op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return limiter_.admission_delay(op, clock_->now());
+  }
+
+  /// Apply a rule from the control plane; stale epochs rejected.
+  bool apply(const proto::Rule& rule) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return limiter_.apply(rule, clock_->now());
+  }
+
+  /// Report rates observed since the previous collect and reset the
+  /// accounting window (exactly what a Cheferd stage does each cycle).
+  [[nodiscard]] proto::StageMetrics collect(std::uint64_t cycle_id) {
+    const Nanos now = clock_->now();
+    std::lock_guard<std::mutex> lock(mu_);
+    const double window = std::max(to_seconds(now - window_start_), 1e-9);
+    proto::StageMetrics m;
+    m.cycle_id = cycle_id;
+    m.stage_id = info_.stage_id;
+    m.job_id = info_.job_id;
+    m.data_iops = static_cast<double>(admitted_[0]) / window;
+    m.meta_iops = static_cast<double>(admitted_[1]) / window;
+    m.data_limit = limiter_.limit(Dimension::kData);
+    m.meta_limit = limiter_.limit(Dimension::kMeta);
+    admitted_ = {};
+    throttled_ = {};
+    window_start_ = now;
+    return m;
+  }
+
+  /// Operations rejected since the last collect (introspection).
+  [[nodiscard]] std::uint64_t throttled(Dimension d) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return throttled_[static_cast<std::size_t>(d)];
+  }
+
+  [[nodiscard]] double limit(Dimension d) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return limiter_.limit(d);
+  }
+
+ private:
+  proto::StageInfo info_;
+  const Clock* clock_;
+
+  mutable std::mutex mu_;
+  RateLimiter limiter_;
+  std::array<std::uint64_t, kNumDimensions> admitted_{};
+  std::array<std::uint64_t, kNumDimensions> throttled_{};
+  Nanos window_start_;
+};
+
+}  // namespace sds::stage

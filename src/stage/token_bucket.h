@@ -1,0 +1,79 @@
+// Token-bucket rate limiter: the enforcement mechanism of a data-plane
+// stage. Deterministic — all methods take the current time explicitly, so
+// the same code runs under the live clock, unit tests, and the simulator.
+#pragma once
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace sds::stage {
+
+class TokenBucket {
+ public:
+  /// A negative rate means unlimited (mirrors proto::kUnlimited).
+  /// A new bucket starts full: a stage may burst up to `burst` operations
+  /// immediately after (re)configuration.
+  TokenBucket(double rate_per_sec, double burst, Nanos now)
+      : last_refill_(now) {
+    set_rate(rate_per_sec, burst, now);
+    tokens_ = burst_;
+  }
+
+  /// Reconfigure the bucket; retained tokens are clamped to the new burst.
+  void set_rate(double rate_per_sec, double burst, Nanos now) {
+    refill(now);
+    rate_ = rate_per_sec;
+    burst_ = std::max(burst, 1.0);
+    tokens_ = std::min(tokens_, burst_);
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double burst() const { return burst_; }
+  [[nodiscard]] bool unlimited() const { return rate_ < 0; }
+
+  /// Admit `n` operations now if enough tokens are available.
+  bool try_acquire(double n, Nanos now) {
+    if (unlimited()) return true;
+    refill(now);
+    if (tokens_ + kSlack >= n) {
+      tokens_ -= n;
+      return true;
+    }
+    return false;
+  }
+
+  /// Time until `n` operations could be admitted (0 if admissible now).
+  [[nodiscard]] Nanos time_until(double n, Nanos now) {
+    if (unlimited()) return Nanos{0};
+    refill(now);
+    if (tokens_ + kSlack >= n) return Nanos{0};
+    if (rate_ <= 0) return Nanos::max();  // rate 0: never
+    const double missing = n - tokens_;
+    return Nanos{static_cast<std::int64_t>(missing / rate_ * 1e9) + 1};
+  }
+
+  [[nodiscard]] double tokens(Nanos now) {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  static constexpr double kSlack = 1e-9;
+
+  void refill(Nanos now) {
+    if (now <= last_refill_) return;
+    if (rate_ > 0) {
+      const double elapsed = to_seconds(now - last_refill_);
+      tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    }
+    last_refill_ = now;
+  }
+
+  double rate_ = -1;
+  double burst_ = 1;
+  double tokens_ = 0;
+  Nanos last_refill_;
+};
+
+}  // namespace sds::stage

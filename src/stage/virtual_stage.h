@@ -1,0 +1,83 @@
+// VirtualStage — the paper's lightweight data-plane stage stand-in.
+//
+// A virtual stage mimics the control-plane-facing behaviour of a real
+// stage without running an application: it answers collect requests with
+// synthetic metrics (driven by a pluggable demand function) and applies
+// enforcement rules. The reported rate is min(demand, enforced limit) —
+// a rate-limited stage cannot submit more than its limit, so latent
+// demand is invisible to the controller, exactly as in a real deployment.
+//
+// Deterministic: all behaviour is a function of explicit time.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/types.h"
+#include "proto/messages.h"
+#include "stage/op.h"
+
+namespace sds::stage {
+
+/// Demand (ops/s) a job would submit through this stage at time t.
+using DemandFn = std::function<double(Nanos)>;
+
+class VirtualStage {
+ public:
+  VirtualStage(proto::StageInfo info, DemandFn data_demand, DemandFn meta_demand)
+      : info_(std::move(info)),
+        data_demand_(std::move(data_demand)),
+        meta_demand_(std::move(meta_demand)) {}
+
+  [[nodiscard]] const proto::StageInfo& info() const { return info_; }
+
+  /// Respond to a collect request.
+  [[nodiscard]] proto::StageMetrics collect(std::uint64_t cycle_id, Nanos now) const {
+    proto::StageMetrics m;
+    m.cycle_id = cycle_id;
+    m.stage_id = info_.stage_id;
+    m.job_id = info_.job_id;
+    m.data_iops = throttled(data_demand_ ? data_demand_(now) : 0.0, data_limit_);
+    m.meta_iops = throttled(meta_demand_ ? meta_demand_(now) : 0.0, meta_limit_);
+    m.data_limit = data_limit_;
+    m.meta_limit = meta_limit_;
+    return m;
+  }
+
+  /// Apply an enforcement rule; stale epochs are rejected.
+  bool apply(const proto::Rule& rule) {
+    if (rule.epoch < epoch_) return false;
+    epoch_ = rule.epoch;
+    data_limit_ = rule.data_iops_limit;
+    meta_limit_ = rule.meta_iops_limit;
+    return true;
+  }
+
+  [[nodiscard]] double limit(Dimension d) const {
+    return d == Dimension::kData ? data_limit_ : meta_limit_;
+  }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Unthrottled demand at `now` (test/bench introspection).
+  [[nodiscard]] double demand(Dimension d, Nanos now) const {
+    const auto& fn = d == Dimension::kData ? data_demand_ : meta_demand_;
+    return fn ? fn(now) : 0.0;
+  }
+
+ private:
+  static double throttled(double demand, double limit) {
+    if (demand < 0) demand = 0;
+    if (limit < 0) return demand;  // unlimited
+    return demand < limit ? demand : limit;
+  }
+
+  proto::StageInfo info_;
+  DemandFn data_demand_;
+  DemandFn meta_demand_;
+  double data_limit_ = proto::kUnlimited;
+  double meta_limit_ = proto::kUnlimited;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace sds::stage

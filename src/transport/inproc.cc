@@ -1,0 +1,298 @@
+#include "transport/inproc.h"
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "common/queue.h"
+
+namespace sds::transport {
+
+namespace detail {
+
+/// Shared state for one in-process endpoint. Endpoint wrappers and remote
+/// peers hold shared_ptrs, so a core outlives concurrent senders even if
+/// its Endpoint has been destroyed.
+class InProcCore : public std::enable_shared_from_this<InProcCore> {
+ public:
+  InProcCore(InProcNetwork* network, std::string address,
+             const EndpointOptions& options)
+      : network_(network), address_(std::move(address)), options_(options) {}
+
+  ~InProcCore() { stop(); }
+
+  void start() {
+    delivery_thread_ = std::thread([this] { delivery_loop(); });
+  }
+
+  const std::string& address() const { return address_; }
+
+  void set_frame_handler(FrameHandler handler) {
+    std::lock_guard<std::mutex> lock(mu_);
+    frame_handler_ = std::move(handler);
+  }
+
+  void set_conn_handler(ConnEventHandler handler) {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_handler_ = std::move(handler);
+  }
+
+  Result<ConnId> connect(const std::string& peer_address) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::unavailable("endpoint shut down");
+    }
+    auto peer = network_->lookup(peer_address);
+    if (!peer) return Status::not_found("no endpoint at " + peer_address);
+
+    if (!try_reserve_slot()) {
+      counters_.on_reject();
+      return Status::resource_exhausted("local connection cap reached");
+    }
+    if (!peer->try_reserve_slot()) {
+      release_slot();
+      peer->counters_.on_reject();
+      return Status::resource_exhausted("peer connection cap reached at " +
+                                        peer_address);
+    }
+
+    const ConnId local_id = next_conn_id();
+    const ConnId remote_id = peer->next_conn_id();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conns_[local_id] = Peer{peer, remote_id};
+    }
+    {
+      std::lock_guard<std::mutex> lock(peer->mu_);
+      peer->conns_[remote_id] = Peer{shared_from_this(), local_id};
+    }
+    counters_.on_dial();
+    peer->counters_.on_accept();
+    enqueue_conn_event(local_id, ConnEvent::kOpened);
+    peer->enqueue_conn_event(remote_id, ConnEvent::kOpened);
+    return local_id;
+  }
+
+  Status send(ConnId conn, wire::Frame frame) {
+    std::shared_ptr<InProcCore> peer;
+    ConnId remote_id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = conns_.find(conn);
+      if (it == conns_.end()) return Status::unavailable("connection closed");
+      peer = it->second.core;
+      remote_id = it->second.remote_conn;
+    }
+    const std::size_t size = frame.wire_size();
+    if (!peer->enqueue_frame(remote_id, std::move(frame))) {
+      return Status::unavailable("peer shut down");
+    }
+    counters_.on_send(size);
+    peer->counters_.on_receive(size);
+    return Status::ok();
+  }
+
+  void close(ConnId conn) { close_impl(conn, /*notify_self=*/true); }
+
+  void stop() {
+    if (closed_.exchange(true, std::memory_order_acq_rel)) {
+      if (delivery_thread_.joinable()) delivery_thread_.join();
+      return;
+    }
+    // Close every remaining connection (notifies peers).
+    std::vector<ConnId> open;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open.reserve(conns_.size());
+      for (const auto& [id, _] : conns_) open.push_back(id);
+    }
+    for (const ConnId id : open) close_impl(id, /*notify_self=*/false);
+    queue_.close();
+    if (delivery_thread_.joinable()) delivery_thread_.join();
+    network_->unbind(address_);
+  }
+
+  Counters counters() const { return counters_.snapshot(); }
+
+ private:
+  struct Peer {
+    std::shared_ptr<InProcCore> core;
+    ConnId remote_conn;
+  };
+
+  struct Event {
+    ConnId conn;
+    bool is_frame = false;
+    wire::Frame frame;
+    ConnEvent conn_event = ConnEvent::kOpened;
+  };
+
+  ConnId next_conn_id() {
+    return ConnId{next_conn_.fetch_add(1, std::memory_order_relaxed)};
+  }
+
+  bool try_reserve_slot() {
+    if (options_.max_connections == 0) {
+      slots_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    std::size_t current = slots_.load(std::memory_order_relaxed);
+    while (current < options_.max_connections) {
+      if (slots_.compare_exchange_weak(current, current + 1,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void release_slot() { slots_.fetch_sub(1, std::memory_order_relaxed); }
+
+  bool enqueue_frame(ConnId conn, wire::Frame frame) {
+    Event ev;
+    ev.conn = conn;
+    ev.is_frame = true;
+    ev.frame = std::move(frame);
+    return queue_.push(std::move(ev));
+  }
+
+  void enqueue_conn_event(ConnId conn, ConnEvent event) {
+    Event ev;
+    ev.conn = conn;
+    ev.conn_event = event;
+    queue_.push(std::move(ev));
+  }
+
+  void close_impl(ConnId conn, bool notify_self) {
+    std::shared_ptr<InProcCore> peer;
+    ConnId remote_id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = conns_.find(conn);
+      if (it == conns_.end()) return;
+      peer = it->second.core;
+      remote_id = it->second.remote_conn;
+      conns_.erase(it);
+    }
+    release_slot();
+    counters_.on_close();
+    if (notify_self) enqueue_conn_event(conn, ConnEvent::kClosed);
+    peer->on_peer_closed(remote_id);
+  }
+
+  void on_peer_closed(ConnId conn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (conns_.erase(conn) == 0) return;
+    }
+    release_slot();
+    counters_.on_close();
+    enqueue_conn_event(conn, ConnEvent::kClosed);
+  }
+
+  void delivery_loop() {
+    while (auto ev = queue_.pop()) {
+      FrameHandler frame_handler;
+      ConnEventHandler conn_handler;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        frame_handler = frame_handler_;
+        conn_handler = conn_handler_;
+      }
+      if (ev->is_frame) {
+        if (frame_handler) {
+          frame_handler(ev->conn, std::move(ev->frame));
+        } else {
+          SDS_LOG(WARN) << address_ << ": frame dropped (no handler)";
+        }
+      } else if (conn_handler) {
+        conn_handler(ev->conn, ev->conn_event);
+      }
+    }
+  }
+
+  InProcNetwork* network_;
+  const std::string address_;
+  const EndpointOptions options_;
+
+  std::mutex mu_;
+  FrameHandler frame_handler_;
+  ConnEventHandler conn_handler_;
+  std::unordered_map<ConnId, Peer> conns_;
+
+  Queue<Event> queue_;
+  std::thread delivery_thread_;
+  std::atomic<std::uint64_t> next_conn_{1};
+  std::atomic<std::size_t> slots_{0};
+  std::atomic<bool> closed_{false};
+  CounterBlock counters_;
+};
+
+namespace {
+
+/// Thin Endpoint adapter over a shared core.
+class InProcEndpoint final : public Endpoint {
+ public:
+  explicit InProcEndpoint(std::shared_ptr<InProcCore> core)
+      : core_(std::move(core)) {}
+
+  ~InProcEndpoint() override { core_->stop(); }
+
+  const std::string& address() const override { return core_->address(); }
+  void set_frame_handler(FrameHandler handler) override {
+    core_->set_frame_handler(std::move(handler));
+  }
+  void set_conn_handler(ConnEventHandler handler) override {
+    core_->set_conn_handler(std::move(handler));
+  }
+  Result<ConnId> connect(const std::string& peer_address) override {
+    return core_->connect(peer_address);
+  }
+  Status send(ConnId conn, wire::Frame frame) override {
+    return core_->send(conn, std::move(frame));
+  }
+  void close(ConnId conn) override { core_->close(conn); }
+  void shutdown() override { core_->stop(); }
+  Counters counters() const override { return core_->counters(); }
+
+ private:
+  std::shared_ptr<InProcCore> core_;
+};
+
+}  // namespace
+
+}  // namespace detail
+
+InProcNetwork::~InProcNetwork() = default;
+
+Result<std::unique_ptr<Endpoint>> InProcNetwork::bind(
+    const std::string& address, const EndpointOptions& options) {
+  auto core = std::make_shared<detail::InProcCore>(this, address, options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = registry_.try_emplace(address, core);
+    if (!inserted) {
+      if (!it->second.expired()) {
+        return Status::already_exists("address in use: " + address);
+      }
+      it->second = core;
+    }
+  }
+  core->start();
+  return std::unique_ptr<Endpoint>(new detail::InProcEndpoint(std::move(core)));
+}
+
+std::shared_ptr<detail::InProcCore> InProcNetwork::lookup(
+    const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = registry_.find(address);
+  return it == registry_.end() ? nullptr : it->second.lock();
+}
+
+void InProcNetwork::unbind(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = registry_.find(address);
+  if (it != registry_.end() && it->second.expired()) registry_.erase(it);
+}
+
+}  // namespace sds::transport

@@ -1,0 +1,44 @@
+// In-process transport: endpoints in the same process exchange frames via
+// per-endpoint delivery threads and thread-safe queues. Used by unit and
+// integration tests and by single-machine live deployments.
+//
+// Semantics match the TCP transport: per-endpoint connection caps,
+// ordered delivery per connection, connection-closed events on both ends,
+// byte counters based on real encoded frame sizes.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "transport/transport.h"
+
+namespace sds::transport {
+
+namespace detail {
+class InProcCore;
+}
+
+class InProcNetwork final : public Network {
+ public:
+  InProcNetwork() = default;
+  ~InProcNetwork() override;
+
+  InProcNetwork(const InProcNetwork&) = delete;
+  InProcNetwork& operator=(const InProcNetwork&) = delete;
+
+  Result<std::unique_ptr<Endpoint>> bind(const std::string& address,
+                                         const EndpointOptions& options) override;
+
+ private:
+  friend class detail::InProcCore;
+
+  std::shared_ptr<detail::InProcCore> lookup(const std::string& address);
+  void unbind(const std::string& address);
+
+  std::mutex mu_;
+  std::unordered_map<std::string, std::weak_ptr<detail::InProcCore>> registry_;
+};
+
+}  // namespace sds::transport

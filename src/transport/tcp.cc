@@ -1,0 +1,467 @@
+#include "transport/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+#include "common/queue.h"
+
+namespace sds::transport {
+
+namespace {
+
+constexpr int kMaxEpollEvents = 256;
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+Status errno_status(const std::string& what) {
+  return Status::unavailable(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<sockaddr_in> parse_address(const std::string& address) {
+  const auto colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::invalid_argument("address must be host:port: " + address);
+  }
+  std::string host = address.substr(0, colon);
+  if (host.empty()) host = "127.0.0.1";
+  const std::string port_str = address.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port < 0 || port > 65535) {
+    return Status::invalid_argument("bad port: " + port_str);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::invalid_argument("bad IPv4 host: " + host);
+  }
+  return addr;
+}
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+  int fd = -1;
+  ConnId id;
+  wire::Bytes read_buffer;
+  std::deque<wire::Bytes> write_queue;
+  std::size_t write_offset = 0;  // into write_queue.front()
+  bool want_write = false;
+};
+
+class TcpEndpoint final : public Endpoint {
+ public:
+  TcpEndpoint(const EndpointOptions& options) : options_(options) {}
+
+  ~TcpEndpoint() override { shutdown(); }
+
+  Status start(const std::string& requested_address) {
+    auto addr = parse_address(requested_address);
+    if (!addr.is_ok()) return addr.status();
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return errno_status("socket");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&*addr), sizeof(*addr)) < 0) {
+      return errno_status("bind " + requested_address);
+    }
+    if (::listen(listen_fd_, 1024) < 0) return errno_status("listen");
+    set_nonblocking(listen_fd_);
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    char host[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &bound.sin_addr, host, sizeof(host));
+    address_ = std::string(host) + ":" + std::to_string(ntohs(bound.sin_port));
+
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return errno_status("epoll_create1");
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) return errno_status("eventfd");
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+    ev.data.fd = wake_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+    loop_thread_ = std::thread([this] { event_loop(); });
+    return Status::ok();
+  }
+
+  const std::string& address() const override { return address_; }
+
+  void set_frame_handler(FrameHandler handler) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    frame_handler_ = std::move(handler);
+  }
+
+  void set_conn_handler(ConnEventHandler handler) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_handler_ = std::move(handler);
+  }
+
+  Result<ConnId> connect(const std::string& peer_address) override {
+    if (stopping_.load(std::memory_order_acquire)) {
+      return Status::unavailable("endpoint shut down");
+    }
+    if (!try_reserve_slot()) {
+      counters_.on_reject();
+      return Status::resource_exhausted("local connection cap reached");
+    }
+    auto addr = parse_address(peer_address);
+    if (!addr.is_ok()) {
+      release_slot();
+      return addr.status();
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      release_slot();
+      return errno_status("socket");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&*addr), sizeof(*addr)) < 0) {
+      ::close(fd);
+      release_slot();
+      return errno_status("connect " + peer_address);
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+
+    const ConnId id{next_conn_.fetch_add(1, std::memory_order_relaxed)};
+    counters_.on_dial();
+    post_command([this, fd, id] { register_conn(fd, id, /*inbound=*/false); });
+    return id;
+  }
+
+  Status send(ConnId conn, wire::Frame frame) override {
+    if (stopping_.load(std::memory_order_acquire)) {
+      return Status::unavailable("endpoint shut down");
+    }
+    const std::size_t size = frame.wire_size();
+    auto bytes = frame.serialize();
+    counters_.on_send(size);
+    post_command([this, conn, bytes = std::move(bytes)]() mutable {
+      queue_write(conn, std::move(bytes));
+    });
+    return Status::ok();
+  }
+
+  void close(ConnId conn) override {
+    post_command([this, conn] {
+      const auto it = by_id_.find(conn);
+      if (it != by_id_.end()) close_conn(*it->second, /*notify=*/true);
+    });
+  }
+
+  void shutdown() override {
+    if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+      if (loop_thread_.joinable()) loop_thread_.join();
+      return;
+    }
+    wake();
+    if (loop_thread_.joinable()) loop_thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+  }
+
+  Counters counters() const override { return counters_.snapshot(); }
+
+ private:
+  bool try_reserve_slot() {
+    if (options_.max_connections == 0) {
+      slots_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    std::size_t current = slots_.load(std::memory_order_relaxed);
+    while (current < options_.max_connections) {
+      if (slots_.compare_exchange_weak(current, current + 1,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void release_slot() { slots_.fetch_sub(1, std::memory_order_relaxed); }
+
+  void post_command(std::function<void()> cmd) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      commands_.push_back(std::move(cmd));
+    }
+    wake();
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+  // ------------------------------------------------------------------
+  // Event-loop side (no external locking needed for conns_/by_id_).
+
+  void event_loop() {
+    std::vector<epoll_event> events(kMaxEpollEvents);
+    while (!stopping_.load(std::memory_order_acquire)) {
+      const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()), 100);
+      if (n < 0 && errno != EINTR) break;
+      for (int i = 0; i < n; ++i) {
+        const auto& ev = events[i];
+        if (ev.data.fd == wake_fd_) {
+          drain_wake();
+        } else if (ev.data.fd == listen_fd_) {
+          accept_pending();
+        } else {
+          handle_conn_event(ev);
+        }
+      }
+      run_commands();
+    }
+    // Teardown: close all connections without callbacks (endpoint gone).
+    for (auto& [fd, conn] : conns_) ::close(conn.fd);
+    conns_.clear();
+    by_id_.clear();
+  }
+
+  void drain_wake() {
+    std::uint64_t buf;
+    while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void run_commands() {
+    std::vector<std::function<void()>> cmds;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cmds.swap(commands_);
+    }
+    for (auto& cmd : cmds) cmd();
+  }
+
+  void accept_pending() {
+    while (true) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (fd < 0) break;
+      if (!try_reserve_slot()) {
+        counters_.on_reject();
+        ::close(fd);
+        continue;
+      }
+      set_nonblocking(fd);
+      set_nodelay(fd);
+      const ConnId id{next_conn_.fetch_add(1, std::memory_order_relaxed)};
+      counters_.on_accept();
+      register_conn(fd, id, /*inbound=*/true);
+    }
+  }
+
+  void register_conn(int fd, ConnId id, bool inbound) {
+    (void)inbound;
+    auto [it, _] = conns_.try_emplace(fd);
+    Conn& conn = it->second;
+    conn.fd = fd;
+    conn.id = id;
+    by_id_[id] = &conn;
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    notify_conn(id, ConnEvent::kOpened);
+  }
+
+  void handle_conn_event(const epoll_event& ev) {
+    const auto it = conns_.find(ev.data.fd);
+    if (it == conns_.end()) return;
+    Conn& conn = it->second;
+    if (ev.events & (EPOLLHUP | EPOLLERR)) {
+      close_conn(conn, /*notify=*/true);
+      return;
+    }
+    if (ev.events & EPOLLIN) {
+      if (!read_available(conn)) return;  // conn closed during read
+    }
+    if (ev.events & EPOLLOUT) flush_writes(conn);
+  }
+
+  /// Returns false if the connection was closed.
+  bool read_available(Conn& conn) {
+    while (true) {
+      const std::size_t old_size = conn.read_buffer.size();
+      conn.read_buffer.resize(old_size + kReadChunk);
+      const ssize_t n =
+          ::read(conn.fd, conn.read_buffer.data() + old_size, kReadChunk);
+      if (n > 0) {
+        conn.read_buffer.resize(old_size + static_cast<std::size_t>(n));
+        if (!parse_frames(conn)) return false;
+        continue;
+      }
+      conn.read_buffer.resize(old_size);
+      if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+        close_conn(conn, /*notify=*/true);
+        return false;
+      }
+      return true;  // drained
+    }
+  }
+
+  /// Returns false if the connection was closed due to a protocol error.
+  bool parse_frames(Conn& conn) {
+    std::size_t offset = 0;
+    auto& buf = conn.read_buffer;
+    while (buf.size() - offset >= wire::kFrameHeaderSize) {
+      auto header = wire::FrameHeader::decode(
+          std::span<const std::uint8_t>(buf.data() + offset, buf.size() - offset));
+      if (!header.is_ok()) {
+        SDS_LOG(WARN) << address_ << ": protocol error: "
+                      << header.status().to_string();
+        close_conn(conn, /*notify=*/true);
+        return false;
+      }
+      const std::size_t total = wire::kFrameHeaderSize + header->length;
+      if (buf.size() - offset < total) break;
+      wire::Frame frame;
+      frame.type = header->type;
+      frame.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(offset + wire::kFrameHeaderSize),
+                           buf.begin() + static_cast<std::ptrdiff_t>(offset + total));
+      counters_.on_receive(total);
+      deliver_frame(conn.id, std::move(frame));
+      offset += total;
+    }
+    if (offset > 0) buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(offset));
+    return true;
+  }
+
+  void deliver_frame(ConnId id, wire::Frame frame) {
+    FrameHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      handler = frame_handler_;
+    }
+    if (handler) handler(id, std::move(frame));
+  }
+
+  void notify_conn(ConnId id, ConnEvent event) {
+    ConnEventHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      handler = conn_handler_;
+    }
+    if (handler) handler(id, event);
+  }
+
+  void queue_write(ConnId id, wire::Bytes bytes) {
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) return;  // closed before the send ran
+    Conn& conn = *it->second;
+    if (options_.send_queue_limit != 0 &&
+        conn.write_queue.size() >= options_.send_queue_limit) {
+      SDS_LOG(WARN) << address_ << ": send queue overflow, closing conn";
+      close_conn(conn, /*notify=*/true);
+      return;
+    }
+    conn.write_queue.push_back(std::move(bytes));
+    flush_writes(conn);
+  }
+
+  void flush_writes(Conn& conn) {
+    while (!conn.write_queue.empty()) {
+      const auto& front = conn.write_queue.front();
+      const ssize_t n = ::write(conn.fd, front.data() + conn.write_offset,
+                                front.size() - conn.write_offset);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(conn, /*notify=*/true);
+        return;
+      }
+      conn.write_offset += static_cast<std::size_t>(n);
+      if (conn.write_offset == front.size()) {
+        conn.write_queue.pop_front();
+        conn.write_offset = 0;
+      }
+    }
+    const bool want_write = !conn.write_queue.empty();
+    if (want_write != conn.want_write) {
+      conn.want_write = want_write;
+      epoll_event ev{};
+      ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+      ev.data.fd = conn.fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+    }
+  }
+
+  void close_conn(Conn& conn, bool notify) {
+    const ConnId id = conn.id;
+    const int fd = conn.fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    by_id_.erase(id);
+    conns_.erase(fd);  // `conn` is dangling after this line
+    release_slot();
+    counters_.on_close();
+    if (notify) notify_conn(id, ConnEvent::kClosed);
+  }
+
+  const EndpointOptions options_;
+  std::string address_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread loop_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_conn_{1};
+  std::atomic<std::size_t> slots_{0};
+
+  std::mutex mu_;  // guards handlers_ and commands_
+  FrameHandler frame_handler_;
+  ConnEventHandler conn_handler_;
+  std::vector<std::function<void()>> commands_;
+
+  // Event-loop-thread-only state.
+  std::unordered_map<int, Conn> conns_;
+  std::unordered_map<ConnId, Conn*> by_id_;
+
+  CounterBlock counters_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Endpoint>> TcpNetwork::bind(
+    const std::string& address, const EndpointOptions& options) {
+  auto endpoint = std::make_unique<TcpEndpoint>(options);
+  SDS_RETURN_IF_ERROR(endpoint->start(address));
+  return std::unique_ptr<Endpoint>(std::move(endpoint));
+}
+
+}  // namespace sds::transport

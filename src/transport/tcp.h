@@ -1,0 +1,22 @@
+// TCP transport: length-prefixed wire::Frame streams over non-blocking
+// sockets driven by a per-endpoint epoll event loop.
+//
+// Addresses are "host:port"; binding to port 0 picks an ephemeral port and
+// address() reports the actual one. All handler callbacks run on the
+// endpoint's event-loop thread (single delivery thread contract).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "transport/transport.h"
+
+namespace sds::transport {
+
+class TcpNetwork final : public Network {
+ public:
+  Result<std::unique_ptr<Endpoint>> bind(const std::string& address,
+                                         const EndpointOptions& options) override;
+};
+
+}  // namespace sds::transport

@@ -1,0 +1,77 @@
+// Transport frame: fixed 12-byte header followed by the message payload.
+//
+//   magic   u32  'S','D','S','1'
+//   type    u16  proto::MessageType
+//   flags   u16  reserved (0)
+//   length  u32  payload byte count
+//
+// TCP streams carry back-to-back frames; the in-process transport and the
+// simulator carry Frame objects directly (payload sizes still count).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/status.h"
+#include "wire/codec.h"
+
+namespace sds::wire {
+
+constexpr std::uint32_t kFrameMagic = 0x31534453;  // "SDS1" little-endian
+constexpr std::size_t kFrameHeaderSize = 12;
+/// Upper bound on a single frame payload (guards against corrupt lengths).
+constexpr std::uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+struct FrameHeader {
+  std::uint16_t type = 0;
+  std::uint16_t flags = 0;
+  std::uint32_t length = 0;
+
+  void encode(Encoder& enc) const {
+    enc.put_u32(kFrameMagic);
+    enc.put_u16(type);
+    enc.put_u16(flags);
+    enc.put_u32(length);
+  }
+
+  [[nodiscard]] static Result<FrameHeader> decode(std::span<const std::uint8_t> buf) {
+    if (buf.size() < kFrameHeaderSize) {
+      return Status::invalid_argument("short frame header");
+    }
+    Decoder dec(buf.subspan(0, kFrameHeaderSize));
+    if (dec.get_u32() != kFrameMagic) {
+      return Status::invalid_argument("bad frame magic");
+    }
+    FrameHeader h;
+    h.type = dec.get_u16();
+    h.flags = dec.get_u16();
+    h.length = dec.get_u32();
+    if (h.length > kMaxFramePayload) {
+      return Status::out_of_range("frame payload too large");
+    }
+    return h;
+  }
+};
+
+/// A complete message as carried by a transport.
+struct Frame {
+  std::uint16_t type = 0;
+  Bytes payload;
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return kFrameHeaderSize + payload.size();
+  }
+
+  /// Serialize header+payload into a flat byte buffer (for TCP writes).
+  [[nodiscard]] Bytes serialize() const {
+    Encoder enc;
+    enc.reserve(wire_size());
+    FrameHeader h{type, 0, static_cast<std::uint32_t>(payload.size())};
+    h.encode(enc);
+    enc.put_raw(payload);
+    return enc.take();
+  }
+};
+
+}  // namespace sds::wire

@@ -1,0 +1,88 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+
+namespace sds::workload {
+
+stage::DemandFn constant(double ops_per_sec) {
+  return [ops_per_sec](Nanos) { return ops_per_sec; };
+}
+
+stage::DemandFn uniform_constant(double lo, double hi, Rng& rng) {
+  return constant(rng.uniform(lo, hi));
+}
+
+stage::DemandFn bursty(double high, double low, Nanos on, Nanos off,
+                       Nanos phase) {
+  const std::int64_t period = (on + off).count();
+  return [=](Nanos t) {
+    if (period <= 0) return high;
+    std::int64_t pos = (t + phase).count() % period;
+    if (pos < 0) pos += period;
+    return pos < on.count() ? high : low;
+  };
+}
+
+stage::DemandFn ramp(double start_rate, double end_rate, Nanos duration) {
+  return [=](Nanos t) {
+    if (duration.count() <= 0 || t >= duration) return end_rate;
+    const double frac =
+        static_cast<double>(t.count()) / static_cast<double>(duration.count());
+    return start_rate + (end_rate - start_rate) * frac;
+  };
+}
+
+stage::DemandFn sinusoidal(double mean, double amplitude, Nanos period,
+                           Nanos phase) {
+  return [=](Nanos t) {
+    if (period.count() <= 0) return mean;
+    const double angle = 2.0 * 3.14159265358979323846 *
+                         static_cast<double>((t + phase).count()) /
+                         static_cast<double>(period.count());
+    return std::max(0.0, mean + amplitude * std::sin(angle));
+  };
+}
+
+stage::DemandFn steps(std::vector<Step> schedule, double final_rate) {
+  return [schedule = std::move(schedule), final_rate](Nanos t) {
+    for (const auto& step : schedule) {
+      if (t < step.until) return step.rate;
+    }
+    return final_rate;
+  };
+}
+
+JobChurnSchedule::JobChurnSchedule(const JobChurnOptions& options,
+                                   std::uint64_t seed)
+    : options_(options) {
+  Rng rng(seed);
+  const double arrival_rate =
+      1.0 / std::max(to_seconds(options.mean_interarrival), 1e-9);
+  const double departure_rate =
+      1.0 / std::max(to_seconds(options.mean_lifetime), 1e-9);
+  Nanos t{0};
+  while (t < options.horizon) {
+    t += Nanos{static_cast<std::int64_t>(rng.exponential(arrival_rate) * 1e9)};
+    if (t >= options.horizon) break;
+    const Nanos lifetime{
+        static_cast<std::int64_t>(rng.exponential(departure_rate) * 1e9)};
+    episodes_.push_back({t, t + lifetime});
+  }
+  if (episodes_.empty()) {
+    episodes_.push_back({Nanos{0}, options.horizon});  // always one job
+  }
+}
+
+stage::DemandFn JobChurnSchedule::demand_for(std::size_t index) const {
+  const JobEpisode episode = episodes_[index % episodes_.size()];
+  const double rate = options_.active_rate;
+  return [episode, rate](Nanos t) { return episode.active_at(t) ? rate : 0.0; };
+}
+
+std::size_t JobChurnSchedule::active_at(Nanos t) const {
+  return static_cast<std::size_t>(
+      std::count_if(episodes_.begin(), episodes_.end(),
+                    [t](const JobEpisode& e) { return e.active_at(t); }));
+}
+
+}  // namespace sds::workload

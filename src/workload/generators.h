@@ -1,0 +1,91 @@
+// Synthetic demand generators for data-plane stages.
+//
+// Generators return a DemandFn — ops/s as a deterministic function of
+// simulated (or real) time — covering the paper's stress workload plus
+// the dynamic patterns its future-work section calls for (burstiness,
+// ramps, diurnal load) and a Poisson job-churn model.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "stage/virtual_stage.h"
+
+namespace sds::workload {
+
+/// Constant demand (the paper's stress workload: metric values are
+/// irrelevant; every stage always answers).
+[[nodiscard]] stage::DemandFn constant(double ops_per_sec);
+
+/// Constant-per-stage demand drawn uniformly from [lo, hi) at creation.
+[[nodiscard]] stage::DemandFn uniform_constant(double lo, double hi, Rng& rng);
+
+/// On/off burst pattern: `high` ops/s for `on` time, then `low` for
+/// `off`, repeating with a per-stage phase shift.
+[[nodiscard]] stage::DemandFn bursty(double high, double low, Nanos on,
+                                     Nanos off, Nanos phase = Nanos{0});
+
+/// Linear ramp from `start_rate` to `end_rate` over `duration`, constant
+/// afterwards.
+[[nodiscard]] stage::DemandFn ramp(double start_rate, double end_rate,
+                                   Nanos duration);
+
+/// Sinusoidal (diurnal-style) demand: mean + amplitude * sin(2πt/period).
+[[nodiscard]] stage::DemandFn sinusoidal(double mean, double amplitude,
+                                         Nanos period, Nanos phase = Nanos{0});
+
+/// Piecewise-constant steps (deterministic trace).
+struct Step {
+  Nanos until;
+  double rate;
+};
+[[nodiscard]] stage::DemandFn steps(std::vector<Step> schedule,
+                                    double final_rate);
+
+// ---------------------------------------------------------------------------
+// Job churn (jobs entering and leaving the system, paper §I)
+
+struct JobChurnOptions {
+  /// Mean job inter-arrival time.
+  Nanos mean_interarrival = seconds(30);
+  /// Mean job lifetime (exponentially distributed).
+  Nanos mean_lifetime = seconds(120);
+  /// Demand of a live job's stage.
+  double active_rate = 1000;
+  /// Horizon to pre-generate.
+  Nanos horizon = seconds(600);
+};
+
+/// A job's [start, end) activity window.
+struct JobEpisode {
+  Nanos start;
+  Nanos end;
+
+  [[nodiscard]] bool active_at(Nanos t) const { return t >= start && t < end; }
+};
+
+/// Pre-generates a Poisson arrival / exponential lifetime schedule; each
+/// stage picks an episode and is idle outside it. Deterministic per seed.
+class JobChurnSchedule {
+ public:
+  JobChurnSchedule(const JobChurnOptions& options, std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<JobEpisode>& episodes() const {
+    return episodes_;
+  }
+
+  /// Demand function for a stage belonging to episode `index % size`.
+  [[nodiscard]] stage::DemandFn demand_for(std::size_t index) const;
+
+  /// Number of episodes active at time t.
+  [[nodiscard]] std::size_t active_at(Nanos t) const;
+
+ private:
+  JobChurnOptions options_;
+  std::vector<JobEpisode> episodes_;
+};
+
+}  // namespace sds::workload

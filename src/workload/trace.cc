@@ -1,0 +1,180 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace sds::workload {
+
+void DemandTrace::add(Nanos at, StageId stage, double data_iops,
+                      double meta_iops) {
+  auto& series = series_[stage];
+  if (!series) series = std::make_shared<std::vector<Sample>>();
+  if (!series->empty() && series->back().at > at) sorted_ = false;
+  series->push_back({at, data_iops, meta_iops});
+}
+
+void DemandTrace::sort_if_needed() const {
+  if (sorted_) return;
+  for (auto& [stage, series] : series_) {
+    std::stable_sort(
+        series->begin(), series->end(),
+        [](const Sample& a, const Sample& b) { return a.at < b.at; });
+  }
+  sorted_ = true;
+}
+
+namespace {
+
+std::string_view next_field(std::string_view& line) {
+  const auto comma = line.find(',');
+  std::string_view field = line.substr(0, comma);
+  line = comma == std::string_view::npos ? std::string_view{}
+                                         : line.substr(comma + 1);
+  while (!field.empty() && std::isspace(static_cast<unsigned char>(field.front()))) {
+    field.remove_prefix(1);
+  }
+  while (!field.empty() && std::isspace(static_cast<unsigned char>(field.back()))) {
+    field.remove_suffix(1);
+  }
+  return field;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  // std::from_chars<double> is available in libstdc++ >= 11.
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+Result<DemandTrace> DemandTrace::parse_csv(std::string_view text) {
+  DemandTrace trace;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    if (line_no == 1 && line.find("time") != std::string_view::npos) {
+      continue;  // header row
+    }
+    const auto time_field = next_field(line);
+    const auto stage_field = next_field(line);
+    const auto data_field = next_field(line);
+    const auto meta_field = next_field(line);
+
+    double time_ms = 0;
+    double data = 0;
+    double meta = 0;
+    std::uint32_t stage = 0;
+    const auto [sp, sec] =
+        std::from_chars(stage_field.data(), stage_field.data() + stage_field.size(), stage);
+    if (!parse_double(time_field, time_ms) || sec != std::errc{} ||
+        sp != stage_field.data() + stage_field.size() ||
+        !parse_double(data_field, data) || !parse_double(meta_field, meta)) {
+      return Status::invalid_argument("trace line " + std::to_string(line_no) +
+                                      ": expected time_ms,stage,data,meta");
+    }
+    trace.add(Nanos{static_cast<std::int64_t>(time_ms * 1e6)}, StageId{stage},
+              data, meta);
+  }
+  return trace;
+}
+
+Result<DemandTrace> DemandTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::not_found("trace file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_csv(ss.str());
+}
+
+std::string DemandTrace::to_csv() const {
+  sort_if_needed();
+  std::ostringstream out;
+  out << "time_ms,stage_id,data_iops,meta_iops\n";
+  // Emit globally time-ordered rows for human-diffable output.
+  std::vector<std::pair<StageId, Sample>> rows;
+  rows.reserve(num_samples());
+  for (const auto& [stage, series] : series_) {
+    for (const Sample& sample : *series) rows.emplace_back(stage, sample);
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.at < b.second.at;
+  });
+  out.precision(10);
+  for (const auto& [stage, sample] : rows) {
+    out << to_millis(sample.at) << ',' << stage.value() << ','
+        << sample.data_iops << ',' << sample.meta_iops << '\n';
+  }
+  return out.str();
+}
+
+Status DemandTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::internal("cannot open for writing: " + path);
+  out << to_csv();
+  return out ? Status::ok() : Status::internal("write failed: " + path);
+}
+
+stage::DemandFn DemandTrace::demand_for(StageId stage,
+                                        stage::Dimension dim) const {
+  sort_if_needed();
+  const auto it = series_.find(stage);
+  if (it == series_.end()) {
+    return [](Nanos) { return 0.0; };
+  }
+  // Share the immutable sample vector; the closure outlives `this`.
+  std::shared_ptr<const std::vector<Sample>> series = it->second;
+  const bool data = dim == stage::Dimension::kData;
+  return [series, data](Nanos t) {
+    // Last sample with at <= t (piecewise-constant hold).
+    const auto after = std::upper_bound(
+        series->begin(), series->end(), t,
+        [](Nanos value, const Sample& s) { return value < s.at; });
+    if (after == series->begin()) return 0.0;
+    const Sample& sample = *std::prev(after);
+    return data ? sample.data_iops : sample.meta_iops;
+  };
+}
+
+std::size_t DemandTrace::num_samples() const {
+  std::size_t n = 0;
+  for (const auto& [stage, series] : series_) n += series->size();
+  return n;
+}
+
+Nanos DemandTrace::horizon() const {
+  sort_if_needed();
+  Nanos last{0};
+  for (const auto& [stage, series] : series_) {
+    if (!series->empty()) last = std::max(last, series->back().at);
+  }
+  return last;
+}
+
+const std::vector<DemandTrace::Sample>* DemandTrace::series(
+    StageId stage) const {
+  sort_if_needed();
+  const auto it = series_.find(stage);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+void TraceRecorder::record(Nanos at, const proto::StageMetrics& metrics) {
+  trace_.add(at, metrics.stage_id, metrics.data_iops, metrics.meta_iops);
+}
+
+void TraceRecorder::record(Nanos at, StageId stage, double data_iops,
+                           double meta_iops) {
+  trace_.add(at, stage, data_iops, meta_iops);
+}
+
+}  // namespace sds::workload

@@ -1,0 +1,83 @@
+// Demand traces: record per-stage I/O demand over time and replay it as
+// DemandFns — the bridge between the synthetic stress study and the
+// paper's future-work call for "real workloads and applications".
+//
+// Format: CSV rows `time_ms,stage_id,data_iops,meta_iops` (header line
+// optional, '#' comments allowed). Replay is piecewise-constant: a
+// stage's demand holds its most recent sample (zero before the first).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "proto/messages.h"
+#include "stage/virtual_stage.h"
+
+namespace sds::workload {
+
+class DemandTrace {
+ public:
+  struct Sample {
+    Nanos at;
+    double data_iops;
+    double meta_iops;
+  };
+
+  DemandTrace() = default;
+
+  /// Append a sample. Out-of-order times are tolerated (sorted on first
+  /// replay/serialization).
+  void add(Nanos at, StageId stage, double data_iops, double meta_iops);
+
+  /// Parse CSV text (see format above).
+  [[nodiscard]] static Result<DemandTrace> parse_csv(std::string_view text);
+  [[nodiscard]] static Result<DemandTrace> load(const std::string& path);
+
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] Status save(const std::string& path) const;
+
+  /// Replay: piecewise-constant demand for `stage` in dimension `dim`.
+  /// The returned function shares immutable snapshot state, so it stays
+  /// valid (and cheap to copy) after the trace object is destroyed.
+  /// Stages absent from the trace replay as constant zero.
+  [[nodiscard]] stage::DemandFn demand_for(StageId stage,
+                                           stage::Dimension dim) const;
+
+  [[nodiscard]] std::size_t num_stages() const { return series_.size(); }
+  [[nodiscard]] std::size_t num_samples() const;
+  /// Timestamp of the last sample (Nanos{0} for an empty trace).
+  [[nodiscard]] Nanos horizon() const;
+
+  [[nodiscard]] const std::vector<Sample>* series(StageId stage) const;
+
+ private:
+  void sort_if_needed() const;
+
+  // Mutable for lazy sorting; logically const after first replay.
+  mutable std::map<StageId, std::shared_ptr<std::vector<Sample>>> series_;
+  mutable bool sorted_ = true;
+};
+
+/// Records one row per collected StageMetrics — attach to a control loop
+/// to capture a replayable workload trace of a live (or simulated) run.
+class TraceRecorder {
+ public:
+  /// Record the *observed* rates from a collect-phase report.
+  void record(Nanos at, const proto::StageMetrics& metrics);
+
+  /// Record explicit rates.
+  void record(Nanos at, StageId stage, double data_iops, double meta_iops);
+
+  [[nodiscard]] const DemandTrace& trace() const { return trace_; }
+  [[nodiscard]] DemandTrace take() { return std::move(trace_); }
+
+ private:
+  DemandTrace trace_;
+};
+
+}  // namespace sds::workload

@@ -1,0 +1,56 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace sds {
+namespace {
+
+TEST(ClockTest, UnitHelpers) {
+  EXPECT_EQ(nanos(5).count(), 5);
+  EXPECT_EQ(micros(2).count(), 2'000);
+  EXPECT_EQ(millis(3).count(), 3'000'000);
+  EXPECT_EQ(seconds(1).count(), 1'000'000'000);
+}
+
+TEST(ClockTest, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_millis(millis(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_micros(micros(9)), 9.0);
+}
+
+TEST(ManualClockTest, StartsAtGivenTime) {
+  ManualClock clock(millis(5));
+  EXPECT_EQ(clock.now(), millis(5));
+}
+
+TEST(ManualClockTest, AdvanceAndSet) {
+  ManualClock clock;
+  EXPECT_EQ(clock.now(), Nanos{0});
+  clock.advance(micros(10));
+  EXPECT_EQ(clock.now(), micros(10));
+  clock.advance(micros(5));
+  EXPECT_EQ(clock.now(), micros(15));
+  clock.set(seconds(1));
+  EXPECT_EQ(clock.now(), seconds(1));
+}
+
+TEST(SystemClockTest, MonotonicallyNonDecreasing) {
+  const SystemClock& clock = SystemClock::instance();
+  const Nanos a = clock.now();
+  const Nanos b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(StopwatchTest, MeasuresManualClock) {
+  ManualClock clock;
+  Stopwatch watch(clock);
+  clock.advance(millis(3));
+  EXPECT_EQ(watch.elapsed(), millis(3));
+  watch.restart();
+  EXPECT_EQ(watch.elapsed(), Nanos{0});
+  clock.advance(micros(7));
+  EXPECT_EQ(watch.elapsed(), micros(7));
+}
+
+}  // namespace
+}  // namespace sds

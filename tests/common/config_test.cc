@@ -1,0 +1,110 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace sds {
+namespace {
+
+TEST(ConfigTest, ParseBasicKeyValues) {
+  auto config = Config::from_string("a=1\nb = two\nc.d = 3.5\n");
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config->get("a"), "1");
+  EXPECT_EQ(config->get("b"), "two");
+  EXPECT_EQ(config->get("c.d"), "3.5");
+}
+
+TEST(ConfigTest, CommentsAndBlankLines) {
+  auto config = Config::from_string(
+      "# full comment line\n"
+      "\n"
+      "key = value # trailing comment\n"
+      "   \n");
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config->get("key"), "value");
+  EXPECT_EQ(config->entries().size(), 1u);
+}
+
+TEST(ConfigTest, MissingEqualsIsError) {
+  auto config = Config::from_string("just a line\n");
+  EXPECT_FALSE(config.is_ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigTest, EmptyKeyIsError) {
+  auto config = Config::from_string("= nope\n");
+  EXPECT_FALSE(config.is_ok());
+}
+
+TEST(ConfigTest, LaterKeysWin) {
+  auto config = Config::from_string("x=1\nx=2\n");
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config->get_int_or("x", 0), 2);
+}
+
+TEST(ConfigTest, TypedGetters) {
+  auto config = Config::from_string(
+      "int=42\nneg=-7\ndouble=2.5\nbool_t=true\nbool_1=1\nbool_f=off\n");
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config->get_int("int").value(), 42);
+  EXPECT_EQ(config->get_int("neg").value(), -7);
+  EXPECT_DOUBLE_EQ(config->get_double("double").value(), 2.5);
+  EXPECT_TRUE(config->get_bool("bool_t").value());
+  EXPECT_TRUE(config->get_bool("bool_1").value());
+  EXPECT_FALSE(config->get_bool("bool_f").value());
+}
+
+TEST(ConfigTest, TypedGetterErrors) {
+  auto config = Config::from_string("s=hello\npartial=12x\n");
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config->get_int("s").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(config->get_int("partial").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(config->get_int("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(config->get_bool("s").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigTest, FallbackGetters) {
+  Config config;
+  EXPECT_EQ(config.get_int_or("x", 5), 5);
+  EXPECT_DOUBLE_EQ(config.get_double_or("x", 1.5), 1.5);
+  EXPECT_TRUE(config.get_bool_or("x", true));
+  EXPECT_EQ(config.get_or("x", "d"), "d");
+}
+
+TEST(ConfigTest, ApplyArgsParsesFlags) {
+  Config config;
+  const char* argv[] = {"prog", "--a=1", "positional", "--b.c=x", "--noval"};
+  const auto rest = config.apply_args(5, argv);
+  EXPECT_EQ(config.get_int_or("a", 0), 1);
+  EXPECT_EQ(config.get("b.c"), "x");
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], "prog");
+  EXPECT_EQ(rest[1], "positional");
+  EXPECT_EQ(rest[2], "--noval");
+}
+
+TEST(ConfigTest, MergeFromOtherWins) {
+  auto base = Config::from_string("a=1\nb=2\n").value();
+  auto overlay = Config::from_string("b=3\nc=4\n").value();
+  base.merge_from(overlay);
+  EXPECT_EQ(base.get_int_or("a", 0), 1);
+  EXPECT_EQ(base.get_int_or("b", 0), 3);
+  EXPECT_EQ(base.get_int_or("c", 0), 4);
+}
+
+TEST(ConfigTest, FromFileNotFound) {
+  auto config = Config::from_file("/nonexistent/sdscale.conf");
+  EXPECT_FALSE(config.is_ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ConfigTest, ContainsAndSet) {
+  Config config;
+  EXPECT_FALSE(config.contains("k"));
+  config.set("k", "v");
+  EXPECT_TRUE(config.contains("k"));
+}
+
+}  // namespace
+}  // namespace sds

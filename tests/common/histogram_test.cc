@@ -1,0 +1,190 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sds {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  EXPECT_EQ(h.percentile(0.5), 1000);
+  EXPECT_EQ(h.percentile(1.0), 1000);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  // Values below kSubBuckets land in exact unit buckets.
+  Histogram h;
+  for (int v = 0; v < Histogram::kSubBuckets; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), Histogram::kSubBuckets - 1);
+}
+
+TEST(HistogramTest, MeanAndStddevMatchExact) {
+  Histogram h;
+  for (const std::int64_t v : {10, 20, 30, 40}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+  EXPECT_NEAR(h.stddev(), 12.909944, 1e-5);
+}
+
+TEST(HistogramTest, PercentileBoundedRelativeError) {
+  Histogram h;
+  Rng rng(99);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_below(50'000'000));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const auto approx = h.percentile(q);
+    // Log-bucketing with 32 sub-buckets: relative error < ~6%.
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.07 + 1)
+        << "quantile " << q;
+  }
+}
+
+TEST(HistogramTest, PercentileIsMonotoneInQ) {
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    h.record(static_cast<std::int64_t>(rng.next_below(1'000'000)));
+  }
+  std::int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const auto v = h.percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramTest, RecordNanos) {
+  Histogram h;
+  h.record(millis(5));
+  EXPECT_EQ(h.max(), 5'000'000);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.record(100);
+  a.record(200);
+  b.record(300);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 300);
+  EXPECT_DOUBLE_EQ(a.mean(), 200.0);
+}
+
+TEST(HistogramTest, MergeWithEmpty) {
+  Histogram a;
+  Histogram b;
+  a.record(42);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.min(), 42);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.record(1);
+  h.record(1'000'000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SummaryStringContainsFields) {
+  Histogram h;
+  h.record(millis(1));
+  const std::string s = h.summary_ms();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("mean="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.record(std::int64_t{1} << 62);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.percentile(1.0), 0);
+}
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, CvMatchesDefinition) {
+  RunningStats s;
+  s.add(90);
+  s.add(100);
+  s.add(110);
+  EXPECT_NEAR(s.cv(), s.stddev() / s.mean(), 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(3);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(50, 10);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,46 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace sds {
+namespace {
+
+TEST(LogTest, LevelThresholdGates) {
+  Logger& logger = Logger::instance();
+  const LogLevel original = logger.level();
+
+  logger.set_level(LogLevel::kWARN);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDEBUG));
+  EXPECT_FALSE(logger.enabled(LogLevel::kINFO));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWARN));
+  EXPECT_TRUE(logger.enabled(LogLevel::kERROR));
+
+  logger.set_level(LogLevel::kTRACE);
+  EXPECT_TRUE(logger.enabled(LogLevel::kTRACE));
+
+  logger.set_level(LogLevel::kOFF);
+  EXPECT_FALSE(logger.enabled(LogLevel::kERROR));
+
+  logger.set_level(original);
+}
+
+TEST(LogTest, MacroCompilesAndStreams) {
+  Logger::instance().set_level(LogLevel::kOFF);
+  SDS_LOG(INFO) << "value " << 42 << " and " << 1.5;  // gated, no output
+  Logger::instance().set_level(LogLevel::kWARN);
+}
+
+TEST(LogTest, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kTRACE), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDEBUG), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kINFO), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWARN), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kERROR), "ERROR");
+}
+
+TEST(LogTest, WriteDoesNotCrashWithEmptyMessage) {
+  Logger::instance().write(LogLevel::kERROR, "file.cc", 1, "");
+}
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,115 @@
+#include "common/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sds {
+namespace {
+
+TEST(QueueTest, PushPopSingleThread) {
+  Queue<int> q;
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(QueueTest, TryPopEmptyReturnsNullopt) {
+  Queue<int> q;
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(QueueTest, PopForTimesOut) {
+  Queue<int> q;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.pop_for(millis(30)), std::nullopt);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+}
+
+TEST(QueueTest, BoundedTryPushFailsWhenFull) {
+  Queue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  q.try_pop();
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(QueueTest, CloseRejectsPushAndDrains) {
+  Queue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop(), 1);  // drains existing items
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);  // then returns nullopt
+}
+
+TEST(QueueTest, CloseWakesBlockedPop) {
+  Queue<int> q;
+  std::thread t([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  t.join();
+}
+
+TEST(QueueTest, CloseWakesBlockedPush) {
+  Queue<int> q(1);
+  q.push(1);
+  std::thread t([&] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  t.join();
+}
+
+TEST(QueueTest, MoveOnlyItems) {
+  Queue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(9));
+  auto item = q.pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 9);
+}
+
+TEST(QueueTest, MpmcStressPreservesAllItems) {
+  Queue<int> q(64);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5'000;
+
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto item = q.pop()) {
+        sum.fetch_add(*item);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (int c = kProducers; c < kProducers + kConsumers; ++c) threads[c].join();
+
+  const long long total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), total * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,99 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sds {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode expected;
+  };
+  const Case cases[] = {
+      {Status::invalid_argument("a"), StatusCode::kInvalidArgument},
+      {Status::not_found("b"), StatusCode::kNotFound},
+      {Status::already_exists("c"), StatusCode::kAlreadyExists},
+      {Status::resource_exhausted("d"), StatusCode::kResourceExhausted},
+      {Status::unavailable("e"), StatusCode::kUnavailable},
+      {Status::deadline_exceeded("f"), StatusCode::kDeadlineExceeded},
+      {Status::failed_precondition("g"), StatusCode::kFailedPrecondition},
+      {Status::internal("h"), StatusCode::kInternal},
+      {Status::cancelled("i"), StatusCode::kCancelled},
+      {Status::out_of_range("j"), StatusCode::kOutOfRange},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.is_ok());
+    EXPECT_EQ(c.status.code(), c.expected);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::not_found("stage 7");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: stage 7");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::not_found("x"), Status::not_found("y"));
+  EXPECT_FALSE(Status::not_found("x") == Status::unavailable("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::not_found("gone");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.is_ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Status fails() { return Status::internal("boom"); }
+Status propagates() {
+  SDS_RETURN_IF_ERROR(fails());
+  return Status::ok();
+}
+Status succeeds_then_ok() {
+  SDS_RETURN_IF_ERROR(Status::ok());
+  return Status::invalid_argument("reached");
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(propagates().code(), StatusCode::kInternal);
+  EXPECT_EQ(succeeds_then_ok().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_EQ(to_string(StatusCode::kOk), "OK");
+  EXPECT_EQ(to_string(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(to_string(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+}
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace sds {
+namespace {
+
+TEST(WaitGroupTest, WaitReturnsWhenDone) {
+  WaitGroup wg;
+  wg.add(2);
+  std::thread a([&] { wg.done(); });
+  std::thread b([&] { wg.done(); });
+  wg.wait();
+  a.join();
+  b.join();
+}
+
+TEST(WaitGroupTest, WaitOnZeroReturnsImmediately) {
+  WaitGroup wg;
+  wg.wait();
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  WaitGroup wg;
+  for (int i = 0; i < 100; ++i) {
+    wg.add();
+    ASSERT_TRUE(pool.submit([&] {
+      count.fetch_add(1);
+      wg.done();
+    }));
+  }
+  wg.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SizeClampsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, ParallelForSmallerThanPool) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(3, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        count.fetch_add(1);
+      });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(ThreadPoolTest, ParallelForComputesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<long long> partial(10'000);
+  pool.parallel_for(partial.size(),
+                    [&](std::size_t i) { partial[i] = static_cast<long long>(i); });
+  const long long sum = std::accumulate(partial.begin(), partial.end(), 0LL);
+  EXPECT_EQ(sum, 10'000LL * 9'999 / 2);
+}
+
+}  // namespace
+}  // namespace sds

@@ -1,0 +1,46 @@
+#include "core/cycle_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::core {
+namespace {
+
+TEST(PhaseBreakdownTest, TotalIsSumOfPhases) {
+  PhaseBreakdown b{millis(10), millis(5), millis(15)};
+  EXPECT_EQ(b.total(), millis(30));
+}
+
+TEST(CycleStatsTest, RecordsPerPhaseDistributions) {
+  CycleStats stats;
+  stats.record({millis(10), millis(5), millis(15)});
+  stats.record({millis(20), millis(5), millis(25)});
+  EXPECT_EQ(stats.cycles(), 2u);
+  EXPECT_NEAR(stats.mean_collect_ms(), 15.0, 0.5);
+  EXPECT_NEAR(stats.mean_compute_ms(), 5.0, 0.25);
+  EXPECT_NEAR(stats.mean_enforce_ms(), 20.0, 0.7);
+  EXPECT_NEAR(stats.mean_total_ms(), 40.0, 1.3);
+}
+
+TEST(CycleStatsTest, MeansAreConsistentWithHistograms) {
+  CycleStats stats;
+  stats.record({millis(1), millis(2), millis(3)});
+  EXPECT_DOUBLE_EQ(stats.mean_collect_ms(), stats.collect().mean() * 1e-6);
+  EXPECT_DOUBLE_EQ(stats.mean_total_ms(), stats.total().mean() * 1e-6);
+}
+
+TEST(CycleStatsTest, ResetClearsEverything) {
+  CycleStats stats;
+  stats.record({millis(1), millis(1), millis(1)});
+  stats.reset();
+  EXPECT_EQ(stats.cycles(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_total_ms(), 0.0);
+}
+
+TEST(PhaseTest, Names) {
+  EXPECT_EQ(to_string(Phase::kCollect), "collect");
+  EXPECT_EQ(to_string(Phase::kCompute), "compute");
+  EXPECT_EQ(to_string(Phase::kEnforce), "enforce");
+}
+
+}  // namespace
+}  // namespace sds::core

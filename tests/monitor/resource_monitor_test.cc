@@ -1,0 +1,84 @@
+#include "monitor/resource_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "transport/inproc.h"
+
+namespace sds::monitor {
+namespace {
+
+TEST(ProcfsTest, CpuTimeReadable) {
+  const auto cpu = read_process_cpu_time();
+  ASSERT_TRUE(cpu.has_value());
+  EXPECT_GE(cpu->count(), 0);
+}
+
+TEST(ProcfsTest, CpuTimeMonotone) {
+  const auto before = read_process_cpu_time();
+  // Burn a little CPU.
+  volatile double sink = 0;
+  for (int i = 0; i < 2'000'000; ++i) sink += static_cast<double>(i) * 1e-9;
+  const auto after = read_process_cpu_time();
+  ASSERT_TRUE(before.has_value());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GE(*after, *before);
+}
+
+TEST(ProcfsTest, RssReadable) {
+  const auto rss = read_process_rss_bytes();
+  ASSERT_TRUE(rss.has_value());
+  EXPECT_GT(*rss, 1024u * 1024);  // a test binary uses > 1 MiB
+}
+
+TEST(ResourceMonitorTest, SampleCollectsEndpointBytes) {
+  transport::InProcNetwork net;
+  auto a = net.bind("a", {}).value();
+  auto b = net.bind("b", {}).value();
+  b->set_frame_handler([](ConnId, wire::Frame) {});
+
+  ResourceMonitor mon({a.get()});
+  const auto before = mon.sample();
+
+  const ConnId conn = a->connect("b").value();
+  wire::Frame frame;
+  frame.type = 1;
+  frame.payload.resize(1000);
+  ASSERT_TRUE(a->send(conn, frame).is_ok());
+
+  const auto after = mon.sample();
+  EXPECT_EQ(after.bytes_tx - before.bytes_tx, frame.wire_size());
+}
+
+TEST(ResourceMonitorTest, UsageBetweenComputesRates) {
+  ResourceSample a;
+  a.wall = seconds(0);
+  a.cpu_time = Nanos{0};
+  a.bytes_tx = 0;
+  a.bytes_rx = 0;
+  ResourceSample b;
+  b.wall = seconds(2);
+  b.cpu_time = millis(500);
+  b.rss_bytes = 3'000'000'000;
+  b.bytes_tx = 20'000'000;
+  b.bytes_rx = 10'000'000;
+
+  const auto usage = ResourceMonitor::usage_between(a, b);
+  EXPECT_NEAR(usage.cpu_percent, 25.0, 1e-9);        // 0.5 s CPU over 2 s
+  EXPECT_NEAR(usage.rss_gb, 3.0, 1e-9);
+  EXPECT_NEAR(usage.transmitted_mbps, 10.0, 1e-9);   // 20 MB over 2 s
+  EXPECT_NEAR(usage.received_mbps, 5.0, 1e-9);
+}
+
+TEST(ResourceMonitorTest, AddEndpointAfterConstruction) {
+  transport::InProcNetwork net;
+  auto a = net.bind("a", {}).value();
+  ResourceMonitor mon;
+  mon.add_endpoint(a.get());
+  const auto sample = mon.sample();
+  EXPECT_EQ(sample.bytes_tx, 0u);
+}
+
+}  // namespace
+}  // namespace sds::monitor

@@ -1,0 +1,111 @@
+#include "policy/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace sds::policy {
+namespace {
+
+double total(const std::vector<JobAllocation>& allocations) {
+  return std::accumulate(allocations.begin(), allocations.end(), 0.0,
+                         [](double acc, const JobAllocation& a) {
+                           return acc + a.allocation;
+                         });
+}
+
+TEST(StaticPartitionTest, SplitsByWeightRegardlessOfDemand) {
+  StaticPartition algo;
+  std::vector<JobAllocation> out;
+  algo.compute({{{JobId{1}, 0.0, 1.0}, {JobId{2}, 99.0, 3.0}}}, 4000, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0].allocation, 1000.0, 1e-9);  // idle job still allocated
+  EXPECT_NEAR(out[1].allocation, 3000.0, 1e-9);
+}
+
+TEST(StaticPartitionTest, EmptyInput) {
+  StaticPartition algo;
+  std::vector<JobAllocation> out;
+  algo.compute({}, 1000, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StaticPartitionTest, ZeroWeightsYieldZero) {
+  StaticPartition algo;
+  std::vector<JobAllocation> out;
+  algo.compute({{{JobId{1}, 10.0, 0.0}}}, 1000, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].allocation, 0.0);
+}
+
+TEST(StaticPartitionTest, ExactlyConsumesBudget) {
+  StaticPartition algo;
+  std::vector<JobAllocation> out;
+  algo.compute({{{JobId{1}, 1, 1.0}, {JobId{2}, 1, 1.0}, {JobId{3}, 1, 2.0}}},
+               999, out);
+  EXPECT_NEAR(total(out), 999.0, 1e-9);
+}
+
+TEST(UniformShareTest, ActiveJobsShareEvenly) {
+  UniformShare algo;
+  std::vector<JobAllocation> out;
+  algo.compute({{{JobId{1}, 100.0, 1.0},
+                 {JobId{2}, 0.0, 5.0},
+                 {JobId{3}, 900.0, 1.0}}},
+               600, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0].allocation, 300.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out[1].allocation, 0.0);  // inactive gets nothing
+  EXPECT_NEAR(out[2].allocation, 300.0, 1e-9);
+}
+
+TEST(UniformShareTest, AllIdleAllocatesNothing) {
+  UniformShare algo;
+  std::vector<JobAllocation> out;
+  algo.compute({{{JobId{1}, 0.0, 1.0}, {JobId{2}, 0.5, 1.0}}}, 600, out);
+  EXPECT_DOUBLE_EQ(total(out), 0.0);
+}
+
+TEST(PriorityWaterfillTest, HighestWeightServedFirst) {
+  PriorityWaterfill algo;
+  std::vector<JobAllocation> out;
+  algo.compute({{{JobId{1}, 500.0, 1.0}, {JobId{2}, 800.0, 9.0}}}, 1000, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[1].allocation, 800.0, 1e-9);  // priority job fully served
+  EXPECT_NEAR(out[0].allocation, 200.0, 1e-9);  // remainder
+}
+
+TEST(PriorityWaterfillTest, StarvationUnderPressure) {
+  PriorityWaterfill algo;
+  std::vector<JobAllocation> out;
+  algo.compute({{{JobId{1}, 2000.0, 9.0}, {JobId{2}, 2000.0, 1.0}}}, 1000, out);
+  EXPECT_NEAR(out[0].allocation, 1000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out[1].allocation, 0.0);  // starved by design
+}
+
+TEST(PriorityWaterfillTest, StableOrderAmongEqualWeights) {
+  PriorityWaterfill algo;
+  std::vector<JobAllocation> out;
+  algo.compute({{{JobId{1}, 600.0, 1.0}, {JobId{2}, 600.0, 1.0}}}, 1000, out);
+  EXPECT_NEAR(out[0].allocation, 600.0, 1e-9);  // first in input order wins
+  EXPECT_NEAR(out[1].allocation, 400.0, 1e-9);
+}
+
+TEST(PriorityWaterfillTest, NeverExceedsBudget) {
+  PriorityWaterfill algo;
+  std::vector<JobAllocation> out;
+  algo.compute({{{JobId{1}, 100.0, 2.0},
+                 {JobId{2}, 100.0, 1.0},
+                 {JobId{3}, 100.0, 3.0}}},
+               150, out);
+  EXPECT_LE(total(out), 150.0 + 1e-9);
+}
+
+TEST(BaselinesTest, NamesAreStable) {
+  EXPECT_EQ(StaticPartition{}.name(), "static");
+  EXPECT_EQ(UniformShare{}.name(), "uniform");
+  EXPECT_EQ(PriorityWaterfill{}.name(), "priority");
+}
+
+}  // namespace
+}  // namespace sds::policy

@@ -1,0 +1,235 @@
+#include "policy/psfa.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace sds::policy {
+namespace {
+
+std::vector<JobAllocation> run(const Psfa& psfa,
+                               const std::vector<JobDemand>& demands,
+                               double budget) {
+  std::vector<JobAllocation> out;
+  psfa.compute(demands, budget, out);
+  return out;
+}
+
+double total(const std::vector<JobAllocation>& allocations) {
+  return std::accumulate(allocations.begin(), allocations.end(), 0.0,
+                         [](double acc, const JobAllocation& a) {
+                           return acc + a.allocation;
+                         });
+}
+
+TEST(PsfaTest, EmptyInput) {
+  Psfa psfa;
+  EXPECT_TRUE(run(psfa, {}, 1000).empty());
+}
+
+TEST(PsfaTest, SingleActiveJobCappedByHeadroomTimesDemand) {
+  Psfa psfa;  // headroom 1.2
+  const auto out = run(psfa, {{JobId{1}, 100.0, 1.0}}, 10'000);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].allocation, 120.0, 1e-9);  // 1.2 × demand, not budget
+}
+
+TEST(PsfaTest, SingleJobBudgetConstrained) {
+  Psfa psfa;
+  const auto out = run(psfa, {{JobId{1}, 1000.0, 1.0}}, 500);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_LE(out[0].allocation, 500.0 + 1e-9);
+  EXPECT_NEAR(out[0].allocation, 500.0, 1e-6);  // work-conserving
+}
+
+TEST(PsfaTest, EqualWeightsEqualDemandsSplitEvenly) {
+  Psfa psfa;
+  const auto out = run(psfa,
+                       {{JobId{1}, 1000, 1.0}, {JobId{2}, 1000, 1.0}}, 1000);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0].allocation, 500.0, 1e-9);
+  EXPECT_NEAR(out[1].allocation, 500.0, 1e-9);
+}
+
+TEST(PsfaTest, WeightsSkewContendedShares) {
+  Psfa psfa;
+  const auto out = run(
+      psfa, {{JobId{1}, 10'000, 3.0}, {JobId{2}, 10'000, 1.0}}, 4000);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0].allocation, 3000.0, 1e-9);
+  EXPECT_NEAR(out[1].allocation, 1000.0, 1e-9);
+}
+
+TEST(PsfaTest, NoFalseAllocationToIdleJobs) {
+  // An idle job receives only the probe share, not its weighted share.
+  Psfa psfa;
+  const auto out = run(
+      psfa, {{JobId{1}, 0.0, 1.0}, {JobId{2}, 10'000.0, 1.0}}, 1000);
+  ASSERT_EQ(out.size(), 2u);
+  const double probe = psfa.options().probe_fraction * 1000;
+  EXPECT_NEAR(out[0].allocation, probe, 1e-9);
+  EXPECT_NEAR(out[1].allocation, 1000 - probe, 1e-9);  // leftover redistributed
+}
+
+TEST(PsfaTest, LeftoverFromSatisfiedJobRedistributed) {
+  // Job 1 wants little; its unused share must flow to job 2.
+  Psfa psfa;
+  const auto out = run(
+      psfa, {{JobId{1}, 100.0, 1.0}, {JobId{2}, 100'000.0, 1.0}}, 10'000);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0].allocation, 120.0, 1e-9);  // capped at headroom×demand
+  EXPECT_NEAR(out[1].allocation, 10'000 - 120.0, 1e-6);
+}
+
+TEST(PsfaTest, CascadingWaterFill) {
+  // Three jobs with staggered demands; water-filling needs >1 round.
+  Psfa psfa(PsfaOptions{1.0, 1.0, 0.0, true});  // headroom=1 for exactness
+  const auto out = run(psfa,
+                       {{JobId{1}, 100, 1.0},
+                        {JobId{2}, 500, 1.0},
+                        {JobId{3}, 10'000, 1.0}},
+                       3000);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0].allocation, 100.0, 1e-9);
+  EXPECT_NEAR(out[1].allocation, 500.0, 1e-9);
+  EXPECT_NEAR(out[2].allocation, 2400.0, 1e-9);
+  EXPECT_NEAR(total(out), 3000.0, 1e-9);
+}
+
+TEST(PsfaTest, ZeroBudget) {
+  Psfa psfa;
+  const auto out = run(psfa, {{JobId{1}, 100, 1.0}}, 0.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].allocation, 0.0);
+}
+
+TEST(PsfaTest, NegativeBudgetTreatedAsZero) {
+  Psfa psfa;
+  const auto out = run(psfa, {{JobId{1}, 100, 1.0}}, -5.0);
+  EXPECT_DOUBLE_EQ(out[0].allocation, 0.0);
+}
+
+TEST(PsfaTest, UncappedModeIsPureProportionalSharing) {
+  Psfa psfa(PsfaOptions{1.0, 1.2, 0.0, /*demand_capped=*/false});
+  const auto out = run(
+      psfa, {{JobId{1}, 10, 1.0}, {JobId{2}, 10, 3.0}}, 4000);
+  EXPECT_NEAR(out[0].allocation, 1000.0, 1e-9);
+  EXPECT_NEAR(out[1].allocation, 3000.0, 1e-9);
+}
+
+TEST(PsfaTest, OutputOrderMatchesInputOrder) {
+  Psfa psfa;
+  const auto out = run(psfa,
+                       {{JobId{9}, 100, 1.0},
+                        {JobId{3}, 0, 1.0},
+                        {JobId{7}, 500, 2.0}},
+                       1000);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].job_id, JobId{9});
+  EXPECT_EQ(out[1].job_id, JobId{3});
+  EXPECT_EQ(out[2].job_id, JobId{7});
+}
+
+// ---------------------------------------------------------------------------
+// Property-based sweep: invariants must hold for random inputs.
+
+struct PsfaPropertyCase {
+  std::size_t num_jobs;
+  double budget;
+  std::uint64_t seed;
+};
+
+class PsfaPropertyTest : public ::testing::TestWithParam<PsfaPropertyCase> {};
+
+TEST_P(PsfaPropertyTest, Invariants) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  Psfa psfa;
+
+  std::vector<JobDemand> demands;
+  demands.reserve(param.num_jobs);
+  for (std::size_t i = 0; i < param.num_jobs; ++i) {
+    const bool idle = rng.bernoulli(0.2);
+    demands.push_back({JobId{static_cast<std::uint32_t>(i)},
+                       idle ? 0.0 : rng.uniform(1.0, 50'000.0),
+                       rng.uniform(0.1, 10.0)});
+  }
+  const auto out = run(psfa, demands, param.budget);
+
+  // I1: one allocation per job, same order.
+  ASSERT_EQ(out.size(), demands.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].job_id, demands[i].job_id);
+  }
+
+  // I2: allocations are non-negative.
+  for (const auto& a : out) EXPECT_GE(a.allocation, 0.0);
+
+  // I3: never over-provision — the sum never exceeds the budget.
+  EXPECT_LE(total(out), param.budget * (1 + 1e-9) + 1e-6);
+
+  // I4: no active job exceeds headroom × demand.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (demands[i].demand >= psfa.options().activity_threshold) {
+      EXPECT_LE(out[i].allocation,
+                demands[i].demand * psfa.options().headroom + 1e-6);
+    }
+  }
+
+  // I5: work conservation — if total capped demand exceeds the budget,
+  // (almost) the whole budget is handed out.
+  double capped_demand = 0;
+  for (const auto& d : demands) {
+    if (d.demand >= psfa.options().activity_threshold) {
+      capped_demand += d.demand * psfa.options().headroom;
+    }
+  }
+  if (capped_demand >= param.budget) {
+    EXPECT_GE(total(out), param.budget * 0.999);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweeps, PsfaPropertyTest,
+    ::testing::Values(PsfaPropertyCase{1, 100.0, 1},
+                      PsfaPropertyCase{2, 1e4, 2},
+                      PsfaPropertyCase{5, 1e5, 3},
+                      PsfaPropertyCase{10, 5e4, 4},
+                      PsfaPropertyCase{50, 1e6, 5},
+                      PsfaPropertyCase{100, 1e5, 6},
+                      PsfaPropertyCase{200, 1e7, 7},
+                      PsfaPropertyCase{500, 2e6, 8},
+                      PsfaPropertyCase{1000, 1e6, 9},
+                      PsfaPropertyCase{1000, 1e3, 10}));
+
+TEST(PsfaTest, DeterministicAcrossRuns) {
+  Rng rng(42);
+  std::vector<JobDemand> demands;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    demands.push_back({JobId{i}, rng.uniform(0, 1000), rng.uniform(0.5, 2)});
+  }
+  Psfa psfa;
+  const auto a = run(psfa, demands, 12'345.0);
+  const auto b = run(psfa, demands, 12'345.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PsfaTest, MonotoneInBudget) {
+  // A bigger budget never reduces any job's allocation.
+  Rng rng(43);
+  std::vector<JobDemand> demands;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    demands.push_back({JobId{i}, rng.uniform(10, 5000), 1.0});
+  }
+  Psfa psfa;
+  const auto small = run(psfa, demands, 10'000.0);
+  const auto large = run(psfa, demands, 50'000.0);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_GE(large[i].allocation, small[i].allocation - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sds::policy

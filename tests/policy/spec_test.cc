@@ -1,0 +1,88 @@
+#include "policy/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::policy {
+namespace {
+
+TEST(PolicySpecTest, Defaults) {
+  auto spec = PolicySpec::from_config(Config{});
+  ASSERT_TRUE(spec.is_ok());
+  EXPECT_DOUBLE_EQ(spec->data_budget, 1'000'000);
+  EXPECT_DOUBLE_EQ(spec->meta_budget, 500'000);
+  EXPECT_TRUE(spec->job_weights.empty());
+  EXPECT_DOUBLE_EQ(spec->psfa.headroom, PsfaOptions{}.headroom);
+}
+
+TEST(PolicySpecTest, ParsesFullSpec) {
+  auto config = Config::from_string(
+      "budget.data_iops = 200000\n"
+      "budget.meta_iops = 4000\n"
+      "psfa.headroom = 1.5\n"
+      "psfa.activity_threshold = 2.0\n"
+      "psfa.probe_fraction = 0.01\n"
+      "psfa.demand_capped = false\n"
+      "job.3.weight = 2.5\n"
+      "job.7.weight = 0.5\n");
+  ASSERT_TRUE(config.is_ok());
+  auto spec = PolicySpec::from_config(*config);
+  ASSERT_TRUE(spec.is_ok()) << spec.status();
+  EXPECT_DOUBLE_EQ(spec->data_budget, 200'000);
+  EXPECT_DOUBLE_EQ(spec->meta_budget, 4'000);
+  EXPECT_DOUBLE_EQ(spec->psfa.headroom, 1.5);
+  EXPECT_DOUBLE_EQ(spec->psfa.activity_threshold, 2.0);
+  EXPECT_FALSE(spec->psfa.demand_capped);
+  ASSERT_EQ(spec->job_weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec->job_weights.at(3), 2.5);
+  EXPECT_DOUBLE_EQ(spec->job_weights.at(7), 0.5);
+}
+
+TEST(PolicySpecTest, RejectsBadValues) {
+  const char* bad_specs[] = {
+      "budget.data_iops = -5\n",
+      "psfa.headroom = 0.5\n",
+      "psfa.probe_fraction = 2\n",
+      "job.x.weight = 1\n",
+      "job.3.weight = 0\n",
+      "job.3.weight = -1\n",
+  };
+  for (const char* text : bad_specs) {
+    auto config = Config::from_string(text);
+    ASSERT_TRUE(config.is_ok()) << text;
+    EXPECT_FALSE(PolicySpec::from_config(*config).is_ok()) << text;
+  }
+}
+
+TEST(PolicySpecTest, IgnoresUnrelatedKeys) {
+  auto config = Config::from_string("jobber.3.weight=9\nother=1\njob.weight=2\n");
+  ASSERT_TRUE(config.is_ok());
+  auto spec = PolicySpec::from_config(*config);
+  ASSERT_TRUE(spec.is_ok());
+  EXPECT_TRUE(spec->job_weights.empty());
+}
+
+TEST(PolicySpecTest, RoundTripsThroughText) {
+  PolicySpec spec;
+  spec.data_budget = 123456;
+  spec.meta_budget = 789;
+  spec.psfa.headroom = 1.75;
+  spec.job_weights[1] = 3.25;
+  spec.job_weights[42] = 0.125;
+
+  auto config = Config::from_string(spec.to_string());
+  ASSERT_TRUE(config.is_ok());
+  auto parsed = PolicySpec::from_config(*config);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_DOUBLE_EQ(parsed->data_budget, spec.data_budget);
+  EXPECT_DOUBLE_EQ(parsed->meta_budget, spec.meta_budget);
+  EXPECT_DOUBLE_EQ(parsed->psfa.headroom, spec.psfa.headroom);
+  EXPECT_EQ(parsed->job_weights, spec.job_weights);
+}
+
+TEST(PolicySpecTest, FromFileMissing) {
+  EXPECT_EQ(PolicySpec::from_file("/nonexistent/policy.conf").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace sds::policy

@@ -1,0 +1,131 @@
+#include "policy/splitter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds::policy {
+namespace {
+
+TEST(SplitterTest, UniformSplitsEvenly) {
+  RuleSplitter splitter(SplitStrategy::kUniform);
+  std::vector<StageLimit> out;
+  splitter.split({{JobAllocation{JobId{1}, 900.0}}},
+                 {{StageDemand{StageId{1}, JobId{1}, 10},
+                   StageDemand{StageId{2}, JobId{1}, 500},
+                   StageDemand{StageId{3}, JobId{1}, 0}}},
+                 out);
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& limit : out) EXPECT_NEAR(limit.limit, 300.0, 1e-9);
+}
+
+TEST(SplitterTest, ProportionalFollowsDemand) {
+  RuleSplitter splitter(SplitStrategy::kProportional);
+  std::vector<StageLimit> out;
+  splitter.split({{JobAllocation{JobId{1}, 1000.0}}},
+                 {{StageDemand{StageId{1}, JobId{1}, 100},
+                   StageDemand{StageId{2}, JobId{1}, 300}}},
+                 out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0].limit, 250.0, 1e-9);
+  EXPECT_NEAR(out[1].limit, 750.0, 1e-9);
+}
+
+TEST(SplitterTest, ProportionalFallsBackToUniformWhenJobIdle) {
+  RuleSplitter splitter(SplitStrategy::kProportional);
+  std::vector<StageLimit> out;
+  splitter.split({{JobAllocation{JobId{1}, 100.0}}},
+                 {{StageDemand{StageId{1}, JobId{1}, 0},
+                   StageDemand{StageId{2}, JobId{1}, 0}}},
+                 out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0].limit, 50.0, 1e-9);
+  EXPECT_NEAR(out[1].limit, 50.0, 1e-9);
+}
+
+TEST(SplitterTest, StagesOfUnknownJobGetZero) {
+  RuleSplitter splitter(SplitStrategy::kProportional);
+  std::vector<StageLimit> out;
+  splitter.split({{JobAllocation{JobId{1}, 100.0}}},
+                 {{StageDemand{StageId{1}, JobId{2}, 50}}}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].limit, 0.0);
+}
+
+TEST(SplitterTest, MultipleJobsIndependent) {
+  RuleSplitter splitter(SplitStrategy::kProportional);
+  std::vector<StageLimit> out;
+  splitter.split(
+      {{JobAllocation{JobId{1}, 100.0}, JobAllocation{JobId{2}, 200.0}}},
+      {{StageDemand{StageId{1}, JobId{1}, 10},
+        StageDemand{StageId{2}, JobId{2}, 10},
+        StageDemand{StageId{3}, JobId{1}, 30},
+        StageDemand{StageId{4}, JobId{2}, 10}}},
+      out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_NEAR(out[0].limit, 25.0, 1e-9);
+  EXPECT_NEAR(out[1].limit, 100.0, 1e-9);
+  EXPECT_NEAR(out[2].limit, 75.0, 1e-9);
+  EXPECT_NEAR(out[3].limit, 100.0, 1e-9);
+}
+
+TEST(SplitterTest, EmptyInputs) {
+  RuleSplitter splitter;
+  std::vector<StageLimit> out;
+  splitter.split({}, {}, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SplitterTest, NegativeDemandTreatedAsZero) {
+  RuleSplitter splitter(SplitStrategy::kProportional);
+  std::vector<StageLimit> out;
+  splitter.split({{JobAllocation{JobId{1}, 100.0}}},
+                 {{StageDemand{StageId{1}, JobId{1}, -50},
+                   StageDemand{StageId{2}, JobId{1}, 100}}},
+                 out);
+  EXPECT_NEAR(out[0].limit, 0.0, 1e-9);
+  EXPECT_NEAR(out[1].limit, 100.0, 1e-9);
+}
+
+/// Conservation property: per-job limits sum to the job's allocation.
+class SplitterConservationTest
+    : public ::testing::TestWithParam<SplitStrategy> {};
+
+TEST_P(SplitterConservationTest, SumOfLimitsEqualsAllocation) {
+  Rng rng(17);
+  RuleSplitter splitter(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::vector<JobAllocation> allocations;
+    std::vector<StageDemand> stages;
+    const std::uint32_t num_jobs = 1 + static_cast<std::uint32_t>(rng.next_below(8));
+    std::vector<double> expected(num_jobs);
+    std::uint32_t stage_id = 0;
+    for (std::uint32_t j = 0; j < num_jobs; ++j) {
+      expected[j] = rng.uniform(0, 10'000);
+      allocations.push_back({JobId{j}, expected[j]});
+      const auto stage_count = 1 + rng.next_below(16);
+      for (std::uint64_t s = 0; s < stage_count; ++s) {
+        stages.push_back({StageId{stage_id++}, JobId{j},
+                          rng.bernoulli(0.2) ? 0.0 : rng.uniform(0, 1000)});
+      }
+    }
+    std::vector<StageLimit> out;
+    splitter.split(allocations, stages, out);
+    ASSERT_EQ(out.size(), stages.size());
+
+    std::vector<double> sums(num_jobs, 0.0);
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      sums[stages[i].job_id.value()] += out[i].limit;
+    }
+    for (std::uint32_t j = 0; j < num_jobs; ++j) {
+      EXPECT_NEAR(sums[j], expected[j], expected[j] * 1e-9 + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, SplitterConservationTest,
+                         ::testing::Values(SplitStrategy::kUniform,
+                                           SplitStrategy::kProportional));
+
+}  // namespace
+}  // namespace sds::policy

@@ -1,0 +1,208 @@
+#include "proto/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds::proto {
+namespace {
+
+/// Round-trip any message through a Frame and verify equality plus that
+/// wire_size() is exact.
+template <typename M>
+void expect_roundtrip(const M& msg) {
+  wire::Encoder enc;
+  msg.encode(enc);
+  EXPECT_EQ(enc.size(), msg.wire_size()) << "wire_size mismatch";
+
+  const wire::Frame frame = to_frame(msg);
+  EXPECT_EQ(frame.type, static_cast<std::uint16_t>(M::kType));
+  EXPECT_EQ(frame.payload.size(), msg.wire_size());
+
+  auto decoded = from_frame<M>(frame);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status();
+  EXPECT_EQ(*decoded, msg);
+}
+
+StageMetrics sample_metrics(std::uint32_t i) {
+  StageMetrics m;
+  m.cycle_id = 77;
+  m.stage_id = StageId{i};
+  m.job_id = JobId{i / 4};
+  m.data_iops = 1000.5 + i;
+  m.meta_iops = 50.25 + i;
+  m.data_limit = 900.0;
+  m.meta_limit = kUnlimited;
+  return m;
+}
+
+TEST(MessagesTest, RegisterRequestRoundTrip) {
+  RegisterRequest msg;
+  msg.info = {StageId{1}, NodeId{2}, JobId{3}, "c101-001.frontera"};
+  expect_roundtrip(msg);
+}
+
+TEST(MessagesTest, RegisterRequestEmptyHostname) {
+  RegisterRequest msg;
+  msg.info = {StageId{1}, NodeId{2}, JobId{3}, ""};
+  expect_roundtrip(msg);
+}
+
+TEST(MessagesTest, RegisterAckRoundTrip) {
+  expect_roundtrip(RegisterAck{true, 42});
+  expect_roundtrip(RegisterAck{false, 0});
+}
+
+TEST(MessagesTest, CollectRequestRoundTrip) {
+  expect_roundtrip(CollectRequest{0, false});
+  expect_roundtrip(CollectRequest{1'000'000'000'000ull, true});
+}
+
+TEST(MessagesTest, StageMetricsRoundTrip) { expect_roundtrip(sample_metrics(9)); }
+
+TEST(MessagesTest, StageMetricsUnlimitedLimits) {
+  StageMetrics m = sample_metrics(1);
+  m.data_limit = kUnlimited;
+  m.meta_limit = kUnlimited;
+  expect_roundtrip(m);
+}
+
+TEST(MessagesTest, MetricsBatchRoundTrip) {
+  MetricsBatch batch;
+  batch.cycle_id = 3;
+  batch.from = ControllerId{7};
+  for (std::uint32_t i = 0; i < 100; ++i) batch.entries.push_back(sample_metrics(i));
+  expect_roundtrip(batch);
+}
+
+TEST(MessagesTest, MetricsBatchEmpty) {
+  MetricsBatch batch;
+  batch.cycle_id = 1;
+  batch.from = ControllerId{0};
+  expect_roundtrip(batch);
+}
+
+TEST(MessagesTest, AggregatedMetricsRoundTrip) {
+  AggregatedMetrics agg;
+  agg.cycle_id = 12;
+  agg.from = ControllerId{2};
+  agg.total_stages = 2500;
+  agg.jobs.push_back({JobId{1}, 120000.0, 8000.0, 1250});
+  agg.jobs.push_back({JobId{2}, 60000.0, 4000.0, 1250});
+  agg.digests.push_back({StageId{0}, 1000.0f, 50.0f});
+  agg.digests.push_back({StageId{1}, 2000.0f, 75.0f});
+  expect_roundtrip(agg);
+}
+
+TEST(MessagesTest, AggregatedMetricsWithoutDigests) {
+  AggregatedMetrics agg;
+  agg.cycle_id = 1;
+  agg.from = ControllerId{9};
+  agg.total_stages = 10;
+  agg.jobs.push_back({JobId{1}, 10.0, 1.0, 10});
+  expect_roundtrip(agg);
+}
+
+TEST(MessagesTest, EnforceBatchRoundTrip) {
+  EnforceBatch batch;
+  batch.cycle_id = 55;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    batch.rules.push_back({StageId{i}, JobId{i / 8}, 100.0 + i, 10.0 + i, 99});
+  }
+  expect_roundtrip(batch);
+}
+
+TEST(MessagesTest, EnforceAckRoundTrip) { expect_roundtrip(EnforceAck{55, 64}); }
+
+TEST(MessagesTest, HeartbeatRoundTrip) {
+  expect_roundtrip(Heartbeat{ControllerId{3}, 1234});
+  expect_roundtrip(HeartbeatAck{1234});
+}
+
+TEST(MessagesTest, BudgetLeaseRoundTrip) {
+  expect_roundtrip(BudgetLease{9, 1e6, 5e5, 123456789});
+}
+
+TEST(MessagesTest, ErrorMessageRoundTrip) {
+  expect_roundtrip(ErrorMessage{404, "stage not found"});
+}
+
+TEST(MessagesTest, FromFrameRejectsWrongType) {
+  const wire::Frame frame = to_frame(EnforceAck{1, 2});
+  auto decoded = from_frame<CollectRequest>(frame);
+  EXPECT_FALSE(decoded.is_ok());
+}
+
+TEST(MessagesTest, FromFrameRejectsTrailingBytes) {
+  wire::Frame frame = to_frame(EnforceAck{1, 2});
+  frame.payload.push_back(0xFF);
+  auto decoded = from_frame<EnforceAck>(frame);
+  EXPECT_FALSE(decoded.is_ok());
+}
+
+TEST(MessagesTest, TruncatedPayloadRejected) {
+  wire::Frame frame = to_frame(sample_metrics(3));
+  frame.payload.resize(frame.payload.size() / 2);
+  auto decoded = from_frame<StageMetrics>(frame);
+  EXPECT_FALSE(decoded.is_ok());
+}
+
+TEST(MessagesTest, BatchCountOverflowRejected) {
+  // Hand-craft a batch whose count field claims 2^30 entries.
+  wire::Frame frame;
+  frame.type = static_cast<std::uint16_t>(MessageType::kEnforceBatch);
+  wire::Encoder enc(frame.payload);
+  enc.put_varint(1);           // cycle
+  enc.put_varint(1ull << 30);  // absurd count
+  auto decoded = from_frame<EnforceBatch>(frame);
+  EXPECT_FALSE(decoded.is_ok());
+}
+
+TEST(MessagesTest, MessageTypeNames) {
+  EXPECT_EQ(to_string(MessageType::kCollectRequest), "CollectRequest");
+  EXPECT_EQ(to_string(MessageType::kEnforceBatch), "EnforceBatch");
+  EXPECT_EQ(to_string(MessageType::kAggregatedMetrics), "AggregatedMetrics");
+}
+
+TEST(MessagesTest, RandomGarbagePayloadsNeverCrash) {
+  Rng rng(5);
+  for (int round = 0; round < 3000; ++round) {
+    wire::Frame frame;
+    frame.type = static_cast<std::uint16_t>(1 + rng.next_below(12));
+    frame.payload.resize(rng.next_below(128));
+    for (auto& b : frame.payload) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    // Try to decode as every message type; failure is fine, UB is not.
+    (void)from_frame<RegisterRequest>(frame);
+    (void)from_frame<RegisterAck>(frame);
+    (void)from_frame<CollectRequest>(frame);
+    (void)from_frame<StageMetrics>(frame);
+    (void)from_frame<MetricsBatch>(frame);
+    (void)from_frame<AggregatedMetrics>(frame);
+    (void)from_frame<EnforceBatch>(frame);
+    (void)from_frame<EnforceAck>(frame);
+    (void)from_frame<Heartbeat>(frame);
+    (void)from_frame<HeartbeatAck>(frame);
+    (void)from_frame<BudgetLease>(frame);
+    (void)from_frame<ErrorMessage>(frame);
+  }
+}
+
+class MetricsBatchSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MetricsBatchSizeTest, RoundTripAtSize) {
+  MetricsBatch batch;
+  batch.cycle_id = 42;
+  batch.from = ControllerId{1};
+  for (std::uint32_t i = 0; i < GetParam(); ++i) {
+    batch.entries.push_back(sample_metrics(i));
+  }
+  expect_roundtrip(batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MetricsBatchSizeTest,
+                         ::testing::Values(0, 1, 2, 50, 500, 2500));
+
+}  // namespace
+}  // namespace sds::proto

@@ -1,0 +1,198 @@
+#include "rpc/gather.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "transport/inproc.h"
+
+namespace sds::rpc {
+namespace {
+
+wire::Frame metrics_frame(std::uint64_t cycle, StageId stage) {
+  proto::StageMetrics m;
+  m.cycle_id = cycle;
+  m.stage_id = stage;
+  m.job_id = JobId{0};
+  return proto::to_frame(m);
+}
+
+TEST(PeekCycleIdTest, ReadsLeadingVarint) {
+  const auto frame = metrics_frame(12345, StageId{1});
+  EXPECT_EQ(peek_cycle_id(frame), 12345u);
+}
+
+TEST(PeekCycleIdTest, EmptyPayloadIsNullopt) {
+  wire::Frame frame;
+  frame.type = 4;
+  EXPECT_EQ(peek_cycle_id(frame), std::nullopt);
+}
+
+TEST(GatherTest, CompletesWhenAllReplyArrive) {
+  Gather gather(proto::MessageType::kStageMetrics, 7,
+                {ConnId{1}, ConnId{2}, ConnId{3}});
+  EXPECT_EQ(gather.pending(), 3u);
+  EXPECT_TRUE(gather.offer(ConnId{1}, metrics_frame(7, StageId{1})));
+  EXPECT_TRUE(gather.offer(ConnId{2}, metrics_frame(7, StageId{2})));
+  EXPECT_TRUE(gather.offer(ConnId{3}, metrics_frame(7, StageId{3})));
+  EXPECT_TRUE(gather.wait_for(millis(10)).is_ok());
+  EXPECT_EQ(gather.take_replies().size(), 3u);
+}
+
+TEST(GatherTest, RejectsWrongType) {
+  Gather gather(proto::MessageType::kEnforceAck, 7, {ConnId{1}});
+  EXPECT_FALSE(gather.offer(ConnId{1}, metrics_frame(7, StageId{1})));
+}
+
+TEST(GatherTest, RejectsWrongCycle) {
+  Gather gather(proto::MessageType::kStageMetrics, 7, {ConnId{1}});
+  EXPECT_FALSE(gather.offer(ConnId{1}, metrics_frame(8, StageId{1})));
+}
+
+TEST(GatherTest, RejectsUnexpectedConn) {
+  Gather gather(proto::MessageType::kStageMetrics, 7, {ConnId{1}});
+  EXPECT_FALSE(gather.offer(ConnId{99}, metrics_frame(7, StageId{1})));
+}
+
+TEST(GatherTest, DuplicateReplyConsumedOnce) {
+  Gather gather(proto::MessageType::kStageMetrics, 7, {ConnId{1}, ConnId{2}});
+  EXPECT_TRUE(gather.offer(ConnId{1}, metrics_frame(7, StageId{1})));
+  EXPECT_FALSE(gather.offer(ConnId{1}, metrics_frame(7, StageId{1})));
+  EXPECT_EQ(gather.pending(), 1u);
+}
+
+TEST(GatherTest, NoCycleFilterAcceptsAny) {
+  Gather gather(proto::MessageType::kStageMetrics, std::nullopt, {ConnId{1}});
+  EXPECT_TRUE(gather.offer(ConnId{1}, metrics_frame(999, StageId{1})));
+}
+
+TEST(GatherTest, TimesOutWithMissingReplies) {
+  Gather gather(proto::MessageType::kStageMetrics, 7, {ConnId{1}, ConnId{2}});
+  EXPECT_TRUE(gather.offer(ConnId{1}, metrics_frame(7, StageId{1})));
+  const Status status = gather.wait_for(millis(20));
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(gather.take_replies().size(), 1u);  // partial results available
+}
+
+TEST(GatherTest, FailedConnUnblocksWait) {
+  Gather gather(proto::MessageType::kStageMetrics, 7, {ConnId{1}, ConnId{2}});
+  EXPECT_TRUE(gather.offer(ConnId{1}, metrics_frame(7, StageId{1})));
+  gather.fail(ConnId{2});
+  const Status status = gather.wait_for(millis(10));
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(gather.take_replies().size(), 1u);
+}
+
+TEST(GatherTest, EmptyExpectationCompletesImmediately) {
+  Gather gather(proto::MessageType::kStageMetrics, 7, {});
+  EXPECT_TRUE(gather.wait_for(Nanos{0}).is_ok());
+}
+
+TEST(GatherTest, WaitUnblocksFromAnotherThread) {
+  Gather gather(proto::MessageType::kStageMetrics, 7, {ConnId{1}});
+  std::thread replier([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gather.offer(ConnId{1}, metrics_frame(7, StageId{1}));
+  });
+  EXPECT_TRUE(gather.wait_for(seconds(2)).is_ok());
+  replier.join();
+}
+
+TEST(DispatcherTest, RoutesToMatchingGather) {
+  Dispatcher dispatcher;
+  std::atomic<int> fallback_hits{0};
+  dispatcher.set_fallback([&](ConnId, wire::Frame) { fallback_hits.fetch_add(1); });
+
+  auto gather = dispatcher.start_gather(proto::MessageType::kStageMetrics, 7,
+                                        {ConnId{1}});
+  dispatcher.on_frame(ConnId{1}, metrics_frame(7, StageId{1}));
+  EXPECT_TRUE(gather->wait_for(Nanos{0}).is_ok());
+  EXPECT_EQ(fallback_hits.load(), 0);
+}
+
+TEST(DispatcherTest, UnmatchedFramesFallThrough) {
+  Dispatcher dispatcher;
+  std::atomic<int> fallback_hits{0};
+  dispatcher.set_fallback([&](ConnId, wire::Frame) { fallback_hits.fetch_add(1); });
+
+  auto gather = dispatcher.start_gather(proto::MessageType::kStageMetrics, 7,
+                                        {ConnId{1}});
+  dispatcher.on_frame(ConnId{1}, metrics_frame(8, StageId{1}));  // wrong cycle
+  dispatcher.on_frame(ConnId{2}, metrics_frame(7, StageId{2}));  // wrong conn
+  EXPECT_EQ(fallback_hits.load(), 2);
+  dispatcher.finish(gather);
+}
+
+TEST(DispatcherTest, FinishedGatherNoLongerRoutes) {
+  Dispatcher dispatcher;
+  std::atomic<int> fallback_hits{0};
+  dispatcher.set_fallback([&](ConnId, wire::Frame) { fallback_hits.fetch_add(1); });
+
+  auto gather = dispatcher.start_gather(proto::MessageType::kStageMetrics, 7,
+                                        {ConnId{1}});
+  dispatcher.finish(gather);
+  dispatcher.on_frame(ConnId{1}, metrics_frame(7, StageId{1}));
+  EXPECT_EQ(fallback_hits.load(), 1);
+}
+
+TEST(DispatcherTest, ConnClosedFailsPendingGathers) {
+  Dispatcher dispatcher;
+  auto gather = dispatcher.start_gather(proto::MessageType::kStageMetrics, 7,
+                                        {ConnId{1}});
+  dispatcher.on_conn_event(ConnId{1}, transport::ConnEvent::kClosed);
+  EXPECT_EQ(gather->wait_for(Nanos{0}).code(), StatusCode::kUnavailable);
+}
+
+TEST(RpcCallTest, RoundTripOverInProc) {
+  transport::InProcNetwork net;
+  auto server = net.bind("server", {}).value();
+  auto client = net.bind("client", {}).value();
+
+  // Server: answer RegisterRequest with RegisterAck.
+  server->set_frame_handler([&](ConnId conn, wire::Frame frame) {
+    auto request = proto::from_frame<proto::RegisterRequest>(frame);
+    ASSERT_TRUE(request.is_ok());
+    proto::RegisterAck ack;
+    ack.accepted = true;
+    ack.epoch = 5;
+    (void)server->send(conn, proto::to_frame(ack));
+  });
+
+  Dispatcher dispatcher;
+  client->set_frame_handler([&](ConnId conn, wire::Frame frame) {
+    dispatcher.on_frame(conn, std::move(frame));
+  });
+
+  const ConnId conn = client->connect("server").value();
+  proto::RegisterRequest request;
+  request.info = {StageId{1}, NodeId{1}, JobId{1}, "n1"};
+  auto ack = call<proto::RegisterAck>(*client, dispatcher, conn, request,
+                                      seconds(2));
+  ASSERT_TRUE(ack.is_ok()) << ack.status();
+  EXPECT_TRUE(ack->accepted);
+  EXPECT_EQ(ack->epoch, 5u);
+}
+
+TEST(RpcCallTest, TimesOutWithoutReply) {
+  transport::InProcNetwork net;
+  auto server = net.bind("server", {}).value();
+  auto client = net.bind("client", {}).value();
+  server->set_frame_handler([](ConnId, wire::Frame) { /* never reply */ });
+
+  Dispatcher dispatcher;
+  client->set_frame_handler([&](ConnId conn, wire::Frame frame) {
+    dispatcher.on_frame(conn, std::move(frame));
+  });
+
+  const ConnId conn = client->connect("server").value();
+  proto::RegisterRequest request;
+  request.info = {StageId{1}, NodeId{1}, JobId{1}, "n1"};
+  auto ack = call<proto::RegisterAck>(*client, dispatcher, conn, request,
+                                      millis(50));
+  EXPECT_FALSE(ack.is_ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace sds::rpc

@@ -1,0 +1,209 @@
+// Dependability tests (paper §VI): stale-rule rejection across controller
+// epochs, aggregator failure with stage re-registration, and continued
+// operation with outdated rules while the control plane is degraded.
+#include <gtest/gtest.h>
+
+#include "runtime/deployment.h"
+#include "workload/generators.h"
+
+namespace sds::runtime {
+namespace {
+
+template <typename Pred>
+bool eventually(Pred pred, Nanos deadline = seconds(5)) {
+  const Nanos until = SystemClock::instance().now() + deadline;
+  while (SystemClock::instance().now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+TEST(FailoverTest, EpochAdvanceSupersedesOldRules) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 4;
+  options.budgets = {4000.0, 400.0};
+  auto deployment = Deployment::create(net, options).value();
+
+  ASSERT_TRUE(deployment->global().run_cycle().is_ok());
+  const std::uint32_t epoch_before = deployment->global().epoch();
+  deployment->global().advance_epoch();
+  EXPECT_EQ(deployment->global().epoch(), epoch_before + 1);
+  // Rules from the new epoch still apply cleanly.
+  ASSERT_TRUE(deployment->global().run_cycle().is_ok());
+  const double limit =
+      deployment->stage_limit(StageId{0}, stage::Dimension::kData).value();
+  EXPECT_GT(limit, 0.0);
+}
+
+TEST(FailoverTest, StageKeepsEnforcingOldRulesWhileControllerDown) {
+  // Paper §VI: controller failure does not stop the data plane — stages
+  // keep mediating I/O with possibly outdated rules.
+  transport::InProcNetwork net;
+
+  GlobalServerOptions gopts;
+  gopts.core.budgets = {1000.0, 100.0};
+  auto global = std::make_unique<GlobalControllerServer>(net, "global", gopts);
+  ASSERT_TRUE(global->start().is_ok());
+
+  StageHostOptions hopts;
+  hopts.controller_addresses = {"global"};
+  hopts.auto_failover = false;  // nothing to fail over to
+  StageHost host(net, "host0", hopts);
+  ASSERT_TRUE(host.start().is_ok());
+  ASSERT_TRUE(host.add_stage({StageId{0}, NodeId{0}, JobId{0}, "n"},
+                             workload::constant(5000),
+                             workload::constant(500))
+                  .is_ok());
+  ASSERT_TRUE(host.register_all().is_ok());
+  ASSERT_TRUE(global->run_cycle().is_ok());
+  const double enforced =
+      host.stage_limit(StageId{0}, stage::Dimension::kData).value();
+  EXPECT_GT(enforced, 0.0);
+
+  global->shutdown();
+  global.reset();
+  // The stage still holds (and would keep enforcing) the last rule.
+  EXPECT_DOUBLE_EQ(
+      host.stage_limit(StageId{0}, stage::Dimension::kData).value(), enforced);
+  host.shutdown();
+}
+
+TEST(FailoverTest, AggregatorFailureEvictsSubtreeAtGlobal) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 8;
+  options.num_aggregators = 2;
+  options.stages_per_host = 4;
+  auto deployment = Deployment::create(net, options).value();
+  ASSERT_EQ(deployment->global().registered_stages(), 8u);
+
+  // Kill aggregator 0. Its stages should fail over to aggregator 1 and
+  // re-register through it; the global roster should recover to 8.
+  deployment->aggregators()[0]->shutdown();
+
+  EXPECT_TRUE(eventually([&] {
+    return deployment->global().known_aggregators() == 1 &&
+           deployment->global().registered_stages() == 8;
+  })) << "stages="
+      << deployment->global().registered_stages()
+      << " aggs=" << deployment->global().known_aggregators();
+
+  // Control cycles continue over the surviving aggregator.
+  ASSERT_TRUE(deployment->global().run_cycle().is_ok());
+  EXPECT_EQ(deployment->aggregators()[1]->registered_stages(), 8u);
+}
+
+TEST(FailoverTest, StageFailoverBetweenControllers) {
+  // Two independent flat controllers; the stage re-registers with the
+  // second when the first dies.
+  transport::InProcNetwork net;
+  GlobalServerOptions gopts;
+  auto primary = std::make_unique<GlobalControllerServer>(net, "ctl0", gopts);
+  ASSERT_TRUE(primary->start().is_ok());
+  GlobalControllerServer backup(net, "ctl1", gopts);
+  ASSERT_TRUE(backup.start().is_ok());
+
+  StageHostOptions hopts;
+  hopts.controller_addresses = {"ctl0", "ctl1"};
+  StageHost host(net, "host0", hopts);
+  ASSERT_TRUE(host.start().is_ok());
+  ASSERT_TRUE(host.add_stage({StageId{0}, NodeId{0}, JobId{0}, "n"},
+                             workload::constant(100), nullptr)
+                  .is_ok());
+  ASSERT_TRUE(host.register_all().is_ok());
+  ASSERT_EQ(primary->registered_stages(), 1u);
+  ASSERT_EQ(backup.registered_stages(), 0u);
+
+  primary->shutdown();
+  primary.reset();
+  EXPECT_TRUE(eventually([&] { return backup.registered_stages() == 1; }));
+  EXPECT_TRUE(backup.run_cycle().is_ok());
+  host.shutdown();
+  backup.shutdown();
+}
+
+TEST(FailoverTest, LivenessProbeAllHealthy) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 6;
+  options.num_aggregators = 2;
+  options.stages_per_host = 3;
+  auto deployment = Deployment::create(net, options).value();
+
+  auto dead = deployment->global().probe_liveness(seconds(2));
+  ASSERT_TRUE(dead.is_ok()) << dead.status();
+  EXPECT_TRUE(dead->empty());
+}
+
+TEST(FailoverTest, LivenessProbeWithNoPeers) {
+  transport::InProcNetwork net;
+  GlobalControllerServer server(net, "global", {});
+  ASSERT_TRUE(server.start().is_ok());
+  auto dead = server.probe_liveness(millis(100));
+  ASSERT_TRUE(dead.is_ok());
+  EXPECT_TRUE(dead->empty());
+}
+
+TEST(FailoverTest, LivenessProbeDetectsHungAggregator) {
+  // A peer whose connection is open but whose process is wedged: an
+  // endpoint that introduces itself as an aggregator and then never
+  // answers anything.
+  transport::InProcNetwork net;
+  GlobalServerOptions gopts;
+  GlobalControllerServer global(net, "global", gopts);
+  ASSERT_TRUE(global.start().is_ok());
+
+  auto zombie = net.bind("zombie", {}).value();
+  zombie->set_frame_handler([](ConnId, wire::Frame) { /* wedged */ });
+  const ConnId up = zombie->connect("global").value();
+  proto::Heartbeat intro;
+  intro.from = ControllerId{7};
+  intro.seq = 0;
+  ASSERT_TRUE(zombie->send(up, proto::to_frame(intro)).is_ok());
+  ASSERT_TRUE(eventually([&] { return global.known_aggregators() == 1; }));
+
+  auto dead = global.probe_liveness(millis(150));
+  ASSERT_TRUE(dead.is_ok());
+  ASSERT_EQ(dead->size(), 1u);
+  EXPECT_EQ((*dead)[0].aggregator, ControllerId{7});
+
+  // Evicting clears the roster.
+  global.evict((*dead)[0]);
+  EXPECT_TRUE(eventually([&] { return global.known_aggregators() == 0; }));
+  zombie->shutdown();
+  global.shutdown();
+}
+
+TEST(FailoverTest, LivenessProbeCoversDirectStages) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 4;  // flat: direct stage connections
+  auto deployment = Deployment::create(net, options).value();
+  auto dead = deployment->global().probe_liveness(seconds(2));
+  ASSERT_TRUE(dead.is_ok());
+  EXPECT_TRUE(dead->empty());
+}
+
+TEST(FailoverTest, StaleRuleFromOldEpochRejectedByStage) {
+  // Simulate a delayed rule from a superseded controller epoch arriving
+  // after a newer rule: the stage must keep the newer one.
+  stage::VirtualStage stage({StageId{1}, NodeId{1}, JobId{1}, "n"},
+                            workload::constant(1000), nullptr);
+  proto::Rule newer;
+  newer.stage_id = StageId{1};
+  newer.data_iops_limit = 500.0;
+  newer.epoch = (2ull << 40) | 1;  // epoch 2, cycle 1
+  ASSERT_TRUE(stage.apply(newer));
+
+  proto::Rule stale;
+  stale.stage_id = StageId{1};
+  stale.data_iops_limit = 9999.0;
+  stale.epoch = (1ull << 40) | 999;  // epoch 1, much later cycle
+  EXPECT_FALSE(stage.apply(stale));
+  EXPECT_DOUBLE_EQ(stage.limit(stage::Dimension::kData), 500.0);
+}
+
+}  // namespace
+}  // namespace sds::runtime

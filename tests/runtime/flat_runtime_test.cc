@@ -1,0 +1,207 @@
+// End-to-end integration: flat control plane over the in-process (and
+// TCP) transports — registration, control cycles, QoS convergence.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/deployment.h"
+#include "transport/tcp.h"
+#include "workload/generators.h"
+
+namespace sds::runtime {
+namespace {
+
+TEST(FlatRuntimeTest, DeploymentRegistersAllStages) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 12;
+  options.stages_per_host = 4;
+  auto deployment = Deployment::create(net, options);
+  ASSERT_TRUE(deployment.is_ok()) << deployment.status();
+  EXPECT_EQ((*deployment)->global().registered_stages(), 12u);
+  EXPECT_EQ((*deployment)->stage_hosts().size(), 3u);
+}
+
+TEST(FlatRuntimeTest, CycleWithoutStagesFails) {
+  transport::InProcNetwork net;
+  GlobalControllerServer server(net, "global", {});
+  ASSERT_TRUE(server.start().is_ok());
+  EXPECT_FALSE(server.run_cycle().is_ok());
+}
+
+TEST(FlatRuntimeTest, RunCycleProducesBreakdown) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 8;
+  auto deployment = Deployment::create(net, options).value();
+
+  auto breakdown = deployment->global().run_cycle();
+  ASSERT_TRUE(breakdown.is_ok()) << breakdown.status();
+  EXPECT_GT(breakdown->total(), Nanos{0});
+  EXPECT_EQ(deployment->global().stats().cycles(), 1u);
+}
+
+TEST(FlatRuntimeTest, EnforcedLimitsReachStages) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 8;
+  options.stages_per_job = 4;
+  options.budgets = {4000.0, 400.0};   // contended: 8 × 1000 demand
+  auto deployment = Deployment::create(net, options).value();
+
+  ASSERT_TRUE(deployment->global().run_cycles(3).is_ok());
+
+  double data_sum = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    auto limit = deployment->stage_limit(StageId{i}, stage::Dimension::kData);
+    ASSERT_TRUE(limit.is_ok());
+    EXPECT_GE(*limit, 0.0);
+    data_sum += *limit;
+  }
+  EXPECT_LE(data_sum, 4000.0 * 1.001);
+  EXPECT_GE(data_sum, 4000.0 * 0.9);  // work-conserving under contention
+}
+
+TEST(FlatRuntimeTest, WeightsShiftAllocations) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 8;
+  options.stages_per_job = 4;  // jobs 0 and 1
+  options.budgets = {4000.0, 400.0};
+  auto deployment = Deployment::create(net, options).value();
+
+  deployment->global().set_job_weight(JobId{0}, 3.0);
+  ASSERT_TRUE(deployment->global().run_cycles(3).is_ok());
+
+  double job0 = 0;
+  double job1 = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const double limit =
+        deployment->stage_limit(StageId{i}, stage::Dimension::kData).value();
+    (i < 4 ? job0 : job1) += limit;
+  }
+  EXPECT_NEAR(job0, 3 * job1, job1 * 0.05);
+}
+
+TEST(FlatRuntimeTest, IdleJobYieldsBudgetToActiveJob) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 8;
+  options.stages_per_job = 4;
+  options.budgets = {4000.0, 400.0};
+  options.demand_factory = [](StageId stage, stage::Dimension dim) {
+    const bool idle_job = stage.value() < 4;  // job 0 idle
+    const double rate = idle_job ? 0.0 : 5000.0;
+    return workload::constant(dim == stage::Dimension::kData ? rate
+                                                             : rate / 10);
+  };
+  auto deployment = Deployment::create(net, options).value();
+  ASSERT_TRUE(deployment->global().run_cycles(3).is_ok());
+
+  double job1 = 0;
+  for (std::uint32_t i = 4; i < 8; ++i) {
+    job1 += deployment->stage_limit(StageId{i}, stage::Dimension::kData).value();
+  }
+  // PSFA: nearly the whole budget flows to the only active job.
+  EXPECT_GE(job1, 4000.0 * 0.95);
+}
+
+TEST(FlatRuntimeTest, ConvergenceUnderDemandShift) {
+  // A stage's demand jumps; within a couple of cycles its limit follows
+  // (headroom ramp: each cycle the limit may grow by 1.2×).
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 2;
+  options.stages_per_job = 1;
+  options.budgets = {100'000.0, 10'000.0};
+  std::atomic<double> demand0{100.0};
+  options.demand_factory = [&](StageId stage, stage::Dimension dim) {
+    if (dim == stage::Dimension::kMeta) return workload::constant(10.0);
+    if (stage.value() == 0) {
+      return stage::DemandFn([&](Nanos) { return demand0.load(); });
+    }
+    return workload::constant(100.0);
+  };
+  auto deployment = Deployment::create(net, options).value();
+  ASSERT_TRUE(deployment->global().run_cycles(2).is_ok());
+  const double before =
+      deployment->stage_limit(StageId{0}, stage::Dimension::kData).value();
+  EXPECT_NEAR(before, 120.0, 1.0);  // 1.2 × 100
+
+  demand0.store(10'000.0);
+  // Limit ratchets by ×1.2 per cycle from the observed (throttled) rate.
+  ASSERT_TRUE(deployment->global().run_cycles(30).is_ok());
+  const double after =
+      deployment->stage_limit(StageId{0}, stage::Dimension::kData).value();
+  EXPECT_GE(after, 10'000.0);
+}
+
+TEST(FlatRuntimeTest, WorksOverTcpTransport) {
+  transport::TcpNetwork net;
+  GlobalServerOptions server_options;
+  server_options.core.budgets = {1000.0, 100.0};
+  GlobalControllerServer server(net, "127.0.0.1:0", server_options);
+  ASSERT_TRUE(server.start().is_ok());
+
+  StageHostOptions host_options;
+  host_options.controller_addresses = {server.address()};
+  StageHost host(net, "127.0.0.1:0", host_options);
+  ASSERT_TRUE(host.start().is_ok());
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(host.add_stage({StageId{i}, NodeId{i}, JobId{0}, "n"},
+                               workload::constant(1000), workload::constant(100))
+                    .is_ok());
+  }
+  ASSERT_TRUE(host.register_all().is_ok());
+  EXPECT_EQ(server.registered_stages(), 4u);
+
+  ASSERT_TRUE(server.run_cycles(3).is_ok());
+  EXPECT_EQ(server.stats().cycles(), 3u);
+  double sum = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    sum += host.stage_limit(StageId{i}, stage::Dimension::kData).value();
+  }
+  EXPECT_LE(sum, 1000.0 * 1.001);
+  EXPECT_GE(sum, 900.0);
+  host.shutdown();
+  server.shutdown();
+}
+
+TEST(FlatRuntimeTest, StageDepartureShrinksRoster) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 6;
+  options.stages_per_host = 3;
+  auto deployment = Deployment::create(net, options).value();
+  ASSERT_EQ(deployment->global().registered_stages(), 6u);
+
+  // Kill one stage host (3 stages leave).
+  deployment->stage_hosts()[0]->shutdown();
+  const auto deadline = SystemClock::instance().now() + seconds(5);
+  while (deployment->global().registered_stages() != 3 &&
+         SystemClock::instance().now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(deployment->global().registered_stages(), 3u);
+
+  // The control loop keeps working with the survivors.
+  EXPECT_TRUE(deployment->global().run_cycle().is_ok());
+}
+
+TEST(FlatRuntimeTest, StressManyCycles) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 16;
+  auto deployment = Deployment::create(net, options).value();
+  ASSERT_TRUE(deployment->global().run_cycles(50).is_ok());
+  EXPECT_EQ(deployment->global().stats().cycles(), 50u);
+  // Every cycle collected from every stage.
+  std::uint64_t answered = 0;
+  for (auto& host : deployment->stage_hosts()) {
+    answered += host->collects_answered();
+  }
+  EXPECT_EQ(answered, 50u * 16u);
+}
+
+}  // namespace
+}  // namespace sds::runtime

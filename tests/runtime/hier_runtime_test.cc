@@ -1,0 +1,234 @@
+// End-to-end integration: hierarchical control plane (global controller,
+// aggregators, stage hosts) over the in-process transport.
+#include <gtest/gtest.h>
+
+#include "runtime/deployment.h"
+#include "workload/generators.h"
+
+namespace sds::runtime {
+namespace {
+
+TEST(HierRuntimeTest, RegistrationsForwardToGlobal) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 12;
+  options.num_aggregators = 3;
+  options.stages_per_host = 4;
+  auto deployment = Deployment::create(net, options);
+  ASSERT_TRUE(deployment.is_ok()) << deployment.status();
+  EXPECT_EQ((*deployment)->global().registered_stages(), 12u);
+  EXPECT_EQ((*deployment)->global().known_aggregators(), 3u);
+  std::size_t at_aggs = 0;
+  for (auto& agg : (*deployment)->aggregators()) {
+    at_aggs += agg->registered_stages();
+  }
+  EXPECT_EQ(at_aggs, 12u);
+}
+
+TEST(HierRuntimeTest, CyclesFlowThroughAggregators) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 8;
+  options.num_aggregators = 2;
+  auto deployment = Deployment::create(net, options).value();
+
+  ASSERT_TRUE(deployment->global().run_cycles(5).is_ok());
+  EXPECT_EQ(deployment->global().stats().cycles(), 5u);
+  for (auto& agg : deployment->aggregators()) {
+    EXPECT_EQ(agg->cycles_served(), 5u);
+  }
+  // Every stage answered every cycle via its aggregator.
+  std::uint64_t answered = 0;
+  for (auto& host : deployment->stage_hosts()) {
+    answered += host->collects_answered();
+  }
+  EXPECT_EQ(answered, 5u * 8u);
+}
+
+TEST(HierRuntimeTest, BudgetEnforcedThroughHierarchy) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 8;
+  options.num_aggregators = 2;
+  options.stages_per_job = 4;
+  options.budgets = {4000.0, 400.0};
+  auto deployment = Deployment::create(net, options).value();
+
+  ASSERT_TRUE(deployment->global().run_cycles(3).is_ok());
+  double data_sum = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const auto limit =
+        deployment->stage_limit(StageId{i}, stage::Dimension::kData);
+    ASSERT_TRUE(limit.is_ok());
+    data_sum += *limit;
+  }
+  EXPECT_LE(data_sum, 4000.0 * 1.001);
+  EXPECT_GE(data_sum, 4000.0 * 0.9);
+}
+
+TEST(HierRuntimeTest, DigestsPreserveProportionalSplit) {
+  // Stages of the same job with unequal demand get proportional limits
+  // even through the aggregated path, thanks to StageDigests.
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 2;
+  options.num_aggregators = 1;
+  options.stages_per_job = 2;
+  options.budgets = {1000.0, 100.0};
+  options.demand_factory = [](StageId stage, stage::Dimension dim) {
+    const double base = stage.value() == 0 ? 1000.0 : 3000.0;
+    return workload::constant(dim == stage::Dimension::kData ? base
+                                                             : base / 10);
+  };
+  auto deployment = Deployment::create(net, options).value();
+  ASSERT_TRUE(deployment->global().run_cycles(2).is_ok());
+
+  const double limit0 =
+      deployment->stage_limit(StageId{0}, stage::Dimension::kData).value();
+  const double limit1 =
+      deployment->stage_limit(StageId{1}, stage::Dimension::kData).value();
+  EXPECT_NEAR(limit1, 3 * limit0, limit0 * 0.1);
+}
+
+TEST(HierRuntimeTest, FlatAndHierSameAllocations) {
+  // The same workload yields (approximately) the same stage limits under
+  // both designs — the defining correctness property of the hierarchy.
+  const DeploymentOptions base = [] {
+    DeploymentOptions o;
+    o.num_stages = 8;
+    o.stages_per_job = 2;
+    o.budgets = {4000.0, 400.0};
+    return o;
+  }();
+
+  transport::InProcNetwork flat_net;
+  auto flat = Deployment::create(flat_net, base).value();
+  ASSERT_TRUE(flat->global().run_cycles(3).is_ok());
+
+  DeploymentOptions hier_options = base;
+  hier_options.num_aggregators = 2;
+  transport::InProcNetwork hier_net;
+  auto hier = Deployment::create(hier_net, hier_options).value();
+  ASSERT_TRUE(hier->global().run_cycles(3).is_ok());
+
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const double f =
+        flat->stage_limit(StageId{i}, stage::Dimension::kData).value();
+    const double h =
+        hier->stage_limit(StageId{i}, stage::Dimension::kData).value();
+    EXPECT_NEAR(f, h, f * 0.05 + 1.0) << "stage " << i;
+  }
+}
+
+TEST(HierRuntimeTest, MixedTopologyWorks) {
+  // Stages attached both directly and via an aggregator.
+  transport::InProcNetwork net;
+
+  GlobalServerOptions gopts;
+  gopts.core.budgets = {2000.0, 200.0};
+  GlobalControllerServer global(net, "global", gopts);
+  ASSERT_TRUE(global.start().is_ok());
+
+  AggregatorServerOptions aopts;
+  aopts.id = ControllerId{0};
+  aopts.upstream_address = "global";
+  AggregatorServer agg(net, "agg0", aopts);
+  ASSERT_TRUE(agg.start().is_ok());
+
+  StageHost direct(net, "direct", {{"global"}});
+  ASSERT_TRUE(direct.start().is_ok());
+  ASSERT_TRUE(direct
+                  .add_stage({StageId{0}, NodeId{0}, JobId{0}, "d"},
+                             workload::constant(1000), workload::constant(100))
+                  .is_ok());
+  ASSERT_TRUE(direct.register_all().is_ok());
+
+  StageHost via_agg(net, "viaagg", {{"agg0"}});
+  ASSERT_TRUE(via_agg.start().is_ok());
+  ASSERT_TRUE(via_agg
+                  .add_stage({StageId{1}, NodeId{1}, JobId{0}, "a"},
+                             workload::constant(1000), workload::constant(100))
+                  .is_ok());
+  ASSERT_TRUE(via_agg.register_all().is_ok());
+
+  const auto deadline = SystemClock::instance().now() + seconds(5);
+  while (global.registered_stages() < 2 &&
+         SystemClock::instance().now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(global.registered_stages(), 2u);
+
+  ASSERT_TRUE(global.run_cycles(3).is_ok());
+  const double l0 =
+      direct.stage_limit(StageId{0}, stage::Dimension::kData).value();
+  const double l1 =
+      via_agg.stage_limit(StageId{1}, stage::Dimension::kData).value();
+  EXPECT_GT(l0, 0.0);
+  EXPECT_GT(l1, 0.0);
+  EXPECT_LE(l0 + l1, 2000.0 * 1.001);
+
+  via_agg.shutdown();
+  direct.shutdown();
+  agg.shutdown();
+  global.shutdown();
+}
+
+TEST(HierRuntimeTest, LocalDecisionModeEnforcesBudget) {
+  // Paper §VI: the global controller only grants budget leases; the
+  // aggregators run PSFA locally. Same budget guarantees must hold.
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 8;
+  options.num_aggregators = 2;
+  options.stages_per_job = 4;
+  options.budgets = {4000.0, 400.0};
+  options.local_decisions = true;
+  auto deployment = Deployment::create(net, options).value();
+
+  ASSERT_TRUE(deployment->global().run_cycles(3).is_ok());
+  double data_sum = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const auto limit =
+        deployment->stage_limit(StageId{i}, stage::Dimension::kData);
+    ASSERT_TRUE(limit.is_ok());
+    EXPECT_GE(*limit, 0.0);
+    data_sum += *limit;
+  }
+  // Lease sums never exceed the global budget, so neither do the rules.
+  EXPECT_LE(data_sum, 4000.0 * 1.001);
+  EXPECT_GE(data_sum, 4000.0 * 0.9);
+}
+
+TEST(HierRuntimeTest, LocalDecisionModeRejectsDirectStages) {
+  transport::InProcNetwork net;
+  GlobalServerOptions gopts;
+  gopts.local_decisions = true;
+  GlobalControllerServer global(net, "global", gopts);
+  ASSERT_TRUE(global.start().is_ok());
+
+  StageHost host(net, "host0", {{"global"}});
+  ASSERT_TRUE(host.start().is_ok());
+  ASSERT_TRUE(host.add_stage({StageId{0}, NodeId{0}, JobId{0}, "n"},
+                             workload::constant(100), nullptr)
+                  .is_ok());
+  ASSERT_TRUE(host.register_all().is_ok());
+  auto cycle = global.run_cycle();
+  EXPECT_FALSE(cycle.is_ok());
+  EXPECT_EQ(cycle.status().code(), StatusCode::kFailedPrecondition);
+  host.shutdown();
+  global.shutdown();
+}
+
+TEST(HierRuntimeTest, ManyCyclesStress) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 24;
+  options.num_aggregators = 4;
+  options.stages_per_host = 6;
+  auto deployment = Deployment::create(net, options).value();
+  ASSERT_TRUE(deployment->global().run_cycles(30).is_ok());
+  EXPECT_EQ(deployment->global().stats().cycles(), 30u);
+}
+
+}  // namespace
+}  // namespace sds::runtime

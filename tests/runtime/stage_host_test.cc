@@ -1,0 +1,141 @@
+#include "runtime/stage_host.h"
+
+#include <gtest/gtest.h>
+
+#include "transport/inproc.h"
+#include "workload/generators.h"
+
+namespace sds::runtime {
+namespace {
+
+proto::StageInfo info(std::uint32_t id) {
+  return {StageId{id}, NodeId{id}, JobId{id / 4}, "host"};
+}
+
+/// Minimal fake controller capturing registrations and serving one conn.
+class FakeController {
+ public:
+  explicit FakeController(transport::Network& net) {
+    endpoint_ = net.bind("ctrl", {}).value();
+    endpoint_->set_frame_handler([this](ConnId conn, wire::Frame frame) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (frame.type ==
+          static_cast<std::uint16_t>(proto::MessageType::kRegisterRequest)) {
+        auto request = proto::from_frame<proto::RegisterRequest>(frame);
+        if (request.is_ok()) registered_.push_back(request->info);
+        proto::RegisterAck ack;
+        ack.accepted = accept_;
+        ack.epoch = 1;
+        (void)endpoint_->send(conn, proto::to_frame(ack));
+      } else {
+        frames_.push_back({conn, std::move(frame)});
+      }
+    });
+  }
+
+  std::size_t registered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return registered_.size();
+  }
+
+  void set_accept(bool accept) {
+    std::lock_guard<std::mutex> lock(mu_);
+    accept_ = accept;
+  }
+
+  transport::Endpoint& endpoint() { return *endpoint_; }
+
+  std::vector<std::pair<ConnId, wire::Frame>> take_frames() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(frames_);
+  }
+
+ private:
+  std::unique_ptr<transport::Endpoint> endpoint_;
+  mutable std::mutex mu_;
+  std::vector<proto::StageInfo> registered_;
+  std::vector<std::pair<ConnId, wire::Frame>> frames_;
+  bool accept_ = true;
+};
+
+TEST(StageHostTest, StartAndAddStages) {
+  transport::InProcNetwork net;
+  StageHost host(net, "host0", {{"ctrl"}});
+  ASSERT_TRUE(host.start().is_ok());
+  EXPECT_TRUE(host.add_stage(info(1), workload::constant(100),
+                             workload::constant(10))
+                  .is_ok());
+  EXPECT_TRUE(host.add_stage(info(2), workload::constant(100),
+                             workload::constant(10))
+                  .is_ok());
+  EXPECT_EQ(host.stage_count(), 2u);
+}
+
+TEST(StageHostTest, DuplicateStageRejected) {
+  transport::InProcNetwork net;
+  StageHost host(net, "host0", {{"ctrl"}});
+  ASSERT_TRUE(host.start().is_ok());
+  ASSERT_TRUE(host.add_stage(info(1), nullptr, nullptr).is_ok());
+  EXPECT_EQ(host.add_stage(info(1), nullptr, nullptr).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(StageHostTest, RegisterAllConnectsEachStage) {
+  transport::InProcNetwork net;
+  FakeController controller(net);
+  StageHost host(net, "host0", {{"ctrl"}});
+  ASSERT_TRUE(host.start().is_ok());
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(host.add_stage(info(i), workload::constant(100), nullptr)
+                    .is_ok());
+  }
+  ASSERT_TRUE(host.register_all().is_ok());
+  EXPECT_EQ(controller.registered(), 5u);
+  // One connection per stage, as in the paper's deployment.
+  EXPECT_EQ(controller.endpoint().counters().current_connections, 5u);
+}
+
+TEST(StageHostTest, RegisterWithoutControllerFails) {
+  transport::InProcNetwork net;
+  StageHost host(net, "host0", {{}});
+  ASSERT_TRUE(host.start().is_ok());
+  ASSERT_TRUE(host.add_stage(info(1), nullptr, nullptr).is_ok());
+  EXPECT_FALSE(host.register_all().is_ok());
+}
+
+TEST(StageHostTest, RegistrationRejectedSurfacesError) {
+  transport::InProcNetwork net;
+  FakeController controller(net);
+  controller.set_accept(false);
+  StageHost host(net, "host0", {{"ctrl"}, millis(200)});
+  ASSERT_TRUE(host.start().is_ok());
+  ASSERT_TRUE(host.add_stage(info(1), nullptr, nullptr).is_ok());
+  EXPECT_FALSE(host.register_all().is_ok());
+}
+
+TEST(StageHostTest, RegisterBeforeStartFails) {
+  transport::InProcNetwork net;
+  StageHost host(net, "host0", {{"ctrl"}});
+  EXPECT_EQ(host.register_all().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StageHostTest, StageLimitLookup) {
+  transport::InProcNetwork net;
+  StageHost host(net, "host0", {{"ctrl"}});
+  ASSERT_TRUE(host.start().is_ok());
+  ASSERT_TRUE(host.add_stage(info(1), nullptr, nullptr).is_ok());
+  auto limit = host.stage_limit(StageId{1}, stage::Dimension::kData);
+  ASSERT_TRUE(limit.is_ok());
+  EXPECT_DOUBLE_EQ(*limit, proto::kUnlimited);
+  EXPECT_FALSE(host.stage_limit(StageId{9}, stage::Dimension::kData).is_ok());
+}
+
+TEST(StageHostTest, DoubleStartFails) {
+  transport::InProcNetwork net;
+  StageHost host(net, "host0", {{"ctrl"}});
+  ASSERT_TRUE(host.start().is_ok());
+  EXPECT_FALSE(host.start().is_ok());
+}
+
+}  // namespace
+}  // namespace sds::runtime

@@ -1,0 +1,108 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sds::sim {
+namespace {
+
+TEST(EngineTest, StartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), Nanos{0});
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(EngineTest, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(millis(3), [&] { order.push_back(3); });
+  engine.schedule_at(millis(1), [&] { order.push_back(1); });
+  engine.schedule_at(millis(2), [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), millis(3));
+}
+
+TEST(EngineTest, TiesBreakByInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(millis(5), [&, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EngineTest, ScheduleInIsRelative) {
+  Engine engine;
+  Nanos fired{-1};
+  engine.schedule_at(millis(10), [&] {
+    engine.schedule_in(millis(5), [&] { fired = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired, millis(15));
+}
+
+TEST(EngineTest, PastTimesClampToNow) {
+  Engine engine;
+  Nanos fired{-1};
+  engine.schedule_at(millis(10), [&] {
+    engine.schedule_at(millis(1), [&] { fired = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired, millis(10));
+}
+
+TEST(EngineTest, EventsCanCascade) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) engine.schedule_in(micros(1), recurse);
+  };
+  engine.schedule_at(Nanos{0}, recurse);
+  engine.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(engine.executed(), 100u);
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine engine;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    engine.schedule_at(millis(i), [&] { ++fired; });
+  }
+  engine.run_until(millis(5));
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), millis(5));
+  EXPECT_EQ(engine.pending(), 5u);
+  engine.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EngineTest, RunUntilAdvancesClockWhenQueueEmpty) {
+  Engine engine;
+  engine.run_until(seconds(3));
+  EXPECT_EQ(engine.now(), seconds(3));
+}
+
+TEST(EngineTest, StepReturnsFalseWhenEmpty) {
+  Engine engine;
+  EXPECT_FALSE(engine.step());
+  engine.schedule_at(millis(1), [] {});
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(EngineTest, ManyEventsStress) {
+  Engine engine;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    engine.schedule_at(micros(i % 977), [&] { ++sum; });
+  }
+  engine.run();
+  EXPECT_EQ(sum, 100'000u);
+}
+
+}  // namespace
+}  // namespace sds::sim

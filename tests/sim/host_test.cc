@@ -1,0 +1,136 @@
+#include "sim/host.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::sim {
+namespace {
+
+FronteraProfile simple_profile() {
+  FronteraProfile p;
+  p.wire_latency = micros(10);
+  p.nic_bytes_per_ns = 1.0;  // 1 GB/s
+  p.msg_overhead_bytes = 0;
+  p.cpu_send_fixed = micros(2);
+  p.cpu_send_per_byte_ns = 0;
+  p.cpu_recv_fixed = micros(3);
+  p.cpu_recv_per_byte_ns = 0;
+  return p;
+}
+
+TEST(SimHostTest, RunSerializesCpuWork) {
+  Engine engine;
+  FronteraProfile profile = simple_profile();
+  SimHost host(engine, profile, "h");
+
+  std::vector<Nanos> completions;
+  host.run(micros(5), [&] { completions.push_back(engine.now()); });
+  host.run(micros(5), [&] { completions.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], micros(5));
+  EXPECT_EQ(completions[1], micros(10));  // queued behind the first
+  EXPECT_EQ(host.busy(), micros(10));
+}
+
+TEST(SimHostTest, SendChargesCpuAndDelaysByWire) {
+  Engine engine;
+  FronteraProfile profile = simple_profile();
+  SimHost host(engine, profile, "h");
+
+  Nanos arrival{-1};
+  host.send(1000, [&] { arrival = engine.now(); });
+  engine.run();
+  // send CPU 2 us + serialization 1000 B at 1 B/ns = 1 us + latency 10 us.
+  EXPECT_EQ(arrival, micros(2) + micros(1) + micros(10));
+  EXPECT_EQ(host.bytes_tx(), 1000u);
+  EXPECT_EQ(host.messages_tx(), 1u);
+}
+
+TEST(SimHostTest, ExtraCpuAddsToSendCost) {
+  Engine engine;
+  FronteraProfile profile = simple_profile();
+  SimHost host(engine, profile, "h");
+  Nanos arrival{-1};
+  host.send(0, [&] { arrival = engine.now(); }, micros(7));
+  engine.run();
+  EXPECT_EQ(arrival, micros(2) + micros(7) + micros(10));
+}
+
+TEST(SimHostTest, NicSerializesConcurrentSends) {
+  Engine engine;
+  FronteraProfile profile = simple_profile();
+  profile.cpu_send_fixed = Nanos{0};
+  SimHost host(engine, profile, "h");
+
+  std::vector<Nanos> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    host.send(1000, [&] { arrivals.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Each 1000-byte message takes 1 us on the NIC; they queue.
+  EXPECT_EQ(arrivals[0], micros(1) + micros(10));
+  EXPECT_EQ(arrivals[1], micros(2) + micros(10));
+  EXPECT_EQ(arrivals[2], micros(3) + micros(10));
+}
+
+TEST(SimHostTest, ReceiveCountsBytesAndChargesCpu) {
+  Engine engine;
+  FronteraProfile profile = simple_profile();
+  SimHost host(engine, profile, "h");
+
+  Nanos processed{-1};
+  host.receive(500, [&] { processed = engine.now(); });
+  engine.run();
+  EXPECT_EQ(processed, micros(3));
+  EXPECT_EQ(host.bytes_rx(), 500u);
+  EXPECT_EQ(host.messages_rx(), 1u);
+}
+
+TEST(SimHostTest, MessageOverheadCountedOnWire) {
+  Engine engine;
+  FronteraProfile profile = simple_profile();
+  profile.msg_overhead_bytes = 64;
+  SimHost host(engine, profile, "h");
+  host.send(100, [] {});
+  host.receive(100, [] {});
+  engine.run();
+  EXPECT_EQ(host.bytes_tx(), 164u);
+  EXPECT_EQ(host.bytes_rx(), 164u);
+}
+
+TEST(SimHostTest, CpuAndNicPipelineOverlap) {
+  // CPU keeps producing while the NIC drains: total time for n messages
+  // is ~max(n*cpu, n*wire), not their sum.
+  Engine engine;
+  FronteraProfile profile = simple_profile();
+  profile.cpu_send_fixed = micros(2);
+  profile.wire_latency = Nanos{0};
+  SimHost host(engine, profile, "h");
+
+  Nanos last{0};
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    host.send(1000, [&] { last = engine.now(); });  // 1 us wire each
+  }
+  engine.run();
+  // CPU path: 200 us total; wire adds only its last microsecond.
+  EXPECT_GE(last, micros(200));
+  EXPECT_LE(last, micros(202));
+}
+
+TEST(SimHostTest, ResetAccounting) {
+  Engine engine;
+  FronteraProfile profile = simple_profile();
+  SimHost host(engine, profile, "h");
+  host.send(100, [] {});
+  host.run(micros(1), [] {});
+  engine.run();
+  host.reset_accounting();
+  EXPECT_EQ(host.bytes_tx(), 0u);
+  EXPECT_EQ(host.busy(), Nanos{0});
+  EXPECT_EQ(host.messages_tx(), 0u);
+}
+
+}  // namespace
+}  // namespace sds::sim

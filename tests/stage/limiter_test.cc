@@ -1,0 +1,109 @@
+#include "stage/limiter.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::stage {
+namespace {
+
+proto::Rule make_rule(double data_limit, double meta_limit,
+                      std::uint64_t epoch) {
+  proto::Rule rule;
+  rule.stage_id = StageId{1};
+  rule.job_id = JobId{1};
+  rule.data_iops_limit = data_limit;
+  rule.meta_iops_limit = meta_limit;
+  rule.epoch = epoch;
+  return rule;
+}
+
+TEST(RateLimiterTest, StartsUnlimited) {
+  RateLimiter limiter(Nanos{0});
+  EXPECT_EQ(limiter.limit(Dimension::kData), proto::kUnlimited);
+  EXPECT_EQ(limiter.limit(Dimension::kMeta), proto::kUnlimited);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(limiter.try_admit(OpClass::kRead, Nanos{0}));
+    EXPECT_TRUE(limiter.try_admit(OpClass::kOpen, Nanos{0}));
+  }
+}
+
+TEST(RateLimiterTest, AppliesRuleLimits) {
+  RateLimiter limiter(Nanos{0});
+  ASSERT_TRUE(limiter.apply(make_rule(100.0, 10.0, 1), Nanos{0}));
+  EXPECT_DOUBLE_EQ(limiter.limit(Dimension::kData), 100.0);
+  EXPECT_DOUBLE_EQ(limiter.limit(Dimension::kMeta), 10.0);
+}
+
+TEST(RateLimiterTest, DimensionsAreIndependent) {
+  RateLimiter limiter(Nanos{0}, LimiterOptions{0.1, 1.0});
+  ASSERT_TRUE(limiter.apply(make_rule(1'000'000.0, 0.0, 1), Nanos{0}));
+  // Metadata exhausted after its burst; data keeps flowing.
+  while (limiter.try_admit(OpClass::kStat, Nanos{0})) {
+  }
+  EXPECT_TRUE(limiter.try_admit(OpClass::kWrite, Nanos{0}));
+  EXPECT_FALSE(limiter.try_admit(OpClass::kStat, Nanos{0}));
+}
+
+TEST(RateLimiterTest, StaleEpochRejected) {
+  RateLimiter limiter(Nanos{0});
+  ASSERT_TRUE(limiter.apply(make_rule(100.0, 10.0, 5), Nanos{0}));
+  EXPECT_FALSE(limiter.apply(make_rule(999.0, 999.0, 4), Nanos{0}));
+  EXPECT_DOUBLE_EQ(limiter.limit(Dimension::kData), 100.0);  // unchanged
+  EXPECT_EQ(limiter.epoch(), 5u);
+}
+
+TEST(RateLimiterTest, EqualEpochAccepted) {
+  // Same-epoch reapplication is idempotent (retries after timeouts).
+  RateLimiter limiter(Nanos{0});
+  ASSERT_TRUE(limiter.apply(make_rule(100.0, 10.0, 5), Nanos{0}));
+  EXPECT_TRUE(limiter.apply(make_rule(200.0, 20.0, 5), Nanos{0}));
+  EXPECT_DOUBLE_EQ(limiter.limit(Dimension::kData), 200.0);
+}
+
+TEST(RateLimiterTest, NewerEpochSupersedes) {
+  RateLimiter limiter(Nanos{0});
+  ASSERT_TRUE(limiter.apply(make_rule(100.0, 10.0, 1), Nanos{0}));
+  EXPECT_TRUE(limiter.apply(make_rule(300.0, 30.0, 2), Nanos{0}));
+  EXPECT_DOUBLE_EQ(limiter.limit(Dimension::kData), 300.0);
+}
+
+TEST(RateLimiterTest, AdmissionDelayReflectsBucket) {
+  RateLimiter limiter(Nanos{0}, LimiterOptions{0.01, 1.0});
+  ASSERT_TRUE(limiter.apply(make_rule(10.0, 10.0, 1), Nanos{0}));
+  while (limiter.try_admit(OpClass::kRead, Nanos{0})) {
+  }
+  const Nanos delay = limiter.admission_delay(OpClass::kRead, Nanos{0});
+  EXPECT_GT(delay, Nanos{0});
+  EXPECT_TRUE(limiter.try_admit(OpClass::kRead, delay + micros(1)));
+}
+
+TEST(RateLimiterTest, UnlimitedRuleRestoresFreeFlow) {
+  RateLimiter limiter(Nanos{0});
+  ASSERT_TRUE(limiter.apply(make_rule(1.0, 1.0, 1), Nanos{0}));
+  ASSERT_TRUE(
+      limiter.apply(make_rule(proto::kUnlimited, proto::kUnlimited, 2), Nanos{0}));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(limiter.try_admit(OpClass::kRead, Nanos{0}));
+  }
+}
+
+TEST(OpClassTest, DimensionMapping) {
+  EXPECT_EQ(dimension_of(OpClass::kRead), Dimension::kData);
+  EXPECT_EQ(dimension_of(OpClass::kWrite), Dimension::kData);
+  EXPECT_EQ(dimension_of(OpClass::kOpen), Dimension::kMeta);
+  EXPECT_EQ(dimension_of(OpClass::kStat), Dimension::kMeta);
+  EXPECT_EQ(dimension_of(OpClass::kCreate), Dimension::kMeta);
+  EXPECT_EQ(dimension_of(OpClass::kUnlink), Dimension::kMeta);
+  EXPECT_EQ(dimension_of(OpClass::kRename), Dimension::kMeta);
+  EXPECT_EQ(dimension_of(OpClass::kReaddir), Dimension::kMeta);
+  EXPECT_EQ(dimension_of(OpClass::kClose), Dimension::kMeta);
+}
+
+TEST(OpClassTest, Names) {
+  EXPECT_EQ(to_string(OpClass::kRead), "read");
+  EXPECT_EQ(to_string(OpClass::kReaddir), "readdir");
+  EXPECT_EQ(to_string(Dimension::kData), "data");
+  EXPECT_EQ(to_string(Dimension::kMeta), "meta");
+}
+
+}  // namespace
+}  // namespace sds::stage

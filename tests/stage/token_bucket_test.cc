@@ -1,0 +1,122 @@
+#include "stage/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sds::stage {
+namespace {
+
+TEST(TokenBucketTest, StartsFull) {
+  TokenBucket bucket(100.0, 10.0, Nanos{0});
+  EXPECT_TRUE(bucket.try_acquire(10.0, Nanos{0}));
+  EXPECT_FALSE(bucket.try_acquire(1.0, Nanos{0}));
+}
+
+TEST(TokenBucketTest, RefillsAtConfiguredRate) {
+  TokenBucket bucket(100.0, 10.0, Nanos{0});  // 100 tokens/s
+  ASSERT_TRUE(bucket.try_acquire(10.0, Nanos{0}));
+  EXPECT_FALSE(bucket.try_acquire(1.0, Nanos{0}));
+  // After 50 ms, 5 tokens refilled.
+  EXPECT_TRUE(bucket.try_acquire(5.0, millis(50)));
+  EXPECT_FALSE(bucket.try_acquire(1.0, millis(50)));
+}
+
+TEST(TokenBucketTest, BurstCapsAccumulation) {
+  TokenBucket bucket(1000.0, 50.0, Nanos{0});
+  ASSERT_TRUE(bucket.try_acquire(50.0, Nanos{0}));
+  // A long idle period still refills at most `burst` tokens.
+  EXPECT_DOUBLE_EQ(bucket.tokens(seconds(100)), 50.0);
+  EXPECT_TRUE(bucket.try_acquire(50.0, seconds(100)));
+  EXPECT_FALSE(bucket.try_acquire(1.0, seconds(100)));
+}
+
+TEST(TokenBucketTest, UnlimitedAlwaysAdmits) {
+  TokenBucket bucket(-1.0, 1.0, Nanos{0});
+  EXPECT_TRUE(bucket.unlimited());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bucket.try_acquire(1e9, Nanos{0}));
+  }
+  EXPECT_EQ(bucket.time_until(1e9, Nanos{0}), Nanos{0});
+}
+
+TEST(TokenBucketTest, ZeroRateNeverRefills) {
+  TokenBucket bucket(0.0, 5.0, Nanos{0});
+  ASSERT_TRUE(bucket.try_acquire(5.0, Nanos{0}));  // initial burst
+  EXPECT_FALSE(bucket.try_acquire(1.0, seconds(1000)));
+  EXPECT_EQ(bucket.time_until(1.0, seconds(1000)), Nanos::max());
+}
+
+TEST(TokenBucketTest, TimeUntilPredictsAdmission) {
+  TokenBucket bucket(100.0, 10.0, Nanos{0});
+  ASSERT_TRUE(bucket.try_acquire(10.0, Nanos{0}));
+  const Nanos wait = bucket.time_until(1.0, Nanos{0});
+  EXPECT_GT(wait, Nanos{0});
+  // Just before `wait` the op is rejected; at `wait` it is admitted.
+  EXPECT_FALSE(bucket.try_acquire(1.0, wait - micros(100)));
+  EXPECT_TRUE(bucket.try_acquire(1.0, wait));
+}
+
+TEST(TokenBucketTest, SetRateReconfigures) {
+  TokenBucket bucket(10.0, 10.0, Nanos{0});
+  ASSERT_TRUE(bucket.try_acquire(10.0, Nanos{0}));
+  bucket.set_rate(1000.0, 100.0, Nanos{0});
+  EXPECT_DOUBLE_EQ(bucket.rate(), 1000.0);
+  // After 10 ms the faster rate yields 10 tokens.
+  EXPECT_TRUE(bucket.try_acquire(10.0, millis(10)));
+}
+
+TEST(TokenBucketTest, SetRateClampsRetainedTokensToNewBurst) {
+  TokenBucket bucket(100.0, 100.0, Nanos{0});
+  // Full bucket (100 tokens); shrink burst to 5 — tokens clamp.
+  bucket.set_rate(100.0, 5.0, Nanos{0});
+  EXPECT_FALSE(bucket.try_acquire(6.0, Nanos{0}));
+  EXPECT_TRUE(bucket.try_acquire(5.0, Nanos{0}));
+}
+
+TEST(TokenBucketTest, NonMonotonicTimeIsSafe) {
+  TokenBucket bucket(100.0, 10.0, Nanos{0});
+  ASSERT_TRUE(bucket.try_acquire(5.0, millis(100)));
+  // Time going backwards must not refill or crash.
+  EXPECT_DOUBLE_EQ(bucket.tokens(millis(50)), bucket.tokens(millis(50)));
+  EXPECT_TRUE(bucket.try_acquire(5.0, millis(50)));
+}
+
+TEST(TokenBucketTest, LongRunRateAdherence) {
+  // Property: admitted ops over a long window ≈ rate × window.
+  const double rate = 5000.0;
+  TokenBucket bucket(rate, rate * 0.01, Nanos{0});
+  Rng rng(3);
+  Nanos now{0};
+  std::uint64_t admitted = 0;
+  const Nanos horizon = seconds(10);
+  while (now < horizon) {
+    if (bucket.try_acquire(1.0, now)) ++admitted;
+    now += micros(rng.uniform_int(10, 200));
+  }
+  const double expected = rate * to_seconds(horizon);
+  EXPECT_NEAR(static_cast<double>(admitted), expected, expected * 0.02);
+}
+
+class TokenBucketRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TokenBucketRateSweep, AdmitsAtConfiguredRate) {
+  const double rate = GetParam();
+  TokenBucket bucket(rate, std::max(1.0, rate / 100), Nanos{0});
+  // Drain the initial burst.
+  while (bucket.try_acquire(1.0, Nanos{0})) {
+  }
+  std::uint64_t admitted = 0;
+  for (Nanos now{0}; now < seconds(4); now += micros(50)) {
+    if (bucket.try_acquire(1.0, now)) ++admitted;
+  }
+  const double expected = rate * 4.0;
+  EXPECT_NEAR(static_cast<double>(admitted), expected,
+              expected * 0.05 + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, TokenBucketRateSweep,
+                         ::testing::Values(10.0, 100.0, 1'000.0, 10'000.0));
+
+}  // namespace
+}  // namespace sds::stage

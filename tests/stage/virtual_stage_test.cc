@@ -1,0 +1,85 @@
+#include "stage/virtual_stage.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::stage {
+namespace {
+
+proto::StageInfo info(std::uint32_t id = 1) {
+  return {StageId{id}, NodeId{id}, JobId{id / 10}, "node"};
+}
+
+proto::Rule rule(double data, double meta, std::uint64_t epoch) {
+  proto::Rule r;
+  r.stage_id = StageId{1};
+  r.job_id = JobId{0};
+  r.data_iops_limit = data;
+  r.meta_iops_limit = meta;
+  r.epoch = epoch;
+  return r;
+}
+
+TEST(VirtualStageTest, ReportsDemandWhenUnlimited) {
+  VirtualStage stage(info(), [](Nanos) { return 1000.0; },
+                     [](Nanos) { return 100.0; });
+  const auto m = stage.collect(7, Nanos{0});
+  EXPECT_EQ(m.cycle_id, 7u);
+  EXPECT_EQ(m.stage_id, StageId{1});
+  EXPECT_DOUBLE_EQ(m.data_iops, 1000.0);
+  EXPECT_DOUBLE_EQ(m.meta_iops, 100.0);
+  EXPECT_DOUBLE_EQ(m.data_limit, proto::kUnlimited);
+}
+
+TEST(VirtualStageTest, ThrottlesReportedRateToLimit) {
+  VirtualStage stage(info(), [](Nanos) { return 1000.0; },
+                     [](Nanos) { return 100.0; });
+  ASSERT_TRUE(stage.apply(rule(400.0, 50.0, 1)));
+  const auto m = stage.collect(8, Nanos{0});
+  EXPECT_DOUBLE_EQ(m.data_iops, 400.0);  // min(demand, limit)
+  EXPECT_DOUBLE_EQ(m.meta_iops, 50.0);
+  EXPECT_DOUBLE_EQ(m.data_limit, 400.0);
+  EXPECT_DOUBLE_EQ(m.meta_limit, 50.0);
+}
+
+TEST(VirtualStageTest, LimitAboveDemandReportsDemand) {
+  VirtualStage stage(info(), [](Nanos) { return 300.0; }, nullptr);
+  ASSERT_TRUE(stage.apply(rule(5000.0, 100.0, 1)));
+  EXPECT_DOUBLE_EQ(stage.collect(1, Nanos{0}).data_iops, 300.0);
+}
+
+TEST(VirtualStageTest, TimeVaryingDemand) {
+  VirtualStage stage(
+      info(), [](Nanos t) { return t < seconds(1) ? 100.0 : 900.0; }, nullptr);
+  EXPECT_DOUBLE_EQ(stage.collect(1, millis(500)).data_iops, 100.0);
+  EXPECT_DOUBLE_EQ(stage.collect(2, seconds(2)).data_iops, 900.0);
+}
+
+TEST(VirtualStageTest, StaleRuleRejected) {
+  VirtualStage stage(info(), [](Nanos) { return 1000.0; }, nullptr);
+  ASSERT_TRUE(stage.apply(rule(400.0, 50.0, 10)));
+  EXPECT_FALSE(stage.apply(rule(999.0, 99.0, 9)));
+  EXPECT_DOUBLE_EQ(stage.limit(Dimension::kData), 400.0);
+  EXPECT_EQ(stage.epoch(), 10u);
+}
+
+TEST(VirtualStageTest, NullDemandFnMeansIdle) {
+  VirtualStage stage(info(), nullptr, nullptr);
+  const auto m = stage.collect(1, Nanos{0});
+  EXPECT_DOUBLE_EQ(m.data_iops, 0.0);
+  EXPECT_DOUBLE_EQ(m.meta_iops, 0.0);
+}
+
+TEST(VirtualStageTest, NegativeDemandClampedToZero) {
+  VirtualStage stage(info(), [](Nanos) { return -5.0; }, nullptr);
+  EXPECT_DOUBLE_EQ(stage.collect(1, Nanos{0}).data_iops, 0.0);
+}
+
+TEST(VirtualStageTest, DemandIntrospection) {
+  VirtualStage stage(info(), [](Nanos) { return 123.0; },
+                     [](Nanos) { return 45.0; });
+  EXPECT_DOUBLE_EQ(stage.demand(Dimension::kData, Nanos{0}), 123.0);
+  EXPECT_DOUBLE_EQ(stage.demand(Dimension::kMeta, Nanos{0}), 45.0);
+}
+
+}  // namespace
+}  // namespace sds::stage

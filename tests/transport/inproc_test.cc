@@ -1,0 +1,263 @@
+#include "transport/inproc.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/queue.h"
+#include "proto/messages.h"
+
+namespace sds::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+wire::Frame test_frame(std::uint16_t type, std::size_t payload_size = 4) {
+  wire::Frame frame;
+  frame.type = type;
+  frame.payload.assign(payload_size, 0x5A);
+  return frame;
+}
+
+/// Waits for a condition with a deadline (events are asynchronous).
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds deadline = 2000ms) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+TEST(InProcTest, BindConnectSend) {
+  InProcNetwork net;
+  auto server = net.bind("server", {}).value();
+  auto client = net.bind("client", {}).value();
+
+  Queue<wire::Frame> received;
+  server->set_frame_handler(
+      [&](ConnId, wire::Frame frame) { received.push(std::move(frame)); });
+
+  auto conn = client->connect("server");
+  ASSERT_TRUE(conn.is_ok());
+  ASSERT_TRUE(client->send(conn.value(), test_frame(7)).is_ok());
+
+  auto frame = received.pop_for(seconds(2));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, 7);
+  EXPECT_EQ(frame->payload.size(), 4u);
+}
+
+TEST(InProcTest, DuplicateBindRejected) {
+  InProcNetwork net;
+  auto a = net.bind("addr", {}).value();
+  auto b = net.bind("addr", {});
+  EXPECT_FALSE(b.is_ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(InProcTest, RebindAfterShutdown) {
+  InProcNetwork net;
+  {
+    auto a = net.bind("addr", {}).value();
+    a->shutdown();
+  }
+  auto b = net.bind("addr", {});
+  EXPECT_TRUE(b.is_ok());
+}
+
+TEST(InProcTest, ConnectUnknownAddressFails) {
+  InProcNetwork net;
+  auto client = net.bind("client", {}).value();
+  auto conn = client->connect("nowhere");
+  EXPECT_FALSE(conn.is_ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kNotFound);
+}
+
+TEST(InProcTest, BidirectionalTraffic) {
+  InProcNetwork net;
+  auto a = net.bind("a", {}).value();
+  auto b = net.bind("b", {}).value();
+
+  Queue<std::uint16_t> at_a;
+  Queue<std::pair<ConnId, std::uint16_t>> at_b;
+  a->set_frame_handler([&](ConnId, wire::Frame f) { at_a.push(f.type); });
+  b->set_frame_handler(
+      [&](ConnId c, wire::Frame f) { at_b.push({c, f.type}); });
+
+  const ConnId a_to_b = a->connect("b").value();
+  ASSERT_TRUE(a->send(a_to_b, test_frame(1)).is_ok());
+  auto got = at_b.pop_for(seconds(2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->second, 1);
+
+  // Reply on the b-side connection id.
+  ASSERT_TRUE(b->send(got->first, test_frame(2)).is_ok());
+  auto reply = at_a.pop_for(seconds(2));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, 2);
+}
+
+TEST(InProcTest, OrderedDeliveryPerConnection) {
+  InProcNetwork net;
+  auto server = net.bind("server", {}).value();
+  auto client = net.bind("client", {}).value();
+
+  std::vector<std::uint16_t> order;
+  std::mutex mu;
+  server->set_frame_handler([&](ConnId, wire::Frame f) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(f.type);
+  });
+
+  const ConnId conn = client->connect("server").value();
+  for (std::uint16_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(client->send(conn, test_frame(i)).is_ok());
+  }
+  ASSERT_TRUE(eventually([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return order.size() == 500;
+  }));
+  std::lock_guard<std::mutex> lock(mu);
+  for (std::uint16_t i = 0; i < 500; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(InProcTest, ConnectionCapEnforced) {
+  InProcNetwork net;
+  EndpointOptions capped;
+  capped.max_connections = 3;
+  auto server = net.bind("server", capped).value();
+  auto client = net.bind("client", {}).value();
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(client->connect("server").is_ok()) << "conn " << i;
+  }
+  auto over = client->connect("server");
+  EXPECT_FALSE(over.is_ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server->counters().connections_rejected, 1u);
+
+  // Closing one frees a slot.
+  // (Dial a fresh endpoint to avoid client-side bookkeeping noise.)
+}
+
+TEST(InProcTest, CapFreedAfterClose) {
+  InProcNetwork net;
+  EndpointOptions capped;
+  capped.max_connections = 1;
+  auto server = net.bind("server", capped).value();
+  auto client = net.bind("client", {}).value();
+
+  const ConnId first = client->connect("server").value();
+  EXPECT_FALSE(client->connect("server").is_ok());
+  client->close(first);
+  ASSERT_TRUE(eventually(
+      [&] { return server->counters().current_connections == 0; }));
+  EXPECT_TRUE(client->connect("server").is_ok());
+}
+
+TEST(InProcTest, CloseNotifiesBothSides) {
+  InProcNetwork net;
+  auto a = net.bind("a", {}).value();
+  auto b = net.bind("b", {}).value();
+
+  std::atomic<int> a_closed{0};
+  std::atomic<int> b_closed{0};
+  a->set_conn_handler([&](ConnId, ConnEvent e) {
+    if (e == ConnEvent::kClosed) a_closed.fetch_add(1);
+  });
+  b->set_conn_handler([&](ConnId, ConnEvent e) {
+    if (e == ConnEvent::kClosed) b_closed.fetch_add(1);
+  });
+
+  const ConnId conn = a->connect("b").value();
+  a->close(conn);
+  EXPECT_TRUE(eventually([&] { return a_closed.load() == 1; }));
+  EXPECT_TRUE(eventually([&] { return b_closed.load() == 1; }));
+}
+
+TEST(InProcTest, SendOnClosedConnectionFails) {
+  InProcNetwork net;
+  auto a = net.bind("a", {}).value();
+  auto b = net.bind("b", {}).value();
+  const ConnId conn = a->connect("b").value();
+  a->close(conn);
+  EXPECT_FALSE(a->send(conn, test_frame(1)).is_ok());
+}
+
+TEST(InProcTest, ShutdownClosesPeerConnections) {
+  InProcNetwork net;
+  auto a = net.bind("a", {}).value();
+  auto b = net.bind("b", {}).value();
+
+  std::atomic<int> b_closed{0};
+  b->set_conn_handler([&](ConnId, ConnEvent e) {
+    if (e == ConnEvent::kClosed) b_closed.fetch_add(1);
+  });
+  (void)a->connect("b").value();
+  a->shutdown();
+  EXPECT_TRUE(eventually([&] { return b_closed.load() == 1; }));
+}
+
+TEST(InProcTest, CountersTrackBytesAndMessages) {
+  InProcNetwork net;
+  auto a = net.bind("a", {}).value();
+  auto b = net.bind("b", {}).value();
+  b->set_frame_handler([](ConnId, wire::Frame) {});
+
+  const ConnId conn = a->connect("b").value();
+  const wire::Frame frame = test_frame(1, 100);
+  ASSERT_TRUE(a->send(conn, frame).is_ok());
+
+  const auto a_counters = a->counters();
+  EXPECT_EQ(a_counters.messages_sent, 1u);
+  EXPECT_EQ(a_counters.bytes_sent, frame.wire_size());
+  EXPECT_EQ(a_counters.connections_dialed, 1u);
+
+  const auto b_counters = b->counters();
+  EXPECT_EQ(b_counters.messages_received, 1u);
+  EXPECT_EQ(b_counters.bytes_received, frame.wire_size());
+  EXPECT_EQ(b_counters.connections_accepted, 1u);
+}
+
+TEST(InProcTest, ManyConcurrentSenders) {
+  InProcNetwork net;
+  auto server = net.bind("server", {}).value();
+  std::atomic<int> received{0};
+  server->set_frame_handler([&](ConnId, wire::Frame) { received.fetch_add(1); });
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 200;
+  std::vector<std::unique_ptr<Endpoint>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(net.bind("client" + std::to_string(i), {}).value());
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      const ConnId conn = clients[i]->connect("server").value();
+      for (int j = 0; j < kPerClient; ++j) {
+        ASSERT_TRUE(clients[i]->send(conn, test_frame(1)).is_ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(
+      eventually([&] { return received.load() == kClients * kPerClient; }));
+}
+
+TEST(InProcTest, SelfConnectionWorks) {
+  InProcNetwork net;
+  auto node = net.bind("node", {}).value();
+  std::atomic<int> received{0};
+  node->set_frame_handler([&](ConnId, wire::Frame) { received.fetch_add(1); });
+  const ConnId conn = node->connect("node").value();
+  ASSERT_TRUE(node->send(conn, test_frame(1)).is_ok());
+  EXPECT_TRUE(eventually([&] { return received.load() == 1; }));
+}
+
+}  // namespace
+}  // namespace sds::transport

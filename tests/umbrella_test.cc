@@ -1,0 +1,56 @@
+// Compile-and-link check for the umbrella header: every public layer is
+// reachable through one include and basic objects construct.
+#include "sdscale.h"
+
+#include <gtest/gtest.h>
+
+namespace sds {
+namespace {
+
+TEST(UmbrellaTest, EveryLayerReachable) {
+  // common
+  ManualClock clock;
+  Rng rng(1);
+  Histogram histogram;
+  histogram.record(millis(1));
+
+  // wire / proto
+  const auto frame = proto::to_frame(proto::EnforceAck{1, 2});
+  EXPECT_GT(frame.wire_size(), 0u);
+
+  // policy
+  policy::Psfa psfa;
+  std::vector<policy::JobAllocation> out;
+  psfa.compute({{policy::JobDemand{JobId{1}, 100.0, 1.0}}}, 1000, out);
+  EXPECT_EQ(out.size(), 1u);
+
+  // stage
+  stage::TokenBucket bucket(100.0, 10.0, clock.now());
+  EXPECT_TRUE(bucket.try_acquire(1.0, clock.now()));
+
+  // core
+  core::GlobalControllerCore controller;
+  EXPECT_EQ(controller.current_cycle(), 0u);
+  core::AggregatorCore aggregator(core::AggregatorOptions{ControllerId{1}});
+  EXPECT_EQ(aggregator.id(), ControllerId{1});
+
+  // sim
+  sim::Engine engine;
+  EXPECT_TRUE(engine.empty());
+  const sim::FronteraProfile profile = sim::FronteraProfile::calibrated();
+  EXPECT_GT(profile.max_connections_per_node, 0u);
+
+  // transport / runtime
+  transport::InProcNetwork network;
+  auto endpoint = network.bind("umbrella", {});
+  EXPECT_TRUE(endpoint.is_ok());
+
+  // workload / monitor
+  const auto demand = workload::constant(5.0);
+  EXPECT_DOUBLE_EQ(demand(Nanos{0}), 5.0);
+  monitor::ResourceMonitor monitor;
+  (void)monitor.sample();
+}
+
+}  // namespace
+}  // namespace sds

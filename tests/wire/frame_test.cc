@@ -1,0 +1,70 @@
+#include "wire/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::wire {
+namespace {
+
+TEST(FrameTest, HeaderRoundTrip) {
+  Encoder enc;
+  FrameHeader header{42, 0, 1234};
+  header.encode(enc);
+  EXPECT_EQ(enc.size(), kFrameHeaderSize);
+
+  auto decoded = FrameHeader::decode(enc.bytes());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->type, 42);
+  EXPECT_EQ(decoded->length, 1234u);
+}
+
+TEST(FrameTest, ShortHeaderRejected) {
+  const Bytes data{1, 2, 3};
+  auto decoded = FrameHeader::decode(data);
+  EXPECT_FALSE(decoded.is_ok());
+}
+
+TEST(FrameTest, BadMagicRejected) {
+  Encoder enc;
+  enc.put_u32(0xBADC0DE);
+  enc.put_u16(1);
+  enc.put_u16(0);
+  enc.put_u32(0);
+  auto decoded = FrameHeader::decode(enc.bytes());
+  EXPECT_FALSE(decoded.is_ok());
+}
+
+TEST(FrameTest, OversizedPayloadRejected) {
+  Encoder enc;
+  FrameHeader header{1, 0, kMaxFramePayload + 1};
+  header.encode(enc);
+  auto decoded = FrameHeader::decode(enc.bytes());
+  EXPECT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(FrameTest, SerializeIncludesHeaderAndPayload) {
+  Frame frame;
+  frame.type = 9;
+  frame.payload = {10, 20, 30};
+  EXPECT_EQ(frame.wire_size(), kFrameHeaderSize + 3);
+
+  const Bytes bytes = frame.serialize();
+  ASSERT_EQ(bytes.size(), frame.wire_size());
+
+  auto header = FrameHeader::decode(bytes);
+  ASSERT_TRUE(header.is_ok());
+  EXPECT_EQ(header->type, 9);
+  EXPECT_EQ(header->length, 3u);
+  EXPECT_EQ(bytes[kFrameHeaderSize], 10);
+  EXPECT_EQ(bytes[kFrameHeaderSize + 2], 30);
+}
+
+TEST(FrameTest, EmptyPayloadSerializes) {
+  Frame frame;
+  frame.type = 1;
+  const Bytes bytes = frame.serialize();
+  EXPECT_EQ(bytes.size(), kFrameHeaderSize);
+}
+
+}  // namespace
+}  // namespace sds::wire

@@ -1,0 +1,131 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::workload {
+namespace {
+
+TEST(GeneratorsTest, ConstantIsTimeInvariant) {
+  const auto fn = constant(123.0);
+  EXPECT_DOUBLE_EQ(fn(Nanos{0}), 123.0);
+  EXPECT_DOUBLE_EQ(fn(seconds(100)), 123.0);
+}
+
+TEST(GeneratorsTest, UniformConstantWithinRange) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto fn = uniform_constant(10.0, 20.0, rng);
+    const double v = fn(Nanos{0});
+    EXPECT_GE(v, 10.0);
+    EXPECT_LT(v, 20.0);
+    EXPECT_DOUBLE_EQ(fn(seconds(5)), v);  // constant over time
+  }
+}
+
+TEST(GeneratorsTest, BurstyAlternates) {
+  const auto fn = bursty(1000.0, 10.0, seconds(2), seconds(3));
+  EXPECT_DOUBLE_EQ(fn(Nanos{0}), 1000.0);
+  EXPECT_DOUBLE_EQ(fn(seconds(1)), 1000.0);
+  EXPECT_DOUBLE_EQ(fn(seconds(2)), 10.0);
+  EXPECT_DOUBLE_EQ(fn(seconds(4)), 10.0);
+  EXPECT_DOUBLE_EQ(fn(seconds(5)), 1000.0);  // period = 5 s
+  EXPECT_DOUBLE_EQ(fn(seconds(7)), 10.0);
+}
+
+TEST(GeneratorsTest, BurstyPhaseShift) {
+  const auto fn = bursty(100.0, 0.0, seconds(1), seconds(1), seconds(1));
+  EXPECT_DOUBLE_EQ(fn(Nanos{0}), 0.0);  // starts in the off part
+  EXPECT_DOUBLE_EQ(fn(seconds(1)), 100.0);
+}
+
+TEST(GeneratorsTest, RampInterpolatesLinearly) {
+  const auto fn = ramp(0.0, 1000.0, seconds(10));
+  EXPECT_DOUBLE_EQ(fn(Nanos{0}), 0.0);
+  EXPECT_NEAR(fn(seconds(5)), 500.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fn(seconds(10)), 1000.0);
+  EXPECT_DOUBLE_EQ(fn(seconds(100)), 1000.0);  // holds after the ramp
+}
+
+TEST(GeneratorsTest, RampDownwards) {
+  const auto fn = ramp(1000.0, 0.0, seconds(4));
+  EXPECT_NEAR(fn(seconds(1)), 750.0, 1e-9);
+}
+
+TEST(GeneratorsTest, SinusoidalOscillatesAroundMean) {
+  const auto fn = sinusoidal(500.0, 100.0, seconds(4));
+  EXPECT_NEAR(fn(Nanos{0}), 500.0, 1e-6);
+  EXPECT_NEAR(fn(seconds(1)), 600.0, 1e-6);  // peak at quarter period
+  EXPECT_NEAR(fn(seconds(3)), 400.0, 1e-6);  // trough
+}
+
+TEST(GeneratorsTest, SinusoidalNeverNegative) {
+  const auto fn = sinusoidal(50.0, 500.0, seconds(2));
+  for (int ms = 0; ms < 2000; ms += 50) {
+    EXPECT_GE(fn(millis(ms)), 0.0);
+  }
+}
+
+TEST(GeneratorsTest, StepsFollowSchedule) {
+  const auto fn = steps({{seconds(1), 10.0}, {seconds(2), 20.0}}, 99.0);
+  EXPECT_DOUBLE_EQ(fn(millis(500)), 10.0);
+  EXPECT_DOUBLE_EQ(fn(millis(1500)), 20.0);
+  EXPECT_DOUBLE_EQ(fn(seconds(3)), 99.0);
+}
+
+TEST(JobChurnTest, DeterministicPerSeed) {
+  JobChurnOptions options;
+  JobChurnSchedule a(options, 7);
+  JobChurnSchedule b(options, 7);
+  ASSERT_EQ(a.episodes().size(), b.episodes().size());
+  for (std::size_t i = 0; i < a.episodes().size(); ++i) {
+    EXPECT_EQ(a.episodes()[i].start, b.episodes()[i].start);
+    EXPECT_EQ(a.episodes()[i].end, b.episodes()[i].end);
+  }
+}
+
+TEST(JobChurnTest, EpisodesWithinHorizon) {
+  JobChurnOptions options;
+  options.horizon = seconds(300);
+  JobChurnSchedule schedule(options, 11);
+  EXPECT_FALSE(schedule.episodes().empty());
+  for (const auto& e : schedule.episodes()) {
+    EXPECT_LT(e.start, options.horizon);
+    EXPECT_GT(e.end, e.start);
+  }
+}
+
+TEST(JobChurnTest, ArrivalCountMatchesRate) {
+  JobChurnOptions options;
+  options.mean_interarrival = seconds(10);
+  options.horizon = seconds(10'000);
+  JobChurnSchedule schedule(options, 13);
+  // Expect ≈ 1000 arrivals ± 15%.
+  EXPECT_NEAR(static_cast<double>(schedule.episodes().size()), 1000.0, 150.0);
+}
+
+TEST(JobChurnTest, DemandActiveOnlyDuringEpisode) {
+  JobChurnOptions options;
+  options.active_rate = 555.0;
+  JobChurnSchedule schedule(options, 17);
+  const auto& episode = schedule.episodes().front();
+  const auto fn = schedule.demand_for(0);
+  EXPECT_DOUBLE_EQ(fn(episode.start), 555.0);
+  EXPECT_DOUBLE_EQ(fn(episode.end), 0.0);
+  if (episode.start > Nanos{0}) {
+    EXPECT_DOUBLE_EQ(fn(episode.start - Nanos{1}), 0.0);
+  }
+}
+
+TEST(JobChurnTest, ActiveCountConsistentWithEpisodes) {
+  JobChurnOptions options;
+  JobChurnSchedule schedule(options, 19);
+  const Nanos t = seconds(60);
+  std::size_t manual = 0;
+  for (const auto& e : schedule.episodes()) {
+    if (e.active_at(t)) ++manual;
+  }
+  EXPECT_EQ(schedule.active_at(t), manual);
+}
+
+}  // namespace
+}  // namespace sds::workload

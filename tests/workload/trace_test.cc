@@ -1,0 +1,153 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace sds::workload {
+namespace {
+
+TEST(DemandTraceTest, EmptyTraceReplaysZero) {
+  DemandTrace trace;
+  const auto fn = trace.demand_for(StageId{1}, stage::Dimension::kData);
+  EXPECT_DOUBLE_EQ(fn(Nanos{0}), 0.0);
+  EXPECT_DOUBLE_EQ(fn(seconds(100)), 0.0);
+  EXPECT_EQ(trace.num_stages(), 0u);
+  EXPECT_EQ(trace.horizon(), Nanos{0});
+}
+
+TEST(DemandTraceTest, PiecewiseConstantHold) {
+  DemandTrace trace;
+  trace.add(seconds(1), StageId{1}, 100.0, 10.0);
+  trace.add(seconds(3), StageId{1}, 300.0, 30.0);
+
+  const auto data = trace.demand_for(StageId{1}, stage::Dimension::kData);
+  const auto meta = trace.demand_for(StageId{1}, stage::Dimension::kMeta);
+  EXPECT_DOUBLE_EQ(data(millis(500)), 0.0);     // before first sample
+  EXPECT_DOUBLE_EQ(data(seconds(1)), 100.0);    // exactly at sample
+  EXPECT_DOUBLE_EQ(data(seconds(2)), 100.0);    // hold
+  EXPECT_DOUBLE_EQ(data(seconds(3)), 300.0);
+  EXPECT_DOUBLE_EQ(data(seconds(99)), 300.0);   // hold after last
+  EXPECT_DOUBLE_EQ(meta(seconds(2)), 10.0);
+}
+
+TEST(DemandTraceTest, StagesAreIndependent) {
+  DemandTrace trace;
+  trace.add(Nanos{0}, StageId{1}, 100.0, 0.0);
+  trace.add(Nanos{0}, StageId{2}, 200.0, 0.0);
+  EXPECT_DOUBLE_EQ(
+      trace.demand_for(StageId{1}, stage::Dimension::kData)(seconds(1)), 100.0);
+  EXPECT_DOUBLE_EQ(
+      trace.demand_for(StageId{2}, stage::Dimension::kData)(seconds(1)), 200.0);
+  EXPECT_DOUBLE_EQ(
+      trace.demand_for(StageId{3}, stage::Dimension::kData)(seconds(1)), 0.0);
+}
+
+TEST(DemandTraceTest, OutOfOrderSamplesSorted) {
+  DemandTrace trace;
+  trace.add(seconds(5), StageId{1}, 500.0, 0.0);
+  trace.add(seconds(1), StageId{1}, 100.0, 0.0);
+  const auto fn = trace.demand_for(StageId{1}, stage::Dimension::kData);
+  EXPECT_DOUBLE_EQ(fn(seconds(2)), 100.0);
+  EXPECT_DOUBLE_EQ(fn(seconds(6)), 500.0);
+}
+
+TEST(DemandTraceTest, ReplayOutlivesTrace) {
+  stage::DemandFn fn;
+  {
+    DemandTrace trace;
+    trace.add(Nanos{0}, StageId{1}, 42.0, 0.0);
+    fn = trace.demand_for(StageId{1}, stage::Dimension::kData);
+  }
+  EXPECT_DOUBLE_EQ(fn(seconds(1)), 42.0);
+}
+
+TEST(DemandTraceTest, CsvRoundTrip) {
+  DemandTrace trace;
+  trace.add(millis(100), StageId{0}, 123.5, 4.25);
+  trace.add(millis(200), StageId{1}, 99.0, 9.0);
+  trace.add(millis(300), StageId{0}, 150.0, 5.0);
+
+  const std::string csv = trace.to_csv();
+  auto parsed = DemandTrace::parse_csv(csv);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_stages(), 2u);
+  EXPECT_EQ(parsed->num_samples(), 3u);
+  EXPECT_EQ(parsed->horizon(), millis(300));
+  EXPECT_DOUBLE_EQ(
+      parsed->demand_for(StageId{0}, stage::Dimension::kData)(millis(250)),
+      123.5);
+  EXPECT_DOUBLE_EQ(
+      parsed->demand_for(StageId{0}, stage::Dimension::kMeta)(millis(350)),
+      5.0);
+}
+
+TEST(DemandTraceTest, ParseHandlesHeaderCommentsBlanks) {
+  const char* text =
+      "time_ms,stage_id,data_iops,meta_iops\n"
+      "# a comment\n"
+      "\n"
+      "100, 7, 1000, 50  # trailing comment\n";
+  auto trace = DemandTrace::parse_csv(text);
+  ASSERT_TRUE(trace.is_ok()) << trace.status();
+  EXPECT_EQ(trace->num_samples(), 1u);
+  EXPECT_DOUBLE_EQ(
+      trace->demand_for(StageId{7}, stage::Dimension::kData)(millis(150)),
+      1000.0);
+}
+
+TEST(DemandTraceTest, ParseRejectsMalformedRows) {
+  EXPECT_FALSE(DemandTrace::parse_csv("abc,1,2,3\n").is_ok());
+  EXPECT_FALSE(DemandTrace::parse_csv("1,notanid,2,3\n").is_ok());
+  EXPECT_FALSE(DemandTrace::parse_csv("1,2,xyz,3\n").is_ok());
+  EXPECT_FALSE(DemandTrace::parse_csv("1,2,3\n").is_ok());  // missing field
+}
+
+TEST(DemandTraceTest, SaveAndLoad) {
+  DemandTrace trace;
+  trace.add(seconds(1), StageId{3}, 777.0, 77.0);
+  const std::string path = ::testing::TempDir() + "/sdscale_trace_test.csv";
+  ASSERT_TRUE(trace.save(path).is_ok());
+  auto loaded = DemandTrace::load(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status();
+  EXPECT_DOUBLE_EQ(
+      loaded->demand_for(StageId{3}, stage::Dimension::kData)(seconds(2)),
+      777.0);
+}
+
+TEST(DemandTraceTest, LoadMissingFileFails) {
+  EXPECT_EQ(DemandTrace::load("/nonexistent/trace.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TraceRecorderTest, RecordsFromStageMetrics) {
+  TraceRecorder recorder;
+  proto::StageMetrics m;
+  m.stage_id = StageId{5};
+  m.data_iops = 1234.0;
+  m.meta_iops = 56.0;
+  recorder.record(millis(10), m);
+  recorder.record(millis(20), StageId{5}, 2000.0, 60.0);
+
+  const auto fn =
+      recorder.trace().demand_for(StageId{5}, stage::Dimension::kData);
+  EXPECT_DOUBLE_EQ(fn(millis(15)), 1234.0);
+  EXPECT_DOUBLE_EQ(fn(millis(25)), 2000.0);
+}
+
+TEST(TraceRecorderTest, RecordReplayThroughSimulator) {
+  // Record a synthetic workload's observed rates, then replay the trace
+  // as the demand model of a new run — the record/replay loop closes.
+  TraceRecorder recorder;
+  for (int t = 0; t < 10; ++t) {
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      recorder.record(millis(t * 100), StageId{s}, 100.0 * (t + 1), 10.0);
+    }
+  }
+  const DemandTrace trace = recorder.take();
+  const auto fn = trace.demand_for(StageId{2}, stage::Dimension::kData);
+  EXPECT_DOUBLE_EQ(fn(millis(450)), 500.0);
+  EXPECT_DOUBLE_EQ(fn(millis(901)), 1000.0);
+  EXPECT_EQ(trace.num_samples(), 40u);
+}
+
+}  // namespace
+}  // namespace sds::workload

@@ -1,0 +1,79 @@
+// Calibration harness: prints the model's output for the paper's headline
+// configurations next to the paper's numbers. Used once to fix the
+// FronteraProfile constants; kept for reproducibility.
+#include <cstdio>
+
+#include "sim/experiment.h"
+
+using namespace sds;
+
+namespace {
+
+void report(const char* label, const sim::ExperimentResult& r, double paper_ms) {
+  std::printf(
+      "%-28s cycles=%5llu total=%7.2fms (paper %6.1f) collect=%6.2f "
+      "compute=%6.2f enforce=%6.2f\n",
+      label, static_cast<unsigned long long>(r.cycles),
+      r.stats.mean_total_ms(), paper_ms, r.stats.mean_collect_ms(),
+      r.stats.mean_compute_ms(), r.stats.mean_enforce_ms());
+  std::printf(
+      "%-28s   global: cpu=%5.2f%% mem=%5.2fGB tx=%5.2fMB/s rx=%5.2fMB/s\n",
+      "", r.global.cpu_percent, r.global.memory_gb, r.global.transmitted_mbps,
+      r.global.received_mbps);
+  if (r.aggregator.memory_gb > 0) {
+    std::printf(
+        "%-28s   agg:    cpu=%5.2f%% mem=%5.2fGB tx=%5.2fMB/s rx=%5.2fMB/s\n",
+        "", r.aggregator.cpu_percent, r.aggregator.memory_gb,
+        r.aggregator.transmitted_mbps, r.aggregator.received_mbps);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Fig. 4 / Table II — flat design.
+  const double paper_flat[] = {1.11, 8.5, 20.0, 40.40};  // 500/1250 interpolated
+  const std::size_t flat_nodes[] = {50, 500, 1250, 2500};
+  for (int i = 0; i < 4; ++i) {
+    sim::ExperimentConfig cfg;
+    cfg.num_stages = flat_nodes[i];
+    cfg.duration = seconds(5);
+    auto r = sim::run_experiment(cfg);
+    if (!r.is_ok()) {
+      std::printf("flat %zu: %s\n", flat_nodes[i], r.status().to_string().c_str());
+      continue;
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "flat N=%zu", flat_nodes[i]);
+    report(label, r.value(), paper_flat[i]);
+  }
+
+  // Fig. 5 / Table III — hierarchical, 10k nodes.
+  const double paper_hier[] = {103, 95, 79, 69};
+  const std::size_t aggs[] = {4, 5, 10, 20};
+  for (int i = 0; i < 4; ++i) {
+    sim::ExperimentConfig cfg;
+    cfg.num_stages = 10000;
+    cfg.num_aggregators = aggs[i];
+    cfg.duration = seconds(5);
+    auto r = sim::run_experiment(cfg);
+    if (!r.is_ok()) {
+      std::printf("hier A=%zu: %s\n", aggs[i], r.status().to_string().c_str());
+      continue;
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "hier N=10000 A=%zu", aggs[i]);
+    report(label, r.value(), paper_hier[i]);
+  }
+
+  // Fig. 6 / Table IV — 2,500 nodes, flat vs hierarchical w/ 1 aggregator.
+  {
+    sim::ExperimentConfig cfg;
+    cfg.num_stages = 2500;
+    cfg.num_aggregators = 1;
+    cfg.duration = seconds(5);
+    auto r = sim::run_experiment(cfg);
+    if (r.is_ok()) report("hier N=2500 A=1", r.value(), 53.0);
+  }
+  return 0;
+}

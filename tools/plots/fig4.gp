@@ -1,0 +1,19 @@
+# Fig. 4 — flat design control-cycle latency, stacked phase breakdown.
+# Usage:
+#   SDSCALE_BENCH_OUT=out ./build/bench/fig4_flat_scaling
+#   gnuplot -e "datadir='out'" tools/plots/fig4.gp   # -> out/fig4.png
+if (!exists("datadir")) datadir = "."
+set terminal pngcairo size 800,500 font "sans,11"
+set output datadir."/fig4.png"
+set title "Flat design: average control-cycle latency vs compute nodes"
+set xlabel "compute nodes"
+set ylabel "latency (ms)"
+set style data histograms
+set style histogram rowstacked
+set style fill solid 0.8 border -1
+set boxwidth 0.6
+set key top left
+plot datadir."/fig4_flat_scaling.dat" using 3:xtic(1) title "collect", \
+     '' using 4 title "compute", \
+     '' using 5 title "enforce", \
+     '' using 0:6 with points pt 7 ps 1.5 lc rgb "black" title "paper total"

@@ -1,0 +1,19 @@
+# Fig. 5 — hierarchical design at 10,000 nodes vs aggregator count.
+# Usage:
+#   SDSCALE_BENCH_OUT=out ./build/bench/fig5_hier_aggregators
+#   gnuplot -e "datadir='out'" tools/plots/fig5.gp   # -> out/fig5.png
+if (!exists("datadir")) datadir = "."
+set terminal pngcairo size 800,500 font "sans,11"
+set output datadir."/fig5.png"
+set title "Hierarchical design: 10,000 nodes, varying aggregator controllers"
+set xlabel "aggregator controllers"
+set ylabel "latency (ms)"
+set style data histograms
+set style histogram rowstacked
+set style fill solid 0.8 border -1
+set boxwidth 0.6
+set key top right
+plot datadir."/fig5_hier_aggregators.dat" using 3:xtic(1) title "collect", \
+     '' using 4 title "compute", \
+     '' using 5 title "enforce", \
+     '' using 0:6 with points pt 7 ps 1.5 lc rgb "black" title "paper total"

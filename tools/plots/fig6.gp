@@ -1,0 +1,20 @@
+# Fig. 6 — flat vs hierarchical (single aggregator) at 2,500 nodes.
+# Usage:
+#   SDSCALE_BENCH_OUT=out ./build/bench/fig6_flat_vs_hier
+#   gnuplot -e "datadir='out'" tools/plots/fig6.gp   # -> out/fig6.png
+if (!exists("datadir")) datadir = "."
+set terminal pngcairo size 600,500 font "sans,11"
+set output datadir."/fig6.png"
+set title "Flat vs hierarchical (1 aggregator), 2,500 nodes"
+set xlabel ""
+set ylabel "latency (ms)"
+set style data histograms
+set style histogram rowstacked
+set style fill solid 0.8 border -1
+set boxwidth 0.5
+set xtics ("flat" 0, "hierarchical" 1)
+set key top left
+plot datadir."/fig6_flat_vs_hier.dat" using 3 title "collect", \
+     '' using 4 title "compute", \
+     '' using 5 title "enforce", \
+     '' using 0:6 with points pt 7 ps 1.5 lc rgb "black" title "paper total"
