@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_aggregatord.dir/sds_aggregatord.cc.o"
+  "CMakeFiles/sds_aggregatord.dir/sds_aggregatord.cc.o.d"
+  "sds_aggregatord"
+  "sds_aggregatord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_aggregatord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_globald.dir/sds_globald.cc.o"
+  "CMakeFiles/sds_globald.dir/sds_globald.cc.o.d"
+  "sds_globald"
+  "sds_globald.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_globald.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

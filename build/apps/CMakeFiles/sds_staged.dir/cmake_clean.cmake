@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_staged.dir/sds_staged.cc.o"
+  "CMakeFiles/sds_staged.dir/sds_staged.cc.o.d"
+  "sds_staged"
+  "sds_staged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_staged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

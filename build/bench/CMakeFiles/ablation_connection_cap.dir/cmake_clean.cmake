@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_connection_cap.dir/ablation_connection_cap.cc.o"
+  "CMakeFiles/ablation_connection_cap.dir/ablation_connection_cap.cc.o.d"
+  "ablation_connection_cap"
+  "ablation_connection_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_connection_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

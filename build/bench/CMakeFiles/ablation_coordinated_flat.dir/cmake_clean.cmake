@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coordinated_flat.dir/ablation_coordinated_flat.cc.o"
+  "CMakeFiles/ablation_coordinated_flat.dir/ablation_coordinated_flat.cc.o.d"
+  "ablation_coordinated_flat"
+  "ablation_coordinated_flat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coordinated_flat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

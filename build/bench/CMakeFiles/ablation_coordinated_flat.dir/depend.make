@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_coordinated_flat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hierarchy_depth.dir/ablation_hierarchy_depth.cc.o"
+  "CMakeFiles/ablation_hierarchy_depth.dir/ablation_hierarchy_depth.cc.o.d"
+  "ablation_hierarchy_depth"
+  "ablation_hierarchy_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hierarchy_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

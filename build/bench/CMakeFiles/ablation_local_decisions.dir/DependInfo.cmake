@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_local_decisions.cc" "bench/CMakeFiles/ablation_local_decisions.dir/ablation_local_decisions.cc.o" "gcc" "bench/CMakeFiles/ablation_local_decisions.dir/ablation_local_decisions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/sds_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/CMakeFiles/sds_stage.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sds_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

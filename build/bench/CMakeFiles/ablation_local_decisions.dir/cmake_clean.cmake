@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_local_decisions.dir/ablation_local_decisions.cc.o"
+  "CMakeFiles/ablation_local_decisions.dir/ablation_local_decisions.cc.o.d"
+  "ablation_local_decisions"
+  "ablation_local_decisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

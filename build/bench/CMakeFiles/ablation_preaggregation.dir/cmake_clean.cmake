@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preaggregation.dir/ablation_preaggregation.cc.o"
+  "CMakeFiles/ablation_preaggregation.dir/ablation_preaggregation.cc.o.d"
+  "ablation_preaggregation"
+  "ablation_preaggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preaggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

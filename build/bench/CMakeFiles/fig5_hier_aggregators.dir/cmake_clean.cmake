@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hier_aggregators.dir/fig5_hier_aggregators.cc.o"
+  "CMakeFiles/fig5_hier_aggregators.dir/fig5_hier_aggregators.cc.o.d"
+  "fig5_hier_aggregators"
+  "fig5_hier_aggregators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hier_aggregators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

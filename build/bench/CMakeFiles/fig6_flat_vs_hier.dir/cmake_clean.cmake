@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_flat_vs_hier.dir/fig6_flat_vs_hier.cc.o"
+  "CMakeFiles/fig6_flat_vs_hier.dir/fig6_flat_vs_hier.cc.o.d"
+  "fig6_flat_vs_hier"
+  "fig6_flat_vs_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_flat_vs_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

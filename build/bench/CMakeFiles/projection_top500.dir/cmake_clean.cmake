@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_top500.dir/projection_top500.cc.o"
+  "CMakeFiles/projection_top500.dir/projection_top500.cc.o.d"
+  "projection_top500"
+  "projection_top500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_top500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

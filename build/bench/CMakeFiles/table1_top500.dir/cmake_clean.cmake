@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_top500.dir/table1_top500.cc.o"
+  "CMakeFiles/table1_top500.dir/table1_top500.cc.o.d"
+  "table1_top500"
+  "table1_top500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_top500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_flat_resources.dir/table2_flat_resources.cc.o"
+  "CMakeFiles/table2_flat_resources.dir/table2_flat_resources.cc.o.d"
+  "table2_flat_resources"
+  "table2_flat_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_flat_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hier_resources.dir/table3_hier_resources.cc.o"
+  "CMakeFiles/table3_hier_resources.dir/table3_hier_resources.cc.o.d"
+  "table3_hier_resources"
+  "table3_hier_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hier_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_flat_vs_hier_resources.
+# This may be replaced when dependencies are built.

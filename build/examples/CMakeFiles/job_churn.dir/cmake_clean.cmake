@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_churn.dir/job_churn.cpp.o"
+  "CMakeFiles/job_churn.dir/job_churn.cpp.o.d"
+  "job_churn"
+  "job_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_storm.dir/metadata_storm.cpp.o"
+  "CMakeFiles/metadata_storm.dir/metadata_storm.cpp.o.d"
+  "metadata_storm"
+  "metadata_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/priority_jobs.cpp" "examples/CMakeFiles/priority_jobs.dir/priority_jobs.cpp.o" "gcc" "examples/CMakeFiles/priority_jobs.dir/priority_jobs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/sds_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/sds_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/sds_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/sds_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/CMakeFiles/sds_stage.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sds_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_common.dir/config.cc.o"
+  "CMakeFiles/sds_common.dir/config.cc.o.d"
+  "CMakeFiles/sds_common.dir/histogram.cc.o"
+  "CMakeFiles/sds_common.dir/histogram.cc.o.d"
+  "CMakeFiles/sds_common.dir/log.cc.o"
+  "CMakeFiles/sds_common.dir/log.cc.o.d"
+  "CMakeFiles/sds_common.dir/thread_pool.cc.o"
+  "CMakeFiles/sds_common.dir/thread_pool.cc.o.d"
+  "libsds_common.a"
+  "libsds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_core.dir/aggregator.cc.o"
+  "CMakeFiles/sds_core.dir/aggregator.cc.o.d"
+  "CMakeFiles/sds_core.dir/coordinated.cc.o"
+  "CMakeFiles/sds_core.dir/coordinated.cc.o.d"
+  "CMakeFiles/sds_core.dir/global.cc.o"
+  "CMakeFiles/sds_core.dir/global.cc.o.d"
+  "CMakeFiles/sds_core.dir/registry.cc.o"
+  "CMakeFiles/sds_core.dir/registry.cc.o.d"
+  "libsds_core.a"
+  "libsds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

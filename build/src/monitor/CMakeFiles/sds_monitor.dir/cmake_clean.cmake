@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_monitor.dir/resource_monitor.cc.o"
+  "CMakeFiles/sds_monitor.dir/resource_monitor.cc.o.d"
+  "libsds_monitor.a"
+  "libsds_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

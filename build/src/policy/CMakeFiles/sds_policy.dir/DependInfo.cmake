@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/baselines.cc" "src/policy/CMakeFiles/sds_policy.dir/baselines.cc.o" "gcc" "src/policy/CMakeFiles/sds_policy.dir/baselines.cc.o.d"
+  "/root/repo/src/policy/psfa.cc" "src/policy/CMakeFiles/sds_policy.dir/psfa.cc.o" "gcc" "src/policy/CMakeFiles/sds_policy.dir/psfa.cc.o.d"
+  "/root/repo/src/policy/spec.cc" "src/policy/CMakeFiles/sds_policy.dir/spec.cc.o" "gcc" "src/policy/CMakeFiles/sds_policy.dir/spec.cc.o.d"
+  "/root/repo/src/policy/splitter.cc" "src/policy/CMakeFiles/sds_policy.dir/splitter.cc.o" "gcc" "src/policy/CMakeFiles/sds_policy.dir/splitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_policy.dir/baselines.cc.o"
+  "CMakeFiles/sds_policy.dir/baselines.cc.o.d"
+  "CMakeFiles/sds_policy.dir/psfa.cc.o"
+  "CMakeFiles/sds_policy.dir/psfa.cc.o.d"
+  "CMakeFiles/sds_policy.dir/spec.cc.o"
+  "CMakeFiles/sds_policy.dir/spec.cc.o.d"
+  "CMakeFiles/sds_policy.dir/splitter.cc.o"
+  "CMakeFiles/sds_policy.dir/splitter.cc.o.d"
+  "libsds_policy.a"
+  "libsds_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsds_policy.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sds_policy.
+# This may be replaced when dependencies are built.

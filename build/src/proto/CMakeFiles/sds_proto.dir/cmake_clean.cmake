@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_proto.dir/messages.cc.o"
+  "CMakeFiles/sds_proto.dir/messages.cc.o.d"
+  "libsds_proto.a"
+  "libsds_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

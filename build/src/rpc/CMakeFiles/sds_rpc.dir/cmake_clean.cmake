@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_rpc.dir/gather.cc.o"
+  "CMakeFiles/sds_rpc.dir/gather.cc.o.d"
+  "libsds_rpc.a"
+  "libsds_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

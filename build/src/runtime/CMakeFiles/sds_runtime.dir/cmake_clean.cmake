@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_runtime.dir/aggregator_server.cc.o"
+  "CMakeFiles/sds_runtime.dir/aggregator_server.cc.o.d"
+  "CMakeFiles/sds_runtime.dir/deployment.cc.o"
+  "CMakeFiles/sds_runtime.dir/deployment.cc.o.d"
+  "CMakeFiles/sds_runtime.dir/global_server.cc.o"
+  "CMakeFiles/sds_runtime.dir/global_server.cc.o.d"
+  "CMakeFiles/sds_runtime.dir/stage_host.cc.o"
+  "CMakeFiles/sds_runtime.dir/stage_host.cc.o.d"
+  "libsds_runtime.a"
+  "libsds_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

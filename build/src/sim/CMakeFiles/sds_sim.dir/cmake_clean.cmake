@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_sim.dir/experiment.cc.o"
+  "CMakeFiles/sds_sim.dir/experiment.cc.o.d"
+  "libsds_sim.a"
+  "libsds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_stage.dir/limiter.cc.o"
+  "CMakeFiles/sds_stage.dir/limiter.cc.o.d"
+  "libsds_stage.a"
+  "libsds_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

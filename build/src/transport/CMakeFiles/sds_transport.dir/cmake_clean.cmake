@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_transport.dir/inproc.cc.o"
+  "CMakeFiles/sds_transport.dir/inproc.cc.o.d"
+  "CMakeFiles/sds_transport.dir/tcp.cc.o"
+  "CMakeFiles/sds_transport.dir/tcp.cc.o.d"
+  "libsds_transport.a"
+  "libsds_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_workload.dir/generators.cc.o"
+  "CMakeFiles/sds_workload.dir/generators.cc.o.d"
+  "CMakeFiles/sds_workload.dir/trace.cc.o"
+  "CMakeFiles/sds_workload.dir/trace.cc.o.d"
+  "libsds_workload.a"
+  "libsds_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

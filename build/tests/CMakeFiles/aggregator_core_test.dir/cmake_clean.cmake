@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregator_core_test.dir/core/aggregator_core_test.cc.o"
+  "CMakeFiles/aggregator_core_test.dir/core/aggregator_core_test.cc.o.d"
+  "aggregator_core_test"
+  "aggregator_core_test.pdb"
+  "aggregator_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregator_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

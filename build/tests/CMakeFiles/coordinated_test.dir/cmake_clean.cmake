@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordinated_test.dir/core/coordinated_test.cc.o"
+  "CMakeFiles/coordinated_test.dir/core/coordinated_test.cc.o.d"
+  "coordinated_test"
+  "coordinated_test.pdb"
+  "coordinated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordinated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_stats_test.dir/core/cycle_stats_test.cc.o"
+  "CMakeFiles/cycle_stats_test.dir/core/cycle_stats_test.cc.o.d"
+  "cycle_stats_test"
+  "cycle_stats_test.pdb"
+  "cycle_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_runtime_test.dir/runtime/flat_runtime_test.cc.o"
+  "CMakeFiles/flat_runtime_test.dir/runtime/flat_runtime_test.cc.o.d"
+  "flat_runtime_test"
+  "flat_runtime_test.pdb"
+  "flat_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

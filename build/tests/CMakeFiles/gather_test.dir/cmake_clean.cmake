@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gather_test.dir/rpc/gather_test.cc.o"
+  "CMakeFiles/gather_test.dir/rpc/gather_test.cc.o.d"
+  "gather_test"
+  "gather_test.pdb"
+  "gather_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gather_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/global_core_test.cc" "tests/CMakeFiles/global_core_test.dir/core/global_core_test.cc.o" "gcc" "tests/CMakeFiles/global_core_test.dir/core/global_core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/sds_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/sds_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_core_test.dir/core/global_core_test.cc.o"
+  "CMakeFiles/global_core_test.dir/core/global_core_test.cc.o.d"
+  "global_core_test"
+  "global_core_test.pdb"
+  "global_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

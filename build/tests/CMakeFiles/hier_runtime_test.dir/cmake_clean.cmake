@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hier_runtime_test.dir/runtime/hier_runtime_test.cc.o"
+  "CMakeFiles/hier_runtime_test.dir/runtime/hier_runtime_test.cc.o.d"
+  "hier_runtime_test"
+  "hier_runtime_test.pdb"
+  "hier_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hier_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_stage_test.dir/stage/posix_stage_test.cc.o"
+  "CMakeFiles/posix_stage_test.dir/stage/posix_stage_test.cc.o.d"
+  "posix_stage_test"
+  "posix_stage_test.pdb"
+  "posix_stage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_stage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

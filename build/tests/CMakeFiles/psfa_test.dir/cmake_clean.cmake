@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psfa_test.dir/policy/psfa_test.cc.o"
+  "CMakeFiles/psfa_test.dir/policy/psfa_test.cc.o.d"
+  "psfa_test"
+  "psfa_test.pdb"
+  "psfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_monitor_test.dir/monitor/resource_monitor_test.cc.o"
+  "CMakeFiles/resource_monitor_test.dir/monitor/resource_monitor_test.cc.o.d"
+  "resource_monitor_test"
+  "resource_monitor_test.pdb"
+  "resource_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_host_test.dir/runtime/stage_host_test.cc.o"
+  "CMakeFiles/stage_host_test.dir/runtime/stage_host_test.cc.o.d"
+  "stage_host_test"
+  "stage_host_test.pdb"
+  "stage_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_stage_test.dir/stage/virtual_stage_test.cc.o"
+  "CMakeFiles/virtual_stage_test.dir/stage/virtual_stage_test.cc.o.d"
+  "virtual_stage_test"
+  "virtual_stage_test.pdb"
+  "virtual_stage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_stage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
