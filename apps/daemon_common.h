@@ -9,6 +9,7 @@
 
 #include "common/config.h"
 #include "monitor/resource_monitor.h"
+#include "telemetry/reporter.h"
 
 namespace sds::apps {
 
@@ -38,6 +39,23 @@ inline Config parse_flags(int argc, char** argv, const char* usage) {
     std::exit(2);
   }
   return config;
+}
+
+/// Map the shared observability flags onto TelemetryOptions:
+///   --telemetry-out=DIR        enable export; JSONL/Prometheus snapshots
+///                              (and a Chrome trace on shutdown) land in DIR
+///   --telemetry-period-ms=N    snapshot period (default 1000)
+inline telemetry::TelemetryOptions telemetry_flags(const Config& flags,
+                                                   const char* component) {
+  telemetry::TelemetryOptions options;
+  options.component = component;
+  if (const auto dir = flags.get("telemetry-out")) {
+    options.enabled = true;
+    options.out_dir = *dir;
+    options.trace = true;
+  }
+  options.report_period = millis(flags.get_int_or("telemetry-period-ms", 1000));
+  return options;
 }
 
 /// Print one REMORA-style usage line for the interval since `previous`

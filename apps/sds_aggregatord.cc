@@ -10,6 +10,8 @@
 //   --id=N               aggregator ControllerId   (default 0)
 //   --max-connections=N  per-endpoint cap          (default 2500)
 //   --report-ms=N        resource report interval  (default 10000)
+//   --telemetry-out=DIR  export JSONL/Prometheus snapshots + trace to DIR
+//   --telemetry-period-ms=N  telemetry snapshot period (default 1000)
 #include <thread>
 
 #include "apps/daemon_common.h"
@@ -22,7 +24,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: sds_aggregatord --upstream=HOST:PORT [--listen=HOST:PORT]\n"
-    "                       [--id=N] [--max-connections=N] [--report-ms=N]\n";
+    "                       [--id=N] [--max-connections=N] [--report-ms=N]\n"
+    "                       [--telemetry-out=DIR] [--telemetry-period-ms=N]\n";
 
 }  // namespace
 
@@ -41,6 +44,7 @@ int main(int argc, char** argv) {
   options.id =
       ControllerId{static_cast<std::uint32_t>(flags.get_int_or("id", 0))};
   options.upstream_address = *upstream;
+  options.telemetry = apps::telemetry_flags(flags, "aggregator");
   runtime::AggregatorServer server(network,
                                    flags.get_or("listen", "0.0.0.0:7100"),
                                    options);

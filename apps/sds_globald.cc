@@ -3,8 +3,7 @@
 // Binds a TCP endpoint, accepts stage and aggregator registrations, and
 // runs the collect → PSFA → enforce control loop until SIGINT/SIGTERM.
 //
-//   sds_globald --listen=0.0.0.0:7000 \
-//               --policy=/etc/sdscale/policy.conf \
+//   sds_globald --listen=0.0.0.0:7000 --policy=/etc/sdscale/policy.conf
 //               --period-ms=1000 --max-connections=2500
 //
 // Flags:
@@ -15,6 +14,8 @@
 //   --max-connections=N    per-endpoint cap; 0 = unlimited (default 2500)
 //   --probe-ms=N           liveness probe interval; 0 = off (default 10000)
 //   --report-ms=N          resource report interval   (default 10000)
+//   --telemetry-out=DIR    export JSONL/Prometheus snapshots + trace to DIR
+//   --telemetry-period-ms=N  telemetry snapshot period (default 1000)
 #include <memory>
 #include <thread>
 
@@ -30,7 +31,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: sds_globald [--listen=HOST:PORT] [--policy=PATH] [--period-ms=N]\n"
     "                   [--cycles=N] [--max-connections=N] [--probe-ms=N]\n"
-    "                   [--report-ms=N]\n";
+    "                   [--report-ms=N] [--telemetry-out=DIR]\n"
+    "                   [--telemetry-period-ms=N]\n";
 
 }  // namespace
 
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
   runtime::GlobalServerOptions options;
   options.core.budgets = {spec.data_budget, spec.meta_budget};
   options.phase_timeout = seconds(5);
+  options.telemetry = apps::telemetry_flags(flags, "global");
   runtime::GlobalControllerServer server(
       network, flags.get_or("listen", "0.0.0.0:7000"), options,
       std::make_unique<policy::Psfa>(spec.psfa));

@@ -4,7 +4,7 @@
 // enforce traffic. Demand is synthetic (constant or bursty) or replayed
 // from a recorded trace CSV.
 //
-//   sds_staged --controllers=ctrl:7000 --stages=50 --first-stage=0 \
+//   sds_staged --controllers=ctrl:7000 --stages=50 --first-stage=0
 //              --job-size=50 --data-demand=1000 --meta-demand=100
 //   sds_staged --controllers=agg0:7100,agg1:7100 --trace=run.csv
 //
@@ -19,6 +19,8 @@
 //   --burst-ms=N           if > 0: on/off bursts of this length
 //   --trace=PATH           replay demand from a trace CSV instead
 //   --report-ms=N          resource report interval   (default 10000)
+//   --telemetry-out=DIR    export JSONL/Prometheus snapshots + trace to DIR
+//   --telemetry-period-ms=N  telemetry snapshot period (default 1000)
 #include <thread>
 
 #include "apps/daemon_common.h"
@@ -35,7 +37,8 @@ constexpr const char* kUsage =
     "usage: sds_staged --controllers=HOST:PORT[,HOST:PORT...]\n"
     "                  [--listen=HOST:PORT] [--stages=N] [--first-stage=N]\n"
     "                  [--job-size=N] [--data-demand=R] [--meta-demand=R]\n"
-    "                  [--burst-ms=N] [--trace=PATH] [--report-ms=N]\n";
+    "                  [--burst-ms=N] [--trace=PATH] [--report-ms=N]\n"
+    "                  [--telemetry-out=DIR] [--telemetry-period-ms=N]\n";
 
 std::vector<std::string> split_csv(const std::string& text) {
   std::vector<std::string> out;
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--controllers is required\n%s", kUsage);
     return 2;
   }
+  options.telemetry = apps::telemetry_flags(flags, "stage_host");
 
   workload::DemandTrace trace;
   bool use_trace = false;

@@ -9,6 +9,7 @@
 #include <numeric>
 #include <vector>
 
+#include "bench/harness.h"
 #include "common/rng.h"
 #include "policy/baselines.h"
 #include "policy/psfa.h"
@@ -53,9 +54,10 @@ Metrics evaluate(const ControlAlgorithm& algo,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("\nAblation — PSFA vs baselines (same demands, budget 100k)\n");
   std::printf("=========================================================\n");
+  bench::Telemetry telemetry("ablation_algorithms", argc, argv);
 
   // 200 jobs: 30% idle, the rest uniform demand in [100, 5000) ops/s.
   Rng rng(7);
@@ -80,6 +82,14 @@ int main() {
     std::printf("%-12s %14.0f %14.0f %12.4f\n",
                 std::string(algo->name()).c_str(), m.granted, m.wasted,
                 m.fairness);
+    if (telemetry.enabled()) {
+      const telemetry::Labels labels{
+          {"algorithm", std::string(algo->name())}};
+      auto& registry = telemetry.registry();
+      registry.gauge("bench_granted_ops", labels)->set(m.granted);
+      registry.gauge("bench_wasted_ops", labels)->set(m.wasted);
+      registry.gauge("bench_fairness_index", labels)->set(m.fairness);
+    }
   }
   std::printf(
       "\nExpected: PSFA wastes ~nothing (no false allocation) with high\n"

@@ -10,25 +10,39 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title("Ablation — per-node connection cap");
+  bench::Telemetry telemetry("ablation_connection_cap", argc, argv);
 
   std::printf("\nFlat design vs cap (N = nodes managed):\n");
   std::printf("%-12s %-10s %s\n", "cap", "N", "outcome");
   for (const std::size_t cap : {1000ul, 2500ul, 5000ul}) {
     for (const std::size_t nodes : {1000ul, 2500ul, 5000ul, 10'000ul}) {
+      const std::string label = "cap=" + std::to_string(cap) +
+                                " N=" + std::to_string(nodes);
       sim::ExperimentConfig config;
       config.num_stages = nodes;
       config.profile.max_connections_per_node = cap;
       config.max_cycles = 3;
       config.duration = seconds(2);
+      telemetry.attach(config, label);
       auto result = sim::run_experiment(config);
       if (result.is_ok()) {
         std::printf("%-12zu %-10zu OK (%.2f ms/cycle)\n", cap, nodes,
                     result->stats.mean_total_ms());
+        if (telemetry.enabled()) {
+          telemetry.registry()
+              .gauge("bench_total_ms_mean", {{"configuration", label}})
+              ->set(result->stats.mean_total_ms());
+        }
       } else {
         std::printf("%-12zu %-10zu REJECTED: %s\n", cap, nodes,
                     result.status().to_string().c_str());
+        if (telemetry.enabled()) {
+          telemetry.registry()
+              .counter("bench_rejected_total", {{"configuration", label}})
+              ->add();
+        }
       }
     }
   }
@@ -48,6 +62,12 @@ int main() {
       ++aggs;
     }
     std::printf("%-12zu %zu\n", cap, aggs);
+    if (telemetry.enabled()) {
+      telemetry.registry()
+          .gauge("bench_min_aggregators",
+                 {{"configuration", "cap=" + std::to_string(cap)}})
+          ->set(static_cast<double>(aggs));
+    }
   }
   std::printf(
       "\nPaper: each Frontera node sustains ~2,500 connections, hence the\n"

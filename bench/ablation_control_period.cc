@@ -15,10 +15,11 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title("Ablation — control period vs PFS utilization (bursty)");
   std::printf("%-16s %10s %10s %12s %10s\n", "period", "cycles",
               "cycle(ms)", "data-util", "meta-util");
+  bench::Telemetry telemetry("ablation_control_period", argc, argv);
 
   const struct {
     Nanos period;
@@ -50,6 +51,7 @@ int main() {
       return workload::bursty(2000.0 * scale, 50.0 * scale, seconds(1),
                               millis(1300), phase);
     };
+    telemetry.attach(config, sweep.label);
     auto result = sim::run_experiment(config);
     if (!result.is_ok()) {
       std::printf("%s: %s\n", sweep.label, result.status().to_string().c_str());
@@ -59,6 +61,16 @@ int main() {
                 static_cast<unsigned long long>(result->cycles),
                 result->stats.mean_total_ms(), result->mean_data_utilization,
                 result->mean_meta_utilization);
+    if (telemetry.enabled()) {
+      const telemetry::Labels labels{{"configuration", sweep.label}};
+      auto& registry = telemetry.registry();
+      registry.gauge("bench_total_ms_mean", labels)
+          ->set(result->stats.mean_total_ms());
+      registry.gauge("bench_data_utilization", labels)
+          ->set(result->mean_data_utilization);
+      registry.gauge("bench_meta_utilization", labels)
+          ->set(result->mean_meta_utilization);
+    }
   }
   std::printf(
       "\nExpected: utilization degrades as the control period grows —\n"

@@ -14,28 +14,33 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title(
       "Ablation — hierarchical vs coordinated flat at 10,000 nodes");
   bench::print_latency_header();
+  bench::Telemetry telemetry("ablation_coordinated_flat", argc, argv);
 
   for (const std::size_t k : {4ul, 5ul, 10ul, 20ul}) {
+    const std::string hier_label = "hierarchical A=" + std::to_string(k);
     sim::ExperimentConfig hier;
     hier.num_stages = 10'000;
     hier.num_aggregators = k;
     hier.duration = bench::bench_duration();
+    telemetry.attach(hier, hier_label);
     auto hier_result = bench::run_repeated(hier);
     if (!hier_result.is_ok()) {
       std::printf("hier A=%zu: %s\n", k, hier_result.status().to_string().c_str());
       return 1;
     }
-    bench::print_latency_row("hierarchical A=" + std::to_string(k),
-                             *hier_result, 0.0);
+    bench::print_latency_row(hier_label, *hier_result, 0.0);
+    telemetry.observe(hier_label, *hier_result, 0.0);
 
+    const std::string coord_label = "coordinated K=" + std::to_string(k);
     sim::ExperimentConfig coord;
     coord.num_stages = 10'000;
     coord.coordinated_peers = k;
     coord.duration = bench::bench_duration();
+    telemetry.attach(coord, coord_label);
     auto coord_result = bench::run_repeated(coord);
     if (!coord_result.is_ok()) {
       // K=4 genuinely does not fit: each peer would hold 2,500 stage
@@ -46,9 +51,10 @@ int main() {
                   coord_result.status().to_string().c_str());
       continue;
     }
-    bench::print_latency_row("coordinated K=" + std::to_string(k),
-                             *coord_result, 0.0);
+    bench::print_latency_row(coord_label, *coord_result, 0.0);
+    telemetry.observe(coord_label, *coord_result, 0.0);
     bench::print_resource_row("  per peer", "peer", coord_result->aggregator);
+    telemetry.observe_usage(coord_label, "peer", coord_result->aggregator);
   }
   std::printf(
       "\nExpected: the coordinated design beats the hierarchy on latency\n"

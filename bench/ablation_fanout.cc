@@ -9,9 +9,10 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title("Ablation — parallel vs serialized aggregator fan-out");
   bench::print_latency_header();
+  bench::Telemetry telemetry("ablation_fanout", argc, argv);
 
   for (const std::size_t aggs : {4ul, 10ul, 20ul}) {
     for (const bool parallel : {true, false}) {
@@ -21,14 +22,16 @@ int main() {
       config.parallel_fanout = parallel;
       config.duration = bench::bench_duration();
       config.max_cycles = parallel ? 0 : 40;  // serial cycles are long
+      const std::string label = "A=" + std::to_string(aggs) +
+                                (parallel ? " parallel" : " serial");
+      telemetry.attach(config, label);
       auto result = bench::run_repeated(config);
       if (!result.is_ok()) {
         std::printf("error: %s\n", result.status().to_string().c_str());
         return 1;
       }
-      const std::string label = "A=" + std::to_string(aggs) +
-                                (parallel ? " parallel" : " serial");
       bench::print_latency_row(label, *result, 0.0);
+      telemetry.observe(label, *result, 0.0);
     }
   }
   std::printf(

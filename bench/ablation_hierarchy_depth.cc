@@ -16,19 +16,24 @@ using namespace sds;
 
 namespace {
 
-void run_row(const char* label, sim::ExperimentConfig config) {
+void run_row(const std::string& label, sim::ExperimentConfig config,
+             bench::Telemetry& telemetry) {
+  telemetry.attach(config, label);
   auto result = bench::run_repeated(config);
   if (!result.is_ok()) {
-    std::printf("%-24s %s\n", label, result.status().to_string().c_str());
+    std::printf("%-24s %s\n", label.c_str(),
+                result.status().to_string().c_str());
     return;
   }
   bench::print_latency_row(label, *result, 0.0);
+  telemetry.observe(label, *result, 0.0);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title("Ablation — 2-level vs 3-level hierarchies");
+  bench::Telemetry telemetry("ablation_hierarchy_depth", argc, argv);
   std::printf("\nAt 10,000 nodes with the Frontera cap (2,500 conns):\n");
   bench::print_latency_header();
   for (const std::size_t aggs : {8ul, 20ul}) {
@@ -36,11 +41,11 @@ int main() {
     two_level.num_stages = 10'000;
     two_level.num_aggregators = aggs;
     two_level.duration = bench::bench_duration();
-    run_row(("2-level A=" + std::to_string(aggs)).c_str(), two_level);
+    run_row("2-level A=" + std::to_string(aggs), two_level, telemetry);
 
     sim::ExperimentConfig three_level = two_level;
     three_level.num_super_aggregators = 2;
-    run_row(("3-level S=2 A=" + std::to_string(aggs)).c_str(), three_level);
+    run_row("3-level S=2 A=" + std::to_string(aggs), three_level, telemetry);
   }
 
   std::printf("\nOn constrained nodes (cap 64 connections), 10,000 nodes:\n");
@@ -62,7 +67,7 @@ int main() {
     sim::ExperimentConfig three_level = two_level;
     three_level.num_aggregators = 200;
     three_level.num_super_aggregators = 40;
-    run_row("3-level S=40 A=200", three_level);
+    run_row("3-level S=40 A=200", three_level, telemetry);
   }
 
   std::printf(

@@ -11,9 +11,10 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title("Ablation — centralized PSFA vs aggregator-local PSFA");
   bench::print_latency_header();
+  bench::Telemetry telemetry("ablation_local_decisions", argc, argv);
 
   for (const std::size_t aggs : {4ul, 10ul, 20ul}) {
     for (const bool local : {false, true}) {
@@ -22,17 +23,21 @@ int main() {
       config.num_aggregators = aggs;
       config.local_decisions = local;
       config.duration = bench::bench_duration();
+      const std::string label = "A=" + std::to_string(aggs) +
+                                (local ? " local" : " central");
+      telemetry.attach(config, label);
       auto result = bench::run_repeated(config);
       if (!result.is_ok()) {
         std::printf("error: %s\n", result.status().to_string().c_str());
         return 1;
       }
-      const std::string label = "A=" + std::to_string(aggs) +
-                                (local ? " local" : " central");
       bench::print_latency_row(label, *result, 0.0);
+      telemetry.observe(label, *result, 0.0);
       bench::print_resource_row("  resources", "global", result->global);
       bench::print_resource_row("  resources", "aggregator",
                                 result->aggregator);
+      telemetry.observe_usage(label, "global", result->global);
+      telemetry.observe_usage(label, "aggregator", result->aggregator);
     }
   }
   std::printf(

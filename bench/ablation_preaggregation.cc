@@ -9,9 +9,10 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title("Ablation — pre-aggregation vs pass-through relays");
   bench::print_latency_header();
+  bench::Telemetry telemetry("ablation_preaggregation", argc, argv);
 
   for (const std::size_t aggs : {1ul, 4ul}) {
     for (const bool preagg : {true, false}) {
@@ -20,15 +21,17 @@ int main() {
       config.num_aggregators = aggs;
       config.preaggregate = preagg;
       config.duration = bench::bench_duration();
+      const std::string label = "N=" + std::to_string(config.num_stages) +
+                                " A=" + std::to_string(aggs) +
+                                (preagg ? " pre-agg" : " passthru");
+      telemetry.attach(config, label);
       auto result = bench::run_repeated(config);
       if (!result.is_ok()) {
         std::printf("error: %s\n", result.status().to_string().c_str());
         return 1;
       }
-      const std::string label = "N=" + std::to_string(config.num_stages) +
-                                " A=" + std::to_string(aggs) +
-                                (preagg ? " pre-agg" : " passthru");
       bench::print_latency_row(label, *result, 0.0);
+      telemetry.observe(label, *result, 0.0);
       bench::print_resource_row("  resources", "global", result->global);
       bench::print_resource_row("  resources", "aggregator",
                                 result->aggregator);

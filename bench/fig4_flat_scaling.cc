@@ -9,11 +9,12 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title(
       "Fig. 4 — flat design: average control-cycle latency vs node count");
   bench::print_latency_header();
   bench::DatWriter dat("fig4_flat_scaling");
+  bench::Telemetry telemetry("fig4_flat_scaling", argc, argv);
 
   struct Point {
     std::size_t nodes;
@@ -22,16 +23,18 @@ int main() {
   const Point points[] = {{50, 1.11}, {500, 8.1}, {1250, 20.2}, {2500, 40.40}};
 
   for (const auto& point : points) {
+    const std::string label = "flat N=" + std::to_string(point.nodes);
     sim::ExperimentConfig config;
     config.num_stages = point.nodes;
     config.duration = bench::bench_duration();
+    telemetry.attach(config, label);
     auto result = bench::run_repeated(config);
     if (!result.is_ok()) {
       std::printf("N=%zu: %s\n", point.nodes, result.status().to_string().c_str());
       return 1;
     }
-    bench::print_latency_row("flat N=" + std::to_string(point.nodes), *result,
-                             point.paper_ms);
+    bench::print_latency_row(label, *result, point.paper_ms);
+    telemetry.observe(label, *result, point.paper_ms);
     dat.row(static_cast<double>(point.nodes), *result, point.paper_ms);
   }
   bench::print_paper_note(

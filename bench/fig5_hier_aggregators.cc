@@ -9,11 +9,12 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title(
       "Fig. 5 — hierarchical design: 10,000 nodes, varying aggregators");
   bench::print_latency_header();
   bench::DatWriter dat("fig5_hier_aggregators");
+  bench::Telemetry telemetry("fig5_hier_aggregators", argc, argv);
 
   struct Point {
     std::size_t aggregators;
@@ -22,18 +23,20 @@ int main() {
   const Point points[] = {{4, 103.0}, {5, 95.0}, {10, 79.0}, {20, 69.0}};
 
   for (const auto& point : points) {
+    const std::string label = "hier A=" + std::to_string(point.aggregators);
     sim::ExperimentConfig config;
     config.num_stages = 10'000;
     config.num_aggregators = point.aggregators;
     config.duration = bench::bench_duration();
+    telemetry.attach(config, label);
     auto result = bench::run_repeated(config);
     if (!result.is_ok()) {
       std::printf("A=%zu: %s\n", point.aggregators,
                   result.status().to_string().c_str());
       return 1;
     }
-    bench::print_latency_row("hier A=" + std::to_string(point.aggregators),
-                             *result, point.paper_ms);
+    bench::print_latency_row(label, *result, point.paper_ms);
+    telemetry.observe(label, *result, point.paper_ms);
     dat.row(static_cast<double>(point.aggregators), *result, point.paper_ms);
   }
   bench::print_paper_note(

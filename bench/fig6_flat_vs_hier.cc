@@ -9,31 +9,36 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title(
       "Fig. 6 — flat vs hierarchical (1 aggregator) at 2,500 nodes");
   bench::print_latency_header();
   bench::DatWriter dat("fig6_flat_vs_hier");
+  bench::Telemetry telemetry("fig6_flat_vs_hier", argc, argv);
 
   sim::ExperimentConfig flat;
   flat.num_stages = 2500;
   flat.duration = bench::bench_duration();
+  telemetry.attach(flat, "flat N=2500");
   auto flat_result = bench::run_repeated(flat);
   if (!flat_result.is_ok()) {
     std::printf("flat: %s\n", flat_result.status().to_string().c_str());
     return 1;
   }
   bench::print_latency_row("flat N=2500", *flat_result, 40.40);
+  telemetry.observe("flat N=2500", *flat_result, 40.40);
   dat.row(0, *flat_result, 40.40);
 
   sim::ExperimentConfig hier = flat;
   hier.num_aggregators = 1;
+  telemetry.attach(hier, "hier N=2500 A=1");
   auto hier_result = bench::run_repeated(hier);
   if (!hier_result.is_ok()) {
     std::printf("hier: %s\n", hier_result.status().to_string().c_str());
     return 1;
   }
   bench::print_latency_row("hier N=2500 A=1", *hier_result, 53.0);
+  telemetry.observe("hier N=2500 A=1", *hier_result, 53.0);
   dat.row(1, *hier_result, 53.0);
 
   const double overhead =

@@ -6,11 +6,18 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/histogram.h"
 #include "sim/experiment.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span_tracer.h"
+#include "telemetry/trace_export.h"
 
 namespace sds::bench {
 
@@ -36,6 +43,9 @@ inline Result<RepeatedResult> run_repeated(sim::ExperimentConfig config,
   sim::ControllerUsage agg_sum{};
   for (int r = 0; r < reps; ++r) {
     config.seed = 42 + static_cast<std::uint64_t>(r);
+    // Spans are virtual-time stamped, so repetitions would overlap on the
+    // same track; only the first repetition records into the tracer.
+    if (r > 0) config.tracer = nullptr;
     auto result = sim::run_experiment(config);
     if (!result.is_ok()) return result.status();
     out.total_ms.add(result->stats.mean_total_ms());
@@ -106,6 +116,109 @@ inline Nanos bench_duration() {
   }
   return seconds(10);
 }
+
+/// Optional machine-readable output for the figure/table benches. Each
+/// bench main() constructs one with its binary name; when
+/// `--telemetry-out=<dir>` (or the SDSCALE_TELEMETRY_OUT env var) names a
+/// directory, every sim run attach()ed to it shares one MetricsRegistry +
+/// SpanTracer, and flush() (or the destructor) drops three artifacts next
+/// to the printed table:
+///   <dir>/<name>.metrics.jsonl  — JSONL snapshot (cycle histograms per
+///                                 configuration + exact bench_* row gauges)
+///   <dir>/<name>.prom           — Prometheus text exposition
+///   <dir>/<name>.trace.json     — Chrome-tracing spans (one per cycle
+///                                 phase), loadable at ui.perfetto.dev
+class Telemetry {
+ public:
+  explicit Telemetry(std::string name, int argc = 0, char** argv = nullptr)
+      : name_(std::move(name)) {
+    constexpr std::string_view kFlag = "--telemetry-out=";
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.substr(0, kFlag.size()) == kFlag) {
+        out_dir_ = std::string(arg.substr(kFlag.size()));
+      }
+    }
+    if (out_dir_.empty()) {
+      if (const char* env = std::getenv("SDSCALE_TELEMETRY_OUT")) {
+        out_dir_ = env;
+      }
+    }
+    if (!out_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(out_dir_, ec);
+    }
+  }
+
+  ~Telemetry() { flush(); }
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] bool enabled() const { return !out_dir_.empty(); }
+
+  /// Point a sim config at the shared registry/tracer; `label` becomes the
+  /// configuration="<label>" value distinguishing this run's series.
+  void attach(sim::ExperimentConfig& config, const std::string& label) {
+    if (!enabled()) return;
+    config.metrics = &registry_;
+    config.tracer = &tracer_;
+    config.telemetry_label = label;
+  }
+
+  /// Record the exact values of one printed table row as gauges, so the
+  /// JSONL snapshot reproduces the table verbatim.
+  void observe(const std::string& label, const RepeatedResult& result,
+               double paper_ms) {
+    if (!enabled()) return;
+    const telemetry::Labels labels{{"configuration", label}};
+    registry_.gauge("bench_total_ms_mean", labels)->set(result.total_ms.mean());
+    registry_.gauge("bench_collect_ms_mean", labels)
+        ->set(result.collect_ms.mean());
+    registry_.gauge("bench_compute_ms_mean", labels)
+        ->set(result.compute_ms.mean());
+    registry_.gauge("bench_enforce_ms_mean", labels)
+        ->set(result.enforce_ms.mean());
+    registry_.gauge("bench_paper_ms", labels)->set(paper_ms);
+    registry_.gauge("bench_cycles_mean", labels)->set(result.cycles.mean());
+    registry_.gauge("bench_cv_percent", labels)->set(result.cv() * 100.0);
+  }
+
+  /// Record one printed resource row (Tables II–IV shape) as gauges.
+  void observe_usage(const std::string& label, const std::string& controller,
+                     const sim::ControllerUsage& usage) {
+    if (!enabled()) return;
+    const telemetry::Labels labels{{"configuration", label},
+                                   {"controller", controller}};
+    registry_.gauge("bench_cpu_percent", labels)->set(usage.cpu_percent);
+    registry_.gauge("bench_memory_gb", labels)->set(usage.memory_gb);
+    registry_.gauge("bench_tx_mbps", labels)->set(usage.transmitted_mbps);
+    registry_.gauge("bench_rx_mbps", labels)->set(usage.received_mbps);
+  }
+
+  [[nodiscard]] telemetry::MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] telemetry::SpanTracer& tracer() { return tracer_; }
+
+  /// Write all three artifacts now (idempotent; also runs on destruction).
+  void flush() {
+    if (!enabled() || flushed_) return;
+    flushed_ = true;
+    const auto snapshot = registry_.snapshot();
+    const std::string base = out_dir_ + "/" + name_;
+    (void)telemetry::append_jsonl(base + ".metrics.jsonl", snapshot);
+    (void)telemetry::write_prometheus(base + ".prom", snapshot);
+    (void)telemetry::write_chrome_trace(base + ".trace.json", tracer_, name_);
+    std::printf("  telemetry: %s.{metrics.jsonl,prom,trace.json}\n",
+                base.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string out_dir_;
+  bool flushed_ = false;
+  telemetry::MetricsRegistry registry_;
+  telemetry::SpanTracer tracer_;
+};
 
 /// Gnuplot-friendly data-file writer. When SDSCALE_BENCH_OUT names a
 /// directory, each figure bench drops a whitespace-separated .dat there

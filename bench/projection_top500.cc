@@ -13,8 +13,10 @@ using namespace sds;
 
 namespace {
 
-void run_row(const std::string& label, sim::ExperimentConfig config) {
+void run_row(const std::string& label, sim::ExperimentConfig config,
+             bench::Telemetry& telemetry) {
   config.duration = seconds(5);
+  telemetry.attach(config, label);
   auto result = bench::run_repeated(config, /*reps=*/1);
   if (!result.is_ok()) {
     std::printf("%-28s %s\n", label.c_str(),
@@ -25,13 +27,15 @@ void run_row(const std::string& label, sim::ExperimentConfig config) {
               result->total_ms.mean(), result->collect_ms.mean(),
               result->compute_ms.mean(), result->enforce_ms.mean(),
               result->cycles.mean());
+  telemetry.observe(label, *result, 0.0);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title(
       "Projection — Table I systems under flat / hierarchical control");
+  bench::Telemetry telemetry("projection_top500", argc, argv);
   std::printf("%-28s %10s %10s %10s %10s %8s\n", "configuration", "total(ms)",
               "collect", "compute", "enforce", "cycles");
 
@@ -46,7 +50,7 @@ int main() {
 
     sim::ExperimentConfig flat;
     flat.num_stages = system.nodes;
-    run_row(std::string(system.name) + " flat", flat);
+    run_row(std::string(system.name) + " flat", flat, telemetry);
 
     const std::size_t min_aggs = (system.nodes + 2'499) / 2'500;
     for (const std::size_t aggs : {min_aggs, 2 * min_aggs}) {
@@ -54,7 +58,7 @@ int main() {
       hier.num_stages = system.nodes;
       hier.num_aggregators = aggs;
       run_row(std::string(system.name) + " hier A=" + std::to_string(aggs),
-              hier);
+              hier, telemetry);
     }
 
     // Local decisions: the only way to keep Fugaku-class cycles fast —
@@ -65,7 +69,7 @@ int main() {
     local.local_decisions = true;
     run_row(std::string(system.name) + " local A=" +
                 std::to_string(2 * min_aggs),
-            local);
+            local, telemetry);
   }
 
   std::printf(

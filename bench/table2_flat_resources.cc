@@ -8,10 +8,11 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title(
       "Table II — flat design: global-controller resource utilization");
   bench::print_resource_header();
+  bench::Telemetry telemetry("table2_flat_resources", argc, argv);
 
   struct Paper {
     std::size_t nodes;
@@ -23,16 +24,18 @@ int main() {
                          {2500, 10.34, 1.18, 9.73, 5.36}};
 
   for (const auto& row : paper) {
+    const std::string label = "flat N=" + std::to_string(row.nodes);
     sim::ExperimentConfig config;
     config.num_stages = row.nodes;
     config.duration = bench::bench_duration();
+    telemetry.attach(config, label);
     auto result = bench::run_repeated(config);
     if (!result.is_ok()) {
       std::printf("N=%zu: %s\n", row.nodes, result.status().to_string().c_str());
       return 1;
     }
-    const std::string label = "flat N=" + std::to_string(row.nodes);
     bench::print_resource_row(label, "global", result->global);
+    telemetry.observe_usage(label, "global", result->global);
     std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)", "global",
                 row.cpu, row.mem, row.tx, row.rx);
   }

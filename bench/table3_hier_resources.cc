@@ -10,10 +10,11 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title(
       "Table III — hierarchical design (10,000 nodes): resource utilization");
   bench::print_resource_header();
+  bench::Telemetry telemetry("table3_hier_resources", argc, argv);
 
   struct Paper {
     std::size_t aggs;
@@ -28,20 +29,23 @@ int main() {
   };
 
   for (const auto& row : paper) {
+    const std::string label = "hier A=" + std::to_string(row.aggs);
     sim::ExperimentConfig config;
     config.num_stages = 10'000;
     config.num_aggregators = row.aggs;
     config.duration = bench::bench_duration();
+    telemetry.attach(config, label);
     auto result = bench::run_repeated(config);
     if (!result.is_ok()) {
       std::printf("A=%zu: %s\n", row.aggs, result.status().to_string().c_str());
       return 1;
     }
-    const std::string label = "hier A=" + std::to_string(row.aggs);
     bench::print_resource_row(label, "global", result->global);
+    telemetry.observe_usage(label, "global", result->global);
     std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)", "global",
                 row.g_cpu, row.g_mem, row.g_tx, row.g_rx);
     bench::print_resource_row(label, "aggregator", result->aggregator);
+    telemetry.observe_usage(label, "aggregator", result->aggregator);
     std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)",
                 "aggregator", row.a_cpu, row.a_mem, row.a_tx, row.a_rx);
   }

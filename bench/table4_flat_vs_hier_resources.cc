@@ -9,29 +9,36 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_title(
       "Table IV — flat vs hierarchical (1 aggregator) at 2,500 nodes");
   bench::print_resource_header();
+  bench::Telemetry telemetry("table4_flat_vs_hier_resources", argc, argv);
 
   sim::ExperimentConfig flat;
   flat.num_stages = 2500;
   flat.duration = bench::bench_duration();
+  telemetry.attach(flat, "flat");
   auto flat_result = bench::run_repeated(flat);
   if (!flat_result.is_ok()) return 1;
   bench::print_resource_row("flat", "global", flat_result->global);
+  telemetry.observe_usage("flat", "global", flat_result->global);
   std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)", "global",
               10.34, 1.18, 9.73, 5.74);
 
   sim::ExperimentConfig hier = flat;
   hier.num_aggregators = 1;
+  telemetry.attach(hier, "hierarchical");
   auto hier_result = bench::run_repeated(hier);
   if (!hier_result.is_ok()) return 1;
   bench::print_resource_row("hierarchical", "global", hier_result->global);
+  telemetry.observe_usage("hierarchical", "global", hier_result->global);
   std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)", "global",
               1.15, 0.92, 2.36, 0.77);
   bench::print_resource_row("hierarchical", "aggregator",
                             hier_result->aggregator);
+  telemetry.observe_usage("hierarchical", "aggregator",
+                          hier_result->aggregator);
   std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)",
               "aggregator", 7.83, 0.22, 8.65, 4.98);
   return 0;

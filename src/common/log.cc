@@ -1,11 +1,49 @@
 #include "common/log.h"
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
-#include <thread>
 
 namespace sds {
+
+namespace {
+
+/// Map an SDS_LOG_LEVEL env value (case-insensitive level name) onto the
+/// threshold; unknown values leave the default untouched.
+LogLevel initial_level() {
+  const char* env = std::getenv("SDS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWARN;
+  const auto matches = [env](const char* name) {
+    for (std::size_t i = 0;; ++i) {
+      const char a = static_cast<char>(std::toupper(
+          static_cast<unsigned char>(env[i])));
+      if (a != name[i]) return false;
+      if (a == '\0') return true;
+    }
+  };
+  if (matches("TRACE")) return LogLevel::kTRACE;
+  if (matches("DEBUG")) return LogLevel::kDEBUG;
+  if (matches("INFO")) return LogLevel::kINFO;
+  if (matches("WARN") || matches("WARNING")) return LogLevel::kWARN;
+  if (matches("ERROR")) return LogLevel::kERROR;
+  if (matches("OFF") || matches("NONE")) return LogLevel::kOFF;
+  return LogLevel::kWARN;
+}
+
+/// Small monotonically assigned id (1, 2, ...) — more readable in records
+/// than the platform's opaque thread id hash.
+std::uint64_t this_thread_id() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local std::uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+Logger::Logger() { set_level(initial_level()); }
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -18,14 +56,25 @@ void Logger::write(LogLevel level, std::string_view file, int line,
   if (auto pos = file.rfind('/'); pos != std::string_view::npos) {
     file = file.substr(pos + 1);
   }
-  const auto now = std::chrono::system_clock::now().time_since_epoch();
-  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  const auto now = std::chrono::system_clock::now();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      now.time_since_epoch())
+                      .count();
+  const std::time_t secs = static_cast<std::time_t>(us / 1'000'000);
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &secs);
+#else
+  localtime_r(&secs, &tm_buf);
+#endif
+  char when[32];
+  std::strftime(when, sizeof(when), "%Y-%m-%d %H:%M:%S", &tm_buf);
 
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[%lld.%06lld] %-5s %.*s:%d] %.*s\n",
-               static_cast<long long>(us / 1'000'000),
+  std::fprintf(stderr, "[%s.%06lld T%llu] %-5s %.*s:%d] %.*s\n", when,
                static_cast<long long>(us % 1'000'000),
+               static_cast<unsigned long long>(this_thread_id()),
                std::string(to_string(level)).c_str(),
                static_cast<int>(file.size()), file.data(), line,
                static_cast<int>(msg.size()), msg.data());

@@ -2,6 +2,13 @@
 //
 // Usage:  SDS_LOG(INFO) << "cycle " << n << " took " << ms << " ms";
 // Severity below the global threshold is compiled to a cheap branch.
+//
+// Each record carries a wall-clock timestamp (local date-time with
+// microseconds) and a small per-thread id:
+//   [2026-08-06 14:03:07.123456 T2] WARN  gather.cc:88] gather timed out
+// The startup threshold honours the SDS_LOG_LEVEL environment variable
+// (TRACE / DEBUG / INFO / WARN / ERROR / OFF, case-insensitive); the
+// default is WARN.
 #pragma once
 
 #include <atomic>
@@ -36,6 +43,9 @@ class Logger {
   void write(LogLevel level, std::string_view file, int line, std::string_view msg);
 
  private:
+  /// Reads SDS_LOG_LEVEL to seed the threshold (default WARN).
+  Logger();
+
   std::atomic<LogLevel> level_{LogLevel::kWARN};
 };
 

@@ -11,6 +11,7 @@
 
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "telemetry/metrics.h"
 
 namespace sds::core {
 
@@ -34,6 +35,11 @@ struct PhaseBreakdown {
 };
 
 /// Aggregated latency distributions across cycles.
+///
+/// Optionally bound to a telemetry::MetricsRegistry: after bind(), every
+/// record() also feeds the shared `sds_cycle_phase_latency_ns{phase=...}`
+/// histograms and the `sds_cycles_total` counter, so the same numbers the
+/// benches print are visible to the exporters with no second stats path.
 class CycleStats {
  public:
   void record(const PhaseBreakdown& cycle) {
@@ -42,6 +48,40 @@ class CycleStats {
     enforce_.record(cycle.enforce);
     total_.record(cycle.total());
     ++cycles_;
+    if (cycles_total_ != nullptr) {
+      tele_collect_->record(cycle.collect);
+      tele_compute_->record(cycle.compute);
+      tele_enforce_->record(cycle.enforce);
+      tele_total_->record(cycle.total());
+      cycles_total_->add(1);
+    }
+  }
+
+  /// Register this cycle engine's instruments with `registry`. `labels`
+  /// distinguish multiple engines sharing one registry (e.g.
+  /// {{"component","global"}} or {{"configuration","flat N=500"}}).
+  /// Pass nullptr to unbind.
+  void bind(telemetry::MetricsRegistry* registry,
+            telemetry::Labels labels = {}) {
+    if (registry == nullptr) {
+      cycles_total_ = nullptr;
+      tele_collect_ = tele_compute_ = tele_enforce_ = tele_total_ = nullptr;
+      return;
+    }
+    const auto phase_labels = [&labels](std::string_view phase) {
+      telemetry::Labels copy = labels;
+      copy.emplace_back("phase", std::string(phase));
+      return copy;
+    };
+    tele_collect_ = registry->histogram("sds_cycle_phase_latency_ns",
+                                        phase_labels("collect"));
+    tele_compute_ = registry->histogram("sds_cycle_phase_latency_ns",
+                                        phase_labels("compute"));
+    tele_enforce_ = registry->histogram("sds_cycle_phase_latency_ns",
+                                        phase_labels("enforce"));
+    tele_total_ =
+        registry->histogram("sds_cycle_total_latency_ns", labels);
+    cycles_total_ = registry->counter("sds_cycles_total", std::move(labels));
   }
 
   [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
@@ -70,6 +110,12 @@ class CycleStats {
   Histogram enforce_;
   Histogram total_;
   std::uint64_t cycles_ = 0;
+  // Bound telemetry instruments (owned by the registry, may be null).
+  telemetry::Counter* cycles_total_ = nullptr;
+  telemetry::HistogramMetric* tele_collect_ = nullptr;
+  telemetry::HistogramMetric* tele_compute_ = nullptr;
+  telemetry::HistogramMetric* tele_enforce_ = nullptr;
+  telemetry::HistogramMetric* tele_total_ = nullptr;
 };
 
 }  // namespace sds::core

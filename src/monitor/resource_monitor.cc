@@ -74,13 +74,39 @@ ResourceSample ResourceMonitor::sample() const {
 ResourceUsage ResourceMonitor::usage_between(const ResourceSample& a,
                                              const ResourceSample& b) {
   ResourceUsage u;
-  const double wall_s = std::max(to_seconds(b.wall - a.wall), 1e-9);
-  u.cpu_percent = to_seconds(b.cpu_time - a.cpu_time) / wall_s * 100.0;
   u.rss_gb = static_cast<double>(b.rss_bytes) / 1e9;
+  // A zero or negative interval (samples taken back-to-back, or a clock
+  // step between them) has no meaningful rate: dividing by a clamped
+  // epsilon would report absurd CPU percentages and bandwidths.
+  const double wall_s = to_seconds(b.wall - a.wall);
+  if (wall_s <= 0.0) return u;
+  u.cpu_percent = to_seconds(b.cpu_time - a.cpu_time) / wall_s * 100.0;
   u.transmitted_mbps =
       static_cast<double>(b.bytes_tx - a.bytes_tx) / wall_s / 1e6;
   u.received_mbps = static_cast<double>(b.bytes_rx - a.bytes_rx) / wall_s / 1e6;
   return u;
+}
+
+void ResourceMonitor::bind(telemetry::MetricsRegistry& registry,
+                           telemetry::Labels labels) {
+  auto* cpu = registry.gauge("sds_process_cpu_percent", labels);
+  auto* rss = registry.gauge("sds_process_rss_bytes", labels);
+  auto* tx_rate = registry.gauge("sds_transport_tx_mbps", labels);
+  auto* rx_rate = registry.gauge("sds_transport_rx_mbps", labels);
+  registry.add_collector([this, cpu, rss, tx_rate, rx_rate](
+                             telemetry::MetricsRegistry&) {
+    const ResourceSample now = sample();
+    rss->set(static_cast<double>(now.rss_bytes));
+    std::lock_guard<std::mutex> lock(collect_mu_);
+    if (has_last_collected_) {
+      const ResourceUsage usage = usage_between(last_collected_, now);
+      cpu->set(usage.cpu_percent);
+      tx_rate->set(usage.transmitted_mbps);
+      rx_rate->set(usage.received_mbps);
+    }
+    last_collected_ = now;
+    has_last_collected_ = true;
+  });
 }
 
 }  // namespace sds::monitor

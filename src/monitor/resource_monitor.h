@@ -5,10 +5,12 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/clock.h"
+#include "telemetry/metrics.h"
 #include "transport/transport.h"
 
 namespace sds::monitor {
@@ -48,12 +50,25 @@ class ResourceMonitor {
   /// Take a sample now.
   [[nodiscard]] ResourceSample sample() const;
 
-  /// Usage rates between two samples (b taken after a).
+  /// Usage rates between two samples (b taken after a). A zero or
+  /// negative wall interval (clock skew, back-to-back samples) yields all
+  /// rates 0 rather than a division by ~0; rss_gb is still reported.
   [[nodiscard]] static ResourceUsage usage_between(const ResourceSample& a,
                                                    const ResourceSample& b);
 
+  /// Register this monitor's gauges with `registry`: on every registry
+  /// snapshot a collector samples procfs + endpoints and publishes
+  /// `sds_process_cpu_percent`, `sds_process_rss_bytes` and the
+  /// `sds_transport_{tx,rx}_mbps` rates since the previous snapshot.
+  /// The monitor must outlive the registry's last snapshot().
+  void bind(telemetry::MetricsRegistry& registry, telemetry::Labels labels = {});
+
  private:
   std::vector<const transport::Endpoint*> endpoints_;
+  // Previous sample seen by the telemetry collector (rates need a delta).
+  std::mutex collect_mu_;
+  ResourceSample last_collected_{};
+  bool has_last_collected_ = false;
 };
 
 }  // namespace sds::monitor

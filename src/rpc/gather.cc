@@ -12,11 +12,16 @@ std::optional<std::uint64_t> peek_cycle_id(const wire::Frame& frame) {
 }
 
 Gather::Gather(proto::MessageType type, std::optional<std::uint64_t> cycle,
-               std::vector<ConnId> expected)
-    : type_(type), cycle_(cycle) {
+               std::vector<ConnId> expected,
+               std::shared_ptr<const GatherTelemetry> telemetry)
+    : type_(type), cycle_(cycle), telemetry_(std::move(telemetry)) {
   waiting_.reserve(expected.size());
   for (const ConnId c : expected) waiting_.insert(c);
   replies_.reserve(expected.size());
+  if (telemetry_ != nullptr) {
+    telemetry_->gathers_started->add(1);
+    telemetry_->fanout->record(static_cast<std::int64_t>(expected.size()));
+  }
 }
 
 bool Gather::offer(ConnId conn, const wire::Frame& frame) {
@@ -30,6 +35,7 @@ bool Gather::offer(ConnId conn, const wire::Frame& frame) {
   if (it == waiting_.end()) return false;
   waiting_.erase(it);
   replies_.push_back({conn, frame});
+  if (telemetry_ != nullptr) telemetry_->replies->add(1);
   if (waiting_.empty()) cv_.notify_all();
   return true;
 }
@@ -38,14 +44,22 @@ void Gather::fail(ConnId conn) {
   std::lock_guard<std::mutex> lock(mu_);
   if (waiting_.erase(conn) > 0) {
     ++failed_;
+    if (telemetry_ != nullptr) telemetry_->peer_failures->add(1);
     if (waiting_.empty()) cv_.notify_all();
   }
 }
 
 Status Gather::wait_for(Nanos timeout) {
   std::unique_lock<std::mutex> lock(mu_);
+  const auto started = std::chrono::steady_clock::now();
   const bool complete =
       cv_.wait_for(lock, timeout, [&] { return waiting_.empty(); });
+  if (telemetry_ != nullptr) {
+    telemetry_->wave_latency_ns->record(
+        std::chrono::duration_cast<Nanos>(std::chrono::steady_clock::now() -
+                                          started));
+    if (!complete) telemetry_->timeouts->add(1);
+  }
   if (!complete) {
     return Status::deadline_exceeded(std::to_string(waiting_.size()) +
                                      " replies missing");
@@ -71,10 +85,33 @@ void Dispatcher::set_fallback(FallbackHandler handler) {
   fallback_ = std::move(handler);
 }
 
+void Dispatcher::bind_telemetry(telemetry::MetricsRegistry& registry,
+                                telemetry::Labels labels) {
+  auto instruments = std::make_shared<GatherTelemetry>();
+  instruments->gathers_started =
+      registry.counter("sds_rpc_gathers_started_total", labels);
+  instruments->replies = registry.counter("sds_rpc_replies_total", labels);
+  instruments->timeouts =
+      registry.counter("sds_rpc_gather_timeouts_total", labels);
+  instruments->peer_failures =
+      registry.counter("sds_rpc_peer_failures_total", labels);
+  instruments->fanout = registry.histogram("sds_rpc_gather_fanout", labels);
+  instruments->wave_latency_ns =
+      registry.histogram("sds_rpc_gather_wave_latency_ns", std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  telemetry_ = std::move(instruments);
+}
+
 std::shared_ptr<Gather> Dispatcher::start_gather(
     proto::MessageType type, std::optional<std::uint64_t> cycle,
     std::vector<ConnId> expected) {
-  auto gather = std::make_shared<Gather>(type, cycle, std::move(expected));
+  std::shared_ptr<const GatherTelemetry> telemetry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    telemetry = telemetry_;
+  }
+  auto gather = std::make_shared<Gather>(type, cycle, std::move(expected),
+                                         std::move(telemetry));
   std::lock_guard<std::mutex> lock(mu_);
   gathers_.push_back(gather);
   return gather;

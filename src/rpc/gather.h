@@ -26,9 +26,23 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "proto/messages.h"
+#include "telemetry/metrics.h"
 #include "transport/transport.h"
 
 namespace sds::rpc {
+
+/// Shared gather-layer instruments (created by Dispatcher::bind_telemetry
+/// and referenced by every Gather the dispatcher starts).
+struct GatherTelemetry {
+  telemetry::Counter* gathers_started = nullptr;
+  telemetry::Counter* replies = nullptr;
+  telemetry::Counter* timeouts = nullptr;
+  telemetry::Counter* peer_failures = nullptr;
+  /// Expected replies per gather (the paper's fan-out size).
+  telemetry::HistogramMetric* fanout = nullptr;
+  /// wait_for() latency per gather wave.
+  telemetry::HistogramMetric* wave_latency_ns = nullptr;
+};
 
 /// Reads the leading varint (cycle id) of a frame payload.
 [[nodiscard]] std::optional<std::uint64_t> peek_cycle_id(const wire::Frame& frame);
@@ -43,7 +57,8 @@ class Gather {
   };
 
   Gather(proto::MessageType type, std::optional<std::uint64_t> cycle,
-         std::vector<ConnId> expected);
+         std::vector<ConnId> expected,
+         std::shared_ptr<const GatherTelemetry> telemetry = nullptr);
 
   /// Offer a frame; returns true if this gather consumed it.
   bool offer(ConnId conn, const wire::Frame& frame);
@@ -65,6 +80,7 @@ class Gather {
  private:
   const proto::MessageType type_;
   const std::optional<std::uint64_t> cycle_;
+  const std::shared_ptr<const GatherTelemetry> telemetry_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -79,6 +95,12 @@ class Dispatcher {
   using FallbackHandler = std::function<void(ConnId, wire::Frame)>;
 
   void set_fallback(FallbackHandler handler);
+
+  /// Register the gather layer's instruments (`sds_rpc_*{...labels}`)
+  /// with `registry`; every subsequently started gather reports fan-out
+  /// size, wave latency, replies and timeouts into them.
+  void bind_telemetry(telemetry::MetricsRegistry& registry,
+                      telemetry::Labels labels = {});
 
   /// Create and register a gather. Automatically unregistered when the
   /// returned shared_ptr is the last reference and removed via collect().
@@ -99,6 +121,7 @@ class Dispatcher {
   std::mutex mu_;
   std::vector<std::shared_ptr<Gather>> gathers_;
   FallbackHandler fallback_;
+  std::shared_ptr<const GatherTelemetry> telemetry_;
 };
 
 /// Convenience: send `request` on `conn` and wait for a single reply of

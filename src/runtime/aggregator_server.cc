@@ -38,6 +38,14 @@ Status AggregatorServer::start(
     if (event == transport::ConnEvent::kClosed) on_conn_closed(conn);
   });
 
+  if (options_.telemetry.enabled) {
+    telemetry::TelemetryOptions opts = options_.telemetry;
+    if (opts.component == "sds") opts.component = "aggregator";
+    telemetry_.init(opts, endpoint_.get(), dispatcher_);
+    cycles_counter_ = telemetry_.registry()->counter(
+        "sds_aggregator_cycles_served_total", {{"component", opts.component}});
+  }
+
   worker_ = std::thread([this] {
     while (auto task = work_.pop()) (*task)();
   });
@@ -131,6 +139,7 @@ void AggregatorServer::serve_collect(proto::CollectRequest request) {
     upstream = upstream_;
     ++cycles_served_;
   }
+  if (cycles_counter_ != nullptr) cycles_counter_->add();
 
   auto gather = dispatcher_.start_gather(proto::MessageType::kStageMetrics,
                                          request.cycle_id, conns);
@@ -269,6 +278,7 @@ void AggregatorServer::shutdown() {
   }
   work_.close();
   if (worker_.joinable()) worker_.join();
+  telemetry_.stop();
   endpoint_->shutdown();
 }
 

@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "core/aggregator.h"
 #include "rpc/gather.h"
+#include "runtime/server_telemetry.h"
 #include "transport/transport.h"
 
 namespace sds::runtime {
@@ -35,6 +36,10 @@ struct AggregatorServerOptions {
   ControllerId id;
   std::string upstream_address;
   Nanos phase_timeout = seconds(5);
+  /// Observability: transport + gather instruments and the cycles-served
+  /// counter register into one MetricsRegistry (shared when
+  /// `telemetry.registry` is set); exported when `out_dir` is configured.
+  telemetry::TelemetryOptions telemetry = {};
 };
 
 class AggregatorServer {
@@ -62,6 +67,11 @@ class AggregatorServer {
   /// Control cycles relayed downward so far (introspection).
   [[nodiscard]] std::uint64_t cycles_served() const;
 
+  /// Telemetry registry (null unless options.telemetry.enabled).
+  [[nodiscard]] telemetry::MetricsRegistry* metrics() {
+    return telemetry_.registry();
+  }
+
   void shutdown();
 
  private:
@@ -84,6 +94,8 @@ class AggregatorServer {
 
   std::unique_ptr<transport::Endpoint> endpoint_;
   rpc::Dispatcher dispatcher_;
+  ServerTelemetry telemetry_;
+  telemetry::Counter* cycles_counter_ = nullptr;
 
   mutable std::mutex mu_;
   core::AggregatorCore core_;

@@ -36,6 +36,17 @@ Status GlobalControllerServer::start(
     dispatcher_.on_conn_event(conn, event);
     if (event == transport::ConnEvent::kClosed) on_conn_closed(conn);
   });
+  if (options_.telemetry.enabled) {
+    if (options_.telemetry.component == "sds") {
+      options_.telemetry.component = "global";
+    }
+    telemetry_.init(options_.telemetry, endpoint_.get(), dispatcher_);
+    stats_.bind(telemetry_.registry(),
+                {{"component", options_.telemetry.component}});
+    if (telemetry_.tracer() != nullptr) {
+      telemetry_.tracer()->set_track_name(0, "global controller");
+    }
+  }
   started_ = true;
   return Status::ok();
 }
@@ -276,7 +287,24 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
   breakdown.enforce = phase.elapsed();
 
   stats_.record(breakdown);
+  trace_cycle(cycle, breakdown);
   return breakdown;
+}
+
+void GlobalControllerServer::trace_cycle(std::uint64_t cycle,
+                                         const core::PhaseBreakdown& breakdown) {
+  telemetry::SpanTracer* tracer = telemetry_.tracer();
+  if (tracer == nullptr) return;
+  const Nanos start = clock_->now() - breakdown.total();
+  tracer->record(
+      {"cycle", "cycle", 0, cycle, {}, start, breakdown.total()});
+  tracer->record(
+      {"collect", "cycle", 0, cycle, {}, start, breakdown.collect});
+  tracer->record({"compute", "cycle", 0, cycle, {},
+                  start + breakdown.collect, breakdown.compute});
+  tracer->record({"enforce", "cycle", 0, cycle, {},
+                  start + breakdown.collect + breakdown.compute,
+                  breakdown.enforce});
 }
 
 Result<core::PhaseBreakdown> GlobalControllerServer::run_lease_phase(
@@ -346,6 +374,7 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_lease_phase(
   }
   breakdown.enforce = phase.elapsed();
   stats_.record(breakdown);
+  trace_cycle(cycle, breakdown);
   return breakdown;
 }
 
@@ -436,6 +465,7 @@ void GlobalControllerServer::shutdown() {
     if (!started_) return;
     started_ = false;
   }
+  telemetry_.stop();
   endpoint_->shutdown();
 }
 

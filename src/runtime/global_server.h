@@ -23,6 +23,7 @@
 #include "core/cycle_stats.h"
 #include "core/global.h"
 #include "rpc/gather.h"
+#include "runtime/server_telemetry.h"
 #include "transport/transport.h"
 
 namespace sds::runtime {
@@ -31,6 +32,11 @@ struct GlobalServerOptions {
   core::GlobalOptions core;
   /// Deadline for each gather (collect replies / enforce acks).
   Nanos phase_timeout = seconds(5);
+  /// Observability: when enabled, cycle histograms, transport counters
+  /// and gather stats register into one MetricsRegistry (shared when
+  /// `telemetry.registry` is set) and a TelemetryReporter thread exports
+  /// JSONL/Prometheus snapshots to `telemetry.out_dir`.
+  telemetry::TelemetryOptions telemetry = {};
   /// Local-decision mode (paper §VI): instead of computing per-stage
   /// rules centrally, grant each aggregator a demand-proportional budget
   /// lease and let it run PSFA over its own subtree. Requires a purely
@@ -92,6 +98,11 @@ class GlobalControllerServer {
   void advance_epoch();
 
   [[nodiscard]] transport::Endpoint* endpoint() { return endpoint_.get(); }
+  /// Telemetry registry/tracer (null unless options.telemetry.enabled).
+  [[nodiscard]] telemetry::MetricsRegistry* metrics() {
+    return telemetry_.registry();
+  }
+  [[nodiscard]] telemetry::SpanTracer* tracer() { return telemetry_.tracer(); }
   /// Bound address (the resolved one — e.g. the actual port when the
   /// endpoint was bound to port 0).
   [[nodiscard]] const std::string& address() const {
@@ -108,6 +119,8 @@ class GlobalControllerServer {
 
   void on_frame(ConnId conn, wire::Frame frame);
   void on_conn_closed(ConnId conn);
+  /// Record collect/compute/enforce spans for a finished cycle.
+  void trace_cycle(std::uint64_t cycle, const core::PhaseBreakdown& breakdown);
   [[nodiscard]] CycleTargets snapshot_targets() const;
   /// Local-decision mode: compute + grant budget leases and await the
   /// aggregators' merged enforcement acks.
@@ -124,6 +137,7 @@ class GlobalControllerServer {
 
   std::unique_ptr<transport::Endpoint> endpoint_;
   rpc::Dispatcher dispatcher_;
+  ServerTelemetry telemetry_;
 
   mutable std::mutex mu_;
   core::GlobalControllerCore core_;

@@ -1,0 +1,64 @@
+// Shared telemetry wiring for the live servers (GlobalControllerServer,
+// AggregatorServer, StageHost): resolves TelemetryOptions into a registry
+// and tracer (external or owned), binds the endpoint's transport counters
+// and the dispatcher's gather instruments, and runs the periodic
+// TelemetryReporter when an output directory is configured.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rpc/gather.h"
+#include "telemetry/metrics.h"
+#include "telemetry/reporter.h"
+#include "telemetry/span_tracer.h"
+#include "transport/telemetry.h"
+
+namespace sds::runtime {
+
+class ServerTelemetry {
+ public:
+  /// No-op when `options.enabled` is false. Call after the endpoint is
+  /// bound; safe to call at most once.
+  void init(const telemetry::TelemetryOptions& options,
+            const transport::Endpoint* endpoint, rpc::Dispatcher& dispatcher) {
+    if (!options.enabled) return;
+    registry_ = options.registry != nullptr
+                    ? options.registry
+                    : (owned_registry_ =
+                           std::make_unique<telemetry::MetricsRegistry>())
+                          .get();
+    if (options.tracer != nullptr) {
+      tracer_ = options.tracer;
+    } else if (options.trace) {
+      owned_tracer_ = std::make_unique<telemetry::SpanTracer>();
+      tracer_ = owned_tracer_.get();
+    }
+    const telemetry::Labels labels{{"component", options.component}};
+    transport::bind_endpoint_metrics(*registry_, endpoint, labels);
+    dispatcher.bind_telemetry(*registry_, labels);
+    if (!options.out_dir.empty()) {
+      reporter_ = std::make_unique<telemetry::TelemetryReporter>(
+          *registry_, tracer_, options.out_dir, options.component,
+          options.report_period);
+      reporter_->start();
+    }
+  }
+
+  /// Stop the reporter (final flush + trace export). Idempotent.
+  void stop() {
+    if (reporter_ != nullptr) reporter_->stop();
+  }
+
+  [[nodiscard]] telemetry::MetricsRegistry* registry() { return registry_; }
+  [[nodiscard]] telemetry::SpanTracer* tracer() { return tracer_; }
+
+ private:
+  std::unique_ptr<telemetry::MetricsRegistry> owned_registry_;
+  std::unique_ptr<telemetry::SpanTracer> owned_tracer_;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::SpanTracer* tracer_ = nullptr;
+  std::unique_ptr<telemetry::TelemetryReporter> reporter_;
+};
+
+}  // namespace sds::runtime

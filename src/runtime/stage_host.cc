@@ -31,6 +31,13 @@ Status StageHost::start(const transport::EndpointOptions& endpoint_options) {
     dispatcher_.on_conn_event(conn, event);
     on_conn_event(conn, event);
   });
+  if (options_.telemetry.enabled) {
+    telemetry::TelemetryOptions opts = options_.telemetry;
+    if (opts.component == "sds") opts.component = "stage_host";
+    telemetry_.init(opts, endpoint_.get(), dispatcher_);
+    collects_counter_ = telemetry_.registry()->counter(
+        "sds_stage_collects_answered_total", {{"component", opts.component}});
+  }
   // Failover re-registration must not run on the endpoint's delivery
   // thread (the registration RPC waits for a reply that the delivery
   // thread routes), so a dedicated worker drains the failover queue.
@@ -133,6 +140,7 @@ void StageHost::on_frame(ConnId conn, wire::Frame frame) {
       if (!request.is_ok()) return;
       const auto metrics = slot.stage.collect(request->cycle_id, clock_->now());
       ++collects_answered_;
+      if (collects_counter_ != nullptr) collects_counter_->add();
       (void)endpoint_->send(conn, proto::to_frame(metrics));
       break;
     }
@@ -207,6 +215,7 @@ void StageHost::shutdown() {
   }
   failover_queue_.close();
   if (failover_thread_.joinable()) failover_thread_.join();
+  telemetry_.stop();
   endpoint_->shutdown();
 }
 

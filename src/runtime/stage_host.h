@@ -22,6 +22,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "rpc/gather.h"
+#include "runtime/server_telemetry.h"
 #include "stage/virtual_stage.h"
 #include "transport/transport.h"
 
@@ -33,6 +34,10 @@ struct StageHostOptions {
   Nanos register_timeout = seconds(5);
   /// Redial + re-register when a controller connection closes.
   bool auto_failover = true;
+  /// Observability: transport counters and the collects-answered counter
+  /// register into one MetricsRegistry (shared when `telemetry.registry`
+  /// is set); exported when `out_dir` is configured.
+  telemetry::TelemetryOptions telemetry = {};
 };
 
 class StageHost {
@@ -64,6 +69,11 @@ class StageHost {
   /// Total collect requests answered (liveness introspection).
   [[nodiscard]] std::uint64_t collects_answered() const;
 
+  /// Telemetry registry (null unless options.telemetry.enabled).
+  [[nodiscard]] telemetry::MetricsRegistry* metrics() {
+    return telemetry_.registry();
+  }
+
   void shutdown();
 
  private:
@@ -78,6 +88,8 @@ class StageHost {
 
   std::unique_ptr<transport::Endpoint> endpoint_;
   rpc::Dispatcher dispatcher_;
+  ServerTelemetry telemetry_;
+  telemetry::Counter* collects_counter_ = nullptr;
 
   mutable std::mutex mu_;
   struct Slot {

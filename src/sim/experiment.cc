@@ -36,7 +36,21 @@ class Run {
         global_(core::GlobalOptions{config.budgets,
                                     policy::SplitStrategy::kProportional,
                                     /*epoch=*/1},
-                std::make_unique<policy::Psfa>(config.psfa)) {}
+                std::make_unique<policy::Psfa>(config.psfa)) {
+    if (cfg_.metrics != nullptr) {
+      telemetry::Labels labels{{"component", "sim"}};
+      if (!cfg_.telemetry_label.empty()) {
+        labels.emplace_back("configuration", cfg_.telemetry_label);
+      }
+      stats_.bind(cfg_.metrics, labels);
+      events_gauge_ = cfg_.metrics->gauge("sds_sim_events_executed", labels);
+      vtime_gauge_ =
+          cfg_.metrics->gauge("sds_sim_virtual_time_seconds", labels);
+    }
+    if (cfg_.tracer != nullptr) {
+      cfg_.tracer->set_track_name(0, "global controller");
+    }
+  }
 
   Status validate() const {
     const std::size_t cap = prof_.max_connections_per_node;
@@ -894,6 +908,7 @@ class Run {
     breakdown.enforce = engine_.now() - compute_end_;
     stats_.record(breakdown);
     last_cycle_end_ = engine_.now();
+    trace_cycle(breakdown);
 
     const bool hit_cycle_cap =
         cfg_.max_cycles != 0 && stats_.cycles() >= cfg_.max_cycles;
@@ -909,6 +924,22 @@ class Run {
       }
     }
     start_cycle();  // stress workload: no idle gap between cycles
+  }
+
+  /// One span per phase plus an enclosing cycle span, in virtual time on
+  /// the global controller's track. Phase boundaries are exactly the
+  /// instants CycleStats measured, so the trace and the histograms agree.
+  void trace_cycle(const core::PhaseBreakdown& breakdown) {
+    if (cfg_.tracer == nullptr) return;
+    const std::string detail = "stages=" + std::to_string(cfg_.num_stages);
+    cfg_.tracer->record({"cycle", "cycle", 0, cycle_, detail, cycle_start_,
+                         engine_.now() - cycle_start_});
+    cfg_.tracer->record({"collect", "cycle", 0, cycle_, {}, cycle_start_,
+                         breakdown.collect});
+    cfg_.tracer->record({"compute", "cycle", 0, cycle_, {}, collect_end_,
+                         breakdown.compute});
+    cfg_.tracer->record({"enforce", "cycle", 0, cycle_, {}, compute_end_,
+                         breakdown.enforce});
   }
 
   /// Sample the PFS load factor on a fixed simulated-time grid,
@@ -951,6 +982,10 @@ class Run {
     result.cycles = stats_.cycles();
     result.elapsed = last_cycle_end_;
     result.events_executed = engine_.executed();
+    if (events_gauge_ != nullptr) {
+      events_gauge_->set(static_cast<double>(engine_.executed()));
+      vtime_gauge_->set(to_seconds(engine_.now()));
+    }
     result.mean_data_utilization = data_utilization_.mean();
     result.mean_meta_utilization = meta_utilization_.mean();
     result.final_data_limits.reserve(stages_.size());
@@ -1121,6 +1156,8 @@ class Run {
   core::CycleStats stats_;
   RunningStats data_utilization_;
   RunningStats meta_utilization_;
+  telemetry::Gauge* events_gauge_ = nullptr;
+  telemetry::Gauge* vtime_gauge_ = nullptr;
   bool done_ = false;
 };
 

@@ -23,6 +23,8 @@
 #include "policy/psfa.h"
 #include "sim/profile.h"
 #include "stage/virtual_stage.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span_tracer.h"
 
 namespace sds::sim {
 
@@ -80,6 +82,17 @@ struct ExperimentConfig {
   /// drawn uniformly from [500, 1500) data ops/s and [50, 150) meta
   /// ops/s.
   std::function<stage::DemandFn(StageId, stage::Dimension)> demand_factory;
+  /// Optional telemetry sinks (both may be null). When `metrics` is set,
+  /// the run feeds the shared cycle histograms/counters plus
+  /// `sds_sim_events_executed` and `sds_sim_virtual_time_seconds`; when
+  /// `tracer` is set, it records one span per cycle phase (collect /
+  /// compute / enforce, with the cycle id) plus an enclosing cycle span,
+  /// timestamped in virtual time — ready for Perfetto.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::SpanTracer* tracer = nullptr;
+  /// Label value distinguishing this configuration's series when several
+  /// runs share one registry (exported as `configuration="<label>"`).
+  std::string telemetry_label;
 };
 
 /// One controller's resource usage in the units of Tables II–IV.

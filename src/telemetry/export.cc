@@ -1,0 +1,176 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "telemetry/trace_export.h"
+
+namespace sds::telemetry {
+
+namespace {
+
+/// %g loses no precision we care about and never emits locale separators.
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+/// {k="v",k="v"} with an optional extra label (used for quantiles).
+std::string prom_labels(const Labels& labels, std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    out += json_escape(v);  // escaping rules coincide for label values
+    out += "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const auto& sample : snapshot.samples) {
+    if (sample.name != last_family) {
+      last_family = sample.name;
+      out += "# TYPE ";
+      out += sample.name;
+      switch (sample.kind) {
+        case MetricKind::kCounter: out += " counter\n"; break;
+        case MetricKind::kGauge: out += " gauge\n"; break;
+        case MetricKind::kHistogram: out += " summary\n"; break;
+      }
+    }
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += sample.name;
+        out += prom_labels(sample.labels);
+        out += " ";
+        out += format_double(sample.value);
+        out += "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const auto quantile = [&](const char* q, std::int64_t v) {
+          out += sample.name;
+          out += prom_labels(sample.labels, "quantile", q);
+          out += " ";
+          out += format_double(static_cast<double>(v));
+          out += "\n";
+        };
+        quantile("0.5", sample.hist.p50);
+        quantile("0.9", sample.hist.p90);
+        quantile("0.99", sample.hist.p99);
+        out += sample.name;
+        out += "_sum";
+        out += prom_labels(sample.labels);
+        out += " ";
+        out += format_double(sample.hist.sum);
+        out += "\n";
+        out += sample.name;
+        out += "_count";
+        out += prom_labels(sample.labels);
+        out += " ";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, sample.hist.count);
+        out += buf;
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char buf[64];
+  for (const auto& sample : snapshot.samples) {
+    out += "{\"ts_ns\":";
+    std::snprintf(buf, sizeof(buf), "%" PRId64, snapshot.wall_ns);
+    out += buf;
+    out += ",\"name\":\"";
+    out += json_escape(sample.name);
+    out += "\",\"kind\":\"";
+    out += to_string(sample.kind);
+    out += "\",\"labels\":{";
+    bool first = true;
+    for (const auto& [k, v] : sample.labels) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "\"";
+      out += json_escape(k);
+      out += "\":\"";
+      out += json_escape(v);
+      out += "\"";
+    }
+    out += "}";
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += ",\"value\":";
+        out += format_double(sample.value);
+        break;
+      case MetricKind::kHistogram:
+        std::snprintf(buf, sizeof(buf), ",\"count\":%" PRIu64,
+                      sample.hist.count);
+        out += buf;
+        out += ",\"sum\":";
+        out += format_double(sample.hist.sum);
+        out += ",\"mean\":";
+        out += format_double(sample.hist.mean);
+        out += ",\"stddev\":";
+        out += format_double(sample.hist.stddev);
+        // Five int64 fields can reach ~140 chars; `buf` is too small.
+        char hist_buf[192];
+        std::snprintf(hist_buf, sizeof(hist_buf),
+                      ",\"min\":%" PRId64 ",\"max\":%" PRId64
+                      ",\"p50\":%" PRId64 ",\"p90\":%" PRId64
+                      ",\"p99\":%" PRId64,
+                      sample.hist.min, sample.hist.max, sample.hist.p50,
+                      sample.hist.p90, sample.hist.p99);
+        out += hist_buf;
+        break;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+Status write_prometheus(const std::string& path,
+                        const MetricsSnapshot& snapshot) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::unavailable("cannot open " + path);
+  file << to_prometheus_text(snapshot);
+  file.close();
+  if (!file) return Status::unavailable("write failed: " + path);
+  return Status::ok();
+}
+
+Status append_jsonl(const std::string& path, const MetricsSnapshot& snapshot) {
+  std::ofstream file(path, std::ios::app);
+  if (!file) return Status::unavailable("cannot open " + path);
+  file << to_jsonl(snapshot);
+  file.close();
+  if (!file) return Status::unavailable("write failed: " + path);
+  return Status::ok();
+}
+
+}  // namespace sds::telemetry

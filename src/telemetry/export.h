@@ -1,0 +1,32 @@
+// Machine-readable exposition of MetricsSnapshots.
+//
+// Two formats:
+//  * Prometheus text exposition (histograms rendered as summaries with
+//    p50/p90/p99 quantiles plus _sum/_count) — scrapeable or diffable.
+//  * JSONL — one self-describing JSON object per sample per line, suitable
+//    for appending across snapshots (each line carries the snapshot
+//    timestamp) and trivially parseable by pandas/jq.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/metrics.h"
+
+namespace sds::telemetry {
+
+/// Prometheus text exposition format (one block per family).
+[[nodiscard]] std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// One JSON object per sample, newline-terminated.
+[[nodiscard]] std::string to_jsonl(const MetricsSnapshot& snapshot);
+
+/// Write Prometheus text to `path` (truncates: the file is a scrape).
+[[nodiscard]] Status write_prometheus(const std::string& path,
+                                      const MetricsSnapshot& snapshot);
+
+/// Append a JSONL snapshot to `path` (appends: the file is a time series).
+[[nodiscard]] Status append_jsonl(const std::string& path,
+                                  const MetricsSnapshot& snapshot);
+
+}  // namespace sds::telemetry

@@ -1,0 +1,131 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sds::telemetry {
+
+namespace {
+
+/// Canonical index key: name + sorted labels ("name|k=v|k=v").
+std::string instrument_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key.push_back('|');
+    key.append(k);
+    key.push_back('=');
+    key.append(v);
+  }
+  return key;
+}
+
+HistogramStats summarize(const Histogram& hist) {
+  HistogramStats stats;
+  stats.count = hist.count();
+  stats.mean = hist.mean();
+  stats.sum = hist.mean() * static_cast<double>(hist.count());
+  stats.stddev = hist.stddev();
+  stats.min = hist.min();
+  stats.max = hist.max();
+  stats.p50 = hist.percentile(0.50);
+  stats.p90 = hist.percentile(0.90);
+  stats.p99 = hist.percentile(0.99);
+  return stats;
+}
+
+}  // namespace
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const auto& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name,
+                                          const Labels& labels) const {
+  for (const auto& sample : samples) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::find_or_create(
+    std::string_view name, Labels labels, MetricKind kind) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = instrument_key(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) return it->second;
+  Instrument& instrument = instruments_.emplace_back();
+  instrument.name = std::string(name);
+  instrument.labels = std::move(labels);
+  instrument.kind = kind;
+  index_.emplace(key, &instrument);
+  return &instrument;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return &find_or_create(name, std::move(labels), MetricKind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return &find_or_create(name, std::move(labels), MetricKind::kGauge)->gauge;
+}
+
+HistogramMetric* MetricsRegistry::histogram(std::string_view name,
+                                            Labels labels) {
+  return &find_or_create(name, std::move(labels), MetricKind::kHistogram)
+              ->histogram;
+}
+
+void MetricsRegistry::add_collector(
+    std::function<void(MetricsRegistry&)> collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(collector));
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() {
+  std::vector<std::function<void(MetricsRegistry&)>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    collectors = collectors_;
+  }
+  // Collectors may create instruments, so they run outside the lock.
+  for (const auto& collector : collectors) collector(*this);
+
+  MetricsSnapshot snap;
+  snap.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                     .count();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.samples.reserve(instruments_.size());
+    // The index map is sorted by key == (name, labels): deterministic order.
+    for (const auto& [key, instrument] : index_) {
+      MetricSample sample;
+      sample.name = instrument->name;
+      sample.labels = instrument->labels;
+      sample.kind = instrument->kind;
+      switch (instrument->kind) {
+        case MetricKind::kCounter:
+          sample.value = static_cast<double>(instrument->counter.value());
+          break;
+        case MetricKind::kGauge:
+          sample.value = instrument->gauge.value();
+          break;
+        case MetricKind::kHistogram:
+          sample.hist = summarize(instrument->histogram.snapshot());
+          break;
+      }
+      snap.samples.push_back(std::move(sample));
+    }
+  }
+  return snap;
+}
+
+}  // namespace sds::telemetry

@@ -1,0 +1,180 @@
+// Unified metrics registry for sim + live runtime.
+//
+// One MetricsRegistry instance is the single sink every instrumented
+// component registers into: CycleStats (per-phase latency histograms),
+// ResourceMonitor (CPU/RSS/bandwidth gauges), the transports (byte/message
+// counters), the RPC gather layer (fan-out, wave latency, timeouts), and
+// the sim engine (events executed, virtual time). Snapshots are exported
+// by the Prometheus-text / JSONL exporters in export.h.
+//
+// Concurrency contract: instrument lookup/creation takes a registry-wide
+// mutex once; the returned Counter/Gauge/HistogramMetric pointers are
+// stable for the registry's lifetime and safe to hammer from any thread.
+// Counters and gauges are single relaxed atomics; histograms take a tiny
+// per-instrument lock (uncontended in every current call site: one writer
+// per instrument).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+
+namespace sds::telemetry {
+
+/// Sorted key=value pairs identifying one instrument of a named family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    // No fetch_add for atomic<double> pre-C++20 on all targets; CAS loop.
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-safe wrapper around the log-bucketed sds::Histogram.
+class HistogramMetric {
+ public:
+  void record(std::int64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.record(value);
+  }
+  void record(Nanos value) { record(value.count()); }
+
+  /// Copy of the underlying distribution (for snapshots).
+  [[nodiscard]] Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] constexpr std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Point-in-time distribution summary of one histogram instrument.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double mean = 0;
+  double stddev = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
+};
+
+/// One instrument's state at snapshot time.
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter (as double) or gauge value; unused for histograms.
+  double value = 0;
+  HistogramStats hist;
+};
+
+struct MetricsSnapshot {
+  /// Wall-clock timestamp (nanoseconds since the UNIX epoch).
+  std::int64_t wall_ns = 0;
+  std::vector<MetricSample> samples;
+
+  /// First sample matching name (+ labels when given); nullptr if absent.
+  [[nodiscard]] const MetricSample* find(std::string_view name) const;
+  [[nodiscard]] const MetricSample* find(std::string_view name,
+                                         const Labels& labels) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; the pointer stays valid for the registry's lifetime.
+  /// Re-requesting the same (name, labels) returns the same instrument, so
+  /// independent components share series naturally.
+  Counter* counter(std::string_view name, Labels labels = {});
+  Gauge* gauge(std::string_view name, Labels labels = {});
+  HistogramMetric* histogram(std::string_view name, Labels labels = {});
+
+  /// Collectors run at the start of every snapshot(); they pull state that
+  /// is cheaper to poll than to push (endpoint counter blocks, procfs).
+  void add_collector(std::function<void(MetricsRegistry&)> collector);
+
+  /// Run collectors, then copy out every instrument. Samples are ordered
+  /// by (name, labels) so exports are deterministic.
+  [[nodiscard]] MetricsSnapshot snapshot();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Instrument {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    // Exactly one is engaged, selected by `kind`. deque storage keeps the
+    // element addresses stable as the registry grows (instruments hold
+    // atomics/mutexes and are neither copyable nor movable).
+    Counter counter;
+    Gauge gauge;
+    HistogramMetric histogram;
+  };
+
+  Instrument* find_or_create(std::string_view name, Labels labels,
+                             MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::deque<Instrument> instruments_;
+  std::map<std::string, Instrument*> index_;
+  std::vector<std::function<void(MetricsRegistry&)>> collectors_;
+};
+
+}  // namespace sds::telemetry

@@ -1,0 +1,88 @@
+#include "telemetry/reporter.h"
+
+#include <chrono>
+
+#include "common/log.h"
+#include "telemetry/export.h"
+#include "telemetry/trace_export.h"
+
+namespace sds::telemetry {
+
+TelemetryReporter::TelemetryReporter(MetricsRegistry& registry,
+                                     SpanTracer* tracer, std::string out_dir,
+                                     std::string component, Nanos period)
+    : registry_(&registry),
+      tracer_(tracer),
+      out_dir_(std::move(out_dir)),
+      component_(std::move(component)),
+      period_(period) {}
+
+TelemetryReporter::~TelemetryReporter() { stop(); }
+
+std::string TelemetryReporter::metrics_path() const {
+  return out_dir_ + "/" + component_ + ".metrics.jsonl";
+}
+
+std::string TelemetryReporter::prometheus_path() const {
+  return out_dir_ + "/" + component_ + ".prom";
+}
+
+std::string TelemetryReporter::trace_path() const {
+  return out_dir_ + "/" + component_ + ".trace.json";
+}
+
+void TelemetryReporter::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void TelemetryReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+  }
+  if (const Status flushed = flush(); !flushed.is_ok()) {
+    SDS_LOG(WARN) << "telemetry: final flush failed: " << flushed.to_string();
+  }
+  if (tracer_ != nullptr && !out_dir_.empty()) {
+    const Status written =
+        write_chrome_trace(trace_path(), *tracer_, component_);
+    if (!written.is_ok()) {
+      SDS_LOG(WARN) << "telemetry: trace export failed: "
+                    << written.to_string();
+    }
+  }
+}
+
+Status TelemetryReporter::flush() {
+  if (out_dir_.empty()) return Status::ok();
+  const MetricsSnapshot snap = registry_->snapshot();
+  SDS_RETURN_IF_ERROR(append_jsonl(metrics_path(), snap));
+  return write_prometheus(prometheus_path(), snap);
+}
+
+void TelemetryReporter::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::nanoseconds(period_.count()),
+                 [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    if (const Status flushed = flush(); !flushed.is_ok()) {
+      SDS_LOG(WARN) << "telemetry: flush failed: " << flushed.to_string();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace sds::telemetry

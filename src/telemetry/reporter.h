@@ -1,0 +1,85 @@
+// TelemetryOptions — the one knob block every live component takes — and
+// TelemetryReporter, the periodic snapshot/flush thread for the live
+// runtime (GlobalControllerServer, AggregatorServer, StageHost, daemons).
+//
+// The reporter appends one JSONL snapshot per period to
+// `<out_dir>/<component>.metrics.jsonl` and rewrites
+// `<out_dir>/<component>.prom` (Prometheus text) in place, so a scrape of
+// the freshest state and the full time series coexist. A final flush runs
+// on stop() so short-lived processes still export.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span_tracer.h"
+
+namespace sds::telemetry {
+
+struct TelemetryOptions {
+  /// Master switch; everything below is ignored when false.
+  bool enabled = false;
+  /// Directory for exporter output; empty = in-memory only (snapshots are
+  /// still reachable through the registry, nothing is written).
+  std::string out_dir;
+  /// File-name prefix and value of the `component` label.
+  std::string component = "sds";
+  /// Reporter flush period.
+  Nanos report_period = seconds(1);
+  /// Use an external registry (shared across components in one process);
+  /// the component owns a private one when null.
+  MetricsRegistry* registry = nullptr;
+  /// External span tracer; spans are dropped when null and no private
+  /// tracer was requested via `trace`.
+  SpanTracer* tracer = nullptr;
+  /// When true (and `tracer` is null), the component owns a private
+  /// tracer and the reporter flushes `<component>.trace.json` on stop.
+  bool trace = false;
+};
+
+class TelemetryReporter {
+ public:
+  /// `registry` must outlive the reporter. `tracer` may be null.
+  TelemetryReporter(MetricsRegistry& registry, SpanTracer* tracer,
+                    std::string out_dir, std::string component,
+                    Nanos period);
+  ~TelemetryReporter();
+
+  TelemetryReporter(const TelemetryReporter&) = delete;
+  TelemetryReporter& operator=(const TelemetryReporter&) = delete;
+
+  void start();
+  /// Stop the thread and flush one final snapshot (+ trace if present).
+  void stop();
+
+  /// Snapshot and write all sinks once (also called by the loop).
+  Status flush();
+
+  [[nodiscard]] std::string metrics_path() const;
+  [[nodiscard]] std::string prometheus_path() const;
+  [[nodiscard]] std::string trace_path() const;
+
+ private:
+  void loop();
+
+  MetricsRegistry* registry_;
+  SpanTracer* tracer_;
+  const std::string out_dir_;
+  const std::string component_;
+  const Nanos period_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sds::telemetry

@@ -1,0 +1,60 @@
+#include "telemetry/span_tracer.h"
+
+#include <algorithm>
+
+namespace sds::telemetry {
+
+SpanTracer::SpanTracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void SpanTracer::record(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[head_] = std::move(span);
+  head_ = (head_ + 1) % capacity_;
+}
+
+void SpanTracer::set_track_name(std::uint32_t track, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_[track] = std::move(name);
+}
+
+std::vector<Span> SpanTracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  // Oldest first: [head_, end) then [0, head_).
+  for (std::size_t i = head_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (std::size_t i = 0; i < head_; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+std::map<std::uint32_t, std::string> SpanTracer::track_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return track_names_;
+}
+
+std::uint64_t SpanTracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t SpanTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+void SpanTracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace sds::telemetry

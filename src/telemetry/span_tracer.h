@@ -1,0 +1,98 @@
+// Bounded in-memory span recorder for per-cycle / per-RPC tracing.
+//
+// The cycle engines (sim and live) record one span per control-cycle phase
+// (collect / compute / enforce) plus an enclosing per-cycle span; the RPC
+// layer can add per-gather spans. Spans live in a fixed-capacity ring —
+// recording never allocates beyond the ring and never blocks for long —
+// and are flushed to Chrome-tracing/Perfetto JSON by trace_export.h, so a
+// hierarchical 3-level run is visually inspectable (one track per
+// controller).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace sds::telemetry {
+
+/// One completed span. Timestamps are whatever clock the producer used:
+/// virtual nanoseconds in the simulator, steady-clock nanoseconds live.
+struct Span {
+  /// Event name ("collect", "compute", "enforce", "cycle", "gather").
+  std::string name;
+  /// Trace category ("cycle", "rpc").
+  std::string category;
+  /// Track the span renders on (one per controller / thread).
+  std::uint32_t track = 0;
+  /// Cycle id this span belongs to (0 when not cycle-scoped).
+  std::uint64_t cycle = 0;
+  /// Free-form detail rendered into the span's args ("stages=50").
+  std::string detail;
+  Nanos start{0};
+  Nanos duration{0};
+};
+
+class SpanTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit SpanTracer(std::size_t capacity = kDefaultCapacity);
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Record a completed span; overwrites the oldest entry when full.
+  void record(Span span);
+
+  /// Human-readable name for a track (controller), shown by Perfetto.
+  void set_track_name(std::uint32_t track, std::string name);
+
+  /// Spans currently in the ring, oldest first.
+  [[nodiscard]] std::vector<Span> snapshot() const;
+  [[nodiscard]] std::map<std::uint32_t, std::string> track_names() const;
+
+  /// Total spans ever recorded (>= snapshot().size()).
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// Spans evicted because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void reset();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;
+  std::size_t head_ = 0;  // next write slot once the ring wrapped
+  std::uint64_t recorded_ = 0;
+  std::map<std::uint32_t, std::string> track_names_;
+};
+
+/// RAII helper: times a region against `clock` and records on destruction.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer* tracer, const Clock& clock, Span prototype)
+      : tracer_(tracer), clock_(&clock), span_(std::move(prototype)) {
+    if (tracer_ != nullptr) span_.start = clock_->now();
+  }
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    span_.duration = clock_->now() - span_.start;
+    tracer_->record(std::move(span_));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanTracer* tracer_;
+  const Clock* clock_;
+  Span span_;
+};
+
+}  // namespace sds::telemetry

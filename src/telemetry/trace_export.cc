@@ -1,0 +1,101 @@
+#include "telemetry/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace sds::telemetry {
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_chrome_trace_json(const SpanTracer& tracer,
+                                 std::string_view process_name) {
+  const auto spans = tracer.snapshot();
+  const auto tracks = tracer.track_names();
+
+  std::string out;
+  out.reserve(128 + spans.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  char buf[256];
+  bool first = true;
+  const auto append_comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+
+  append_comma();
+  out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"";
+  out += json_escape(process_name);
+  out += "\"}}";
+
+  for (const auto& [track, name] : tracks) {
+    append_comma();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                  track);
+    out += buf;
+    out += json_escape(name);
+    out += "\"}}";
+  }
+
+  for (const auto& span : spans) {
+    append_comma();
+    // ts/dur are microseconds (double) in the Trace Event Format.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"name\":\"",
+                  span.track, to_micros(span.start),
+                  to_micros(span.duration));
+    out += buf;
+    out += json_escape(span.name);
+    out += "\",\"cat\":\"";
+    out += json_escape(span.category);
+    out += "\",\"args\":{\"cycle\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, span.cycle);
+    out += buf;
+    if (!span.detail.empty()) {
+      out += ",\"detail\":\"";
+      out += json_escape(span.detail);
+      out += "\"";
+    }
+    out += "}}";
+  }
+
+  out += "]}";
+  return out;
+}
+
+Status write_chrome_trace(const std::string& path, const SpanTracer& tracer,
+                          std::string_view process_name) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::unavailable("cannot open " + path);
+  file << to_chrome_trace_json(tracer, process_name);
+  file.close();
+  if (!file) return Status::unavailable("write failed: " + path);
+  return Status::ok();
+}
+
+}  // namespace sds::telemetry

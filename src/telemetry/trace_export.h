@@ -1,0 +1,30 @@
+// Chrome-tracing / Perfetto JSON export of SpanTracer rings.
+//
+// The emitted file is the Trace Event Format's "JSON object" flavour:
+//   {"displayTimeUnit":"ms","traceEvents":[ ... ]}
+// with one complete event ("ph":"X") per span (ts/dur in microseconds)
+// plus thread_name metadata events naming each track. Load it at
+// https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/span_tracer.h"
+
+namespace sds::telemetry {
+
+/// Render the tracer's current spans as a Chrome-tracing JSON document.
+[[nodiscard]] std::string to_chrome_trace_json(const SpanTracer& tracer,
+                                               std::string_view process_name);
+
+/// Write the JSON document to `path` (truncates).
+[[nodiscard]] Status write_chrome_trace(const std::string& path,
+                                        const SpanTracer& tracer,
+                                        std::string_view process_name);
+
+/// Escape a string for embedding inside a JSON string literal (shared with
+/// the JSONL metrics exporter).
+[[nodiscard]] std::string json_escape(std::string_view raw);
+
+}  // namespace sds::telemetry

@@ -19,7 +19,8 @@ TEST(ProcfsTest, CpuTimeMonotone) {
   const auto before = read_process_cpu_time();
   // Burn a little CPU.
   volatile double sink = 0;
-  for (int i = 0; i < 2'000'000; ++i) sink += static_cast<double>(i) * 1e-9;
+  // (plain assignment: compound ops on volatile are deprecated in C++20)
+  for (int i = 0; i < 2'000'000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
   const auto after = read_process_cpu_time();
   ASSERT_TRUE(before.has_value());
   ASSERT_TRUE(after.has_value());
@@ -69,6 +70,58 @@ TEST(ResourceMonitorTest, UsageBetweenComputesRates) {
   EXPECT_NEAR(usage.rss_gb, 3.0, 1e-9);
   EXPECT_NEAR(usage.transmitted_mbps, 10.0, 1e-9);   // 20 MB over 2 s
   EXPECT_NEAR(usage.received_mbps, 5.0, 1e-9);
+}
+
+TEST(ResourceMonitorTest, ZeroWallIntervalYieldsZeroRates) {
+  // Regression: back-to-back samples used to divide by a clamped ~1e-9 s
+  // wall time, producing absurd CPU percentages and bandwidths.
+  ResourceSample a;
+  a.wall = seconds(5);
+  a.cpu_time = millis(100);
+  ResourceSample b = a;
+  b.rss_bytes = 2'000'000'000;
+  b.cpu_time = millis(200);
+  b.bytes_tx = 1'000'000;
+  b.bytes_rx = 1'000'000;
+
+  const auto usage = ResourceMonitor::usage_between(a, b);
+  EXPECT_EQ(usage.cpu_percent, 0.0);
+  EXPECT_EQ(usage.transmitted_mbps, 0.0);
+  EXPECT_EQ(usage.received_mbps, 0.0);
+  EXPECT_NEAR(usage.rss_gb, 2.0, 1e-9);  // rss is still reported
+}
+
+TEST(ResourceMonitorTest, NegativeWallIntervalYieldsZeroRates) {
+  ResourceSample a;
+  a.wall = seconds(10);
+  ResourceSample b;
+  b.wall = seconds(8);  // clock skew: b taken "before" a
+  b.cpu_time = millis(500);
+  b.rss_bytes = 1'000'000'000;
+  b.bytes_tx = 42;
+
+  const auto usage = ResourceMonitor::usage_between(a, b);
+  EXPECT_EQ(usage.cpu_percent, 0.0);
+  EXPECT_EQ(usage.transmitted_mbps, 0.0);
+  EXPECT_EQ(usage.received_mbps, 0.0);
+  EXPECT_NEAR(usage.rss_gb, 1.0, 1e-9);
+}
+
+TEST(ResourceMonitorTest, BindPublishesGaugesOnSnapshot) {
+  transport::InProcNetwork net;
+  auto a = net.bind("a", {}).value();
+  ResourceMonitor mon({a.get()});
+
+  telemetry::MetricsRegistry registry;
+  mon.bind(registry, {{"component", "test"}});
+
+  const auto snap = registry.snapshot();
+  const telemetry::Labels labels{{"component", "test"}};
+  ASSERT_NE(snap.find("sds_process_rss_bytes", labels), nullptr);
+  EXPECT_GT(snap.find("sds_process_rss_bytes", labels)->value, 0.0);
+  ASSERT_NE(snap.find("sds_process_cpu_percent", labels), nullptr);
+  ASSERT_NE(snap.find("sds_transport_tx_mbps", labels), nullptr);
+  ASSERT_NE(snap.find("sds_transport_rx_mbps", labels), nullptr);
 }
 
 TEST(ResourceMonitorTest, AddEndpointAfterConstruction) {

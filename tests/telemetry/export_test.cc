@@ -1,0 +1,157 @@
+// Golden-format tests for the Prometheus text and JSONL exporters.
+#include "telemetry/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace sds::telemetry {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusExportTest, CounterAndGaugeGolden) {
+  MetricsRegistry registry;
+  registry.counter("requests_total", {{"component", "x"}})->add(3);
+  registry.gauge("queue_depth")->set(7.5);
+
+  const std::string text = to_prometheus_text(registry.snapshot());
+  const auto lines = lines_of(text);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "# TYPE queue_depth gauge");
+  EXPECT_EQ(lines[1], "queue_depth 7.5");
+  EXPECT_EQ(lines[2], "# TYPE requests_total counter");
+  EXPECT_EQ(lines[3], "requests_total{component=\"x\"} 3");
+}
+
+TEST(PrometheusExportTest, HistogramRendersAsSummary) {
+  MetricsRegistry registry;
+  HistogramMetric* hist =
+      registry.histogram("latency_ns", {{"phase", "collect"}});
+  // A constant distribution keeps quantiles predictable even through the
+  // log-bucketed histogram (all values land in one bucket).
+  for (int i = 0; i < 100; ++i) hist->record(1000);
+
+  const std::string text = to_prometheus_text(registry.snapshot());
+  const auto lines = lines_of(text);
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0], "# TYPE latency_ns summary");
+  EXPECT_EQ(lines[1].rfind("latency_ns{phase=\"collect\",quantile=\"0.5\"} ", 0),
+            0u)
+      << lines[1];
+  EXPECT_EQ(lines[2].rfind("latency_ns{phase=\"collect\",quantile=\"0.9\"} ", 0),
+            0u)
+      << lines[2];
+  EXPECT_EQ(
+      lines[3].rfind("latency_ns{phase=\"collect\",quantile=\"0.99\"} ", 0), 0u)
+      << lines[3];
+  EXPECT_EQ(lines[4], "latency_ns_sum{phase=\"collect\"} 100000");
+  EXPECT_EQ(lines[5], "latency_ns_count{phase=\"collect\"} 100");
+}
+
+TEST(PrometheusExportTest, FamilyHeaderEmittedOncePerName) {
+  MetricsRegistry registry;
+  registry.counter("hits_total", {{"route", "/a"}})->add(1);
+  registry.counter("hits_total", {{"route", "/b"}})->add(2);
+
+  const std::string text = to_prometheus_text(registry.snapshot());
+  const auto lines = lines_of(text);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "# TYPE hits_total counter");
+  EXPECT_EQ(lines[1], "hits_total{route=\"/a\"} 1");
+  EXPECT_EQ(lines[2], "hits_total{route=\"/b\"} 2");
+}
+
+TEST(JsonlExportTest, CounterGolden) {
+  MetricsRegistry registry;
+  registry.counter("requests_total", {{"component", "x"}})->add(3);
+
+  MetricsSnapshot snap = registry.snapshot();
+  snap.wall_ns = 1234;  // pin the timestamp for an exact golden line
+  EXPECT_EQ(to_jsonl(snap),
+            "{\"ts_ns\":1234,\"name\":\"requests_total\",\"kind\":\"counter\","
+            "\"labels\":{\"component\":\"x\"},\"value\":3}\n");
+}
+
+TEST(JsonlExportTest, HistogramLineHasAllFields) {
+  MetricsRegistry registry;
+  HistogramMetric* hist = registry.histogram("latency_ns");
+  // Values near INT64-scale magnitudes used to truncate the tail of the
+  // record (min/max/p50/p90/p99 share one snprintf); keep them large.
+  for (int i = 0; i < 10; ++i) hist->record(3'000'000'000'000);
+
+  const std::string text = to_jsonl(registry.snapshot());
+  const auto lines = lines_of(text);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  // Structural checks: every field key present, line is brace-balanced and
+  // newline-terminated (i.e. not truncated mid-record).
+  for (const char* key :
+       {"\"ts_ns\":", "\"name\":\"latency_ns\"", "\"kind\":\"histogram\"",
+        "\"labels\":{}", "\"count\":10", "\"sum\":", "\"mean\":",
+        "\"stddev\":", "\"min\":", "\"max\":", "\"p50\":", "\"p90\":",
+        "\"p99\":"}) {
+    EXPECT_NE(line.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_EQ(line.back(), '}');
+  int depth = 0;
+  for (char c : line) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+  }
+  EXPECT_EQ(depth, 0) << "unbalanced braces: " << line;
+}
+
+TEST(JsonlExportTest, EscapesQuotesAndBackslashes) {
+  MetricsRegistry registry;
+  registry.gauge("g", {{"path", "C:\\tmp\"x\""}})->set(1);
+
+  const std::string text = to_jsonl(registry.snapshot());
+  EXPECT_NE(text.find("\"path\":\"C:\\\\tmp\\\"x\\\"\""), std::string::npos)
+      << text;
+}
+
+TEST(ExportFileTest, WritePrometheusTruncatesAndAppendJsonlAppends) {
+  MetricsRegistry registry;
+  registry.counter("ticks_total")->add(1);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string prom_path = dir + "/export_test.prom";
+  const std::string jsonl_path = dir + "/export_test.jsonl";
+  std::remove(prom_path.c_str());
+  std::remove(jsonl_path.c_str());
+
+  ASSERT_TRUE(write_prometheus(prom_path, registry.snapshot()).is_ok());
+  ASSERT_TRUE(append_jsonl(jsonl_path, registry.snapshot()).is_ok());
+  registry.counter("ticks_total")->add(1);
+  ASSERT_TRUE(write_prometheus(prom_path, registry.snapshot()).is_ok());
+  ASSERT_TRUE(append_jsonl(jsonl_path, registry.snapshot()).is_ok());
+
+  std::ifstream prom(prom_path);
+  std::stringstream prom_text;
+  prom_text << prom.rdbuf();
+  // Truncated on rewrite: exactly one scrape's worth of lines.
+  EXPECT_EQ(lines_of(prom_text.str()).size(), 2u);
+  EXPECT_NE(prom_text.str().find("ticks_total 2"), std::string::npos);
+
+  std::ifstream jsonl(jsonl_path);
+  std::stringstream jsonl_text;
+  jsonl_text << jsonl.rdbuf();
+  // Appended: one line per snapshot.
+  EXPECT_EQ(lines_of(jsonl_text.str()).size(), 2u);
+}
+
+}  // namespace
+}  // namespace sds::telemetry

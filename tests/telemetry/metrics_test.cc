@@ -1,0 +1,135 @@
+// MetricsRegistry: instrument identity, labeled snapshots, collectors,
+// and concurrent writers.
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sds::telemetry {
+namespace {
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("requests_total");
+  Counter* b = registry.counter("requests_total");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+
+  // Label order does not matter: labels are canonicalized by sorting.
+  Counter* x = registry.counter("labeled", {{"b", "2"}, {"a", "1"}});
+  Counter* y = registry.counter("labeled", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Different label values are different instruments.
+  Counter* z = registry.counter("labeled", {{"a", "1"}, {"b", "3"}});
+  EXPECT_NE(x, z);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, CounterConcurrency) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20'000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Each thread looks its instrument up independently, as real
+      // components do — the registry must hand back the same counter.
+      Counter* counter = registry.counter("shared_total", {{"k", "v"}});
+      for (int i = 0; i < kIncrements; ++i) counter->add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.counter("shared_total", {{"k", "v"}})->value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.gauge("temperature");
+  gauge->set(20.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 20.5);
+  gauge->add(-0.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 20.0);
+}
+
+TEST(MetricsRegistryTest, HistogramLabeledSnapshots) {
+  MetricsRegistry registry;
+  HistogramMetric* collect =
+      registry.histogram("phase_ns", {{"phase", "collect"}});
+  HistogramMetric* enforce =
+      registry.histogram("phase_ns", {{"phase", "enforce"}});
+  for (int i = 0; i < 10; ++i) collect->record(1000);
+  enforce->record(5000);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const MetricSample* c = snap.find("phase_ns", {{"phase", "collect"}});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricKind::kHistogram);
+  EXPECT_EQ(c->hist.count, 10u);
+  EXPECT_NEAR(c->hist.mean, 1000.0, 1000.0 * 0.05);
+
+  const MetricSample* e = snap.find("phase_ns", {{"phase", "enforce"}});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->hist.count, 1u);
+
+  // Histograms record Nanos directly too.
+  collect->record(micros(2));
+  EXPECT_EQ(collect->snapshot().count(), 11u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsDeterministicallyOrdered) {
+  MetricsRegistry registry;
+  registry.counter("zz_total")->add(1);
+  registry.gauge("aa_value")->set(2);
+  registry.counter("mm_total", {{"x", "1"}})->add(3);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].name, "aa_value");
+  EXPECT_EQ(snap.samples[1].name, "mm_total");
+  EXPECT_EQ(snap.samples[2].name, "zz_total");
+  EXPECT_GT(snap.wall_ns, 0);
+}
+
+TEST(MetricsRegistryTest, CollectorsRunAtSnapshotTime) {
+  MetricsRegistry registry;
+  int polls = 0;
+  registry.add_collector([&polls](MetricsRegistry& r) {
+    ++polls;
+    r.gauge("polled_value")->set(static_cast<double>(polls));
+  });
+
+  EXPECT_EQ(polls, 0);
+  const auto first = registry.snapshot();
+  EXPECT_EQ(polls, 1);
+  ASSERT_NE(first.find("polled_value"), nullptr);
+  EXPECT_DOUBLE_EQ(first.find("polled_value")->value, 1.0);
+
+  const auto second = registry.snapshot();
+  EXPECT_EQ(polls, 2);
+  EXPECT_DOUBLE_EQ(second.find("polled_value")->value, 2.0);
+}
+
+TEST(MetricsRegistryTest, FindByNameAndByLabels) {
+  MetricsRegistry registry;
+  registry.counter("hits_total", {{"route", "/a"}})->add(1);
+  registry.counter("hits_total", {{"route", "/b"}})->add(2);
+
+  const auto snap = registry.snapshot();
+  EXPECT_NE(snap.find("hits_total"), nullptr);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+  const MetricSample* b = snap.find("hits_total", {{"route", "/b"}});
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(b->value, 2.0);
+  EXPECT_EQ(snap.find("hits_total", {{"route", "/c"}}), nullptr);
+}
+
+}  // namespace
+}  // namespace sds::telemetry
