@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "bench/sweep.h"
 #include "common/rng.h"
 #include "policy/baselines.h"
 #include "policy/psfa.h"
@@ -77,20 +78,26 @@ int main(int argc, char** argv) {
 
   std::printf("%-12s %14s %14s %12s\n", "algorithm", "granted(ops/s)",
               "wasted(ops/s)", "fairness");
+  bench::Sweep sweep(argc, argv);
   for (const auto& algo : algorithms) {
-    const Metrics m = evaluate(*algo, demands, budget);
-    std::printf("%-12s %14.0f %14.0f %12.4f\n",
-                std::string(algo->name()).c_str(), m.granted, m.wasted,
-                m.fairness);
-    if (telemetry.enabled()) {
-      const telemetry::Labels labels{
-          {"algorithm", std::string(algo->name())}};
-      auto& registry = telemetry.registry();
-      registry.gauge("bench_granted_ops", labels)->set(m.granted);
-      registry.gauge("bench_wasted_ops", labels)->set(m.wasted);
-      registry.gauge("bench_fairness_index", labels)->set(m.fairness);
-    }
+    const ControlAlgorithm* a = algo.get();
+    sweep.add([&, a] {
+      const Metrics m = evaluate(*a, demands, budget);
+      return [&, a, m] {
+        std::printf("%-12s %14.0f %14.0f %12.4f\n",
+                    std::string(a->name()).c_str(), m.granted, m.wasted,
+                    m.fairness);
+        if (telemetry.enabled()) {
+          const telemetry::Labels labels{{"algorithm", std::string(a->name())}};
+          auto& registry = telemetry.registry();
+          registry.gauge("bench_granted_ops", labels)->set(m.granted);
+          registry.gauge("bench_wasted_ops", labels)->set(m.wasted);
+          registry.gauge("bench_fairness_index", labels)->set(m.fairness);
+        }
+      };
+    });
   }
+  sweep.finish();
   std::printf(
       "\nExpected: PSFA wastes ~nothing (no false allocation) with high\n"
       "fairness; static partitioning wastes the idle jobs' shares; strict\n"

@@ -7,12 +7,14 @@
 // of the cap — exactly why the paper's hierarchical runs start at 4
 // aggregators.
 #include "bench/harness.h"
+#include "bench/sweep.h"
 
 using namespace sds;
 
 int main(int argc, char** argv) {
   bench::print_title("Ablation — per-node connection cap");
   bench::Telemetry telemetry("ablation_connection_cap", argc, argv);
+  bench::Sweep sweep(argc, argv);
 
   std::printf("\nFlat design vs cap (N = nodes managed):\n");
   std::printf("%-12s %-10s %s\n", "cap", "N", "outcome");
@@ -26,49 +28,64 @@ int main(int argc, char** argv) {
       config.max_cycles = 3;
       config.duration = seconds(2);
       telemetry.attach(config, label);
-      auto result = sim::run_experiment(config);
-      if (result.is_ok()) {
-        std::printf("%-12zu %-10zu OK (%.2f ms/cycle)\n", cap, nodes,
-                    result->stats.mean_total_ms());
-        if (telemetry.enabled()) {
-          telemetry.registry()
-              .gauge("bench_total_ms_mean", {{"configuration", label}})
-              ->set(result->stats.mean_total_ms());
-        }
-      } else {
-        std::printf("%-12zu %-10zu REJECTED: %s\n", cap, nodes,
-                    result.status().to_string().c_str());
-        if (telemetry.enabled()) {
-          telemetry.registry()
-              .counter("bench_rejected_total", {{"configuration", label}})
-              ->add();
-        }
-      }
+      sweep.add([&, label, cap, nodes, config] {
+        auto result = sim::run_experiment(config);
+        return [&, label, cap, nodes, result] {
+          if (result.is_ok()) {
+            std::printf("%-12zu %-10zu OK (%.2f ms/cycle)\n", cap, nodes,
+                        result->stats.mean_total_ms());
+            if (telemetry.enabled()) {
+              telemetry.registry()
+                  .gauge("bench_total_ms_mean", {{"configuration", label}})
+                  ->set(result->stats.mean_total_ms());
+            }
+          } else {
+            std::printf("%-12zu %-10zu REJECTED: %s\n", cap, nodes,
+                        result.status().to_string().c_str());
+            if (telemetry.enabled()) {
+              telemetry.registry()
+                  .counter("bench_rejected_total", {{"configuration", label}})
+                  ->add();
+            }
+          }
+        };
+      });
     }
   }
 
-  std::printf("\nMinimum aggregators for 10,000 nodes vs cap:\n");
-  std::printf("%-12s %s\n", "cap", "min aggregators");
+  // Section header rides the ordered emit stream so it prints after every
+  // part-1 row even when the searches below finish first.
+  sweep.add([] {
+    return [] {
+      std::printf("\nMinimum aggregators for 10,000 nodes vs cap:\n");
+      std::printf("%-12s %s\n", "cap", "min aggregators");
+    };
+  });
   for (const std::size_t cap : {1250ul, 2500ul, 5000ul}) {
-    std::size_t aggs = 1;
-    while (true) {
-      sim::ExperimentConfig config;
-      config.num_stages = 10'000;
-      config.num_aggregators = aggs;
-      config.profile.max_connections_per_node = cap;
-      config.max_cycles = 1;
-      config.duration = seconds(1);
-      if (sim::run_experiment(config).is_ok()) break;
-      ++aggs;
-    }
-    std::printf("%-12zu %zu\n", cap, aggs);
-    if (telemetry.enabled()) {
-      telemetry.registry()
-          .gauge("bench_min_aggregators",
-                 {{"configuration", "cap=" + std::to_string(cap)}})
-          ->set(static_cast<double>(aggs));
-    }
+    sweep.add([&, cap] {
+      std::size_t aggs = 1;
+      while (true) {
+        sim::ExperimentConfig config;
+        config.num_stages = 10'000;
+        config.num_aggregators = aggs;
+        config.profile.max_connections_per_node = cap;
+        config.max_cycles = 1;
+        config.duration = seconds(1);
+        if (sim::run_experiment(config).is_ok()) break;
+        ++aggs;
+      }
+      return [&, cap, aggs] {
+        std::printf("%-12zu %zu\n", cap, aggs);
+        if (telemetry.enabled()) {
+          telemetry.registry()
+              .gauge("bench_min_aggregators",
+                     {{"configuration", "cap=" + std::to_string(cap)}})
+              ->set(static_cast<double>(aggs));
+        }
+      };
+    });
   }
+  sweep.finish();
   std::printf(
       "\nPaper: each Frontera node sustains ~2,500 connections, hence the\n"
       "flat ceiling at 2,500 nodes and the minimum of 4 aggregators for\n"

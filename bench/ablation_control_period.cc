@@ -11,6 +11,7 @@
 // high limits) while starving stages whose burst began (stale low
 // limits), which shows up as lower utilization.
 #include "bench/harness.h"
+#include "bench/sweep.h"
 #include "workload/generators.h"
 
 using namespace sds;
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   std::printf("%-16s %10s %10s %12s %10s\n", "period", "cycles",
               "cycle(ms)", "data-util", "meta-util");
   bench::Telemetry telemetry("ablation_control_period", argc, argv);
+  bench::Sweep parallel_sweep(argc, argv);
 
   const struct {
     Nanos period;
@@ -30,6 +32,7 @@ int main(int argc, char** argv) {
       {seconds(4), "4 s"},
   };
 
+  int rc = 0;
   for (const auto& sweep : sweeps) {
     sim::ExperimentConfig config;
     config.num_stages = 1000;
@@ -52,26 +55,35 @@ int main(int argc, char** argv) {
                               millis(1300), phase);
     };
     telemetry.attach(config, sweep.label);
-    auto result = sim::run_experiment(config);
-    if (!result.is_ok()) {
-      std::printf("%s: %s\n", sweep.label, result.status().to_string().c_str());
-      return 1;
-    }
-    std::printf("%-16s %10llu %10.2f %12.3f %10.3f\n", sweep.label,
-                static_cast<unsigned long long>(result->cycles),
-                result->stats.mean_total_ms(), result->mean_data_utilization,
-                result->mean_meta_utilization);
-    if (telemetry.enabled()) {
-      const telemetry::Labels labels{{"configuration", sweep.label}};
-      auto& registry = telemetry.registry();
-      registry.gauge("bench_total_ms_mean", labels)
-          ->set(result->stats.mean_total_ms());
-      registry.gauge("bench_data_utilization", labels)
-          ->set(result->mean_data_utilization);
-      registry.gauge("bench_meta_utilization", labels)
-          ->set(result->mean_meta_utilization);
-    }
+    const char* label = sweep.label;
+    parallel_sweep.add([&, label, config] {
+      auto result = sim::run_experiment(config);
+      return [&, label, result] {
+        if (!result.is_ok()) {
+          std::printf("%s: %s\n", label, result.status().to_string().c_str());
+          rc = 1;
+          return;
+        }
+        std::printf("%-16s %10llu %10.2f %12.3f %10.3f\n", label,
+                    static_cast<unsigned long long>(result->cycles),
+                    result->stats.mean_total_ms(),
+                    result->mean_data_utilization,
+                    result->mean_meta_utilization);
+        if (telemetry.enabled()) {
+          const telemetry::Labels labels{{"configuration", label}};
+          auto& registry = telemetry.registry();
+          registry.gauge("bench_total_ms_mean", labels)
+              ->set(result->stats.mean_total_ms());
+          registry.gauge("bench_data_utilization", labels)
+              ->set(result->mean_data_utilization);
+          registry.gauge("bench_meta_utilization", labels)
+              ->set(result->mean_meta_utilization);
+        }
+      };
+    });
   }
+  parallel_sweep.finish();
+  if (rc != 0) return rc;
   std::printf(
       "\nExpected: utilization degrades as the control period grows —\n"
       "with multi-second periods the enforced limits lag the bursts and\n"

@@ -11,6 +11,7 @@
 // controller nodes each holding a full stage fan-out — so it only fits
 // under the connection cap for K >= 4.
 #include "bench/harness.h"
+#include "bench/sweep.h"
 
 using namespace sds;
 
@@ -19,7 +20,9 @@ int main(int argc, char** argv) {
       "Ablation — hierarchical vs coordinated flat at 10,000 nodes");
   bench::print_latency_header();
   bench::Telemetry telemetry("ablation_coordinated_flat", argc, argv);
+  bench::Sweep sweep(argc, argv);
 
+  int rc = 0;
   for (const std::size_t k : {4ul, 5ul, 10ul, 20ul}) {
     const std::string hier_label = "hierarchical A=" + std::to_string(k);
     sim::ExperimentConfig hier;
@@ -27,13 +30,19 @@ int main(int argc, char** argv) {
     hier.num_aggregators = k;
     hier.duration = bench::bench_duration();
     telemetry.attach(hier, hier_label);
-    auto hier_result = bench::run_repeated(hier);
-    if (!hier_result.is_ok()) {
-      std::printf("hier A=%zu: %s\n", k, hier_result.status().to_string().c_str());
-      return 1;
-    }
-    bench::print_latency_row(hier_label, *hier_result, 0.0);
-    telemetry.observe(hier_label, *hier_result, 0.0);
+    sweep.add([&, hier_label, k, hier] {
+      auto result = bench::run_repeated(hier);
+      return [&, hier_label, k, result] {
+        if (!result.is_ok()) {
+          std::printf("hier A=%zu: %s\n", k,
+                      result.status().to_string().c_str());
+          rc = 1;
+          return;
+        }
+        bench::print_latency_row(hier_label, *result, 0.0);
+        telemetry.observe(hier_label, *result, 0.0);
+      };
+    });
 
     const std::string coord_label = "coordinated K=" + std::to_string(k);
     sim::ExperimentConfig coord;
@@ -41,21 +50,27 @@ int main(int argc, char** argv) {
     coord.coordinated_peers = k;
     coord.duration = bench::bench_duration();
     telemetry.attach(coord, coord_label);
-    auto coord_result = bench::run_repeated(coord);
-    if (!coord_result.is_ok()) {
-      // K=4 genuinely does not fit: each peer would hold 2,500 stage
-      // connections + 3 peer links, above the per-node cap — the
-      // coordinated design needs one more controller than the hierarchy
-      // at this scale.
-      std::printf("coordinated K=%zu        %s\n", k,
-                  coord_result.status().to_string().c_str());
-      continue;
-    }
-    bench::print_latency_row(coord_label, *coord_result, 0.0);
-    telemetry.observe(coord_label, *coord_result, 0.0);
-    bench::print_resource_row("  per peer", "peer", coord_result->aggregator);
-    telemetry.observe_usage(coord_label, "peer", coord_result->aggregator);
+    sweep.add([&, coord_label, k, coord] {
+      auto result = bench::run_repeated(coord);
+      return [&, coord_label, k, result] {
+        if (!result.is_ok()) {
+          // K=4 genuinely does not fit: each peer would hold 2,500 stage
+          // connections + 3 peer links, above the per-node cap — the
+          // coordinated design needs one more controller than the
+          // hierarchy at this scale.
+          std::printf("coordinated K=%zu        %s\n", k,
+                      result.status().to_string().c_str());
+          return;
+        }
+        bench::print_latency_row(coord_label, *result, 0.0);
+        telemetry.observe(coord_label, *result, 0.0);
+        bench::print_resource_row("  per peer", "peer", result->aggregator);
+        telemetry.observe_usage(coord_label, "peer", result->aggregator);
+      };
+    });
   }
+  sweep.finish();
+  if (rc != 0) return rc;
   std::printf(
       "\nExpected: the coordinated design beats the hierarchy on latency\n"
       "(no top-level per-stage rule building) but each peer carries flat-\n"

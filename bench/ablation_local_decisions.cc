@@ -8,6 +8,7 @@
 // budgets (proportional to observed demand); each aggregator runs PSFA
 // locally over its stages. The global compute phase nearly vanishes.
 #include "bench/harness.h"
+#include "bench/sweep.h"
 
 using namespace sds;
 
@@ -15,7 +16,9 @@ int main(int argc, char** argv) {
   bench::print_title("Ablation — centralized PSFA vs aggregator-local PSFA");
   bench::print_latency_header();
   bench::Telemetry telemetry("ablation_local_decisions", argc, argv);
+  bench::Sweep sweep(argc, argv);
 
+  int rc = 0;
   for (const std::size_t aggs : {4ul, 10ul, 20ul}) {
     for (const bool local : {false, true}) {
       sim::ExperimentConfig config;
@@ -26,20 +29,27 @@ int main(int argc, char** argv) {
       const std::string label = "A=" + std::to_string(aggs) +
                                 (local ? " local" : " central");
       telemetry.attach(config, label);
-      auto result = bench::run_repeated(config);
-      if (!result.is_ok()) {
-        std::printf("error: %s\n", result.status().to_string().c_str());
-        return 1;
-      }
-      bench::print_latency_row(label, *result, 0.0);
-      telemetry.observe(label, *result, 0.0);
-      bench::print_resource_row("  resources", "global", result->global);
-      bench::print_resource_row("  resources", "aggregator",
-                                result->aggregator);
-      telemetry.observe_usage(label, "global", result->global);
-      telemetry.observe_usage(label, "aggregator", result->aggregator);
+      sweep.add([&, label, config] {
+        auto result = bench::run_repeated(config);
+        return [&, label, result] {
+          if (!result.is_ok()) {
+            std::printf("error: %s\n", result.status().to_string().c_str());
+            rc = 1;
+            return;
+          }
+          bench::print_latency_row(label, *result, 0.0);
+          telemetry.observe(label, *result, 0.0);
+          bench::print_resource_row("  resources", "global", result->global);
+          bench::print_resource_row("  resources", "aggregator",
+                                    result->aggregator);
+          telemetry.observe_usage(label, "global", result->global);
+          telemetry.observe_usage(label, "aggregator", result->aggregator);
+        };
+      });
     }
   }
+  sweep.finish();
+  if (rc != 0) return rc;
   std::printf(
       "\nExpected: local decisions cut the global compute phase and global\n"
       "CPU sharply (it only computes budget leases); aggregators pick up\n"

@@ -6,6 +6,7 @@
 // Paper reference points: 1.11 ms @ 50 nodes, 40.40 ms @ 2,500 nodes;
 // enforce > collect > compute at every size; stdev below 6%.
 #include "bench/harness.h"
+#include "bench/sweep.h"
 
 using namespace sds;
 
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
   bench::print_latency_header();
   bench::DatWriter dat("fig4_flat_scaling");
   bench::Telemetry telemetry("fig4_flat_scaling", argc, argv);
+  bench::Sweep sweep(argc, argv);
 
   struct Point {
     std::size_t nodes;
@@ -22,21 +24,30 @@ int main(int argc, char** argv) {
   };
   const Point points[] = {{50, 1.11}, {500, 8.1}, {1250, 20.2}, {2500, 40.40}};
 
+  int rc = 0;
   for (const auto& point : points) {
     const std::string label = "flat N=" + std::to_string(point.nodes);
     sim::ExperimentConfig config;
     config.num_stages = point.nodes;
     config.duration = bench::bench_duration();
     telemetry.attach(config, label);
-    auto result = bench::run_repeated(config);
-    if (!result.is_ok()) {
-      std::printf("N=%zu: %s\n", point.nodes, result.status().to_string().c_str());
-      return 1;
-    }
-    bench::print_latency_row(label, *result, point.paper_ms);
-    telemetry.observe(label, *result, point.paper_ms);
-    dat.row(static_cast<double>(point.nodes), *result, point.paper_ms);
+    sweep.add([&, label, point, config] {
+      auto result = bench::run_repeated(config);
+      return [&, label, point, result] {
+        if (!result.is_ok()) {
+          std::printf("N=%zu: %s\n", point.nodes,
+                      result.status().to_string().c_str());
+          rc = 1;
+          return;
+        }
+        bench::print_latency_row(label, *result, point.paper_ms);
+        telemetry.observe(label, *result, point.paper_ms);
+        dat.row(static_cast<double>(point.nodes), *result, point.paper_ms);
+      };
+    });
   }
+  sweep.finish();
+  if (rc != 0) return rc;
   bench::print_paper_note(
       "1.11 ms @ 50 nodes rising ~linearly to 40.40 ms @ 2,500 nodes; "
       "enforce > collect > compute; stdev < 6%.");

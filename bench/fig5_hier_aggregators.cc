@@ -6,6 +6,7 @@
 // under 70 ms with 20; the compute phase stays approximately constant
 // while collect and enforce shrink as aggregators are added.
 #include "bench/harness.h"
+#include "bench/sweep.h"
 
 using namespace sds;
 
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
   bench::print_latency_header();
   bench::DatWriter dat("fig5_hier_aggregators");
   bench::Telemetry telemetry("fig5_hier_aggregators", argc, argv);
+  bench::Sweep sweep(argc, argv);
 
   struct Point {
     std::size_t aggregators;
@@ -22,6 +24,7 @@ int main(int argc, char** argv) {
   };
   const Point points[] = {{4, 103.0}, {5, 95.0}, {10, 79.0}, {20, 69.0}};
 
+  int rc = 0;
   for (const auto& point : points) {
     const std::string label = "hier A=" + std::to_string(point.aggregators);
     sim::ExperimentConfig config;
@@ -29,16 +32,24 @@ int main(int argc, char** argv) {
     config.num_aggregators = point.aggregators;
     config.duration = bench::bench_duration();
     telemetry.attach(config, label);
-    auto result = bench::run_repeated(config);
-    if (!result.is_ok()) {
-      std::printf("A=%zu: %s\n", point.aggregators,
-                  result.status().to_string().c_str());
-      return 1;
-    }
-    bench::print_latency_row(label, *result, point.paper_ms);
-    telemetry.observe(label, *result, point.paper_ms);
-    dat.row(static_cast<double>(point.aggregators), *result, point.paper_ms);
+    sweep.add([&, label, point, config] {
+      auto result = bench::run_repeated(config);
+      return [&, label, point, result] {
+        if (!result.is_ok()) {
+          std::printf("A=%zu: %s\n", point.aggregators,
+                      result.status().to_string().c_str());
+          rc = 1;
+          return;
+        }
+        bench::print_latency_row(label, *result, point.paper_ms);
+        telemetry.observe(label, *result, point.paper_ms);
+        dat.row(static_cast<double>(point.aggregators), *result,
+                point.paper_ms);
+      };
+    });
   }
+  sweep.finish();
+  if (rc != 0) return rc;
   bench::print_paper_note(
       "103 ms with 4 aggregators, < 80 ms with 10, < 70 ms with 20; "
       "compute ~constant, collect/enforce shrink with more aggregators.");

@@ -5,7 +5,10 @@
 // extra network hop in collect/enforce), with the *compute* phase
 // decreasing under the hierarchy (Observation #7: aggregator-side metric
 // merging is removed from the global controller's compute phase).
+#include <optional>
+
 #include "bench/harness.h"
+#include "bench/sweep.h"
 
 using namespace sds;
 
@@ -15,31 +18,51 @@ int main(int argc, char** argv) {
   bench::print_latency_header();
   bench::DatWriter dat("fig6_flat_vs_hier");
   bench::Telemetry telemetry("fig6_flat_vs_hier", argc, argv);
+  bench::Sweep sweep(argc, argv);
+
+  int rc = 0;
+  std::optional<bench::RepeatedResult> flat_result;
+  std::optional<bench::RepeatedResult> hier_result;
 
   sim::ExperimentConfig flat;
   flat.num_stages = 2500;
   flat.duration = bench::bench_duration();
   telemetry.attach(flat, "flat N=2500");
-  auto flat_result = bench::run_repeated(flat);
-  if (!flat_result.is_ok()) {
-    std::printf("flat: %s\n", flat_result.status().to_string().c_str());
-    return 1;
-  }
-  bench::print_latency_row("flat N=2500", *flat_result, 40.40);
-  telemetry.observe("flat N=2500", *flat_result, 40.40);
-  dat.row(0, *flat_result, 40.40);
+  sweep.add([&, flat] {
+    auto result = bench::run_repeated(flat);
+    return [&, result] {
+      if (!result.is_ok()) {
+        std::printf("flat: %s\n", result.status().to_string().c_str());
+        rc = 1;
+        return;
+      }
+      bench::print_latency_row("flat N=2500", *result, 40.40);
+      telemetry.observe("flat N=2500", *result, 40.40);
+      dat.row(0, *result, 40.40);
+      flat_result = *result;
+    };
+  });
 
   sim::ExperimentConfig hier = flat;
   hier.num_aggregators = 1;
   telemetry.attach(hier, "hier N=2500 A=1");
-  auto hier_result = bench::run_repeated(hier);
-  if (!hier_result.is_ok()) {
-    std::printf("hier: %s\n", hier_result.status().to_string().c_str());
-    return 1;
-  }
-  bench::print_latency_row("hier N=2500 A=1", *hier_result, 53.0);
-  telemetry.observe("hier N=2500 A=1", *hier_result, 53.0);
-  dat.row(1, *hier_result, 53.0);
+  sweep.add([&, hier] {
+    auto result = bench::run_repeated(hier);
+    return [&, result] {
+      if (!result.is_ok()) {
+        std::printf("hier: %s\n", result.status().to_string().c_str());
+        rc = 1;
+        return;
+      }
+      bench::print_latency_row("hier N=2500 A=1", *result, 53.0);
+      telemetry.observe("hier N=2500 A=1", *result, 53.0);
+      dat.row(1, *result, 53.0);
+      hier_result = *result;
+    };
+  });
+
+  sweep.finish();
+  if (rc != 0 || !flat_result || !hier_result) return 1;
 
   const double overhead =
       hier_result->total_ms.mean() - flat_result->total_ms.mean();

@@ -1,0 +1,332 @@
+// Control-cycle fast-path microbenchmark. Three throughput pillars:
+//
+//   engine.events_per_sec        — the calendar-wheel DES core, plus an
+//   engine.legacy_events_per_sec   A/B against the seed's
+//                                  priority_queue<std::function> engine
+//                                  (reproduced verbatim below), so the
+//                                  speedup ratio is measured, not claimed.
+//   codec.encode_msgs_per_sec    — StageMetrics encode into pooled
+//   codec.decode_msgs_per_sec      SharedFrame images / decode back.
+//   sim.cycles_per_sec           — end-to-end control cycles at N=500.
+//
+// Writes BENCH_cycle.json (cwd, or $SDSCALE_BENCH_OUT/BENCH_cycle.json)
+// so successive commits can diff baselines. `--quick` shrinks the run
+// for the `perf`-labeled CTest smoke.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "proto/messages.h"
+#include "sim/engine.h"
+#include "sim/experiment.h"
+#include "wire/shared_frame.h"
+
+namespace {
+
+using sds::Nanos;
+
+// The seed's engine, verbatim (minus the UB-adjacent const_cast fixed in
+// the rewrite): one global priority_queue of type-erased std::functions.
+// Kept here — not in src/ — purely as the A/B baseline.
+class LegacyEngine {
+ public:
+  using EventFn = std::function<void()>;
+
+  struct TimedEvent {
+    Nanos at;
+    EventFn fn;
+  };
+
+  [[nodiscard]] Nanos now() const { return now_; }
+
+  void schedule_at(Nanos at, EventFn fn) {
+    if (at < now_) at = now_;
+    queue_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+
+  void schedule_in(Nanos delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // What fan-out looked like before batching existed: one push per event.
+  void schedule_batch(std::vector<TimedEvent>& batch) {
+    for (auto& ev : batch) schedule_at(ev.at, std::move(ev.fn));
+    batch.clear();
+  }
+
+  bool step() {
+    if (queue_.empty()) return false;
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    event.fn();
+    return true;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    Nanos at;
+    std::uint64_t seq;
+    EventFn fn;
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Nanos now_{0};
+  std::uint64_t next_seq_ = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// The send/arrival pattern of the simulated control plane at the
+// paper's scale, two components mixed ~50/50 by event count:
+//
+//   * Steady timers: tens of thousands of in-flight self-rescheduling
+//     timers (a 10,000-stage cluster keeps NIC serialization,
+//     propagation, and cycle timers outstanding simultaneously), each
+//     carrying ~70 bytes of captured state like sim::Host::send's
+//     continuations. The capture overflows std::function's small-buffer
+//     storage, so the legacy engine pays a heap allocation per
+//     scheduled event on top of walking a deep cache-missing global
+//     heap, while the wheel appends a 24-byte key O(1) into a bucket
+//     and parks the closure in its allocation-free slab.
+//
+//   * Collect fan-out waves: every cycle the controller's collect
+//     broadcast produces thousands of arrivals clustered in a narrow
+//     window — scheduled through schedule_batch, which the legacy
+//     engine can only emulate as one heap push per event, while the
+//     wheel lands the whole wave in a couple of buckets and sorts each
+//     bucket once when the cursor reaches it.
+struct NicContext {  // what sim::Host::send captures per message
+  std::uint64_t wire_bytes;
+  std::uint64_t tx_free;
+  std::uint64_t stage_id;
+  std::uint64_t cycle_id;
+  double latency_scale;
+};
+
+template <typename EngineT>
+struct NicTimerChain {
+  EngineT* engine;
+  std::uint64_t* executed;
+  std::uint64_t total;
+  std::uint64_t stage_id;
+  NicContext ctx;
+
+  void operator()() {
+    if (*executed >= total) return;
+    const std::uint64_t n = ++*executed;
+    // Deterministic pseudo-varied delays spanning ~488 wheel buckets.
+    const std::uint64_t delay_ns = 500 + (n * 2654435761u) % spread_ns();
+    NicTimerChain next = *this;
+    next.ctx = NicContext{delay_ns, n, stage_id, n / 100'000, 1.0};
+    engine->schedule_in(Nanos{static_cast<std::int64_t>(delay_ns)},
+                        std::move(next));
+  }
+
+  static std::uint64_t spread_ns() {
+    static const std::uint64_t v = [] {
+      const char* s = std::getenv("SDSCALE_PERF_SPREAD_NS");
+      return s ? std::strtoull(s, nullptr, 10) : 4'000'000ull;
+    }();
+    return v;
+  }
+};
+
+// One collect-wave arrival: a compact closure (counter + routing ids)
+// that still overflows std::function's ~16-byte inline storage.
+struct WaveArrival {
+  std::uint64_t* executed;
+  std::uint64_t stage_id;
+  std::uint64_t wire_bytes;
+  void operator()() { ++*executed; }
+};
+
+// Drives one collect wave per control period: batch-schedules kFanout
+// arrivals spread over a short window, then re-arms for the next cycle.
+template <typename EngineT>
+struct WaveDriver {
+  static constexpr std::uint64_t kFanout = 2'500;
+  static constexpr std::int64_t kWindowNs = 40'000;    // arrival jitter
+  static constexpr std::int64_t kPeriodNs = 100'000;   // control period
+
+  EngineT* engine;
+  std::uint64_t* executed;
+  std::uint64_t total;
+  std::vector<typename EngineT::TimedEvent>* scratch;  // reused per wave
+  std::uint64_t wave;
+
+  void operator()() {
+    if (*executed >= total) return;
+    ++*executed;
+    const Nanos now = engine->now();
+    for (std::uint64_t i = 0; i < kFanout; ++i) {
+      const std::int64_t jitter =
+          static_cast<std::int64_t>(((wave * kFanout + i) * 2654435761u) %
+                                    kWindowNs);
+      scratch->push_back({now + Nanos{500 + jitter},
+                          WaveArrival{executed, i, 64 + i % 256}});
+    }
+    engine->schedule_batch(*scratch);
+    WaveDriver next = *this;
+    ++next.wave;
+    engine->schedule_in(Nanos{kPeriodNs}, std::move(next));
+  }
+};
+
+template <typename EngineT>
+double engine_events_per_sec(std::uint64_t total_events) {
+  EngineT engine;
+  std::uint64_t executed = 0;
+  // Concurrent in-flight timers, sized like a 10,000-stage cluster with
+  // several outstanding timers per stage...
+  static const std::uint64_t kChains = [] {
+    const char* s = std::getenv("SDSCALE_PERF_CHAINS");
+    return s ? std::strtoull(s, nullptr, 10) : 50'000ull;
+  }();
+  std::vector<typename EngineT::TimedEvent> scratch;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t c = 0; c < kChains; ++c) {
+    NicTimerChain<EngineT> chain{&engine, &executed, total_events, c,
+                                 NicContext{}};
+    chain();
+  }
+  // ...plus one collect wave per 100 us control period (25 arrivals/us,
+  // matching the steady timers' event rate at the default spread).
+  WaveDriver<EngineT> driver{&engine, &executed, total_events, &scratch, 0};
+  driver();
+  engine.run();
+  return static_cast<double>(executed) / seconds_since(start);
+}
+
+sds::proto::StageMetrics sample_metrics() {
+  sds::proto::StageMetrics m;
+  m.cycle_id = 123456;
+  m.stage_id = sds::StageId{4242};
+  m.job_id = sds::JobId{7};
+  m.data_iops = 1234.5;
+  m.meta_iops = 222.2;
+  m.data_limit = 987.6;
+  m.meta_limit = 111.1;
+  return m;
+}
+
+double encode_msgs_per_sec(std::uint64_t total) {
+  const auto msg = sample_metrics();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const sds::wire::SharedFrame frame = sds::proto::to_shared_frame(msg);
+    if (frame.empty()) return 0;  // keep the loop observable
+  }
+  return static_cast<double>(total) / seconds_since(start);
+}
+
+double decode_msgs_per_sec(std::uint64_t total) {
+  const auto msg = sample_metrics();
+  const sds::wire::Frame frame = sds::proto::to_frame(msg);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t ok = 0;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    auto decoded = sds::proto::from_frame<sds::proto::StageMetrics>(frame);
+    if (decoded.is_ok()) ++ok;
+  }
+  return static_cast<double>(ok) / seconds_since(start);
+}
+
+double sim_cycles_per_sec(Nanos sim_duration) {
+  sds::sim::ExperimentConfig config;
+  config.num_stages = 500;
+  config.duration = sim_duration;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = sds::sim::run_experiment(config);
+  if (!result.is_ok()) return 0;
+  return static_cast<double>(result->cycles) / seconds_since(start);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::uint64_t engine_events = quick ? 1'000'000 : 4'000'000;
+  const std::uint64_t codec_msgs = quick ? 100'000 : 1'000'000;
+  const Nanos sim_duration = quick ? sds::seconds(2) : sds::seconds(10);
+
+  std::printf("perf_cycle (%s)\n", quick ? "quick" : "full");
+
+  const double wheel = engine_events_per_sec<sds::sim::Engine>(engine_events);
+  const double legacy = engine_events_per_sec<LegacyEngine>(engine_events);
+  const double speedup = legacy > 0 ? wheel / legacy : 0;
+  std::printf("engine.events_per_sec         %12.0f\n", wheel);
+  std::printf("engine.legacy_events_per_sec  %12.0f\n", legacy);
+  std::printf("engine.speedup_vs_legacy      %12.2fx\n", speedup);
+
+  const double enc = encode_msgs_per_sec(codec_msgs);
+  const double dec = decode_msgs_per_sec(codec_msgs);
+  std::printf("codec.encode_msgs_per_sec     %12.0f\n", enc);
+  std::printf("codec.decode_msgs_per_sec     %12.0f\n", dec);
+
+  const double cycles = sim_cycles_per_sec(sim_duration);
+  std::printf("sim.cycles_per_sec            %12.2f\n", cycles);
+
+  std::string path = "BENCH_cycle.json";
+  if (const char* dir = std::getenv("SDSCALE_BENCH_OUT")) {
+    path = std::string(dir) + "/BENCH_cycle.json";
+  }
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"perf_cycle\",\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"engine\": {\n"
+                 "    \"events_per_sec\": %.0f,\n"
+                 "    \"legacy_events_per_sec\": %.0f,\n"
+                 "    \"speedup_vs_legacy\": %.3f\n"
+                 "  },\n"
+                 "  \"codec\": {\n"
+                 "    \"encode_msgs_per_sec\": %.0f,\n"
+                 "    \"decode_msgs_per_sec\": %.0f\n"
+                 "  },\n"
+                 "  \"sim\": {\n"
+                 "    \"num_stages\": 500,\n"
+                 "    \"cycles_per_sec\": %.3f\n"
+                 "  }\n"
+                 "}\n",
+                 quick ? "quick" : "full", wheel, legacy, speedup, enc, dec,
+                 cycles);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  // Regression guard: the wheel engine must clearly beat the legacy
+  // global-heap engine. On the 1-vCPU CI container the measured ratio
+  // is ~2x (1.6-2.3x run to run): the per-event floor both engines
+  // share — closure construction plus cold capture reads at invoke —
+  // bounds the achievable ratio well below the engine-op speedup.
+  // Failing below 1.4x still trips on genuine regressions (e.g.
+  // reintroducing a per-event allocation or a global heap).
+  if (!quick && speedup < 1.4) {
+    std::printf("FAIL: speedup %.2fx below the 1.4x regression bar\n",
+                speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -8,26 +8,31 @@
 // the aggregator-local-decision mode that removes the global
 // controller's per-stage work from the critical path.
 #include "bench/harness.h"
+#include "bench/sweep.h"
 
 using namespace sds;
 
 namespace {
 
-void run_row(const std::string& label, sim::ExperimentConfig config,
-             bench::Telemetry& telemetry) {
+void sweep_row(bench::Sweep& sweep, const std::string& label,
+               sim::ExperimentConfig config, bench::Telemetry& telemetry) {
   config.duration = seconds(5);
   telemetry.attach(config, label);
-  auto result = bench::run_repeated(config, /*reps=*/1);
-  if (!result.is_ok()) {
-    std::printf("%-28s %s\n", label.c_str(),
-                result.status().to_string().c_str());
-    return;
-  }
-  std::printf("%-28s %10.2f %10.2f %10.2f %10.2f %8.0f\n", label.c_str(),
-              result->total_ms.mean(), result->collect_ms.mean(),
-              result->compute_ms.mean(), result->enforce_ms.mean(),
-              result->cycles.mean());
-  telemetry.observe(label, *result, 0.0);
+  sweep.add([&telemetry, label, config] {
+    auto result = bench::run_repeated(config, /*reps=*/1);
+    return [&telemetry, label, result] {
+      if (!result.is_ok()) {
+        std::printf("%-28s %s\n", label.c_str(),
+                    result.status().to_string().c_str());
+        return;
+      }
+      std::printf("%-28s %10.2f %10.2f %10.2f %10.2f %8.0f\n", label.c_str(),
+                  result->total_ms.mean(), result->collect_ms.mean(),
+                  result->compute_ms.mean(), result->enforce_ms.mean(),
+                  result->cycles.mean());
+      telemetry.observe(label, *result, 0.0);
+    };
+  });
 }
 
 }  // namespace
@@ -36,6 +41,7 @@ int main(int argc, char** argv) {
   bench::print_title(
       "Projection — Table I systems under flat / hierarchical control");
   bench::Telemetry telemetry("projection_top500", argc, argv);
+  bench::Sweep sweep(argc, argv);
   std::printf("%-28s %10s %10s %10s %10s %8s\n", "configuration", "total(ms)",
               "collect", "compute", "enforce", "cycles");
 
@@ -46,19 +52,24 @@ int main(int argc, char** argv) {
       {"Frontier", 9'408}, {"Aurora", 10'624}, {"Fugaku", 158'976}};
 
   for (const auto& system : systems) {
-    std::printf("\n-- %s (%zu nodes) --\n", system.name, system.nodes);
+    sweep.add([name = system.name, nodes = system.nodes] {
+      return [name, nodes] {
+        std::printf("\n-- %s (%zu nodes) --\n", name, nodes);
+      };
+    });
 
     sim::ExperimentConfig flat;
     flat.num_stages = system.nodes;
-    run_row(std::string(system.name) + " flat", flat, telemetry);
+    sweep_row(sweep, std::string(system.name) + " flat", flat, telemetry);
 
     const std::size_t min_aggs = (system.nodes + 2'499) / 2'500;
     for (const std::size_t aggs : {min_aggs, 2 * min_aggs}) {
       sim::ExperimentConfig hier;
       hier.num_stages = system.nodes;
       hier.num_aggregators = aggs;
-      run_row(std::string(system.name) + " hier A=" + std::to_string(aggs),
-              hier, telemetry);
+      sweep_row(sweep,
+                std::string(system.name) + " hier A=" + std::to_string(aggs),
+                hier, telemetry);
     }
 
     // Local decisions: the only way to keep Fugaku-class cycles fast —
@@ -67,10 +78,12 @@ int main(int argc, char** argv) {
     local.num_stages = system.nodes;
     local.num_aggregators = 2 * min_aggs;
     local.local_decisions = true;
-    run_row(std::string(system.name) + " local A=" +
-                std::to_string(2 * min_aggs),
-            local, telemetry);
+    sweep_row(sweep,
+              std::string(system.name) + " local A=" +
+                  std::to_string(2 * min_aggs),
+              local, telemetry);
   }
+  sweep.finish();
 
   std::printf(
       "\nReading: Frontier/Aurora-scale systems run ~100 ms control cycles\n"

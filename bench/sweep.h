@@ -1,0 +1,124 @@
+// Parallel sweep runner for the figure/table/ablation benches.
+//
+// Each bench enumerates independent (scale, topology) configurations.
+// Sweep runs them across cores on the work-stealing ThreadPool while
+// keeping all observable output deterministic: a job's side effects are
+// split into a `run` step (executed on a worker, touches nothing shared)
+// and an `emit` step it returns (executed by finish() on the calling
+// thread, strictly in submission order). stdout, .dat files, and metric
+// gauges are therefore byte-identical to a --jobs=1 run; the simulations
+// themselves are deterministic by seed, so the *results* are too. The
+// only artifact allowed to reorder under parallelism is the optional
+// chrome-trace span dump (ring-buffer insertion order is scheduling-
+// dependent).
+//
+// Job count: --jobs=N beats SDSCALE_BENCH_JOBS beats
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace sds::bench {
+
+/// Resolve the sweep width: --jobs=N flag, then SDSCALE_BENCH_JOBS, then
+/// hardware concurrency. Values below 1 fall back to 1 (serial).
+inline std::size_t sweep_jobs(int argc, char** argv) {
+  std::size_t jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  if (const char* env = std::getenv("SDSCALE_BENCH_JOBS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) jobs = static_cast<std::size_t>(parsed);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      const long parsed = std::strtol(argv[i] + 7, nullptr, 10);
+      if (parsed > 0) jobs = static_cast<std::size_t>(parsed);
+    }
+  }
+  return jobs;
+}
+
+class Sweep {
+ public:
+  /// The deferred, ordered half of a job: prints rows, writes .dat lines,
+  /// records gauges. Runs on the thread that calls finish().
+  using Emit = std::function<void()>;
+  /// The parallel half: runs the simulation(s) and returns the Emit step.
+  using Job = std::function<Emit()>;
+
+  Sweep(int argc, char** argv) : Sweep(sweep_jobs(argc, argv)) {}
+
+  explicit Sweep(std::size_t jobs) : jobs_(jobs < 1 ? 1 : jobs) {
+    if (jobs_ > 1) pool_ = std::make_unique<ThreadPool>(jobs_);
+  }
+
+  ~Sweep() { finish(); }
+
+  Sweep(const Sweep&) = delete;
+  Sweep& operator=(const Sweep&) = delete;
+
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  /// Schedule one configuration. With --jobs=1 the job runs right here
+  /// (its emit is still deferred to finish(), so output ordering is the
+  /// same in both modes).
+  void add(Job job) {
+    slots_.emplace_back();
+    Slot& slot = slots_.back();
+    if (pool_ == nullptr) {
+      run_into(slot, job);
+      return;
+    }
+    wg_.add();
+    // deque references stay valid across push_back, so a worker can fill
+    // its slot while later add() calls grow the container.
+    pool_->submit([this, &slot, job = std::move(job)] {
+      run_into(slot, job);
+      wg_.done();
+    });
+  }
+
+  /// Wait for every job, then run the emit steps in submission order.
+  /// The first exception thrown by any job is rethrown here.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    wg_.wait();
+    for (Slot& slot : slots_) {
+      if (slot.error != nullptr) std::rethrow_exception(slot.error);
+      if (slot.emit) slot.emit();
+    }
+    slots_.clear();
+  }
+
+ private:
+  struct Slot {
+    Emit emit;
+    std::exception_ptr error;
+  };
+
+  static void run_into(Slot& slot, const Job& job) {
+    try {
+      slot.emit = job();
+    } catch (...) {
+      slot.error = std::current_exception();
+    }
+  }
+
+  std::size_t jobs_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::deque<Slot> slots_;
+  WaitGroup wg_;
+  bool finished_ = false;
+};
+
+}  // namespace sds::bench

@@ -7,6 +7,7 @@
 // MB/s; per-aggregator CPU falls 3.95→0.95%, memory 0.16→0.04 GB,
 // tx 4.53→1.31, rx 2.53→0.73 MB/s.
 #include "bench/harness.h"
+#include "bench/sweep.h"
 
 using namespace sds;
 
@@ -15,6 +16,7 @@ int main(int argc, char** argv) {
       "Table III — hierarchical design (10,000 nodes): resource utilization");
   bench::print_resource_header();
   bench::Telemetry telemetry("table3_hier_resources", argc, argv);
+  bench::Sweep sweep(argc, argv);
 
   struct Paper {
     std::size_t aggs;
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
       {20, 3.52, 3.60, 6.08, 1.98, 0.95, 0.04, 1.31, 0.73},
   };
 
+  int rc = 0;
   for (const auto& row : paper) {
     const std::string label = "hier A=" + std::to_string(row.aggs);
     sim::ExperimentConfig config;
@@ -35,19 +38,26 @@ int main(int argc, char** argv) {
     config.num_aggregators = row.aggs;
     config.duration = bench::bench_duration();
     telemetry.attach(config, label);
-    auto result = bench::run_repeated(config);
-    if (!result.is_ok()) {
-      std::printf("A=%zu: %s\n", row.aggs, result.status().to_string().c_str());
-      return 1;
-    }
-    bench::print_resource_row(label, "global", result->global);
-    telemetry.observe_usage(label, "global", result->global);
-    std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)", "global",
-                row.g_cpu, row.g_mem, row.g_tx, row.g_rx);
-    bench::print_resource_row(label, "aggregator", result->aggregator);
-    telemetry.observe_usage(label, "aggregator", result->aggregator);
-    std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)",
-                "aggregator", row.a_cpu, row.a_mem, row.a_tx, row.a_rx);
+    sweep.add([&, label, row, config] {
+      auto result = bench::run_repeated(config);
+      return [&, label, row, result] {
+        if (!result.is_ok()) {
+          std::printf("A=%zu: %s\n", row.aggs,
+                      result.status().to_string().c_str());
+          rc = 1;
+          return;
+        }
+        bench::print_resource_row(label, "global", result->global);
+        telemetry.observe_usage(label, "global", result->global);
+        std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)",
+                    "global", row.g_cpu, row.g_mem, row.g_tx, row.g_rx);
+        bench::print_resource_row(label, "aggregator", result->aggregator);
+        telemetry.observe_usage(label, "aggregator", result->aggregator);
+        std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)",
+                    "aggregator", row.a_cpu, row.a_mem, row.a_tx, row.a_rx);
+      };
+    });
   }
-  return 0;
+  sweep.finish();
+  return rc;
 }

@@ -6,6 +6,7 @@
 // global memory 1.18 → 0.92 GB; the aggregator takes over most of the
 // stage-facing traffic (tx 8.65 / rx 4.98 MB/s).
 #include "bench/harness.h"
+#include "bench/sweep.h"
 
 using namespace sds;
 
@@ -14,32 +15,50 @@ int main(int argc, char** argv) {
       "Table IV — flat vs hierarchical (1 aggregator) at 2,500 nodes");
   bench::print_resource_header();
   bench::Telemetry telemetry("table4_flat_vs_hier_resources", argc, argv);
+  bench::Sweep sweep(argc, argv);
 
+  int rc = 0;
   sim::ExperimentConfig flat;
   flat.num_stages = 2500;
   flat.duration = bench::bench_duration();
   telemetry.attach(flat, "flat");
-  auto flat_result = bench::run_repeated(flat);
-  if (!flat_result.is_ok()) return 1;
-  bench::print_resource_row("flat", "global", flat_result->global);
-  telemetry.observe_usage("flat", "global", flat_result->global);
-  std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)", "global",
-              10.34, 1.18, 9.73, 5.74);
+  sweep.add([&, flat] {
+    auto result = bench::run_repeated(flat);
+    return [&, result] {
+      if (!result.is_ok()) {
+        rc = 1;
+        return;
+      }
+      bench::print_resource_row("flat", "global", result->global);
+      telemetry.observe_usage("flat", "global", result->global);
+      std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)",
+                  "global", 10.34, 1.18, 9.73, 5.74);
+    };
+  });
 
   sim::ExperimentConfig hier = flat;
   hier.num_aggregators = 1;
   telemetry.attach(hier, "hierarchical");
-  auto hier_result = bench::run_repeated(hier);
-  if (!hier_result.is_ok()) return 1;
-  bench::print_resource_row("hierarchical", "global", hier_result->global);
-  telemetry.observe_usage("hierarchical", "global", hier_result->global);
-  std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)", "global",
-              1.15, 0.92, 2.36, 0.77);
-  bench::print_resource_row("hierarchical", "aggregator",
-                            hier_result->aggregator);
-  telemetry.observe_usage("hierarchical", "aggregator",
-                          hier_result->aggregator);
-  std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)",
-              "aggregator", 7.83, 0.22, 8.65, 4.98);
-  return 0;
+  sweep.add([&, hier] {
+    auto result = bench::run_repeated(hier);
+    return [&, result] {
+      if (!result.is_ok()) {
+        rc = 1;
+        return;
+      }
+      bench::print_resource_row("hierarchical", "global", result->global);
+      telemetry.observe_usage("hierarchical", "global", result->global);
+      std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)",
+                  "global", 1.15, 0.92, 2.36, 0.77);
+      bench::print_resource_row("hierarchical", "aggregator",
+                                result->aggregator);
+      telemetry.observe_usage("hierarchical", "aggregator",
+                              result->aggregator);
+      std::printf("%-24s %-11s %9.2f %9.2f %9.2f %9.2f\n", "  (paper)",
+                  "aggregator", 7.83, 0.22, 8.65, 4.98);
+    };
+  });
+
+  sweep.finish();
+  return rc;
 }

@@ -1,61 +1,140 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <exception>
+#include <utility>
 
-namespace sds {
+namespace sds::common {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
-  num_threads = std::max<std::size_t>(1, num_threads);
-  workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
-bool ThreadPool::submit(std::function<void()> task) {
-  return tasks_.push(std::move(task));
+bool ThreadPool::submit(Task task) {
+  if (!task) return false;
+  // Reserve the task under the sleep mutex *before* pushing it: once
+  // pending_ > 0 no worker will sleep or exit, so the push below can
+  // never race with shutdown into a lost task. A worker that wakes in
+  // the gap simply spins through one failed try_pop and retries.
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    if (!accepting_.load(std::memory_order_relaxed)) return false;
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  const std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  sleep_cv_.notify_one();
+  return true;
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& out) {
+  // Own queue first, newest task (LIFO): the data it touches is warmest.
+  {
+    WorkerQueue& mine = *queues_[self];
+    std::lock_guard<std::mutex> lock(mine.mu);
+    if (!mine.tasks.empty()) {
+      out = std::move(mine.tasks.back());
+      mine.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  // Steal the oldest task from a sibling (FIFO end): the oldest entries
+  // are the most likely to represent large not-yet-started work.
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    WorkerQueue& victim = *queues_[(self + off) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  Task task;
+  for (;;) {
+    if (try_pop(self, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    // pending_ > 0 means a task is queued (or about to land in a queue,
+    // see submit): retry rather than sleep or exit.
+    if (pending_.load(std::memory_order_acquire) > 0) continue;
+    if (joining_.load(std::memory_order_acquire)) return;
+    sleep_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) > 0 ||
+             joining_.load(std::memory_order_acquire);
+    });
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  // Chunk the index space so small bodies do not drown in queue overhead.
-  const std::size_t chunks = std::min(n, workers_.size() * 4);
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    try {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  // Over-decompose 4× so stealing can rebalance uneven iteration costs.
+  const std::size_t chunks = std::min(n, size() * 4);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
   WaitGroup wg;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * chunk_size;
+  for (std::size_t begin = 0; begin < n; begin += chunk_size) {
     const std::size_t end = std::min(n, begin + chunk_size);
-    if (begin >= end) break;
     wg.add();
     const bool queued = submit([&, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+      run_range(begin, end);
       wg.done();
     });
-    if (!queued) {
-      // Pool is shutting down: run inline to preserve the contract.
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+    if (!queued) {  // pool shut down: run inline, every index still covered
+      run_range(begin, end);
       wg.done();
     }
   }
   wg.wait();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::shutdown() {
-  tasks_.close();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    if (joining_.exchange(true, std::memory_order_acq_rel)) return;
+    accepting_.store(false, std::memory_order_release);
   }
-  workers_.clear();
+  sleep_cv_.notify_all();
+  // Workers keep draining until pending_ hits 0, so every task accepted
+  // before shutdown still runs.
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
-void ThreadPool::worker_loop() {
-  while (auto task = tasks_.pop()) {
-    (*task)();
-  }
-}
-
-}  // namespace sds
+}  // namespace sds::common

@@ -1,17 +1,23 @@
-// Fixed-size thread pool with a companion WaitGroup for fork/join phases.
+// Work-stealing thread pool with a companion WaitGroup for fork/join
+// phases.
 //
-// The control plane's live runtime uses this for parallel collect/enforce
-// fan-out; the simulator does not (it is single-threaded by design).
+// Used by the bench sweep runner to spread independent (scale, topology)
+// configurations across cores, and available to the live runtime for
+// parallel fan-out. Design: one deque per worker; a worker pops its own
+// queue from the back (LIFO keeps caches warm) and steals from other
+// queues' fronts when its own runs dry, so an uneven sweep (one 10,000-
+// stage config next to nine small ones) still keeps every core busy.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
-
-#include "common/queue.h"
 
 namespace sds {
 
@@ -39,30 +45,57 @@ class WaitGroup {
   std::size_t count_ = 0;
 };
 
+namespace common {
+
 class ThreadPool {
  public:
+  using Task = std::function<void()>;
+
   explicit ThreadPool(std::size_t num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; returns false after shutdown began.
-  bool submit(std::function<void()> task);
+  /// Enqueue a task; returns false after shutdown began. Tasks queued
+  /// before shutdown always run (shutdown drains before joining).
+  bool submit(Task task);
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  /// Every index runs exactly once even if the pool is shutting down
+  /// (inline fallback). If any invocation throws, the first exception is
+  /// rethrown here after all indices finish.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Stop accepting work and join all workers (drains queued tasks first).
+  /// Stop accepting work, drain all queued tasks, join all workers.
   void shutdown();
 
  private:
-  void worker_loop();
+  /// One worker's deque. The owner pops from the back; thieves take from
+  /// the front, so steals grab the oldest (likely largest-remaining) work.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
 
-  Queue<std::function<void()>> tasks_;
+  bool try_pop(std::size_t self, Task& out);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::size_t> pending_{0};     // queued, not yet popped
+  std::atomic<std::size_t> next_queue_{0};  // round-robin submit target
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> joining_{false};
 };
+
+}  // namespace common
+
+using common::ThreadPool;
 
 }  // namespace sds

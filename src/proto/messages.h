@@ -26,6 +26,7 @@
 #include "common/types.h"
 #include "wire/codec.h"
 #include "wire/frame.h"
+#include "wire/shared_frame.h"
 
 namespace sds::proto {
 
@@ -282,6 +283,16 @@ template <typename M>
   enc.reserve(msg.wire_size());
   msg.encode(enc);
   return frame;
+}
+
+/// Encode a message once into a ref-counted SharedFrame for broadcast:
+/// every connection then queues the same immutable wire image instead of
+/// re-serializing (or re-copying) the payload per destination.
+template <typename M>
+[[nodiscard]] wire::SharedFrame to_shared_frame(const M& msg) {
+  return wire::SharedFrame::encode(
+      static_cast<std::uint16_t>(M::kType), msg.wire_size(),
+      [&msg](wire::Encoder& enc) { msg.encode(enc); });
 }
 
 /// Decode a frame's payload as message type M; checks the type tag and

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "rpc/broadcast.h"
 
 namespace sds::runtime {
 
@@ -143,8 +144,8 @@ void AggregatorServer::serve_collect(proto::CollectRequest request) {
 
   auto gather = dispatcher_.start_gather(proto::MessageType::kStageMetrics,
                                          request.cycle_id, conns);
-  const wire::Frame collect_frame = proto::to_frame(request);
-  for (const ConnId conn : conns) (void)endpoint_->send(conn, collect_frame);
+  // Encode once; every stage connection queues the same shared image.
+  rpc::broadcast(*endpoint_, conns, request);
   const Status wait = gather->wait_for(options_.phase_timeout);
   if (!wait.is_ok()) {
     SDS_LOG(WARN) << address_ << ": collect incomplete in cycle "

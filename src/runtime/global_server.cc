@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "core/aggregator.h"
+#include "rpc/broadcast.h"
 
 namespace sds::runtime {
 
@@ -168,13 +169,11 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
   auto agg_gather = dispatcher_.start_gather(
       proto::MessageType::kAggregatedMetrics, cycle, agg_conns);
 
-  const wire::Frame collect_frame = proto::to_frame(request);
-  for (const ConnId conn : targets.stage_conns) {
-    (void)endpoint_->send(conn, collect_frame);
-  }
-  for (const ConnId conn : agg_conns) {
-    (void)endpoint_->send(conn, collect_frame);
-  }
+  // One encode for the whole wave: stages and aggregators queue the same
+  // ref-counted wire image.
+  const wire::SharedFrame collect_frame = proto::to_shared_frame(request);
+  rpc::broadcast_shared(*endpoint_, targets.stage_conns, collect_frame);
+  rpc::broadcast_shared(*endpoint_, agg_conns, collect_frame);
   const Status stage_wait = stage_gather->wait_for(options_.phase_timeout);
   const Status agg_wait = agg_gather->wait_for(options_.phase_timeout);
   if (!stage_wait.is_ok() || !agg_wait.is_ok()) {
@@ -398,8 +397,7 @@ GlobalControllerServer::probe_liveness(Nanos timeout) {
   proto::Heartbeat heartbeat;
   heartbeat.from = ControllerId::invalid();  // "the global controller"
   heartbeat.seq = seq;
-  const wire::Frame frame = proto::to_frame(heartbeat);
-  for (const ConnId conn : probe_conns) (void)endpoint_->send(conn, frame);
+  rpc::broadcast(*endpoint_, probe_conns, heartbeat);
 
   (void)gather->wait_for(timeout);
   std::unordered_set<ConnId> answered;

@@ -304,8 +304,10 @@ class Run {
   }
 
   void peer_collect_fanout(std::size_t p) {
-    for (const std::size_t idx : peers_[p]->stage_indices) {
-      peers_[p]->host->send(collect_req_size_, [this, p, idx] {
+    const std::vector<std::size_t>& indices = peers_[p]->stage_indices;
+    peers_[p]->host->broadcast(indices.size(), collect_req_size_, [&](std::size_t i) {
+      const std::size_t idx = indices[i];
+      return [this, p, idx] {
         const proto::StageMetrics m = stages_[idx].collect(cycle_, engine_.now());
         const std::size_t sz = frame_size(m);
         engine_.schedule_in(prof_.stage_service + prof_.wire_latency,
@@ -317,8 +319,8 @@ class Run {
                                 }
                               });
                             });
-      });
-    }
+      };
+    });
   }
 
   void peer_broadcast_summary(std::size_t p) {
@@ -330,13 +332,14 @@ class Run {
     const std::size_t sz = frame_size(summary);
     peer.host->run(cost, [this, p, summary, sz] {
       peer_accept_summary(p, summary);  // own summary, no wire
-      for (std::size_t q = 0; q < peers_.size(); ++q) {
-        if (q == p) continue;
-        peers_[p]->host->send(sz, [this, q, sz, summary] {
-          peers_[q]->host->receive(
-              sz, [this, q, summary] { peer_accept_summary(q, summary); });
-        });
-      }
+      peers_[p]->host->broadcast(
+          peers_.size() - 1, sz, [&](std::size_t i) {
+            const std::size_t q = i < p ? i : i + 1;  // skip self
+            return [this, q, sz, summary] {
+              peers_[q]->host->receive(
+                  sz, [this, q, summary] { peer_accept_summary(q, summary); });
+            };
+          });
     });
   }
 
@@ -398,10 +401,9 @@ class Run {
     flat_metrics_.clear();
     flat_metrics_.resize(cfg_.num_stages);
     flat_pending_ = cfg_.num_stages;
-    for (std::size_t i = 0; i < cfg_.num_stages; ++i) {
-      global_host_.send(collect_req_size_,
-                        [this, i] { on_stage_collect_flat(i); });
-    }
+    global_host_.broadcast(cfg_.num_stages, collect_req_size_, [this](std::size_t i) {
+      return [this, i] { on_stage_collect_flat(i); };
+    });
   }
 
   void on_stage_collect_flat(std::size_t i) {
@@ -494,17 +496,24 @@ class Run {
         super->acks_applied = 0;
         super->pending_acks = 0;
       }
-      for (std::size_t s = 0; s < supers_.size(); ++s) {
-        global_host_.send(collect_req_size_, [this, s] {
-          supers_[s]->host->receive(collect_req_size_,
-                                    [this, s] { super_collect_fanout(s); });
-        });
-      }
+      global_host_.broadcast(
+          supers_.size(), collect_req_size_, [this](std::size_t s) {
+            return [this, s] {
+              supers_[s]->host->receive(collect_req_size_,
+                                        [this, s] { super_collect_fanout(s); });
+            };
+          });
       return;
     }
     reports_pending_ = aggs_.size();
     if (cfg_.parallel_fanout) {
-      for (std::size_t a = 0; a < aggs_.size(); ++a) send_collect_to_agg(a);
+      global_host_.broadcast(
+          aggs_.size(), collect_req_size_, [this](std::size_t a) {
+            return [this, a] {
+              aggs_[a]->host->receive(collect_req_size_,
+                                      [this, a] { agg_collect_fanout(a); });
+            };
+          });
     } else {
       send_collect_to_agg(0);
     }
@@ -513,12 +522,15 @@ class Run {
   // -- Third level (super-aggregators) -----------------------------------
 
   void super_collect_fanout(std::size_t s) {
-    for (const std::size_t a : supers_[s]->children) {
-      supers_[s]->host->send(collect_req_size_, [this, a] {
-        aggs_[a]->host->receive(collect_req_size_,
-                                [this, a] { agg_collect_fanout(a); });
-      });
-    }
+    const std::vector<std::size_t>& children = supers_[s]->children;
+    supers_[s]->host->broadcast(
+        children.size(), collect_req_size_, [&](std::size_t i) {
+          const std::size_t a = children[i];
+          return [this, a] {
+            aggs_[a]->host->receive(collect_req_size_,
+                                    [this, a] { agg_collect_fanout(a); });
+          };
+        });
   }
 
   void super_accept_report(std::size_t s, const proto::AggregatedMetrics& report) {
@@ -577,8 +589,10 @@ class Run {
   }
 
   void agg_collect_fanout(std::size_t a) {
-    for (const std::size_t idx : aggs_[a]->stage_indices) {
-      aggs_[a]->host->send(collect_req_size_, [this, a, idx] {
+    const std::vector<std::size_t>& indices = aggs_[a]->stage_indices;
+    aggs_[a]->host->broadcast(indices.size(), collect_req_size_, [&](std::size_t i) {
+      const std::size_t idx = indices[i];
+      return [this, a, idx] {
         const proto::StageMetrics m = stages_[idx].collect(cycle_, engine_.now());
         const std::size_t sz = frame_size(m);
         engine_.schedule_in(prof_.stage_service + prof_.wire_latency,
@@ -590,8 +604,8 @@ class Run {
                                 }
                               });
                             });
-      });
-    }
+      };
+    });
   }
 
   void agg_report(std::size_t a) {

@@ -92,6 +92,28 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
     return Status::ok();
   }
 
+  /// Zero-copy send: the queue carries a reference to the shared wire
+  /// image; the single payload copy happens on the receiving side at
+  /// delivery (the copy a real NIC would make).
+  Status send_shared(ConnId conn, const wire::SharedFrame& frame) {
+    std::shared_ptr<InProcCore> peer;
+    ConnId remote_id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = conns_.find(conn);
+      if (it == conns_.end()) return Status::unavailable("connection closed");
+      peer = it->second.core;
+      remote_id = it->second.remote_conn;
+    }
+    const std::size_t size = frame.wire_size();
+    if (!peer->enqueue_shared(remote_id, frame)) {
+      return Status::unavailable("peer shut down");
+    }
+    counters_.on_send(size);
+    peer->counters_.on_receive(size);
+    return Status::ok();
+  }
+
   void close(ConnId conn) { close_impl(conn, /*notify_self=*/true); }
 
   void stop() {
@@ -124,6 +146,7 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
     ConnId conn;
     bool is_frame = false;
     wire::Frame frame;
+    wire::SharedFrame shared;  // set instead of `frame` for shared sends
     ConnEvent conn_event = ConnEvent::kOpened;
   };
 
@@ -153,6 +176,14 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
     ev.conn = conn;
     ev.is_frame = true;
     ev.frame = std::move(frame);
+    return queue_.push(std::move(ev));
+  }
+
+  bool enqueue_shared(ConnId conn, const wire::SharedFrame& frame) {
+    Event ev;
+    ev.conn = conn;
+    ev.is_frame = true;
+    ev.shared = frame;  // ref-count bump, no payload copy
     return queue_.push(std::move(ev));
   }
 
@@ -201,7 +232,9 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
       }
       if (ev->is_frame) {
         if (frame_handler) {
-          frame_handler(ev->conn, std::move(ev->frame));
+          // Shared frames materialize here: one payload copy, receiver-side.
+          frame_handler(ev->conn, ev->shared.empty() ? std::move(ev->frame)
+                                                     : ev->shared.to_frame());
         } else {
           SDS_LOG(WARN) << address_ << ": frame dropped (no handler)";
         }
@@ -250,6 +283,9 @@ class InProcEndpoint final : public Endpoint {
   }
   Status send(ConnId conn, wire::Frame frame) override {
     return core_->send(conn, std::move(frame));
+  }
+  Status send_shared(ConnId conn, const wire::SharedFrame& frame) override {
+    return core_->send_shared(conn, frame);
   }
   void close(ConnId conn) override { core_->close(conn); }
   void shutdown() override { core_->stop(); }

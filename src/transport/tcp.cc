@@ -7,8 +7,10 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <deque>
@@ -26,6 +28,8 @@ namespace {
 
 constexpr int kMaxEpollEvents = 256;
 constexpr std::size_t kReadChunk = 64 * 1024;
+/// Frames coalesced per writev call (well under Linux's IOV_MAX).
+constexpr std::size_t kMaxIov = 64;
 
 Status errno_status(const std::string& what) {
   return Status::unavailable(what + ": " + std::strerror(errno));
@@ -63,12 +67,25 @@ Result<sockaddr_in> parse_address(const std::string& address) {
   return addr;
 }
 
+/// One queued outbound buffer: either bytes this connection owns (unicast
+/// serialize) or a view into a ref-counted broadcast image shared with
+/// every other destination of the same message.
+struct WriteBuf {
+  wire::Bytes owned;
+  wire::SharedFrame shared;
+
+  [[nodiscard]] std::span<const std::uint8_t> view() const {
+    return shared.empty() ? std::span<const std::uint8_t>(owned)
+                          : shared.wire_image();
+  }
+};
+
 /// Per-connection state owned by the event loop.
 struct Conn {
   int fd = -1;
   ConnId id;
   wire::Bytes read_buffer;
-  std::deque<wire::Bytes> write_queue;
+  std::deque<WriteBuf> write_queue;
   std::size_t write_offset = 0;  // into write_queue.front()
   bool want_write = false;
 };
@@ -168,7 +185,22 @@ class TcpEndpoint final : public Endpoint {
     auto bytes = frame.serialize();
     counters_.on_send(size);
     post_command([this, conn, bytes = std::move(bytes)]() mutable {
-      queue_write(conn, std::move(bytes));
+      WriteBuf buf;
+      buf.owned = std::move(bytes);
+      queue_write(conn, std::move(buf));
+    });
+    return Status::ok();
+  }
+
+  Status send_shared(ConnId conn, const wire::SharedFrame& frame) override {
+    if (stopping_.load(std::memory_order_acquire)) {
+      return Status::unavailable("endpoint shut down");
+    }
+    counters_.on_send(frame.wire_size());
+    post_command([this, conn, frame]() {  // ref-count bump, no payload copy
+      WriteBuf buf;
+      buf.shared = frame;
+      queue_write(conn, std::move(buf));
     });
     return Status::ok();
   }
@@ -380,7 +412,7 @@ class TcpEndpoint final : public Endpoint {
     if (handler) handler(id, event);
   }
 
-  void queue_write(ConnId id, wire::Bytes bytes) {
+  void queue_write(ConnId id, WriteBuf buf) {
     const auto it = by_id_.find(id);
     if (it == by_id_.end()) return;  // closed before the send ran
     Conn& conn = *it->second;
@@ -390,24 +422,46 @@ class TcpEndpoint final : public Endpoint {
       close_conn(conn, /*notify=*/true);
       return;
     }
-    conn.write_queue.push_back(std::move(bytes));
+    conn.write_queue.push_back(std::move(buf));
     flush_writes(conn);
   }
 
+  /// Vectored flush: gathers queued frames (header+payload are already
+  /// contiguous per buffer) into one writev, so a burst of broadcast
+  /// frames leaves in a single syscall instead of one write per frame.
   void flush_writes(Conn& conn) {
     while (!conn.write_queue.empty()) {
-      const auto& front = conn.write_queue.front();
-      const ssize_t n = ::write(conn.fd, front.data() + conn.write_offset,
-                                front.size() - conn.write_offset);
+      std::array<iovec, kMaxIov> iov;
+      std::size_t iov_count = 0;
+      std::size_t front_skip = conn.write_offset;
+      for (const auto& buf : conn.write_queue) {
+        if (iov_count == kMaxIov) break;
+        const auto view = buf.view();
+        iov[iov_count].iov_base =
+            const_cast<std::uint8_t*>(view.data() + front_skip);
+        iov[iov_count].iov_len = view.size() - front_skip;
+        ++iov_count;
+        front_skip = 0;
+      }
+      ssize_t n =
+          ::writev(conn.fd, iov.data(), static_cast<int>(iov_count));
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         close_conn(conn, /*notify=*/true);
         return;
       }
-      conn.write_offset += static_cast<std::size_t>(n);
-      if (conn.write_offset == front.size()) {
-        conn.write_queue.pop_front();
-        conn.write_offset = 0;
+      std::size_t written = static_cast<std::size_t>(n);
+      while (written > 0) {
+        const std::size_t front_remaining =
+            conn.write_queue.front().view().size() - conn.write_offset;
+        if (written >= front_remaining) {
+          written -= front_remaining;
+          conn.write_queue.pop_front();
+          conn.write_offset = 0;
+        } else {
+          conn.write_offset += written;
+          written = 0;
+        }
       }
     }
     const bool want_write = !conn.write_queue.empty();

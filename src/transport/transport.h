@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "wire/frame.h"
+#include "wire/shared_frame.h"
 
 namespace sds::transport {
 
@@ -67,6 +68,14 @@ class Endpoint {
 
   /// Queue a frame on an open connection.
   virtual Status send(ConnId conn, wire::Frame frame) = 0;
+
+  /// Queue a pre-encoded shared frame without copying the payload —
+  /// broadcast paths encode once and call this per connection. The
+  /// default materializes a Frame (one copy) so every Endpoint keeps
+  /// working; inproc/tcp override it with true zero-copy queues.
+  virtual Status send_shared(ConnId conn, const wire::SharedFrame& frame) {
+    return send(conn, frame.to_frame());
+  }
 
   virtual void close(ConnId conn) = 0;
 

@@ -35,14 +35,21 @@ class Encoder {
   void put_u32(std::uint32_t v) { put_fixed(v); }
   void put_u64(std::uint64_t v) { put_fixed(v); }
 
-  /// LEB128 unsigned varint (1–10 bytes).
+  /// LEB128 unsigned varint (1–10 bytes). The byte count comes from
+  /// std::bit_width (one instruction) so the buffer grows exactly once;
+  /// the write loop then has a known trip count instead of testing the
+  /// remaining value every byte.
   void put_varint(std::uint64_t v) {
     auto& buf = buffer();
-    while (v >= 0x80) {
-      buf.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    const std::size_t n = varint_size(v);
+    const std::size_t old = buf.size();
+    buf.resize(old + n);
+    std::uint8_t* p = buf.data() + old;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      p[i] = static_cast<std::uint8_t>(v) | 0x80;
       v >>= 7;
     }
-    buf.push_back(static_cast<std::uint8_t>(v));
+    p[n - 1] = static_cast<std::uint8_t>(v);
   }
 
   /// Zigzag-encoded signed varint.
@@ -68,13 +75,9 @@ class Encoder {
   }
 
   /// Encoded size of a varint without encoding it (for wire_size()).
-  [[nodiscard]] static std::size_t varint_size(std::uint64_t v) {
-    std::size_t n = 1;
-    while (v >= 0x80) {
-      v >>= 7;
-      ++n;
-    }
-    return n;
+  /// Constant-time: ceil(bit_width / 7), with `| 1` making zero one byte.
+  [[nodiscard]] static constexpr std::size_t varint_size(std::uint64_t v) {
+    return (static_cast<std::size_t>(std::bit_width(v | 1)) + 6) / 7;
   }
 
  private:

@@ -4,6 +4,9 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace sds {
@@ -91,6 +94,106 @@ TEST(ThreadPoolTest, ParallelForComputesCorrectSum) {
                     [&](std::size_t i) { partial[i] = static_cast<long long>(i); });
   const long long sum = std::accumulate(partial.begin(), partial.end(), 0LL);
   EXPECT_EQ(sum, 10'000LL * 9'999 / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      if (i == 17) throw std::runtime_error("boom at 17");
+      ran.fetch_add(1);
+    });
+    FAIL() << "expected exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 17");
+  }
+  // Every chunk other than the throwing one ran to completion before the
+  // rethrow; only indices after 17 inside its own chunk may be skipped.
+  EXPECT_GE(ran.load(), 64 - 4);
+  EXPECT_LT(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionLeavesPoolUsable) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, NoLostTasksUnderContention) {
+  // Many producer threads hammer submit while the pool drains; every task
+  // accepted (submit returned true) must run exactly once.
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> accepted{0};
+  std::atomic<int> executed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (pool.submit([&] { executed.fetch_add(1); })) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.shutdown();
+  EXPECT_EQ(accepted.load(), kProducers * kPerProducer);
+  EXPECT_EQ(executed.load(), accepted.load());
+}
+
+TEST(ThreadPoolTest, SubmitDuringShutdownNeverLosesAcceptedTasks) {
+  // Race submit against shutdown: tasks for which submit returned true
+  // must all execute even when shutdown lands mid-burst.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+    ThreadPool pool(2);
+    std::thread producer([&] {
+      for (int i = 0; i < 200; ++i) {
+        if (pool.submit([&] { executed.fetch_add(1); })) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+    pool.shutdown();
+    producer.join();
+    EXPECT_EQ(executed.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, StealsWorkFromBusySiblings) {
+  // One long task pins a worker; the remaining short tasks must finish
+  // long before the pinned task does, which requires stealing.
+  ThreadPool pool(4);
+  std::atomic<bool> release{false};
+  std::atomic<int> shorts_done{0};
+  WaitGroup wg;
+  wg.add();
+  ASSERT_TRUE(pool.submit([&] {
+    while (!release.load()) std::this_thread::yield();
+    wg.done();
+  }));
+  constexpr int kShorts = 64;
+  WaitGroup shorts;
+  for (int i = 0; i < kShorts; ++i) {
+    shorts.add();
+    ASSERT_TRUE(pool.submit([&] {
+      shorts_done.fetch_add(1);
+      shorts.done();
+    }));
+  }
+  shorts.wait();  // completes while the long task still holds its worker
+  EXPECT_EQ(shorts_done.load(), kShorts);
+  release.store(true);
+  wg.wait();
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "runtime/deployment.h"
 #include "transport/tcp.h"
+#include "wire/shared_frame.h"
 #include "workload/generators.h"
 
 namespace sds::runtime {
@@ -39,6 +40,31 @@ TEST(FlatRuntimeTest, RunCycleProducesBreakdown) {
   ASSERT_TRUE(breakdown.is_ok()) << breakdown.status();
   EXPECT_GT(breakdown->total(), Nanos{0});
   EXPECT_EQ(deployment->global().stats().cycles(), 1u);
+}
+
+TEST(FlatRuntimeTest, BroadcastWavesEncodeExactlyOncePerMessage) {
+  // The collect and heartbeat waves send one identical message to every
+  // stage connection; the shared-frame fast path must encode it exactly
+  // once per wave regardless of fan-out.
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 16;
+  options.stages_per_host = 4;
+  auto deployment = Deployment::create(net, options).value();
+
+  const auto counters_before = deployment->global().endpoint()->counters();
+  auto encodes_before = wire::EncodeStats::frames_encoded.load();
+  ASSERT_TRUE(deployment->global().run_cycle().is_ok());
+  // The CollectRequest is the cycle's only broadcast (enforce batches are
+  // per-connection-unique and take the unicast path).
+  EXPECT_EQ(wire::EncodeStats::frames_encoded.load() - encodes_before, 1u);
+  const auto counters_after = deployment->global().endpoint()->counters();
+  // ...yet all 16 stages were sent the request (plus enforce batches).
+  EXPECT_GE(counters_after.messages_sent - counters_before.messages_sent, 16u);
+
+  encodes_before = wire::EncodeStats::frames_encoded.load();
+  ASSERT_TRUE(deployment->global().probe_liveness(millis(500)).is_ok());
+  EXPECT_EQ(wire::EncodeStats::frames_encoded.load() - encodes_before, 1u);
 }
 
 TEST(FlatRuntimeTest, EnforcedLimitsReachStages) {

@@ -60,6 +60,56 @@ TEST(CodecTest, VarintRoundTripBoundaries) {
   }
 }
 
+TEST(CodecTest, VarintSizeExhaustiveSevenBitBoundaries) {
+  // Every 7-bit group boundary: 2^(7k)-1 needs k bytes, 2^(7k) needs k+1.
+  // Also cross-checks varint_size (bit_width arithmetic) against a
+  // reference per-byte loop and the actual encoded length.
+  const auto reference_size = [](std::uint64_t v) {
+    std::size_t n = 1;
+    while (v >= 0x80) {
+      v >>= 7;
+      ++n;
+    }
+    return n;
+  };
+  const auto check = [&](std::uint64_t v, std::size_t expected) {
+    EXPECT_EQ(Encoder::varint_size(v), expected) << "value " << v;
+    EXPECT_EQ(Encoder::varint_size(v), reference_size(v)) << "value " << v;
+    Encoder enc;
+    enc.put_varint(v);
+    EXPECT_EQ(enc.size(), expected) << "value " << v;
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.get_varint(), v);
+    EXPECT_TRUE(dec.fully_consumed());
+  };
+  check(0, 1);
+  for (std::size_t k = 1; k <= 9; ++k) {
+    const std::uint64_t boundary = std::uint64_t{1} << (7 * k);
+    check(boundary - 1, k);      // 0x7f, 0x3fff, ... last k-byte value
+    check(boundary, k + 1);      // 0x80, 0x4000, ... first (k+1)-byte value
+    check(boundary + 1, k + 1);
+  }
+  check(std::numeric_limits<std::uint64_t>::max(), 10);
+  static_assert(Encoder::varint_size(0) == 1);
+  static_assert(Encoder::varint_size(0x7F) == 1);
+  static_assert(Encoder::varint_size(0x80) == 2);
+  static_assert(Encoder::varint_size(std::numeric_limits<std::uint64_t>::max()) == 10);
+}
+
+TEST(CodecTest, VarintAppendsAfterExistingBytes) {
+  // put_varint resizes the buffer in one step; earlier content and
+  // later writes must be untouched by the in-place byte loop.
+  Encoder enc;
+  enc.put_u8(0xEE);
+  enc.put_varint(std::numeric_limits<std::uint64_t>::max());
+  enc.put_u8(0xDD);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0xEE);
+  EXPECT_EQ(dec.get_varint(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(dec.get_u8(), 0xDD);
+  EXPECT_TRUE(dec.fully_consumed());
+}
+
 TEST(CodecTest, VarintRandomRoundTrip) {
   Rng rng(1);
   for (int i = 0; i < 10'000; ++i) {
