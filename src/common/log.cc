@@ -5,7 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace sds {
 
@@ -70,8 +71,9 @@ void Logger::write(LogLevel level, std::string_view file, int line,
   char when[32];
   std::strftime(when, sizeof(when), "%Y-%m-%d %H:%M:%S", &tm_buf);
 
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
+  // One writer at a time so concurrent records never interleave.
+  static Mutex mu;
+  MutexLock lock(mu);
   std::fprintf(stderr, "[%s.%06lld T%llu] %-5s %.*s:%d] %.*s\n", when,
                static_cast<long long>(us % 1'000'000),
                static_cast<unsigned long long>(this_thread_id()),

@@ -1,0 +1,98 @@
+// Annotated synchronization primitives for Clang Thread Safety Analysis.
+//
+// std::mutex and std::lock_guard carry no capability attributes in
+// libstdc++, so -Wthread-safety cannot see through them. Mutex, MutexLock
+// and CondVar are zero-overhead wrappers that (a) behave exactly like the
+// std types they wrap and (b) are annotated, so members declared
+// SDS_GUARDED_BY(mu_) are compiler-checked at every access.
+//
+// Usage:
+//   mutable Mutex mu_;
+//   int value_ SDS_GUARDED_BY(mu_);
+//   ...
+//   MutexLock lock(mu_);   // replaces std::lock_guard / std::unique_lock
+//   value_ = 42;           // OK: analysis sees the capability
+//
+// Condition waits keep the predicate idiom:
+//   cv_.wait(lock, [&] SDS_REQUIRES(mu_) { return ready_; });
+// The predicate runs with the lock held (std::condition_variable
+// contract); the SDS_REQUIRES annotation tells the analysis so.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace sds {
+
+/// Annotated std::mutex. Same semantics, same size (one std::mutex).
+class SDS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SDS_ACQUIRE() { mu_.lock(); }
+  void unlock() SDS_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() SDS_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+  /// The wrapped mutex, for interop with std APIs (CondVar uses it).
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over Mutex; the annotated replacement for both
+/// std::lock_guard and std::unique_lock (CondVar can wait on it).
+class SDS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SDS_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() SDS_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// The wrapped lock, for std::condition_variable interop.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable that waits on MutexLock. All waits take a
+/// predicate, making lost wakeups and spurious-wake bugs impossible by
+/// construction — the project's CV discipline (see DESIGN.md §10).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Blocks until `pred()` is true. The lock is held whenever `pred`
+  /// runs and when the call returns.
+  template <typename Pred>
+  void wait(MutexLock& lock, Pred pred) {
+    cv_.wait(lock.native(), std::move(pred));
+  }
+
+  /// Blocks until `pred()` is true or `timeout` elapsed; returns the
+  /// final `pred()` value.
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout, Pred pred) {
+    return cv_.wait_for(lock.native(), timeout, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sds

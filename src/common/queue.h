@@ -3,14 +3,19 @@
 // A closed queue rejects pushes and drains remaining items; pop() on an
 // empty closed queue returns nullopt immediately. This gives clean
 // shutdown semantics without sentinel items.
+//
+// Lock discipline is compiler-checked: all mutable state is
+// SDS_GUARDED_BY(mu_) and every condition wait uses a predicate, so a
+// close() racing a blocked pop()/push() always resolves (the predicates
+// observe `closed_` under the lock — see QueueShutdownTest).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sds {
 
@@ -24,9 +29,11 @@ class Queue {
   Queue& operator=(const Queue&) = delete;
 
   /// Blocking push. Returns false if the queue is (or becomes) closed.
-  bool push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || !is_full(); });
+  bool push(T item) SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    not_full_.wait(lock, [&]() SDS_REQUIRES(mu_) {
+      return closed_ || !is_full();
+    });
     if (closed_) return false;
     items_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -34,8 +41,8 @@ class Queue {
   }
 
   /// Non-blocking push. Returns false when full or closed.
-  bool try_push(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool try_push(T item) SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (closed_ || is_full()) return false;
     items_.push_back(std::move(item));
     not_empty_.notify_one();
@@ -43,22 +50,26 @@ class Queue {
   }
 
   /// Blocking pop. Returns nullopt once closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    not_empty_.wait(lock, [&]() SDS_REQUIRES(mu_) {
+      return closed_ || !items_.empty();
+    });
     return pop_locked();
   }
 
   /// Pop with relative timeout. Returns nullopt on timeout or closed+empty.
-  std::optional<T> pop_for(Nanos timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> pop_for(Nanos timeout) SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    not_empty_.wait_for(lock, timeout, [&]() SDS_REQUIRES(mu_) {
+      return closed_ || !items_.empty();
+    });
     return pop_locked();
   }
 
   /// Non-blocking pop.
-  std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<T> try_pop() SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -66,27 +77,29 @@ class Queue {
     return item;
   }
 
-  void close() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void close() SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] bool closed() const SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] std::size_t size() const SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  bool is_full() const { return capacity_ != 0 && items_.size() >= capacity_; }
+  bool is_full() const SDS_REQUIRES(mu_) {
+    return capacity_ != 0 && items_.size() >= capacity_;
+  }
 
-  std::optional<T> pop_locked() {
+  std::optional<T> pop_locked() SDS_REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -95,11 +108,11 @@ class Queue {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ SDS_GUARDED_BY(mu_);
+  bool closed_ SDS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sds

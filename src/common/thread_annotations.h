@@ -1,0 +1,70 @@
+// Clang Thread Safety Analysis annotations.
+//
+// These macros wrap Clang's capability attributes so the compiler can
+// prove lock discipline at build time: every member annotated with
+// SDS_GUARDED_BY(mu) may only be touched while `mu` is held, functions
+// annotated SDS_REQUIRES(mu) may only be called with `mu` held, and so
+// on. Under any compiler without the attributes (GCC, MSVC) they expand
+// to nothing, so annotated code stays portable.
+//
+// Enable the analysis with Clang via the SDS_THREAD_SAFETY CMake option,
+// which adds -Wthread-safety -Werror. The annotated primitives that the
+// analysis understands live in common/mutex.h (Mutex, MutexLock,
+// CondVar); prefer them over raw std::mutex in new code.
+#pragma once
+
+#if defined(__clang__) && !defined(SDS_NO_THREAD_SAFETY_ANNOTATIONS)
+#define SDS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SDS_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex").
+#define SDS_CAPABILITY(x) SDS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose lifetime holds a capability.
+#define SDS_SCOPED_CAPABILITY SDS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define SDS_GUARDED_BY(x) SDS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define SDS_PT_GUARDED_BY(x) SDS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry.
+#define SDS_REQUIRES(...) \
+  SDS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define SDS_ACQUIRE(...) \
+  SDS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define SDS_RELEASE(...) \
+  SDS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `b`.
+#define SDS_TRY_ACQUIRE(b, ...) \
+  SDS_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define SDS_EXCLUDES(...) SDS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering hints for deadlock detection.
+#define SDS_ACQUIRED_BEFORE(...) \
+  SDS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define SDS_ACQUIRED_AFTER(...) \
+  SDS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define SDS_RETURN_CAPABILITY(x) SDS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Asserts (at analysis time) that the capability is already held.
+#define SDS_ASSERT_CAPABILITY(x) \
+  SDS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Use only where
+/// the locking pattern is provably safe but inexpressible (e.g. lambdas
+/// invoked while the lock is held by the caller).
+#define SDS_NO_THREAD_SAFETY_ANALYSIS \
+  SDS_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -27,14 +27,14 @@ bool ThreadPool::submit(Task task) {
   // never race with shutdown into a lost task. A worker that wakes in
   // the gap simply spins through one failed try_pop and retries.
   {
-    std::lock_guard<std::mutex> lock(sleep_mu_);
+    MutexLock lock(sleep_mu_);
     if (!accepting_.load(std::memory_order_relaxed)) return false;
     pending_.fetch_add(1, std::memory_order_release);
   }
   const std::size_t target =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    MutexLock lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
   sleep_cv_.notify_one();
@@ -45,7 +45,7 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
   // Own queue first, newest task (LIFO): the data it touches is warmest.
   {
     WorkerQueue& mine = *queues_[self];
-    std::lock_guard<std::mutex> lock(mine.mu);
+    MutexLock lock(mine.mu);
     if (!mine.tasks.empty()) {
       out = std::move(mine.tasks.back());
       mine.tasks.pop_back();
@@ -57,7 +57,7 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
   // are the most likely to represent large not-yet-started work.
   for (std::size_t off = 1; off < queues_.size(); ++off) {
     WorkerQueue& victim = *queues_[(self + off) % queues_.size()];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (!victim.tasks.empty()) {
       out = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -76,7 +76,7 @@ void ThreadPool::worker_loop(std::size_t self) {
       task = nullptr;
       continue;
     }
-    std::unique_lock<std::mutex> lock(sleep_mu_);
+    MutexLock lock(sleep_mu_);
     // pending_ > 0 means a task is queued (or about to land in a queue,
     // see submit): retry rather than sleep or exit.
     if (pending_.load(std::memory_order_acquire) > 0) continue;
@@ -92,13 +92,13 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
 
-  std::mutex error_mu;
+  Mutex error_mu;
   std::exception_ptr first_error;
   const auto run_range = [&](std::size_t begin, std::size_t end) {
     try {
       for (std::size_t i = begin; i < end; ++i) fn(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mu);
+      MutexLock lock(error_mu);
       if (!first_error) first_error = std::current_exception();
     }
   };
@@ -125,7 +125,7 @@ void ThreadPool::parallel_for(std::size_t n,
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(sleep_mu_);
+    MutexLock lock(sleep_mu_);
     if (joining_.exchange(true, std::memory_order_acq_rel)) return;
     accepting_.store(false, std::memory_order_release);
   }

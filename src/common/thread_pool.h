@@ -10,39 +10,40 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sds {
 
 /// Counts outstanding work; wait() blocks until the count returns to zero.
 class WaitGroup {
  public:
-  void add(std::size_t n = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void add(std::size_t n = 1) SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     count_ += n;
   }
 
-  void done() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void done() SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (count_ > 0 && --count_ == 0) cv_.notify_all();
   }
 
-  void wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_ == 0; });
+  void wait() SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    cv_.wait(lock, [&]() SDS_REQUIRES(mu_) { return count_ == 0; });
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t count_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  std::size_t count_ SDS_GUARDED_BY(mu_) = 0;
 };
 
 namespace common {
@@ -59,7 +60,7 @@ class ThreadPool {
 
   /// Enqueue a task; returns false after shutdown began. Tasks queued
   /// before shutdown always run (shutdown drains before joining).
-  bool submit(Task task);
+  bool submit(Task task) SDS_EXCLUDES(sleep_mu_);
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
   /// Every index runs exactly once even if the pool is shutting down
@@ -70,24 +71,24 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Stop accepting work, drain all queued tasks, join all workers.
-  void shutdown();
+  void shutdown() SDS_EXCLUDES(sleep_mu_);
 
  private:
   /// One worker's deque. The owner pops from the back; thieves take from
   /// the front, so steals grab the oldest (likely largest-remaining) work.
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks SDS_GUARDED_BY(mu);
   };
 
   bool try_pop(std::size_t self, Task& out);
-  void worker_loop(std::size_t self);
+  void worker_loop(std::size_t self) SDS_EXCLUDES(sleep_mu_);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex sleep_mu_;
-  std::condition_variable sleep_cv_;
+  Mutex sleep_mu_;
+  CondVar sleep_cv_;
   std::atomic<std::size_t> pending_{0};     // queued, not yet popped
   std::atomic<std::size_t> next_queue_{0};  // round-robin submit target
   std::atomic<bool> accepting_{true};

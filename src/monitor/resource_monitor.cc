@@ -97,7 +97,7 @@ void ResourceMonitor::bind(telemetry::MetricsRegistry& registry,
                              telemetry::MetricsRegistry&) {
     const ResourceSample now = sample();
     rss->set(static_cast<double>(now.rss_bytes));
-    std::lock_guard<std::mutex> lock(collect_mu_);
+    MutexLock lock(collect_mu_);
     if (has_last_collected_) {
       const ResourceUsage usage = usage_between(last_collected_, now);
       cpu->set(usage.cpu_percent);

@@ -5,11 +5,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "telemetry/metrics.h"
 #include "transport/transport.h"
 
@@ -66,9 +67,9 @@ class ResourceMonitor {
  private:
   std::vector<const transport::Endpoint*> endpoints_;
   // Previous sample seen by the telemetry collector (rates need a delta).
-  std::mutex collect_mu_;
-  ResourceSample last_collected_{};
-  bool has_last_collected_ = false;
+  Mutex collect_mu_;
+  ResourceSample last_collected_ SDS_GUARDED_BY(collect_mu_){};
+  bool has_last_collected_ SDS_GUARDED_BY(collect_mu_) = false;
 };
 
 }  // namespace sds::monitor

@@ -30,7 +30,7 @@ bool Gather::offer(ConnId conn, const wire::Frame& frame) {
     const auto cycle = peek_cycle_id(frame);
     if (!cycle || *cycle != *cycle_) return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = waiting_.find(conn);
   if (it == waiting_.end()) return false;
   waiting_.erase(it);
@@ -41,7 +41,7 @@ bool Gather::offer(ConnId conn, const wire::Frame& frame) {
 }
 
 void Gather::fail(ConnId conn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (waiting_.erase(conn) > 0) {
     ++failed_;
     if (telemetry_ != nullptr) telemetry_->peer_failures->add(1);
@@ -50,10 +50,11 @@ void Gather::fail(ConnId conn) {
 }
 
 Status Gather::wait_for(Nanos timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto started = std::chrono::steady_clock::now();
   const bool complete =
-      cv_.wait_for(lock, timeout, [&] { return waiting_.empty(); });
+      cv_.wait_for(lock, timeout,
+                   [&]() SDS_REQUIRES(mu_) { return waiting_.empty(); });
   if (telemetry_ != nullptr) {
     telemetry_->wave_latency_ns->record(
         std::chrono::duration_cast<Nanos>(std::chrono::steady_clock::now() -
@@ -71,17 +72,17 @@ Status Gather::wait_for(Nanos timeout) {
 }
 
 std::vector<Gather::Reply> Gather::take_replies() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::move(replies_);
 }
 
 std::size_t Gather::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return waiting_.size();
 }
 
 void Dispatcher::set_fallback(FallbackHandler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fallback_ = std::move(handler);
 }
 
@@ -98,7 +99,7 @@ void Dispatcher::bind_telemetry(telemetry::MetricsRegistry& registry,
   instruments->fanout = registry.histogram("sds_rpc_gather_fanout", labels);
   instruments->wave_latency_ns =
       registry.histogram("sds_rpc_gather_wave_latency_ns", std::move(labels));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   telemetry_ = std::move(instruments);
 }
 
@@ -107,18 +108,18 @@ std::shared_ptr<Gather> Dispatcher::start_gather(
     std::vector<ConnId> expected) {
   std::shared_ptr<const GatherTelemetry> telemetry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     telemetry = telemetry_;
   }
   auto gather = std::make_shared<Gather>(type, cycle, std::move(expected),
                                          std::move(telemetry));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gathers_.push_back(gather);
   return gather;
 }
 
 void Dispatcher::finish(const std::shared_ptr<Gather>& gather) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gathers_.erase(std::remove(gathers_.begin(), gathers_.end(), gather),
                  gathers_.end());
 }
@@ -127,7 +128,7 @@ void Dispatcher::on_frame(ConnId conn, wire::Frame frame) {
   std::vector<std::shared_ptr<Gather>> gathers;
   FallbackHandler fallback;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     gathers = gathers_;
     fallback = fallback_;
   }
@@ -141,7 +142,7 @@ void Dispatcher::on_conn_event(ConnId conn, transport::ConnEvent event) {
   if (event != transport::ConnEvent::kClosed) return;
   std::vector<std::shared_ptr<Gather>> gathers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     gathers = gathers_;
   }
   for (const auto& gather : gathers) gather->fail(conn);

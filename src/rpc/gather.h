@@ -13,16 +13,16 @@
 // dispatcher can route without fully decoding payloads.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "proto/messages.h"
@@ -61,32 +61,32 @@ class Gather {
          std::shared_ptr<const GatherTelemetry> telemetry = nullptr);
 
   /// Offer a frame; returns true if this gather consumed it.
-  bool offer(ConnId conn, const wire::Frame& frame);
+  bool offer(ConnId conn, const wire::Frame& frame) SDS_EXCLUDES(mu_);
 
   /// Mark a connection as failed (e.g. it closed); the gather no longer
   /// waits for it.
-  void fail(ConnId conn);
+  void fail(ConnId conn) SDS_EXCLUDES(mu_);
 
   /// Block until every expected reply arrived or `timeout` elapsed.
   /// Returns OK when complete, kDeadlineExceeded with the number of
   /// missing replies otherwise.
-  [[nodiscard]] Status wait_for(Nanos timeout);
+  [[nodiscard]] Status wait_for(Nanos timeout) SDS_EXCLUDES(mu_);
 
   /// Collected replies (call after wait_for).
-  [[nodiscard]] std::vector<Reply> take_replies();
+  [[nodiscard]] std::vector<Reply> take_replies() SDS_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::size_t pending() const SDS_EXCLUDES(mu_);
 
  private:
   const proto::MessageType type_;
   const std::optional<std::uint64_t> cycle_;
   const std::shared_ptr<const GatherTelemetry> telemetry_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_set<ConnId> waiting_;
-  std::vector<Reply> replies_;
-  std::size_t failed_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::unordered_set<ConnId> waiting_ SDS_GUARDED_BY(mu_);
+  std::vector<Reply> replies_ SDS_GUARDED_BY(mu_);
+  std::size_t failed_ SDS_GUARDED_BY(mu_) = 0;
 };
 
 /// Routes inbound frames to active gathers; thread-safe.
@@ -94,34 +94,36 @@ class Dispatcher {
  public:
   using FallbackHandler = std::function<void(ConnId, wire::Frame)>;
 
-  void set_fallback(FallbackHandler handler);
+  void set_fallback(FallbackHandler handler) SDS_EXCLUDES(mu_);
 
   /// Register the gather layer's instruments (`sds_rpc_*{...labels}`)
   /// with `registry`; every subsequently started gather reports fan-out
   /// size, wave latency, replies and timeouts into them.
   void bind_telemetry(telemetry::MetricsRegistry& registry,
-                      telemetry::Labels labels = {});
+                      telemetry::Labels labels = {}) SDS_EXCLUDES(mu_);
 
   /// Create and register a gather. Automatically unregistered when the
   /// returned shared_ptr is the last reference and removed via collect().
   std::shared_ptr<Gather> start_gather(proto::MessageType type,
                                        std::optional<std::uint64_t> cycle,
-                                       std::vector<ConnId> expected);
+                                       std::vector<ConnId> expected)
+      SDS_EXCLUDES(mu_);
 
   /// Remove a finished gather.
-  void finish(const std::shared_ptr<Gather>& gather);
+  void finish(const std::shared_ptr<Gather>& gather) SDS_EXCLUDES(mu_);
 
   /// Endpoint frame handler: route to a gather or the fallback.
-  void on_frame(ConnId conn, wire::Frame frame);
+  void on_frame(ConnId conn, wire::Frame frame) SDS_EXCLUDES(mu_);
 
   /// Endpoint connection handler: fail pending gathers on closed conns.
-  void on_conn_event(ConnId conn, transport::ConnEvent event);
+  void on_conn_event(ConnId conn, transport::ConnEvent event)
+      SDS_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::vector<std::shared_ptr<Gather>> gathers_;
-  FallbackHandler fallback_;
-  std::shared_ptr<const GatherTelemetry> telemetry_;
+  Mutex mu_;
+  std::vector<std::shared_ptr<Gather>> gathers_ SDS_GUARDED_BY(mu_);
+  FallbackHandler fallback_ SDS_GUARDED_BY(mu_);
+  std::shared_ptr<const GatherTelemetry> telemetry_ SDS_GUARDED_BY(mu_);
 };
 
 /// Convenience: send `request` on `conn` and wait for a single reply of

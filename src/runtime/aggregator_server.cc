@@ -22,7 +22,7 @@ AggregatorServer::~AggregatorServer() { shutdown(); }
 Status AggregatorServer::start(
     const transport::EndpointOptions& endpoint_options) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (started_) return Status::failed_precondition("already started");
     auto endpoint = network_->bind(address_, endpoint_options);
     if (!endpoint.is_ok()) return endpoint.status();
@@ -54,7 +54,7 @@ Status AggregatorServer::start(
   auto upstream = endpoint_->connect(options_.upstream_address);
   if (!upstream.is_ok()) return upstream.status();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     upstream_ = upstream.value();
   }
   proto::Heartbeat intro;
@@ -72,7 +72,7 @@ void AggregatorServer::on_frame(ConnId conn, wire::Frame frame) {
       proto::RegisterAck ack;
       ConnId upstream;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         // Upsert: a stage reconnecting (e.g. after a transient drop) may
         // re-register before its old connection is reaped.
         Status added = core_.registry().add(
@@ -134,7 +134,7 @@ void AggregatorServer::serve_collect(proto::CollectRequest request) {
   std::vector<ConnId> conns;
   ConnId upstream;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     core_.registry().for_each(
         [&](const core::StageRecord& record) { conns.push_back(record.conn); });
     upstream = upstream_;
@@ -160,7 +160,7 @@ void AggregatorServer::serve_collect(proto::CollectRequest request) {
 
   proto::AggregatedMetrics report;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     report = core_.aggregate(request.cycle_id, metrics);
     last_collected_ = std::move(metrics);
     last_collect_cycle_ = request.cycle_id;
@@ -173,7 +173,7 @@ void AggregatorServer::serve_collect(proto::CollectRequest request) {
 void AggregatorServer::serve_lease(proto::BudgetLease lease) {
   std::vector<proto::Rule> rules;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     core_.set_lease(lease);
     rules = core_.local_compute(
         lease.cycle_id, last_collected_,
@@ -185,7 +185,7 @@ void AggregatorServer::serve_lease(proto::BudgetLease lease) {
 void AggregatorServer::serve_enforce(proto::EnforceBatch batch) {
   core::AggregatorCore::RoutedRules routed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     routed = core_.route(batch);
   }
   if (!routed.unknown.empty()) {
@@ -200,7 +200,7 @@ void AggregatorServer::enforce_rules(std::uint64_t cycle_id,
   ConnId upstream;
   std::vector<std::pair<ConnId, proto::EnforceBatch>> deliveries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     upstream = upstream_;
     for (const auto& rule : rules) {
       const core::StageRecord* record = core_.registry().find(rule.stage_id);
@@ -234,7 +234,7 @@ void AggregatorServer::enforce_rules(std::uint64_t cycle_id,
 
   proto::EnforceAck merged;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     merged = core_.merge_acks(cycle_id, acks);
   }
   if (upstream.valid()) {
@@ -243,7 +243,7 @@ void AggregatorServer::enforce_rules(std::uint64_t cycle_id,
 }
 
 void AggregatorServer::on_conn_closed(ConnId conn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (conn == upstream_) {
     SDS_LOG(WARN) << address_ << ": upstream connection lost";
     upstream_ = ConnId::invalid();
@@ -262,18 +262,18 @@ void AggregatorServer::on_conn_closed(ConnId conn) {
 }
 
 std::size_t AggregatorServer::registered_stages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core_.registry().size();
 }
 
 std::uint64_t AggregatorServer::cycles_served() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cycles_served_;
 }
 
 void AggregatorServer::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }

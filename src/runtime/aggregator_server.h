@@ -16,13 +16,14 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/queue.h"
 #include "common/status.h"
 #include "core/aggregator.h"
@@ -97,15 +98,16 @@ class AggregatorServer {
   ServerTelemetry telemetry_;
   telemetry::Counter* cycles_counter_ = nullptr;
 
-  mutable std::mutex mu_;
-  core::AggregatorCore core_;
-  std::unordered_map<ConnId, std::vector<StageId>> stages_by_conn_;
-  ConnId upstream_ = ConnId::invalid();
-  std::uint64_t cycles_served_ = 0;
+  mutable Mutex mu_;
+  core::AggregatorCore core_ SDS_GUARDED_BY(mu_);
+  std::unordered_map<ConnId, std::vector<StageId>> stages_by_conn_
+      SDS_GUARDED_BY(mu_);
+  ConnId upstream_ SDS_GUARDED_BY(mu_) = ConnId::invalid();
+  std::uint64_t cycles_served_ SDS_GUARDED_BY(mu_) = 0;
   /// Most recent collect results, kept for local-decision leases.
-  std::vector<proto::StageMetrics> last_collected_;
-  std::uint64_t last_collect_cycle_ = 0;
-  bool started_ = false;
+  std::vector<proto::StageMetrics> last_collected_ SDS_GUARDED_BY(mu_);
+  std::uint64_t last_collect_cycle_ SDS_GUARDED_BY(mu_) = 0;
+  bool started_ SDS_GUARDED_BY(mu_) = false;
 
   Queue<std::function<void()>> work_;
   std::thread worker_;

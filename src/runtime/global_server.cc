@@ -23,7 +23,7 @@ GlobalControllerServer::~GlobalControllerServer() { shutdown(); }
 
 Status GlobalControllerServer::start(
     const transport::EndpointOptions& endpoint_options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) return Status::failed_precondition("already started");
   auto endpoint = network_->bind(address_, endpoint_options);
   if (!endpoint.is_ok()) return endpoint.status();
@@ -60,7 +60,7 @@ void GlobalControllerServer::on_frame(ConnId conn, wire::Frame frame) {
       if (!request.is_ok()) return;
       proto::RegisterAck ack;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ControllerId via = ControllerId::invalid();
         if (const auto it = aggregators_by_conn_.find(conn);
             it != aggregators_by_conn_.end()) {
@@ -91,7 +91,7 @@ void GlobalControllerServer::on_frame(ConnId conn, wire::Frame frame) {
       const auto hb = proto::from_frame<proto::Heartbeat>(frame);
       if (!hb.is_ok()) return;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         aggregators_by_conn_[conn] = hb->from;
       }
       proto::HeartbeatAck ack;
@@ -105,7 +105,7 @@ void GlobalControllerServer::on_frame(ConnId conn, wire::Frame frame) {
 }
 
 void GlobalControllerServer::on_conn_closed(ConnId conn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (const auto it = aggregators_by_conn_.find(conn);
       it != aggregators_by_conn_.end()) {
     const ControllerId id = it->second;
@@ -129,7 +129,7 @@ void GlobalControllerServer::on_conn_closed(ConnId conn) {
 GlobalControllerServer::CycleTargets
 GlobalControllerServer::snapshot_targets() const {
   CycleTargets targets;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   targets.aggregators.reserve(aggregators_by_conn_.size());
   for (const auto& [conn, id] : aggregators_by_conn_) {
     targets.aggregators.emplace_back(conn, id);
@@ -152,7 +152,7 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
   proto::CollectRequest request;
   std::uint64_t cycle = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     request = core_.begin_cycle();
     cycle = core_.current_cycle();
   }
@@ -211,7 +211,7 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
   // ---- Compute -------------------------------------------------------
   core::ComputeResult result;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (aggregated.empty()) {
       result = core_.compute(std::span<const proto::StageMetrics>(
           stage_metrics.data(), stage_metrics.size()));
@@ -233,7 +233,7 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
   // ---- Enforce -------------------------------------------------------
   std::unordered_map<ControllerId, proto::EnforceBatch> batches;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     batches = core_.group_rules(result);
   }
 
@@ -246,7 +246,7 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
     // Direct stages: one batch per stage connection.
     std::unordered_map<ConnId, proto::EnforceBatch> per_conn;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (const auto& rule : it->second.rules) {
         const core::StageRecord* record = core_.registry().find(rule.stage_id);
         if (record == nullptr) continue;
@@ -322,7 +322,7 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_lease_phase(
   }
   core::Budgets budgets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     budgets = core_.policies().budgets();
   }
   const std::uint64_t valid_until = static_cast<std::uint64_t>(
@@ -382,7 +382,7 @@ GlobalControllerServer::probe_liveness(Nanos timeout) {
   const CycleTargets targets = snapshot_targets();
   std::uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     seq = ++heartbeat_seq_;
   }
 
@@ -428,38 +428,38 @@ Status GlobalControllerServer::run_cycles(std::size_t n) {
 }
 
 void GlobalControllerServer::set_job_weight(JobId job, double weight) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   core_.policies().set_weight(job, weight);
 }
 
 void GlobalControllerServer::set_budgets(core::Budgets budgets) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   core_.policies().set_budgets(budgets);
 }
 
 std::size_t GlobalControllerServer::registered_stages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core_.registry().size();
 }
 
 std::size_t GlobalControllerServer::known_aggregators() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return aggregators_by_conn_.size();
 }
 
 std::uint32_t GlobalControllerServer::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return core_.epoch();
 }
 
 void GlobalControllerServer::advance_epoch() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   core_.advance_epoch();
 }
 
 void GlobalControllerServer::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_) return;
     started_ = false;
   }

@@ -13,12 +13,13 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "core/cycle_stats.h"
 #include "core/global.h"
@@ -139,13 +140,17 @@ class GlobalControllerServer {
   rpc::Dispatcher dispatcher_;
   ServerTelemetry telemetry_;
 
-  mutable std::mutex mu_;
-  core::GlobalControllerCore core_;
-  std::unordered_map<ConnId, std::vector<StageId>> stages_by_conn_;
-  std::unordered_map<ConnId, ControllerId> aggregators_by_conn_;
+  mutable Mutex mu_;
+  core::GlobalControllerCore core_ SDS_GUARDED_BY(mu_);
+  std::unordered_map<ConnId, std::vector<StageId>> stages_by_conn_
+      SDS_GUARDED_BY(mu_);
+  std::unordered_map<ConnId, ControllerId> aggregators_by_conn_
+      SDS_GUARDED_BY(mu_);
+  /// Touched only by the control thread driving run_cycle(); the stats()
+  /// accessor is safe once cycles stop (test introspection).
   core::CycleStats stats_;
-  std::uint64_t heartbeat_seq_ = 0;
-  bool started_ = false;
+  std::uint64_t heartbeat_seq_ SDS_GUARDED_BY(mu_) = 0;
+  bool started_ SDS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sds::runtime

@@ -15,7 +15,7 @@ StageHost::~StageHost() { shutdown(); }
 
 Status StageHost::start(const transport::EndpointOptions& endpoint_options) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (started_) return Status::failed_precondition("already started");
     auto endpoint = network_->bind(address_, endpoint_options);
     if (!endpoint.is_ok()) return endpoint.status();
@@ -55,7 +55,7 @@ Status StageHost::start(const transport::EndpointOptions& endpoint_options) {
 
 Status StageHost::add_stage(proto::StageInfo info, stage::DemandFn data_demand,
                             stage::DemandFn meta_demand) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& slot : slots_) {
     if (slot->stage.info().stage_id == info.stage_id) {
       return Status::already_exists("stage " +
@@ -73,14 +73,14 @@ Status StageHost::add_stage(proto::StageInfo info, stage::DemandFn data_demand,
 Status StageHost::register_all() {
   std::size_t count = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_) return Status::failed_precondition("not started");
     count = slots_.size();
   }
   for (std::size_t i = 0; i < count; ++i) {
     bool needs_registration = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       needs_registration = !slots_[i]->conn.valid();
     }
     if (needs_registration) SDS_RETURN_IF_ERROR(register_stage(i, 0));
@@ -92,7 +92,7 @@ Status StageHost::register_stage(std::size_t index, std::size_t address_index) {
   std::string target;
   proto::StageInfo info;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (options_.controller_addresses.empty()) {
       return Status::failed_precondition("no controller addresses configured");
     }
@@ -105,7 +105,7 @@ Status StageHost::register_stage(std::size_t index, std::size_t address_index) {
   if (!conn.is_ok()) return conn.status();
   const ConnId c = conn.value();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     slots_[index]->conn = c;
     slots_[index]->address_index = address_index;
     by_conn_[c] = index;
@@ -116,7 +116,7 @@ Status StageHost::register_stage(std::size_t index, std::size_t address_index) {
       options_.register_timeout);
   if (!ack.is_ok() || !ack->accepted) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       by_conn_.erase(c);
       if (slots_[index]->conn == c) slots_[index]->conn = ConnId::invalid();
     }
@@ -129,7 +129,7 @@ Status StageHost::register_stage(std::size_t index, std::size_t address_index) {
 
 void StageHost::on_frame(ConnId conn, wire::Frame frame) {
   using proto::MessageType;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = by_conn_.find(conn);
   if (it == by_conn_.end()) return;
   Slot& slot = *slots_[it->second];
@@ -173,7 +173,7 @@ void StageHost::on_frame(ConnId conn, wire::Frame frame) {
 
 void StageHost::on_conn_event(ConnId conn, transport::ConnEvent event) {
   if (event != transport::ConnEvent::kClosed) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (shutting_down_ || !options_.auto_failover) return;
   const auto it = by_conn_.find(conn);
   if (it == by_conn_.end()) return;
@@ -188,7 +188,7 @@ void StageHost::on_conn_event(ConnId conn, transport::ConnEvent event) {
 
 Result<double> StageHost::stage_limit(StageId stage_id,
                                       stage::Dimension dim) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& slot : slots_) {
     if (slot->stage.info().stage_id == stage_id) {
       return slot->stage.limit(dim);
@@ -198,18 +198,18 @@ Result<double> StageHost::stage_limit(StageId stage_id,
 }
 
 std::size_t StageHost::stage_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return slots_.size();
 }
 
 std::uint64_t StageHost::collects_answered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return collects_answered_;
 }
 
 void StageHost::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_ || shutting_down_) return;
     shutting_down_ = true;
   }

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -20,6 +19,8 @@
 #include "common/queue.h"
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "rpc/gather.h"
 #include "runtime/server_telemetry.h"
@@ -91,17 +92,17 @@ class StageHost {
   ServerTelemetry telemetry_;
   telemetry::Counter* collects_counter_ = nullptr;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   struct Slot {
     stage::VirtualStage stage;
     ConnId conn;                    // connection to the controller
     std::size_t address_index = 0;  // which controller it registered with
   };
-  std::vector<std::unique_ptr<Slot>> slots_;
-  std::unordered_map<ConnId, std::size_t> by_conn_;
-  std::uint64_t collects_answered_ = 0;
-  bool started_ = false;
-  bool shutting_down_ = false;
+  std::vector<std::unique_ptr<Slot>> slots_ SDS_GUARDED_BY(mu_);
+  std::unordered_map<ConnId, std::size_t> by_conn_ SDS_GUARDED_BY(mu_);
+  std::uint64_t collects_answered_ SDS_GUARDED_BY(mu_) = 0;
+  bool started_ SDS_GUARDED_BY(mu_) = false;
+  bool shutting_down_ SDS_GUARDED_BY(mu_) = false;
 
   /// (slot index, next controller address index) re-registration tasks.
   Queue<std::pair<std::size_t, std::size_t>> failover_queue_;

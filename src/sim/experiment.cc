@@ -154,7 +154,10 @@ class Run {
       info.node_id = NodeId{static_cast<std::uint32_t>(i)};
       info.job_id =
           JobId{static_cast<std::uint32_t>(i / cfg_.stages_per_job)};
-      info.hostname = "c" + std::to_string(i);
+      // Built in two steps: GCC 12's -Wrestrict misfires on the
+      // operator+ temporary here under -O2 (PR 105329).
+      info.hostname = "c";
+      info.hostname += std::to_string(i);
       stage::DemandFn data;
       stage::DemandFn meta;
       if (cfg_.demand_factory) {

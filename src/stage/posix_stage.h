@@ -11,9 +11,10 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "proto/messages.h"
 #include "stage/limiter.h"
 #include "stage/op.h"
@@ -34,9 +35,9 @@ class PosixStage {
   /// Try to admit one operation right now; returns true if admitted.
   /// Rejected operations are counted as throttled (callers typically
   /// retry after admission_delay()).
-  bool try_submit(OpClass op) {
+  bool try_submit(OpClass op) SDS_EXCLUDES(mu_) {
     const Nanos now = clock_->now();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (limiter_.try_admit(op, now)) {
       ++admitted_[static_cast<std::size_t>(dimension_of(op))];
       return true;
@@ -46,22 +47,23 @@ class PosixStage {
   }
 
   /// Delay until `op` could be admitted (0 = admissible now).
-  [[nodiscard]] Nanos admission_delay(OpClass op) {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] Nanos admission_delay(OpClass op) SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return limiter_.admission_delay(op, clock_->now());
   }
 
   /// Apply a rule from the control plane; stale epochs rejected.
-  bool apply(const proto::Rule& rule) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool apply(const proto::Rule& rule) SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return limiter_.apply(rule, clock_->now());
   }
 
   /// Report rates observed since the previous collect and reset the
   /// accounting window (exactly what a Cheferd stage does each cycle).
-  [[nodiscard]] proto::StageMetrics collect(std::uint64_t cycle_id) {
+  [[nodiscard]] proto::StageMetrics collect(std::uint64_t cycle_id)
+      SDS_EXCLUDES(mu_) {
     const Nanos now = clock_->now();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const double window = std::max(to_seconds(now - window_start_), 1e-9);
     proto::StageMetrics m;
     m.cycle_id = cycle_id;
@@ -78,13 +80,14 @@ class PosixStage {
   }
 
   /// Operations rejected since the last collect (introspection).
-  [[nodiscard]] std::uint64_t throttled(Dimension d) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] std::uint64_t throttled(Dimension d) const
+      SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return throttled_[static_cast<std::size_t>(d)];
   }
 
-  [[nodiscard]] double limit(Dimension d) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] double limit(Dimension d) const SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return limiter_.limit(d);
   }
 
@@ -92,11 +95,11 @@ class PosixStage {
   proto::StageInfo info_;
   const Clock* clock_;
 
-  mutable std::mutex mu_;
-  RateLimiter limiter_;
-  std::array<std::uint64_t, kNumDimensions> admitted_{};
-  std::array<std::uint64_t, kNumDimensions> throttled_{};
-  Nanos window_start_;
+  mutable Mutex mu_;
+  RateLimiter limiter_ SDS_GUARDED_BY(mu_);
+  std::array<std::uint64_t, kNumDimensions> admitted_ SDS_GUARDED_BY(mu_){};
+  std::array<std::uint64_t, kNumDimensions> throttled_ SDS_GUARDED_BY(mu_){};
+  Nanos window_start_ SDS_GUARDED_BY(mu_);
 };
 
 }  // namespace sds::stage

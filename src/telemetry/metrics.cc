@@ -54,7 +54,7 @@ MetricsRegistry::Instrument* MetricsRegistry::find_or_create(
     std::string_view name, Labels labels, MetricKind kind) {
   std::sort(labels.begin(), labels.end());
   const std::string key = instrument_key(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (const auto it = index_.find(key); it != index_.end()) return it->second;
   Instrument& instrument = instruments_.emplace_back();
   instrument.name = std::string(name);
@@ -80,19 +80,19 @@ HistogramMetric* MetricsRegistry::histogram(std::string_view name,
 
 void MetricsRegistry::add_collector(
     std::function<void(MetricsRegistry&)> collector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   collectors_.push_back(std::move(collector));
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return instruments_.size();
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() {
   std::vector<std::function<void(MetricsRegistry&)>> collectors;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     collectors = collectors_;
   }
   // Collectors may create instruments, so they run outside the lock.
@@ -103,7 +103,7 @@ MetricsSnapshot MetricsRegistry::snapshot() {
                      std::chrono::system_clock::now().time_since_epoch())
                      .count();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snap.samples.reserve(instruments_.size());
     // The index map is sorted by key == (name, labels): deterministic order.
     for (const auto& [key, instrument] : index_) {

@@ -20,7 +20,6 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -28,6 +27,8 @@
 
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sds::telemetry {
 
@@ -70,21 +71,21 @@ class Gauge {
 /// Thread-safe wrapper around the log-bucketed sds::Histogram.
 class HistogramMetric {
  public:
-  void record(std::int64_t value) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void record(std::int64_t value) SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     hist_.record(value);
   }
   void record(Nanos value) { record(value.count()); }
 
   /// Copy of the underlying distribution (for snapshots).
-  [[nodiscard]] Histogram snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] Histogram snapshot() const SDS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return hist_;
   }
 
  private:
-  mutable std::mutex mu_;
-  Histogram hist_;
+  mutable Mutex mu_;
+  Histogram hist_ SDS_GUARDED_BY(mu_);
 };
 
 enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
@@ -141,19 +142,22 @@ class MetricsRegistry {
   /// Find-or-create; the pointer stays valid for the registry's lifetime.
   /// Re-requesting the same (name, labels) returns the same instrument, so
   /// independent components share series naturally.
-  Counter* counter(std::string_view name, Labels labels = {});
-  Gauge* gauge(std::string_view name, Labels labels = {});
-  HistogramMetric* histogram(std::string_view name, Labels labels = {});
+  Counter* counter(std::string_view name, Labels labels = {})
+      SDS_EXCLUDES(mu_);
+  Gauge* gauge(std::string_view name, Labels labels = {}) SDS_EXCLUDES(mu_);
+  HistogramMetric* histogram(std::string_view name, Labels labels = {})
+      SDS_EXCLUDES(mu_);
 
   /// Collectors run at the start of every snapshot(); they pull state that
   /// is cheaper to poll than to push (endpoint counter blocks, procfs).
-  void add_collector(std::function<void(MetricsRegistry&)> collector);
+  void add_collector(std::function<void(MetricsRegistry&)> collector)
+      SDS_EXCLUDES(mu_);
 
   /// Run collectors, then copy out every instrument. Samples are ordered
   /// by (name, labels) so exports are deterministic.
-  [[nodiscard]] MetricsSnapshot snapshot();
+  [[nodiscard]] MetricsSnapshot snapshot() SDS_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const SDS_EXCLUDES(mu_);
 
  private:
   struct Instrument {
@@ -169,12 +173,13 @@ class MetricsRegistry {
   };
 
   Instrument* find_or_create(std::string_view name, Labels labels,
-                             MetricKind kind);
+                             MetricKind kind) SDS_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::deque<Instrument> instruments_;
-  std::map<std::string, Instrument*> index_;
-  std::vector<std::function<void(MetricsRegistry&)>> collectors_;
+  mutable Mutex mu_;
+  std::deque<Instrument> instruments_ SDS_GUARDED_BY(mu_);
+  std::map<std::string, Instrument*> index_ SDS_GUARDED_BY(mu_);
+  std::vector<std::function<void(MetricsRegistry&)>> collectors_
+      SDS_GUARDED_BY(mu_);
 };
 
 }  // namespace sds::telemetry

@@ -32,7 +32,7 @@ std::string TelemetryReporter::trace_path() const {
 }
 
 void TelemetryReporter::start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_) return;
   started_ = true;
   stopping_ = false;
@@ -41,14 +41,14 @@ void TelemetryReporter::start() {
 
 void TelemetryReporter::stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!started_) return;
     stopping_ = true;
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     started_ = false;
   }
   if (const Status flushed = flush(); !flushed.is_ok()) {
@@ -72,16 +72,18 @@ Status TelemetryReporter::flush() {
 }
 
 void TelemetryReporter::loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stopping_) {
-    cv_.wait_for(lock, std::chrono::nanoseconds(period_.count()),
-                 [this] { return stopping_; });
-    if (stopping_) break;
-    lock.unlock();
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      cv_.wait_for(lock, std::chrono::nanoseconds(period_.count()),
+                   [this]() SDS_REQUIRES(mu_) { return stopping_; });
+      if (stopping_) return;
+    }
+    // Flush outside the lock: exporters do file I/O and must not block
+    // a concurrent stop().
     if (const Status flushed = flush(); !flushed.is_ok()) {
       SDS_LOG(WARN) << "telemetry: flush failed: " << flushed.to_string();
     }
-    lock.lock();
   }
 }
 

@@ -9,15 +9,14 @@
 // on stop() so short-lived processes still export.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span_tracer.h"
 
@@ -55,9 +54,9 @@ class TelemetryReporter {
   TelemetryReporter(const TelemetryReporter&) = delete;
   TelemetryReporter& operator=(const TelemetryReporter&) = delete;
 
-  void start();
+  void start() SDS_EXCLUDES(mu_);
   /// Stop the thread and flush one final snapshot (+ trace if present).
-  void stop();
+  void stop() SDS_EXCLUDES(mu_);
 
   /// Snapshot and write all sinks once (also called by the loop).
   Status flush();
@@ -67,7 +66,7 @@ class TelemetryReporter {
   [[nodiscard]] std::string trace_path() const;
 
  private:
-  void loop();
+  void loop() SDS_EXCLUDES(mu_);
 
   MetricsRegistry* registry_;
   SpanTracer* tracer_;
@@ -75,10 +74,10 @@ class TelemetryReporter {
   const std::string component_;
   const Nanos period_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  bool started_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool stopping_ SDS_GUARDED_BY(mu_) = false;
+  bool started_ SDS_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -10,7 +10,7 @@ SpanTracer::SpanTracer(std::size_t capacity)
 }
 
 void SpanTracer::record(Span span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++recorded_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(span));
@@ -21,12 +21,12 @@ void SpanTracer::record(Span span) {
 }
 
 void SpanTracer::set_track_name(std::uint32_t track, std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   track_names_[track] = std::move(name);
 }
 
 std::vector<Span> SpanTracer::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Span> out;
   out.reserve(ring_.size());
   // Oldest first: [head_, end) then [0, head_).
@@ -36,22 +36,22 @@ std::vector<Span> SpanTracer::snapshot() const {
 }
 
 std::map<std::uint32_t, std::string> SpanTracer::track_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return track_names_;
 }
 
 std::uint64_t SpanTracer::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_;
 }
 
 std::uint64_t SpanTracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_ - ring_.size();
 }
 
 void SpanTracer::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   head_ = 0;
   recorded_ = 0;

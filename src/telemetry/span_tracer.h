@@ -11,11 +11,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sds::telemetry {
 
@@ -46,31 +47,34 @@ class SpanTracer {
   SpanTracer& operator=(const SpanTracer&) = delete;
 
   /// Record a completed span; overwrites the oldest entry when full.
-  void record(Span span);
+  void record(Span span) SDS_EXCLUDES(mu_);
 
   /// Human-readable name for a track (controller), shown by Perfetto.
-  void set_track_name(std::uint32_t track, std::string name);
+  void set_track_name(std::uint32_t track, std::string name)
+      SDS_EXCLUDES(mu_);
 
   /// Spans currently in the ring, oldest first.
-  [[nodiscard]] std::vector<Span> snapshot() const;
-  [[nodiscard]] std::map<std::uint32_t, std::string> track_names() const;
+  [[nodiscard]] std::vector<Span> snapshot() const SDS_EXCLUDES(mu_);
+  [[nodiscard]] std::map<std::uint32_t, std::string> track_names() const
+      SDS_EXCLUDES(mu_);
 
   /// Total spans ever recorded (>= snapshot().size()).
-  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t recorded() const SDS_EXCLUDES(mu_);
   /// Spans evicted because the ring was full.
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t dropped() const SDS_EXCLUDES(mu_);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
-  void reset();
+  void reset() SDS_EXCLUDES(mu_);
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<Span> ring_;
-  std::size_t head_ = 0;  // next write slot once the ring wrapped
-  std::uint64_t recorded_ = 0;
-  std::map<std::uint32_t, std::string> track_names_;
+  mutable Mutex mu_;
+  std::vector<Span> ring_ SDS_GUARDED_BY(mu_);
+  /// Next write slot once the ring wrapped.
+  std::size_t head_ SDS_GUARDED_BY(mu_) = 0;
+  std::uint64_t recorded_ SDS_GUARDED_BY(mu_) = 0;
+  std::map<std::uint32_t, std::string> track_names_ SDS_GUARDED_BY(mu_);
 };
 
 /// RAII helper: times a region against `clock` and records on destruction.

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/mutex.h"
 #include "common/queue.h"
+#include "common/thread_annotations.h"
 
 namespace sds::transport {
 
@@ -29,12 +31,12 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
   const std::string& address() const { return address_; }
 
   void set_frame_handler(FrameHandler handler) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     frame_handler_ = std::move(handler);
   }
 
   void set_conn_handler(ConnEventHandler handler) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     conn_handler_ = std::move(handler);
   }
 
@@ -59,11 +61,11 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
     const ConnId local_id = next_conn_id();
     const ConnId remote_id = peer->next_conn_id();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       conns_[local_id] = Peer{peer, remote_id};
     }
     {
-      std::lock_guard<std::mutex> lock(peer->mu_);
+      MutexLock lock(peer->mu_);
       peer->conns_[remote_id] = Peer{shared_from_this(), local_id};
     }
     counters_.on_dial();
@@ -77,7 +79,7 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
     std::shared_ptr<InProcCore> peer;
     ConnId remote_id;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const auto it = conns_.find(conn);
       if (it == conns_.end()) return Status::unavailable("connection closed");
       peer = it->second.core;
@@ -99,7 +101,7 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
     std::shared_ptr<InProcCore> peer;
     ConnId remote_id;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const auto it = conns_.find(conn);
       if (it == conns_.end()) return Status::unavailable("connection closed");
       peer = it->second.core;
@@ -124,7 +126,7 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
     // Close every remaining connection (notifies peers).
     std::vector<ConnId> open;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       open.reserve(conns_.size());
       for (const auto& [id, _] : conns_) open.push_back(id);
     }
@@ -198,7 +200,7 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
     std::shared_ptr<InProcCore> peer;
     ConnId remote_id;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const auto it = conns_.find(conn);
       if (it == conns_.end()) return;
       peer = it->second.core;
@@ -213,7 +215,7 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
 
   void on_peer_closed(ConnId conn) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (conns_.erase(conn) == 0) return;
     }
     release_slot();
@@ -226,7 +228,7 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
       FrameHandler frame_handler;
       ConnEventHandler conn_handler;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         frame_handler = frame_handler_;
         conn_handler = conn_handler_;
       }
@@ -248,10 +250,10 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
   const std::string address_;
   const EndpointOptions options_;
 
-  std::mutex mu_;
-  FrameHandler frame_handler_;
-  ConnEventHandler conn_handler_;
-  std::unordered_map<ConnId, Peer> conns_;
+  Mutex mu_;
+  FrameHandler frame_handler_ SDS_GUARDED_BY(mu_);
+  ConnEventHandler conn_handler_ SDS_GUARDED_BY(mu_);
+  std::unordered_map<ConnId, Peer> conns_ SDS_GUARDED_BY(mu_);
 
   Queue<Event> queue_;
   std::thread delivery_thread_;
@@ -305,7 +307,7 @@ Result<std::unique_ptr<Endpoint>> InProcNetwork::bind(
     const std::string& address, const EndpointOptions& options) {
   auto core = std::make_shared<detail::InProcCore>(this, address, options);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto [it, inserted] = registry_.try_emplace(address, core);
     if (!inserted) {
       if (!it->second.expired()) {
@@ -320,13 +322,13 @@ Result<std::unique_ptr<Endpoint>> InProcNetwork::bind(
 
 std::shared_ptr<detail::InProcCore> InProcNetwork::lookup(
     const std::string& address) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = registry_.find(address);
   return it == registry_.end() ? nullptr : it->second.lock();
 }
 
 void InProcNetwork::unbind(const std::string& address) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = registry_.find(address);
   if (it != registry_.end() && it->second.expired()) registry_.erase(it);
 }

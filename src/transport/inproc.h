@@ -8,10 +8,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "transport/transport.h"
 
 namespace sds::transport {
@@ -34,11 +35,13 @@ class InProcNetwork final : public Network {
  private:
   friend class detail::InProcCore;
 
-  std::shared_ptr<detail::InProcCore> lookup(const std::string& address);
-  void unbind(const std::string& address);
+  std::shared_ptr<detail::InProcCore> lookup(const std::string& address)
+      SDS_EXCLUDES(mu_);
+  void unbind(const std::string& address) SDS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::unordered_map<std::string, std::weak_ptr<detail::InProcCore>> registry_;
+  Mutex mu_;
+  std::unordered_map<std::string, std::weak_ptr<detail::InProcCore>> registry_
+      SDS_GUARDED_BY(mu_);
 };
 
 }  // namespace sds::transport

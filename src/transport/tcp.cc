@@ -14,13 +14,14 @@
 #include <cerrno>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/log.h"
+#include "common/mutex.h"
 #include "common/queue.h"
+#include "common/thread_annotations.h"
 
 namespace sds::transport {
 
@@ -136,12 +137,12 @@ class TcpEndpoint final : public Endpoint {
   const std::string& address() const override { return address_; }
 
   void set_frame_handler(FrameHandler handler) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     frame_handler_ = std::move(handler);
   }
 
   void set_conn_handler(ConnEventHandler handler) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     conn_handler_ = std::move(handler);
   }
 
@@ -247,7 +248,7 @@ class TcpEndpoint final : public Endpoint {
 
   void post_command(std::function<void()> cmd) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       commands_.push_back(std::move(cmd));
     }
     wake();
@@ -294,7 +295,7 @@ class TcpEndpoint final : public Endpoint {
   void run_commands() {
     std::vector<std::function<void()>> cmds;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       cmds.swap(commands_);
     }
     for (auto& cmd : cmds) cmd();
@@ -397,7 +398,7 @@ class TcpEndpoint final : public Endpoint {
   void deliver_frame(ConnId id, wire::Frame frame) {
     FrameHandler handler;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       handler = frame_handler_;
     }
     if (handler) handler(id, std::move(frame));
@@ -406,7 +407,7 @@ class TcpEndpoint final : public Endpoint {
   void notify_conn(ConnId id, ConnEvent event) {
     ConnEventHandler handler;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       handler = conn_handler_;
     }
     if (handler) handler(id, event);
@@ -497,10 +498,10 @@ class TcpEndpoint final : public Endpoint {
   std::atomic<std::uint64_t> next_conn_{1};
   std::atomic<std::size_t> slots_{0};
 
-  std::mutex mu_;  // guards handlers_ and commands_
-  FrameHandler frame_handler_;
-  ConnEventHandler conn_handler_;
-  std::vector<std::function<void()>> commands_;
+  Mutex mu_;
+  FrameHandler frame_handler_ SDS_GUARDED_BY(mu_);
+  ConnEventHandler conn_handler_ SDS_GUARDED_BY(mu_);
+  std::vector<std::function<void()>> commands_ SDS_GUARDED_BY(mu_);
 
   // Event-loop-thread-only state.
   std::unordered_map<int, Conn> conns_;

@@ -1,0 +1,29 @@
+// sdslint fixture: allocations inside a hot-path region. This path has
+// no `sim`/`bench` component, so only hotpath-alloc can fire — and only
+// between the region markers.
+#include <functional>
+#include <memory>
+
+namespace fixture {
+
+// Outside any region: allocation is unrestricted.
+int* setup() { return new int(7); }
+
+// sdslint: hotpath
+void per_event(std::size_t n) {
+  int* scratch = new int[n];                          // HIT hotpath-alloc
+  auto owned = std::make_unique<int>(3);              // HIT hotpath-alloc
+  std::function<void()> cb = [] {};                   // HIT hotpath-alloc
+  delete[] scratch;
+  (void)owned;
+  cb();
+}
+
+// Placement new constructs into caller-owned storage: allowed.
+void emplace_cell(void* cell) { new (cell) int(0); }
+// sdslint: end-hotpath
+
+// After the region closes, allocation is unrestricted again.
+int* teardown() { return new int(9); }
+
+}  // namespace fixture

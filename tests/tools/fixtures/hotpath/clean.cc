@@ -1,0 +1,20 @@
+// sdslint fixture: an allocation-lean hot path — must produce no
+// findings even with the region markers active.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct Cell {
+  alignas(8) unsigned char storage[64];
+};
+
+// sdslint: hotpath
+// Placement new into pooled storage and container reuse: allowed.
+void run(std::vector<Cell>& pool, std::size_t slot) {
+  new (pool[slot].storage) int(42);
+  pool[slot] = Cell{};
+}
+// sdslint: end-hotpath
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// sdslint fixture: hotpath-alloc hits under suppression lint clean.
+#include <memory>
+
+namespace fixture {
+
+// sdslint: hotpath
+void warmup() {
+  // One-time pool growth is a deliberate exception here:
+  auto pool = std::make_unique<int[]>(1024);  // sdslint: allow(hotpath-alloc)
+  (void)pool;
+}
+// sdslint: end-hotpath
+
+}  // namespace fixture

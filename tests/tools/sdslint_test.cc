@@ -1,0 +1,149 @@
+// End-to-end tests for tools/sdslint: every rule fires on its positive
+// fixture, suppressions silence it, clean fixtures stay clean, and —
+// the reason the linter exists — the real src/sim and bench trees lint
+// clean. SDSLINT_BIN / SDSLINT_FIXTURES / SDSLINT_REPO_ROOT are injected
+// by CMake as compile definitions.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+/// Run the sdslint binary against `args` and capture its output.
+RunResult run_sdslint(const std::string& args) {
+  const std::string cmd = std::string(SDSLINT_BIN) + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf;
+  std::size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.output.append(buf.data(), n);
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string fixture(const std::string& rel) {
+  return std::string(SDSLINT_FIXTURES) + "/" + rel;
+}
+
+std::string repo(const std::string& rel) {
+  return std::string(SDSLINT_REPO_ROOT) + "/" + rel;
+}
+
+TEST(SdslintRules, WallClockHitsInSim) {
+  const RunResult r = run_sdslint(fixture("sim/bad_wallclock.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[sim-wallclock]"), std::string::npos) << r.output;
+  // file:line anchors on the three offending lines.
+  EXPECT_NE(r.output.find("bad_wallclock.cc:9:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_wallclock.cc:10:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_wallclock.cc:11:"), std::string::npos);
+  // Comment/string mentions and identifier substrings must not fire.
+  EXPECT_EQ(r.output.find("bad_wallclock.cc:19:"), std::string::npos);
+  EXPECT_EQ(r.output.find("bad_wallclock.cc:22:"), std::string::npos);
+}
+
+TEST(SdslintRules, RandHitsInSim) {
+  const RunResult r = run_sdslint(fixture("sim/bad_rand.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[sim-rand]"), std::string::npos) << r.output;
+  // The seeded-PRNG function is legitimate.
+  EXPECT_EQ(r.output.find("bad_rand.cc:16:"), std::string::npos) << r.output;
+}
+
+TEST(SdslintRules, SleepHitsInSim) {
+  const RunResult r = run_sdslint(fixture("sim/bad_sleep.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[sim-sleep]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("bad_sleep.cc:9:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_sleep.cc:10:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_sleep.cc:11:"), std::string::npos);
+}
+
+TEST(SdslintRules, ThreadSpawnHitsInSim) {
+  const RunResult r = run_sdslint(fixture("sim/bad_thread.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[sim-thread]"), std::string::npos) << r.output;
+  // An unqualified identifier named `thread` is not a spawn.
+  EXPECT_EQ(r.output.find("bad_thread.cc:16:"), std::string::npos) << r.output;
+}
+
+TEST(SdslintRules, UnorderedIterationHitsInSimAndBench) {
+  const RunResult sim = run_sdslint(fixture("sim/bad_unordered_iter.cc"));
+  EXPECT_EQ(sim.exit_code, 1) << sim.output;
+  EXPECT_NE(sim.output.find("[unordered-iter]"), std::string::npos);
+
+  const RunResult bench = run_sdslint(fixture("bench/bad_unordered_iter.cc"));
+  EXPECT_EQ(bench.exit_code, 1) << bench.output;
+  EXPECT_NE(bench.output.find("[unordered-iter]"), std::string::npos);
+  // bench/ is exempt from the sim determinism rules: the steady_clock
+  // read in the same fixture must not be reported.
+  EXPECT_EQ(bench.output.find("[sim-wallclock]"), std::string::npos)
+      << bench.output;
+}
+
+TEST(SdslintRules, HotpathAllocHitsOnlyInsideRegion) {
+  const RunResult r = run_sdslint(fixture("hotpath/bad_hotpath_alloc.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[hotpath-alloc]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:14:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:15:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:16:"), std::string::npos);
+  // Allocations before/after the region and placement new inside it are
+  // all unrestricted.
+  EXPECT_EQ(r.output.find("bad_hotpath_alloc.cc:10:"), std::string::npos);
+  EXPECT_EQ(r.output.find("bad_hotpath_alloc.cc:23:"), std::string::npos);
+  EXPECT_EQ(r.output.find("bad_hotpath_alloc.cc:27:"), std::string::npos);
+}
+
+TEST(SdslintSuppression, AllowDirectivesSilenceFindings) {
+  const RunResult r = run_sdslint(fixture("sim/suppressed.cc") + " " +
+                                  fixture("hotpath/suppressed.cc"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("OK"), std::string::npos) << r.output;
+}
+
+TEST(SdslintSuppression, CleanFixturesStayClean) {
+  const RunResult r =
+      run_sdslint(fixture("sim/clean.cc") + " " + fixture("bench/clean.cc") +
+                  " " + fixture("hotpath/clean.cc"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(SdslintCli, ListRulesNamesEveryRule) {
+  const RunResult r = run_sdslint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* rule :
+       {"sim-wallclock", "sim-rand", "sim-sleep", "sim-thread",
+        "unordered-iter", "hotpath-alloc"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(SdslintCli, NoInputIsAUsageError) {
+  const RunResult r = run_sdslint("");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+// The linter's actual job: the real simulation and bench trees carry no
+// determinism violations. If this fails, fix the code (or justify a
+// suppression in place) — do not weaken the rule.
+TEST(SdslintTree, RealSimAndBenchTreesAreClean) {
+  const RunResult r =
+      run_sdslint(repo("src") + " " + repo("bench") + " " + repo("apps") +
+                  " " + repo("examples"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+}  // namespace

@@ -77,16 +77,23 @@ TEST(BroadcastTest, SharedImageRefcountDropsAfterDelivery) {
   auto sender = net.bind("sender", {}).value();
   constexpr std::size_t kReceivers = 3;
   std::vector<std::unique_ptr<Endpoint>> receivers;
+  // Addresses built in two steps: GCC 12's -Wrestrict misfires on the
+  // `"r" + std::to_string(i)` temporary under -O2 (PR 105329).
+  const auto addr = [](std::size_t i) {
+    std::string a = "r";
+    a += std::to_string(i);
+    return a;
+  };
   std::atomic<std::size_t> delivered{0};
   for (std::size_t i = 0; i < kReceivers; ++i) {
-    auto ep = net.bind("r" + std::to_string(i), {}).value();
+    auto ep = net.bind(addr(i), {}).value();
     ep->set_frame_handler(
         [&](ConnId, wire::Frame) { delivered.fetch_add(1); });
     receivers.push_back(std::move(ep));
   }
   std::vector<ConnId> conns;
   for (std::size_t i = 0; i < kReceivers; ++i) {
-    conns.push_back(sender->connect("r" + std::to_string(i)).value());
+    conns.push_back(sender->connect(addr(i)).value());
   }
 
   const wire::SharedFrame shared =
