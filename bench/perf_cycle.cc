@@ -12,6 +12,7 @@
 // Writes BENCH_cycle.json (cwd, or $SDSCALE_BENCH_OUT/BENCH_cycle.json)
 // so successive commits can diff baselines. `--quick` shrinks the run
 // for the `perf`-labeled CTest smoke.
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "proto/messages.h"
@@ -254,10 +256,52 @@ double sim_cycles_per_sec(Nanos sim_duration) {
   sds::sim::ExperimentConfig config;
   config.num_stages = 500;
   config.duration = sim_duration;
+  config.lanes = 1;  // pin serial: this pillar measures the DES core
   const auto start = std::chrono::steady_clock::now();
   auto result = sds::sim::run_experiment(config);
   if (!result.is_ok()) return 0;
   return static_cast<double>(result->cycles) / seconds_since(start);
+}
+
+// Serial-vs-lanes A/B on a hierarchical config (one aggregator subtree
+// per lane). Alongside throughput, a fingerprint over the result's
+// bit patterns asserts the parallel run is *identical* to serial — the
+// speedup only counts if determinism holds.
+struct LanesAb {
+  double cycles_per_sec = 0;
+  std::uint64_t fingerprint = 0;
+  bool ok = false;
+};
+
+LanesAb sim_cycles_with_lanes(Nanos sim_duration, std::size_t lanes) {
+  sds::sim::ExperimentConfig config;
+  config.num_stages = 500;
+  config.num_aggregators = 4;
+  config.duration = sim_duration;
+  config.lanes = lanes;  // explicit, so the env default never interferes
+  const auto start = std::chrono::steady_clock::now();
+  auto result = sds::sim::run_experiment(config);
+  if (!result.is_ok()) return {};
+  LanesAb out;
+  out.ok = true;
+  out.cycles_per_sec = static_cast<double>(result->cycles) /
+                       seconds_since(start);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over result bits
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(result->cycles);
+  mix(result->events_executed);
+  mix(static_cast<std::uint64_t>(result->elapsed.count()));
+  mix(std::bit_cast<std::uint64_t>(result->stats.total().mean()));
+  mix(std::bit_cast<std::uint64_t>(result->stats.collect().mean()));
+  mix(std::bit_cast<std::uint64_t>(result->stats.compute().mean()));
+  mix(std::bit_cast<std::uint64_t>(result->stats.enforce().mean()));
+  mix(std::bit_cast<std::uint64_t>(result->final_data_limit_sum));
+  mix(std::bit_cast<std::uint64_t>(result->mean_data_utilization));
+  out.fingerprint = h;
+  return out;
 }
 
 }  // namespace
@@ -288,6 +332,32 @@ int main(int argc, char** argv) {
   const double cycles = sim_cycles_per_sec(sim_duration);
   std::printf("sim.cycles_per_sec            %12.2f\n", cycles);
 
+  // Lanes A/B: same hierarchical experiment serial and with --lanes=4.
+  const std::size_t kAbLanes = 4;
+  const LanesAb serial = sim_cycles_with_lanes(sim_duration, 1);
+  const LanesAb laned = sim_cycles_with_lanes(sim_duration, kAbLanes);
+  const double lanes_speedup = serial.cycles_per_sec > 0
+                                   ? laned.cycles_per_sec /
+                                         serial.cycles_per_sec
+                                   : 0;
+  unsigned hw_threads = std::thread::hardware_concurrency();
+  if (hw_threads == 0) hw_threads = 1;
+  std::printf("sim.lanes.serial_cycles_per_sec %10.2f\n",
+              serial.cycles_per_sec);
+  std::printf("sim.lanes.lanes%zu_cycles_per_sec %10.2f\n", kAbLanes,
+              laned.cycles_per_sec);
+  std::printf("sim.lanes.speedup             %12.2fx  (hw threads: %u)\n",
+              lanes_speedup, hw_threads);
+  if (!serial.ok || !laned.ok ||
+      serial.fingerprint != laned.fingerprint) {
+    std::printf("FAIL: --lanes=%zu result diverges from serial "
+                "(fingerprint %016llx vs %016llx)\n",
+                kAbLanes,
+                static_cast<unsigned long long>(laned.fingerprint),
+                static_cast<unsigned long long>(serial.fingerprint));
+    return 1;
+  }
+
   std::string path = "BENCH_cycle.json";
   if (const char* dir = std::getenv("SDSCALE_BENCH_OUT")) {
     path = std::string(dir) + "/BENCH_cycle.json";
@@ -308,11 +378,18 @@ int main(int argc, char** argv) {
                  "  },\n"
                  "  \"sim\": {\n"
                  "    \"num_stages\": 500,\n"
-                 "    \"cycles_per_sec\": %.3f\n"
+                 "    \"cycles_per_sec\": %.3f,\n"
+                 "    \"lanes\": {\n"
+                 "      \"serial_cycles_per_sec\": %.3f,\n"
+                 "      \"lanes4_cycles_per_sec\": %.3f,\n"
+                 "      \"speedup\": %.3f,\n"
+                 "      \"hw_threads\": %u\n"
+                 "    }\n"
                  "  }\n"
                  "}\n",
                  quick ? "quick" : "full", wheel, legacy, speedup, enc, dec,
-                 cycles);
+                 cycles, serial.cycles_per_sec, laned.cycles_per_sec,
+                 lanes_speedup, hw_threads);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }
@@ -327,6 +404,24 @@ int main(int argc, char** argv) {
     std::printf("FAIL: speedup %.2fx below the 1.4x regression bar\n",
                 speedup);
     return 1;
+  }
+  // Lanes gate, conditional on real concurrency: with >= 4 hardware
+  // threads the lane team must actually pay off; on narrower boxes (the
+  // 1-vCPU CI container) lanes run inline, so only guard against the
+  // round/merge machinery costing more than a quarter of throughput.
+  if (!quick) {
+    if (hw_threads >= 4 && lanes_speedup < 1.25) {
+      std::printf("FAIL: lanes speedup %.2fx below the 1.25x bar "
+                  "(%u hw threads)\n",
+                  lanes_speedup, hw_threads);
+      return 1;
+    }
+    if (hw_threads < 4 && lanes_speedup < 0.70) {
+      std::printf("FAIL: inline lanes overhead too high: %.2fx of serial "
+                  "(%u hw threads)\n",
+                  lanes_speedup, hw_threads);
+      return 1;
+    }
   }
   return 0;
 }

@@ -6,6 +6,16 @@
 
 namespace sds::common {
 
+namespace {
+// Set for the lifetime of every worker thread, of every pool instance.
+// thread_local (not per-pool) on purpose: the hazard in_worker() guards
+// against — blocking a worker on work parked behind it — exists whether
+// the nested fork/join targets the same pool or a different one.
+thread_local bool t_in_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
   queues_.reserve(n);
@@ -69,6 +79,7 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
+  t_in_worker = true;
   Task task;
   for (;;) {
     if (try_pop(self, task)) {
@@ -91,6 +102,15 @@ void ThreadPool::worker_loop(std::size_t self) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+
+  if (in_worker()) {
+    // Nested call from inside a worker: run inline. The outer
+    // parallel_for already owns this core's share of the parallelism,
+    // and blocking here on submitted chunks can deadlock (see header).
+    // Exceptions propagate directly to the caller.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
 
   Mutex error_mu;
   std::exception_ptr first_error;

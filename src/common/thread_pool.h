@@ -66,7 +66,19 @@ class ThreadPool {
   /// Every index runs exactly once even if the pool is shutting down
   /// (inline fallback). If any invocation throws, the first exception is
   /// rethrown here after all indices finish.
+  ///
+  /// Safe to call from inside a pool worker: nested calls run all
+  /// indices inline on the calling thread instead of submitting. A
+  /// worker that submitted chunks and then blocked in wait() could
+  /// deadlock a small pool (every worker parked waiting on work that
+  /// sits behind it in the queues) and would oversubscribe a large one.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is a worker of *any* ThreadPool.
+  /// Nested fork/join layers (e.g. the sim lane runner invoked from a
+  /// bench --jobs worker) use this to fall back to inline execution
+  /// rather than stacking thread teams on the same cores.
+  [[nodiscard]] static bool in_worker();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -11,6 +16,7 @@
 #include "core/global.h"
 #include "sim/engine.h"
 #include "sim/host.h"
+#include "sim/parallel.h"
 
 namespace sds::sim {
 
@@ -25,14 +31,60 @@ Nanos scaled(Nanos per_item, std::size_t count) {
   return Nanos{per_item.count() * static_cast<std::int64_t>(count)};
 }
 
+/// Lanes actually worth running: capped by the topology's independent
+/// units (each unit's subtree is lane-local, so more lanes than units
+/// would stay empty) and forced to 1 when the profile offers no
+/// positive lookahead (cross-lane safety needs wire latency > 0).
+std::size_t effective_lanes(const ExperimentConfig& cfg) {
+  const std::size_t requested = std::max<std::size_t>(1, cfg.lanes);
+  if (cfg.profile.wire_latency <= Nanos{0}) return 1;
+  std::size_t units = cfg.num_stages;
+  if (cfg.coordinated_peers > 0) {
+    units = cfg.coordinated_peers;
+  } else if (cfg.num_aggregators > 0) {
+    units = cfg.num_aggregators;
+  }
+  return std::min(requested, std::max<std::size_t>(1, units));
+}
+
+LaneRunner::Options lane_options(const ExperimentConfig& cfg) {
+  LaneRunner::Options options;
+  options.lanes = effective_lanes(cfg);
+  options.lookahead = cfg.profile.wire_latency;
+  options.seed = cfg.seed;
+  options.metrics = cfg.metrics;
+  options.tracer = cfg.tracer;
+  if (cfg.metrics != nullptr) {
+    options.labels = {{"component", "sim"}};
+    if (!cfg.telemetry_label.empty()) {
+      options.labels.emplace_back("configuration", cfg.telemetry_label);
+    }
+  }
+  return options;
+}
+
 /// One simulated run. Event closures capture `this` and plain indices;
 /// all vectors are sized before the first event fires.
+///
+/// Lane discipline (see sim/parallel.h): every controller and stage is
+/// pinned to one lane, all of its state is touched only by events on
+/// that lane, and every controller-to-controller hop names its
+/// destination lane (send_to / broadcast_to / schedule_cross). State
+/// owned by the global controller (lane 0) is additionally read or
+/// written by coordinator-context code — barrier events and the idle
+/// callback — which the runner only invokes while every lane is
+/// quiescent. Cross-cycle aggregates that used to accumulate in arrival
+/// order (peer summaries, aggregator reports, passthrough batches) are
+/// id-indexed instead, so the values a controller computes are a pure
+/// function of the simulation, independent of lane count.
 class Run {
  public:
   explicit Run(const ExperimentConfig& config)
       : cfg_(config),
         prof_(config.profile),
-        global_host_(engine_, prof_, "global"),
+        lanes_(lane_options(config)),
+        eng0_(lanes_.lane(0)),
+        global_host_(eng0_, prof_, "global"),
         global_(core::GlobalOptions{config.budgets,
                                     policy::SplitStrategy::kProportional,
                                     /*epoch=*/1},
@@ -126,9 +178,10 @@ class Run {
 
   ExperimentResult execute() {
     build_topology();
+    lanes_.set_idle_callback([this] { return on_lanes_idle(); });
     schedule_utilization_sampler();
     start_cycle();
-    engine_.run();
+    lanes_.run();
     return finalize();
   }
 
@@ -145,7 +198,10 @@ class Run {
     return (cfg_.num_stages + cfg_.stages_per_job - 1) / cfg_.stages_per_job;
   }
 
+  [[nodiscard]] Engine& eng(std::uint32_t lane) { return lanes_.lane(lane); }
+
   void build_topology() {
+    const std::size_t L = lanes_.lanes();
     Rng rng(cfg_.seed);
     stages_.reserve(cfg_.num_stages);
     for (std::size_t i = 0; i < cfg_.num_stages; ++i) {
@@ -171,6 +227,7 @@ class Run {
       }
       stages_.emplace_back(info, std::move(data), std::move(meta));
     }
+    stage_lane_.assign(cfg_.num_stages, 0);
 
     if (coordinated()) {
       const std::size_t n = cfg_.num_stages;
@@ -180,12 +237,14 @@ class Run {
         auto peer = std::make_unique<Peer>();
         peer->core = std::make_unique<core::CoordinatedControllerCore>(
             ControllerId{static_cast<std::uint32_t>(p)}, cfg_.budgets);
-        peer->host = std::make_unique<SimHost>(engine_, prof_,
+        peer->lane = static_cast<std::uint32_t>(p * L / k);
+        peer->host = std::make_unique<SimHost>(eng(peer->lane), prof_,
                                                "peer" + std::to_string(p));
         const std::size_t begin = p * n / k;
         const std::size_t end = (p + 1) * n / k;
         for (std::size_t i = begin; i < end; ++i) {
           peer->stage_indices.push_back(i);
+          stage_lane_[i] = peer->lane;
         }
         peers_.push_back(std::move(peer));
       }
@@ -201,11 +260,15 @@ class Run {
         agg->core = std::make_unique<core::AggregatorCore>(
             core::AggregatorOptions{ControllerId{static_cast<std::uint32_t>(a)},
                                     cfg_.preaggregate});
-        agg->host = std::make_unique<SimHost>(engine_, prof_,
+        agg->lane = static_cast<std::uint32_t>(a * L / a_count);
+        agg->host = std::make_unique<SimHost>(eng(agg->lane), prof_,
                                               "agg" + std::to_string(a));
         const std::size_t begin = a * n / a_count;
         const std::size_t end = (a + 1) * n / a_count;
-        for (std::size_t i = begin; i < end; ++i) agg->stage_indices.push_back(i);
+        for (std::size_t i = begin; i < end; ++i) {
+          agg->stage_indices.push_back(i);
+          stage_lane_[i] = agg->lane;
+        }
         aggs_.push_back(std::move(agg));
       }
 
@@ -214,16 +277,22 @@ class Run {
         supers_.reserve(s_count);
         for (std::size_t s = 0; s < s_count; ++s) {
           auto super = std::make_unique<Super>();
+          super->lane = static_cast<std::uint32_t>(s * L / s_count);
           super->host = std::make_unique<SimHost>(
-              engine_, prof_, "super" + std::to_string(s));
+              eng(super->lane), prof_, "super" + std::to_string(s));
           const std::size_t begin = s * a_count / s_count;
           const std::size_t end = (s + 1) * a_count / s_count;
           for (std::size_t a = begin; a < end; ++a) {
             super->children.push_back(a);
             aggs_[a]->parent = static_cast<int>(s);
+            aggs_[a]->child_pos = super->children.size() - 1;
           }
           supers_.push_back(std::move(super));
         }
+      }
+    } else {
+      for (std::size_t i = 0; i < cfg_.num_stages; ++i) {
+        stage_lane_[i] = static_cast<std::uint32_t>(i * L / cfg_.num_stages);
       }
     }
 
@@ -260,7 +329,7 @@ class Run {
 
   /// Non-CPU synchronization wait at a phase boundary.
   void after_sync(Engine::EventFn fn) {
-    engine_.schedule_in(prof_.phase_sync_overhead, std::move(fn));
+    eng0_.schedule_in(prof_.phase_sync_overhead, std::move(fn));
   }
 
   /// Wire size of one enforce message carrying `rules` rules (the real
@@ -273,12 +342,15 @@ class Run {
     if (done_) return;
     const proto::CollectRequest req = global_.begin_cycle();
     cycle_ = global_.current_cycle();
-    cycle_start_ = engine_.now();
+    cycle_start_ = eng0_.now();
     collect_req_size_ = frame_size(req);
+    cycle_in_flight_ = true;
+    if (coordinated()) {
+      start_cycle_coordinated();
+      return;
+    }
     after_sync([this] {
-      if (coordinated()) {
-        start_cycle_coordinated();
-      } else if (flat()) {
+      if (flat()) {
         start_collect_flat();
       } else {
         start_collect_hier();
@@ -286,24 +358,53 @@ class Run {
     });
   }
 
+  /// Coordinator-context hook (lanes quiescent): joins finished
+  /// coordinated cycles and launches deferred cycle starts. Returns
+  /// true iff it advanced the simulation.
+  bool on_lanes_idle() {
+    if (!coordinated()) return false;
+    if (cycle_in_flight_) {
+      finish_cycle_coordinated();
+      return true;
+    }
+    if (next_cycle_pending_ && !done_) {
+      next_cycle_pending_ = false;
+      eng0_.advance_to(next_cycle_at_);
+      start_cycle();
+      return true;
+    }
+    return false;
+  }
+
   // -- Coordinated flat design (paper §VI future work #1) ----------------
   //
   // Phase accounting: peers pipeline independently, so phase boundaries
   // are taken as the time the LAST peer passes each stage — collect ends
   // when every peer holds all K summaries, compute when every peer has
-  // computed, enforce when the last ack lands.
+  // computed, enforce when the last ack lands. Each peer records its own
+  // lane-local completion instants; no single lane observes the whole
+  // cycle, so the coordinator joins them from the runner's idle hook
+  // once every lane has drained.
 
   void start_cycle_coordinated() {
     for (auto& peer : peers_) {
       peer->collected.clear();
       peer->pending_metrics = peer->stage_indices.size();
-      peer->summaries.clear();
+      peer->summaries.assign(peers_.size(), {});
+      peer->summaries_received = 0;
       peer->pending_acks = 0;
+      peer->exchange_done_at = Nanos{0};
+      peer->compute_done_at = Nanos{0};
+      peer->enforce_done_at = Nanos{0};
     }
-    peers_exchanging_ = peers_.size();
-    peers_computing_ = peers_.size();
-    peers_enforcing_ = peers_.size();
-    for (std::size_t p = 0; p < peers_.size(); ++p) peer_collect_fanout(p);
+    // Runs only with every lane quiescent (initial start or the idle
+    // hook), so seeding peer engines directly is safe. All peers leave
+    // the synchronization wait at the same instant, as before.
+    const Nanos at = eng0_.now() + prof_.phase_sync_overhead;
+    for (std::size_t p = 0; p < peers_.size(); ++p) {
+      eng(peers_[p]->lane).schedule_at(at,
+                                       [this, p] { peer_collect_fanout(p); });
+    }
   }
 
   void peer_collect_fanout(std::size_t p) {
@@ -311,17 +412,18 @@ class Run {
     peers_[p]->host->broadcast(indices.size(), collect_req_size_, [&](std::size_t i) {
       const std::size_t idx = indices[i];
       return [this, p, idx] {
-        const proto::StageMetrics m = stages_[idx].collect(cycle_, engine_.now());
+        Engine& eng_local = eng(peers_[p]->lane);
+        const proto::StageMetrics m = stages_[idx].collect(cycle_, eng_local.now());
         const std::size_t sz = frame_size(m);
-        engine_.schedule_in(prof_.stage_service + prof_.wire_latency,
-                            [this, p, m, sz] {
-                              peers_[p]->host->receive(sz, [this, p, m] {
-                                peers_[p]->collected.push_back(m);
-                                if (--peers_[p]->pending_metrics == 0) {
-                                  peer_broadcast_summary(p);
-                                }
+        eng_local.schedule_in(prof_.stage_service + prof_.wire_latency,
+                              [this, p, m, sz] {
+                                peers_[p]->host->receive(sz, [this, p, m] {
+                                  peers_[p]->collected.push_back(m);
+                                  if (--peers_[p]->pending_metrics == 0) {
+                                    peer_broadcast_summary(p);
+                                  }
+                                });
                               });
-                            });
       };
     });
   }
@@ -334,23 +436,30 @@ class Run {
         scaled(prof_.cpu_agg_merge_per_stage, peer.stage_indices.size());
     const std::size_t sz = frame_size(summary);
     peer.host->run(cost, [this, p, summary, sz] {
-      peer_accept_summary(p, summary);  // own summary, no wire
-      peers_[p]->host->broadcast(
-          peers_.size() - 1, sz, [&](std::size_t i) {
+      peer_accept_summary(p, p, summary);  // own summary, no wire
+      peers_[p]->host->broadcast_to(
+          peers_.size() - 1, sz,
+          [&](std::size_t i) {
             const std::size_t q = i < p ? i : i + 1;  // skip self
-            return [this, q, sz, summary] {
-              peers_[q]->host->receive(
-                  sz, [this, q, summary] { peer_accept_summary(q, summary); });
+            return [this, q, p, sz, summary] {
+              peers_[q]->host->receive(sz, [this, q, p, summary] {
+                peer_accept_summary(q, p, summary);
+              });
             };
+          },
+          [this, p](std::size_t i) {
+            const std::size_t q = i < p ? i : i + 1;
+            return peers_[q]->lane;
           });
     });
   }
 
-  void peer_accept_summary(std::size_t p, const proto::AggregatedMetrics& summary) {
+  void peer_accept_summary(std::size_t p, std::size_t src,
+                           const proto::AggregatedMetrics& summary) {
     Peer& peer = *peers_[p];
-    peer.summaries.push_back(summary);
-    if (peer.summaries.size() < peers_.size()) return;
-    if (--peers_exchanging_ == 0) collect_end_ = engine_.now();
+    peer.summaries[src] = summary;
+    if (++peer.summaries_received < peers_.size()) return;
+    peer.exchange_done_at = eng(peer.lane).now();
     peer_compute(p);
   }
 
@@ -365,7 +474,7 @@ class Run {
                        scaled(prof_.cpu_split_per_stage,
                               peer.stage_indices.size());
     peer.host->run(cost, [this, p, rules] {
-      if (--peers_computing_ == 0) compute_end_ = engine_.now();
+      peers_[p]->compute_done_at = eng(peers_[p]->lane).now();
       peer_enforce(p, *rules);
     });
   }
@@ -385,43 +494,67 @@ class Run {
       peer.host->send(
           sz,
           [this, p, rule] {
-            apply_rule_and_ack(rule, peers_[p]->host.get(), [this, p] {
-              if (--peers_[p]->pending_acks == 0) peer_enforce_done(p);
-            });
+            apply_rule_and_ack(rule, peers_[p]->host.get(), peers_[p]->lane,
+                               [this, p] {
+                                 if (--peers_[p]->pending_acks == 0) {
+                                   peer_enforce_done(p);
+                                 }
+                               });
           },
           prof_.cpu_route_per_rule);
     }
   }
 
   void peer_enforce_done(std::size_t p) {
-    (void)p;
-    if (--peers_enforcing_ == 0) finish_cycle();
+    peers_[p]->enforce_done_at = eng(peers_[p]->lane).now();
+  }
+
+  /// Joins a finished coordinated cycle from coordinator context: the
+  /// phase boundaries are the maxima of the per-peer completion
+  /// instants, exactly the "last peer past each stage" definition.
+  void finish_cycle_coordinated() {
+    Nanos exchange{0};
+    Nanos compute{0};
+    Nanos enforce{0};
+    for (const auto& peer : peers_) {
+      exchange = std::max(exchange, peer->exchange_done_at);
+      compute = std::max(compute, peer->compute_done_at);
+      enforce = std::max(enforce, peer->enforce_done_at);
+    }
+    collect_end_ = exchange;
+    compute_end_ = compute;
+    eng0_.advance_to(enforce);
+    finish_cycle();
   }
 
   // -- Flat design -----------------------------------------------------
 
   void start_collect_flat() {
-    flat_metrics_.clear();
-    flat_metrics_.resize(cfg_.num_stages);
+    flat_metrics_.assign(cfg_.num_stages, {});
     flat_pending_ = cfg_.num_stages;
-    global_host_.broadcast(cfg_.num_stages, collect_req_size_, [this](std::size_t i) {
-      return [this, i] { on_stage_collect_flat(i); };
-    });
+    global_host_.broadcast_to(
+        cfg_.num_stages, collect_req_size_,
+        [this](std::size_t i) {
+          return [this, i] { on_stage_collect_flat(i); };
+        },
+        [this](std::size_t i) { return stage_lane_[i]; });
   }
 
   void on_stage_collect_flat(std::size_t i) {
-    const proto::StageMetrics m = stages_[i].collect(cycle_, engine_.now());
+    Engine& eng_local = eng(stage_lane_[i]);
+    const proto::StageMetrics m = stages_[i].collect(cycle_, eng_local.now());
     const std::size_t sz = frame_size(m);
-    engine_.schedule_in(prof_.stage_service + prof_.wire_latency,
-                        [this, i, m, sz] {
-                          global_host_.receive(sz, [this, i, m] {
-                            flat_metrics_[i] = m;
-                            if (--flat_pending_ == 0) {
-                              collect_end_ = engine_.now();
-                              compute_flat();
-                            }
-                          });
-                        });
+    eng_local.schedule_cross(
+        0, eng_local.now() + prof_.stage_service + prof_.wire_latency,
+        [this, i, m, sz] {
+          global_host_.receive(sz, [this, i, m] {
+            flat_metrics_[i] = m;
+            if (--flat_pending_ == 0) {
+              collect_end_ = eng0_.now();
+              compute_flat();
+            }
+          });
+        });
   }
 
   void compute_flat() {
@@ -432,7 +565,7 @@ class Run {
                        scaled(prof_.cpu_split_per_stage, cfg_.num_stages);
     after_sync([this, cost] {
       global_host_.run(cost, [this] {
-        compute_end_ = engine_.now();
+        compute_end_ = eng0_.now();
         after_sync([this] { enforce_flat(); });
       });
     });
@@ -449,10 +582,10 @@ class Run {
       single.cycle_id = cycle_;
       single.rules.push_back(rule);
       const std::size_t sz = enforce_frame_size(single);
-      global_host_.send(
-          sz,
+      global_host_.send_to(
+          stage_lane_[rule.stage_id.value()], sz,
           [this, rule] {
-            apply_rule_and_ack(rule, &global_host_,
+            apply_rule_and_ack(rule, &global_host_, 0,
                                [this] { on_global_direct_ack(); });
           },
           prof_.cpu_route_per_rule);
@@ -464,9 +597,10 @@ class Run {
   }
 
   /// At the stage: apply `rule` (real logic), then send the ack back to
-  /// `receiver` which runs `done` after its receive cost.
+  /// `receiver` (on `receiver_lane`) which runs `done` after its
+  /// receive cost. Executes on the stage's lane.
   void apply_rule_and_ack(const proto::Rule& rule, SimHost* receiver,
-                          Engine::EventFn done) {
+                          std::uint32_t receiver_lane, Engine::EventFn done) {
     const std::size_t idx = rule.stage_id.value();
     assert(idx < stages_.size());
     stages_[idx].apply(rule);
@@ -474,8 +608,10 @@ class Run {
     ack.cycle_id = cycle_;
     ack.applied = 1;
     const std::size_t sz = frame_size(ack);
-    engine_.schedule_in(
-        prof_.stage_service + prof_.wire_latency,
+    Engine& eng_local = eng(stage_lane_[idx]);
+    eng_local.schedule_cross(
+        receiver_lane,
+        eng_local.now() + prof_.stage_service + prof_.wire_latency,
         [this, receiver, sz, done = std::move(done)]() mutable {
           receiver->receive(sz, std::move(done));
         });
@@ -484,7 +620,6 @@ class Run {
   // -- Hierarchical design ----------------------------------------------
 
   void start_collect_hier() {
-    agg_reports_.clear();
     passthrough_metrics_.clear();
     for (auto& agg : aggs_) {
       agg->collected.clear();
@@ -492,31 +627,38 @@ class Run {
     }
     serial_cursor_ = 0;
     if (deep()) {
+      agg_reports_.assign(supers_.size(), {});
       reports_pending_ = supers_.size();
       for (auto& super : supers_) {
-        super->child_reports.clear();
+        super->child_reports.assign(super->children.size(), {});
         super->pending_reports = super->children.size();
         super->acks_applied = 0;
         super->pending_acks = 0;
       }
-      global_host_.broadcast(
-          supers_.size(), collect_req_size_, [this](std::size_t s) {
+      global_host_.broadcast_to(
+          supers_.size(), collect_req_size_,
+          [this](std::size_t s) {
             return [this, s] {
               supers_[s]->host->receive(collect_req_size_,
                                         [this, s] { super_collect_fanout(s); });
             };
-          });
+          },
+          [this](std::size_t s) { return supers_[s]->lane; });
       return;
     }
+    agg_reports_.assign(aggs_.size(), {});
+    passthrough_batches_.assign(aggs_.size(), {});
     reports_pending_ = aggs_.size();
     if (cfg_.parallel_fanout) {
-      global_host_.broadcast(
-          aggs_.size(), collect_req_size_, [this](std::size_t a) {
+      global_host_.broadcast_to(
+          aggs_.size(), collect_req_size_,
+          [this](std::size_t a) {
             return [this, a] {
               aggs_[a]->host->receive(collect_req_size_,
                                       [this, a] { agg_collect_fanout(a); });
             };
-          });
+          },
+          [this](std::size_t a) { return aggs_[a]->lane; });
     } else {
       send_collect_to_agg(0);
     }
@@ -526,23 +668,28 @@ class Run {
 
   void super_collect_fanout(std::size_t s) {
     const std::vector<std::size_t>& children = supers_[s]->children;
-    supers_[s]->host->broadcast(
-        children.size(), collect_req_size_, [&](std::size_t i) {
+    supers_[s]->host->broadcast_to(
+        children.size(), collect_req_size_,
+        [&](std::size_t i) {
           const std::size_t a = children[i];
           return [this, a] {
             aggs_[a]->host->receive(collect_req_size_,
                                     [this, a] { agg_collect_fanout(a); });
           };
-        });
+        },
+        [&](std::size_t i) { return aggs_[children[i]]->lane; });
   }
 
-  void super_accept_report(std::size_t s, const proto::AggregatedMetrics& report) {
+  void super_accept_report(std::size_t s, std::size_t pos,
+                           const proto::AggregatedMetrics& report) {
     Super& super = *supers_[s];
-    super.child_reports.push_back(report);
+    super.child_reports[pos] = report;
     if (--super.pending_reports > 0) return;
 
     // Merge the children's summaries (job rows merged, digests
     // concatenated so the global controller keeps per-stage visibility).
+    // child_reports is child-position-indexed, so the merge input order
+    // is canonical regardless of arrival order.
     proto::AggregatedMetrics merged;
     merged.cycle_id = cycle_;
     merged.from = ControllerId{
@@ -572,11 +719,11 @@ class Run {
     const Nanos cost = scaled(prof_.cpu_relay_per_stage, digest_count);
     const std::size_t sz = frame_size(merged);
     super.host->run(cost, [this, s, merged, sz] {
-      supers_[s]->host->send(sz, [this, merged, sz] {
-        global_host_.receive(sz, [this, merged] {
-          agg_reports_.push_back(merged);
+      supers_[s]->host->send_to(0, sz, [this, s, merged, sz] {
+        global_host_.receive(sz, [this, s, merged] {
+          agg_reports_[s] = merged;
           if (--reports_pending_ == 0) {
-            collect_end_ = engine_.now();
+            collect_end_ = eng0_.now();
             compute_hier();
           }
         });
@@ -585,7 +732,7 @@ class Run {
   }
 
   void send_collect_to_agg(std::size_t a) {
-    global_host_.send(collect_req_size_, [this, a] {
+    global_host_.send_to(aggs_[a]->lane, collect_req_size_, [this, a] {
       aggs_[a]->host->receive(collect_req_size_,
                               [this, a] { agg_collect_fanout(a); });
     });
@@ -596,17 +743,18 @@ class Run {
     aggs_[a]->host->broadcast(indices.size(), collect_req_size_, [&](std::size_t i) {
       const std::size_t idx = indices[i];
       return [this, a, idx] {
-        const proto::StageMetrics m = stages_[idx].collect(cycle_, engine_.now());
+        Engine& eng_local = eng(aggs_[a]->lane);
+        const proto::StageMetrics m = stages_[idx].collect(cycle_, eng_local.now());
         const std::size_t sz = frame_size(m);
-        engine_.schedule_in(prof_.stage_service + prof_.wire_latency,
-                            [this, a, m, sz] {
-                              aggs_[a]->host->receive(sz, [this, a, m] {
-                                aggs_[a]->collected.push_back(m);
-                                if (--aggs_[a]->pending_metrics == 0) {
-                                  agg_report(a);
-                                }
+        eng_local.schedule_in(prof_.stage_service + prof_.wire_latency,
+                              [this, a, m, sz] {
+                                aggs_[a]->host->receive(sz, [this, a, m] {
+                                  aggs_[a]->collected.push_back(m);
+                                  if (--aggs_[a]->pending_metrics == 0) {
+                                    agg_report(a);
+                                  }
+                                });
                               });
-                            });
       };
     });
   }
@@ -624,16 +772,18 @@ class Run {
         if (parent >= 0) {
           // Three-level tree: report to the parent super-aggregator.
           const auto s = static_cast<std::size_t>(parent);
-          aggs_[a]->host->send(sz, [this, s, report, sz] {
-            supers_[s]->host->receive(sz, [this, s, report] {
-              super_accept_report(s, report);
-            });
-          });
+          const std::size_t pos = aggs_[a]->child_pos;
+          aggs_[a]->host->send_to(
+              supers_[s]->lane, sz, [this, s, pos, report, sz] {
+                supers_[s]->host->receive(sz, [this, s, pos, report] {
+                  super_accept_report(s, pos, report);
+                });
+              });
           return;
         }
-        aggs_[a]->host->send(sz, [this, a, report, sz] {
+        aggs_[a]->host->send_to(0, sz, [this, a, report, sz] {
           global_host_.receive(sz, [this, a, report] {
-            agg_reports_.push_back(report);
+            agg_reports_[a] = report;
             on_agg_report_received(a);
           });
         });
@@ -643,11 +793,9 @@ class Run {
       const Nanos cost = scaled(prof_.cpu_relay_per_stage, n_a);
       const std::size_t sz = frame_size(batch);
       agg.host->run(cost, [this, a, batch, sz] {
-        aggs_[a]->host->send(sz, [this, a, batch, sz] {
+        aggs_[a]->host->send_to(0, sz, [this, a, batch, sz] {
           global_host_.receive(sz, [this, a, batch] {
-            passthrough_metrics_.insert(passthrough_metrics_.end(),
-                                        batch.entries.begin(),
-                                        batch.entries.end());
+            passthrough_batches_[a] = batch.entries;
             on_agg_report_received(a);
           });
         });
@@ -657,7 +805,7 @@ class Run {
 
   void on_agg_report_received(std::size_t a) {
     if (--reports_pending_ == 0) {
-      collect_end_ = engine_.now();
+      collect_end_ = eng0_.now();
       compute_hier();
       return;
     }
@@ -677,6 +825,13 @@ class Run {
           agg_reports_.data(), agg_reports_.size()));
       cost = cost + scaled(prof_.cpu_split_per_stage, cfg_.num_stages);
     } else {
+      // Concatenate the per-aggregator batches in aggregator-id order —
+      // canonical input regardless of which batch arrived last.
+      passthrough_metrics_.clear();
+      for (const auto& entries : passthrough_batches_) {
+        passthrough_metrics_.insert(passthrough_metrics_.end(),
+                                    entries.begin(), entries.end());
+      }
       compute_result_ = global_.compute(std::span<const proto::StageMetrics>(
           passthrough_metrics_.data(), passthrough_metrics_.size()));
       cost = cost + scaled(prof_.cpu_merge_per_stage, cfg_.num_stages) +
@@ -684,7 +839,7 @@ class Run {
     }
     after_sync([this, cost] {
       global_host_.run(cost, [this] {
-        compute_end_ = engine_.now();
+        compute_end_ = eng0_.now();
         after_sync([this] { enforce_hier(); });
       });
     });
@@ -719,7 +874,7 @@ class Run {
           total_meta > 0 ? cfg_.budgets.meta_iops * agg_meta / total_meta
                          : cfg_.budgets.meta_iops / static_cast<double>(aggs_.size());
       lease.valid_until_ns =
-          static_cast<std::uint64_t>((engine_.now() + seconds(10)).count());
+          static_cast<std::uint64_t>((eng0_.now() + seconds(10)).count());
       leases_[a] = lease;
     }
   }
@@ -758,8 +913,8 @@ class Run {
         const std::size_t sz = enforce_frame_size(combined);
         const Nanos routing =
             scaled(prof_.cpu_route_per_rule, combined.rules.size());
-        global_host_.send(
-            sz,
+        global_host_.send_to(
+            supers_[s]->lane, sz,
             [this, s, sz] {
               supers_[s]->host->receive(sz,
                                         [this, s] { super_enforce_fanout(s); });
@@ -785,8 +940,8 @@ class Run {
       const proto::EnforceBatch& batch = enforce_batches_[a];
       const std::size_t sz = enforce_frame_size(batch);
       const Nanos routing = scaled(prof_.cpu_route_per_rule, batch.rules.size());
-      super.host->send(
-          sz,
+      super.host->send_to(
+          aggs_[a]->lane, sz,
           [this, a, sz] {
             aggs_[a]->host->receive(sz, [this, a] { agg_enforce_fanout(a); });
           },
@@ -802,7 +957,7 @@ class Run {
     merged.cycle_id = cycle_;
     merged.applied = super.acks_applied;
     const std::size_t sz = frame_size(merged);
-    super.host->send(sz, [this, sz] {
+    super.host->send_to(0, sz, [this, sz] {
       global_host_.receive(sz, [this] {
         if (--global_acks_pending_ == 0) finish_cycle();
       });
@@ -813,8 +968,8 @@ class Run {
     const proto::EnforceBatch& batch = enforce_batches_[a];
     const std::size_t sz = enforce_frame_size(batch);
     const Nanos routing = scaled(prof_.cpu_route_per_rule, batch.rules.size());
-    global_host_.send(
-        sz,
+    global_host_.send_to(
+        aggs_[a]->lane, sz,
         [this, a, sz] {
           aggs_[a]->host->receive(sz, [this, a] { agg_enforce_fanout(a); });
         },
@@ -843,18 +998,19 @@ class Run {
     aggs_[a]->host->send(
         sz,
         [this, a, rule] {
-          apply_rule_and_ack(rule, aggs_[a]->host.get(), [this, a] {
-            Agg& agg = *aggs_[a];
-            ++agg.acks_applied;
-            if (--agg.pending_acks == 0) agg_merged_ack(a);
-          });
+          apply_rule_and_ack(rule, aggs_[a]->host.get(), aggs_[a]->lane,
+                             [this, a] {
+                               Agg& agg = *aggs_[a];
+                               ++agg.acks_applied;
+                               if (--agg.pending_acks == 0) agg_merged_ack(a);
+                             });
         },
         prof_.cpu_route_per_rule);
   }
 
   void send_lease_to_agg(std::size_t a) {
     const std::size_t sz = frame_size(leases_[a]);
-    global_host_.send(sz, [this, a, sz] {
+    global_host_.send_to(aggs_[a]->lane, sz, [this, a, sz] {
       aggs_[a]->host->receive(sz, [this, a] { agg_local_decide(a); });
     });
   }
@@ -864,7 +1020,7 @@ class Run {
     agg.core->set_lease(leases_[a]);
     const auto rules = agg.core->local_compute(
         cycle_, agg.collected,
-        static_cast<std::uint64_t>(engine_.now().count()));
+        static_cast<std::uint64_t>(eng(agg.lane).now().count()));
     const std::size_t n_a = agg.stage_indices.size();
     const Nanos cost =
         scaled(prof_.cpu_psfa_per_job, std::max<std::size_t>(1, num_jobs() / aggs_.size())) +
@@ -890,13 +1046,13 @@ class Run {
     if (agg.parent >= 0) {
       const auto s = static_cast<std::size_t>(agg.parent);
       const std::uint32_t applied = merged.applied;
-      agg.host->send(sz, [this, s, sz, applied] {
+      agg.host->send_to(supers_[s]->lane, sz, [this, s, sz, applied] {
         supers_[s]->host->receive(
             sz, [this, s, applied] { super_accept_ack(s, applied); });
       });
       return;
     }
-    agg.host->send(sz, [this, a, sz] {
+    agg.host->send_to(0, sz, [this, a, sz] {
       global_host_.receive(sz, [this, a] {
         if (--global_acks_pending_ == 0) {
           finish_cycle();
@@ -922,21 +1078,29 @@ class Run {
     core::PhaseBreakdown breakdown;
     breakdown.collect = collect_end_ - cycle_start_;
     breakdown.compute = compute_end_ - collect_end_;
-    breakdown.enforce = engine_.now() - compute_end_;
+    breakdown.enforce = eng0_.now() - compute_end_;
     stats_.record(breakdown);
-    last_cycle_end_ = engine_.now();
+    last_cycle_end_ = eng0_.now();
     trace_cycle(breakdown);
+    cycle_in_flight_ = false;
 
     const bool hit_cycle_cap =
         cfg_.max_cycles != 0 && stats_.cycles() >= cfg_.max_cycles;
-    if (hit_cycle_cap || engine_.now() >= cfg_.duration) {
+    if (hit_cycle_cap || eng0_.now() >= cfg_.duration) {
       done_ = true;
       return;
     }
     if (cfg_.cycle_period > Nanos{0}) {
       const Nanos next = cycle_start_ + cfg_.cycle_period;
-      if (next > engine_.now()) {
-        engine_.schedule_at(next, [this] { start_cycle(); });
+      if (next > eng0_.now()) {
+        if (coordinated()) {
+          // Deferred: the idle hook starts the cycle from coordinator
+          // context (start_cycle_coordinated seeds every peer engine).
+          next_cycle_pending_ = true;
+          next_cycle_at_ = next;
+        } else {
+          eng0_.schedule_at(next, [this] { start_cycle(); });
+        }
         return;
       }
     }
@@ -950,7 +1114,7 @@ class Run {
     if (cfg_.tracer == nullptr) return;
     const std::string detail = "stages=" + std::to_string(cfg_.num_stages);
     cfg_.tracer->record({"cycle", "cycle", 0, cycle_, detail, cycle_start_,
-                         engine_.now() - cycle_start_});
+                         eng0_.now() - cycle_start_});
     cfg_.tracer->record({"collect", "cycle", 0, cycle_, {}, cycle_start_,
                          breakdown.collect});
     cfg_.tracer->record({"compute", "cycle", 0, cycle_, {}, collect_end_,
@@ -961,10 +1125,13 @@ class Run {
 
   /// Sample the PFS load factor on a fixed simulated-time grid,
   /// independent of cycle boundaries (sampling only at enforcement
-  /// instants would alias: limits are freshest exactly then).
+  /// instants would alias: limits are freshest exactly then). The
+  /// sampler is a barrier event — it reads every stage with all lanes
+  /// quiesced at the sample instant, in every mode including one lane,
+  /// so the observation schedule is lane-count-invariant.
   void schedule_utilization_sampler() {
     if (cfg_.utilization_sample_interval <= Nanos{0}) return;
-    engine_.schedule_in(cfg_.utilization_sample_interval, [this] {
+    lanes_.schedule_barrier_in(cfg_.utilization_sample_interval, [this] {
       if (done_) return;
       sample_utilization();
       schedule_utilization_sampler();
@@ -974,7 +1141,7 @@ class Run {
   /// PFS load factor: what each stage would submit now (its demand
   /// clipped by its enforced limit), summed, relative to the budget.
   void sample_utilization() {
-    const Nanos now = engine_.now();
+    const Nanos now = lanes_.barrier_now();
     double data = 0;
     double meta = 0;
     for (const auto& stage : stages_) {
@@ -998,10 +1165,10 @@ class Run {
     result.stats = stats_;
     result.cycles = stats_.cycles();
     result.elapsed = last_cycle_end_;
-    result.events_executed = engine_.executed();
+    result.events_executed = lanes_.total_executed();
     if (events_gauge_ != nullptr) {
-      events_gauge_->set(static_cast<double>(engine_.executed()));
-      vtime_gauge_->set(to_seconds(engine_.now()));
+      events_gauge_->set(static_cast<double>(lanes_.total_executed()));
+      vtime_gauge_->set(to_seconds(lanes_.max_lane_now()));
     }
     result.mean_data_utilization = data_utilization_.mean();
     result.mean_meta_utilization = meta_utilization_.mean();
@@ -1111,6 +1278,8 @@ class Run {
   struct Agg {
     std::unique_ptr<core::AggregatorCore> core;
     std::unique_ptr<SimHost> host;
+    /// Home lane: the aggregator, its host and all of its stages.
+    std::uint32_t lane = 0;
     std::vector<std::size_t> stage_indices;
     std::vector<proto::StageMetrics> collected;
     std::size_t pending_metrics = 0;
@@ -1118,12 +1287,16 @@ class Run {
     std::uint32_t acks_applied = 0;
     /// Parent super-aggregator index (-1 = reports directly to global).
     int parent = -1;
+    /// Position among the parent's children (canonical report slot).
+    std::size_t child_pos = 0;
   };
 
   /// Third-level controller (3-level hierarchies).
   struct Super {
     std::unique_ptr<SimHost> host;
+    std::uint32_t lane = 0;
     std::vector<std::size_t> children;  // aggregator indices
+    /// Child-position-indexed (canonical merge order).
     std::vector<proto::AggregatedMetrics> child_reports;
     std::size_t pending_reports = 0;
     std::size_t pending_acks = 0;
@@ -1133,22 +1306,35 @@ class Run {
   struct Peer {
     std::unique_ptr<core::CoordinatedControllerCore> core;
     std::unique_ptr<SimHost> host;
+    /// Home lane: the peer, its host and all of its stages.
+    std::uint32_t lane = 0;
     std::vector<std::size_t> stage_indices;
     std::vector<proto::StageMetrics> collected;
+    /// All-to-all exchange buffer, indexed by source peer — every peer
+    /// feeds PSFA the same input regardless of arrival order.
     std::vector<proto::AggregatedMetrics> summaries;
+    std::size_t summaries_received = 0;
     std::size_t pending_metrics = 0;
     std::size_t pending_acks = 0;
+    /// Lane-local phase completion instants, joined by the coordinator
+    /// (idle hook) into the cycle's phase boundaries.
+    Nanos exchange_done_at{0};
+    Nanos compute_done_at{0};
+    Nanos enforce_done_at{0};
   };
 
   const ExperimentConfig& cfg_;
   const FronteraProfile& prof_;
-  Engine engine_;
+  LaneRunner lanes_;
+  Engine& eng0_;  // lane 0: the global controller's engine
   SimHost global_host_;
   core::GlobalControllerCore global_;
   std::vector<std::unique_ptr<Agg>> aggs_;
   std::vector<std::unique_ptr<Super>> supers_;
   std::vector<std::unique_ptr<Peer>> peers_;
   std::vector<stage::VirtualStage> stages_;
+  /// Home lane of each stage (its owning controller's lane).
+  std::vector<std::uint32_t> stage_lane_;
 
   // Per-cycle state.
   std::uint64_t cycle_ = 0;
@@ -1159,29 +1345,44 @@ class Run {
   std::size_t collect_req_size_ = 0;
   std::vector<proto::StageMetrics> flat_metrics_;
   std::size_t flat_pending_ = 0;
+  /// Aggregator-id-indexed (super-id-indexed in deep mode).
   std::vector<proto::AggregatedMetrics> agg_reports_;
   std::vector<proto::StageMetrics> passthrough_metrics_;
+  /// Aggregator-id-indexed passthrough batches, concatenated in id
+  /// order at compute time.
+  std::vector<std::vector<proto::StageMetrics>> passthrough_batches_;
   std::size_t reports_pending_ = 0;
   std::vector<proto::EnforceBatch> enforce_batches_;
   std::vector<proto::BudgetLease> leases_;
   std::size_t global_acks_pending_ = 0;
   std::size_t serial_cursor_ = 0;
-  std::size_t peers_exchanging_ = 0;
-  std::size_t peers_computing_ = 0;
-  std::size_t peers_enforcing_ = 0;
   core::ComputeResult compute_result_;
   core::CycleStats stats_;
   RunningStats data_utilization_;
   RunningStats meta_utilization_;
   telemetry::Gauge* events_gauge_ = nullptr;
   telemetry::Gauge* vtime_gauge_ = nullptr;
+  bool cycle_in_flight_ = false;
+  bool next_cycle_pending_ = false;
+  Nanos next_cycle_at_{0};
   bool done_ = false;
 };
 
 }  // namespace
 
 Result<ExperimentResult> run_experiment(const ExperimentConfig& config) {
-  Run run(config);
+  ExperimentConfig cfg = config;
+  if (cfg.lanes == 0) {
+    cfg.lanes = 1;
+    if (const char* env = std::getenv("SDSCALE_SIM_LANES")) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) {
+        cfg.lanes = static_cast<std::size_t>(v);
+      }
+    }
+  }
+  Run run(cfg);
   SDS_RETURN_IF_ERROR(run.validate());
   return run.execute();
 }

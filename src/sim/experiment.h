@@ -78,6 +78,15 @@ struct ExperimentConfig {
   /// ExperimentResult::mean_data_utilization).
   Nanos utilization_sample_interval = millis(50);
   std::uint64_t seed = 42;
+  /// Simulation lanes: the event population is sharded across this many
+  /// engines and run in parallel between synchronization horizons (see
+  /// sim/parallel.h). Results are bit-identical for every lane count.
+  /// 0 = read SDSCALE_SIM_LANES from the environment (default 1).
+  /// The effective count is clamped to the topology's parallel units
+  /// (stages for flat, aggregators for hierarchical, peers for
+  /// coordinated) and to 1 when the profile's wire latency — the
+  /// conservative lookahead — is not positive.
+  std::size_t lanes = 0;
   /// Optional custom demand model; default: constant per-stage demand
   /// drawn uniformly from [500, 1500) data ops/s and [50, 150) meta
   /// ops/s.

@@ -1,0 +1,273 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace sds::sim {
+
+namespace {
+
+/// at + delta without overflowing past the kNever sentinel.
+[[nodiscard]] Nanos saturating_add(Nanos at, Nanos delta) {
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  if (at.count() > kMax - delta.count()) return Nanos{kMax};
+  return at + delta;
+}
+
+}  // namespace
+
+LaneRunner::LaneRunner(const Options& options)
+    : lookahead_(options.lookahead),
+      metrics_(options.metrics),
+      tracer_(options.tracer),
+      labels_(options.labels) {
+  const std::size_t n = std::max<std::size_t>(1, options.lanes);
+  assert(n == 1 || lookahead_ > Nanos{0});
+  engines_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    engines_.push_back(std::make_unique<Engine>());
+    engines_[i]->configure_lane(static_cast<std::uint32_t>(i),
+                                /*capture_cross=*/n > 1, lookahead_);
+  }
+  // Stream i is the i-th split of a base generator seeded from the
+  // config seed — a function of (seed, i) only, so a lane's stream does
+  // not depend on how many other lanes exist.
+  Rng base(options.seed);
+  rngs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) rngs_.push_back(base.split());
+  next_times_.resize(n);
+  bounds_.resize(n);
+  // Parallel execution pays off only with real concurrency to spend:
+  // run inline when nested under a ThreadPool worker (a bench --jobs
+  // sweep already owns every core) or on a single-hardware-thread box.
+  // sdslint: lane-runner
+  use_threads_ = n > 1 && (options.force_threads ||
+                           (!ThreadPool::in_worker() &&
+                            std::thread::hardware_concurrency() > 1));
+  // sdslint: end-lane-runner
+}
+
+LaneRunner::~LaneRunner() { stop_workers(); }
+
+void LaneRunner::deliver_mail() {
+  if (mailbox_.empty()) return;
+  // (at, src_lane, src_seq) is a total order on POD fields — the merged
+  // delivery order is a pure function of the simulation. Destination
+  // engines re-sequence deliveries in this order, so tie-breaks among
+  // same-timestamp deliveries are lane-count-invariant.
+  std::sort(mailbox_.begin(), mailbox_.end(),
+            [](const Mail& a, const Mail& b) {
+              if (a.ev.at != b.ev.at) return a.ev.at < b.ev.at;
+              if (a.src_lane != b.src_lane) return a.src_lane < b.src_lane;
+              return a.ev.src_seq < b.ev.src_seq;
+            });
+  for (Mail& mail : mailbox_) {
+    Engine& dest = *engines_[mail.ev.dest_lane];
+    // Lookahead guarantee: deliveries never land in a lane's past.
+    assert(mail.ev.at >= dest.now());
+    dest.schedule_at(mail.ev.at, std::move(mail.ev.fn));
+  }
+  mailbox_.clear();
+}
+
+void LaneRunner::collect_outboxes() {
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    auto& outbox = engines_[i]->outbox();
+    if (outbox.empty()) continue;
+    cross_messages_ += outbox.size();
+    for (auto& ev : outbox) {
+      mailbox_.push_back(Mail{std::move(ev), static_cast<std::uint32_t>(i)});
+    }
+    engines_[i]->clear_outbox();
+  }
+}
+
+void LaneRunner::run_barrier() {
+  std::pop_heap(barriers_.begin(), barriers_.end(), BarrierLater{});
+  Barrier barrier = std::move(barriers_.back());
+  barriers_.pop_back();
+  barrier_now_ = barrier.at;
+  ++barriers_run_;
+  barrier.fn();
+}
+
+void LaneRunner::run_round(const std::vector<Nanos>& bounds) {
+  ++rounds_;
+  if (!use_threads_) {
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      engines_[i]->run_before(bounds[i]);
+    }
+    return;
+  }
+  // Publish the window, wake the team, run lane 0 on this thread, then
+  // wait for the team. The mutex orders every engine access between
+  // coordinator and workers (TSan-visible happens-before).
+  {
+    MutexLock lock(team_mu_);
+    remaining_ = engines_.size() - 1;
+    ++generation_;
+  }
+  team_cv_.notify_all();
+  engines_[0]->run_before(bounds[0]);
+  {
+    MutexLock lock(team_mu_);
+    team_cv_.wait(lock, [this]() SDS_REQUIRES(team_mu_) {
+      return remaining_ == 0;
+    });
+  }
+}
+
+void LaneRunner::worker_main(std::size_t lane_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Nanos bound{0};
+    {
+      MutexLock lock(team_mu_);
+      team_cv_.wait(lock, [&]() SDS_REQUIRES(team_mu_) {
+        return team_exit_ || generation_ != seen;
+      });
+      if (team_exit_) return;
+      seen = generation_;
+      bound = bounds_[lane_index];
+    }
+    engines_[lane_index]->run_before(bound);
+    {
+      MutexLock lock(team_mu_);
+      if (--remaining_ == 0) team_cv_.notify_all();
+    }
+  }
+}
+
+// The lane team is the one sanctioned thread-spawn site in src/sim —
+// sdslint scopes its sim-thread rule to this region (see tools/sdslint).
+// sdslint: lane-runner
+void LaneRunner::start_workers() {
+  if (!use_threads_ || !workers_.empty()) return;
+  workers_.reserve(engines_.size() - 1);
+  for (std::size_t i = 1; i < engines_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void LaneRunner::stop_workers() {
+  if (workers_.empty()) return;
+  {
+    MutexLock lock(team_mu_);
+    team_exit_ = true;
+  }
+  team_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+// sdslint: end-lane-runner
+
+void LaneRunner::run() {
+  start_workers();
+  [[maybe_unused]] std::uint64_t last_progress = ~std::uint64_t{0};
+  for (;;) {
+    deliver_mail();
+    bool any = false;
+    Nanos min_next = kNever;
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      Nanos at{0};
+      if (engines_[i]->peek_next(at)) {
+        next_times_[i] = at;
+        any = true;
+        min_next = std::min(min_next, at);
+      } else {
+        next_times_[i] = kNever;
+      }
+    }
+    if (!any) {
+      // Quiescent: lanes drained, no mail in flight. Give the driver its
+      // deterministic join point first; barriers only fire once the
+      // driver has nothing left to start before them.
+      if (idle_callback_ && idle_callback_()) continue;
+      if (!barriers_.empty()) {
+        run_barrier();
+        continue;
+      }
+      break;
+    }
+    const Nanos tb = barriers_.empty() ? kNever : barriers_.front().at;
+    if (tb <= min_next) {
+      // Every lane is already at or past the barrier instant: the
+      // barrier runs now, before any event at or after its timestamp.
+      run_barrier();
+      continue;
+    }
+    // Conservative windows: lane i may run strictly below the earliest
+    // event any *other* lane could still mail it (their next event time
+    // plus the lookahead), and never past the next barrier.
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      Nanos other_min = kNever;
+      for (std::size_t j = 0; j < engines_.size(); ++j) {
+        if (j != i) other_min = std::min(other_min, next_times_[j]);
+      }
+      bounds_[i] = std::min(saturating_add(other_min, lookahead_), tb);
+    }
+    // Progress proof: the lane holding min_next has bound > min_next
+    // (lookahead > 0 and tb > min_next here), so every round executes
+    // at least one event.
+    assert([&] {
+      const std::uint64_t before = total_executed();
+      const bool progress = before != last_progress;
+      last_progress = before;
+      return progress || rounds_ == 0;
+    }());
+    run_round(bounds_);
+    collect_outboxes();
+  }
+  stop_workers();
+  finish_telemetry();
+}
+
+std::uint64_t LaneRunner::total_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& engine : engines_) total += engine->executed();
+  return total;
+}
+
+Nanos LaneRunner::max_lane_now() const {
+  Nanos latest{0};
+  for (const auto& engine : engines_) latest = std::max(latest, engine->now());
+  return latest;
+}
+
+void LaneRunner::finish_telemetry() {
+  if (metrics_ != nullptr) {
+    metrics_->counter("sds_sim_lane_rounds_total", labels_)->add(rounds_);
+    metrics_->counter("sds_sim_lane_cross_messages_total", labels_)
+        ->add(cross_messages_);
+    metrics_->counter("sds_sim_lane_barriers_total", labels_)
+        ->add(barriers_run_);
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      telemetry::Labels lane_labels = labels_;
+      lane_labels.emplace_back("lane", std::to_string(i));
+      metrics_->gauge("sds_sim_lane_events_executed", lane_labels)
+          ->set(static_cast<double>(engines_[i]->executed()));
+    }
+  }
+  if (tracer_ != nullptr) {
+    // One span per lane on its own track: the lane's share of virtual
+    // time, annotated with its event count — enough to see imbalance in
+    // a Perfetto view of the run.
+    constexpr std::uint32_t kLaneTrackBase = 100;
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      const auto track = static_cast<std::uint32_t>(kLaneTrackBase + i);
+      tracer_->set_track_name(track, "sim lane " + std::to_string(i));
+      tracer_->record({"lane", "sim", track, 0,
+                       "events=" + std::to_string(engines_[i]->executed()),
+                       Nanos{0}, engines_[i]->now()});
+    }
+  }
+}
+
+}  // namespace sds::sim

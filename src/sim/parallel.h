@@ -1,0 +1,225 @@
+// LaneRunner — deterministic multi-lane execution of the DES engine.
+//
+// The event population is sharded across N lanes (one Engine each); the
+// experiment driver keeps every aggregator subtree's virtual stages
+// lane-local, so the only inter-lane traffic is controller-to-controller
+// messaging, and every such hop already pays at least one wire latency.
+// That minimum hop cost is the conservative lookahead L of a classic
+// Chandy–Misra–Bryant scheme, which makes windowed parallel execution
+// safe without rollback:
+//
+//   * Round structure. Each round, the coordinator (serially) delivers
+//     buffered cross-lane mail, peeks every lane's next event time
+//     next_j, and grants lane i the window
+//         bound_i = min( min_{j != i} next_j + L,  next barrier time ).
+//     Lanes then execute their events with timestamp < bound_i in
+//     parallel, buffering cross-lane sends into per-lane outboxes.
+//   * Safety. A cross-lane message created at source time s is delivered
+//     at s + L or later, and s >= next_j for its source lane j, so its
+//     delivery time is >= bound_i for every other lane i: no message
+//     ever lands in a lane's past. (Debug-asserted on delivery.)
+//   * Progress. The lane holding the globally earliest event always has
+//     next_i < bound_i (L > 0), so every round executes at least one
+//     event or one barrier — no null messages, no deadlock.
+//   * Determinism. Within a lane, execution order is the engine's usual
+//     (time, seq) order, and lane-local creation order is preserved
+//     exactly as in a serial run. Cross-lane mail is merged in
+//     (time, source lane, source seq) order — a total order on POD keys
+//     — before being re-sequenced into the destination engine, so the
+//     merged schedule is a pure function of the simulation, never of
+//     thread timing. Results are bit-identical for every lane count.
+//
+// Barrier events run serially on the coordinator at an exact timestamp
+// with every lane quiesced at that instant (no lane has an earlier
+// pending event). The experiment driver uses them for whole-cluster
+// inspection (the utilization sampler) in *all* modes, including one
+// lane, so the observation schedule is lane-count-invariant.
+//
+// Execution backends: persistent worker threads (lanes > 1), or inline
+// on the calling thread when the runner itself is invoked from a
+// ThreadPool worker (bench --jobs composition: the sweep already owns
+// the machine's parallelism) or when the machine has a single hardware
+// thread. The backend never affects results — windows and merges are
+// computed serially either way.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/small_fn.h"
+#include "common/thread_annotations.h"
+#include "sim/engine.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span_tracer.h"
+
+namespace sds::sim {
+
+class LaneRunner {
+ public:
+  struct Options {
+    /// Number of lanes (engines). Clamped to >= 1.
+    std::size_t lanes = 1;
+    /// Conservative lookahead: the minimum cross-lane delivery delay the
+    /// workload guarantees (the profile's wire latency). Must be > 0
+    /// when lanes > 1.
+    Nanos lookahead{0};
+    /// Seed for the per-lane RNG streams (stream i is a deterministic
+    /// function of (seed, i), independent of the lane count).
+    std::uint64_t seed = 0;
+    /// Optional telemetry sinks (lane counters, per-lane spans).
+    telemetry::MetricsRegistry* metrics = nullptr;
+    telemetry::SpanTracer* tracer = nullptr;
+    telemetry::Labels labels;
+    /// Run the worker team even where the runner would fall back to
+    /// inline execution (single hardware thread, nested under a sweep
+    /// pool). Results are identical either way — this exists so tests
+    /// and TSan exercise the cross-thread hand-off on any box.
+    bool force_threads = false;
+  };
+
+  explicit LaneRunner(const Options& options);
+  ~LaneRunner();
+
+  LaneRunner(const LaneRunner&) = delete;
+  LaneRunner& operator=(const LaneRunner&) = delete;
+
+  [[nodiscard]] std::size_t lanes() const { return engines_.size(); }
+  [[nodiscard]] Engine& lane(std::size_t i) { return *engines_[i]; }
+  [[nodiscard]] Rng& lane_rng(std::size_t i) { return rngs_[i]; }
+  [[nodiscard]] Nanos lookahead() const { return lookahead_; }
+
+  /// Virtual time of the most recent barrier (0 before the first).
+  [[nodiscard]] Nanos barrier_now() const { return barrier_now_; }
+
+  /// Schedule a coordinator-run barrier event at absolute time `at`:
+  /// `fn` executes serially once no lane holds an event earlier than
+  /// `at`, before any lane executes an event at or after `at`.
+  template <typename F>
+  void schedule_barrier_at(Nanos at, F&& fn) {
+    barriers_.push_back(Barrier{at < barrier_now_ ? barrier_now_ : at,
+                                barrier_seq_++, SmallFn(std::forward<F>(fn))});
+    std::push_heap(barriers_.begin(), barriers_.end(), BarrierLater{});
+  }
+
+  /// Schedule a barrier `delay` after the current barrier time.
+  template <typename F>
+  void schedule_barrier_in(Nanos delay, F&& fn) {
+    schedule_barrier_at(barrier_now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Invoked on the coordinator whenever every lane has drained and no
+  /// cross-lane mail is buffered (pending barriers do not count). The
+  /// callback may seed engines or schedule barriers — the runner is
+  /// quiescent, so direct Engine access is safe — and must return true
+  /// iff it scheduled new work. The experiment driver uses this as the
+  /// deterministic "all participants finished" join for designs whose
+  /// completion is not observed by any single lane (coordinated peers).
+  void set_idle_callback(std::function<bool()> callback) {
+    idle_callback_ = std::move(callback);
+  }
+
+  /// Run rounds until every lane drains and no mail, barriers, or idle
+  /// work remain. Call at most once per runner.
+  void run();
+
+  /// Sum of events executed across lanes (lane-count-invariant: every
+  /// scheduled closure executes exactly once on exactly one lane).
+  [[nodiscard]] std::uint64_t total_executed() const;
+
+  /// Latest lane clock — the virtual completion time of the run.
+  [[nodiscard]] Nanos max_lane_now() const;
+
+  [[nodiscard]] std::size_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t cross_messages() const {
+    return cross_messages_;
+  }
+  [[nodiscard]] std::uint64_t barriers_run() const { return barriers_run_; }
+
+  /// True when this runner executes lanes on worker threads (false for
+  /// one lane, nested-in-ThreadPool callers, and 1-hardware-thread
+  /// machines).
+  [[nodiscard]] bool threaded() const { return use_threads_; }
+
+ private:
+  /// Timestamp ordering sentinel: no event is ever scheduled this late.
+  static constexpr Nanos kNever{std::numeric_limits<std::int64_t>::max()};
+
+  struct Barrier {
+    Nanos at;
+    std::uint64_t seq;
+    SmallFn fn;
+  };
+
+  /// Min-heap comparator on (at, seq) for std::push_heap/pop_heap.
+  struct BarrierLater {
+    bool operator()(const Barrier& a, const Barrier& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// One buffered cross-lane event, tagged with its source lane so the
+  /// merge order (at, src_lane, src_seq) is a total order.
+  struct Mail {
+    Engine::CrossEvent ev;
+    std::uint32_t src_lane;
+  };
+
+  void deliver_mail();
+  void collect_outboxes();
+  void run_round(const std::vector<Nanos>& bounds);
+  void run_barrier();
+  void start_workers();
+  void stop_workers();
+  void worker_main(std::size_t lane_index);
+  void finish_telemetry();
+
+  const Nanos lookahead_;
+  bool use_threads_ = false;
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<Rng> rngs_;
+
+  std::vector<Barrier> barriers_;  // min-heap on (at, seq)
+  std::uint64_t barrier_seq_ = 0;
+  Nanos barrier_now_{0};
+
+  std::vector<Mail> mailbox_;
+  std::function<bool()> idle_callback_;
+
+  // Round scratch (coordinator-only).
+  std::vector<Nanos> next_times_;
+  std::vector<Nanos> bounds_;
+
+  // Worker-team handshake: the coordinator publishes per-lane bounds and
+  // bumps `generation_`; each worker runs its lane's window for that
+  // generation and decrements `remaining_`. All engine state crossing
+  // between coordinator and workers is ordered by this mutex.
+  Mutex team_mu_;
+  CondVar team_cv_;
+  std::uint64_t generation_ SDS_GUARDED_BY(team_mu_) = 0;
+  std::size_t remaining_ SDS_GUARDED_BY(team_mu_) = 0;
+  bool team_exit_ SDS_GUARDED_BY(team_mu_) = false;
+  // sdslint: lane-runner
+  std::vector<std::thread> workers_;
+  // sdslint: end-lane-runner
+
+  // Stats / telemetry.
+  std::size_t rounds_ = 0;
+  std::uint64_t cross_messages_ = 0;
+  std::uint64_t barriers_run_ = 0;
+  telemetry::MetricsRegistry* metrics_;
+  telemetry::SpanTracer* tracer_;
+  telemetry::Labels labels_;
+};
+
+}  // namespace sds::sim

@@ -169,6 +169,63 @@ TEST(ThreadPoolTest, SubmitDuringShutdownNeverLosesAcceptedTasks) {
   }
 }
 
+TEST(ThreadPoolTest, InWorkerReflectsCallingThread) {
+  EXPECT_FALSE(ThreadPool::in_worker());
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    if (ThreadPool::in_worker()) inside.fetch_add(1);
+  });
+  EXPECT_EQ(inside.load(), 8);
+  // The flag is thread-local: it never leaks back to the caller.
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A worker that calls parallel_for again must not submit-and-wait: on a
+  // small pool every worker could end up parked behind its own nested
+  // chunks. The nested call runs all indices inline on the worker.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 16);
+}
+
+TEST(ThreadPoolTest, NestedCallIntoDifferentPoolAlsoRunsInline) {
+  // in_worker() is global across pools: a second pool's parallel_for
+  // invoked from another pool's worker stays inline rather than stacking
+  // thread teams on the same cores.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> total{0};
+  std::atomic<int> seen_in_worker{0};
+  outer.parallel_for(4, [&](std::size_t) {
+    inner.parallel_for(8, [&](std::size_t) {
+      if (ThreadPool::in_worker()) seen_in_worker.fetch_add(1);
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 4 * 8);
+  EXPECT_EQ(seen_in_worker.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::atomic<int> outer_failures{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    try {
+      pool.parallel_for(8, [](std::size_t i) {
+        if (i == 5) throw std::runtime_error("nested boom");
+      });
+    } catch (const std::runtime_error& e) {
+      if (std::string(e.what()) == "nested boom") outer_failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(outer_failures.load(), 4);
+}
+
 TEST(ThreadPoolTest, StealsWorkFromBusySiblings) {
   // One long task pins a worker; the remaining short tasks must finish
   // long before the pinned task does, which requires stealing.

@@ -290,6 +290,7 @@ TEST(TraceExportTest, SimRunYieldsOneSpanPerCyclePhase) {
 
   bool saw_process_name = false;
   bool saw_track_name = false;
+  std::size_t lane_spans = 0;
   // cycle id -> phase name -> occurrence count
   std::map<std::uint64_t, std::map<std::string, int>> phases;
   for (const JsonValue& event : events->array) {
@@ -299,13 +300,19 @@ TEST(TraceExportTest, SimRunYieldsOneSpanPerCyclePhase) {
         saw_process_name = true;
         EXPECT_EQ(event.get("args")->get("name")->string, "sds simulation");
       }
-      if (event.get("name")->string == "thread_name") {
-        saw_track_name = true;
-        EXPECT_EQ(event.get("args")->get("name")->string, "global controller");
+      if (event.get("name")->string == "thread_name" &&
+          event.get("args")->get("name")->string == "global controller") {
+        saw_track_name = true;  // lane tracks ("sim lane N") also appear
       }
       continue;
     }
     ASSERT_EQ(ph, "X");
+    if (event.get("cat")->string == "sim") {
+      // Per-lane summary spans from the lane runner (one per lane, on
+      // its own track) — not part of the per-cycle phase accounting.
+      ++lane_spans;
+      continue;
+    }
     EXPECT_EQ(event.get("cat")->string, "cycle");
     EXPECT_GE(event.get("ts")->number, 0.0);
     EXPECT_GT(event.get("dur")->number, 0.0);
@@ -317,6 +324,7 @@ TEST(TraceExportTest, SimRunYieldsOneSpanPerCyclePhase) {
   }
   EXPECT_TRUE(saw_process_name);
   EXPECT_TRUE(saw_track_name);
+  EXPECT_GE(lane_spans, 1u);  // at least one lane even in serial runs
 
   // Exactly one span per phase per cycle, plus the enclosing cycle span.
   ASSERT_EQ(phases.size(), cycles);
@@ -335,6 +343,7 @@ TEST(TraceExportTest, SimRunYieldsOneSpanPerCyclePhase) {
       extents;  // cycle -> name -> (ts, dur)
   for (const JsonValue& event : events->array) {
     if (event.get("ph")->string != "X") continue;
+    if (event.get("cat")->string != "cycle") continue;  // skip lane spans
     const auto cycle =
         static_cast<std::uint64_t>(event.get("args")->get("cycle")->number);
     extents[cycle][event.get("name")->string] = {event.get("ts")->number,

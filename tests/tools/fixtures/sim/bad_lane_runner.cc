@@ -1,0 +1,15 @@
+// sdslint fixture: sim-thread resumes after `end-lane-runner`.
+#include <thread>
+
+namespace fixture {
+
+// sdslint: lane-runner
+inline void sanctioned() { std::thread t([] {}); t.join(); }  // OK
+// sdslint: end-lane-runner
+
+inline void rogue() {
+  std::thread t([] {});  // HIT sim-thread (outside the region)
+  t.join();
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// sdslint fixture: a `// sdslint: lane-runner` region is the one
+// sanctioned thread-spawn site in simulation code — sim-thread is
+// suspended inside it (all other rules still apply).
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+// sdslint: lane-runner
+class LaneTeam {
+ public:
+  void start() {
+    workers_.emplace_back([] {});  // OK: inside the lane-runner region
+  }
+
+ private:
+  std::vector<std::thread> workers_;  // OK: inside the lane-runner region
+};
+// sdslint: end-lane-runner
+
+}  // namespace fixture

@@ -79,6 +79,22 @@ TEST(SdslintRules, ThreadSpawnHitsInSim) {
   EXPECT_EQ(r.output.find("bad_thread.cc:16:"), std::string::npos) << r.output;
 }
 
+TEST(SdslintRules, LaneRunnerRegionScopesThreadRule) {
+  // Inside a `// sdslint: lane-runner` region, thread spawns are the
+  // sanctioned lane-team implementation and must not be flagged.
+  const RunResult clean = run_sdslint(fixture("sim/lane_runner.cc"));
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+
+  // The region ends at `end-lane-runner`: spawns after it still fire.
+  const RunResult bad = run_sdslint(fixture("sim/bad_lane_runner.cc"));
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+  EXPECT_NE(bad.output.find("[sim-thread]"), std::string::npos) << bad.output;
+  EXPECT_EQ(bad.output.find("bad_lane_runner.cc:7:"), std::string::npos)
+      << bad.output;
+  EXPECT_NE(bad.output.find("bad_lane_runner.cc:11:"), std::string::npos)
+      << bad.output;
+}
+
 TEST(SdslintRules, UnorderedIterationHitsInSimAndBench) {
   const RunResult sim = run_sdslint(fixture("sim/bad_unordered_iter.cc"));
   EXPECT_EQ(sim.exit_code, 1) << sim.output;

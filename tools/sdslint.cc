@@ -16,8 +16,12 @@
 //   sim-sleep       [sim]        no sleep_for/sleep_until/usleep/... —
 //                                simulated time advances via the engine.
 //   sim-thread      [sim]        no std::thread/jthread/async/
-//                                pthread_create — the DES engine is
-//                                single-threaded by design.
+//                                pthread_create outside a
+//                                `// sdslint: lane-runner` region — the
+//                                only sanctioned thread-spawn site in
+//                                the simulator is the lane runner's
+//                                worker team (sim/parallel.cc); events
+//                                themselves stay single-threaded.
 //   unordered-iter  [sim,bench]  no iteration over unordered containers
 //                                (range-for or .begin()) — hash order is
 //                                implementation-defined and would leak
@@ -30,6 +34,9 @@
 // Directives (in comments):
 //   // sdslint: hotpath          begin a hot-path region
 //   // sdslint: end-hotpath      end it
+//   // sdslint: lane-runner      begin a lane-runner region (sim-thread
+//                                suspended; all other rules still apply)
+//   // sdslint: end-lane-runner  end it
 //   // sdslint: allow(rule,...)  suppress on this line (or, when the
 //                                comment stands alone, on the next line)
 //
@@ -73,7 +80,8 @@ constexpr RuleInfo kRules[] = {
     {"sim-wallclock", "src/sim", "wall-clock time source in simulation code"},
     {"sim-rand", "src/sim", "ambient randomness in simulation code"},
     {"sim-sleep", "src/sim", "real-time sleep in simulation code"},
-    {"sim-thread", "src/sim", "thread spawn in simulation code"},
+    {"sim-thread", "src/sim",
+     "thread spawn in simulation code outside a lane-runner region"},
     {"unordered-iter", "src/sim, bench",
      "iteration over an unordered container (hash order leaks into output)"},
     {"hotpath-alloc", "hotpath regions",
@@ -315,6 +323,8 @@ bool has_heap_new(const std::string& code) {
 struct Directives {
   bool hotpath_begin = false;
   bool hotpath_end = false;
+  bool lane_runner_begin = false;
+  bool lane_runner_end = false;
   std::set<std::string> allowed;
 };
 
@@ -329,6 +339,10 @@ Directives parse_directives(const std::string& comment) {
       d.hotpath_end = true;
     } else if (comment.compare(i, 7, "hotpath") == 0) {
       d.hotpath_begin = true;
+    } else if (comment.compare(i, 15, "end-lane-runner") == 0) {
+      d.lane_runner_end = true;
+    } else if (comment.compare(i, 11, "lane-runner") == 0) {
+      d.lane_runner_begin = true;
     } else if (comment.compare(i, 6, "allow(") == 0) {
       i += 6;
       std::string rule;
@@ -377,6 +391,7 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
   std::set<std::string> unordered_names;
   bool in_block_comment = false;
   bool in_hotpath = false;
+  bool in_lane_runner = false;
   std::set<std::string> pending_allow;  // from a standalone comment line
   std::string line;
   std::string code;
@@ -388,6 +403,8 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
     const Directives directives = parse_directives(comment);
     if (directives.hotpath_begin) in_hotpath = true;
     if (directives.hotpath_end) in_hotpath = false;
+    if (directives.lane_runner_begin) in_lane_runner = true;
+    if (directives.lane_runner_end) in_lane_runner = false;
 
     const bool has_code =
         code.find_first_not_of(" \t") != std::string::npos;
@@ -447,13 +464,19 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
             "sleep() blocks on real time; schedule a simulated delay on "
             "the engine instead");
       }
-      if (has_qualified_word(code, "thread") ||
-          has_qualified_word(code, "jthread") ||
-          has_qualified_word(code, "async") ||
-          find_word(code, "pthread_create") != std::string::npos) {
+      // Threads are allowed only inside `// sdslint: lane-runner`
+      // regions — the lane runner's worker team (sim/parallel.cc) is
+      // the simulator's one sanctioned thread-spawn site. Everywhere
+      // else, event code must stay single-threaded.
+      if (!in_lane_runner &&
+          (has_qualified_word(code, "thread") ||
+           has_qualified_word(code, "jthread") ||
+           has_qualified_word(code, "async") ||
+           find_word(code, "pthread_create") != std::string::npos)) {
         hit("sim-thread",
-            "thread spawn in simulation code; the DES engine is "
-            "single-threaded by design");
+            "thread spawn in simulation code outside a lane-runner "
+            "region; threads may only be spawned by the lane runner's "
+            "worker team");
       }
     }
 
