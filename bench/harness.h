@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,6 +31,16 @@ struct RepeatedResult {
   RunningStats cycles;
   sim::ControllerUsage global{};
   sim::ControllerUsage aggregator{};
+  // -- Resilience accounting (all zero for fault-free runs) -------------
+  /// Percentage of cycles closed on quorum/deadline instead of full
+  /// replies.
+  RunningStats degraded_pct;
+  /// Stage-cycles decided on stale state, per executed cycle.
+  RunningStats stale_per_cycle;
+  /// Mean restart-to-first-fresh-collect gap (ms).
+  RunningStats recovery_ms;
+  /// Faults the plan injected per repetition.
+  RunningStats faults;
   /// Coefficient of variation of the per-repetition mean total latency
   /// (the paper reports stdev below 6%).
   [[nodiscard]] double cv() const { return total_ms.cv(); }
@@ -54,6 +65,15 @@ inline Result<RepeatedResult> run_repeated(sim::ExperimentConfig config,
     out.compute_ms.add(result->stats.mean_compute_ms());
     out.enforce_ms.add(result->stats.mean_enforce_ms());
     out.cycles.add(static_cast<double>(result->cycles));
+    const auto cycles = static_cast<double>(result->cycles);
+    out.degraded_pct.add(
+        cycles > 0 ? 100.0 * static_cast<double>(result->degraded_cycles) / cycles
+                   : 0.0);
+    out.stale_per_cycle.add(
+        cycles > 0 ? static_cast<double>(result->stale_stage_reports) / cycles
+                   : 0.0);
+    out.recovery_ms.add(result->mean_recovery_ms);
+    out.faults.add(static_cast<double>(result->faults_injected));
     global_sum.cpu_percent += result->global.cpu_percent;
     global_sum.memory_gb += result->global.memory_gb;
     global_sum.transmitted_mbps += result->global.transmitted_mbps;
@@ -105,6 +125,52 @@ inline void print_resource_row(const std::string& label,
 }
 
 inline void print_paper_note(const char* note) { std::printf("  paper: %s\n", note); }
+
+inline void print_resilience_header() {
+  std::printf("%-24s %10s %10s %10s %10s %12s %8s %8s\n", "configuration",
+              "total(ms)", "collect", "degraded%", "stale/cyc", "recovery(ms)",
+              "faults", "cycles");
+}
+
+inline void print_resilience_row(const std::string& label,
+                                 const RepeatedResult& result) {
+  std::printf("%-24s %10.2f %10.2f %9.1f%% %10.2f %12.2f %8.0f %8.0f\n",
+              label.c_str(), result.total_ms.mean(), result.collect_ms.mean(),
+              result.degraded_pct.mean(), result.stale_per_cycle.mean(),
+              result.recovery_ms.mean(), result.faults.mean(),
+              result.cycles.mean());
+}
+
+/// Resolve the benches' `--fault-plan=FILE` flag: parse FILE (see
+/// fault::FaultPlan::parse for the format) and return the plan, or
+/// nullopt when the flag is absent. A malformed file aborts the bench —
+/// silently falling back to a built-in plan would mislabel the results.
+inline std::optional<fault::FaultPlan> fault_plan_flag(int argc, char** argv) {
+  constexpr std::string_view kFlag = "--fault-plan=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, kFlag.size()) != kFlag) continue;
+    const std::string path(arg.substr(kFlag.size()));
+    auto plan = fault::FaultPlan::load(path);
+    if (!plan.is_ok()) {
+      std::fprintf(stderr, "--fault-plan=%s: %s\n", path.c_str(),
+                   plan.status().to_string().c_str());
+      std::exit(2);
+    }
+    std::printf("  fault plan: %s\n", path.c_str());
+    return *plan;
+  }
+  return std::nullopt;
+}
+
+/// True when `--quick` was passed (smoke-test mode: tiny scales and a
+/// short horizon so CTest can exercise the bench in milliseconds).
+inline bool quick_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") return true;
+  }
+  return false;
+}
 
 /// Resolve the simulator lane count for this bench process: --lanes=N
 /// beats SDSCALE_SIM_LANES beats serial (mirroring sweep_jobs). The flag
@@ -222,6 +288,22 @@ class Telemetry {
     registry_.gauge("bench_cv_percent", labels)->set(result.cv() * 100.0);
   }
 
+  /// Record one printed resilience row (degraded-cycle rate, decision
+  /// staleness, recovery time, injected faults) as gauges.
+  void observe_resilience(const std::string& label,
+                          const RepeatedResult& result) {
+    if (!enabled()) return;
+    const telemetry::Labels labels{{"configuration", label}};
+    registry_.gauge("bench_degraded_percent", labels)
+        ->set(result.degraded_pct.mean());
+    registry_.gauge("bench_stale_per_cycle", labels)
+        ->set(result.stale_per_cycle.mean());
+    registry_.gauge("bench_recovery_ms_mean", labels)
+        ->set(result.recovery_ms.mean());
+    registry_.gauge("bench_faults_injected_mean", labels)
+        ->set(result.faults.mean());
+  }
+
   /// Record one printed resource row (Tables II–IV shape) as gauges.
   void observe_usage(const std::string& label, const std::string& controller,
                      const sim::ControllerUsage& usage) {
@@ -290,6 +372,45 @@ class DatWriter {
     std::fprintf(file_, "%g %.4f %.4f %.4f %.4f %.4f\n", x,
                  result.total_ms.mean(), result.collect_ms.mean(),
                  result.compute_ms.mean(), result.enforce_ms.mean(), paper_ms);
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// DatWriter counterpart for the resilience figures, whose columns are
+/// the degraded-cycle metrics rather than the phase breakdown.
+class ResilienceDatWriter {
+ public:
+  explicit ResilienceDatWriter(const std::string& name) {
+    if (const char* dir = std::getenv("SDSCALE_BENCH_OUT")) {
+      path_ = std::string(dir) + "/" + name + ".dat";
+      file_ = std::fopen(path_.c_str(), "w");
+      if (file_ != nullptr) {
+        std::fprintf(
+            file_,
+            "# x total_ms degraded_pct stale_per_cycle recovery_ms faults\n");
+      }
+    }
+  }
+
+  ~ResilienceDatWriter() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      std::printf("  wrote %s\n", path_.c_str());
+    }
+  }
+
+  ResilienceDatWriter(const ResilienceDatWriter&) = delete;
+  ResilienceDatWriter& operator=(const ResilienceDatWriter&) = delete;
+
+  void row(double x, const RepeatedResult& result) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%g %.4f %.4f %.4f %.4f %.1f\n", x,
+                 result.total_ms.mean(), result.degraded_pct.mean(),
+                 result.stale_per_cycle.mean(), result.recovery_ms.mean(),
+                 result.faults.mean());
   }
 
  private:

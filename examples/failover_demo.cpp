@@ -2,10 +2,16 @@
 // deployment loses an aggregator mid-run; its stages fail over to the
 // surviving aggregator, re-register, and QoS enforcement continues —
 // while the data plane keeps enforcing the last rules during the gap.
+//
+// The kill sequence is expressed as a FaultPlan (the same text format
+// `--fault-plan=FILE` accepts in the benches) and replayed by a
+// FaultDriver, instead of ad-hoc shutdown calls.
 #include <cstdio>
 #include <thread>
 
+#include "fault/plan.h"
 #include "runtime/deployment.h"
+#include "runtime/fault_driver.h"
 
 using namespace sds;
 using namespace sds::runtime;
@@ -36,7 +42,20 @@ int main() {
   std::printf("stage 0 enforced limit: %.1f ops/s\n\n", before);
 
   std::printf(">>> killing aggregator 0 (manages stages 0-3)\n");
-  cluster.aggregators()[0]->shutdown();
+  // for_ms 0 = the aggregator never comes back.
+  const auto plan =
+      fault::FaultPlan::parse("crash aggregator 0 at_ms 1 for_ms 0\n");
+  if (!plan.is_ok()) {
+    std::fprintf(stderr, "bad fault plan: %s\n",
+                 plan.status().to_string().c_str());
+    return 1;
+  }
+  FaultDriver chaos(cluster, *plan);
+  if (const Status applied = chaos.advance_to(millis(1)); !applied.is_ok()) {
+    std::fprintf(stderr, "fault injection failed: %s\n",
+                 applied.to_string().c_str());
+    return 1;
+  }
 
   // The stages' hosts notice the dropped connections and re-register via
   // their next configured controller (aggregator 1).

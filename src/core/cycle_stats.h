@@ -57,6 +57,24 @@ class CycleStats {
     }
   }
 
+  /// A cycle that closed on quorum/timeout instead of full replies.
+  /// `stale_stages` is how many stages contributed no fresh metrics this
+  /// cycle (the controller reused their last-known state).
+  void record_degraded(std::size_t stale_stages) {
+    ++degraded_cycles_;
+    stale_stages_ += stale_stages;
+    if (degraded_total_ != nullptr) {
+      degraded_total_->add(1);
+      stale_total_->add(stale_stages);
+    }
+  }
+
+  /// Time from an entity's restart to its first fresh contribution.
+  void record_recovery(Nanos recovery) {
+    recovery_.record(recovery);
+    if (tele_recovery_ != nullptr) tele_recovery_->record(recovery);
+  }
+
   /// Register this cycle engine's instruments with `registry`. `labels`
   /// distinguish multiple engines sharing one registry (e.g.
   /// {{"component","global"}} or {{"configuration","flat N=500"}}).
@@ -64,8 +82,9 @@ class CycleStats {
   void bind(telemetry::MetricsRegistry* registry,
             telemetry::Labels labels = {}) {
     if (registry == nullptr) {
-      cycles_total_ = nullptr;
+      cycles_total_ = degraded_total_ = stale_total_ = nullptr;
       tele_collect_ = tele_compute_ = tele_enforce_ = tele_total_ = nullptr;
+      tele_recovery_ = nullptr;
       return;
     }
     const auto phase_labels = [&labels](std::string_view phase) {
@@ -81,27 +100,41 @@ class CycleStats {
                                         phase_labels("enforce"));
     tele_total_ =
         registry->histogram("sds_cycle_total_latency_ns", labels);
+    tele_recovery_ = registry->histogram("sds_recovery_time_ns", labels);
+    degraded_total_ = registry->counter("sds_cycle_degraded_total", labels);
+    stale_total_ = registry->counter("sds_stage_stale_total", labels);
     cycles_total_ = registry->counter("sds_cycles_total", std::move(labels));
   }
 
   [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::uint64_t degraded_cycles() const {
+    return degraded_cycles_;
+  }
+  [[nodiscard]] std::uint64_t stale_stages() const { return stale_stages_; }
   [[nodiscard]] const Histogram& collect() const { return collect_; }
   [[nodiscard]] const Histogram& compute() const { return compute_; }
   [[nodiscard]] const Histogram& enforce() const { return enforce_; }
   [[nodiscard]] const Histogram& total() const { return total_; }
+  [[nodiscard]] const Histogram& recovery() const { return recovery_; }
 
   /// Mean latencies in milliseconds (the unit the paper reports).
   [[nodiscard]] double mean_collect_ms() const { return collect_.mean() * 1e-6; }
   [[nodiscard]] double mean_compute_ms() const { return compute_.mean() * 1e-6; }
   [[nodiscard]] double mean_enforce_ms() const { return enforce_.mean() * 1e-6; }
   [[nodiscard]] double mean_total_ms() const { return total_.mean() * 1e-6; }
+  [[nodiscard]] double mean_recovery_ms() const {
+    return recovery_.mean() * 1e-6;
+  }
 
   void reset() {
     collect_.reset();
     compute_.reset();
     enforce_.reset();
     total_.reset();
+    recovery_.reset();
     cycles_ = 0;
+    degraded_cycles_ = 0;
+    stale_stages_ = 0;
   }
 
  private:
@@ -109,9 +142,15 @@ class CycleStats {
   Histogram compute_;
   Histogram enforce_;
   Histogram total_;
+  Histogram recovery_;
   std::uint64_t cycles_ = 0;
+  std::uint64_t degraded_cycles_ = 0;
+  std::uint64_t stale_stages_ = 0;
   // Bound telemetry instruments (owned by the registry, may be null).
   telemetry::Counter* cycles_total_ = nullptr;
+  telemetry::Counter* degraded_total_ = nullptr;
+  telemetry::Counter* stale_total_ = nullptr;
+  telemetry::HistogramMetric* tele_recovery_ = nullptr;
   telemetry::HistogramMetric* tele_collect_ = nullptr;
   telemetry::HistogramMetric* tele_compute_ = nullptr;
   telemetry::HistogramMetric* tele_enforce_ = nullptr;

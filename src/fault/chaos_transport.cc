@@ -1,0 +1,197 @@
+#include "fault/chaos_transport.h"
+
+#include <chrono>
+#include <utility>
+
+namespace sds::fault {
+namespace {
+
+/// FNV-1a: a stable address hash (std::hash is implementation-defined,
+/// which would make the per-endpoint fault stream toolchain-dependent).
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+/// One wrapped endpoint. Inbound delivery is untouched (handlers are
+/// installed on the base endpoint); every outbound frame consults the
+/// network for a fate first. The base endpoint is held by shared_ptr so
+/// delayed frames queued on the delayer thread can outlive close().
+class ChaosEndpoint final : public transport::Endpoint {
+ public:
+  ChaosEndpoint(ChaosNetwork* net, std::shared_ptr<transport::Endpoint> base,
+                std::uint64_t stream_seed)
+      : net_(net), base_(std::move(base)), rng_(stream_seed) {}
+
+  [[nodiscard]] const std::string& address() const override {
+    return base_->address();
+  }
+  void set_frame_handler(transport::FrameHandler handler) override {
+    base_->set_frame_handler(std::move(handler));
+  }
+  void set_conn_handler(transport::ConnEventHandler handler) override {
+    base_->set_conn_handler(std::move(handler));
+  }
+  Result<ConnId> connect(const std::string& peer_address) override {
+    return base_->connect(peer_address);
+  }
+
+  Status send(ConnId conn, wire::Frame frame) override {
+    switch (net_->next_fate(rng_)) {
+      case MessageFate::kDrop:
+        return Status::ok();  // the sender never learns a packet was lost
+      case MessageFate::kDuplicate: {
+        wire::Frame copy = frame;
+        Status first = base_->send(conn, std::move(copy));
+        if (!first.is_ok()) return first;
+        return base_->send(conn, std::move(frame));
+      }
+      case MessageFate::kDelay:
+        net_->enqueue_delayed(
+            net_->options_.delay,
+            [base = base_, conn, f = std::move(frame)]() mutable {
+              (void)base->send(conn, std::move(f));
+            });
+        return Status::ok();
+      case MessageFate::kDeliver:
+        break;
+    }
+    return base_->send(conn, std::move(frame));
+  }
+
+  Status send_shared(ConnId conn, const wire::SharedFrame& frame) override {
+    switch (net_->next_fate(rng_)) {
+      case MessageFate::kDrop:
+        return Status::ok();
+      case MessageFate::kDuplicate: {
+        Status first = base_->send_shared(conn, frame);
+        if (!first.is_ok()) return first;
+        return base_->send_shared(conn, frame);
+      }
+      case MessageFate::kDelay:
+        net_->enqueue_delayed(net_->options_.delay,
+                              [base = base_, conn, f = frame]() {
+                                (void)base->send_shared(conn, f);
+                              });
+        return Status::ok();
+      case MessageFate::kDeliver:
+        break;
+    }
+    return base_->send_shared(conn, frame);
+  }
+
+  void close(ConnId conn) override { base_->close(conn); }
+  void shutdown() override { base_->shutdown(); }
+  [[nodiscard]] transport::Counters counters() const override {
+    return base_->counters();
+  }
+
+ private:
+  ChaosNetwork* net_;
+  std::shared_ptr<transport::Endpoint> base_;
+  Rng rng_;  // drawn only inside ChaosNetwork::next_fate, under its mu_
+};
+
+ChaosNetwork::ChaosNetwork(transport::Network& base, const Options& options)
+    : base_(&base), options_(options) {
+  if (options_.metrics != nullptr) {
+    injected_ = options_.metrics->counter("sds_fault_injected_total");
+  }
+  if (options_.delay_probability > 0) {
+    delayer_ = std::thread([this] { delayer_main(); });
+  }
+}
+
+ChaosNetwork::ChaosNetwork(transport::Network& base, const FaultPlan& plan,
+                           telemetry::MetricsRegistry* metrics)
+    : ChaosNetwork(base, Options{plan.seed, plan.drop_probability,
+                                 plan.duplicate_probability,
+                                 plan.delay_probability, plan.delay, metrics}) {
+}
+
+ChaosNetwork::~ChaosNetwork() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  delayer_cv_.notify_all();
+  if (delayer_.joinable()) delayer_.join();
+}
+
+Result<std::unique_ptr<transport::Endpoint>> ChaosNetwork::bind(
+    const std::string& address, const transport::EndpointOptions& options) {
+  auto base = base_->bind(address, options);
+  if (!base.is_ok()) return base.status();
+  std::uint64_t stream_seed =
+      SplitMix64(options_.seed ^ fnv1a(address)).next();
+  return std::unique_ptr<transport::Endpoint>(std::make_unique<ChaosEndpoint>(
+      this, std::shared_ptr<transport::Endpoint>(std::move(base).value()),
+      stream_seed));
+}
+
+ChaosStats ChaosNetwork::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+MessageFate ChaosNetwork::next_fate(Rng& endpoint_stream) {
+  const double total = options_.drop_probability +
+                       options_.duplicate_probability +
+                       options_.delay_probability;
+  if (total <= 0) return MessageFate::kDeliver;
+  MutexLock lock(mu_);
+  const double u = endpoint_stream.uniform01();
+  MessageFate fate = MessageFate::kDeliver;
+  if (u < options_.drop_probability) {
+    fate = MessageFate::kDrop;
+    ++stats_.dropped;
+  } else if (u < options_.drop_probability + options_.duplicate_probability) {
+    fate = MessageFate::kDuplicate;
+    ++stats_.duplicated;
+  } else if (u < total) {
+    fate = MessageFate::kDelay;
+    ++stats_.delayed;
+  }
+  if (fate != MessageFate::kDeliver && injected_ != nullptr) injected_->add();
+  return fate;
+}
+
+void ChaosNetwork::enqueue_delayed(Nanos wait, std::function<void()> deliver) {
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return;
+    delayed_.push_back(Delayed{wait, std::move(deliver)});
+  }
+  delayer_cv_.notify_all();
+}
+
+void ChaosNetwork::delayer_main() {
+  for (;;) {
+    Delayed item;
+    {
+      MutexLock lock(mu_);
+      delayer_cv_.wait(lock, [this] SDS_REQUIRES(mu_) {
+        return shutdown_ || !delayed_.empty();
+      });
+      if (shutdown_) return;  // queued frames are dropped on teardown
+      item = std::move(delayed_.front());
+      delayed_.pop_front();
+      // Hold the frame for its extra latency (relative sleep — src/fault
+      // never reads a clock). Interruptible by shutdown.
+      if (delayer_cv_.wait_for(
+              lock, std::chrono::nanoseconds(item.wait.count()),
+              [this] SDS_REQUIRES(mu_) { return shutdown_; })) {
+        return;
+      }
+    }
+    item.deliver();
+  }
+}
+
+}  // namespace sds::fault

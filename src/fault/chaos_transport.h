@@ -1,0 +1,100 @@
+// ChaosNetwork — a fault-wrapping transport::Network decorator.
+//
+// Wraps any base Network (in-process or TCP) and applies a FaultPlan's
+// per-link message faults to every frame an endpoint sends: drops
+// (send() succeeds but nothing is transmitted — exactly how a lost
+// packet looks to the sender), duplications (the frame is queued twice)
+// and delays (the frame is handed to a single delayer thread that holds
+// it for the plan's extra latency before forwarding).
+//
+// Fault decisions come from a seeded sds::Rng per endpoint (stream
+// derived from the plan seed and the endpoint address), so a run's fault
+// pattern is reproducible for a fixed message order. Unlike the
+// simulator — where fates are pure functions of (cycle, entity) — the
+// live runtime's message order depends on thread scheduling, so runtime
+// chaos is statistically, not bitwise, reproducible. Cross-validation
+// against the simulator therefore uses scripted crash events (see
+// FaultDriver), which are exact on both sides.
+//
+// The delayer thread never reads a clock: delays are realized with
+// relative sleeps, so a queued frame waits *at least* the configured
+// extra latency (strictly more while the queue is busy). Chaos delays
+// are lower bounds, as in any real degraded network.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/thread_annotations.h"
+#include "fault/plan.h"
+#include "telemetry/metrics.h"
+#include "transport/transport.h"
+
+namespace sds::fault {
+
+/// Per-network injection counters (one block shared by all endpoints).
+struct ChaosStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return dropped + duplicated + delayed;
+  }
+};
+
+class ChaosNetwork final : public transport::Network {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    double drop_probability = 0;
+    double duplicate_probability = 0;
+    double delay_probability = 0;
+    Nanos delay = micros(200);
+    /// Optional: counts injections into `sds_fault_injected_total`.
+    telemetry::MetricsRegistry* metrics = nullptr;
+  };
+
+  ChaosNetwork(transport::Network& base, const Options& options);
+  /// Convenience: lift the message-fault knobs from a FaultPlan.
+  ChaosNetwork(transport::Network& base, const FaultPlan& plan,
+               telemetry::MetricsRegistry* metrics = nullptr);
+  ~ChaosNetwork() override;
+
+  Result<std::unique_ptr<transport::Endpoint>> bind(
+      const std::string& address,
+      const transport::EndpointOptions& options) override;
+
+  [[nodiscard]] ChaosStats stats() const;
+
+ private:
+  friend class ChaosEndpoint;
+
+  struct Delayed {
+    Nanos wait{0};
+    std::function<void()> deliver;
+  };
+
+  /// Fate for the next frame on `endpoint_stream` (seeded Rng under mu_).
+  MessageFate next_fate(Rng& endpoint_stream);
+  void enqueue_delayed(Nanos wait, std::function<void()> deliver);
+  void count(MessageFate fate);
+  void delayer_main();
+
+  transport::Network* base_;
+  const Options options_;
+  telemetry::Counter* injected_ = nullptr;
+
+  mutable Mutex mu_;
+  ChaosStats stats_ SDS_GUARDED_BY(mu_);
+  std::deque<Delayed> delayed_ SDS_GUARDED_BY(mu_);
+  bool shutdown_ SDS_GUARDED_BY(mu_) = false;
+  CondVar delayer_cv_;
+  std::thread delayer_;
+};
+
+}  // namespace sds::fault

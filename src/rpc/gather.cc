@@ -14,13 +14,16 @@ std::optional<std::uint64_t> peek_cycle_id(const wire::Frame& frame) {
 Gather::Gather(proto::MessageType type, std::optional<std::uint64_t> cycle,
                std::vector<ConnId> expected,
                std::shared_ptr<const GatherTelemetry> telemetry)
-    : type_(type), cycle_(cycle), telemetry_(std::move(telemetry)) {
-  waiting_.reserve(expected.size());
-  for (const ConnId c : expected) waiting_.insert(c);
-  replies_.reserve(expected.size());
+    : type_(type),
+      cycle_(cycle),
+      expected_(std::move(expected)),
+      telemetry_(std::move(telemetry)) {
+  waiting_.reserve(expected_.size());
+  for (const ConnId c : expected_) waiting_.insert(c);
+  replies_.reserve(expected_.size());
   if (telemetry_ != nullptr) {
     telemetry_->gathers_started->add(1);
-    telemetry_->fanout->record(static_cast<std::int64_t>(expected.size()));
+    telemetry_->fanout->record(static_cast<std::int64_t>(expected_.size()));
   }
 }
 
@@ -34,9 +37,10 @@ bool Gather::offer(ConnId conn, const wire::Frame& frame) {
   const auto it = waiting_.find(conn);
   if (it == waiting_.end()) return false;
   waiting_.erase(it);
+  replied_.insert(conn);
   replies_.push_back({conn, frame});
   if (telemetry_ != nullptr) telemetry_->replies->add(1);
-  if (waiting_.empty()) cv_.notify_all();
+  cv_.notify_all();  // every reply may satisfy a quorum wait
   return true;
 }
 
@@ -50,18 +54,25 @@ void Gather::fail(ConnId conn) {
 }
 
 Status Gather::wait_for(Nanos timeout) {
+  return wait_for(timeout, expected_.size());
+}
+
+Status Gather::wait_for(Nanos timeout, std::size_t quorum) {
   MutexLock lock(mu_);
   const auto started = std::chrono::steady_clock::now();
-  const bool complete =
-      cv_.wait_for(lock, timeout,
-                   [&]() SDS_REQUIRES(mu_) { return waiting_.empty(); });
+  cv_.wait_for(lock, timeout, [&]() SDS_REQUIRES(mu_) {
+    return waiting_.empty() || replies_.size() >= quorum;
+  });
+  const bool all_in = waiting_.empty();
+  const bool quorum_met = replies_.size() >= quorum;
   if (telemetry_ != nullptr) {
     telemetry_->wave_latency_ns->record(
         std::chrono::duration_cast<Nanos>(std::chrono::steady_clock::now() -
                                           started));
-    if (!complete) telemetry_->timeouts->add(1);
+    if (!all_in && !quorum_met) telemetry_->timeouts->add(1);
   }
-  if (!complete) {
+  if (!all_in) {
+    if (quorum_met) return Status::ok();  // degraded wave; see missing()
     return Status::deadline_exceeded(std::to_string(waiting_.size()) +
                                      " replies missing");
   }
@@ -79,6 +90,25 @@ std::vector<Gather::Reply> Gather::take_replies() {
 std::size_t Gather::pending() const {
   MutexLock lock(mu_);
   return waiting_.size();
+}
+
+std::size_t Gather::reply_count() const {
+  MutexLock lock(mu_);
+  return replied_.size();
+}
+
+std::size_t Gather::missing() const {
+  MutexLock lock(mu_);
+  return waiting_.size();
+}
+
+std::vector<bool> Gather::reply_bitmap() const {
+  MutexLock lock(mu_);
+  std::vector<bool> bitmap(expected_.size(), false);
+  for (std::size_t i = 0; i < expected_.size(); ++i) {
+    bitmap[i] = replied_.count(expected_[i]) > 0;
+  }
+  return bitmap;
 }
 
 void Dispatcher::set_fallback(FallbackHandler handler) {

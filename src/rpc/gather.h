@@ -69,22 +69,46 @@ class Gather {
 
   /// Block until every expected reply arrived or `timeout` elapsed.
   /// Returns OK when complete, kDeadlineExceeded with the number of
-  /// missing replies otherwise.
+  /// missing replies otherwise. Either way the replies that did arrive
+  /// stay available — reply_count()/reply_bitmap() say which peers
+  /// answered and take_replies() hands over the partial set.
   [[nodiscard]] Status wait_for(Nanos timeout) SDS_EXCLUDES(mu_);
+
+  /// Quorum variant: additionally returns OK (without waiting further)
+  /// once at least `quorum` replies arrived, even though some peers are
+  /// still outstanding. Callers distinguish a full wave from a quorum
+  /// wave via missing(). kDeadlineExceeded only when the timeout passes
+  /// below quorum.
+  [[nodiscard]] Status wait_for(Nanos timeout, std::size_t quorum)
+      SDS_EXCLUDES(mu_);
 
   /// Collected replies (call after wait_for).
   [[nodiscard]] std::vector<Reply> take_replies() SDS_EXCLUDES(mu_);
 
   [[nodiscard]] std::size_t pending() const SDS_EXCLUDES(mu_);
 
+  /// The expected peers, in construction order — the index space of
+  /// reply_bitmap().
+  [[nodiscard]] const std::vector<ConnId>& expected() const {
+    return expected_;
+  }
+  /// Replies received so far (valid before and after take_replies()).
+  [[nodiscard]] std::size_t reply_count() const SDS_EXCLUDES(mu_);
+  /// Peers that neither replied nor failed.
+  [[nodiscard]] std::size_t missing() const SDS_EXCLUDES(mu_);
+  /// bit i == true iff expected()[i] replied.
+  [[nodiscard]] std::vector<bool> reply_bitmap() const SDS_EXCLUDES(mu_);
+
  private:
   const proto::MessageType type_;
   const std::optional<std::uint64_t> cycle_;
+  const std::vector<ConnId> expected_;
   const std::shared_ptr<const GatherTelemetry> telemetry_;
 
   mutable Mutex mu_;
   CondVar cv_;
   std::unordered_set<ConnId> waiting_ SDS_GUARDED_BY(mu_);
+  std::unordered_set<ConnId> replied_ SDS_GUARDED_BY(mu_);
   std::vector<Reply> replies_ SDS_GUARDED_BY(mu_);
   std::size_t failed_ SDS_GUARDED_BY(mu_) = 0;
 };

@@ -1,5 +1,6 @@
 #include "runtime/deployment.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "workload/generators.h"
@@ -9,10 +10,13 @@ namespace sds::runtime {
 Result<std::unique_ptr<Deployment>> Deployment::create(
     transport::Network& network, const DeploymentOptions& options) {
   auto deployment = std::unique_ptr<Deployment>(new Deployment());
+  deployment->network_ = &network;
+  deployment->options_ = options;
 
   GlobalServerOptions global_options;
   global_options.core.budgets = options.budgets;
   global_options.phase_timeout = options.phase_timeout;
+  global_options.collect_quorum = options.collect_quorum;
   global_options.local_decisions = options.local_decisions;
   if (options.local_decisions && options.num_aggregators == 0) {
     return Status::invalid_argument(
@@ -24,58 +28,18 @@ Result<std::unique_ptr<Deployment>> Deployment::create(
       transport::EndpointOptions{options.max_connections, 0}));
 
   for (std::size_t a = 0; a < options.num_aggregators; ++a) {
-    AggregatorServerOptions agg_options;
-    agg_options.id = ControllerId{static_cast<std::uint32_t>(a)};
-    agg_options.upstream_address = "global";
-    agg_options.phase_timeout = options.phase_timeout;
-    auto agg = std::make_unique<AggregatorServer>(
-        network, "agg" + std::to_string(a), agg_options);
-    SDS_RETURN_IF_ERROR(
-        agg->start(transport::EndpointOptions{options.max_connections, 0}));
-    deployment->aggregators_.push_back(std::move(agg));
+    auto agg = deployment->make_aggregator(a);
+    if (!agg.is_ok()) return agg.status();
+    deployment->aggregators_.push_back(std::move(agg).value());
   }
 
   const std::size_t num_hosts =
       (options.num_stages + options.stages_per_host - 1) /
       std::max<std::size_t>(1, options.stages_per_host);
   for (std::size_t h = 0; h < num_hosts; ++h) {
-    StageHostOptions host_options;
-    if (options.num_aggregators == 0) {
-      host_options.controller_addresses = {"global"};
-    } else {
-      // Stages pick their aggregator round-robin by host; failover walks
-      // the rest of the list.
-      for (std::size_t a = 0; a < options.num_aggregators; ++a) {
-        const std::size_t pick = (h + a) % options.num_aggregators;
-        host_options.controller_addresses.push_back("agg" +
-                                                    std::to_string(pick));
-      }
-    }
-    auto host = std::make_unique<StageHost>(
-        network, "host" + std::to_string(h), host_options);
-    SDS_RETURN_IF_ERROR(host->start());
-    deployment->stage_hosts_.push_back(std::move(host));
-  }
-
-  for (std::size_t i = 0; i < options.num_stages; ++i) {
-    proto::StageInfo info;
-    info.stage_id = StageId{static_cast<std::uint32_t>(i)};
-    info.node_id = NodeId{static_cast<std::uint32_t>(i)};
-    info.job_id = JobId{static_cast<std::uint32_t>(
-        i / std::max<std::size_t>(1, options.stages_per_job))};
-    info.hostname = "host" + std::to_string(i / options.stages_per_host);
-    stage::DemandFn data;
-    stage::DemandFn meta;
-    if (options.demand_factory) {
-      data = options.demand_factory(info.stage_id, stage::Dimension::kData);
-      meta = options.demand_factory(info.stage_id, stage::Dimension::kMeta);
-    } else {
-      data = workload::constant(options.data_demand);
-      meta = workload::constant(options.meta_demand);
-    }
-    SDS_RETURN_IF_ERROR(
-        deployment->stage_hosts_[i / options.stages_per_host]->add_stage(
-            info, std::move(data), std::move(meta)));
+    auto host = deployment->make_stage_host(h);
+    if (!host.is_ok()) return host.status();
+    deployment->stage_hosts_.push_back(std::move(host).value());
   }
 
   for (auto& host : deployment->stage_hosts_) {
@@ -97,6 +61,98 @@ Result<std::unique_ptr<Deployment>> Deployment::create(
 }
 
 Deployment::~Deployment() { shutdown(); }
+
+Result<std::unique_ptr<AggregatorServer>> Deployment::make_aggregator(
+    std::size_t index) const {
+  AggregatorServerOptions agg_options;
+  agg_options.id = ControllerId{static_cast<std::uint32_t>(index)};
+  agg_options.upstream_address = "global";
+  agg_options.phase_timeout = options_.phase_timeout;
+  auto agg = std::make_unique<AggregatorServer>(
+      *network_, "agg" + std::to_string(index), agg_options);
+  SDS_RETURN_IF_ERROR(
+      agg->start(transport::EndpointOptions{options_.max_connections, 0}));
+  return agg;
+}
+
+Result<std::unique_ptr<StageHost>> Deployment::make_stage_host(
+    std::size_t index) const {
+  StageHostOptions host_options;
+  if (options_.num_aggregators == 0) {
+    host_options.controller_addresses = {"global"};
+  } else {
+    // Stages pick their aggregator round-robin by host; failover walks
+    // the rest of the list.
+    for (std::size_t a = 0; a < options_.num_aggregators; ++a) {
+      const std::size_t pick = (index + a) % options_.num_aggregators;
+      host_options.controller_addresses.push_back("agg" +
+                                                  std::to_string(pick));
+    }
+  }
+  auto host = std::make_unique<StageHost>(
+      *network_, "host" + std::to_string(index), host_options);
+  SDS_RETURN_IF_ERROR(host->start());
+
+  const std::size_t first = index * options_.stages_per_host;
+  const std::size_t last =
+      std::min(options_.num_stages, first + options_.stages_per_host);
+  for (std::size_t i = first; i < last; ++i) {
+    proto::StageInfo info;
+    info.stage_id = StageId{static_cast<std::uint32_t>(i)};
+    info.node_id = NodeId{static_cast<std::uint32_t>(i)};
+    info.job_id = JobId{static_cast<std::uint32_t>(
+        i / std::max<std::size_t>(1, options_.stages_per_job))};
+    info.hostname = "host" + std::to_string(index);
+    stage::DemandFn data;
+    stage::DemandFn meta;
+    if (options_.demand_factory) {
+      data = options_.demand_factory(info.stage_id, stage::Dimension::kData);
+      meta = options_.demand_factory(info.stage_id, stage::Dimension::kMeta);
+    } else {
+      data = workload::constant(options_.data_demand);
+      meta = workload::constant(options_.meta_demand);
+    }
+    SDS_RETURN_IF_ERROR(host->add_stage(info, std::move(data), std::move(meta)));
+  }
+  return host;
+}
+
+Status Deployment::kill_aggregator(std::size_t index) {
+  if (index >= aggregators_.size()) {
+    return Status::out_of_range("aggregator " + std::to_string(index));
+  }
+  aggregators_[index]->shutdown();
+  return Status::ok();
+}
+
+Status Deployment::restart_aggregator(std::size_t index) {
+  if (index >= aggregators_.size()) {
+    return Status::out_of_range("aggregator " + std::to_string(index));
+  }
+  auto agg = make_aggregator(index);
+  if (!agg.is_ok()) return agg.status();
+  aggregators_[index] = std::move(agg).value();
+  return Status::ok();
+}
+
+Status Deployment::kill_stage_host(std::size_t index) {
+  if (index >= stage_hosts_.size()) {
+    return Status::out_of_range("stage host " + std::to_string(index));
+  }
+  stage_hosts_[index]->shutdown();
+  return Status::ok();
+}
+
+Status Deployment::restart_stage_host(std::size_t index) {
+  if (index >= stage_hosts_.size()) {
+    return Status::out_of_range("stage host " + std::to_string(index));
+  }
+  auto host = make_stage_host(index);
+  if (!host.is_ok()) return host.status();
+  SDS_RETURN_IF_ERROR(host.value()->register_all());
+  stage_hosts_[index] = std::move(host).value();
+  return Status::ok();
+}
 
 Result<double> Deployment::stage_limit(StageId stage,
                                        stage::Dimension dim) const {

@@ -23,6 +23,8 @@ struct DeploymentOptions {
   std::size_t stages_per_host = 8;  // paper: 50 virtual stages per node
   core::Budgets budgets{};
   Nanos phase_timeout = seconds(5);
+  /// Global-controller gather quorum (GlobalServerOptions::collect_quorum).
+  double collect_quorum = 1.0;
   /// Local-decision mode (paper §VI): lease budgets to aggregators that
   /// run PSFA over their own subtree. Requires num_aggregators > 0.
   bool local_decisions = false;
@@ -59,11 +61,30 @@ class Deployment {
   [[nodiscard]] Result<double> stage_limit(StageId stage,
                                            stage::Dimension dim) const;
 
+  // Fault controls (used by FaultDriver and the failover tests). A kill
+  // shuts the server down in place — peers observe connection-closed
+  // events exactly as for a real crash; the dead object stays in its
+  // slot so indices remain stable. A restart replaces the slot with a
+  // fresh server bound to the same address (the in-process transport
+  // unbinds on shutdown, so rebinding succeeds) and, for stage hosts,
+  // re-adds and re-registers the host's virtual stages.
+  Status kill_aggregator(std::size_t index);
+  Status restart_aggregator(std::size_t index);
+  Status kill_stage_host(std::size_t index);
+  Status restart_stage_host(std::size_t index);
+
   void shutdown();
 
  private:
   Deployment() = default;
 
+  [[nodiscard]] Result<std::unique_ptr<AggregatorServer>> make_aggregator(
+      std::size_t index) const;
+  [[nodiscard]] Result<std::unique_ptr<StageHost>> make_stage_host(
+      std::size_t index) const;
+
+  transport::Network* network_ = nullptr;
+  DeploymentOptions options_;
   std::unique_ptr<GlobalControllerServer> global_;
   std::vector<std::unique_ptr<AggregatorServer>> aggregators_;
   std::vector<std::unique_ptr<StageHost>> stage_hosts_;

@@ -1,0 +1,64 @@
+#include "runtime/fault_driver.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace sds::runtime {
+
+FaultDriver::FaultDriver(Deployment& deployment, const fault::FaultPlan& plan,
+                         Nanos horizon)
+    : deployment_(&deployment),
+      compiled_(fault::CompiledPlan::compile(
+          plan, deployment.stage_hosts().size(),
+          deployment.aggregators().size(), horizon)) {
+  for (std::size_t h = 0; h < compiled_.num_stages(); ++h) {
+    for (const auto& outage : compiled_.stage_outages(h)) {
+      events_.push_back(Event{outage.from, Kind::kKillHost, h});
+      if (outage.until != fault::CompiledPlan::kNever) {
+        events_.push_back(Event{outage.until, Kind::kRestartHost, h});
+      }
+    }
+  }
+  for (std::size_t a = 0; a < compiled_.num_aggregators(); ++a) {
+    for (const auto& outage : compiled_.aggregator_outages(a)) {
+      events_.push_back(Event{outage.from, Kind::kKillAggregator, a});
+      if (outage.until != fault::CompiledPlan::kNever) {
+        events_.push_back(Event{outage.until, Kind::kRestartAggregator, a});
+      }
+    }
+  }
+  std::sort(events_.begin(), events_.end(), [](const Event& x, const Event& y) {
+    return std::tuple(x.at, static_cast<int>(x.kind), x.index) <
+           std::tuple(y.at, static_cast<int>(y.kind), y.index);
+  });
+}
+
+Status FaultDriver::advance_to(Nanos t) {
+  while (applied_ < events_.size() && events_[applied_].at <= t) {
+    SDS_RETURN_IF_ERROR(apply(events_[applied_]));
+    ++applied_;
+  }
+  if (t > now_) now_ = t;
+  return Status::ok();
+}
+
+Nanos FaultDriver::next_event_at() const {
+  if (applied_ >= events_.size()) return fault::CompiledPlan::kNever;
+  return events_[applied_].at;
+}
+
+Status FaultDriver::apply(const Event& event) {
+  switch (event.kind) {
+    case Kind::kKillHost:
+      return deployment_->kill_stage_host(event.index);
+    case Kind::kRestartHost:
+      return deployment_->restart_stage_host(event.index);
+    case Kind::kKillAggregator:
+      return deployment_->kill_aggregator(event.index);
+    case Kind::kRestartAggregator:
+      return deployment_->restart_aggregator(event.index);
+  }
+  return Status::ok();
+}
+
+}  // namespace sds::runtime

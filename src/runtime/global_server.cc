@@ -1,6 +1,7 @@
 #include "runtime/global_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "common/log.h"
@@ -174,11 +175,54 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
   const wire::SharedFrame collect_frame = proto::to_shared_frame(request);
   rpc::broadcast_shared(*endpoint_, targets.stage_conns, collect_frame);
   rpc::broadcast_shared(*endpoint_, agg_conns, collect_frame);
-  const Status stage_wait = stage_gather->wait_for(options_.phase_timeout);
-  const Status agg_wait = agg_gather->wait_for(options_.phase_timeout);
+  const auto quorum_of = [this](std::size_t expected) -> std::size_t {
+    if (expected == 0) return 0;
+    const auto n = static_cast<std::size_t>(
+        std::ceil(options_.collect_quorum * static_cast<double>(expected)));
+    return std::clamp<std::size_t>(n, 1, expected);
+  };
+  const Status stage_wait = stage_gather->wait_for(
+      options_.phase_timeout, quorum_of(targets.stage_conns.size()));
+  const Status agg_wait = agg_gather->wait_for(options_.phase_timeout,
+                                               quorum_of(agg_conns.size()));
   if (!stage_wait.is_ok() || !agg_wait.is_ok()) {
     SDS_LOG(WARN) << "global: collect incomplete in cycle " << cycle;
   }
+
+  // Degraded-cycle accounting: every silent direct stage is stale; a
+  // silent aggregator makes its whole registered subtree stale.
+  std::size_t stale = stage_gather->missing();
+  if (agg_gather->missing() > 0) {
+    const auto bitmap = agg_gather->reply_bitmap();
+    MutexLock lock(mu_);
+    for (std::size_t i = 0; i < targets.aggregators.size(); ++i) {
+      if (bitmap[i]) continue;
+      const ControllerId id = targets.aggregators[i].second;
+      core_.registry().for_each([&](const core::StageRecord& record) {
+        if (record.via == id) ++stale;
+      });
+    }
+  }
+  // Recovery accounting: a fresh collect reply from a peer we had marked
+  // missing closes its outage window.
+  const Nanos collect_now = clock_->now();
+  const auto note_collect_outcomes = [&](const rpc::Gather& gather) {
+    const auto& expected = gather.expected();
+    const auto bitmap = gather.reply_bitmap();
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      if (bitmap[i]) {
+        if (const auto it = missing_since_.find(expected[i]);
+            it != missing_since_.end()) {
+          stats_.record_recovery(collect_now - it->second);
+          missing_since_.erase(it);
+        }
+      } else {
+        missing_since_.emplace(expected[i], collect_now);
+      }
+    }
+  };
+  note_collect_outcomes(*stage_gather);
+  note_collect_outcomes(*agg_gather);
 
   std::vector<proto::StageMetrics> stage_metrics;
   for (auto& reply : stage_gather->take_replies()) {
@@ -268,6 +312,7 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
     deliveries.emplace_back(conn, std::move(batch));
   }
 
+  std::size_t enforce_missing = 0;
   if (!deliveries.empty()) {
     std::vector<ConnId> ack_conns;
     ack_conns.reserve(deliveries.size());
@@ -277,14 +322,17 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
     for (const auto& [conn, batch] : deliveries) {
       (void)endpoint_->send(conn, proto::to_frame(batch));
     }
-    const Status ack_wait = ack_gather->wait_for(options_.phase_timeout);
+    const Status ack_wait = ack_gather->wait_for(options_.phase_timeout,
+                                                 quorum_of(ack_conns.size()));
     if (!ack_wait.is_ok()) {
       SDS_LOG(WARN) << "global: enforce incomplete in cycle " << cycle;
     }
+    enforce_missing = ack_gather->missing();
     dispatcher_.finish(ack_gather);
   }
   breakdown.enforce = phase.elapsed();
 
+  if (stale > 0 || enforce_missing > 0) stats_.record_degraded(stale);
   stats_.record(breakdown);
   trace_cycle(cycle, breakdown);
   return breakdown;

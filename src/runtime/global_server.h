@@ -33,6 +33,12 @@ struct GlobalServerOptions {
   core::GlobalOptions core;
   /// Deadline for each gather (collect replies / enforce acks).
   Nanos phase_timeout = seconds(5);
+  /// Fraction of expected replies that lets a gather wave proceed before
+  /// its deadline (degraded-cycle contract, DESIGN.md §12). 1.0 keeps
+  /// the pre-fault behaviour: wait the full deadline for every reply.
+  /// Below 1.0, a cycle that closes on quorum is recorded as degraded
+  /// with the silent stages counted stale instead of stalling the plane.
+  double collect_quorum = 1.0;
   /// Observability: when enabled, cycle histograms, transport counters
   /// and gather stats register into one MetricsRegistry (shared when
   /// `telemetry.registry` is set) and a TelemetryReporter thread exports
@@ -149,6 +155,9 @@ class GlobalControllerServer {
   /// Touched only by the control thread driving run_cycle(); the stats()
   /// accessor is safe once cycles stop (test introspection).
   core::CycleStats stats_;
+  /// First cycle time each currently-silent peer went missing (control
+  /// thread only). A later fresh reply records the gap as recovery time.
+  std::unordered_map<ConnId, Nanos> missing_since_;
   std::uint64_t heartbeat_seq_ SDS_GUARDED_BY(mu_) = 0;
   bool started_ SDS_GUARDED_BY(mu_) = false;
 };

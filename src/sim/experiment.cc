@@ -109,6 +109,19 @@ class Run {
     if (cfg_.num_stages == 0) {
       return Status::invalid_argument("num_stages must be > 0");
     }
+    if (cfg_.fault_plan != nullptr && !cfg_.fault_plan->empty()) {
+      SDS_RETURN_IF_ERROR(cfg_.fault_plan->validate());
+      if (coordinated() || deep() || cfg_.local_decisions) {
+        return Status::invalid_argument(
+            "fault injection supports only the flat and 2-level "
+            "hierarchical topologies with central decisions");
+      }
+      if (!flat() && (!cfg_.preaggregate || !cfg_.parallel_fanout)) {
+        return Status::invalid_argument(
+            "fault injection in hierarchical mode requires pre-aggregation "
+            "and parallel fan-out");
+      }
+    }
     if (cfg_.coordinated_peers > 0) {
       if (cfg_.num_aggregators > 0) {
         return Status::invalid_argument(
@@ -177,6 +190,17 @@ class Run {
   }
 
   ExperimentResult execute() {
+    if (cfg_.fault_plan != nullptr && !cfg_.fault_plan->empty()) {
+      // Compile once against the topology; horizon covers the run twice
+      // over so late cycles still see churn. Everything below queries
+      // this pure value only — injection is a function of (seed, cycle,
+      // entity, virtual time), never of event interleaving.
+      fault_ = std::make_unique<fault::CompiledPlan>(fault::CompiledPlan::compile(
+          *cfg_.fault_plan, cfg_.num_stages, cfg_.num_aggregators,
+          cfg_.duration * 2));
+      lane_faults_.assign(lanes_.lanes(), 0);
+      last_fresh_at_.assign(cfg_.num_stages, Nanos{-1});
+    }
     build_topology();
     lanes_.set_idle_callback([this] { return on_lanes_idle(); });
     schedule_utilization_sampler();
@@ -527,11 +551,85 @@ class Run {
     finish_cycle();
   }
 
+  // -- Fault-injection helpers -------------------------------------------
+  //
+  // Callable only when fault_ is set (except stage_latency, which is the
+  // healthy constant otherwise). Injection counters are per-lane — each
+  // slot is touched only by events on its lane, summed at finalize().
+
+  /// Stage can emit/accept messages at `t` (up and not partitioned).
+  [[nodiscard]] bool stage_reachable(std::size_t i, Nanos t) {
+    if (fault_->stage_up(i, t) && !fault_->partitioned(i, t)) return true;
+    ++lane_faults_[stage_lane_[i]];
+    return false;
+  }
+
+  /// Stage-side service latency for one message, with any slow-window
+  /// multiplier applied to the CPU share.
+  [[nodiscard]] Nanos stage_latency(std::size_t i, Nanos t) {
+    Nanos service = prof_.stage_service;
+    if (fault_ != nullptr) {
+      const double mult = fault_->service_multiplier(i, t);
+      if (mult > 1.0) {
+        service = Nanos{static_cast<std::int64_t>(
+            static_cast<double>(service.count()) * mult)};
+        ++lane_faults_[stage_lane_[i]];
+      }
+    }
+    return service + prof_.wire_latency;
+  }
+
+  /// Apply the per-message fate for a reply/ack/report of `kind` from
+  /// `entity` this cycle. Returns false when the message is dropped;
+  /// otherwise adjusts `latency` (delay fate) and `copies` (duplicate
+  /// fate — the extra copy pays receive cost but is discarded by the
+  /// receiver's seen-guard). Counts injections on `lane`.
+  [[nodiscard]] bool reply_fate(fault::MessageKind kind, std::uint64_t entity,
+                                std::uint32_t lane, Nanos& latency,
+                                std::size_t& copies) {
+    switch (fault_->message_fate(kind, cycle_, entity)) {
+      case fault::MessageFate::kDrop:
+        ++lane_faults_[lane];
+        return false;
+      case fault::MessageFate::kDuplicate:
+        ++lane_faults_[lane];
+        copies = 2;
+        return true;
+      case fault::MessageFate::kDelay:
+        ++lane_faults_[lane];
+        latency = latency + fault_->delay();
+        return true;
+      case fault::MessageFate::kDeliver:
+        return true;
+    }
+    return true;
+  }
+
+  /// Recovery accounting on a fresh (first-this-cycle) collect reply from
+  /// stage `i` at `t`: if the stage restarted since its last fresh reply,
+  /// the restart-to-now gap is one recovery sample. `last_fresh_at_[i]`
+  /// is touched only on the lane that owns stage i's replies.
+  void note_fresh_reply(std::size_t i, Nanos t, std::vector<Nanos>& sink) {
+    const Nanos restart = fault_->last_stage_restart_before(i, t);
+    if (restart.count() >= 0 && last_fresh_at_[i] < restart) {
+      sink.push_back(t - restart);
+    }
+    last_fresh_at_[i] = t;
+  }
+
   // -- Flat design -----------------------------------------------------
 
   void start_collect_flat() {
     flat_metrics_.assign(cfg_.num_stages, {});
     flat_pending_ = cfg_.num_stages;
+    if (fault_ != nullptr) {
+      collect_open_ = true;
+      collect_extensions_ = 0;
+      collect_seen_.assign(cfg_.num_stages, 0);
+      eng0_.schedule_in(fault_->phase_timeout(), [this, c = cycle_] {
+        on_flat_collect_deadline(c);
+      });
+    }
     global_host_.broadcast_to(
         cfg_.num_stages, collect_req_size_,
         [this](std::size_t i) {
@@ -542,25 +640,78 @@ class Run {
 
   void on_stage_collect_flat(std::size_t i) {
     Engine& eng_local = eng(stage_lane_[i]);
+    if (fault_ != nullptr && !stage_reachable(i, eng_local.now())) return;
     const proto::StageMetrics m = stages_[i].collect(cycle_, eng_local.now());
     const std::size_t sz = frame_size(m);
-    eng_local.schedule_cross(
-        0, eng_local.now() + prof_.stage_service + prof_.wire_latency,
-        [this, i, m, sz] {
-          global_host_.receive(sz, [this, i, m] {
-            flat_metrics_[i] = m;
-            if (--flat_pending_ == 0) {
-              collect_end_ = eng0_.now();
-              compute_flat();
-            }
+    Nanos latency = stage_latency(i, eng_local.now());
+    std::size_t copies = 1;
+    if (fault_ != nullptr &&
+        !reply_fate(fault::MessageKind::kCollectReply, i, stage_lane_[i],
+                    latency, copies)) {
+      return;
+    }
+    for (std::size_t copy = 0; copy < copies; ++copy) {
+      const bool first = copy == 0;
+      eng_local.schedule_cross(
+          0, eng_local.now() + latency, [this, i, m, sz, first, c = cycle_] {
+            global_host_.receive(sz, [this, i, m, first, c] {
+              if (fault_ != nullptr &&
+                  (!first || !collect_open_ || c != cycle_ ||
+                   collect_seen_[i] != 0)) {
+                return;  // duplicate or post-deadline straggler
+              }
+              if (fault_ != nullptr) {
+                collect_seen_[i] = 1;
+                note_fresh_reply(i, eng0_.now(), cycle_recoveries_);
+              }
+              flat_metrics_[i] = m;
+              if (--flat_pending_ == 0) close_collect_flat(false);
+            });
           });
-        });
+    }
+  }
+
+  void on_flat_collect_deadline(std::uint64_t c) {
+    if (!collect_open_ || c != cycle_) return;
+    const std::size_t received = cfg_.num_stages - flat_pending_;
+    if (received < fault_->quorum_count(cfg_.num_stages) &&
+        collect_extensions_++ < fault_->max_deadline_extensions()) {
+      eng0_.schedule_in(fault_->phase_timeout(),
+                        [this, c] { on_flat_collect_deadline(c); });
+      return;
+    }
+    close_collect_flat(flat_pending_ > 0);
+  }
+
+  void close_collect_flat(bool degraded) {
+    if (fault_ != nullptr) {
+      collect_open_ = false;
+      if (degraded) {
+        cycle_degraded_ = true;
+        cycle_stale_ += flat_pending_;
+      }
+    }
+    collect_end_ = eng0_.now();
+    compute_flat();
   }
 
   void compute_flat() {
-    compute_result_ = global_.compute(std::span<const proto::StageMetrics>(
-        flat_metrics_.data(), flat_metrics_.size()));
-    const Nanos cost = scaled(prof_.cpu_merge_per_stage, cfg_.num_stages) +
+    std::size_t received = cfg_.num_stages;
+    if (fault_ != nullptr && flat_pending_ > 0) {
+      // Compact the metrics that actually arrived: default-constructed
+      // rows for silent stages would corrupt the PSFA input.
+      flat_scratch_.clear();
+      for (std::size_t i = 0; i < cfg_.num_stages; ++i) {
+        if (collect_seen_[i] != 0) flat_scratch_.push_back(flat_metrics_[i]);
+      }
+      received = flat_scratch_.size();
+      compute_result_ = global_.compute(std::span<const proto::StageMetrics>(
+          flat_scratch_.data(), flat_scratch_.size()));
+    } else {
+      compute_result_ = global_.compute(std::span<const proto::StageMetrics>(
+          flat_metrics_.data(), flat_metrics_.size()));
+    }
+    const Nanos cost = scaled(prof_.cpu_merge_per_stage, received) +
                        scaled(prof_.cpu_psfa_per_job, num_jobs()) +
                        scaled(prof_.cpu_split_per_stage, cfg_.num_stages);
     after_sync([this, cost] {
@@ -577,6 +728,14 @@ class Run {
       finish_cycle();
       return;
     }
+    if (fault_ != nullptr) {
+      enforce_open_ = true;
+      enforce_extensions_ = 0;
+      enforce_expected_ = global_acks_pending_;
+      eng0_.schedule_in(fault_->phase_timeout(), [this, c = cycle_] {
+        on_enforce_deadline(c);
+      });
+    }
     for (const auto& rule : compute_result_.rules) {
       proto::EnforceBatch single;
       single.cycle_id = cycle_;
@@ -584,37 +743,72 @@ class Run {
       const std::size_t sz = enforce_frame_size(single);
       global_host_.send_to(
           stage_lane_[rule.stage_id.value()], sz,
-          [this, rule] {
+          [this, rule, c = cycle_] {
             apply_rule_and_ack(rule, &global_host_, 0,
-                               [this] { on_global_direct_ack(); });
+                               [this, c] { on_global_direct_ack(c); });
           },
           prof_.cpu_route_per_rule);
     }
   }
 
-  void on_global_direct_ack() {
-    if (--global_acks_pending_ == 0) finish_cycle();
+  void on_global_direct_ack(std::uint64_t c) {
+    if (fault_ != nullptr && (!enforce_open_ || c != cycle_)) return;
+    if (--global_acks_pending_ == 0) {
+      enforce_open_ = false;
+      finish_cycle();
+    }
+  }
+
+  void on_enforce_deadline(std::uint64_t c) {
+    if (!enforce_open_ || c != cycle_) return;
+    const std::size_t acked = enforce_expected_ - global_acks_pending_;
+    if (acked < fault_->quorum_count(enforce_expected_) &&
+        enforce_extensions_++ < fault_->max_deadline_extensions()) {
+      eng0_.schedule_in(fault_->phase_timeout(),
+                        [this, c] { on_enforce_deadline(c); });
+      return;
+    }
+    enforce_open_ = false;
+    cycle_degraded_ = true;  // closed with acks outstanding
+    finish_cycle();
   }
 
   /// At the stage: apply `rule` (real logic), then send the ack back to
   /// `receiver` (on `receiver_lane`) which runs `done` after its
-  /// receive cost. Executes on the stage's lane.
+  /// receive cost. Executes on the stage's lane. Under a fault plan a
+  /// down/partitioned stage neither applies nor acks, and the ack is
+  /// subject to the kEnforceAck message fate — silent stages surface as
+  /// missing acks and the phase deadline closes the cycle degraded.
   void apply_rule_and_ack(const proto::Rule& rule, SimHost* receiver,
                           std::uint32_t receiver_lane, Engine::EventFn done) {
     const std::size_t idx = rule.stage_id.value();
     assert(idx < stages_.size());
+    Engine& eng_local = eng(stage_lane_[idx]);
+    if (fault_ != nullptr && !stage_reachable(idx, eng_local.now())) return;
     stages_[idx].apply(rule);
     proto::EnforceAck ack;
     ack.cycle_id = cycle_;
     ack.applied = 1;
     const std::size_t sz = frame_size(ack);
-    Engine& eng_local = eng(stage_lane_[idx]);
-    eng_local.schedule_cross(
-        receiver_lane,
-        eng_local.now() + prof_.stage_service + prof_.wire_latency,
-        [this, receiver, sz, done = std::move(done)]() mutable {
-          receiver->receive(sz, std::move(done));
-        });
+    Nanos latency = stage_latency(idx, eng_local.now());
+    std::size_t copies = 1;
+    if (fault_ != nullptr &&
+        !reply_fate(fault::MessageKind::kEnforceAck, idx, stage_lane_[idx],
+                    latency, copies)) {
+      return;
+    }
+    auto shared_done = std::make_shared<Engine::EventFn>(std::move(done));
+    for (std::size_t copy = 0; copy < copies; ++copy) {
+      const bool first = copy == 0;
+      eng_local.schedule_cross(
+          receiver_lane, eng_local.now() + latency,
+          [this, receiver, sz, first, shared_done] {
+            receiver->receive(sz, [first, shared_done] {
+              // The duplicate copy pays receive cost but is deduplicated.
+              if (first) (*shared_done)();
+            });
+          });
+    }
   }
 
   // -- Hierarchical design ----------------------------------------------
@@ -649,6 +843,13 @@ class Run {
     agg_reports_.assign(aggs_.size(), {});
     passthrough_batches_.assign(aggs_.size(), {});
     reports_pending_ = aggs_.size();
+    if (fault_ != nullptr) {
+      report_open_ = true;
+      report_extensions_ = 0;
+      report_seen_.assign(aggs_.size(), 0);
+      eng0_.schedule_in(fault_->phase_timeout(),
+                        [this, c = cycle_] { on_report_deadline(c); });
+    }
     if (cfg_.parallel_fanout) {
       global_host_.broadcast_to(
           aggs_.size(), collect_req_size_,
@@ -739,24 +940,92 @@ class Run {
   }
 
   void agg_collect_fanout(std::size_t a) {
+    if (fault_ != nullptr) {
+      Agg& agg = *aggs_[a];
+      Engine& eng_a = eng(agg.lane);
+      if (!fault_->aggregator_up(a, eng_a.now())) {
+        // Crashed aggregator: the whole subtree stays silent this cycle;
+        // the global report deadline counts its stages stale.
+        ++lane_faults_[agg.lane];
+        return;
+      }
+      // Per-agg fault state lives on the agg's lane — initialized here
+      // (not at the global fan-out) so stragglers from the previous
+      // cycle are ordered against it in lane-local virtual time.
+      agg.fault_seen.assign(agg.stage_indices.size(), 0);
+      agg.collect_open = true;
+      agg.collect_extensions = 0;
+      agg.fault_cycle = cycle_;
+      agg.stale = 0;
+      agg.recoveries.clear();
+      eng_a.schedule_in(fault_->phase_timeout(), [this, a, c = cycle_] {
+        on_agg_collect_deadline(a, c);
+      });
+    }
     const std::vector<std::size_t>& indices = aggs_[a]->stage_indices;
     aggs_[a]->host->broadcast(indices.size(), collect_req_size_, [&](std::size_t i) {
       const std::size_t idx = indices[i];
-      return [this, a, idx] {
+      return [this, a, i, idx] {
         Engine& eng_local = eng(aggs_[a]->lane);
+        if (fault_ != nullptr && !stage_reachable(idx, eng_local.now())) {
+          return;
+        }
         const proto::StageMetrics m = stages_[idx].collect(cycle_, eng_local.now());
         const std::size_t sz = frame_size(m);
-        eng_local.schedule_in(prof_.stage_service + prof_.wire_latency,
-                              [this, a, m, sz] {
-                                aggs_[a]->host->receive(sz, [this, a, m] {
-                                  aggs_[a]->collected.push_back(m);
-                                  if (--aggs_[a]->pending_metrics == 0) {
-                                    agg_report(a);
-                                  }
-                                });
-                              });
+        Nanos latency = stage_latency(idx, eng_local.now());
+        std::size_t copies = 1;
+        if (fault_ != nullptr &&
+            !reply_fate(fault::MessageKind::kCollectReply, idx,
+                        aggs_[a]->lane, latency, copies)) {
+          return;
+        }
+        for (std::size_t copy = 0; copy < copies; ++copy) {
+          const bool first = copy == 0;
+          eng_local.schedule_in(
+              latency, [this, a, i, idx, m, sz, first, c = cycle_] {
+                aggs_[a]->host->receive(sz, [this, a, i, idx, m, first, c] {
+                  Agg& agg = *aggs_[a];
+                  if (fault_ != nullptr) {
+                    if (!first || !agg.collect_open || agg.fault_cycle != c ||
+                        agg.fault_seen[i] != 0) {
+                      return;  // duplicate or post-deadline straggler
+                    }
+                    agg.fault_seen[i] = 1;
+                    note_fresh_reply(idx, eng(agg.lane).now(), agg.recoveries);
+                  }
+                  agg.collected.push_back(m);
+                  if (--agg.pending_metrics == 0) {
+                    agg_close_collect(a, false);
+                  }
+                });
+              });
+        }
       };
     });
+  }
+
+  void on_agg_collect_deadline(std::size_t a, std::uint64_t c) {
+    Agg& agg = *aggs_[a];
+    if (!agg.collect_open || agg.fault_cycle != c) return;
+    const std::size_t expected = agg.stage_indices.size();
+    const std::size_t received = expected - agg.pending_metrics;
+    if (received < fault_->quorum_count(expected) &&
+        agg.collect_extensions++ < fault_->max_deadline_extensions()) {
+      eng(agg.lane).schedule_in(fault_->phase_timeout(), [this, a, c] {
+        on_agg_collect_deadline(a, c);
+      });
+      return;
+    }
+    agg_close_collect(a, agg.pending_metrics > 0);
+  }
+
+  void agg_close_collect(std::size_t a, bool degraded) {
+    Agg& agg = *aggs_[a];
+    if (fault_ != nullptr) {
+      agg.collect_open = false;
+      if (degraded) agg.stale += agg.pending_metrics;
+    }
+    agg_report(a);
   }
 
   void agg_report(std::size_t a) {
@@ -768,7 +1037,13 @@ class Run {
       const Nanos cost = scaled(prof_.cpu_agg_merge_per_stage, n_a);
       const std::size_t sz = frame_size(report);
       const int parent = agg.parent;
-      agg.host->run(cost, [this, a, report, sz, parent] {
+      // Degraded-subtree accounting crosses to lane 0 by value inside
+      // the report closure, like the report itself.
+      const std::size_t stale = fault_ != nullptr ? agg.stale : 0;
+      std::vector<Nanos> recovered;
+      if (fault_ != nullptr) recovered.swap(agg.recoveries);
+      agg.host->run(cost, [this, a, report, sz, parent, stale,
+                           recovered = std::move(recovered)] {
         if (parent >= 0) {
           // Three-level tree: report to the parent super-aggregator.
           const auto s = static_cast<std::size_t>(parent);
@@ -781,12 +1056,51 @@ class Run {
               });
           return;
         }
-        aggs_[a]->host->send_to(0, sz, [this, a, report, sz] {
-          global_host_.receive(sz, [this, a, report] {
-            agg_reports_[a] = report;
-            on_agg_report_received(a);
+        Nanos extra{0};
+        std::size_t copies = 1;
+        if (fault_ != nullptr) {
+          Engine& eng_a = eng(aggs_[a]->lane);
+          if (!fault_->aggregator_up(a, eng_a.now())) {
+            // Aggregator died after collecting: report lost; the global
+            // report deadline counts the subtree stale.
+            ++lane_faults_[aggs_[a]->lane];
+            return;
+          }
+          if (!reply_fate(fault::MessageKind::kAggregatorReport, a,
+                          aggs_[a]->lane, extra, copies)) {
+            return;
+          }
+        }
+        for (std::size_t copy = 0; copy < copies; ++copy) {
+          const bool first = copy == 0;
+          aggs_[a]->host->send_to(0, sz, [this, a, report, sz, stale,
+                                          recovered, extra, first,
+                                          c = cycle_] {
+            auto deliver = [this, a, report, stale, recovered, first, c] {
+              if (fault_ != nullptr) {
+                if (!first || !report_open_ || c != cycle_ ||
+                    report_seen_[a] != 0) {
+                  return;  // duplicate or post-deadline straggler
+                }
+                report_seen_[a] = 1;
+                cycle_stale_ += stale;
+                if (stale > 0) cycle_degraded_ = true;
+                cycle_recoveries_.insert(cycle_recoveries_.end(),
+                                         recovered.begin(), recovered.end());
+              }
+              agg_reports_[a] = report;
+              on_agg_report_received(a);
+            };
+            if (extra > Nanos{0}) {
+              eng0_.schedule_in(extra,
+                                [this, sz, deliver = std::move(deliver)] {
+                                  global_host_.receive(sz, std::move(deliver));
+                                });
+            } else {
+              global_host_.receive(sz, std::move(deliver));
+            }
           });
-        });
+        }
       });
     } else {
       const proto::MetricsBatch batch = agg.core->passthrough(cycle_, agg.collected);
@@ -805,14 +1119,41 @@ class Run {
 
   void on_agg_report_received(std::size_t a) {
     if (--reports_pending_ == 0) {
-      collect_end_ = eng0_.now();
-      compute_hier();
+      close_reports(false);
       return;
     }
     if (!cfg_.parallel_fanout) {
       serial_cursor_ = a + 1;
       if (serial_cursor_ < aggs_.size()) send_collect_to_agg(serial_cursor_);
     }
+  }
+
+  void on_report_deadline(std::uint64_t c) {
+    if (!report_open_ || c != cycle_) return;
+    const std::size_t received = aggs_.size() - reports_pending_;
+    if (received < fault_->quorum_count(aggs_.size()) &&
+        report_extensions_++ < fault_->max_deadline_extensions()) {
+      eng0_.schedule_in(fault_->phase_timeout(),
+                        [this, c] { on_report_deadline(c); });
+      return;
+    }
+    close_reports(reports_pending_ > 0);
+  }
+
+  void close_reports(bool degraded) {
+    if (fault_ != nullptr) {
+      report_open_ = false;
+      if (degraded) {
+        cycle_degraded_ = true;
+        for (std::size_t a = 0; a < aggs_.size(); ++a) {
+          if (report_seen_[a] == 0) {
+            cycle_stale_ += aggs_[a]->stage_indices.size();
+          }
+        }
+      }
+    }
+    collect_end_ = eng0_.now();
+    compute_hier();
   }
 
   void compute_hier() {
@@ -925,6 +1266,15 @@ class Run {
     }
 
     global_acks_pending_ = aggs_.size();
+    if (fault_ != nullptr) {
+      enforce_open_ = true;
+      enforce_extensions_ = 0;
+      enforce_expected_ = aggs_.size();
+      ack_seen_.assign(aggs_.size(), 0);
+      eng0_.schedule_in(fault_->phase_timeout(), [this, c = cycle_] {
+        on_enforce_deadline(c);
+      });
+    }
     if (cfg_.parallel_fanout) {
       for (std::size_t a = 0; a < aggs_.size(); ++a) send_enforce_to_agg(a);
     } else {
@@ -971,6 +1321,13 @@ class Run {
     global_host_.send_to(
         aggs_[a]->lane, sz,
         [this, a, sz] {
+          if (fault_ != nullptr &&
+              !fault_->aggregator_up(a, eng(aggs_[a]->lane).now())) {
+            // Crashed aggregator: its subtree's rules are lost; the
+            // global ack deadline closes the cycle degraded.
+            ++lane_faults_[aggs_[a]->lane];
+            return;
+          }
           aggs_[a]->host->receive(sz, [this, a] { agg_enforce_fanout(a); });
         },
         routing);
@@ -981,13 +1338,37 @@ class Run {
     const auto routed = agg.core->route(enforce_batches_[a]);
     agg.pending_acks = routed.owned.size();
     agg.acks_applied = 0;
+    agg.enforce_expected = routed.owned.size();
     if (agg.pending_acks == 0) {
       agg_merged_ack(a);
       return;
     }
+    if (fault_ != nullptr) {
+      agg.enforce_open = true;
+      agg.enforce_extensions = 0;
+      agg.fault_cycle = cycle_;
+      eng(agg.lane).schedule_in(fault_->phase_timeout(), [this, a, c = cycle_] {
+        on_agg_enforce_deadline(a, c);
+      });
+    }
     for (const auto& rule : routed.owned) {
       send_rule_from_agg(a, rule);
     }
+  }
+
+  void on_agg_enforce_deadline(std::size_t a, std::uint64_t c) {
+    Agg& agg = *aggs_[a];
+    if (!agg.enforce_open || agg.fault_cycle != c) return;
+    const std::size_t acked = agg.enforce_expected - agg.pending_acks;
+    if (acked < fault_->quorum_count(agg.enforce_expected) &&
+        agg.enforce_extensions++ < fault_->max_deadline_extensions()) {
+      eng(agg.lane).schedule_in(fault_->phase_timeout(), [this, a, c] {
+        on_agg_enforce_deadline(a, c);
+      });
+      return;
+    }
+    agg.enforce_open = false;
+    agg_merged_ack(a);  // partial: applied < expected marks the cycle degraded
   }
 
   void send_rule_from_agg(std::size_t a, const proto::Rule& rule) {
@@ -997,12 +1378,20 @@ class Run {
     const std::size_t sz = enforce_frame_size(single);
     aggs_[a]->host->send(
         sz,
-        [this, a, rule] {
+        [this, a, rule, c = cycle_] {
           apply_rule_and_ack(rule, aggs_[a]->host.get(), aggs_[a]->lane,
-                             [this, a] {
+                             [this, a, c] {
                                Agg& agg = *aggs_[a];
+                               if (fault_ != nullptr &&
+                                   (!agg.enforce_open ||
+                                    agg.fault_cycle != c)) {
+                                 return;  // ack after the deadline closed
+                               }
                                ++agg.acks_applied;
-                               if (--agg.pending_acks == 0) agg_merged_ack(a);
+                               if (--agg.pending_acks == 0) {
+                                 agg.enforce_open = false;
+                                 agg_merged_ack(a);
+                               }
                              });
         },
         prof_.cpu_route_per_rule);
@@ -1052,24 +1441,60 @@ class Run {
       });
       return;
     }
-    agg.host->send_to(0, sz, [this, a, sz] {
-      global_host_.receive(sz, [this, a] {
-        if (--global_acks_pending_ == 0) {
-          finish_cycle();
-          return;
-        }
-        if (!cfg_.parallel_fanout) {
-          serial_cursor_ = a + 1;
-          if (serial_cursor_ < aggs_.size()) {
-            if (cfg_.local_decisions) {
-              send_lease_to_agg(serial_cursor_);
-            } else {
-              send_enforce_to_agg(serial_cursor_);
+    Nanos extra{0};
+    std::size_t copies = 1;
+    bool short_acked = false;
+    if (fault_ != nullptr) {
+      short_acked =
+          agg.enforce_expected > 0 && agg.acks_applied < agg.enforce_expected;
+      Engine& eng_a = eng(agg.lane);
+      if (!fault_->aggregator_up(a, eng_a.now())) {
+        ++lane_faults_[agg.lane];
+        return;  // merged ack lost; the global ack deadline closes
+      }
+      if (!reply_fate(fault::MessageKind::kAggregatorAck, a, agg.lane, extra,
+                      copies)) {
+        return;
+      }
+    }
+    for (std::size_t copy = 0; copy < copies; ++copy) {
+      const bool first = copy == 0;
+      agg.host->send_to(0, sz, [this, a, sz, extra, first, short_acked,
+                                c = cycle_] {
+        auto deliver = [this, a, first, short_acked, c] {
+          if (fault_ != nullptr) {
+            if (!first || !enforce_open_ || c != cycle_ ||
+                ack_seen_[a] != 0) {
+              return;  // duplicate or post-deadline straggler
+            }
+            ack_seen_[a] = 1;
+            if (short_acked) cycle_degraded_ = true;
+          }
+          if (--global_acks_pending_ == 0) {
+            enforce_open_ = false;
+            finish_cycle();
+            return;
+          }
+          if (!cfg_.parallel_fanout) {
+            serial_cursor_ = a + 1;
+            if (serial_cursor_ < aggs_.size()) {
+              if (cfg_.local_decisions) {
+                send_lease_to_agg(serial_cursor_);
+              } else {
+                send_enforce_to_agg(serial_cursor_);
+              }
             }
           }
+        };
+        if (extra > Nanos{0}) {
+          eng0_.schedule_in(extra, [this, sz, deliver = std::move(deliver)] {
+            global_host_.receive(sz, std::move(deliver));
+          });
+        } else {
+          global_host_.receive(sz, std::move(deliver));
         }
       });
-    });
+    }
   }
 
   // ------------------------------------------------------------------
@@ -1080,6 +1505,18 @@ class Run {
     breakdown.compute = compute_end_ - collect_end_;
     breakdown.enforce = eng0_.now() - compute_end_;
     stats_.record(breakdown);
+    if (fault_ != nullptr) {
+      if (cycle_degraded_ || cycle_stale_ > 0) {
+        stats_.record_degraded(cycle_stale_);
+      }
+      for (const Nanos r : cycle_recoveries_) stats_.record_recovery(r);
+      cycle_degraded_ = false;
+      cycle_stale_ = 0;
+      cycle_recoveries_.clear();
+      collect_open_ = false;
+      report_open_ = false;
+      enforce_open_ = false;
+    }
     last_cycle_end_ = eng0_.now();
     trace_cycle(breakdown);
     cycle_in_flight_ = false;
@@ -1172,6 +1609,22 @@ class Run {
     }
     result.mean_data_utilization = data_utilization_.mean();
     result.mean_meta_utilization = meta_utilization_.mean();
+    if (fault_ != nullptr) {
+      result.degraded_cycles = stats_.degraded_cycles();
+      result.stale_stage_reports = stats_.stale_stages();
+      result.mean_recovery_ms = stats_.mean_recovery_ms();
+      std::uint64_t injected = 0;
+      for (const std::uint64_t f : lane_faults_) injected += f;
+      result.faults_injected = injected;
+      if (cfg_.metrics != nullptr) {
+        telemetry::Labels labels{{"component", "sim"}};
+        if (!cfg_.telemetry_label.empty()) {
+          labels.emplace_back("configuration", cfg_.telemetry_label);
+        }
+        cfg_.metrics->counter("sds_fault_injected_total", labels)
+            ->add(injected);
+      }
+    }
     result.final_data_limits.reserve(stages_.size());
     result.final_meta_limits.reserve(stages_.size());
     for (const auto& stage : stages_) {
@@ -1289,6 +1742,21 @@ class Run {
     int parent = -1;
     /// Position among the parent's children (canonical report slot).
     std::size_t child_pos = 0;
+    // -- Fault state (touched only on the agg's lane) --------------------
+    /// Local-stage-index-indexed reply guard for the current sub-collect.
+    std::vector<char> fault_seen;
+    bool collect_open = false;
+    bool enforce_open = false;
+    std::size_t collect_extensions = 0;
+    std::size_t enforce_extensions = 0;
+    std::size_t enforce_expected = 0;
+    /// Cycle the open phase belongs to (staleness stamp for deadlines
+    /// and late acks).
+    std::uint64_t fault_cycle = 0;
+    /// Silent stages this cycle; crosses to lane 0 inside the report.
+    std::size_t stale = 0;
+    /// Recovery samples this cycle; cross to lane 0 inside the report.
+    std::vector<Nanos> recoveries;
   };
 
   /// Third-level controller (3-level hierarchies).
@@ -1366,6 +1834,33 @@ class Run {
   bool next_cycle_pending_ = false;
   Nanos next_cycle_at_{0};
   bool done_ = false;
+
+  // -- Fault-injection state (unallocated without a plan) ---------------
+  std::unique_ptr<fault::CompiledPlan> fault_;
+  /// Injections per lane; each slot touched only by its lane's events,
+  /// summed at finalize() with the lanes quiescent.
+  std::vector<std::uint64_t> lane_faults_;
+  /// Virtual time of the last accepted collect reply per stage, for
+  /// recovery accounting; each entry owned by the lane the stage's
+  /// replies are delivered on. Nanos{-1} = never.
+  std::vector<Nanos> last_fresh_at_;
+  /// Received-only metrics, compacted for degraded flat computes.
+  std::vector<proto::StageMetrics> flat_scratch_;
+  // Lane-0 phase state: flat collect, hier reports, enforce acks.
+  bool collect_open_ = false;
+  bool report_open_ = false;
+  bool enforce_open_ = false;
+  std::size_t collect_extensions_ = 0;
+  std::size_t report_extensions_ = 0;
+  std::size_t enforce_extensions_ = 0;
+  std::size_t enforce_expected_ = 0;
+  std::vector<char> collect_seen_;
+  std::vector<char> report_seen_;
+  std::vector<char> ack_seen_;
+  // Per-cycle degraded accounting, recorded and reset in finish_cycle().
+  bool cycle_degraded_ = false;
+  std::size_t cycle_stale_ = 0;
+  std::vector<Nanos> cycle_recoveries_;
 };
 
 }  // namespace

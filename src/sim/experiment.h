@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "core/cycle_stats.h"
 #include "core/policy_table.h"
+#include "fault/plan.h"
 #include "policy/psfa.h"
 #include "sim/profile.h"
 #include "stage/virtual_stage.h"
@@ -87,6 +88,20 @@ struct ExperimentConfig {
   /// coordinated) and to 1 when the profile's wire latency — the
   /// conservative lookahead — is not positive.
   std::size_t lanes = 0;
+  /// Optional fault plan (not owned; must outlive the run). When set,
+  /// the plan is compiled against the topology and injected at event
+  /// granularity: crashed/partitioned stages stay silent, slow windows
+  /// multiply stage CPU work, and per-message fates drop/duplicate/delay
+  /// replies and acks. Controllers then close phases on the plan's
+  /// quorum/deadline instead of waiting forever, recording degraded
+  /// cycles, stale stages and recovery times. Injection is a pure
+  /// function of (plan seed, cycle, entity), so results stay
+  /// bit-identical across lane counts. Supported for the flat and
+  /// 2-level hierarchical topologies with central decisions,
+  /// pre-aggregation and parallel fan-out; nullptr = fault-free (the
+  /// hooks vanish and event schedules are byte-identical to pre-fault
+  /// builds).
+  const fault::FaultPlan* fault_plan = nullptr;
   /// Optional custom demand model; default: constant per-stage demand
   /// drawn uniformly from [500, 1500) data ops/s and [50, 150) meta
   /// ops/s.
@@ -143,6 +158,19 @@ struct ExperimentResult {
   /// discussion (Obs. #1/#4) is about exactly this quantity.
   double mean_data_utilization = 0;
   double mean_meta_utilization = 0;
+  // -- Resilience accounting (all zero without a fault plan) -----------
+  /// Cycles that closed a phase on quorum/deadline instead of full
+  /// replies (== stats.degraded_cycles()).
+  std::uint64_t degraded_cycles = 0;
+  /// Stage-cycles the controller decided on stale state
+  /// (== stats.stale_stages()).
+  std::uint64_t stale_stage_reports = 0;
+  /// Faults the plan actually injected (swallowed replies, drops,
+  /// duplicates, delays, slow-downs).
+  std::uint64_t faults_injected = 0;
+  /// Mean restart-to-first-fresh-collect time (ms; 0 when no stage
+  /// recovered during the run).
+  double mean_recovery_ms = 0;
 };
 
 /// Run one configuration. Fails with kResourceExhausted when a topology

@@ -133,7 +133,7 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
     for (const ConnId id : open) close_impl(id, /*notify_self=*/false);
     queue_.close();
     if (delivery_thread_.joinable()) delivery_thread_.join();
-    network_->unbind(address_);
+    network_->unbind(address_, this);
   }
 
   Counters counters() const { return counters_.snapshot(); }
@@ -327,10 +327,13 @@ std::shared_ptr<detail::InProcCore> InProcNetwork::lookup(
   return it == registry_.end() ? nullptr : it->second.lock();
 }
 
-void InProcNetwork::unbind(const std::string& address) {
+void InProcNetwork::unbind(const std::string& address,
+                           const detail::InProcCore* core) {
   MutexLock lock(mu_);
   const auto it = registry_.find(address);
-  if (it != registry_.end() && it->second.expired()) registry_.erase(it);
+  if (it == registry_.end()) return;
+  const auto current = it->second.lock();
+  if (current == nullptr || current.get() == core) registry_.erase(it);
 }
 
 }  // namespace sds::transport

@@ -37,7 +37,13 @@ class InProcNetwork final : public Network {
 
   std::shared_ptr<detail::InProcCore> lookup(const std::string& address)
       SDS_EXCLUDES(mu_);
-  void unbind(const std::string& address) SDS_EXCLUDES(mu_);
+  /// Release `address` when its registry entry still refers to `core`
+  /// (or is already dead). Called by a stopping core: the entry must go
+  /// away even while Endpoint objects keep the core alive — a crashed
+  /// server whose owner still holds the endpoint must not block a
+  /// restart from rebinding the address.
+  void unbind(const std::string& address, const detail::InProcCore* core)
+      SDS_EXCLUDES(mu_);
 
   Mutex mu_;
   std::unordered_map<std::string, std::weak_ptr<detail::InProcCore>> registry_

@@ -1,0 +1,263 @@
+// FaultDriver — replaying a compiled FaultPlan against a live
+// Deployment — plus the sim-vs-runtime cross-validation: both sides
+// consume the *same* CompiledPlan timeline, so the runtime's
+// kill/restart sequence and the simulator's availability gates must
+// agree at every instant of virtual time. Also covers the runtime
+// degraded-cycle contract end to end: a silent-but-connected stage
+// under a collect quorum closes the cycle degraded, and its first
+// fresh reply afterwards records a recovery sample.
+#include "runtime/fault_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "fault/plan.h"
+#include "runtime/deployment.h"
+#include "sim/experiment.h"
+#include "transport/inproc.h"
+#include "workload/generators.h"
+
+namespace sds::runtime {
+namespace {
+
+template <typename Pred>
+bool eventually(Pred pred, Nanos deadline = seconds(5)) {
+  const Nanos until = SystemClock::instance().now() + deadline;
+  while (SystemClock::instance().now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+TEST(FaultDriverTest, AppliesScriptedTimelineInOrder) {
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 4;
+  options.stages_per_host = 1;  // plan stage index == host index
+  auto deployment = Deployment::create(net, options).value();
+  ASSERT_EQ(deployment->global().registered_stages(), 4u);
+
+  fault::FaultPlan plan;
+  plan.crash_stage(2, millis(10), millis(10));
+  plan.crash_stage(0, millis(5));  // never restarts
+  FaultDriver driver(*deployment, plan);
+  EXPECT_EQ(driver.events_total(), 3u);  // 2 kills + 1 restart
+  EXPECT_EQ(driver.next_event_at(), millis(5));
+
+  ASSERT_TRUE(driver.advance_to(millis(4)).is_ok());
+  EXPECT_EQ(driver.events_applied(), 0u);
+  EXPECT_EQ(deployment->global().registered_stages(), 4u);
+
+  // Crossing both kill timestamps applies them in order; the dead hosts'
+  // dropped connections evict their stages from the global roster.
+  ASSERT_TRUE(driver.advance_to(millis(12)).is_ok());
+  EXPECT_EQ(driver.events_applied(), 2u);
+  EXPECT_TRUE(eventually(
+      [&] { return deployment->global().registered_stages() == 2; }));
+
+  // Host 2's scripted restart re-registers its stage; host 0 stays dead.
+  const Status restarted = driver.advance_to(millis(30));
+  ASSERT_TRUE(restarted.is_ok()) << restarted;
+  EXPECT_EQ(driver.events_applied(), 3u);
+  EXPECT_EQ(driver.next_event_at(), fault::CompiledPlan::kNever);
+  EXPECT_TRUE(eventually(
+      [&] { return deployment->global().registered_stages() == 3; }));
+  EXPECT_TRUE(deployment->global().run_cycle().is_ok());
+}
+
+TEST(FaultDriverTest, AggregatorKillAndRestartViaPlan) {
+  // The failover scenario the bespoke tests used to drive by hand
+  // (aggregators()[0]->shutdown()) expressed as a fault plan.
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 8;
+  options.num_aggregators = 2;
+  options.stages_per_host = 4;
+  auto deployment = Deployment::create(net, options).value();
+  ASSERT_EQ(deployment->global().known_aggregators(), 2u);
+
+  fault::FaultPlan plan;
+  plan.crash_aggregator(0, millis(1), millis(20));
+  FaultDriver driver(*deployment, plan);
+
+  ASSERT_TRUE(driver.advance_to(millis(5)).is_ok());
+  // Aggregator 0's subtree fails over to aggregator 1 and re-registers.
+  EXPECT_TRUE(eventually([&] {
+    return deployment->global().known_aggregators() == 1 &&
+           deployment->global().registered_stages() == 8;
+  }));
+  EXPECT_TRUE(deployment->global().run_cycle().is_ok());
+
+  // The scripted restart brings aggregator 0 back online.
+  ASSERT_TRUE(driver.advance_to(millis(25)).is_ok());
+  EXPECT_TRUE(eventually(
+      [&] { return deployment->global().known_aggregators() == 2; }));
+  EXPECT_TRUE(deployment->global().run_cycle().is_ok());
+}
+
+TEST(FaultDriverTest, SimAndRuntimeAgreeOnPlanTimeline) {
+  // Cross-validation: compile one plan, replay it against a live
+  // deployment with FaultDriver, and check that at every checkpoint the
+  // set of live stage hosts matches the availability gates
+  // (CompiledPlan::stage_up) the simulator consults for the same plan —
+  // then run the plan through the simulator itself and check it
+  // completes with the faults accounted.
+  const auto plan = fault::FaultPlan::parse(R"(quorum 0.7
+timeout_ms 2
+crash stage 1 at_ms 1 for_ms 4
+crash stage 3 at_ms 2 for_ms 0
+)");
+  ASSERT_TRUE(plan.is_ok()) << plan.status();
+
+  transport::InProcNetwork net;
+  DeploymentOptions options;
+  options.num_stages = 4;
+  options.stages_per_host = 1;
+  options.collect_quorum = plan->quorum;
+  auto deployment = Deployment::create(net, options).value();
+  FaultDriver driver(*deployment, *plan);
+
+  const auto live_per_compiled = [&](Nanos t) {
+    std::size_t up = 0;
+    for (std::size_t i = 0; i < driver.compiled().num_stages(); ++i) {
+      if (driver.compiled().stage_up(i, t)) ++up;
+    }
+    return up;
+  };
+  for (const Nanos t :
+       {micros(500), micros(1500), millis(3), millis(8), millis(12)}) {
+    ASSERT_TRUE(driver.advance_to(t).is_ok());
+    const std::size_t expected = live_per_compiled(t);
+    EXPECT_TRUE(eventually([&] {
+      return deployment->global().registered_stages() == expected;
+    })) << "at t=" << to_millis(t) << "ms: runtime="
+        << deployment->global().registered_stages()
+        << " compiled=" << expected;
+  }
+  // The control plane stays live over the survivors.
+  EXPECT_TRUE(deployment->global().run_cycle().is_ok());
+
+  // Same plan through the simulator: the run completes every cycle, the
+  // crash windows inject faults, and the dead stage degrades cycles.
+  sim::ExperimentConfig config;
+  config.num_stages = 4;
+  config.stages_per_job = 4;
+  config.max_cycles = 8;
+  config.duration = millis(200);
+  config.fault_plan = &*plan;
+  const auto result = sim::run_experiment(config);
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  EXPECT_EQ(result->cycles, 8u);
+  EXPECT_GT(result->faults_injected, 0u);
+  EXPECT_GT(result->degraded_cycles, 0u);
+  EXPECT_GE(result->stale_stage_reports, result->degraded_cycles);
+}
+
+/// A hand-rolled direct stage whose collect-reply behaviour the test
+/// controls exactly: it can be muted (wedged: connected but silent), and
+/// it can slow its replies so another stage's fresh reply wins the race
+/// into a quorum wave. Enforce batches are always acked promptly.
+class ScriptedStage {
+ public:
+  ScriptedStage(transport::InProcNetwork& net, std::string address,
+                StageId stage)
+      : endpoint_(net.bind(address, {}).value()), stage_(stage) {
+    up_ = endpoint_->connect("global").value();
+    endpoint_->set_frame_handler([this](ConnId conn, wire::Frame frame) {
+      switch (static_cast<proto::MessageType>(frame.type)) {
+        case proto::MessageType::kCollectRequest: {
+          if (muted.load()) return;
+          if (const Nanos delay{reply_delay.load()}; delay > Nanos{0}) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(delay.count()));
+          }
+          const auto collect = proto::from_frame<proto::CollectRequest>(frame);
+          if (!collect.is_ok()) return;
+          proto::StageMetrics reply;
+          reply.cycle_id = collect->cycle_id;
+          reply.stage_id = stage_;
+          reply.job_id = JobId{0};
+          reply.data_iops = 300;
+          (void)endpoint_->send(conn, proto::to_frame(reply));
+          return;
+        }
+        case proto::MessageType::kEnforceBatch: {
+          const auto batch = proto::from_frame<proto::EnforceBatch>(frame);
+          if (!batch.is_ok()) return;
+          proto::EnforceAck ack;
+          ack.cycle_id = batch->cycle_id;
+          ack.applied = static_cast<std::uint32_t>(batch->rules.size());
+          (void)endpoint_->send(conn, proto::to_frame(ack));
+          return;
+        }
+        default:
+          return;
+      }
+    });
+  }
+
+  Status register_with_global() {
+    proto::RegisterRequest request;
+    request.info = {stage_, NodeId{stage_.value()}, JobId{0}, "scripted"};
+    return endpoint_->send(up_, proto::to_frame(request));
+  }
+
+  void shutdown() { endpoint_->shutdown(); }
+
+  std::atomic<bool> muted{false};
+  std::atomic<std::int64_t> reply_delay{0};  // ns before a collect reply
+
+ private:
+  std::unique_ptr<transport::Endpoint> endpoint_;
+  StageId stage_;
+  ConnId up_;
+};
+
+TEST(RuntimeDegradedCycleTest, QuorumClosesCycleAndRecordsRecovery) {
+  // A silent-but-connected stage (the hard failure mode: process alive,
+  // thread wedged) under a collect quorum: the cycle closes on quorum,
+  // is recorded degraded with the silent stage stale, and the stage's
+  // first fresh reply afterwards yields a recovery-time sample.
+  transport::InProcNetwork net;
+  GlobalServerOptions gopts;
+  gopts.core.budgets = {1000.0, 100.0};
+  gopts.collect_quorum = 0.5;  // 1 of 2 replies closes a wave
+  gopts.phase_timeout = millis(250);
+  GlobalControllerServer global(net, "global", gopts);
+  ASSERT_TRUE(global.start().is_ok());
+
+  // `steady` answers every wave but slowly; `flaky` wedges for cycle 1.
+  ScriptedStage steady(net, "steady", StageId{1});
+  steady.reply_delay.store(millis(5).count());
+  ScriptedStage flaky(net, "flaky", StageId{2});
+  flaky.muted.store(true);
+  ASSERT_TRUE(steady.register_with_global().is_ok());
+  ASSERT_TRUE(flaky.register_with_global().is_ok());
+  ASSERT_TRUE(eventually([&] { return global.registered_stages() == 2; }));
+
+  // Cycle 1: the wedged stage misses the wave; quorum closes the cycle
+  // degraded (stale = 1) instead of stalling the control plane.
+  ASSERT_TRUE(global.run_cycle().is_ok());
+  EXPECT_EQ(global.stats().degraded_cycles(), 1u);
+  EXPECT_EQ(global.stats().stale_stages(), 1u);
+  EXPECT_EQ(global.stats().recovery().count(), 0u);
+
+  // Cycle 2: the stage answers again — and first, since `steady` delays
+  // its replies — so its outage window closes and the gap is recorded as
+  // recovery time before the quorum wave returns.
+  flaky.muted.store(false);
+  ASSERT_TRUE(global.run_cycle().is_ok());
+  EXPECT_EQ(global.stats().recovery().count(), 1u);
+  EXPECT_GT(global.stats().recovery().mean(), 0.0);
+  EXPECT_GE(global.stats().degraded_cycles(), 1u);
+
+  flaky.shutdown();
+  steady.shutdown();
+  global.shutdown();
+}
+
+}  // namespace
+}  // namespace sds::runtime

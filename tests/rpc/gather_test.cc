@@ -84,6 +84,46 @@ TEST(GatherTest, FailedConnUnblocksWait) {
   EXPECT_EQ(gather.take_replies().size(), 1u);
 }
 
+TEST(GatherTest, QuorumReturnsBeforeStragglers) {
+  Gather gather(proto::MessageType::kStageMetrics, 7,
+                {ConnId{1}, ConnId{2}, ConnId{3}});
+  EXPECT_TRUE(gather.offer(ConnId{1}, metrics_frame(7, StageId{1})));
+  EXPECT_TRUE(gather.offer(ConnId{2}, metrics_frame(7, StageId{2})));
+  // Quorum of 2 is already met: returns OK without waiting out the
+  // deadline even though ConnId{3} never answers.
+  EXPECT_TRUE(gather.wait_for(seconds(10), 2).is_ok());
+  EXPECT_EQ(gather.missing(), 1u);
+  EXPECT_EQ(gather.reply_count(), 2u);
+  const auto bitmap = gather.reply_bitmap();
+  EXPECT_TRUE(bitmap[0]);
+  EXPECT_TRUE(bitmap[1]);
+  EXPECT_FALSE(bitmap[2]);
+  EXPECT_EQ(gather.take_replies().size(), 2u);  // partial results
+}
+
+TEST(GatherTest, QuorumStillTimesOutBelowThreshold) {
+  Gather gather(proto::MessageType::kStageMetrics, 7,
+                {ConnId{1}, ConnId{2}, ConnId{3}});
+  EXPECT_TRUE(gather.offer(ConnId{1}, metrics_frame(7, StageId{1})));
+  const Status status = gather.wait_for(millis(20), 2);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(gather.missing(), 2u);
+  EXPECT_EQ(gather.take_replies().size(), 1u);
+}
+
+TEST(GatherTest, QuorumUnblocksFromAnotherThread) {
+  Gather gather(proto::MessageType::kStageMetrics, 7,
+                {ConnId{1}, ConnId{2}, ConnId{3}});
+  std::thread replier([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gather.offer(ConnId{1}, metrics_frame(7, StageId{1}));
+    gather.offer(ConnId{2}, metrics_frame(7, StageId{2}));
+  });
+  EXPECT_TRUE(gather.wait_for(seconds(5), 2).is_ok());
+  EXPECT_EQ(gather.missing(), 1u);
+  replier.join();
+}
+
 TEST(GatherTest, EmptyExpectationCompletesImmediately) {
   Gather gather(proto::MessageType::kStageMetrics, 7, {});
   EXPECT_TRUE(gather.wait_for(Nanos{0}).is_ok());

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "runtime/deployment.h"
+#include "runtime/fault_driver.h"
 #include "workload/generators.h"
 
 namespace sds::runtime {
@@ -79,9 +80,15 @@ TEST(FailoverTest, AggregatorFailureEvictsSubtreeAtGlobal) {
   auto deployment = Deployment::create(net, options).value();
   ASSERT_EQ(deployment->global().registered_stages(), 8u);
 
-  // Kill aggregator 0. Its stages should fail over to aggregator 1 and
-  // re-register through it; the global roster should recover to 8.
-  deployment->aggregators()[0]->shutdown();
+  // Kill aggregator 0 via a scripted fault plan (the canonical way to
+  // drive kill sequences; see FaultDriver). Its stages should fail over
+  // to aggregator 1 and re-register through it; the global roster should
+  // recover to 8.
+  fault::FaultPlan plan;
+  plan.crash_aggregator(0, millis(1));  // never restarts
+  FaultDriver driver(*deployment, plan);
+  ASSERT_TRUE(driver.advance_to(millis(1)).is_ok());
+  ASSERT_EQ(driver.events_applied(), 1u);
 
   EXPECT_TRUE(eventually([&] {
     return deployment->global().known_aggregators() == 1 &&

@@ -109,6 +109,29 @@ TEST(SdslintRules, UnorderedIterationHitsInSimAndBench) {
       << bench.output;
 }
 
+TEST(SdslintRules, WallClockHitsInFault) {
+  const RunResult r = run_sdslint(fixture("fault/bad_wallclock.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[fault-wallclock]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("bad_wallclock.cc:9:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_wallclock.cc:10:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_wallclock.cc:11:"), std::string::npos);
+  // `phase_timeout` must not match the time() pattern.
+  EXPECT_EQ(r.output.find("bad_wallclock.cc:18:"), std::string::npos)
+      << r.output;
+  // fault/ is outside src/sim: the sim rule names must not appear.
+  EXPECT_EQ(r.output.find("[sim-wallclock]"), std::string::npos) << r.output;
+}
+
+TEST(SdslintRules, RandHitsInFault) {
+  const RunResult r = run_sdslint(fixture("fault/bad_rand.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[fault-rand]"), std::string::npos) << r.output;
+  // The seeded-PRNG function is the sanctioned idiom.
+  EXPECT_EQ(r.output.find("bad_rand.cc:16:"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("bad_rand.cc:17:"), std::string::npos) << r.output;
+}
+
 TEST(SdslintRules, HotpathAllocHitsOnlyInsideRegion) {
   const RunResult r = run_sdslint(fixture("hotpath/bad_hotpath_alloc.cc"));
   EXPECT_EQ(r.exit_code, 1) << r.output;
@@ -133,7 +156,8 @@ TEST(SdslintSuppression, AllowDirectivesSilenceFindings) {
 TEST(SdslintSuppression, CleanFixturesStayClean) {
   const RunResult r =
       run_sdslint(fixture("sim/clean.cc") + " " + fixture("bench/clean.cc") +
-                  " " + fixture("hotpath/clean.cc"));
+                  " " + fixture("hotpath/clean.cc") + " " +
+                  fixture("fault/clean.cc"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
@@ -142,7 +166,7 @@ TEST(SdslintCli, ListRulesNamesEveryRule) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   for (const char* rule :
        {"sim-wallclock", "sim-rand", "sim-sleep", "sim-thread",
-        "unordered-iter", "hotpath-alloc"}) {
+        "unordered-iter", "hotpath-alloc", "fault-wallclock", "fault-rand"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -4,7 +4,8 @@
 #   default   plain build + full ctest (the tier-1 gate)
 #   asan      -DSDS_ASAN=ON build + full ctest (ASan + LSan)
 #   ubsan     -DSDS_UBSAN=ON build + full ctest
-#   tsan      -DSDS_TSAN=ON build + `ctest -L tsan` (the threaded suites)
+#   tsan      -DSDS_TSAN=ON build + `ctest -L 'tsan|resilience'` (the
+#             threaded suites plus the fault-injection suites)
 #   lint      sdslint over the tree + the `lint` ctest label
 #   tidy      clang-tidy with the checked-in .clang-tidy (skipped when
 #             clang-tidy is not installed)
@@ -94,10 +95,10 @@ run_stage() {
         || return 1
       ;;
     tsan)
-      note "TSan build + ctest -L tsan"
+      note "TSan build + ctest -L 'tsan|resilience'"
       configure_and_build build-check/tsan -DSDS_TSAN=ON || return 1
       TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp" \
-        ctest --test-dir build-check/tsan -L tsan -j "$JOBS" \
+        ctest --test-dir build-check/tsan -L 'tsan|resilience' -j "$JOBS" \
         --output-on-failure || return 1
       ;;
     lint)

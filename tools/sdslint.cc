@@ -86,6 +86,9 @@ constexpr RuleInfo kRules[] = {
      "iteration over an unordered container (hash order leaks into output)"},
     {"hotpath-alloc", "hotpath regions",
      "heap allocation or std::function in a hot-path region"},
+    {"fault-wallclock", "src/fault",
+     "wall-clock time source in fault-plan code"},
+    {"fault-rand", "src/fault", "unseeded randomness in fault-plan code"},
 };
 
 bool is_ident_char(char c) {
@@ -363,17 +366,20 @@ Directives parse_directives(const std::string& comment) {
 
 struct FileRules {
   bool sim = false;        // sim-wallclock/rand/sleep/thread
+  bool fault = false;      // fault-wallclock/rand
   bool unordered = false;  // unordered-iter
 };
 
 /// Rule applicability from path components: any `sim` directory
-/// component enables the determinism rules; `sim` or `bench` enables
-/// the iteration-order rule. hotpath-alloc applies everywhere.
+/// component enables the determinism rules; `fault` enables the
+/// fault-plan determinism rules (plan.h's contract); `sim` or `bench`
+/// enables the iteration-order rule. hotpath-alloc applies everywhere.
 FileRules classify(const fs::path& path) {
   FileRules rules;
   for (const auto& part : path) {
     const std::string comp = part.string();
     if (comp == "sim") rules.sim = rules.unordered = true;
+    if (comp == "fault") rules.fault = true;
     if (comp == "bench") rules.unordered = true;
   }
   return rules;
@@ -477,6 +483,41 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
             "thread spawn in simulation code outside a lane-runner "
             "region; threads may only be spawned by the lane runner's "
             "worker team");
+      }
+    }
+
+    // src/fault shares the simulator's determinism contract (see
+    // fault/plan.h): every time is virtual Nanos from the run epoch and
+    // every draw derives from FaultPlan::seed, so a wall-clock read or
+    // ambient randomness would break the bit-identical replay the plans
+    // promise across lanes and between sim and runtime. Real-time
+    // sleeps are deliberately NOT banned here: the runtime FaultDriver
+    // side may pace itself, and a sleep is not a clock *read*.
+    if (rules.fault) {
+      for (const char* clock :
+           {"system_clock", "steady_clock", "high_resolution_clock",
+            "gettimeofday", "clock_gettime", "localtime", "localtime_r",
+            "gmtime"}) {
+        if (find_word(code, clock) != std::string::npos) {
+          hit("fault-wallclock",
+              std::string(clock) +
+                  " reads the wall clock; fault timelines are virtual "
+                  "Nanos from the run epoch");
+        }
+      }
+      if (find_word(code, "time", /*require_call=*/true) !=
+          std::string::npos) {
+        hit("fault-wallclock",
+            "time() reads the wall clock; fault timelines are virtual "
+            "Nanos from the run epoch");
+      }
+      for (const char* fn : {"rand", "srand", "rand_r", "random_device"}) {
+        if (find_word(code, fn) != std::string::npos) {
+          hit("fault-rand",
+              std::string(fn) +
+                  " is ambient randomness; every draw must derive from "
+                  "FaultPlan::seed");
+        }
       }
     }
 
