@@ -54,6 +54,12 @@ inline telemetry::TelemetryOptions telemetry_flags(const Config& flags,
     options.out_dir = *dir;
     options.trace = true;
   }
+  if (flags.get("introspect-port")) {
+    options.enabled = true;
+    options.introspect = true;
+    options.introspect_port =
+        static_cast<std::uint16_t>(flags.get_int_or("introspect-port", 0));
+  }
   options.report_period = millis(flags.get_int_or("telemetry-period-ms", 1000));
   return options;
 }

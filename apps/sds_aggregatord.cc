@@ -12,6 +12,8 @@
 //   --report-ms=N        resource report interval  (default 10000)
 //   --telemetry-out=DIR  export JSONL/Prometheus snapshots + trace to DIR
 //   --telemetry-period-ms=N  telemetry snapshot period (default 1000)
+//   --introspect-port=N    serve live /metrics, /cycles and /flight over
+//                          HTTP on 127.0.0.1:N (0 = ephemeral port)
 #include <thread>
 
 #include "apps/daemon_common.h"
@@ -25,7 +27,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: sds_aggregatord --upstream=HOST:PORT [--listen=HOST:PORT]\n"
     "                       [--id=N] [--max-connections=N] [--report-ms=N]\n"
-    "                       [--telemetry-out=DIR] [--telemetry-period-ms=N]\n";
+    "                       [--telemetry-out=DIR] [--telemetry-period-ms=N]\n"
+    "                       [--introspect-port=N]\n";
 
 }  // namespace
 

@@ -16,6 +16,8 @@
 //   --report-ms=N          resource report interval   (default 10000)
 //   --telemetry-out=DIR    export JSONL/Prometheus snapshots + trace to DIR
 //   --telemetry-period-ms=N  telemetry snapshot period (default 1000)
+//   --introspect-port=N    serve live /metrics, /cycles and /flight over
+//                          HTTP on 127.0.0.1:N (0 = ephemeral port)
 #include <memory>
 #include <thread>
 
@@ -32,7 +34,7 @@ constexpr const char* kUsage =
     "usage: sds_globald [--listen=HOST:PORT] [--policy=PATH] [--period-ms=N]\n"
     "                   [--cycles=N] [--max-connections=N] [--probe-ms=N]\n"
     "                   [--report-ms=N] [--telemetry-out=DIR]\n"
-    "                   [--telemetry-period-ms=N]\n";
+    "                   [--telemetry-period-ms=N] [--introspect-port=N]\n";
 
 }  // namespace
 

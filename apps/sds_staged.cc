@@ -21,6 +21,8 @@
 //   --report-ms=N          resource report interval   (default 10000)
 //   --telemetry-out=DIR    export JSONL/Prometheus snapshots + trace to DIR
 //   --telemetry-period-ms=N  telemetry snapshot period (default 1000)
+//   --introspect-port=N    serve live /metrics, /cycles and /flight over
+//                          HTTP on 127.0.0.1:N (0 = ephemeral port)
 #include <thread>
 
 #include "apps/daemon_common.h"
@@ -38,7 +40,8 @@ constexpr const char* kUsage =
     "                  [--listen=HOST:PORT] [--stages=N] [--first-stage=N]\n"
     "                  [--job-size=N] [--data-demand=R] [--meta-demand=R]\n"
     "                  [--burst-ms=N] [--trace=PATH] [--report-ms=N]\n"
-    "                  [--telemetry-out=DIR] [--telemetry-period-ms=N]\n";
+    "                  [--telemetry-out=DIR] [--telemetry-period-ms=N]\n"
+    "                  [--introspect-port=N]\n";
 
 std::vector<std::string> split_csv(const std::string& text) {
   std::vector<std::string> out;

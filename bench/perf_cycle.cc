@@ -27,6 +27,8 @@
 #include "proto/messages.h"
 #include "sim/engine.h"
 #include "sim/experiment.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/span_tracer.h"
 #include "wire/shared_frame.h"
 
 namespace {
@@ -273,12 +275,16 @@ struct LanesAb {
   bool ok = false;
 };
 
-LanesAb sim_cycles_with_lanes(Nanos sim_duration, std::size_t lanes) {
+LanesAb sim_cycles_with_lanes(Nanos sim_duration, std::size_t lanes,
+                              sds::telemetry::SpanTracer* tracer = nullptr,
+                              sds::telemetry::FlightRecorder* flight = nullptr) {
   sds::sim::ExperimentConfig config;
   config.num_stages = 500;
   config.num_aggregators = 4;
   config.duration = sim_duration;
   config.lanes = lanes;  // explicit, so the env default never interferes
+  config.tracer = tracer;
+  config.flight = flight;
   const auto start = std::chrono::steady_clock::now();
   auto result = sds::sim::run_experiment(config);
   if (!result.is_ok()) return {};
@@ -358,6 +364,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Tracing A/B: the same serial experiment with the span tracer AND the
+  // flight recorder armed. Two gates: the simulated results must be
+  // bit-identical (tracing only reads the virtual clock), and the
+  // throughput cost of always-on tracing must stay within 5%.
+  sds::telemetry::SpanTracer ab_tracer;
+  sds::telemetry::FlightRecorder ab_flight;
+  const LanesAb traced =
+      sim_cycles_with_lanes(sim_duration, 1, &ab_tracer, &ab_flight);
+  const double tracing_overhead_pct =
+      serial.cycles_per_sec > 0
+          ? (1.0 - traced.cycles_per_sec / serial.cycles_per_sec) * 100.0
+          : 0;
+  std::printf("sim.tracing.cycles_per_sec    %12.2f\n",
+              traced.cycles_per_sec);
+  std::printf("sim.tracing.overhead_pct      %12.2f\n",
+              tracing_overhead_pct);
+  if (!traced.ok || traced.fingerprint != serial.fingerprint) {
+    std::printf("FAIL: tracing changes simulated results "
+                "(fingerprint %016llx vs %016llx)\n",
+                static_cast<unsigned long long>(traced.fingerprint),
+                static_cast<unsigned long long>(serial.fingerprint));
+    return 1;
+  }
+
   std::string path = "BENCH_cycle.json";
   if (const char* dir = std::getenv("SDSCALE_BENCH_OUT")) {
     path = std::string(dir) + "/BENCH_cycle.json";
@@ -384,12 +414,17 @@ int main(int argc, char** argv) {
                  "      \"lanes4_cycles_per_sec\": %.3f,\n"
                  "      \"speedup\": %.3f,\n"
                  "      \"hw_threads\": %u\n"
+                 "    },\n"
+                 "    \"tracing\": {\n"
+                 "      \"cycles_per_sec\": %.3f,\n"
+                 "      \"overhead_pct\": %.3f\n"
                  "    }\n"
                  "  }\n"
                  "}\n",
                  quick ? "quick" : "full", wheel, legacy, speedup, enc, dec,
                  cycles, serial.cycles_per_sec, laned.cycles_per_sec,
-                 lanes_speedup, hw_threads);
+                 lanes_speedup, hw_threads, traced.cycles_per_sec,
+                 tracing_overhead_pct);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }
@@ -420,6 +455,13 @@ int main(int argc, char** argv) {
       std::printf("FAIL: inline lanes overhead too high: %.2fx of serial "
                   "(%u hw threads)\n",
                   lanes_speedup, hw_threads);
+      return 1;
+    }
+    // Always-on tracing must stay cheap: span emission is a handful of
+    // hash derivations plus two ring writes per cycle.
+    if (tracing_overhead_pct > 5.0) {
+      std::printf("FAIL: tracing overhead %.2f%% above the 5%% bar\n",
+                  tracing_overhead_pct);
       return 1;
     }
   }

@@ -75,13 +75,19 @@ double Histogram::stddev() const {
 std::int64_t Histogram::percentile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count_)));
+  // ceil(q*count) ranks the target sample 1-based; q=0 would yield rank 0
+  // and previously matched the first nonempty bucket (reporting its upper
+  // bound instead of the true minimum). Rank at least 1, and clamp the
+  // bucket bound into the observed [min, max] so boundary quantiles are
+  // exact at both ends.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= target && buckets_[i] > 0) {
-      return std::min(bucket_upper_bound(i), max_);
+      return std::clamp(bucket_upper_bound(i), min_, max_);
     }
   }
   return max_;

@@ -1,16 +1,26 @@
 // Per-phase control-cycle latency accounting.
 //
-// A control cycle has three phases (paper §II-B): collect metrics from
-// stages, compute the control algorithm, and enforce the resulting rules.
-// The cycle engine records each phase's latency here; Figs. 4–6 are
-// breakdowns of exactly these numbers.
+// A control cycle has three coarse phases (paper §II-B): collect metrics
+// from stages, compute the control algorithm, and enforce the resulting
+// rules. The cycle engine records each phase's latency here; Figs. 4–6
+// are breakdowns of exactly these numbers.
+//
+// PR 6 refines the triple into five attributed phases without touching
+// the three coarse numbers (so every existing figure stays bit-identical):
+// `aggregate` is the tail of `collect` spent merging/relaying metrics
+// above the stages, and `disseminate` is the head of `enforce` spent
+// pushing rules down before any stage applies them. They are sub-segments
+// — collect + compute + enforce still partitions the cycle.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "telemetry/metrics.h"
 
 namespace sds::core {
@@ -30,8 +40,25 @@ struct PhaseBreakdown {
   Nanos collect{0};
   Nanos compute{0};
   Nanos enforce{0};
+  /// Attributed sub-segments: aggregate ⊆ collect, disseminate ⊆ enforce.
+  /// Zero when the topology has no such segment (flat collect) or the
+  /// engine predates attribution.
+  Nanos aggregate{0};
+  Nanos disseminate{0};
 
   [[nodiscard]] Nanos total() const { return collect + compute + enforce; }
+  /// Collect time spent sampling stages (below the aggregation layer).
+  [[nodiscard]] Nanos collect_stages() const { return collect - aggregate; }
+  /// Enforce time spent applying + acking (after rules reached stages).
+  [[nodiscard]] Nanos enforce_apply() const { return enforce - disseminate; }
+};
+
+/// One recently completed cycle, kept for live introspection (/cycles).
+struct RecentCycle {
+  std::uint64_t cycle = 0;
+  PhaseBreakdown breakdown;
+  bool degraded = false;
+  std::uint64_t stale_stages = 0;
 };
 
 /// Aggregated latency distributions across cycles.
@@ -42,19 +69,34 @@ struct PhaseBreakdown {
 /// benches print are visible to the exporters with no second stats path.
 class CycleStats {
  public:
+  static constexpr std::size_t kRecentCapacity = 64;
+
+  CycleStats() = default;
+  // Results carry CycleStats by value (ExperimentResult); the recent-ring
+  // mutex makes default copies impossible, so copy everything but the
+  // lock. Copies are taken after the producing engine quiesced.
+  CycleStats(const CycleStats& other) { copy_from(other); }
+  CycleStats& operator=(const CycleStats& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+  CycleStats(CycleStats&& other) noexcept { copy_from(other); }
+  CycleStats& operator=(CycleStats&& other) noexcept {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+
   void record(const PhaseBreakdown& cycle) {
-    collect_.record(cycle.collect);
-    compute_.record(cycle.compute);
-    enforce_.record(cycle.enforce);
-    total_.record(cycle.total());
-    ++cycles_;
-    if (cycles_total_ != nullptr) {
-      tele_collect_->record(cycle.collect);
-      tele_compute_->record(cycle.compute);
-      tele_enforce_->record(cycle.enforce);
-      tele_total_->record(cycle.total());
-      cycles_total_->add(1);
-    }
+    record_cycle(cycles_, cycle, /*degraded=*/false, /*stale=*/0);
+  }
+
+  /// Full-detail record: cycle id for introspection, degraded flag for
+  /// the degraded-phase histograms. Degraded/stale counters are still
+  /// bumped via record_degraded() by callers that know staleness before
+  /// the breakdown exists.
+  void record(std::uint64_t cycle_id, const PhaseBreakdown& cycle,
+              bool degraded, std::uint64_t stale_stages = 0) {
+    record_cycle(cycle_id, cycle, degraded, stale_stages);
   }
 
   /// A cycle that closed on quorum/timeout instead of full replies.
@@ -84,6 +126,7 @@ class CycleStats {
     if (registry == nullptr) {
       cycles_total_ = degraded_total_ = stale_total_ = nullptr;
       tele_collect_ = tele_compute_ = tele_enforce_ = tele_total_ = nullptr;
+      tele_aggregate_ = tele_disseminate_ = tele_degraded_total_ = nullptr;
       tele_recovery_ = nullptr;
       return;
     }
@@ -94,12 +137,20 @@ class CycleStats {
     };
     tele_collect_ = registry->histogram("sds_cycle_phase_latency_ns",
                                         phase_labels("collect"));
+    tele_aggregate_ = registry->histogram("sds_cycle_phase_latency_ns",
+                                          phase_labels("aggregate"));
     tele_compute_ = registry->histogram("sds_cycle_phase_latency_ns",
                                         phase_labels("compute"));
+    tele_disseminate_ = registry->histogram("sds_cycle_phase_latency_ns",
+                                            phase_labels("disseminate"));
     tele_enforce_ = registry->histogram("sds_cycle_phase_latency_ns",
                                         phase_labels("enforce"));
     tele_total_ =
         registry->histogram("sds_cycle_total_latency_ns", labels);
+    // Degraded cycles additionally land here, so the exporters separate
+    // clean-cycle latency from quorum/timeout-closed cycles (PR 5).
+    tele_degraded_total_ =
+        registry->histogram("sds_cycle_degraded_latency_ns", labels);
     tele_recovery_ = registry->histogram("sds_recovery_time_ns", labels);
     degraded_total_ = registry->counter("sds_cycle_degraded_total", labels);
     stale_total_ = registry->counter("sds_stage_stale_total", labels);
@@ -112,9 +163,14 @@ class CycleStats {
   }
   [[nodiscard]] std::uint64_t stale_stages() const { return stale_stages_; }
   [[nodiscard]] const Histogram& collect() const { return collect_; }
+  [[nodiscard]] const Histogram& aggregate() const { return aggregate_; }
   [[nodiscard]] const Histogram& compute() const { return compute_; }
+  [[nodiscard]] const Histogram& disseminate() const { return disseminate_; }
   [[nodiscard]] const Histogram& enforce() const { return enforce_; }
   [[nodiscard]] const Histogram& total() const { return total_; }
+  [[nodiscard]] const Histogram& degraded_total_latency() const {
+    return degraded_latency_;
+  }
   [[nodiscard]] const Histogram& recovery() const { return recovery_; }
 
   /// Mean latencies in milliseconds (the unit the paper reports).
@@ -126,35 +182,140 @@ class CycleStats {
     return recovery_.mean() * 1e-6;
   }
 
+  /// Recent cycles, oldest first (bounded by kRecentCapacity). Read from
+  /// the introspection thread while the cycle engine records — hence the
+  /// dedicated lock (the histograms stay single-writer as before).
+  [[nodiscard]] std::vector<RecentCycle> recent() const
+      SDS_EXCLUDES(recent_mu_) {
+    MutexLock lock(recent_mu_);
+    return {recent_.begin(), recent_.end()};
+  }
+
   void reset() {
     collect_.reset();
+    aggregate_.reset();
     compute_.reset();
+    disseminate_.reset();
     enforce_.reset();
     total_.reset();
+    degraded_latency_.reset();
     recovery_.reset();
     cycles_ = 0;
     degraded_cycles_ = 0;
     stale_stages_ = 0;
+    MutexLock lock(recent_mu_);
+    recent_.clear();
   }
 
  private:
+  void copy_from(const CycleStats& other) {
+    std::deque<RecentCycle> recent_copy;
+    {
+      MutexLock lock(other.recent_mu_);
+      recent_copy = other.recent_;
+    }
+    collect_ = other.collect_;
+    aggregate_ = other.aggregate_;
+    compute_ = other.compute_;
+    disseminate_ = other.disseminate_;
+    enforce_ = other.enforce_;
+    total_ = other.total_;
+    degraded_latency_ = other.degraded_latency_;
+    recovery_ = other.recovery_;
+    cycles_ = other.cycles_;
+    degraded_cycles_ = other.degraded_cycles_;
+    stale_stages_ = other.stale_stages_;
+    cycles_total_ = other.cycles_total_;
+    degraded_total_ = other.degraded_total_;
+    stale_total_ = other.stale_total_;
+    tele_recovery_ = other.tele_recovery_;
+    tele_collect_ = other.tele_collect_;
+    tele_aggregate_ = other.tele_aggregate_;
+    tele_compute_ = other.tele_compute_;
+    tele_disseminate_ = other.tele_disseminate_;
+    tele_enforce_ = other.tele_enforce_;
+    tele_total_ = other.tele_total_;
+    tele_degraded_total_ = other.tele_degraded_total_;
+    MutexLock lock(recent_mu_);
+    recent_ = std::move(recent_copy);
+  }
+
+  void record_cycle(std::uint64_t cycle_id, const PhaseBreakdown& cycle,
+                    bool degraded, std::uint64_t stale) {
+    collect_.record(cycle.collect);
+    aggregate_.record(cycle.aggregate);
+    compute_.record(cycle.compute);
+    disseminate_.record(cycle.disseminate);
+    enforce_.record(cycle.enforce);
+    total_.record(cycle.total());
+    if (degraded) degraded_latency_.record(cycle.total());
+    ++cycles_;
+    if (cycles_total_ != nullptr) {
+      tele_collect_->record(cycle.collect);
+      tele_aggregate_->record(cycle.aggregate);
+      tele_compute_->record(cycle.compute);
+      tele_disseminate_->record(cycle.disseminate);
+      tele_enforce_->record(cycle.enforce);
+      tele_total_->record(cycle.total());
+      if (degraded) tele_degraded_total_->record(cycle.total());
+      cycles_total_->add(1);
+    }
+    MutexLock lock(recent_mu_);
+    recent_.push_back({cycle_id, cycle, degraded, stale});
+    if (recent_.size() > kRecentCapacity) recent_.pop_front();
+  }
+
   Histogram collect_;
+  Histogram aggregate_;
   Histogram compute_;
+  Histogram disseminate_;
   Histogram enforce_;
   Histogram total_;
+  Histogram degraded_latency_;
   Histogram recovery_;
   std::uint64_t cycles_ = 0;
   std::uint64_t degraded_cycles_ = 0;
   std::uint64_t stale_stages_ = 0;
+  mutable Mutex recent_mu_;
+  std::deque<RecentCycle> recent_ SDS_GUARDED_BY(recent_mu_);
   // Bound telemetry instruments (owned by the registry, may be null).
   telemetry::Counter* cycles_total_ = nullptr;
   telemetry::Counter* degraded_total_ = nullptr;
   telemetry::Counter* stale_total_ = nullptr;
   telemetry::HistogramMetric* tele_recovery_ = nullptr;
   telemetry::HistogramMetric* tele_collect_ = nullptr;
+  telemetry::HistogramMetric* tele_aggregate_ = nullptr;
   telemetry::HistogramMetric* tele_compute_ = nullptr;
+  telemetry::HistogramMetric* tele_disseminate_ = nullptr;
   telemetry::HistogramMetric* tele_enforce_ = nullptr;
   telemetry::HistogramMetric* tele_total_ = nullptr;
+  telemetry::HistogramMetric* tele_degraded_total_ = nullptr;
 };
+
+/// JSON document for the /cycles introspection route.
+[[nodiscard]] inline std::string recent_cycles_json(const CycleStats& stats) {
+  const auto recent = stats.recent();
+  std::string out = "{\"cycles\":[";
+  bool first = true;
+  for (const auto& rc : recent) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"cycle\":" + std::to_string(rc.cycle);
+    out += ",\"total_ns\":" + std::to_string(rc.breakdown.total().count());
+    out += ",\"collect_ns\":" + std::to_string(rc.breakdown.collect.count());
+    out +=
+        ",\"aggregate_ns\":" + std::to_string(rc.breakdown.aggregate.count());
+    out += ",\"compute_ns\":" + std::to_string(rc.breakdown.compute.count());
+    out += ",\"disseminate_ns\":" +
+           std::to_string(rc.breakdown.disseminate.count());
+    out += ",\"enforce_ns\":" + std::to_string(rc.breakdown.enforce.count());
+    out += ",\"degraded\":";
+    out += rc.degraded ? "true" : "false";
+    out += ",\"stale_stages\":" + std::to_string(rc.stale_stages);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
 
 }  // namespace sds::core

@@ -109,4 +109,70 @@ void ResourceMonitor::bind(telemetry::MetricsRegistry& registry,
   });
 }
 
+namespace {
+constexpr std::string_view kCanonicalPhases[] = {
+    "collect", "aggregate", "compute", "disseminate", "enforce"};
+}  // namespace
+
+void PhaseResourceProbe::bind(telemetry::MetricsRegistry& registry,
+                              telemetry::Labels labels) {
+  registry_ = &registry;
+  labels_ = std::move(labels);
+  for (const auto phase : kCanonicalPhases) {
+    entry(phase);  // creates the gauges eagerly
+  }
+}
+
+PhaseResourceProbe::Entry& PhaseResourceProbe::entry(std::string_view phase) {
+  for (auto& [name, e] : entries_) {
+    if (name == phase) return e;
+  }
+  entries_.emplace_back(std::string(phase), Entry{});
+  auto& e = entries_.back().second;
+  if (registry_ != nullptr) {
+    telemetry::Labels phase_labels = labels_;
+    phase_labels.emplace_back("phase", std::string(phase));
+    e.cpu_gauge = registry_->gauge("sds_phase_cpu_time_ns", phase_labels);
+    e.rss_gauge =
+        registry_->gauge("sds_phase_rss_delta_bytes", std::move(phase_labels));
+  }
+  return e;
+}
+
+void PhaseResourceProbe::cycle_start() {
+  last_cpu_ = read_process_cpu_time().value_or(Nanos{0});
+  last_rss_ = static_cast<std::int64_t>(read_process_rss_bytes().value_or(0));
+  primed_ = true;
+}
+
+void PhaseResourceProbe::mark(std::string_view phase) {
+  if (!primed_) cycle_start();
+  const Nanos cpu = read_process_cpu_time().value_or(Nanos{0});
+  const auto rss =
+      static_cast<std::int64_t>(read_process_rss_bytes().value_or(0));
+  auto& e = entry(phase);
+  e.cpu_total += cpu - last_cpu_;
+  e.rss_last = rss - last_rss_;
+  if (e.cpu_gauge != nullptr) {
+    e.cpu_gauge->set(static_cast<double>(e.cpu_total.count()));
+    e.rss_gauge->set(static_cast<double>(e.rss_last));
+  }
+  last_cpu_ = cpu;
+  last_rss_ = rss;
+}
+
+Nanos PhaseResourceProbe::cpu_time(std::string_view phase) const {
+  for (const auto& [name, e] : entries_) {
+    if (name == phase) return e.cpu_total;
+  }
+  return Nanos{0};
+}
+
+std::int64_t PhaseResourceProbe::rss_delta(std::string_view phase) const {
+  for (const auto& [name, e] : entries_) {
+    if (name == phase) return e.rss_last;
+  }
+  return 0;
+}
+
 }  // namespace sds::monitor

@@ -72,4 +72,51 @@ class ResourceMonitor {
   bool has_last_collected_ SDS_GUARDED_BY(collect_mu_) = false;
 };
 
+/// Per-phase CPU/RSS attribution alongside the whole-process totals.
+///
+/// The cycle engine calls cycle_start() at the top of each control cycle
+/// and mark(phase) as each phase closes; the probe attributes the CPU
+/// time and RSS movement since the previous mark to that phase, so
+/// trace_report can correlate a slow phase with a resource spike.
+/// Exported (after bind()) as `sds_phase_cpu_time_ns{phase=...}`
+/// (cumulative) and `sds_phase_rss_delta_bytes{phase=...}` (last cycle).
+///
+/// Intended for the single cycle thread; mark() costs two procfs reads,
+/// negligible against live cycle periods.
+class PhaseResourceProbe {
+ public:
+  /// Create the per-phase gauges up front (one pair per canonical phase).
+  void bind(telemetry::MetricsRegistry& registry,
+            telemetry::Labels labels = {});
+
+  /// Baseline sample at the top of a cycle.
+  void cycle_start();
+
+  /// Close a phase: attribute deltas since cycle_start()/the last mark().
+  /// Unknown phase names are attributed to their own row (the gauges only
+  /// exist when bind() saw the canonical five, but accounting still works).
+  void mark(std::string_view phase);
+
+  /// Cumulative CPU time attributed to `phase` (zero if never marked).
+  [[nodiscard]] Nanos cpu_time(std::string_view phase) const;
+  /// RSS delta attributed to `phase` during the most recent cycle.
+  [[nodiscard]] std::int64_t rss_delta(std::string_view phase) const;
+
+ private:
+  struct Entry {
+    Nanos cpu_total{0};
+    std::int64_t rss_last = 0;
+    telemetry::Gauge* cpu_gauge = nullptr;
+    telemetry::Gauge* rss_gauge = nullptr;
+  };
+  Entry& entry(std::string_view phase);
+
+  std::vector<std::pair<std::string, Entry>> entries_;
+  telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::Labels labels_;
+  Nanos last_cpu_{0};
+  std::int64_t last_rss_ = 0;
+  bool primed_ = false;
+};
+
 }  // namespace sds::monitor

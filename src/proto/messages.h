@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -274,11 +275,16 @@ struct ErrorMessage {
 // ---------------------------------------------------------------------------
 // Frame packing helpers
 
-/// Encode a message into a transport Frame.
+/// Encode a message into a transport Frame. When `trace` is set the frame
+/// carries the causal trace context in its wire trailer (flags bit 0);
+/// decoding strips it back into Frame::trace, so message codecs never see
+/// it.
 template <typename M>
-[[nodiscard]] wire::Frame to_frame(const M& msg) {
+[[nodiscard]] wire::Frame to_frame(
+    const M& msg, std::optional<wire::TraceContext> trace = std::nullopt) {
   wire::Frame frame;
   frame.type = static_cast<std::uint16_t>(M::kType);
+  frame.trace = trace;
   wire::Encoder enc(frame.payload);
   enc.reserve(msg.wire_size());
   msg.encode(enc);
@@ -287,12 +293,15 @@ template <typename M>
 
 /// Encode a message once into a ref-counted SharedFrame for broadcast:
 /// every connection then queues the same immutable wire image instead of
-/// re-serializing (or re-copying) the payload per destination.
+/// re-serializing (or re-copying) the payload per destination. An optional
+/// trace context rides the shared image's trailer — encoded once like the
+/// payload.
 template <typename M>
-[[nodiscard]] wire::SharedFrame to_shared_frame(const M& msg) {
+[[nodiscard]] wire::SharedFrame to_shared_frame(
+    const M& msg, std::optional<wire::TraceContext> trace = std::nullopt) {
   return wire::SharedFrame::encode(
       static_cast<std::uint16_t>(M::kType), msg.wire_size(),
-      [&msg](wire::Encoder& enc) { msg.encode(enc); });
+      [&msg](wire::Encoder& enc) { msg.encode(enc); }, trace);
 }
 
 /// Decode a frame's payload as message type M; checks the type tag and

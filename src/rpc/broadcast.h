@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 #include "proto/messages.h"
 #include "transport/transport.h"
@@ -33,10 +34,13 @@ std::size_t broadcast_shared(transport::Endpoint& endpoint,
 }
 
 /// Encode `msg` exactly once and send it to every connection in `conns`.
+/// An optional trace context is encoded once into the shared image's
+/// trailer so every hop of the wave stitches into the same trace.
 template <typename M, typename ConnRange>
 std::size_t broadcast(transport::Endpoint& endpoint, const ConnRange& conns,
-                      const M& msg) {
-  return broadcast_shared(endpoint, conns, proto::to_shared_frame(msg));
+                      const M& msg,
+                      std::optional<wire::TraceContext> trace = std::nullopt) {
+  return broadcast_shared(endpoint, conns, proto::to_shared_frame(msg, trace));
 }
 
 }  // namespace sds::rpc

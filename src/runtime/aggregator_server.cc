@@ -98,19 +98,25 @@ void AggregatorServer::on_frame(ConnId conn, wire::Frame frame) {
     case MessageType::kCollectRequest: {
       auto request = proto::from_frame<proto::CollectRequest>(frame);
       if (!request.is_ok()) return;
-      work_.push([this, req = std::move(request).value()] { serve_collect(req); });
+      work_.push([this, req = std::move(request).value(), ctx = frame.trace] {
+        serve_collect(req, ctx);
+      });
       break;
     }
     case MessageType::kEnforceBatch: {
       auto batch = proto::from_frame<proto::EnforceBatch>(frame);
       if (!batch.is_ok()) return;
-      work_.push([this, b = std::move(batch).value()] { serve_enforce(b); });
+      work_.push([this, b = std::move(batch).value(), ctx = frame.trace] {
+        serve_enforce(b, ctx);
+      });
       break;
     }
     case MessageType::kBudgetLease: {
       auto lease = proto::from_frame<proto::BudgetLease>(frame);
       if (!lease.is_ok()) return;
-      work_.push([this, l = std::move(lease).value()] { serve_lease(l); });
+      work_.push([this, l = std::move(lease).value(), ctx = frame.trace] {
+        serve_lease(l, ctx);
+      });
       break;
     }
     case MessageType::kHeartbeat: {
@@ -130,7 +136,37 @@ void AggregatorServer::on_frame(ConnId conn, wire::Frame frame) {
   }
 }
 
-void AggregatorServer::serve_collect(proto::CollectRequest request) {
+std::optional<wire::TraceContext> AggregatorServer::child_context(
+    const std::optional<wire::TraceContext>& ctx, const char* name) const {
+  if (!ctx.has_value()) return std::nullopt;
+  return wire::TraceContext{
+      ctx->trace_id,
+      telemetry::derive_span_id(ctx->trace_id, telemetry_.track(), name)};
+}
+
+void AggregatorServer::record_hop(const std::optional<wire::TraceContext>& ctx,
+                                  const char* name, std::uint64_t cycle,
+                                  Nanos begin, telemetry::SpanPhase phase) {
+  if (!ctx.has_value()) return;
+  const std::uint32_t track = telemetry_.track();
+  telemetry::Span span;
+  span.name = name;
+  span.category = "component";
+  span.track = track;
+  span.cycle = cycle;
+  span.start = begin;
+  span.duration = clock_->now() - begin;
+  span.trace_id = ctx->trace_id;
+  span.span_id = telemetry::derive_span_id(ctx->trace_id, track, name);
+  span.parent_span = ctx->parent_span;
+  span.phase = phase;
+  telemetry_.flight().record(span);
+  if (telemetry_.tracer() != nullptr) telemetry_.tracer()->record(span);
+}
+
+void AggregatorServer::serve_collect(proto::CollectRequest request,
+                                     std::optional<wire::TraceContext> ctx) {
+  const Nanos begin = clock_->now();
   std::vector<ConnId> conns;
   ConnId upstream;
   {
@@ -142,10 +178,13 @@ void AggregatorServer::serve_collect(proto::CollectRequest request) {
   }
   if (cycles_counter_ != nullptr) cycles_counter_->add();
 
+  // Downstream hops hang off OUR span, so the stage-side spans nest under
+  // this aggregator in the stitched trace.
+  const auto child_ctx = child_context(ctx, "agg.collect");
   auto gather = dispatcher_.start_gather(proto::MessageType::kStageMetrics,
                                          request.cycle_id, conns);
   // Encode once; every stage connection queues the same shared image.
-  rpc::broadcast(*endpoint_, conns, request);
+  rpc::broadcast(*endpoint_, conns, request, child_ctx);
   const Status wait = gather->wait_for(options_.phase_timeout);
   if (!wait.is_ok()) {
     SDS_LOG(WARN) << address_ << ": collect incomplete in cycle "
@@ -165,12 +204,15 @@ void AggregatorServer::serve_collect(proto::CollectRequest request) {
     last_collected_ = std::move(metrics);
     last_collect_cycle_ = request.cycle_id;
   }
+  record_hop(ctx, "agg.collect", request.cycle_id, begin,
+             telemetry::SpanPhase::kCollect);
   if (upstream.valid()) {
-    (void)endpoint_->send(upstream, proto::to_frame(report));
+    (void)endpoint_->send(upstream, proto::to_frame(report, child_ctx));
   }
 }
 
-void AggregatorServer::serve_lease(proto::BudgetLease lease) {
+void AggregatorServer::serve_lease(proto::BudgetLease lease,
+                                   std::optional<wire::TraceContext> ctx) {
   std::vector<proto::Rule> rules;
   {
     MutexLock lock(mu_);
@@ -179,10 +221,11 @@ void AggregatorServer::serve_lease(proto::BudgetLease lease) {
         lease.cycle_id, last_collected_,
         static_cast<std::uint64_t>(clock_->now().count()));
   }
-  enforce_rules(lease.cycle_id, rules);
+  enforce_rules(lease.cycle_id, rules, ctx);
 }
 
-void AggregatorServer::serve_enforce(proto::EnforceBatch batch) {
+void AggregatorServer::serve_enforce(proto::EnforceBatch batch,
+                                     std::optional<wire::TraceContext> ctx) {
   core::AggregatorCore::RoutedRules routed;
   {
     MutexLock lock(mu_);
@@ -192,11 +235,14 @@ void AggregatorServer::serve_enforce(proto::EnforceBatch batch) {
     SDS_LOG(WARN) << address_ << ": " << routed.unknown.size()
                   << " rules for unknown stages";
   }
-  enforce_rules(batch.cycle_id, routed.owned);
+  enforce_rules(batch.cycle_id, routed.owned, ctx);
 }
 
-void AggregatorServer::enforce_rules(std::uint64_t cycle_id,
-                                     const std::vector<proto::Rule>& rules) {
+void AggregatorServer::enforce_rules(
+    std::uint64_t cycle_id, const std::vector<proto::Rule>& rules,
+    const std::optional<wire::TraceContext>& ctx) {
+  const Nanos begin = clock_->now();
+  const auto child_ctx = child_context(ctx, "agg.enforce");
   ConnId upstream;
   std::vector<std::pair<ConnId, proto::EnforceBatch>> deliveries;
   {
@@ -218,7 +264,7 @@ void AggregatorServer::enforce_rules(std::uint64_t cycle_id,
   auto gather = dispatcher_.start_gather(proto::MessageType::kEnforceAck,
                                          cycle_id, conns);
   for (const auto& [conn, single] : deliveries) {
-    (void)endpoint_->send(conn, proto::to_frame(single));
+    (void)endpoint_->send(conn, proto::to_frame(single, child_ctx));
   }
   const Status wait = gather->wait_for(options_.phase_timeout);
   if (!wait.is_ok()) {
@@ -237,8 +283,10 @@ void AggregatorServer::enforce_rules(std::uint64_t cycle_id,
     MutexLock lock(mu_);
     merged = core_.merge_acks(cycle_id, acks);
   }
+  record_hop(ctx, "agg.enforce", cycle_id, begin,
+             telemetry::SpanPhase::kEnforce);
   if (upstream.valid()) {
-    (void)endpoint_->send(upstream, proto::to_frame(merged));
+    (void)endpoint_->send(upstream, proto::to_frame(merged, child_ctx));
   }
 }
 

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -72,21 +73,37 @@ class AggregatorServer {
   [[nodiscard]] telemetry::MetricsRegistry* metrics() {
     return telemetry_.registry();
   }
+  /// Always-on span ring (aggregator hop spans land here).
+  [[nodiscard]] telemetry::FlightRecorder& flight() {
+    return telemetry_.flight();
+  }
 
   void shutdown();
 
  private:
   void on_frame(ConnId conn, wire::Frame frame);
   void on_conn_closed(ConnId conn);
-  void serve_collect(proto::CollectRequest request);
-  void serve_enforce(proto::EnforceBatch batch);
+  void serve_collect(proto::CollectRequest request,
+                     std::optional<wire::TraceContext> ctx);
+  void serve_enforce(proto::EnforceBatch batch,
+                     std::optional<wire::TraceContext> ctx);
   /// Local-decision mode (paper §VI): run PSFA over the subtree within
   /// the leased budgets and enforce the result.
-  void serve_lease(proto::BudgetLease lease);
+  void serve_lease(proto::BudgetLease lease,
+                   std::optional<wire::TraceContext> ctx);
   /// Push one single-rule batch per owned stage; gather acks; send the
   /// merged ack upstream.
   void enforce_rules(std::uint64_t cycle_id,
-                     const std::vector<proto::Rule>& rules);
+                     const std::vector<proto::Rule>& rules,
+                     const std::optional<wire::TraceContext>& ctx);
+  /// Derive this hop's own context (our span as the parent of downstream
+  /// work); nullopt when the inbound frame carried no trace.
+  [[nodiscard]] std::optional<wire::TraceContext> child_context(
+      const std::optional<wire::TraceContext>& ctx, const char* name) const;
+  /// Record the hop span for a traced serve (flight ring + tracer).
+  void record_hop(const std::optional<wire::TraceContext>& ctx,
+                  const char* name, std::uint64_t cycle, Nanos begin,
+                  telemetry::SpanPhase phase);
 
   transport::Network* network_;
   const std::string address_;

@@ -1,6 +1,7 @@
 #include "runtime/fault_driver.h"
 
 #include <algorithm>
+#include <string>
 #include <tuple>
 
 namespace sds::runtime {
@@ -8,6 +9,11 @@ namespace sds::runtime {
 FaultDriver::FaultDriver(Deployment& deployment, const fault::FaultPlan& plan,
                          Nanos horizon)
     : deployment_(&deployment),
+      // Default dump-on-fault wiring: preserve the controller's flight
+      // ring before each kill lands. set_fault_hook() overrides.
+      fault_hook_([&deployment](std::string_view reason) {
+        deployment.global().dump_flight(std::string(reason));
+      }),
       compiled_(fault::CompiledPlan::compile(
           plan, deployment.stage_hosts().size(),
           deployment.aggregators().size(), horizon)) {
@@ -50,10 +56,16 @@ Nanos FaultDriver::next_event_at() const {
 Status FaultDriver::apply(const Event& event) {
   switch (event.kind) {
     case Kind::kKillHost:
+      if (fault_hook_) {
+        fault_hook_("kill-host-" + std::to_string(event.index));
+      }
       return deployment_->kill_stage_host(event.index);
     case Kind::kRestartHost:
       return deployment_->restart_stage_host(event.index);
     case Kind::kKillAggregator:
+      if (fault_hook_) {
+        fault_hook_("kill-aggregator-" + std::to_string(event.index));
+      }
       return deployment_->kill_aggregator(event.index);
     case Kind::kRestartAggregator:
       return deployment_->restart_aggregator(event.index);

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -52,6 +54,15 @@ class FaultDriver {
     return compiled_;
   }
 
+  /// Called on every kill transition with a short description (e.g.
+  /// "kill-host-3") BEFORE the kill is applied — the flight-recorder dump
+  /// hook: wire it to GlobalControllerServer::dump_flight so the span
+  /// ring is preserved while the spans leading up to the fault are still
+  /// in it.
+  void set_fault_hook(std::function<void(std::string_view)> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
  private:
   enum class Kind : std::uint8_t {
     kKillHost,
@@ -69,6 +80,7 @@ class FaultDriver {
   Status apply(const Event& event);
 
   Deployment* deployment_;
+  std::function<void(std::string_view)> fault_hook_;
   fault::CompiledPlan compiled_;
   std::vector<Event> events_;  // sorted by (at, kind, index)
   std::size_t applied_ = 0;

@@ -42,11 +42,15 @@ Status GlobalControllerServer::start(
     if (options_.telemetry.component == "sds") {
       options_.telemetry.component = "global";
     }
-    telemetry_.init(options_.telemetry, endpoint_.get(), dispatcher_);
+    telemetry_.init(options_.telemetry, endpoint_.get(), dispatcher_,
+                    [this] { return core::recent_cycles_json(stats_); });
     stats_.bind(telemetry_.registry(),
                 {{"component", options_.telemetry.component}});
+    phase_probe_.bind(*telemetry_.registry(),
+                      {{"component", options_.telemetry.component}});
     if (telemetry_.tracer() != nullptr) {
-      telemetry_.tracer()->set_track_name(0, "global controller");
+      telemetry_.tracer()->set_track_name(telemetry_.track(),
+                                          "global controller");
     }
   }
   started_ = true;
@@ -160,6 +164,13 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
 
   core::PhaseBreakdown breakdown;
   Stopwatch phase(*clock_);
+  const bool instrumented = options_.telemetry.enabled;
+  if (instrumented) phase_probe_.cycle_start();
+  // Causal identity of this cycle's wave: trace = cycle id, and each
+  // outbound hop carries the phase span it was caused by, so downstream
+  // components stitch their spans into the same per-cycle trace.
+  const std::uint64_t trace_id = cycle;
+  const std::uint32_t track = telemetry_.track();
 
   // ---- Collect -------------------------------------------------------
   auto stage_gather = dispatcher_.start_gather(
@@ -171,8 +182,11 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
       proto::MessageType::kAggregatedMetrics, cycle, agg_conns);
 
   // One encode for the whole wave: stages and aggregators queue the same
-  // ref-counted wire image.
-  const wire::SharedFrame collect_frame = proto::to_shared_frame(request);
+  // ref-counted wire image (trace trailer included).
+  const wire::SharedFrame collect_frame = proto::to_shared_frame(
+      request, wire::TraceContext{
+                   trace_id, telemetry::derive_span_id(trace_id, track,
+                                                       "collect")});
   rpc::broadcast_shared(*endpoint_, targets.stage_conns, collect_frame);
   rpc::broadcast_shared(*endpoint_, agg_conns, collect_frame);
   const auto quorum_of = [this](std::size_t expected) -> std::size_t {
@@ -183,6 +197,10 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
   };
   const Status stage_wait = stage_gather->wait_for(
       options_.phase_timeout, quorum_of(targets.stage_conns.size()));
+  // Everything after the direct-stage gather closes is aggregation tail:
+  // waiting on aggregator subtree reports and decoding them.
+  const Nanos stage_gather_done = phase.elapsed();
+  if (instrumented) phase_probe_.mark("collect");
   const Status agg_wait = agg_gather->wait_for(options_.phase_timeout,
                                                quorum_of(agg_conns.size()));
   if (!stage_wait.is_ok() || !agg_wait.is_ok()) {
@@ -237,6 +255,9 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
   dispatcher_.finish(stage_gather);
   dispatcher_.finish(agg_gather);
   breakdown.collect = phase.elapsed();
+  breakdown.aggregate = std::clamp(breakdown.collect - stage_gather_done,
+                                   Nanos{0}, breakdown.collect);
+  if (instrumented) phase_probe_.mark("aggregate");
   phase.restart();
 
   if (stage_metrics.empty() && aggregated.empty()) {
@@ -272,6 +293,7 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
     }
   }
   breakdown.compute = phase.elapsed();
+  if (instrumented) phase_probe_.mark("compute");
   phase.restart();
 
   // ---- Enforce -------------------------------------------------------
@@ -319,9 +341,15 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
     for (const auto& [conn, _] : deliveries) ack_conns.push_back(conn);
     auto ack_gather = dispatcher_.start_gather(proto::MessageType::kEnforceAck,
                                                cycle, ack_conns);
+    const wire::TraceContext enforce_ctx{
+        trace_id, telemetry::derive_span_id(trace_id, track, "disseminate")};
     for (const auto& [conn, batch] : deliveries) {
-      (void)endpoint_->send(conn, proto::to_frame(batch));
+      (void)endpoint_->send(conn, proto::to_frame(batch, enforce_ctx));
     }
+    // Dissemination head of the enforce phase: rule batches encoded and
+    // queued; the rest of the phase is the ack wait.
+    breakdown.disseminate = phase.elapsed();
+    if (instrumented) phase_probe_.mark("disseminate");
     const Status ack_wait = ack_gather->wait_for(options_.phase_timeout,
                                                  quorum_of(ack_conns.size()));
     if (!ack_wait.is_ok()) {
@@ -331,27 +359,61 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
     dispatcher_.finish(ack_gather);
   }
   breakdown.enforce = phase.elapsed();
+  if (instrumented) phase_probe_.mark("enforce");
 
-  if (stale > 0 || enforce_missing > 0) stats_.record_degraded(stale);
-  stats_.record(breakdown);
+  const bool degraded = stale > 0 || enforce_missing > 0;
+  if (degraded) stats_.record_degraded(stale);
+  stats_.record(cycle, breakdown, degraded, stale);
   trace_cycle(cycle, breakdown);
+  if (degraded && !flight_dumped_) {
+    // First degraded cycle: preserve the span ring before it wraps.
+    flight_dumped_ = true;
+    telemetry_.dump_flight("degraded-cycle");
+  }
   return breakdown;
 }
 
 void GlobalControllerServer::trace_cycle(std::uint64_t cycle,
                                          const core::PhaseBreakdown& breakdown) {
   telemetry::SpanTracer* tracer = telemetry_.tracer();
-  if (tracer == nullptr) return;
+  telemetry::FlightRecorder& flight = telemetry_.flight();
+  const std::uint32_t track = telemetry_.track();
   const Nanos start = clock_->now() - breakdown.total();
-  tracer->record(
-      {"cycle", "cycle", 0, cycle, {}, start, breakdown.total()});
-  tracer->record(
-      {"collect", "cycle", 0, cycle, {}, start, breakdown.collect});
-  tracer->record({"compute", "cycle", 0, cycle, {},
-                  start + breakdown.collect, breakdown.compute});
-  tracer->record({"enforce", "cycle", 0, cycle, {},
-                  start + breakdown.collect + breakdown.compute,
-                  breakdown.enforce});
+  const std::uint64_t root_id = telemetry::derive_span_id(cycle, track, "cycle");
+  const std::uint64_t collect_id =
+      telemetry::derive_span_id(cycle, track, "collect");
+  const std::uint64_t enforce_id =
+      telemetry::derive_span_id(cycle, track, "enforce");
+  const auto make = [&](const char* name, Nanos at, Nanos duration,
+                        std::uint64_t parent, telemetry::SpanPhase phase) {
+    telemetry::Span span;
+    span.name = name;
+    span.category = "cycle";
+    span.track = track;
+    span.cycle = cycle;
+    span.start = at;
+    span.duration = duration;
+    span.trace_id = cycle;
+    span.span_id = telemetry::derive_span_id(cycle, track, name);
+    span.parent_span = parent;
+    span.phase = phase;
+    return span;
+  };
+  const auto emit = [&](telemetry::Span span) {
+    flight.record(span);
+    if (tracer != nullptr) tracer->record(std::move(span));
+  };
+  using telemetry::SpanPhase;
+  emit(make("cycle", start, breakdown.total(), 0, SpanPhase::kNone));
+  emit(make("collect", start, breakdown.collect, root_id, SpanPhase::kCollect));
+  emit(make("aggregate", start + breakdown.collect - breakdown.aggregate,
+            breakdown.aggregate, collect_id, SpanPhase::kAggregate));
+  emit(make("compute", start + breakdown.collect, breakdown.compute, root_id,
+            SpanPhase::kCompute));
+  emit(make("disseminate", start + breakdown.collect + breakdown.compute,
+            breakdown.disseminate, enforce_id, SpanPhase::kDisseminate));
+  emit(make("enforce", start + breakdown.collect + breakdown.compute,
+            breakdown.enforce, root_id, SpanPhase::kEnforce));
 }
 
 Result<core::PhaseBreakdown> GlobalControllerServer::run_lease_phase(
@@ -420,7 +482,7 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_lease_phase(
     dispatcher_.finish(gather);
   }
   breakdown.enforce = phase.elapsed();
-  stats_.record(breakdown);
+  stats_.record(cycle, breakdown, false, 0);
   trace_cycle(cycle, breakdown);
   return breakdown;
 }

@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "core/cycle_stats.h"
 #include "core/global.h"
+#include "monitor/resource_monitor.h"
 #include "rpc/gather.h"
 #include "runtime/server_telemetry.h"
 #include "transport/transport.h"
@@ -110,6 +111,19 @@ class GlobalControllerServer {
     return telemetry_.registry();
   }
   [[nodiscard]] telemetry::SpanTracer* tracer() { return telemetry_.tracer(); }
+  /// Always-on flight recorder (cycle phase spans; dumped on faults and
+  /// the first degraded cycle).
+  [[nodiscard]] telemetry::FlightRecorder& flight() {
+    return telemetry_.flight();
+  }
+  /// Live introspection endpoint (null unless telemetry.introspect).
+  [[nodiscard]] telemetry::IntrospectionServer* introspection() {
+    return telemetry_.introspection();
+  }
+  /// Trigger a flight-recorder dump (also called by FaultDriver hooks).
+  void dump_flight(const std::string& reason) {
+    telemetry_.dump_flight(reason);
+  }
   /// Bound address (the resolved one — e.g. the actual port when the
   /// endpoint was bound to port 0).
   [[nodiscard]] const std::string& address() const {
@@ -155,6 +169,11 @@ class GlobalControllerServer {
   /// Touched only by the control thread driving run_cycle(); the stats()
   /// accessor is safe once cycles stop (test introspection).
   core::CycleStats stats_;
+  /// Per-phase CPU/RSS attribution (control thread only; inert unless
+  /// telemetry is enabled).
+  monitor::PhaseResourceProbe phase_probe_;
+  /// First degraded cycle dumps the flight ring once per server run.
+  bool flight_dumped_ = false;
   /// First cycle time each currently-silent peer went missing (control
   /// thread only). A later fresh reply records the gap as recovery time.
   std::unordered_map<ConnId, Nanos> missing_since_;

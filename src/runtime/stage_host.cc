@@ -138,15 +138,20 @@ void StageHost::on_frame(ConnId conn, wire::Frame frame) {
     case MessageType::kCollectRequest: {
       const auto request = proto::from_frame<proto::CollectRequest>(frame);
       if (!request.is_ok()) return;
-      const auto metrics = slot.stage.collect(request->cycle_id, clock_->now());
+      const Nanos begin = clock_->now();
+      const auto metrics = slot.stage.collect(request->cycle_id, begin);
       ++collects_answered_;
       if (collects_counter_ != nullptr) collects_counter_->add();
-      (void)endpoint_->send(conn, proto::to_frame(metrics));
+      const auto reply_ctx =
+          trace_hop(frame, "stage.collect", request->cycle_id, begin,
+                    telemetry::SpanPhase::kCollect);
+      (void)endpoint_->send(conn, proto::to_frame(metrics, reply_ctx));
       break;
     }
     case MessageType::kEnforceBatch: {
       const auto batch = proto::from_frame<proto::EnforceBatch>(frame);
       if (!batch.is_ok()) return;
+      const Nanos begin = clock_->now();
       proto::EnforceAck ack;
       ack.cycle_id = batch->cycle_id;
       for (const auto& rule : batch->rules) {
@@ -155,7 +160,10 @@ void StageHost::on_frame(ConnId conn, wire::Frame frame) {
           ++ack.applied;
         }
       }
-      (void)endpoint_->send(conn, proto::to_frame(ack));
+      const auto reply_ctx =
+          trace_hop(frame, "stage.enforce", batch->cycle_id, begin,
+                    telemetry::SpanPhase::kEnforce);
+      (void)endpoint_->send(conn, proto::to_frame(ack, reply_ctx));
       break;
     }
     case MessageType::kHeartbeat: {
@@ -169,6 +177,30 @@ void StageHost::on_frame(ConnId conn, wire::Frame frame) {
     default:
       SDS_LOG(DEBUG) << address_ << ": unexpected frame type " << frame.type;
   }
+}
+
+std::optional<wire::TraceContext> StageHost::trace_hop(
+    const wire::Frame& frame, const char* name, std::uint64_t cycle,
+    Nanos begin, telemetry::SpanPhase phase) {
+  if (!frame.trace.has_value()) return std::nullopt;
+  const wire::TraceContext& ctx = *frame.trace;
+  const std::uint32_t track = telemetry_.track();
+  telemetry::Span span;
+  span.name = name;
+  span.category = "component";
+  span.track = track;
+  span.cycle = cycle;
+  span.start = begin;
+  span.duration = clock_->now() - begin;
+  span.trace_id = ctx.trace_id;
+  span.span_id = telemetry::derive_span_id(ctx.trace_id, track, name);
+  span.parent_span = ctx.parent_span;
+  span.phase = phase;
+  telemetry_.flight().record(span);
+  if (telemetry_.tracer() != nullptr) telemetry_.tracer()->record(span);
+  // Replies carry our span as the parent so the controller side can link
+  // any follow-on work to this hop.
+  return wire::TraceContext{ctx.trace_id, span.span_id};
 }
 
 void StageHost::on_conn_event(ConnId conn, transport::ConnEvent event) {

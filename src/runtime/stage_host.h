@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -74,11 +75,21 @@ class StageHost {
   [[nodiscard]] telemetry::MetricsRegistry* metrics() {
     return telemetry_.registry();
   }
+  /// Always-on span ring (stage-side hop spans land here).
+  [[nodiscard]] telemetry::FlightRecorder& flight() {
+    return telemetry_.flight();
+  }
 
   void shutdown();
 
  private:
   void on_frame(ConnId conn, wire::Frame frame);
+  /// Record a hop span for a traced inbound frame and return the trace
+  /// context to echo on the reply (nullopt when the frame was untraced).
+  std::optional<wire::TraceContext> trace_hop(const wire::Frame& frame,
+                                              const char* name,
+                                              std::uint64_t cycle, Nanos begin,
+                                              telemetry::SpanPhase phase);
   void on_conn_event(ConnId conn, transport::ConnEvent event);
   Status register_stage(std::size_t index, std::size_t address_index);
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -101,6 +102,14 @@ class Run {
     }
     if (cfg_.tracer != nullptr) {
       cfg_.tracer->set_track_name(0, "global controller");
+      if (cfg_.num_aggregators > 0) {
+        for (std::size_t a = 0; a < cfg_.num_aggregators; ++a) {
+          cfg_.tracer->set_track_name(static_cast<std::uint32_t>(1 + a),
+                                      "aggregator " + std::to_string(a));
+        }
+      } else if (cfg_.coordinated_peers == 0) {
+        cfg_.tracer->set_track_name(1, "stage 0");
+      }
     }
   }
 
@@ -367,6 +376,8 @@ class Run {
     const proto::CollectRequest req = global_.begin_cycle();
     cycle_ = global_.current_cycle();
     cycle_start_ = eng0_.now();
+    agg_close_max_ = Nanos{-1};
+    rule_apply_max_ = Nanos{-1};
     collect_req_size_ = frame_size(req);
     cycle_in_flight_ = true;
     if (coordinated()) {
@@ -519,7 +530,7 @@ class Run {
           sz,
           [this, p, rule] {
             apply_rule_and_ack(rule, peers_[p]->host.get(), peers_[p]->lane,
-                               [this, p] {
+                               [this, p](Nanos) {
                                  if (--peers_[p]->pending_acks == 0) {
                                    peer_enforce_done(p);
                                  }
@@ -644,6 +655,22 @@ class Run {
     const proto::StageMetrics m = stages_[i].collect(cycle_, eng_local.now());
     const std::size_t sz = frame_size(m);
     Nanos latency = stage_latency(i, eng_local.now());
+    if (cfg_.tracer != nullptr && i == 0) {
+      // Representative per-stage span (stage 0 only — one per cycle, not
+      // one per stage) so flat traces also show a second component.
+      telemetry::Span span;
+      span.name = "stage.collect";
+      span.category = "component";
+      span.track = 1;
+      span.cycle = cycle_;
+      span.start = eng_local.now();
+      span.duration = latency;
+      span.trace_id = cycle_;
+      span.span_id = telemetry::derive_span_id(cycle_, 1, span.name);
+      span.parent_span = telemetry::derive_span_id(cycle_, 0, "collect");
+      span.phase = telemetry::SpanPhase::kCollect;
+      cfg_.tracer->record(std::move(span));
+    }
     std::size_t copies = 1;
     if (fault_ != nullptr &&
         !reply_fate(fault::MessageKind::kCollectReply, i, stage_lane_[i],
@@ -744,15 +771,17 @@ class Run {
       global_host_.send_to(
           stage_lane_[rule.stage_id.value()], sz,
           [this, rule, c = cycle_] {
-            apply_rule_and_ack(rule, &global_host_, 0,
-                               [this, c] { on_global_direct_ack(c); });
+            apply_rule_and_ack(rule, &global_host_, 0, [this, c](Nanos at) {
+              on_global_direct_ack(c, at);
+            });
           },
           prof_.cpu_route_per_rule);
     }
   }
 
-  void on_global_direct_ack(std::uint64_t c) {
+  void on_global_direct_ack(std::uint64_t c, Nanos applied_at) {
     if (fault_ != nullptr && (!enforce_open_ || c != cycle_)) return;
+    rule_apply_max_ = std::max(rule_apply_max_, applied_at);
     if (--global_acks_pending_ == 0) {
       enforce_open_ = false;
       finish_cycle();
@@ -774,18 +803,22 @@ class Run {
   }
 
   /// At the stage: apply `rule` (real logic), then send the ack back to
-  /// `receiver` (on `receiver_lane`) which runs `done` after its
-  /// receive cost. Executes on the stage's lane. Under a fault plan a
-  /// down/partitioned stage neither applies nor acks, and the ack is
-  /// subject to the kEnforceAck message fate — silent stages surface as
-  /// missing acks and the phase deadline closes the cycle degraded.
+  /// `receiver` (on `receiver_lane`) which runs `done` — passing the
+  /// virtual instant the stage applied the rule, for `disseminate`
+  /// attribution — after its receive cost. Executes on the stage's
+  /// lane. Under a fault plan a down/partitioned stage neither applies
+  /// nor acks, and the ack is subject to the kEnforceAck message fate —
+  /// silent stages surface as missing acks and the phase deadline
+  /// closes the cycle degraded.
   void apply_rule_and_ack(const proto::Rule& rule, SimHost* receiver,
-                          std::uint32_t receiver_lane, Engine::EventFn done) {
+                          std::uint32_t receiver_lane,
+                          std::function<void(Nanos)> done) {
     const std::size_t idx = rule.stage_id.value();
     assert(idx < stages_.size());
     Engine& eng_local = eng(stage_lane_[idx]);
     if (fault_ != nullptr && !stage_reachable(idx, eng_local.now())) return;
     stages_[idx].apply(rule);
+    const Nanos applied_at = eng_local.now();
     proto::EnforceAck ack;
     ack.cycle_id = cycle_;
     ack.applied = 1;
@@ -797,15 +830,16 @@ class Run {
                     latency, copies)) {
       return;
     }
-    auto shared_done = std::make_shared<Engine::EventFn>(std::move(done));
+    auto shared_done =
+        std::make_shared<std::function<void(Nanos)>>(std::move(done));
     for (std::size_t copy = 0; copy < copies; ++copy) {
       const bool first = copy == 0;
       eng_local.schedule_cross(
           receiver_lane, eng_local.now() + latency,
-          [this, receiver, sz, first, shared_done] {
-            receiver->receive(sz, [first, shared_done] {
+          [this, receiver, sz, first, applied_at, shared_done] {
+            receiver->receive(sz, [first, applied_at, shared_done] {
               // The duplicate copy pays receive cost but is deduplicated.
-              if (first) (*shared_done)();
+              if (first) (*shared_done)(applied_at);
             });
           });
     }
@@ -826,6 +860,7 @@ class Run {
       for (auto& super : supers_) {
         super->child_reports.assign(super->children.size(), {});
         super->pending_reports = super->children.size();
+        super->child_close_max = Nanos{-1};
         super->acks_applied = 0;
         super->pending_acks = 0;
       }
@@ -882,9 +917,11 @@ class Run {
   }
 
   void super_accept_report(std::size_t s, std::size_t pos,
-                           const proto::AggregatedMetrics& report) {
+                           const proto::AggregatedMetrics& report,
+                           Nanos child_close) {
     Super& super = *supers_[s];
     super.child_reports[pos] = report;
+    super.child_close_max = std::max(super.child_close_max, child_close);
     if (--super.pending_reports > 0) return;
 
     // Merge the children's summaries (job rows merged, digests
@@ -919,9 +956,11 @@ class Run {
     }
     const Nanos cost = scaled(prof_.cpu_relay_per_stage, digest_count);
     const std::size_t sz = frame_size(merged);
-    super.host->run(cost, [this, s, merged, sz] {
-      supers_[s]->host->send_to(0, sz, [this, s, merged, sz] {
-        global_host_.receive(sz, [this, s, merged] {
+    const Nanos close_max = super.child_close_max;
+    super.host->run(cost, [this, s, merged, sz, close_max] {
+      supers_[s]->host->send_to(0, sz, [this, s, merged, sz, close_max] {
+        global_host_.receive(sz, [this, s, merged, close_max] {
+          agg_close_max_ = std::max(agg_close_max_, close_max);
           agg_reports_[s] = merged;
           if (--reports_pending_ == 0) {
             collect_end_ = eng0_.now();
@@ -1031,6 +1070,24 @@ class Run {
   void agg_report(std::size_t a) {
     Agg& agg = *aggs_[a];
     const std::size_t n_a = agg.stage_indices.size();
+    // Local sub-collect close instant (agg lane); crosses to lane 0 by
+    // value with the report, where the max over aggregators bounds the
+    // `aggregate` sub-segment.
+    const Nanos local_close = eng(agg.lane).now();
+    if (cfg_.tracer != nullptr) {
+      telemetry::Span span;
+      span.name = "agg.collect";
+      span.category = "component";
+      span.track = static_cast<std::uint32_t>(1 + a);
+      span.cycle = cycle_;
+      span.start = cycle_start_;
+      span.duration = local_close - cycle_start_;
+      span.trace_id = cycle_;
+      span.span_id = telemetry::derive_span_id(cycle_, span.track, span.name);
+      span.parent_span = telemetry::derive_span_id(cycle_, 0, "collect");
+      span.phase = telemetry::SpanPhase::kCollect;
+      cfg_.tracer->record(std::move(span));
+    }
     if (cfg_.preaggregate) {
       const proto::AggregatedMetrics report =
           agg.core->aggregate(cycle_, agg.collected);
@@ -1042,17 +1099,18 @@ class Run {
       const std::size_t stale = fault_ != nullptr ? agg.stale : 0;
       std::vector<Nanos> recovered;
       if (fault_ != nullptr) recovered.swap(agg.recoveries);
-      agg.host->run(cost, [this, a, report, sz, parent, stale,
+      agg.host->run(cost, [this, a, report, sz, parent, stale, local_close,
                            recovered = std::move(recovered)] {
         if (parent >= 0) {
           // Three-level tree: report to the parent super-aggregator.
           const auto s = static_cast<std::size_t>(parent);
           const std::size_t pos = aggs_[a]->child_pos;
           aggs_[a]->host->send_to(
-              supers_[s]->lane, sz, [this, s, pos, report, sz] {
-                supers_[s]->host->receive(sz, [this, s, pos, report] {
-                  super_accept_report(s, pos, report);
-                });
+              supers_[s]->lane, sz, [this, s, pos, report, sz, local_close] {
+                supers_[s]->host->receive(
+                    sz, [this, s, pos, report, local_close] {
+                      super_accept_report(s, pos, report, local_close);
+                    });
               });
           return;
         }
@@ -1075,8 +1133,9 @@ class Run {
           const bool first = copy == 0;
           aggs_[a]->host->send_to(0, sz, [this, a, report, sz, stale,
                                           recovered, extra, first,
-                                          c = cycle_] {
-            auto deliver = [this, a, report, stale, recovered, first, c] {
+                                          local_close, c = cycle_] {
+            auto deliver = [this, a, report, stale, recovered, first,
+                            local_close, c] {
               if (fault_ != nullptr) {
                 if (!first || !report_open_ || c != cycle_ ||
                     report_seen_[a] != 0) {
@@ -1088,6 +1147,7 @@ class Run {
                 cycle_recoveries_.insert(cycle_recoveries_.end(),
                                          recovered.begin(), recovered.end());
               }
+              agg_close_max_ = std::max(agg_close_max_, local_close);
               agg_reports_[a] = report;
               on_agg_report_received(a);
             };
@@ -1106,9 +1166,10 @@ class Run {
       const proto::MetricsBatch batch = agg.core->passthrough(cycle_, agg.collected);
       const Nanos cost = scaled(prof_.cpu_relay_per_stage, n_a);
       const std::size_t sz = frame_size(batch);
-      agg.host->run(cost, [this, a, batch, sz] {
-        aggs_[a]->host->send_to(0, sz, [this, a, batch, sz] {
-          global_host_.receive(sz, [this, a, batch] {
+      agg.host->run(cost, [this, a, batch, sz, local_close] {
+        aggs_[a]->host->send_to(0, sz, [this, a, batch, sz, local_close] {
+          global_host_.receive(sz, [this, a, batch, local_close] {
+            agg_close_max_ = std::max(agg_close_max_, local_close);
             passthrough_batches_[a] = batch.entries;
             on_agg_report_received(a);
           });
@@ -1286,6 +1347,7 @@ class Run {
     Super& super = *supers_[s];
     super.pending_acks = super.children.size();
     super.acks_applied = 0;
+    super.rule_applied_max = Nanos{-1};
     for (const std::size_t a : super.children) {
       const proto::EnforceBatch& batch = enforce_batches_[a];
       const std::size_t sz = enforce_frame_size(batch);
@@ -1299,16 +1361,20 @@ class Run {
     }
   }
 
-  void super_accept_ack(std::size_t s, std::uint32_t applied) {
+  void super_accept_ack(std::size_t s, std::uint32_t applied,
+                        Nanos applied_max) {
     Super& super = *supers_[s];
     super.acks_applied += applied;
+    super.rule_applied_max = std::max(super.rule_applied_max, applied_max);
     if (--super.pending_acks > 0) return;
     proto::EnforceAck merged;
     merged.cycle_id = cycle_;
     merged.applied = super.acks_applied;
     const std::size_t sz = frame_size(merged);
-    super.host->send_to(0, sz, [this, sz] {
-      global_host_.receive(sz, [this] {
+    const Nanos apply_max = super.rule_applied_max;
+    super.host->send_to(0, sz, [this, sz, apply_max] {
+      global_host_.receive(sz, [this, apply_max] {
+        rule_apply_max_ = std::max(rule_apply_max_, apply_max);
         if (--global_acks_pending_ == 0) finish_cycle();
       });
     });
@@ -1338,6 +1404,7 @@ class Run {
     const auto routed = agg.core->route(enforce_batches_[a]);
     agg.pending_acks = routed.owned.size();
     agg.acks_applied = 0;
+    agg.rule_applied_max = Nanos{-1};
     agg.enforce_expected = routed.owned.size();
     if (agg.pending_acks == 0) {
       agg_merged_ack(a);
@@ -1380,13 +1447,15 @@ class Run {
         sz,
         [this, a, rule, c = cycle_] {
           apply_rule_and_ack(rule, aggs_[a]->host.get(), aggs_[a]->lane,
-                             [this, a, c] {
+                             [this, a, c](Nanos applied_at) {
                                Agg& agg = *aggs_[a];
                                if (fault_ != nullptr &&
                                    (!agg.enforce_open ||
                                     agg.fault_cycle != c)) {
                                  return;  // ack after the deadline closed
                                }
+                               agg.rule_applied_max =
+                                   std::max(agg.rule_applied_max, applied_at);
                                ++agg.acks_applied;
                                if (--agg.pending_acks == 0) {
                                  agg.enforce_open = false;
@@ -1418,6 +1487,7 @@ class Run {
       Agg& agg_ref = *aggs_[a];
       agg_ref.pending_acks = rules.size();
       agg_ref.acks_applied = 0;
+      agg_ref.rule_applied_max = Nanos{-1};
       if (rules.empty()) {
         agg_merged_ack(a);
         return;
@@ -1435,10 +1505,13 @@ class Run {
     if (agg.parent >= 0) {
       const auto s = static_cast<std::size_t>(agg.parent);
       const std::uint32_t applied = merged.applied;
-      agg.host->send_to(supers_[s]->lane, sz, [this, s, sz, applied] {
-        supers_[s]->host->receive(
-            sz, [this, s, applied] { super_accept_ack(s, applied); });
-      });
+      const Nanos applied_max = agg.rule_applied_max;
+      agg.host->send_to(
+          supers_[s]->lane, sz, [this, s, sz, applied, applied_max] {
+            supers_[s]->host->receive(sz, [this, s, applied, applied_max] {
+              super_accept_ack(s, applied, applied_max);
+            });
+          });
       return;
     }
     Nanos extra{0};
@@ -1457,11 +1530,12 @@ class Run {
         return;
       }
     }
+    const Nanos applied_max = agg.rule_applied_max;
     for (std::size_t copy = 0; copy < copies; ++copy) {
       const bool first = copy == 0;
       agg.host->send_to(0, sz, [this, a, sz, extra, first, short_acked,
-                                c = cycle_] {
-        auto deliver = [this, a, first, short_acked, c] {
+                                applied_max, c = cycle_] {
+        auto deliver = [this, a, first, short_acked, applied_max, c] {
           if (fault_ != nullptr) {
             if (!first || !enforce_open_ || c != cycle_ ||
                 ack_seen_[a] != 0) {
@@ -1470,6 +1544,7 @@ class Run {
             ack_seen_[a] = 1;
             if (short_acked) cycle_degraded_ = true;
           }
+          rule_apply_max_ = std::max(rule_apply_max_, applied_max);
           if (--global_acks_pending_ == 0) {
             enforce_open_ = false;
             finish_cycle();
@@ -1504,7 +1579,21 @@ class Run {
     breakdown.collect = collect_end_ - cycle_start_;
     breakdown.compute = compute_end_ - collect_end_;
     breakdown.enforce = eng0_.now() - compute_end_;
-    stats_.record(breakdown);
+    // Attributed sub-segments (see CycleStats): `aggregate` is the tail
+    // of collect after the last aggregator closed its local sub-collect,
+    // `disseminate` the head of enforce until the last stage applied a
+    // rule. Nanos{-1} = no boundary observed → sub-segment stays 0.
+    if (agg_close_max_ >= Nanos{0}) {
+      breakdown.aggregate =
+          std::clamp(collect_end_ - agg_close_max_, Nanos{0}, breakdown.collect);
+    }
+    if (rule_apply_max_ >= Nanos{0}) {
+      breakdown.disseminate = std::clamp(rule_apply_max_ - compute_end_,
+                                         Nanos{0}, breakdown.enforce);
+    }
+    stats_.record(cycle_, breakdown,
+                  fault_ != nullptr && (cycle_degraded_ || cycle_stale_ > 0),
+                  cycle_stale_);
     if (fault_ != nullptr) {
       if (cycle_degraded_ || cycle_stale_ > 0) {
         stats_.record_degraded(cycle_stale_);
@@ -1547,17 +1636,50 @@ class Run {
   /// One span per phase plus an enclosing cycle span, in virtual time on
   /// the global controller's track. Phase boundaries are exactly the
   /// instants CycleStats measured, so the trace and the histograms agree.
+  /// Span ids derive from (cycle, track, name) — stable under any lane
+  /// count — and nest causally: cycle → {collect → aggregate, compute,
+  /// enforce → disseminate}. The same spans land in the flight recorder
+  /// ring when one is attached.
   void trace_cycle(const core::PhaseBreakdown& breakdown) {
-    if (cfg_.tracer == nullptr) return;
-    const std::string detail = "stages=" + std::to_string(cfg_.num_stages);
-    cfg_.tracer->record({"cycle", "cycle", 0, cycle_, detail, cycle_start_,
-                         eng0_.now() - cycle_start_});
-    cfg_.tracer->record({"collect", "cycle", 0, cycle_, {}, cycle_start_,
-                         breakdown.collect});
-    cfg_.tracer->record({"compute", "cycle", 0, cycle_, {}, collect_end_,
-                         breakdown.compute});
-    cfg_.tracer->record({"enforce", "cycle", 0, cycle_, {}, compute_end_,
-                         breakdown.enforce});
+    if (cfg_.tracer == nullptr && cfg_.flight == nullptr) return;
+    const std::uint64_t trace = cycle_;
+    const auto root_id = telemetry::derive_span_id(trace, 0, "cycle");
+    const auto collect_id = telemetry::derive_span_id(trace, 0, "collect");
+    const auto enforce_id = telemetry::derive_span_id(trace, 0, "enforce");
+    const auto make = [&](const char* name, telemetry::SpanPhase phase,
+                          std::uint64_t parent, Nanos start, Nanos duration) {
+      telemetry::Span span;
+      span.name = name;
+      span.category = "cycle";
+      span.track = 0;
+      span.cycle = cycle_;
+      span.start = start;
+      span.duration = duration;
+      span.trace_id = trace;
+      span.span_id = telemetry::derive_span_id(trace, 0, name);
+      span.parent_span = parent;
+      span.phase = phase;
+      return span;
+    };
+    const auto emit = [&](telemetry::Span span) {
+      if (cfg_.flight != nullptr) cfg_.flight->record(span);
+      if (cfg_.tracer != nullptr) cfg_.tracer->record(std::move(span));
+    };
+    telemetry::Span cycle_span =
+        make("cycle", telemetry::SpanPhase::kNone, 0, cycle_start_,
+             eng0_.now() - cycle_start_);
+    cycle_span.detail = "stages=" + std::to_string(cfg_.num_stages);
+    emit(std::move(cycle_span));
+    emit(make("collect", telemetry::SpanPhase::kCollect, root_id, cycle_start_,
+              breakdown.collect));
+    emit(make("aggregate", telemetry::SpanPhase::kAggregate, collect_id,
+              collect_end_ - breakdown.aggregate, breakdown.aggregate));
+    emit(make("compute", telemetry::SpanPhase::kCompute, root_id, collect_end_,
+              breakdown.compute));
+    emit(make("disseminate", telemetry::SpanPhase::kDisseminate, enforce_id,
+              compute_end_, breakdown.disseminate));
+    emit(make("enforce", telemetry::SpanPhase::kEnforce, root_id, compute_end_,
+              breakdown.enforce));
   }
 
   /// Sample the PFS load factor on a fixed simulated-time grid,
@@ -1757,6 +1879,10 @@ class Run {
     std::size_t stale = 0;
     /// Recovery samples this cycle; cross to lane 0 inside the report.
     std::vector<Nanos> recoveries;
+    /// Latest instant one of this agg's stages applied a rule this cycle
+    /// (agg lane; crosses to lane 0 by value with the merged ack, for
+    /// the `disseminate` sub-segment). Nanos{-1} = none applied.
+    Nanos rule_applied_max{-1};
   };
 
   /// Third-level controller (3-level hierarchies).
@@ -1769,6 +1895,11 @@ class Run {
     std::size_t pending_reports = 0;
     std::size_t pending_acks = 0;
     std::uint32_t acks_applied = 0;
+    /// Latest child local collect-close relayed this cycle (super lane;
+    /// crosses to lane 0 with the merged report). Nanos{-1} = none.
+    Nanos child_close_max{-1};
+    /// Latest rule-apply instant among the children's acks (super lane).
+    Nanos rule_applied_max{-1};
   };
 
   struct Peer {
@@ -1810,6 +1941,13 @@ class Run {
   Nanos collect_end_{0};
   Nanos compute_end_{0};
   Nanos last_cycle_end_{0};
+  // Phase-attribution instants (lane 0), max-folded from values that
+  // cross inside the reply closures; Nanos{-1} = no boundary observed
+  // this cycle (the sub-segment stays 0).
+  /// Latest aggregator local collect-close → `aggregate` sub-segment.
+  Nanos agg_close_max_{-1};
+  /// Latest rule-apply instant at a stage → `disseminate` sub-segment.
+  Nanos rule_apply_max_{-1};
   std::size_t collect_req_size_ = 0;
   std::vector<proto::StageMetrics> flat_metrics_;
   std::size_t flat_pending_ = 0;

@@ -24,6 +24,7 @@
 #include "policy/psfa.h"
 #include "sim/profile.h"
 #include "stage/virtual_stage.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span_tracer.h"
 
@@ -106,14 +107,21 @@ struct ExperimentConfig {
   /// drawn uniformly from [500, 1500) data ops/s and [50, 150) meta
   /// ops/s.
   std::function<stage::DemandFn(StageId, stage::Dimension)> demand_factory;
-  /// Optional telemetry sinks (both may be null). When `metrics` is set,
+  /// Optional telemetry sinks (all may be null). When `metrics` is set,
   /// the run feeds the shared cycle histograms/counters plus
   /// `sds_sim_events_executed` and `sds_sim_virtual_time_seconds`; when
   /// `tracer` is set, it records one span per cycle phase (collect /
-  /// compute / enforce, with the cycle id) plus an enclosing cycle span,
-  /// timestamped in virtual time — ready for Perfetto.
+  /// aggregate / compute / disseminate / enforce, with the cycle id and
+  /// causal span ids) plus an enclosing cycle span and per-component
+  /// child spans (aggregators, a representative stage), timestamped in
+  /// virtual time — ready for Perfetto and tools/trace_report. When
+  /// `flight` is set, the same phase spans also land in the fixed-size
+  /// flight recorder ring (always allocation-free). None of the three
+  /// perturbs simulated results: tracing reads the virtual clock and
+  /// never touches RNG or event ordering.
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::SpanTracer* tracer = nullptr;
+  telemetry::FlightRecorder* flight = nullptr;
   /// Label value distinguishing this configuration's series when several
   /// runs share one registry (exported as `configuration="<label>"`).
   std::string telemetry_label;

@@ -28,7 +28,7 @@ std::string prom_labels(const Labels& labels, std::string_view extra_key = {},
     first = false;
     out += k;
     out += "=\"";
-    out += json_escape(v);  // escaping rules coincide for label values
+    out += prom_escape_label_value(v);
     out += "\"";
   }
   if (!extra_key.empty()) {
@@ -43,6 +43,24 @@ std::string prom_labels(const Labels& labels, std::string_view extra_key = {},
 }
 
 }  // namespace
+
+std::string prom_escape_label_value(std::string_view raw) {
+  // The exposition format escapes exactly three characters inside label
+  // values: backslash, double quote, and line feed. JSON escaping is NOT
+  // equivalent (it also rewrites \t, \r, and control bytes as \uXXXX,
+  // which Prometheus would read literally).
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
 
 std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
   std::string out;

@@ -9,11 +9,16 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "telemetry/metrics.h"
 
 namespace sds::telemetry {
+
+/// Escape a label value per the Prometheus exposition format: backslash,
+/// double quote, and line feed only (NOT the JSON rules).
+[[nodiscard]] std::string prom_escape_label_value(std::string_view raw);
 
 /// Prometheus text exposition format (one block per family).
 [[nodiscard]] std::string to_prometheus_text(const MetricsSnapshot& snapshot);

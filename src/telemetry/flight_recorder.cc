@@ -1,0 +1,91 @@
+#include "telemetry/flight_recorder.h"
+
+#include <algorithm>
+
+#include "telemetry/trace_export.h"  // json_escape
+
+namespace sds::telemetry {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.resize(capacity_);  // the one allocation; record() only copies
+}
+
+void FlightRecorder::record(const FlightRecord& rec) {
+  MutexLock lock(mu_);
+  ++recorded_;
+  ring_[head_] = rec;
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<FlightRecord> out;
+  out.reserve(size_);
+  // Oldest first: when full the oldest record sits at head_.
+  const std::size_t start = size_ < capacity_ ? 0 : head_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  MutexLock lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  MutexLock lock(mu_);
+  return recorded_ - size_;
+}
+
+void FlightRecorder::reset() {
+  MutexLock lock(mu_);
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+}
+
+std::string FlightRecorder::dump_json(std::string_view component,
+                                      std::string_view reason) const {
+  const auto records = snapshot();
+  std::string out;
+  out.reserve(128 + records.size() * 160);
+  out += "{\"component\":\"";
+  out += json_escape(std::string(component));
+  out += "\",\"reason\":\"";
+  out += json_escape(std::string(reason));
+  out += "\",\"recorded\":";
+  out += std::to_string(recorded());
+  out += ",\"records\":[";
+  bool first = true;
+  for (const auto& rec : records) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json_escape(std::string(rec.name_view()));
+    out += "\",\"phase\":\"";
+    out += to_string(rec.phase);
+    out += "\",\"trace\":";
+    out += std::to_string(rec.trace_id);
+    out += ",\"span\":";
+    out += std::to_string(rec.span_id);
+    out += ",\"parent\":";
+    out += std::to_string(rec.parent_span);
+    out += ",\"cycle\":";
+    out += std::to_string(rec.cycle);
+    out += ",\"track\":";
+    out += std::to_string(rec.track);
+    out += ",\"start_ns\":";
+    out += std::to_string(rec.start_ns);
+    out += ",\"duration_ns\":";
+    out += std::to_string(rec.duration_ns);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace sds::telemetry

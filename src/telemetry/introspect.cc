@@ -1,0 +1,188 @@
+#include "telemetry/introspect.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/log.h"
+#include "telemetry/export.h"
+
+namespace sds::telemetry {
+
+namespace {
+
+void write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; response is best-effort
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+IntrospectionServer::IntrospectionServer(Options options)
+    : options_(std::move(options)) {}
+
+IntrospectionServer::~IntrospectionServer() { stop(); }
+
+Status IntrospectionServer::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::failed_precondition("introspection server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::unavailable("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::invalid_argument("bad introspection host " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::unavailable("bind failed for introspection endpoint");
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::unavailable("listen failed for introspection endpoint");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  SDS_LOG(INFO) << "introspection endpoint on " << options_.host << ":"
+                << port_ << " (/metrics /cycles /flight)";
+  return Status::ok();
+}
+
+void IntrospectionServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Shut the listening socket down; the poll/accept loop notices and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void IntrospectionServer::serve_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (rc <= 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    serve_one(fd);
+    ::close(fd);
+  }
+}
+
+bool IntrospectionServer::handle(const std::string& path, std::string& body,
+                                 std::string& content_type) const {
+  if (path == "/metrics") {
+    if (options_.registry == nullptr) return false;
+    body = to_prometheus_text(options_.registry->snapshot());
+    content_type = "text/plain; version=0.0.4";
+    return true;
+  }
+  if (path == "/cycles") {
+    if (!options_.cycles_json) return false;
+    body = options_.cycles_json();
+    content_type = "application/json";
+    return true;
+  }
+  if (path == "/flight") {
+    if (options_.flight == nullptr) return false;
+    body = options_.flight->dump_json(options_.component, "http");
+    content_type = "application/json";
+    return true;
+  }
+  if (path == "/" || path.empty()) {
+    body = "sds introspection: /metrics /cycles /flight\n";
+    content_type = "text/plain";
+    return true;
+  }
+  return false;
+}
+
+void IntrospectionServer::serve_one(int fd) const {
+  // Read until the end of the request headers (or 4 KiB, whichever first);
+  // only the request line matters.
+  char buf[4096];
+  std::size_t got = 0;
+  while (got < sizeof(buf) - 1) {
+    const ssize_t n = ::recv(fd, buf + got, sizeof(buf) - 1 - got, 0);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+    buf[got] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  if (got == 0) return;
+  buf[got] = '\0';
+
+  std::string method;
+  std::string path;
+  {
+    const std::string_view req(buf, got);
+    const auto line_end = req.find_first_of("\r\n");
+    const auto line = req.substr(0, line_end);
+    const auto sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos) return;
+    const auto sp2 = line.find(' ', sp1 + 1);
+    method = std::string(line.substr(0, sp1));
+    auto target = sp2 == std::string_view::npos
+                      ? line.substr(sp1 + 1)
+                      : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const auto query = target.find('?');
+    if (query != std::string_view::npos) target = target.substr(0, query);
+    path = std::string(target);
+  }
+
+  std::string body;
+  std::string content_type;
+  std::string status_line;
+  if (method != "GET") {
+    status_line = "HTTP/1.0 405 Method Not Allowed";
+    body = "GET only\n";
+    content_type = "text/plain";
+  } else if (handle(path, body, content_type)) {
+    status_line = "HTTP/1.0 200 OK";
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "unknown path (try /metrics /cycles /flight)\n";
+    content_type = "text/plain";
+  }
+
+  std::string response;
+  response.reserve(body.size() + 160);
+  response += status_line;
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  write_all(fd, response);
+}
+
+}  // namespace sds::telemetry

@@ -1,0 +1,80 @@
+// Minimal live-introspection HTTP endpoint.
+//
+// Every daemon (and the global controller server) can expose three GET
+// routes on a loopback port:
+//
+//   /metrics   Prometheus text exposition of the component's registry
+//   /cycles    JSON array of recent control-cycle summaries (per-phase
+//              latency + degraded flag), newest last
+//   /flight    JSON dump of the always-on flight recorder ring
+//
+// The server is deliberately tiny: HTTP/1.0, GET only, one short-lived
+// connection per request, a single accept thread, no external
+// dependencies. It exists for operators and tests (`curl
+// localhost:PORT/flight`), not for load. Port 0 binds an ephemeral port;
+// `port()` reports the bound one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
+
+namespace sds::telemetry {
+
+class IntrospectionServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = ephemeral (query via port() after start()).
+    std::uint16_t port = 0;
+    /// Component name stamped into /flight dumps (and the index page).
+    std::string component;
+    /// Source for /metrics (nullptr -> 404).
+    MetricsRegistry* registry = nullptr;
+    /// Source for /flight (nullptr -> 404).
+    const FlightRecorder* flight = nullptr;
+    /// Source for /cycles: returns a complete JSON document (nullptr ->
+    /// 404). A callback keeps this layer independent of core::CycleStats.
+    std::function<std::string()> cycles_json;
+  };
+
+  explicit IntrospectionServer(Options options);
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  /// Bind + listen + start the accept thread. Call at most once.
+  [[nodiscard]] Status start();
+  /// Stop accepting and join the thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Route a request path to a response body + content type; exposed for
+  /// tests that don't want to open sockets. Returns false -> 404.
+  [[nodiscard]] bool handle(const std::string& path, std::string& body,
+                            std::string& content_type) const;
+
+ private:
+  void serve_loop();
+  void serve_one(int fd) const;
+
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace sds::telemetry

@@ -41,6 +41,14 @@ struct TelemetryOptions {
   /// When true (and `tracer` is null), the component owns a private
   /// tracer and the reporter flushes `<component>.trace.json` on stop.
   bool trace = false;
+  /// Track id this component's spans record on. Distinct per component
+  /// when several share one external tracer (0 = the global controller
+  /// by convention).
+  std::uint32_t track = 0;
+  /// Serve live introspection over HTTP (/metrics, /cycles, /flight) on
+  /// 127.0.0.1:`introspect_port` (0 = kernel-assigned ephemeral port).
+  bool introspect = false;
+  std::uint16_t introspect_port = 0;
 };
 
 class TelemetryReporter {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.h"
@@ -19,6 +20,53 @@
 #include "common/thread_annotations.h"
 
 namespace sds::telemetry {
+
+/// Control-cycle phase a span attributes time to. The five-phase split
+/// refines the classic collect/compute/enforce triple: `aggregate` is the
+/// tail of collection spent merging/relaying above the stages, and
+/// `disseminate` is the head of enforcement spent pushing rules down
+/// before any stage applies them.
+enum class SpanPhase : std::uint8_t {
+  kNone = 0,
+  kCollect,
+  kAggregate,
+  kCompute,
+  kDisseminate,
+  kEnforce,
+};
+
+[[nodiscard]] constexpr const char* to_string(SpanPhase phase) {
+  switch (phase) {
+    case SpanPhase::kCollect: return "collect";
+    case SpanPhase::kAggregate: return "aggregate";
+    case SpanPhase::kCompute: return "compute";
+    case SpanPhase::kDisseminate: return "disseminate";
+    case SpanPhase::kEnforce: return "enforce";
+    case SpanPhase::kNone: break;
+  }
+  return "none";
+}
+
+/// Deterministic span-id derivation: FNV-1a over (trace, track, name).
+/// Ids must not depend on recording order — the parallel sim records
+/// spans from several lanes — so they are pure functions of stable keys.
+/// The same logical span re-recorded (e.g. a duplicated wire delivery)
+/// derives the same id, which is how trace_report spots duplicates.
+[[nodiscard]] constexpr std::uint64_t derive_span_id(
+    std::uint64_t trace_id, std::uint32_t track, std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  for (int i = 0; i < 64; i += 8) {
+    h = (h ^ ((trace_id >> i) & 0xff)) * kPrime;
+  }
+  for (int i = 0; i < 32; i += 8) {
+    h = (h ^ ((track >> i) & 0xff)) * kPrime;
+  }
+  for (const char c : name) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * kPrime;
+  }
+  return h != 0 ? h : 1;  // 0 is reserved for "no span"
+}
 
 /// One completed span. Timestamps are whatever clock the producer used:
 /// virtual nanoseconds in the simulator, steady-clock nanoseconds live.
@@ -35,6 +83,14 @@ struct Span {
   std::string detail;
   Nanos start{0};
   Nanos duration{0};
+  /// Causal identity: which trace this span belongs to (cycle number by
+  /// convention), its own id, and the id of the span that caused it
+  /// (0 = root / unknown). Ids come from derive_span_id.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  /// Cycle phase this span attributes time to (kNone when not phased).
+  SpanPhase phase = SpanPhase::kNone;
 };
 
 class SpanTracer {

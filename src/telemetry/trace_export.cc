@@ -76,6 +76,20 @@ std::string to_chrome_trace_json(const SpanTracer& tracer,
     out += "\",\"args\":{\"cycle\":";
     std::snprintf(buf, sizeof(buf), "%" PRIu64, span.cycle);
     out += buf;
+    if (span.trace_id != 0 || span.span_id != 0) {
+      // Causal identity: lets trace_report stitch parent/child chains and
+      // flag duplicate deliveries (same span id recorded twice).
+      std::snprintf(buf, sizeof(buf),
+                    ",\"trace\":%" PRIu64 ",\"span\":%" PRIu64
+                    ",\"parent\":%" PRIu64,
+                    span.trace_id, span.span_id, span.parent_span);
+      out += buf;
+    }
+    if (span.phase != SpanPhase::kNone) {
+      out += ",\"phase\":\"";
+      out += to_string(span.phase);
+      out += "\"";
+    }
     if (!span.detail.empty()) {
       out += ",\"detail\":\"";
       out += json_escape(span.detail);

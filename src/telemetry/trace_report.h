@@ -1,0 +1,92 @@
+// Offline analysis of exported traces: per-phase breakdown and critical
+// paths.
+//
+// `tools/trace_report` (and tests) feed this either a Chrome-tracing JSON
+// document produced by trace_export.h or a metrics JSONL file produced by
+// export.h, and get back per-cycle / per-phase attribution tables: where
+// did each control cycle spend its time, which hop dominated the critical
+// path, and were any spans delivered twice (duplicate wire deliveries
+// derive identical span ids, so they are detectable after the fact).
+//
+// The JSON reader is scoped to the documents this repo emits (flat event
+// objects with one level of "args" nesting) — it is not a general JSON
+// parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sds::telemetry {
+
+/// One parsed trace event ("ph":"X" complete spans only).
+struct TraceSpan {
+  std::string name;
+  std::string category;
+  std::string phase;  // "" when unphased
+  std::uint32_t track = 0;
+  std::uint64_t cycle = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  double ts_us = 0;
+  double dur_us = 0;
+};
+
+struct ParsedTrace {
+  std::string process_name;
+  std::map<std::uint32_t, std::string> track_names;
+  std::vector<TraceSpan> spans;
+};
+
+/// Parse a Chrome-tracing JSON document (the trace_export.h flavour).
+[[nodiscard]] Result<ParsedTrace> parse_chrome_trace(const std::string& json);
+
+/// Aggregated per-phase attribution across all cycles in a trace.
+struct PhaseRow {
+  std::string phase;
+  std::size_t count = 0;
+  double total_us = 0;
+  double mean_us = 0;
+  double max_us = 0;
+  /// Share of the summed cycle time (%; sub-phases overlap their parents,
+  /// so rows need not sum to 100).
+  double share_pct = 0;
+};
+
+/// One hop on the critical path of the slowest cycle.
+struct CriticalHop {
+  std::string name;
+  std::string component;  // track name (or "track N")
+  double dur_us = 0;
+};
+
+struct TraceReport {
+  std::size_t cycles = 0;
+  /// Sum / mean / max over per-cycle root span durations.
+  double total_cycle_us = 0;
+  double mean_cycle_us = 0;
+  double max_cycle_us = 0;
+  std::uint64_t slowest_cycle = 0;
+  std::vector<PhaseRow> phases;
+  /// Deepest-end-time walk from the slowest cycle's root span.
+  std::vector<CriticalHop> critical_path;
+  /// Span ids recorded more than once inside one trace (e.g. duplicated
+  /// deliveries under chaos) — flagged, never double-counted.
+  std::size_t duplicate_spans = 0;
+  std::size_t total_spans = 0;
+};
+
+[[nodiscard]] TraceReport build_report(const ParsedTrace& trace);
+
+/// Render the report as the fixed-width tables the CLI prints.
+[[nodiscard]] std::string format_report(const TraceReport& report);
+
+/// Summarize `sds_cycle_*` samples out of a metrics JSONL document (the
+/// export.h flavour): one line per histogram family/phase label.
+[[nodiscard]] std::string summarize_metrics_jsonl(const std::string& jsonl);
+
+}  // namespace sds::telemetry

@@ -383,10 +383,27 @@ class TcpEndpoint final : public Endpoint {
       }
       const std::size_t total = wire::kFrameHeaderSize + header->length;
       if (buf.size() - offset < total) break;
+      std::size_t body_end = offset + total;
+      const bool traced = (header->flags & wire::kFlagTraceContext) != 0;
+      if (traced && header->length < wire::kTraceContextSize) {
+        SDS_LOG(WARN) << address_
+                      << ": protocol error: trace flag on short frame";
+        close_conn(conn, /*notify=*/true);
+        return false;
+      }
       wire::Frame frame;
       frame.type = header->type;
+      if (traced) {
+        // The 16-byte trace trailer sits after the message payload; strip
+        // it so the message decoders see exactly the payload bytes.
+        frame.trace = wire::TraceContext::decode_trailer(
+            std::span<const std::uint8_t>(
+                buf.data() + body_end - wire::kTraceContextSize,
+                wire::kTraceContextSize));
+        body_end -= wire::kTraceContextSize;
+      }
       frame.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(offset + wire::kFrameHeaderSize),
-                           buf.begin() + static_cast<std::ptrdiff_t>(offset + total));
+                           buf.begin() + static_cast<std::ptrdiff_t>(body_end));
       counters_.on_receive(total);
       deliver_frame(conn.id, std::move(frame));
       offset += total;

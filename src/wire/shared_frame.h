@@ -101,20 +101,25 @@ class SharedFrame {
   /// the reservation (messages expose wire_size() for exactly this); the
   /// header's length field is patched from the bytes actually written.
   template <typename PayloadWriter>
-  [[nodiscard]] static SharedFrame encode(std::uint16_t type,
-                                          std::size_t size_hint,
-                                          PayloadWriter&& encode_payload) {
+  [[nodiscard]] static SharedFrame encode(
+      std::uint16_t type, std::size_t size_hint,
+      PayloadWriter&& encode_payload,
+      std::optional<TraceContext> trace = std::nullopt) {
     Bytes buf = detail::BufferPool::local().acquire();
     Encoder enc(buf);
     enc.reserve(kFrameHeaderSize + size_hint);
-    const FrameHeader header{type, 0, static_cast<std::uint32_t>(size_hint)};
+    const std::uint16_t flags = trace ? kFlagTraceContext : 0;
+    const FrameHeader header{type, flags,
+                             static_cast<std::uint32_t>(size_hint)};
     header.encode(enc);
     encode_payload(enc);
+    if (trace) trace->encode(enc);
     const auto length = static_cast<std::uint32_t>(buf.size() - kFrameHeaderSize);
     std::memcpy(buf.data() + 8, &length, sizeof(length));
     EncodeStats::frames_encoded.fetch_add(1, std::memory_order_relaxed);
     SharedFrame out;
     out.type_ = type;
+    out.flags_ = flags;
     out.image_ = std::make_shared<detail::PooledImage>(std::move(buf));
     return out;
   }
@@ -122,8 +127,9 @@ class SharedFrame {
   /// Wrap an already-built Frame (one serialize; used at API boundaries
   /// that only have a Frame).
   [[nodiscard]] static SharedFrame from_frame(const Frame& frame) {
-    return encode(frame.type, frame.payload.size(),
-                  [&frame](Encoder& enc) { enc.put_raw(frame.payload); });
+    return encode(
+        frame.type, frame.payload.size(),
+        [&frame](Encoder& enc) { enc.put_raw(frame.payload); }, frame.trace);
   }
 
   [[nodiscard]] bool empty() const { return image_ == nullptr; }
@@ -135,11 +141,17 @@ class SharedFrame {
                   : std::span<const std::uint8_t>{};
   }
 
-  /// Payload view (what the frame handler on the receiving side sees).
+  /// Payload view (what the frame handler on the receiving side sees) —
+  /// the trace trailer, if any, is excluded.
   [[nodiscard]] std::span<const std::uint8_t> payload() const {
     auto image = wire_image();
-    return image.size() >= kFrameHeaderSize ? image.subspan(kFrameHeaderSize)
-                                            : std::span<const std::uint8_t>{};
+    if (image.size() < kFrameHeaderSize) return {};
+    auto body = image.subspan(kFrameHeaderSize);
+    if ((flags_ & kFlagTraceContext) != 0 &&
+        body.size() >= kTraceContextSize) {
+      body = body.first(body.size() - kTraceContextSize);
+    }
+    return body;
   }
 
   [[nodiscard]] std::size_t wire_size() const { return wire_image().size(); }
@@ -147,18 +159,27 @@ class SharedFrame {
   /// Reference count (diagnostics/tests only).
   [[nodiscard]] long use_count() const { return image_.use_count(); }
 
-  /// Materialize an owned Frame — the receiving side's single copy.
+  /// Materialize an owned Frame — the receiving side's single copy. The
+  /// trace trailer (if present) is decoded back into `Frame::trace`.
   [[nodiscard]] Frame to_frame() const {
     Frame frame;
     frame.type = type_;
     const auto p = payload();
     frame.payload.assign(p.begin(), p.end());
+    if ((flags_ & kFlagTraceContext) != 0) {
+      auto image = wire_image();
+      if (image.size() >= kFrameHeaderSize + kTraceContextSize) {
+        frame.trace = TraceContext::decode_trailer(
+            image.last(kTraceContextSize));
+      }
+    }
     return frame;
   }
 
  private:
   std::shared_ptr<const detail::PooledImage> image_;
   std::uint16_t type_ = 0;
+  std::uint16_t flags_ = 0;
 };
 
 }  // namespace sds::wire

@@ -117,6 +117,50 @@ TEST(HistogramTest, MergeWithEmpty) {
   EXPECT_EQ(b.min(), 42);
 }
 
+TEST(HistogramTest, MergeMatchesHistogramOfConcatenation) {
+  // merge(a, b) must be indistinguishable from recording the concatenated
+  // stream into one histogram: same buckets, same exact moments, same
+  // percentile at every quantile.
+  Histogram left;
+  Histogram right;
+  Histogram all;
+  Rng rng(17);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_below(10'000'000));
+    all.record(v);
+    (i % 3 == 0 ? left : right).record(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+  // Moments are exact up to floating-point summation order (the split
+  // streams accumulate sum/sum_sq in a different order).
+  EXPECT_NEAR(left.mean(), all.mean(), std::abs(all.mean()) * 1e-12);
+  EXPECT_NEAR(left.stddev(), all.stddev(), std::abs(all.stddev()) * 1e-9);
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_EQ(left.percentile(q), all.percentile(q)) << "quantile " << q;
+  }
+}
+
+TEST(HistogramTest, PercentileAtBucketBoundaries) {
+  // q=0 must return the exact recorded minimum and q=1 the exact maximum,
+  // even when those values sit on log-bucket boundaries far apart.
+  Histogram h;
+  h.record(3);
+  h.record(1'000);
+  h.record(1'048'576);  // 2^20, a bucket edge
+  EXPECT_EQ(h.percentile(0.0), 3);
+  EXPECT_EQ(h.percentile(1.0), 1'048'576);
+  // A two-value histogram: the median rank lands on the lower value.
+  Histogram two;
+  two.record(10);
+  two.record(1'000'000);
+  EXPECT_EQ(two.percentile(0.0), 10);
+  EXPECT_EQ(two.percentile(1.0), 1'000'000);
+  EXPECT_LE(two.percentile(0.5), two.percentile(0.51));
+}
+
 TEST(HistogramTest, ResetClears) {
   Histogram h;
   h.record(1);

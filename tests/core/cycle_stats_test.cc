@@ -36,6 +36,84 @@ TEST(CycleStatsTest, ResetClearsEverything) {
   EXPECT_DOUBLE_EQ(stats.mean_total_ms(), 0.0);
 }
 
+TEST(PhaseBreakdownTest, SubSegmentsPartitionCollectAndEnforce) {
+  PhaseBreakdown b;
+  b.collect = millis(10);
+  b.compute = millis(5);
+  b.enforce = millis(15);
+  b.aggregate = millis(4);
+  b.disseminate = millis(6);
+  // The sub-segments refine, never extend: total is still the triple.
+  EXPECT_EQ(b.total(), millis(30));
+  EXPECT_EQ(b.collect_stages(), millis(6));
+  EXPECT_EQ(b.enforce_apply(), millis(9));
+}
+
+TEST(CycleStatsTest, FullDetailRecordFeedsAttributedHistograms) {
+  CycleStats stats;
+  PhaseBreakdown clean;
+  clean.collect = millis(10);
+  clean.compute = millis(5);
+  clean.enforce = millis(15);
+  clean.aggregate = millis(4);
+  clean.disseminate = millis(6);
+  PhaseBreakdown slow = clean;
+  slow.collect = millis(20);
+  stats.record(/*cycle_id=*/1, clean, /*degraded=*/false);
+  stats.record(/*cycle_id=*/2, slow, /*degraded=*/true, /*stale_stages=*/3);
+
+  EXPECT_EQ(stats.cycles(), 2u);
+  EXPECT_EQ(stats.aggregate().count(), 2u);
+  EXPECT_EQ(stats.aggregate().max(), millis(4).count());
+  EXPECT_EQ(stats.disseminate().max(), millis(6).count());
+  // Only the degraded cycle lands in the degraded-latency histogram.
+  EXPECT_EQ(stats.degraded_total_latency().count(), 1u);
+  EXPECT_EQ(stats.degraded_total_latency().max(), slow.total().count());
+
+  // The recent ring keeps full per-cycle detail for /cycles.
+  const auto recent = stats.recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].cycle, 1u);
+  EXPECT_FALSE(recent[0].degraded);
+  EXPECT_EQ(recent[1].cycle, 2u);
+  EXPECT_TRUE(recent[1].degraded);
+  EXPECT_EQ(recent[1].stale_stages, 3u);
+  EXPECT_EQ(recent[1].breakdown.collect, millis(20));
+}
+
+TEST(CycleStatsTest, RecentRingIsBounded) {
+  CycleStats stats;
+  for (std::uint64_t i = 1; i <= CycleStats::kRecentCapacity + 10; ++i) {
+    stats.record(i, {millis(1), millis(1), millis(1)}, false);
+  }
+  const auto recent = stats.recent();
+  ASSERT_EQ(recent.size(), CycleStats::kRecentCapacity);
+  // Oldest entries were evicted; the ring ends at the last cycle.
+  EXPECT_EQ(recent.front().cycle, 11u);
+  EXPECT_EQ(recent.back().cycle, CycleStats::kRecentCapacity + 10);
+}
+
+TEST(CycleStatsTest, RecentCyclesJsonCarriesAttributedFields) {
+  CycleStats stats;
+  PhaseBreakdown b;
+  b.collect = Nanos{100};
+  b.compute = Nanos{50};
+  b.enforce = Nanos{150};
+  b.aggregate = Nanos{40};
+  b.disseminate = Nanos{60};
+  stats.record(/*cycle_id=*/7, b, /*degraded=*/true, /*stale_stages=*/2);
+
+  const std::string json = recent_cycles_json(stats);
+  for (const char* key :
+       {"\"cycle\":7", "\"total_ns\":300", "\"collect_ns\":100",
+        "\"aggregate_ns\":40", "\"compute_ns\":50", "\"disseminate_ns\":60",
+        "\"enforce_ns\":150", "\"degraded\":true", "\"stale_stages\":2"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << "\n"
+                                                 << json;
+  }
+  EXPECT_EQ(json.back(), '\n');
+}
+
 TEST(PhaseTest, Names) {
   EXPECT_EQ(to_string(Phase::kCollect), "collect");
   EXPECT_EQ(to_string(Phase::kCompute), "compute");

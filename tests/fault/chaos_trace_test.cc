@@ -1,0 +1,169 @@
+// Trace-context propagation under chaos: dropped, duplicated and
+// delayed deliveries must never corrupt or leak the wire-level trace
+// trailer. Duplicates carry the identical context — so they derive
+// identical span ids downstream, which is how trace_report flags them.
+#include "fault/chaos_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "telemetry/span_tracer.h"
+#include "transport/inproc.h"
+
+namespace sds::fault {
+namespace {
+
+using namespace std::chrono_literals;
+
+wire::Frame traced_frame(std::uint64_t trace_id) {
+  wire::Frame frame;
+  frame.type = 1;
+  frame.payload.assign(4, 0x5A);
+  frame.trace = wire::TraceContext{
+      trace_id, telemetry::derive_span_id(trace_id, 0, "collect")};
+  return frame;
+}
+
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds deadline = 2000ms) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+/// Thread-safe sink recording each delivered frame's trace context.
+struct ContextSink {
+  std::mutex mu;
+  std::vector<std::optional<wire::TraceContext>> seen;
+
+  auto handler() {
+    return [this](ConnId, wire::Frame frame) {
+      const std::lock_guard<std::mutex> lock(mu);
+      seen.push_back(frame.trace);
+    };
+  }
+  std::size_t count() {
+    const std::lock_guard<std::mutex> lock(mu);
+    return seen.size();
+  }
+  std::vector<std::optional<wire::TraceContext>> snapshot() {
+    const std::lock_guard<std::mutex> lock(mu);
+    return seen;
+  }
+};
+
+TEST(ChaosTraceTest, DroppedTracedFramesVanishCleanly) {
+  transport::InProcNetwork base;
+  ChaosNetwork::Options options;
+  options.drop_probability = 1.0;
+  ChaosNetwork net(base, options);
+  auto server = net.bind("server", {}).value();
+  auto client = net.bind("client", {}).value();
+  ContextSink sink;
+  server->set_frame_handler(sink.handler());
+  const ConnId conn = client->connect("server").value();
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(client->send(conn, traced_frame(i)).is_ok());
+  }
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(sink.count(), 0u);
+  EXPECT_EQ(net.stats().dropped, 10u);
+}
+
+TEST(ChaosTraceTest, DuplicatedFramesCarryIdenticalContext) {
+  transport::InProcNetwork base;
+  ChaosNetwork::Options options;
+  options.duplicate_probability = 1.0;
+  ChaosNetwork net(base, options);
+  auto server = net.bind("server", {}).value();
+  auto client = net.bind("client", {}).value();
+  ContextSink sink;
+  server->set_frame_handler(sink.handler());
+  const ConnId conn = client->connect("server").value();
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(client->send(conn, traced_frame(i)).is_ok());
+  }
+  ASSERT_TRUE(eventually([&] { return sink.count() == 10; }));
+  EXPECT_EQ(net.stats().duplicated, 5u);
+
+  // Every delivery kept its context; both copies of each frame carry the
+  // same (trace, parent) pair, so downstream derive_span_id yields the
+  // same id twice — detectable, never corrupted.
+  std::map<std::uint64_t, int> per_trace;
+  for (const auto& ctx : sink.snapshot()) {
+    ASSERT_TRUE(ctx.has_value());
+    EXPECT_EQ(ctx->parent_span,
+              telemetry::derive_span_id(ctx->trace_id, 0, "collect"));
+    ++per_trace[ctx->trace_id];
+  }
+  ASSERT_EQ(per_trace.size(), 5u);
+  for (const auto& [trace, copies] : per_trace) {
+    EXPECT_EQ(copies, 2) << "trace " << trace;
+  }
+}
+
+TEST(ChaosTraceTest, DelayedFramesArriveWithContextIntact) {
+  transport::InProcNetwork base;
+  ChaosNetwork::Options options;
+  options.delay_probability = 1.0;
+  options.delay = millis(5);
+  ChaosNetwork net(base, options);
+  auto server = net.bind("server", {}).value();
+  auto client = net.bind("client", {}).value();
+  ContextSink sink;
+  server->set_frame_handler(sink.handler());
+  const ConnId conn = client->connect("server").value();
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(client->send(conn, traced_frame(i)).is_ok());
+  }
+  ASSERT_TRUE(eventually([&] { return sink.count() == 5; }));
+  EXPECT_EQ(net.stats().delayed, 5u);
+  for (const auto& ctx : sink.snapshot()) {
+    ASSERT_TRUE(ctx.has_value());
+    EXPECT_EQ(ctx->parent_span,
+              telemetry::derive_span_id(ctx->trace_id, 0, "collect"));
+  }
+}
+
+TEST(ChaosTraceTest, ContextNeverLeaksAcrossFrames) {
+  // Interleave traced and untraced frames through the chaos shim: an
+  // untraced frame must never pick up a neighbor's context.
+  transport::InProcNetwork base;
+  ChaosNetwork net(base, ChaosNetwork::Options{});
+  auto server = net.bind("server", {}).value();
+  auto client = net.bind("client", {}).value();
+  ContextSink sink;
+  server->set_frame_handler(sink.handler());
+  const ConnId conn = client->connect("server").value();
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(client->send(conn, traced_frame(i)).is_ok());
+    } else {
+      wire::Frame bare;
+      bare.type = 1;
+      bare.payload.assign(4, 0x5A);
+      ASSERT_TRUE(client->send(conn, bare).is_ok());
+    }
+  }
+  ASSERT_TRUE(eventually([&] { return sink.count() == 10; }));
+  std::size_t traced = 0;
+  for (const auto& ctx : sink.snapshot()) {
+    if (ctx.has_value()) {
+      ++traced;
+      EXPECT_EQ(ctx->trace_id % 2, 0u);
+    }
+  }
+  EXPECT_EQ(traced, 5u);
+}
+
+}  // namespace
+}  // namespace sds::fault

@@ -124,6 +124,47 @@ TEST(ResourceMonitorTest, BindPublishesGaugesOnSnapshot) {
   ASSERT_NE(snap.find("sds_transport_rx_mbps", labels), nullptr);
 }
 
+TEST(PhaseResourceProbeTest, AttributesCpuAndRssPerPhase) {
+  telemetry::MetricsRegistry registry;
+  PhaseResourceProbe probe;
+  probe.bind(registry, {{"component", "test"}});
+
+  probe.cycle_start();
+  // Burn CPU inside the "collect" window so its delta is non-trivial.
+  volatile double sink = 0;
+  for (int i = 0; i < 2'000'000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+  probe.mark("collect");
+  probe.mark("compute");
+
+  // Deltas are non-negative and cumulative across cycles.
+  EXPECT_GE(probe.cpu_time("collect").count(), 0);
+  EXPECT_GE(probe.cpu_time("compute").count(), 0);
+  const Nanos first_collect = probe.cpu_time("collect");
+  probe.cycle_start();
+  probe.mark("collect");
+  EXPECT_GE(probe.cpu_time("collect"), first_collect);
+  // Never-marked phases report zero.
+  EXPECT_EQ(probe.cpu_time("enforce").count(), 0);
+  EXPECT_EQ(probe.rss_delta("enforce"), 0);
+
+  const auto snap = registry.snapshot();
+  const telemetry::Labels collect_labels{{"component", "test"},
+                                         {"phase", "collect"}};
+  ASSERT_NE(snap.find("sds_phase_cpu_time_ns", collect_labels), nullptr);
+  EXPECT_GE(snap.find("sds_phase_cpu_time_ns", collect_labels)->value, 0.0);
+  ASSERT_NE(snap.find("sds_phase_rss_delta_bytes", collect_labels), nullptr);
+  const telemetry::Labels compute_labels{{"component", "test"},
+                                         {"phase", "compute"}};
+  ASSERT_NE(snap.find("sds_phase_cpu_time_ns", compute_labels), nullptr);
+}
+
+TEST(PhaseResourceProbeTest, UnboundProbeStillAccounts) {
+  PhaseResourceProbe probe;
+  probe.cycle_start();
+  probe.mark("collect");
+  EXPECT_GE(probe.cpu_time("collect").count(), 0);
+}
+
 TEST(ResourceMonitorTest, AddEndpointAfterConstruction) {
   transport::InProcNetwork net;
   auto a = net.bind("a", {}).value();

@@ -74,6 +74,24 @@ TEST(PrometheusExportTest, FamilyHeaderEmittedOncePerName) {
   EXPECT_EQ(lines[2], "hits_total{route=\"/b\"} 2");
 }
 
+TEST(PrometheusExportTest, EscapesLabelValues) {
+  // Prometheus text format requires backslash, double-quote and line-feed
+  // escaped inside label values; everything else passes through verbatim.
+  EXPECT_EQ(prom_escape_label_value("plain"), "plain");
+  EXPECT_EQ(prom_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom_escape_label_value("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(prom_escape_label_value("C:\\tmp\n\"x\""),
+            "C:\\\\tmp\\n\\\"x\\\"");
+
+  MetricsRegistry registry;
+  registry.counter("hits_total", {{"path", "C:\\tmp\n\"x\""}})->add(1);
+  const std::string text = to_prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("hits_total{path=\"C:\\\\tmp\\n\\\"x\\\"\"} 1"),
+            std::string::npos)
+      << text;
+}
+
 TEST(JsonlExportTest, CounterGolden) {
   MetricsRegistry registry;
   registry.counter("requests_total", {{"component", "x"}})->add(3);

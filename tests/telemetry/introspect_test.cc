@@ -1,0 +1,120 @@
+// Live introspection endpoint: route handling for /metrics, /cycles and
+// /flight (socket-free via handle()), plus one real HTTP round trip over
+// a loopback socket on an ephemeral port.
+#include "telemetry/introspect.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span_tracer.h"
+
+namespace sds::telemetry {
+namespace {
+
+TEST(IntrospectionTest, HandleRoutesAllThreeSources) {
+  MetricsRegistry registry;
+  registry.counter("sds_cycles_total")->add(5);
+  FlightRecorder flight;
+  Span span;
+  span.name = "collect";
+  span.trace_id = 1;
+  span.span_id = derive_span_id(1, 0, "collect");
+  flight.record(span);
+
+  IntrospectionServer::Options options;
+  options.component = "global";
+  options.registry = &registry;
+  options.flight = &flight;
+  options.cycles_json = [] { return std::string("{\"cycles\":[]}\n"); };
+  const IntrospectionServer server(std::move(options));
+
+  std::string body;
+  std::string type;
+  ASSERT_TRUE(server.handle("/metrics", body, type));
+  EXPECT_NE(body.find("sds_cycles_total 5"), std::string::npos) << body;
+  EXPECT_NE(type.find("text/plain"), std::string::npos);
+
+  ASSERT_TRUE(server.handle("/cycles", body, type));
+  EXPECT_EQ(body, "{\"cycles\":[]}\n");
+  EXPECT_EQ(type, "application/json");
+
+  ASSERT_TRUE(server.handle("/flight", body, type));
+  EXPECT_NE(body.find("\"component\":\"global\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"name\":\"collect\""), std::string::npos);
+  EXPECT_EQ(type, "application/json");
+
+  // The index page lists the routes; anything else is a 404.
+  ASSERT_TRUE(server.handle("/", body, type));
+  EXPECT_NE(body.find("/metrics"), std::string::npos);
+  EXPECT_FALSE(server.handle("/nope", body, type));
+}
+
+TEST(IntrospectionTest, MissingSourcesYield404) {
+  const IntrospectionServer server(IntrospectionServer::Options{});
+  std::string body;
+  std::string type;
+  EXPECT_FALSE(server.handle("/metrics", body, type));
+  EXPECT_FALSE(server.handle("/cycles", body, type));
+  EXPECT_FALSE(server.handle("/flight", body, type));
+}
+
+/// Blocking GET against 127.0.0.1:port; returns the raw HTTP response.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(IntrospectionTest, ServesHttpOnEphemeralPort) {
+  MetricsRegistry registry;
+  registry.counter("sds_cycles_total")->add(2);
+
+  IntrospectionServer::Options options;
+  options.port = 0;  // ephemeral
+  options.registry = &registry;
+  IntrospectionServer server(std::move(options));
+  ASSERT_TRUE(server.start().is_ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string ok = http_get(server.port(), "/metrics");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("sds_cycles_total 2"), std::string::npos) << ok;
+
+  const std::string missing = http_get(server.port(), "/flight");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // stop() is idempotent.
+  server.stop();
+}
+
+}  // namespace
+}  // namespace sds::telemetry

@@ -101,12 +101,13 @@ TEST(RuntimeTelemetryTest, FlatServersShareOneRegistry) {
   ASSERT_NE(answered, nullptr);
   EXPECT_DOUBLE_EQ(answered->value, 12.0);  // 3 cycles × 4 stages
 
-  // The shared tracer holds one cycle + three phase spans per cycle.
-  EXPECT_EQ(tracer.recorded(), 12u);
+  // The shared tracer holds one cycle + five phase spans per cycle (the
+  // three wall phases plus the aggregate/disseminate sub-segments).
+  EXPECT_EQ(tracer.recorded(), 18u);
   int cycle_spans = 0;
   for (const auto& span : tracer.snapshot()) {
     EXPECT_EQ(span.category, "cycle");
-    EXPECT_GT(span.duration, Nanos{0});
+    EXPECT_GE(span.duration, Nanos{0});  // sub-segments may be empty
     if (span.name == "cycle") ++cycle_spans;
   }
   EXPECT_EQ(cycle_spans, 3);

@@ -1,0 +1,137 @@
+// trace_report analysis layer: parse an exported Chrome trace back,
+// build per-phase attribution tables, flag duplicated span deliveries,
+// and reproduce the CycleStats totals the engine recorded (the CLI's
+// acceptance bar is agreement within 1%).
+#include "telemetry/trace_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "sim/experiment.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span_tracer.h"
+#include "telemetry/trace_export.h"
+
+namespace sds::telemetry {
+namespace {
+
+TEST(TraceReportTest, SimRunReportMatchesCycleStatsWithinOnePercent) {
+  SpanTracer tracer;
+  sim::ExperimentConfig config;
+  config.num_stages = 100;
+  config.num_aggregators = 2;
+  config.stages_per_job = 50;
+  config.max_cycles = 5;
+  config.duration = seconds(120);
+  config.tracer = &tracer;
+
+  const auto result = sim::run_experiment(config);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  ASSERT_EQ(result.value().cycles, 5u);
+
+  const std::string json = to_chrome_trace_json(tracer, "sds simulation");
+  const auto parsed = parse_chrome_trace(json);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().process_name, "sds simulation");
+  EXPECT_FALSE(parsed.value().track_names.empty());
+
+  const TraceReport report = build_report(parsed.value());
+  EXPECT_EQ(report.cycles, 5u);
+  EXPECT_EQ(report.duplicate_spans, 0u);
+  EXPECT_GT(report.total_spans, 5u * 6u);  // 6 cycle spans + hop spans
+
+  // The root spans carry exactly the per-cycle totals CycleStats
+  // recorded: the summed cycle latency must agree within 1% (the only
+  // slack is ns -> us rounding in the exporter).
+  const auto& stats = result.value().stats;
+  const double stats_total_us =
+      stats.total().mean() * static_cast<double>(stats.total().count()) / 1e3;
+  ASSERT_GT(stats_total_us, 0.0);
+  EXPECT_NEAR(report.total_cycle_us, stats_total_us, stats_total_us * 0.01);
+  EXPECT_NEAR(report.max_cycle_us,
+              static_cast<double>(stats.total().max()) / 1e3,
+              static_cast<double>(stats.total().max()) / 1e3 * 0.01);
+
+  // All five phases appear, in canonical order, each once per cycle on
+  // the controller track (hop spans add to collect/enforce counts).
+  ASSERT_EQ(report.phases.size(), 5u);
+  const char* order[] = {"collect", "aggregate", "compute", "disseminate",
+                         "enforce"};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(report.phases[i].phase, order[i]);
+    EXPECT_GE(report.phases[i].count, 5u) << order[i];
+  }
+
+  // The critical path starts at the slowest cycle's root span.
+  ASSERT_FALSE(report.critical_path.empty());
+  EXPECT_EQ(report.critical_path.front().name, "cycle");
+  EXPECT_EQ(report.critical_path.front().component, "global controller");
+  EXPECT_GE(report.critical_path.size(), 2u);
+
+  const std::string rendered = format_report(report);
+  EXPECT_NE(rendered.find("per-phase breakdown"), std::string::npos);
+  EXPECT_NE(rendered.find("collect"), std::string::npos);
+  EXPECT_NE(rendered.find("critical path"), std::string::npos);
+}
+
+TEST(TraceReportTest, DuplicateSpanIdsAreFlaggedNotDoubleCounted) {
+  // Hand-built trace: one cycle with a collect child delivered twice
+  // (identical trace/span ids — what a duplicated wire delivery derives).
+  const std::string json = R"({"displayTimeUnit":"ms","traceEvents":[
+{"ph":"M","name":"process_name","args":{"name":"dup"}},
+{"ph":"M","name":"thread_name","tid":0,"args":{"name":"global controller"}},
+{"ph":"X","name":"cycle","cat":"cycle","tid":0,"ts":0,"dur":100,"args":{"cycle":1,"trace":1,"span":10,"parent":0}},
+{"ph":"X","name":"collect","cat":"cycle","tid":0,"ts":0,"dur":60,"args":{"cycle":1,"trace":1,"span":11,"parent":10,"phase":"collect"}},
+{"ph":"X","name":"collect","cat":"cycle","tid":0,"ts":0,"dur":60,"args":{"cycle":1,"trace":1,"span":11,"parent":10,"phase":"collect"}},
+{"ph":"X","name":"compute","cat":"cycle","tid":0,"ts":60,"dur":40,"args":{"cycle":1,"trace":1,"span":12,"parent":10,"phase":"compute"}}
+]})";
+
+  const auto parsed = parse_chrome_trace(json);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed.value().spans.size(), 4u);
+
+  const TraceReport report = build_report(parsed.value());
+  EXPECT_EQ(report.cycles, 1u);
+  EXPECT_EQ(report.duplicate_spans, 1u);
+  EXPECT_DOUBLE_EQ(report.total_cycle_us, 100.0);
+  // The duplicated collect span counts once in the phase rows.
+  ASSERT_EQ(report.phases.size(), 2u);
+  EXPECT_EQ(report.phases[0].phase, "collect");
+  EXPECT_EQ(report.phases[0].count, 1u);
+  EXPECT_DOUBLE_EQ(report.phases[0].total_us, 60.0);
+  // Critical path: cycle -> compute (latest end time among children).
+  ASSERT_EQ(report.critical_path.size(), 2u);
+  EXPECT_EQ(report.critical_path[0].name, "cycle");
+  EXPECT_EQ(report.critical_path[1].name, "compute");
+
+  const std::string rendered = format_report(report);
+  EXPECT_NE(rendered.find("duplicates flagged: 1"), std::string::npos)
+      << rendered;
+}
+
+TEST(TraceReportTest, ParseRejectsDocumentsWithoutEvents) {
+  EXPECT_FALSE(parse_chrome_trace("{}").is_ok());
+  EXPECT_FALSE(parse_chrome_trace("not json at all").is_ok());
+}
+
+TEST(TraceReportTest, SummarizeMetricsJsonlPicksCycleHistograms) {
+  MetricsRegistry registry;
+  registry.histogram("sds_cycle_phase_latency_ns", {{"phase", "collect"}})
+      ->record(millis(2));
+  registry.histogram("sds_cycle_total_latency_ns")->record(millis(3));
+  registry.counter("sds_cycles_total")->add(1);  // not a histogram: skipped
+  registry.histogram("unrelated_ns")->record(1);  // wrong family: skipped
+
+  const std::string summary = summarize_metrics_jsonl(to_jsonl(registry.snapshot()));
+  EXPECT_NE(summary.find("sds_cycle_phase_latency_ns"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("collect"), std::string::npos);
+  EXPECT_NE(summary.find("sds_cycle_total_latency_ns"), std::string::npos);
+  EXPECT_EQ(summary.find("unrelated_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sds::telemetry

@@ -109,6 +109,30 @@ TEST(SdslintRules, UnorderedIterationHitsInSimAndBench) {
       << bench.output;
 }
 
+TEST(SdslintRules, SpanStampWallClockHitsInSimAndBench) {
+  // bench/: wall clocks are fine for throughput measurement (wall_ns),
+  // but a statement that stamps a span with one is flagged, and the
+  // inline allow() suppresses the second occurrence.
+  const RunResult bench = run_sdslint(fixture("bench/bad_span_wallclock.cc"));
+  EXPECT_EQ(bench.exit_code, 1) << bench.output;
+  EXPECT_NE(bench.output.find("[span-wallclock]"), std::string::npos)
+      << bench.output;
+  EXPECT_NE(bench.output.find("bad_span_wallclock.cc:21:"), std::string::npos)
+      << bench.output;
+  EXPECT_EQ(bench.output.find("bad_span_wallclock.cc:16:"), std::string::npos)
+      << bench.output;
+  EXPECT_EQ(bench.output.find("bad_span_wallclock.cc:26:"), std::string::npos)
+      << bench.output;
+
+  // sim/: fires alongside the general sim-wallclock determinism rule.
+  const RunResult sim = run_sdslint(fixture("sim/bad_span_wallclock.cc"));
+  EXPECT_EQ(sim.exit_code, 1) << sim.output;
+  EXPECT_NE(sim.output.find("[span-wallclock]"), std::string::npos)
+      << sim.output;
+  EXPECT_NE(sim.output.find("[sim-wallclock]"), std::string::npos)
+      << sim.output;
+}
+
 TEST(SdslintRules, WallClockHitsInFault) {
   const RunResult r = run_sdslint(fixture("fault/bad_wallclock.cc"));
   EXPECT_EQ(r.exit_code, 1) << r.output;

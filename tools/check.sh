@@ -6,6 +6,9 @@
 #   ubsan     -DSDS_UBSAN=ON build + full ctest
 #   tsan      -DSDS_TSAN=ON build + `ctest -L 'tsan|resilience'` (the
 #             threaded suites plus the fault-injection suites)
+#   tracing   `ctest -L tracing` on the default tree (wire trace
+#             trailer, span attribution, flight recorder, introspection,
+#             trace_report)
 #   lint      sdslint over the tree + the `lint` ctest label
 #   tidy      clang-tidy with the checked-in .clang-tidy (skipped when
 #             clang-tidy is not installed)
@@ -41,7 +44,7 @@ for arg in "$@"; do
       exit 0
       ;;
     format) WITH_FORMAT=1 ;;
-    default|asan|ubsan|tsan|lint|tidy|tsa) STAGES+=("$arg") ;;
+    default|asan|ubsan|tsan|tracing|lint|tidy|tsa) STAGES+=("$arg") ;;
     *)
       echo "check.sh: unknown stage '$arg' (see --help)" >&2
       exit 2
@@ -49,7 +52,7 @@ for arg in "$@"; do
   esac
 done
 if [ "${#STAGES[@]}" -eq 0 ]; then
-  STAGES=(default asan ubsan tsan lint tidy tsa)
+  STAGES=(default asan ubsan tsan tracing lint tidy tsa)
 fi
 if [ "$WITH_FORMAT" -eq 1 ]; then
   STAGES+=(format)
@@ -99,6 +102,12 @@ run_stage() {
       configure_and_build build-check/tsan -DSDS_TSAN=ON || return 1
       TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp" \
         ctest --test-dir build-check/tsan -L 'tsan|resilience' -j "$JOBS" \
+        --output-on-failure || return 1
+      ;;
+    tracing)
+      note "causal-tracing suites: ctest -L tracing"
+      configure_and_build build-check/default || return 1
+      ctest --test-dir build-check/default -L tracing -j "$JOBS" \
         --output-on-failure || return 1
       ;;
     lint)

@@ -89,6 +89,9 @@ constexpr RuleInfo kRules[] = {
     {"fault-wallclock", "src/fault",
      "wall-clock time source in fault-plan code"},
     {"fault-rand", "src/fault", "unseeded randomness in fault-plan code"},
+    {"span-wallclock", "src/sim, bench",
+     "wall-clock read stamping a trace span (span times must come from "
+     "the virtual clock)"},
 };
 
 bool is_ident_char(char c) {
@@ -368,6 +371,7 @@ struct FileRules {
   bool sim = false;        // sim-wallclock/rand/sleep/thread
   bool fault = false;      // fault-wallclock/rand
   bool unordered = false;  // unordered-iter
+  bool span = false;       // span-wallclock
 };
 
 /// Rule applicability from path components: any `sim` directory
@@ -378,9 +382,9 @@ FileRules classify(const fs::path& path) {
   FileRules rules;
   for (const auto& part : path) {
     const std::string comp = part.string();
-    if (comp == "sim") rules.sim = rules.unordered = true;
+    if (comp == "sim") rules.sim = rules.unordered = rules.span = true;
     if (comp == "fault") rules.fault = true;
-    if (comp == "bench") rules.unordered = true;
+    if (comp == "bench") rules.unordered = rules.span = true;
   }
   return rules;
 }
@@ -517,6 +521,37 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
               std::string(fn) +
                   " is ambient randomness; every draw must derive from "
                   "FaultPlan::seed");
+        }
+      }
+    }
+
+    // Span stamps must carry virtual time: a trace whose sim-side spans
+    // mix engine Nanos with wall-clock reads is unstitchable (and breaks
+    // replay determinism). Applies to bench too, where wall clocks are
+    // otherwise legal for throughput measurement — just not on the same
+    // statement that stamps a span.
+    if (rules.span) {
+      const bool stamps_span =
+          find_word(code, "Span") != std::string::npos ||
+          find_word(code, "FlightRecord") != std::string::npos ||
+          code.find("span.start") != std::string::npos ||
+          code.find("span.duration") != std::string::npos;
+      if (stamps_span) {
+        for (const char* clock :
+             {"system_clock", "steady_clock", "high_resolution_clock",
+              "gettimeofday", "clock_gettime"}) {
+          if (find_word(code, clock) != std::string::npos) {
+            hit("span-wallclock",
+                std::string(clock) +
+                    " stamps a span with wall-clock time; span times must "
+                    "come from the virtual clock");
+          }
+        }
+        if (find_word(code, "time", /*require_call=*/true) !=
+            std::string::npos) {
+          hit("span-wallclock",
+              "time() stamps a span with wall-clock time; span times must "
+              "come from the virtual clock");
         }
       }
     }

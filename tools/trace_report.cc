@@ -1,0 +1,60 @@
+// trace_report — offline per-phase attribution for exported traces.
+//
+// Usage:
+//   trace_report <component>.trace.json     Chrome-tracing document →
+//                                           per-phase breakdown + the
+//                                           slowest cycle's critical path
+//   trace_report <component>.metrics.jsonl  metrics JSONL → one line per
+//                                           sds_cycle_* histogram family
+//
+// Both input flavours are produced by the telemetry reporter
+// (`telemetry.out_dir`); the Chrome document also comes out of
+// to_chrome_trace_json() in tests and the sim drivers.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/trace_report.h"
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: trace_report <trace.json | metrics.jsonl>\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string contents = buf.str();
+
+  if (ends_with(path, ".jsonl")) {
+    std::fputs(sds::telemetry::summarize_metrics_jsonl(contents).c_str(),
+               stdout);
+    return 0;
+  }
+
+  const auto trace = sds::telemetry::parse_chrome_trace(contents);
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "trace_report: %s: %s\n", path.c_str(),
+                 trace.status().to_string().c_str());
+    return 1;
+  }
+  const auto report = sds::telemetry::build_report(trace.value());
+  std::fputs(sds::telemetry::format_report(report).c_str(), stdout);
+  return 0;
+}
