@@ -22,15 +22,33 @@ int main(int argc, char** argv) {
   struct Point {
     std::size_t nodes;
     double paper_ms;  // 500/1250 read off the figure (approximate)
+    bool uncapped = false;
+    std::size_t max_cycles = 0;  // 0 = run the full duration
   };
-  const Point points[] = {{50, 1.11}, {500, 8.1}, {1250, 20.2}, {2500, 40.40}};
+  std::vector<Point> points = {
+      {50, 1.11}, {500, 8.1}, {1250, 20.2}, {2500, 40.40}};
+  if (bench::extended_flag(argc, argv)) {
+    // Projection beyond the paper: the flat design past Frontera's
+    // 2,500-connection cap (columnar store + delta collect keep the
+    // controller itself viable; the cap is what stops flat at 2,500).
+    // Lift the per-node cap and bound the horizon by cycle count — at
+    // 100k stages a full 10-simulated-second horizon takes minutes per
+    // repetition.
+    points.push_back({10'000, 0.0, true, 50});
+    points.push_back({100'000, 0.0, true, 20});
+  }
 
   int rc = 0;
   for (const auto& point : points) {
-    const std::string label = "flat N=" + std::to_string(point.nodes);
+    const std::string label = "flat N=" + std::to_string(point.nodes) +
+                              (point.uncapped ? " uncap" : "");
     sim::ExperimentConfig config;
     config.num_stages = point.nodes;
     config.duration = bench::bench_duration();
+    if (point.uncapped) {
+      config.profile.max_connections_per_node = 0;  // projection: cap lifted
+      config.max_cycles = point.max_cycles;
+    }
     telemetry.attach(config, label);
     sweep.add([&, label, point, config] {
       auto result = bench::run_repeated(config);

@@ -20,18 +20,37 @@ int main(int argc, char** argv) {
   bench::Sweep sweep(argc, argv);
 
   struct Point {
+    std::size_t nodes;
     std::size_t aggregators;
     double paper_ms;  // 5/10 read off the figure (approximate)
+    std::size_t max_cycles = 0;  // 0 = run the full duration
   };
-  const Point points[] = {{4, 103.0}, {5, 95.0}, {10, 79.0}, {20, 69.0}};
+  std::vector<Point> points = {{10'000, 4, 103.0},
+                               {10'000, 5, 95.0},
+                               {10'000, 10, 79.0},
+                               {10'000, 20, 69.0}};
+  if (bench::extended_flag(argc, argv)) {
+    // Projection beyond the paper: hierarchies at 100k and 1M stages
+    // with 2,000 stages per aggregator (the per-node connection cap
+    // still holds at every level). Bounded by cycle count — a 1M-stage
+    // cycle moves ~1M collect messages, so the full duration would take
+    // tens of minutes per repetition.
+    points.push_back({100'000, 50, 0.0, 20});
+    points.push_back({1'000'000, 500, 0.0, 5});
+  }
 
   int rc = 0;
   for (const auto& point : points) {
-    const std::string label = "hier A=" + std::to_string(point.aggregators);
+    const std::string label =
+        point.nodes == 10'000
+            ? "hier A=" + std::to_string(point.aggregators)
+            : "hier N=" + std::to_string(point.nodes) + " A=" +
+                  std::to_string(point.aggregators);
     sim::ExperimentConfig config;
-    config.num_stages = 10'000;
+    config.num_stages = point.nodes;
     config.num_aggregators = point.aggregators;
     config.duration = bench::bench_duration();
+    if (point.max_cycles > 0) config.max_cycles = point.max_cycles;
     telemetry.attach(config, label);
     sweep.add([&, label, point, config] {
       auto result = bench::run_repeated(config);

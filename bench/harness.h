@@ -172,6 +172,17 @@ inline bool quick_flag(int argc, char** argv) {
   return false;
 }
 
+/// True when `--extended` was passed. Figure benches that support it
+/// append projection rows beyond the paper's scales (100k–1M stages,
+/// million-stage control cycles); the default rows and their printed
+/// output stay byte-identical whether or not the flag is given.
+inline bool extended_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--extended") return true;
+  }
+  return false;
+}
+
 /// Resolve the simulator lane count for this bench process: --lanes=N
 /// beats SDSCALE_SIM_LANES beats serial (mirroring sweep_jobs). The flag
 /// is normalized into the env var, which run_experiment reads whenever a

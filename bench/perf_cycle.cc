@@ -254,6 +254,45 @@ double decode_msgs_per_sec(std::uint64_t total) {
   return static_cast<double>(ok) / seconds_since(start);
 }
 
+// The delta codec pair mirrors the full-frame pair: a low-churn update
+// (one field moved, no stage id — the wire shape of a steady-state
+// collect reply) built and encoded per iteration, and the same frame
+// decoded back.
+sds::proto::StageMetrics sample_metrics_next() {
+  auto next = sample_metrics();
+  ++next.cycle_id;
+  next.data_iops += 17.25;  // one changed field
+  return next;
+}
+
+double delta_encode_msgs_per_sec(std::uint64_t total) {
+  const auto prev = sample_metrics();
+  const auto curr = sample_metrics_next();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const auto delta =
+        sds::proto::StageMetricsDelta::make(prev, curr, /*include_stage_id=*/false);
+    const sds::wire::SharedFrame frame = sds::proto::to_shared_frame(delta);
+    if (frame.empty()) return 0;
+  }
+  return static_cast<double>(total) / seconds_since(start);
+}
+
+double delta_decode_msgs_per_sec(std::uint64_t total) {
+  const auto prev = sample_metrics();
+  const auto curr = sample_metrics_next();
+  const auto delta =
+      sds::proto::StageMetricsDelta::make(prev, curr, /*include_stage_id=*/false);
+  const sds::wire::Frame frame = sds::proto::to_frame(delta);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t ok = 0;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    auto decoded = sds::proto::from_frame<sds::proto::StageMetricsDelta>(frame);
+    if (decoded.is_ok() && decoded->apply(prev) == curr) ++ok;
+  }
+  return static_cast<double>(ok) / seconds_since(start);
+}
+
 double sim_cycles_per_sec(Nanos sim_duration) {
   sds::sim::ExperimentConfig config;
   config.num_stages = 500;
@@ -332,8 +371,12 @@ int main(int argc, char** argv) {
 
   const double enc = encode_msgs_per_sec(codec_msgs);
   const double dec = decode_msgs_per_sec(codec_msgs);
+  const double denc = delta_encode_msgs_per_sec(codec_msgs);
+  const double ddec = delta_decode_msgs_per_sec(codec_msgs);
   std::printf("codec.encode_msgs_per_sec     %12.0f\n", enc);
   std::printf("codec.decode_msgs_per_sec     %12.0f\n", dec);
+  std::printf("codec.delta_encode_msgs_per_sec %10.0f\n", denc);
+  std::printf("codec.delta_decode_msgs_per_sec %10.0f\n", ddec);
 
   const double cycles = sim_cycles_per_sec(sim_duration);
   std::printf("sim.cycles_per_sec            %12.2f\n", cycles);
@@ -372,14 +415,21 @@ int main(int argc, char** argv) {
   sds::telemetry::FlightRecorder ab_flight;
   const LanesAb traced =
       sim_cycles_with_lanes(sim_duration, 1, &ab_tracer, &ab_flight);
-  const double tracing_overhead_pct =
+  const double tracing_overhead_pct_raw =
       serial.cycles_per_sec > 0
           ? (1.0 - traced.cycles_per_sec / serial.cycles_per_sec) * 100.0
           : 0;
+  // Run-to-run jitter on the shared CI box swings the raw figure a few
+  // percent either way — a traced run can measure *faster* than serial
+  // (raw as low as -4.6% observed). Clamp the reported overhead at the
+  // zero noise floor so the <= 5% gate below judges real cost, not a
+  // lucky negative sample masking a regression of equal size.
+  const double tracing_overhead_pct =
+      tracing_overhead_pct_raw > 0 ? tracing_overhead_pct_raw : 0.0;
   std::printf("sim.tracing.cycles_per_sec    %12.2f\n",
               traced.cycles_per_sec);
-  std::printf("sim.tracing.overhead_pct      %12.2f\n",
-              tracing_overhead_pct);
+  std::printf("sim.tracing.overhead_pct      %12.2f  (raw %.2f)\n",
+              tracing_overhead_pct, tracing_overhead_pct_raw);
   if (!traced.ok || traced.fingerprint != serial.fingerprint) {
     std::printf("FAIL: tracing changes simulated results "
                 "(fingerprint %016llx vs %016llx)\n",
@@ -404,7 +454,9 @@ int main(int argc, char** argv) {
                  "  },\n"
                  "  \"codec\": {\n"
                  "    \"encode_msgs_per_sec\": %.0f,\n"
-                 "    \"decode_msgs_per_sec\": %.0f\n"
+                 "    \"decode_msgs_per_sec\": %.0f,\n"
+                 "    \"delta_encode_msgs_per_sec\": %.0f,\n"
+                 "    \"delta_decode_msgs_per_sec\": %.0f\n"
                  "  },\n"
                  "  \"sim\": {\n"
                  "    \"num_stages\": 500,\n"
@@ -417,14 +469,16 @@ int main(int argc, char** argv) {
                  "    },\n"
                  "    \"tracing\": {\n"
                  "      \"cycles_per_sec\": %.3f,\n"
-                 "      \"overhead_pct\": %.3f\n"
+                 "      \"overhead_pct\": %.3f,\n"
+                 "      \"overhead_pct_raw\": %.3f\n"
                  "    }\n"
                  "  }\n"
                  "}\n",
                  quick ? "quick" : "full", wheel, legacy, speedup, enc, dec,
-                 cycles, serial.cycles_per_sec, laned.cycles_per_sec,
-                 lanes_speedup, hw_threads, traced.cycles_per_sec,
-                 tracing_overhead_pct);
+                 denc, ddec, cycles, serial.cycles_per_sec,
+                 laned.cycles_per_sec, lanes_speedup, hw_threads,
+                 traced.cycles_per_sec, tracing_overhead_pct,
+                 tracing_overhead_pct_raw);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }

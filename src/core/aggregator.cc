@@ -11,7 +11,8 @@ AggregatorCore::AggregatorCore(
     : options_(options),
       algorithm_(local_algorithm ? std::move(local_algorithm)
                                  : std::make_unique<policy::Psfa>()),
-      splitter_(policy::SplitStrategy::kProportional) {}
+      splitter_(policy::SplitStrategy::kProportional),
+      store_(MetricsStoreOptions{options.activity_threshold}) {}
 
 proto::AggregatedMetrics AggregatorCore::aggregate(
     std::uint64_t cycle_id, std::span<const proto::StageMetrics> metrics) const {
@@ -53,6 +54,110 @@ proto::MetricsBatch AggregatorCore::passthrough(
   out.from = options_.id;
   out.entries.assign(metrics.begin(), metrics.end());
   return out;
+}
+
+void AggregatorCore::rebuild_store_state() {
+  StoreState& st = store_state_;
+  const std::size_t n = store_.size();
+  st.valid = true;
+  st.structure_epoch = store_.structure_epoch();
+  st.job_of_stage.assign(n, 0);
+  st.stages_of_job.clear();
+  st.out.jobs.clear();
+  st.out.digests.clear();
+  const auto jobs = store_.job_ids();
+  const auto stages = store_.stage_ids();
+  std::unordered_map<JobId, std::uint32_t> job_index;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto [it, inserted] = job_index.try_emplace(
+        jobs[i], static_cast<std::uint32_t>(st.out.jobs.size()));
+    if (inserted) {
+      proto::JobMetrics job;
+      job.job_id = jobs[i];
+      st.out.jobs.push_back(job);
+      st.stages_of_job.emplace_back();
+    }
+    st.job_of_stage[i] = it->second;
+    st.stages_of_job[it->second].push_back(i);
+  }
+  for (std::uint32_t j = 0; j < st.out.jobs.size(); ++j) {
+    st.out.jobs[j].stage_count =
+        static_cast<std::uint32_t>(st.stages_of_job[j].size());
+  }
+  if (options_.include_digests) {
+    st.out.digests.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      st.out.digests[i].stage_id = stages[i];
+    }
+  }
+  st.job_dirty.assign(st.out.jobs.size(), 0);
+  st.dirty_jobs.clear();
+  st.dirty_jobs.reserve(st.out.jobs.size());
+  st.dirty_stages.clear();
+  st.dirty_stages.reserve(n);
+  st.out.from = options_.id;
+  st.out.total_stages = static_cast<std::uint32_t>(n);
+  // First call after a rebuild re-sums everything.
+  for (std::uint32_t j = 0; j < st.out.jobs.size(); ++j) {
+    st.job_dirty[j] = 1;
+    st.dirty_jobs.push_back(j);
+  }
+}
+
+const proto::AggregatedMetrics& AggregatorCore::aggregate_from_store(
+    std::uint64_t cycle_id) {
+  const bool rebuilt = !store_state_.valid ||
+                       store_state_.structure_epoch != store_.structure_epoch();
+  if (rebuilt) rebuild_store_state();
+  StoreState& st = store_state_;
+  st.out.cycle_id = cycle_id;
+
+  // sdslint: hotpath — steady-state summary refresh; all buffers were
+  // sized at rebuild, so nothing here allocates once warm.
+  store_.drain_dirty(st.dirty_stages);
+  if (!rebuilt) {
+    st.dirty_jobs.clear();
+    for (const std::uint32_t i : st.dirty_stages) {
+      const std::uint32_t j = st.job_of_stage[i];
+      if (st.job_dirty[j] == 0) {
+        st.job_dirty[j] = 1;
+        st.dirty_jobs.push_back(j);
+      }
+    }
+  }
+
+  const auto view_data = store_.data_iops();
+  const auto view_meta = store_.meta_iops();
+  for (const std::uint32_t j : st.dirty_jobs) {
+    double data_sum = 0;
+    double meta_sum = 0;
+    for (const std::uint32_t i : st.stages_of_job[j]) {
+      data_sum += std::max(view_data[i], 0.0);
+      meta_sum += std::max(view_meta[i], 0.0);
+    }
+    st.out.jobs[j].data_iops = data_sum;
+    st.out.jobs[j].meta_iops = meta_sum;
+    st.job_dirty[j] = 0;
+  }
+  if (options_.include_digests) {
+    if (rebuilt) {
+      for (std::uint32_t i = 0; i < store_.size(); ++i) {
+        st.out.digests[i].data_iops =
+            static_cast<float>(std::max(view_data[i], 0.0));
+        st.out.digests[i].meta_iops =
+            static_cast<float>(std::max(view_meta[i], 0.0));
+      }
+    } else {
+      for (const std::uint32_t i : st.dirty_stages) {
+        st.out.digests[i].data_iops =
+            static_cast<float>(std::max(view_data[i], 0.0));
+        st.out.digests[i].meta_iops =
+            static_cast<float>(std::max(view_meta[i], 0.0));
+      }
+    }
+  }
+  // sdslint: end-hotpath
+  return st.out;
 }
 
 AggregatorCore::RoutedRules AggregatorCore::route(

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "core/metrics_store.h"
 #include "core/policy_table.h"
 #include "core/registry.h"
 #include "policy/algorithm.h"
@@ -32,6 +33,9 @@ struct AggregatorOptions {
   /// global controller can split job allocations proportionally to
   /// per-stage demand (see proto::StageDigest).
   bool include_digests = true;
+  /// Compute-view threshold of the backing MetricsStore (ops/s); see
+  /// MetricsStoreOptions::activity_threshold.
+  double activity_threshold = 0.0;
 };
 
 class AggregatorCore {
@@ -52,6 +56,22 @@ class AggregatorCore {
   /// Pass-through alternative: relay raw stage metrics in one batch.
   [[nodiscard]] proto::MetricsBatch passthrough(
       std::uint64_t cycle_id, std::span<const proto::StageMetrics> metrics) const;
+
+  /// Columnar store backing the incremental collect path: the host binds
+  /// its stages once, then folds full frames / deltas in as they arrive
+  /// (no per-cycle scratch vector of StageMetrics).
+  [[nodiscard]] MetricsStore& store() { return store_; }
+  [[nodiscard]] const MetricsStore& store() const { return store_; }
+
+  /// Incremental alternative to aggregate(): maintains a persistent
+  /// upward summary over the store, re-summing only jobs whose stages
+  /// moved since the last call and refreshing only the dirty stages'
+  /// digests. Jobs and digests are emitted in ascending store-slot
+  /// order (stable across cycles); values read the store's compute
+  /// view, matching what the flat store path feeds PSFA. Stage counts
+  /// cover every bound stage — a silent stage contributes its last
+  /// report (decide-on-stale semantics).
+  const proto::AggregatedMetrics& aggregate_from_store(std::uint64_t cycle_id);
 
   /// Split a global enforce batch into (stage, rule) pairs for stages this
   /// aggregator owns; rules for unknown stages are returned separately so
@@ -81,12 +101,28 @@ class AggregatorCore {
       std::uint64_t now_ns) const;
 
  private:
+  /// Derived per-slot state for aggregate_from_store, rebuilt when the
+  /// store's structure epoch moves.
+  struct StoreState {
+    bool valid = false;
+    std::uint64_t structure_epoch = 0;
+    std::vector<std::uint32_t> job_of_stage;
+    std::vector<std::vector<std::uint32_t>> stages_of_job;
+    std::vector<std::uint8_t> job_dirty;
+    std::vector<std::uint32_t> dirty_jobs;
+    std::vector<std::uint32_t> dirty_stages;
+    proto::AggregatedMetrics out;
+  };
+  void rebuild_store_state();
+
   AggregatorOptions options_;
   std::unique_ptr<policy::ControlAlgorithm> algorithm_;
   policy::RuleSplitter splitter_;
   Registry registry_;
   PolicyTable policies_;
   proto::BudgetLease lease_;
+  MetricsStore store_;
+  StoreState store_state_;
 };
 
 }  // namespace sds::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace sds::core {
 
@@ -174,6 +175,181 @@ ComputeResult GlobalControllerCore::compute_from_job_demands(
     result.rules.push_back(rule);
   });
   return result;
+}
+
+void GlobalControllerCore::rebuild_store_state(const MetricsStore& store) {
+  StoreState& st = store_state_;
+  const std::size_t n = store.size();
+  st.valid = true;
+  st.structure_epoch = store.structure_epoch();
+  st.job_of_stage.assign(n, 0);
+  st.stages_of_job.clear();
+  st.data_demands.clear();
+  st.meta_demands.clear();
+  const auto jobs = store.job_ids();
+  const auto stages = store.stage_ids();
+  // Job slots in ascending stage-slot first-seen order: exactly the
+  // order DemandBuilder produces for slot-ordered input, so algorithm
+  // inputs (and FP demand sums) match the batch path bit-for-bit.
+  std::unordered_map<JobId, std::uint32_t> job_index;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto [it, inserted] = job_index.try_emplace(
+        jobs[i], static_cast<std::uint32_t>(st.data_demands.size()));
+    if (inserted) {
+      const double w = policies_.weight(jobs[i]);
+      st.data_demands.push_back({jobs[i], 0.0, w});
+      st.meta_demands.push_back({jobs[i], 0.0, w});
+      st.stages_of_job.emplace_back();
+    }
+    st.job_of_stage[i] = it->second;
+    st.stages_of_job[it->second].push_back(i);
+  }
+  const std::size_t num_jobs = st.data_demands.size();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  st.prev_data_alloc.assign(num_jobs, kNan);
+  st.prev_meta_alloc.assign(num_jobs, kNan);
+  st.job_dirty.assign(num_jobs, 0);
+  st.dirty_jobs.clear();
+  st.dirty_jobs.reserve(num_jobs);
+  st.dirty_stages.clear();
+  st.dirty_stages.reserve(n);
+  st.budgets = policies_.budgets();
+  st.result.rules.assign(n, proto::Rule{});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    st.result.rules[i].stage_id = stages[i];
+    st.result.rules[i].job_id = jobs[i];
+  }
+  st.result.data_allocations.clear();
+  st.result.meta_allocations.clear();
+}
+
+const ComputeResult& GlobalControllerCore::compute_from_store(
+    MetricsStore& store, bool full_recompute) {
+  if (!store_state_.valid ||
+      store_state_.structure_epoch != store.structure_epoch()) {
+    rebuild_store_state(store);
+    full_recompute = true;
+  }
+  StoreState& st = store_state_;
+  const std::size_t num_jobs = st.data_demands.size();
+  ++store_stats_.cycles;
+
+  // sdslint: hotpath — incremental compute; every container below was
+  // sized at rebuild, so steady-state cycles allocate nothing.
+
+  // 1. Administrative input movement (budgets, QoS weights) forces the
+  //    algorithm to re-run even when no demand moved.
+  bool algo_forced = full_recompute;
+  const Budgets& budgets = policies_.budgets();
+  if (budgets.data_iops != st.budgets.data_iops ||
+      budgets.meta_iops != st.budgets.meta_iops) {
+    st.budgets = budgets;
+    algo_forced = true;
+  }
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    const double w = policies_.weight(st.data_demands[j].job_id);
+    if (w != st.data_demands[j].weight) {
+      st.data_demands[j].weight = w;
+      st.meta_demands[j].weight = w;
+      algo_forced = true;
+    }
+  }
+
+  // 2. Dirty stages → dirty jobs.
+  store.drain_dirty(st.dirty_stages);
+  st.dirty_jobs.clear();
+  const auto mark_job = [&st](std::uint32_t j) {
+    if (st.job_dirty[j] == 0) {
+      st.job_dirty[j] = 1;
+      st.dirty_jobs.push_back(j);
+    }
+  };
+  if (full_recompute) {
+    for (std::uint32_t j = 0; j < num_jobs; ++j) mark_job(j);
+  } else {
+    for (const std::uint32_t i : st.dirty_stages) {
+      mark_job(st.job_of_stage[i]);
+    }
+  }
+
+  // 3. Re-sum dirty jobs' demands — a fresh ascending-order sum over
+  //    the job's member stages, not a running adjustment, so the value
+  //    is bit-identical to a from-scratch pass at any time.
+  const auto view_data = store.data_iops();
+  const auto view_meta = store.meta_iops();
+  bool demand_moved = false;
+  for (const std::uint32_t j : st.dirty_jobs) {
+    double data_sum = 0;
+    double meta_sum = 0;
+    for (const std::uint32_t i : st.stages_of_job[j]) {
+      data_sum += std::max(view_data[i], 0.0);
+      meta_sum += std::max(view_meta[i], 0.0);
+    }
+    if (data_sum != st.data_demands[j].demand) {
+      st.data_demands[j].demand = data_sum;
+      demand_moved = true;
+    }
+    if (meta_sum != st.meta_demands[j].demand) {
+      st.meta_demands[j].demand = meta_sum;
+      demand_moved = true;
+    }
+    ++store_stats_.jobs_resummed;
+  }
+
+  // 4. Water-filling runs only when its inputs could have changed; jobs
+  //    whose allocation moved join the re-split set.
+  if (algo_forced || demand_moved) {
+    algorithm_->compute(st.data_demands, budgets.data_iops,
+                        st.result.data_allocations);
+    algorithm_->compute(st.meta_demands, budgets.meta_iops,
+                        st.result.meta_allocations);
+    store_stats_.algorithm_runs += 2;
+    for (std::uint32_t j = 0; j < num_jobs; ++j) {
+      if (st.result.data_allocations[j].allocation != st.prev_data_alloc[j] ||
+          st.result.meta_allocations[j].allocation != st.prev_meta_alloc[j]) {
+        mark_job(j);
+      }
+    }
+  }
+
+  // 5. Re-split only the dirty jobs. Per-stage limits replicate
+  //    RuleSplitter::split exactly: the job demand sum doubles as the
+  //    splitter's demand_sum (same max-clamped ascending sum). Only the
+  //    re-split rules get the cycle's epoch: stages accept equal epochs
+  //    (VirtualStage / Limiter reject strictly-older only), so an
+  //    unchanged rule re-sent with its old stamp still applies — which
+  //    keeps the steady-state cycle O(dirty), not O(stages).
+  const std::uint64_t epoch = rule_epoch();
+  const bool proportional =
+      splitter_.strategy() == policy::SplitStrategy::kProportional;
+  for (const std::uint32_t j : st.dirty_jobs) {
+    const double data_alloc = st.result.data_allocations[j].allocation;
+    const double meta_alloc = st.result.meta_allocations[j].allocation;
+    const double data_sum = st.data_demands[j].demand;
+    const double meta_sum = st.meta_demands[j].demand;
+    const auto& members = st.stages_of_job[j];
+    const auto stage_count = static_cast<double>(members.size());
+    for (const std::uint32_t i : members) {
+      proto::Rule& rule = st.result.rules[i];
+      rule.data_iops_limit =
+          proportional && data_sum > 0
+              ? data_alloc * std::max(view_data[i], 0.0) / data_sum
+              : data_alloc / stage_count;
+      rule.meta_iops_limit =
+          proportional && meta_sum > 0
+              ? meta_alloc * std::max(view_meta[i], 0.0) / meta_sum
+              : meta_alloc / stage_count;
+      rule.epoch = epoch;
+    }
+    st.prev_data_alloc[j] = data_alloc;
+    st.prev_meta_alloc[j] = meta_alloc;
+    st.job_dirty[j] = 0;
+    ++store_stats_.jobs_resplit;
+    store_stats_.stages_resplit += members.size();
+  }
+
+  // sdslint: end-hotpath
+  return st.result;
 }
 
 std::unordered_map<ControllerId, proto::EnforceBatch>

@@ -1,5 +1,7 @@
 #include "proto/messages.h"
 
+#include <bit>
+
 namespace sds::proto {
 
 namespace {
@@ -31,6 +33,7 @@ std::string_view to_string(MessageType t) {
     case MessageType::kHeartbeatAck: return "HeartbeatAck";
     case MessageType::kBudgetLease: return "BudgetLease";
     case MessageType::kError: return "Error";
+    case MessageType::kStageMetricsDelta: return "StageMetricsDelta";
   }
   return "Unknown";
 }
@@ -123,6 +126,113 @@ Result<StageMetrics> StageMetrics::decode(Decoder& dec) {
 
 std::size_t StageMetrics::wire_size() const {
   return Encoder::varint_size(cycle_id) + 4 + 4 + 8 * 4;
+}
+
+namespace {
+
+/// The four delta-carried metric fields of a StageMetrics, in field-bit
+/// order, as raw IEEE-754 bit patterns.
+std::array<std::uint64_t, StageMetricsDelta::kFieldCount> metric_bits(
+    const StageMetrics& m) {
+  return {std::bit_cast<std::uint64_t>(m.data_iops),
+          std::bit_cast<std::uint64_t>(m.meta_iops),
+          std::bit_cast<std::uint64_t>(m.data_limit),
+          std::bit_cast<std::uint64_t>(m.meta_limit)};
+}
+
+}  // namespace
+
+StageMetricsDelta StageMetricsDelta::make(const StageMetrics& prev,
+                                          const StageMetrics& curr,
+                                          bool include_stage_id) {
+  StageMetricsDelta d;
+  d.cycle_id = curr.cycle_id;
+  d.base_cycle_id = prev.cycle_id;
+  if (include_stage_id) d.stage_id = curr.stage_id;
+  const auto before = metric_bits(prev);
+  const auto after = metric_bits(curr);
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    if (before[i] == after[i]) continue;
+    d.fields |= static_cast<std::uint8_t>(1u << i);
+    d.deltas[i] = after[i] - before[i];  // mod 2^64, exact by construction
+  }
+  return d;
+}
+
+StageMetrics StageMetricsDelta::apply(const StageMetrics& prev) const {
+  StageMetrics m = prev;
+  m.cycle_id = cycle_id;
+  if (stage_id.has_value()) m.stage_id = *stage_id;
+  auto bits = metric_bits(prev);
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    if ((fields & (1u << i)) != 0) bits[i] += deltas[i];
+  }
+  m.data_iops = std::bit_cast<double>(bits[0]);
+  m.meta_iops = std::bit_cast<double>(bits[1]);
+  m.data_limit = std::bit_cast<double>(bits[2]);
+  m.meta_limit = std::bit_cast<double>(bits[3]);
+  return m;
+}
+
+void StageMetricsDelta::encode(Encoder& enc) const {
+  const std::uint64_t base_age = cycle_id - base_cycle_id;
+  std::uint8_t flags = fields;
+  if (stage_id.has_value()) flags |= kHasStageId;
+  if (base_age != 1) flags |= kHasBaseAge;
+  enc.put_varint(cycle_id);
+  enc.put_u8(flags);
+  if (stage_id.has_value()) enc.put_varint(stage_id->value());
+  if (base_age != 1) enc.put_varint(base_age);
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    if ((fields & (1u << i)) != 0) {
+      enc.put_svarint(static_cast<std::int64_t>(deltas[i]));
+    }
+  }
+}
+
+Result<StageMetricsDelta> StageMetricsDelta::decode(Decoder& dec) {
+  StageMetricsDelta d;
+  d.cycle_id = dec.get_varint();
+  const std::uint8_t flags = dec.get_u8();
+  if (!dec.ok()) return Status::invalid_argument("StageMetricsDelta: truncated");
+  if ((flags & ~(kDataIops | kMetaIops | kDataLimit | kMetaLimit |
+                 kHasStageId | kHasBaseAge)) != 0) {
+    return Status::invalid_argument("StageMetricsDelta: reserved flag bits");
+  }
+  d.fields = flags & (kDataIops | kMetaIops | kDataLimit | kMetaLimit);
+  if ((flags & kHasStageId) != 0) {
+    d.stage_id = StageId{static_cast<std::uint32_t>(dec.get_varint())};
+  }
+  std::uint64_t base_age = 1;
+  if ((flags & kHasBaseAge) != 0) base_age = dec.get_varint();
+  if (base_age > d.cycle_id) {
+    return Status::invalid_argument("StageMetricsDelta: base age before cycle 0");
+  }
+  d.base_cycle_id = d.cycle_id - base_age;
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    if ((d.fields & (1u << i)) != 0) {
+      d.deltas[i] = static_cast<std::uint64_t>(dec.get_svarint());
+    }
+  }
+  if (!dec.ok()) return Status::invalid_argument("StageMetricsDelta: truncated");
+  return d;
+}
+
+std::size_t StageMetricsDelta::wire_size() const {
+  const std::uint64_t base_age = cycle_id - base_cycle_id;
+  std::size_t size = Encoder::varint_size(cycle_id) + 1;
+  if (stage_id.has_value()) size += Encoder::varint_size(stage_id->value());
+  if (base_age != 1) size += Encoder::varint_size(base_age);
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    if ((fields & (1u << i)) != 0) {
+      const auto v = static_cast<std::int64_t>(deltas[i]);
+      const std::uint64_t zigzag =
+          (static_cast<std::uint64_t>(v) << 1) ^
+          static_cast<std::uint64_t>(v >> 63);
+      size += Encoder::varint_size(zigzag);
+    }
+  }
+  return size;
 }
 
 void MetricsBatch::encode(Encoder& enc) const {

@@ -18,6 +18,7 @@
 //   stages --EnforceAck--> aggregator --EnforceAck(merged)--> global
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -45,6 +46,7 @@ enum class MessageType : std::uint16_t {
   kHeartbeatAck = 10,
   kBudgetLease = 11,
   kError = 12,
+  kStageMetricsDelta = 13,
 };
 
 [[nodiscard]] std::string_view to_string(MessageType t);
@@ -120,6 +122,60 @@ struct StageMetrics {
   static Result<StageMetrics> decode(wire::Decoder& dec);
   [[nodiscard]] std::size_t wire_size() const;
   bool operator==(const StageMetrics&) const = default;
+};
+
+/// Flag-gated incremental form of StageMetrics: carries only the fields
+/// whose IEEE-754 bit pattern changed since the stage's last report, as
+/// zig-zag varints of the bit-pattern difference (mod 2^64). Nearby
+/// doubles share exponent bits, so a low-churn stage's delta is 1–2
+/// bytes per changed field and an unchanged stage's frame is just
+/// cycle+flags. Receivers fold deltas into a columnar MetricsStore
+/// (core/metrics_store.h); the chain is exact — applying a delta
+/// reproduces the sender's StageMetrics bit-for-bit.
+///
+/// The stage id is optional (kHasStageId): on per-stage connections the
+/// receiver already knows which stage a connection belongs to, and
+/// omitting the id is what gets the frame under a third of the full
+/// form. `base_cycle_id` defaults to cycle_id - 1 (the common
+/// every-cycle cadence); kHasBaseAge carries an explicit base age when
+/// a report was skipped. A receiver whose last applied cycle for the
+/// stage differs from base_cycle_id must reject the delta and wait for
+/// a full-frame refresh. Flag bits 6–7 are reserved and rejected.
+struct StageMetricsDelta {
+  static constexpr MessageType kType = MessageType::kStageMetricsDelta;
+  // Field-changed bits (also the encode order of the delta varints).
+  static constexpr std::uint8_t kDataIops = 1u << 0;
+  static constexpr std::uint8_t kMetaIops = 1u << 1;
+  static constexpr std::uint8_t kDataLimit = 1u << 2;
+  static constexpr std::uint8_t kMetaLimit = 1u << 3;
+  static constexpr std::uint8_t kHasStageId = 1u << 4;
+  static constexpr std::uint8_t kHasBaseAge = 1u << 5;
+  static constexpr std::size_t kFieldCount = 4;
+
+  std::uint64_t cycle_id = 0;
+  /// Cycle whose values the deltas are relative to (receiver-side
+  /// precondition; encoded as the age cycle_id - base_cycle_id).
+  std::uint64_t base_cycle_id = 0;
+  std::optional<StageId> stage_id;
+  /// kDataIops..kMetaLimit bits for fields present in `deltas`.
+  std::uint8_t fields = 0;
+  /// Per-field bit-pattern difference new - old (mod 2^64), indexed by
+  /// field-bit position; slots for absent fields stay zero.
+  std::array<std::uint64_t, kFieldCount> deltas{};
+
+  /// Build the delta taking `curr` relative to `prev` (same stage,
+  /// prev.cycle_id < curr.cycle_id).
+  [[nodiscard]] static StageMetricsDelta make(const StageMetrics& prev,
+                                              const StageMetrics& curr,
+                                              bool include_stage_id);
+  /// Fold this delta into `prev` (the receiver's value at
+  /// base_cycle_id), reproducing the sender's metrics exactly.
+  [[nodiscard]] StageMetrics apply(const StageMetrics& prev) const;
+
+  void encode(wire::Encoder& enc) const;
+  static Result<StageMetricsDelta> decode(wire::Decoder& dec);
+  [[nodiscard]] std::size_t wire_size() const;
+  bool operator==(const StageMetricsDelta&) const = default;
 };
 
 /// Raw per-stage metrics relayed in one message (aggregator w/o

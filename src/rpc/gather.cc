@@ -13,8 +13,10 @@ std::optional<std::uint64_t> peek_cycle_id(const wire::Frame& frame) {
 
 Gather::Gather(proto::MessageType type, std::optional<std::uint64_t> cycle,
                std::vector<ConnId> expected,
-               std::shared_ptr<const GatherTelemetry> telemetry)
+               std::shared_ptr<const GatherTelemetry> telemetry,
+               std::optional<proto::MessageType> alt_type)
     : type_(type),
+      alt_type_(alt_type),
       cycle_(cycle),
       expected_(std::move(expected)),
       telemetry_(std::move(telemetry)) {
@@ -28,7 +30,11 @@ Gather::Gather(proto::MessageType type, std::optional<std::uint64_t> cycle,
 }
 
 bool Gather::offer(ConnId conn, const wire::Frame& frame) {
-  if (frame.type != static_cast<std::uint16_t>(type_)) return false;
+  if (frame.type != static_cast<std::uint16_t>(type_) &&
+      !(alt_type_.has_value() &&
+        frame.type == static_cast<std::uint16_t>(*alt_type_))) {
+    return false;
+  }
   if (cycle_.has_value()) {
     const auto cycle = peek_cycle_id(frame);
     if (!cycle || *cycle != *cycle_) return false;
@@ -135,14 +141,14 @@ void Dispatcher::bind_telemetry(telemetry::MetricsRegistry& registry,
 
 std::shared_ptr<Gather> Dispatcher::start_gather(
     proto::MessageType type, std::optional<std::uint64_t> cycle,
-    std::vector<ConnId> expected) {
+    std::vector<ConnId> expected, std::optional<proto::MessageType> alt_type) {
   std::shared_ptr<const GatherTelemetry> telemetry;
   {
     MutexLock lock(mu_);
     telemetry = telemetry_;
   }
   auto gather = std::make_shared<Gather>(type, cycle, std::move(expected),
-                                         std::move(telemetry));
+                                         std::move(telemetry), alt_type);
   MutexLock lock(mu_);
   gathers_.push_back(gather);
   return gather;

@@ -58,7 +58,8 @@ class Gather {
 
   Gather(proto::MessageType type, std::optional<std::uint64_t> cycle,
          std::vector<ConnId> expected,
-         std::shared_ptr<const GatherTelemetry> telemetry = nullptr);
+         std::shared_ptr<const GatherTelemetry> telemetry = nullptr,
+         std::optional<proto::MessageType> alt_type = std::nullopt);
 
   /// Offer a frame; returns true if this gather consumed it.
   bool offer(ConnId conn, const wire::Frame& frame) SDS_EXCLUDES(mu_);
@@ -101,6 +102,11 @@ class Gather {
 
  private:
   const proto::MessageType type_;
+  /// Second accepted reply type, matched like `type_` (a peer answers
+  /// with exactly one of the two). Lets one collect gather accept both
+  /// full StageMetrics frames and StageMetricsDelta frames — both start
+  /// with the varint cycle id peek_cycle_id() routes on.
+  const std::optional<proto::MessageType> alt_type_;
   const std::optional<std::uint64_t> cycle_;
   const std::vector<ConnId> expected_;
   const std::shared_ptr<const GatherTelemetry> telemetry_;
@@ -128,9 +134,12 @@ class Dispatcher {
 
   /// Create and register a gather. Automatically unregistered when the
   /// returned shared_ptr is the last reference and removed via collect().
-  std::shared_ptr<Gather> start_gather(proto::MessageType type,
-                                       std::optional<std::uint64_t> cycle,
-                                       std::vector<ConnId> expected)
+  /// `alt_type` optionally names a second accepted reply type (e.g. a
+  /// collect gather taking kStageMetrics OR kStageMetricsDelta).
+  std::shared_ptr<Gather> start_gather(
+      proto::MessageType type, std::optional<std::uint64_t> cycle,
+      std::vector<ConnId> expected,
+      std::optional<proto::MessageType> alt_type = std::nullopt)
       SDS_EXCLUDES(mu_);
 
   /// Remove a finished gather.

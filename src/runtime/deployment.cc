@@ -18,9 +18,20 @@ Result<std::unique_ptr<Deployment>> Deployment::create(
   global_options.phase_timeout = options.phase_timeout;
   global_options.collect_quorum = options.collect_quorum;
   global_options.local_decisions = options.local_decisions;
+  global_options.use_metrics_store = options.use_metrics_store;
+  global_options.psfa_full_recompute = options.psfa_full_recompute;
   if (options.local_decisions && options.num_aggregators == 0) {
     return Status::invalid_argument(
         "local_decisions requires a hierarchical topology");
+  }
+  if (options.delta_metrics && options.num_aggregators > 0) {
+    // Aggregators fold full StageMetrics frames; they have no delta
+    // reassembly state, so delta collect frames are flat-only for now.
+    return Status::invalid_argument(
+        "delta_metrics requires a flat topology");
+  }
+  if (options.delta_metrics && options.delta_refresh == 0) {
+    return Status::invalid_argument("delta_metrics requires delta_refresh > 0");
   }
   deployment->global_ = std::make_unique<GlobalControllerServer>(
       network, "global", global_options);
@@ -78,6 +89,8 @@ Result<std::unique_ptr<AggregatorServer>> Deployment::make_aggregator(
 Result<std::unique_ptr<StageHost>> Deployment::make_stage_host(
     std::size_t index) const {
   StageHostOptions host_options;
+  host_options.delta_metrics = options_.delta_metrics;
+  host_options.delta_refresh = options_.delta_refresh;
   if (options_.num_aggregators == 0) {
     host_options.controller_addresses = {"global"};
   } else {

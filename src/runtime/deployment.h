@@ -31,6 +31,18 @@ struct DeploymentOptions {
   /// Per-endpoint connection cap (0 = unlimited), mirroring the paper's
   /// per-node limit.
   std::size_t max_connections = 0;
+  /// Stage hosts answer collects with StageMetricsDelta frames
+  /// (StageHostOptions::delta_metrics); the flat global controller folds
+  /// them through its columnar MetricsStore. Flat-only: aggregators do
+  /// not reassemble deltas, so create() rejects this with aggregators.
+  bool delta_metrics = false;
+  std::size_t delta_refresh = 64;
+  /// Disable the global controller's columnar store compute path
+  /// (GlobalServerOptions::use_metrics_store; batch-pipeline ablation).
+  bool use_metrics_store = true;
+  /// Force a full rebuild of the store compute each cycle
+  /// (GlobalServerOptions::psfa_full_recompute ablation).
+  bool psfa_full_recompute = false;
   /// Demand for every stage when no factory is given.
   double data_demand = 1000;
   double meta_demand = 100;

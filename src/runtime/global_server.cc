@@ -18,7 +18,8 @@ GlobalControllerServer::GlobalControllerServer(
       address_(std::move(address)),
       options_(options),
       clock_(&clock),
-      core_(options.core, std::move(algorithm)) {}
+      core_(options.core, std::move(algorithm)),
+      store_(core::MetricsStoreOptions{options.activity_threshold}) {}
 
 GlobalControllerServer::~GlobalControllerServer() { shutdown(); }
 
@@ -85,6 +86,7 @@ void GlobalControllerServer::on_frame(ConnId conn, wire::Frame frame) {
         ack.epoch = core_.epoch();
         if (added.is_ok()) {
           stages_by_conn_[conn].push_back(request->info.stage_id);
+          store_roster_changed_ = true;
         } else {
           SDS_LOG(WARN) << "registration rejected: " << added.to_string();
         }
@@ -118,6 +120,7 @@ void GlobalControllerServer::on_conn_closed(ConnId conn) {
     const auto evicted = core_.registry().evict_via(id);
     SDS_LOG(WARN) << "global: aggregator " << id << " lost, evicted "
                   << evicted.size() << " stages (they will re-register)";
+    store_roster_changed_ = true;
   }
   if (const auto it = stages_by_conn_.find(conn); it != stages_by_conn_.end()) {
     for (const StageId stage : it->second) {
@@ -128,7 +131,45 @@ void GlobalControllerServer::on_conn_closed(ConnId conn) {
       }
     }
     stages_by_conn_.erase(it);
+    store_roster_changed_ = true;
   }
+}
+
+void GlobalControllerServer::sync_store() {
+  if (!store_roster_changed_) return;
+  store_roster_changed_ = false;
+  // Carry surviving slots' last reports across the rebuild: the reported
+  // column is the bit-exact delta base, so re-seeding it keeps every
+  // unaffected stage's delta chain anchored through roster churn.
+  std::vector<proto::StageMetrics> carried;
+  carried.reserve(store_.size());
+  const auto last_cycles = store_.last_cycle();
+  for (std::uint32_t i = 0; i < store_.size(); ++i) {
+    if (last_cycles[i] > 0) carried.push_back(store_.reported(i));
+  }
+  store_.reset(core_.registry().size());
+  core_.registry().for_each([&](const core::StageRecord& record) {
+    if (!record.via.valid()) {
+      (void)store_.bind(record.info.stage_id, record.info.job_id);
+    }
+  });
+  for (const auto& m : carried) {
+    (void)store_.update(m);  // drops stages that left the roster
+  }
+}
+
+std::uint32_t GlobalControllerServer::store_hint(ConnId conn) const {
+  const auto it = stages_by_conn_.find(conn);
+  if (it == stages_by_conn_.end() || it->second.empty()) {
+    return core::MetricsStore::kInvalidIndex;
+  }
+  // Upserts append duplicates, so "one stage per connection" means all
+  // entries name the same stage; several distinct stages are ambiguous.
+  const StageId stage = it->second.front();
+  for (const StageId s : it->second) {
+    if (s != stage) return core::MetricsStore::kInvalidIndex;
+  }
+  return store_.index_of(stage);
 }
 
 GlobalControllerServer::CycleTargets
@@ -172,9 +213,20 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
   const std::uint64_t trace_id = cycle;
   const std::uint32_t track = telemetry_.track();
 
+  // Store-backed compute applies on purely flat cycles: every reply is a
+  // per-stage frame folded straight into the columnar store, and the
+  // incremental PSFA runs over it. Hierarchical/mixed cycles keep the
+  // batch pipeline (aggregated summaries never flow through the store).
+  const bool store_cycle = options_.use_metrics_store &&
+                           targets.aggregators.empty() &&
+                           !options_.local_decisions;
+
   // ---- Collect -------------------------------------------------------
   auto stage_gather = dispatcher_.start_gather(
-      proto::MessageType::kStageMetrics, cycle, targets.stage_conns);
+      proto::MessageType::kStageMetrics, cycle, targets.stage_conns,
+      store_cycle && options_.accept_deltas
+          ? std::optional(proto::MessageType::kStageMetricsDelta)
+          : std::nullopt);
   std::vector<ConnId> agg_conns;
   agg_conns.reserve(targets.aggregators.size());
   for (const auto& [conn, _] : targets.aggregators) agg_conns.push_back(conn);
@@ -242,10 +294,14 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
   note_collect_outcomes(*stage_gather);
   note_collect_outcomes(*agg_gather);
 
+  std::vector<rpc::Gather::Reply> stage_replies = stage_gather->take_replies();
   std::vector<proto::StageMetrics> stage_metrics;
-  for (auto& reply : stage_gather->take_replies()) {
-    auto metrics = proto::from_frame<proto::StageMetrics>(reply.frame);
-    if (metrics.is_ok()) stage_metrics.push_back(std::move(metrics).value());
+  if (!store_cycle) {
+    stage_metrics.reserve(stage_replies.size());
+    for (const auto& reply : stage_replies) {
+      auto metrics = proto::from_frame<proto::StageMetrics>(reply.frame);
+      if (metrics.is_ok()) stage_metrics.push_back(std::move(metrics).value());
+    }
   }
   std::vector<proto::AggregatedMetrics> aggregated;
   for (auto& reply : agg_gather->take_replies()) {
@@ -260,7 +316,8 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
   if (instrumented) phase_probe_.mark("aggregate");
   phase.restart();
 
-  if (stage_metrics.empty() && aggregated.empty()) {
+  if ((store_cycle ? stage_replies.empty() : stage_metrics.empty()) &&
+      aggregated.empty()) {
     return Status::unavailable("no metrics collected in cycle " +
                                std::to_string(cycle));
   }
@@ -275,9 +332,34 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
 
   // ---- Compute -------------------------------------------------------
   core::ComputeResult result;
+  std::size_t delta_rejected = 0;
   {
     MutexLock lock(mu_);
-    if (aggregated.empty()) {
+    if (store_cycle) {
+      sync_store();
+      for (const auto& reply : stage_replies) {
+        if (reply.frame.type ==
+            static_cast<std::uint16_t>(
+                proto::MessageType::kStageMetricsDelta)) {
+          const auto delta =
+              proto::from_frame<proto::StageMetricsDelta>(reply.frame);
+          // A rejected delta (unknown slot, duplicate, broken base chain)
+          // leaves the slot's previous report in force; the stage counts
+          // stale this cycle and its host's periodic full refresh
+          // re-anchors the chain.
+          if (!delta.is_ok() ||
+              store_.apply_delta(*delta, store_hint(reply.conn)) !=
+                  core::DeltaStatus::kApplied) {
+            ++delta_rejected;
+          }
+        } else {
+          const auto metrics =
+              proto::from_frame<proto::StageMetrics>(reply.frame);
+          if (metrics.is_ok()) (void)store_.update(*metrics);
+        }
+      }
+      result = core_.compute_from_store(store_, options_.psfa_full_recompute);
+    } else if (aggregated.empty()) {
       result = core_.compute(std::span<const proto::StageMetrics>(
           stage_metrics.data(), stage_metrics.size()));
     } else {
@@ -292,6 +374,9 @@ Result<core::PhaseBreakdown> GlobalControllerServer::run_cycle() {
           aggregated.data(), aggregated.size()));
     }
   }
+  // Deltas dropped by the store never updated their stage's metrics this
+  // cycle — degraded-cycle accounting treats them like silent stages.
+  stale += delta_rejected;
   breakdown.compute = phase.elapsed();
   if (instrumented) phase_probe_.mark("compute");
   phase.restart();

@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "core/cycle_stats.h"
 #include "core/global.h"
+#include "core/metrics_store.h"
 #include "monitor/resource_monitor.h"
 #include "rpc/gather.h"
 #include "runtime/server_telemetry.h"
@@ -52,6 +53,27 @@ struct GlobalServerOptions {
   bool local_decisions = false;
   /// How long each granted lease stays valid.
   Nanos lease_validity = seconds(10);
+  /// Columnar compute path: fold collect replies into a core::MetricsStore
+  /// and run GlobalControllerCore::compute_from_store (incremental PSFA)
+  /// instead of the batch compute. Takes effect on cycles with no
+  /// registered aggregators — the hierarchical path keeps the batch
+  /// pipeline. Decisions are bit-identical to the batch path; a roster
+  /// change (registration, eviction) rebuilds the store bindings before
+  /// the next compute.
+  bool use_metrics_store = true;
+  /// Accept StageMetricsDelta collect replies and fold them through the
+  /// store (requires use_metrics_store; only sensible when the stage
+  /// hosts enable delta_metrics). A delta that fails validation —
+  /// unknown slot, duplicate/out-of-order cycle, broken base chain
+  /// (e.g. after a lost reply or a store rebuild) — is dropped and its
+  /// stage counted stale for the cycle; the sender's periodic full
+  /// refresh re-anchors the chain.
+  bool accept_deltas = true;
+  /// MetricsStore compute-view threshold (ops/s); see
+  /// MetricsStoreOptions::activity_threshold.
+  double activity_threshold = 0.0;
+  /// Ablation: force the store path to rebuild every job each cycle.
+  bool psfa_full_recompute = false;
 };
 
 class GlobalControllerServer {
@@ -160,8 +182,20 @@ class GlobalControllerServer {
   rpc::Dispatcher dispatcher_;
   ServerTelemetry telemetry_;
 
+  /// Rebind the store to the current flat roster if it changed.
+  void sync_store() SDS_REQUIRES(mu_);
+  /// Store slot for a delta that omitted its stage id: the slot of the
+  /// connection's single registered stage (kInvalidIndex when the conn
+  /// is unknown or carries several stages — ambiguous, so rejected).
+  [[nodiscard]] std::uint32_t store_hint(ConnId conn) const SDS_REQUIRES(mu_);
+
   mutable Mutex mu_;
   core::GlobalControllerCore core_ SDS_GUARDED_BY(mu_);
+  /// Columnar metrics store backing the flat incremental compute path.
+  core::MetricsStore store_ SDS_GUARDED_BY(mu_);
+  /// Roster moved since the last sync_store() (starts true: first cycle
+  /// binds the initial roster).
+  bool store_roster_changed_ SDS_GUARDED_BY(mu_) = true;
   std::unordered_map<ConnId, std::vector<StageId>> stages_by_conn_
       SDS_GUARDED_BY(mu_);
   std::unordered_map<ConnId, ControllerId> aggregators_by_conn_

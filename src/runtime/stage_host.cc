@@ -65,7 +65,7 @@ Status StageHost::add_stage(proto::StageInfo info, stage::DemandFn data_demand,
   auto slot = std::make_unique<Slot>(Slot{
       stage::VirtualStage(std::move(info), std::move(data_demand),
                           std::move(meta_demand)),
-      ConnId::invalid(), 0});
+      ConnId::invalid(), 0, proto::StageMetrics{}, false});
   slots_.push_back(std::move(slot));
   return Status::ok();
 }
@@ -108,6 +108,9 @@ Status StageHost::register_stage(std::size_t index, std::size_t address_index) {
     MutexLock lock(mu_);
     slots_[index]->conn = c;
     slots_[index]->address_index = address_index;
+    // New registration, new receiver-side store slot: the delta chain
+    // restarts with a full report.
+    slots_[index]->has_report = false;
     by_conn_[c] = index;
   }
 
@@ -145,7 +148,29 @@ void StageHost::on_frame(ConnId conn, wire::Frame frame) {
       const auto reply_ctx =
           trace_hop(frame, "stage.collect", request->cycle_id, begin,
                     telemetry::SpanPhase::kCollect);
-      (void)endpoint_->send(conn, proto::to_frame(metrics, reply_ctx));
+      if (options_.delta_metrics) {
+        // Full refresh on the first report, on a cycle-sequence gap, and
+        // periodically (staggered by stage id so refreshes spread over
+        // cycles instead of bursting together).
+        const bool refresh =
+            !slot.has_report ||
+            metrics.cycle_id != slot.last_report.cycle_id + 1 ||
+            options_.delta_refresh == 0 ||
+            (metrics.cycle_id + slot.stage.info().stage_id.value()) %
+                    options_.delta_refresh ==
+                0;
+        if (refresh) {
+          (void)endpoint_->send(conn, proto::to_frame(metrics, reply_ctx));
+        } else {
+          const proto::StageMetricsDelta delta = proto::StageMetricsDelta::make(
+              slot.last_report, metrics, /*include_stage_id=*/false);
+          (void)endpoint_->send(conn, proto::to_frame(delta, reply_ctx));
+        }
+        slot.last_report = metrics;
+        slot.has_report = true;
+      } else {
+        (void)endpoint_->send(conn, proto::to_frame(metrics, reply_ctx));
+      }
       break;
     }
     case MessageType::kEnforceBatch: {

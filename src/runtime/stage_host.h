@@ -36,6 +36,17 @@ struct StageHostOptions {
   Nanos register_timeout = seconds(5);
   /// Redial + re-register when a controller connection closes.
   bool auto_failover = true;
+  /// Delta-encoded collect replies: after a stage's first report on its
+  /// current registration, answer collects with a StageMetricsDelta
+  /// carrying only the fields that changed (no stage id — the controller
+  /// resolves the per-stage connection to the store slot). A full
+  /// StageMetrics refresh goes out every `delta_refresh` collects
+  /// (staggered by stage id), after a re-registration, and whenever the
+  /// collect cycle sequence gapped — a skipped cycle often means the
+  /// controller also lost the previous reply, which would break the
+  /// delta chain (it validates the base cycle and drops mismatches).
+  bool delta_metrics = false;
+  std::size_t delta_refresh = 64;
   /// Observability: transport counters and the collects-answered counter
   /// register into one MetricsRegistry (shared when `telemetry.registry`
   /// is set); exported when `out_dir` is configured.
@@ -108,6 +119,10 @@ class StageHost {
     stage::VirtualStage stage;
     ConnId conn;                    // connection to the controller
     std::size_t address_index = 0;  // which controller it registered with
+    /// Delta-chain base: the last report sent over the current
+    /// registration (delta_metrics mode; invalidated on re-register).
+    proto::StageMetrics last_report;
+    bool has_report = false;
   };
   std::vector<std::unique_ptr<Slot>> slots_ SDS_GUARDED_BY(mu_);
   std::unordered_map<ConnId, std::size_t> by_conn_ SDS_GUARDED_BY(mu_);

@@ -15,6 +15,8 @@
 #include "core/aggregator.h"
 #include "core/coordinated.h"
 #include "core/global.h"
+#include "core/metrics_store.h"
+#include "policy/incremental_psfa.h"
 #include "sim/engine.h"
 #include "sim/host.h"
 #include "sim/parallel.h"
@@ -89,7 +91,8 @@ class Run {
         global_(core::GlobalOptions{config.budgets,
                                     policy::SplitStrategy::kProportional,
                                     /*epoch=*/1},
-                std::make_unique<policy::Psfa>(config.psfa)) {
+                std::make_unique<policy::IncrementalPsfa>(config.psfa)),
+        store_(core::MetricsStoreOptions{config.activity_threshold}) {
     if (cfg_.metrics != nullptr) {
       telemetry::Labels labels{{"component", "sim"}};
       if (!cfg_.telemetry_label.empty()) {
@@ -129,6 +132,26 @@ class Run {
         return Status::invalid_argument(
             "fault injection in hierarchical mode requires pre-aggregation "
             "and parallel fan-out");
+      }
+    }
+    if (cfg_.delta_collect) {
+      if (!cfg_.store_collect) {
+        return Status::invalid_argument(
+            "delta_collect requires the store-backed collect path");
+      }
+      if (cfg_.delta_refresh == 0) {
+        return Status::invalid_argument("delta_refresh must be > 0");
+      }
+      if (cfg_.fault_plan != nullptr && !cfg_.fault_plan->empty()) {
+        return Status::invalid_argument(
+            "delta_collect is incompatible with fault injection (a silent "
+            "stage would break every subsequent delta chain)");
+      }
+      if (coordinated() ||
+          (!flat() && (!cfg_.preaggregate || cfg_.local_decisions))) {
+        return Status::invalid_argument(
+            "delta_collect requires the flat or pre-aggregating "
+            "hierarchical topology with central decisions");
       }
     }
     if (cfg_.coordinated_peers > 0) {
@@ -210,6 +233,13 @@ class Run {
       lane_faults_.assign(lanes_.lanes(), 0);
       last_fresh_at_.assign(cfg_.num_stages, Nanos{-1});
     }
+    // The store path keeps the legacy batch pipeline for the modes that
+    // need per-cycle scratch vectors anyway (degraded compaction,
+    // pass-through relays, local decisions, coordinated exchange).
+    store_collect_ = cfg_.store_collect && fault_ == nullptr &&
+                     !coordinated() &&
+                     (flat() || (cfg_.preaggregate && !cfg_.local_decisions));
+    delta_collect_ = cfg_.delta_collect && store_collect_;
     build_topology();
     lanes_.set_idle_callback([this] { return on_lanes_idle(); });
     schedule_utilization_sampler();
@@ -292,7 +322,9 @@ class Run {
         auto agg = std::make_unique<Agg>();
         agg->core = std::make_unique<core::AggregatorCore>(
             core::AggregatorOptions{ControllerId{static_cast<std::uint32_t>(a)},
-                                    cfg_.preaggregate});
+                                    cfg_.preaggregate,
+                                    /*include_digests=*/true,
+                                    cfg_.activity_threshold});
         agg->lane = static_cast<std::uint32_t>(a * L / a_count);
         agg->host = std::make_unique<SimHost>(eng(agg->lane), prof_,
                                               "agg" + std::to_string(a));
@@ -344,6 +376,39 @@ class Run {
         assert(agg_added.is_ok());
         (void)agg_added;
       }
+    }
+
+    // Bind every stage to its controller's columnar store. Binding in
+    // ascending stage order makes the slot index equal the stage's index
+    // (global for flat, subtree-local for hierarchical), which the
+    // collect closures rely on to skip the id lookup.
+    if (store_collect_) {
+      if (flat()) {
+        store_.reset(cfg_.num_stages);
+        for (std::size_t i = 0; i < cfg_.num_stages; ++i) {
+          const std::uint32_t slot = store_.bind(stages_[i].info().stage_id,
+                                                 stages_[i].info().job_id);
+          assert(slot == static_cast<std::uint32_t>(i));
+          (void)slot;
+        }
+      } else {
+        for (const auto& agg : aggs_) {
+          core::MetricsStore& store = agg->core->store();
+          store.reset(agg->stage_indices.size());
+          for (const std::size_t idx : agg->stage_indices) {
+            store.bind(stages_[idx].info().stage_id,
+                       stages_[idx].info().job_id);
+          }
+        }
+      }
+    }
+    lane_collect_bytes_.assign(L, 0);
+    lane_collect_bytes_full_.assign(L, 0);
+    lane_frames_full_.assign(L, 0);
+    lane_frames_delta_.assign(L, 0);
+    if (delta_collect_) {
+      last_report_.assign(cfg_.num_stages, {});
+      has_report_.assign(cfg_.num_stages, 0);
     }
   }
 
@@ -631,7 +696,9 @@ class Run {
   // -- Flat design -----------------------------------------------------
 
   void start_collect_flat() {
-    flat_metrics_.assign(cfg_.num_stages, {});
+    // The store path folds reports in place; the scratch vector is only
+    // the legacy/fault pipeline's.
+    if (!store_collect_) flat_metrics_.assign(cfg_.num_stages, {});
     flat_pending_ = cfg_.num_stages;
     if (fault_ != nullptr) {
       collect_open_ = true;
@@ -649,11 +716,40 @@ class Run {
         [this](std::size_t i) { return stage_lane_[i]; });
   }
 
+  /// Frame a stage report for the wire: under delta_collect a stage
+  /// that already reported sends the compact delta against its previous
+  /// report, refreshed with a full frame every `delta_refresh` cycles
+  /// (staggered by stage index). Runs on the stage's lane; the per-stage
+  /// previous-report slots are owned by that lane.
+  struct CollectFrame {
+    proto::StageMetricsDelta delta;
+    std::size_t wire = 0;       ///< modeled frame bytes (delta or full)
+    std::size_t wire_full = 0;  ///< full-frame equivalent bytes
+    bool is_delta = false;
+  };
+  CollectFrame frame_report(std::size_t i, const proto::StageMetrics& m) {
+    CollectFrame f;
+    f.wire_full = frame_size(m);
+    f.wire = f.wire_full;
+    if (delta_collect_) {
+      if (has_report_[i] != 0 && (cycle_ + i) % cfg_.delta_refresh != 0) {
+        f.delta = proto::StageMetricsDelta::make(last_report_[i], m,
+                                                 /*include_stage_id=*/false);
+        f.wire = frame_size(f.delta);
+        f.is_delta = true;
+      }
+      last_report_[i] = m;
+      has_report_[i] = 1;
+    }
+    return f;
+  }
+
   void on_stage_collect_flat(std::size_t i) {
     Engine& eng_local = eng(stage_lane_[i]);
     if (fault_ != nullptr && !stage_reachable(i, eng_local.now())) return;
     const proto::StageMetrics m = stages_[i].collect(cycle_, eng_local.now());
-    const std::size_t sz = frame_size(m);
+    const CollectFrame fr = frame_report(i, m);
+    const std::size_t sz = fr.wire;
     Nanos latency = stage_latency(i, eng_local.now());
     if (cfg_.tracer != nullptr && i == 0) {
       // Representative per-stage span (stage 0 only — one per cycle, not
@@ -680,8 +776,9 @@ class Run {
     for (std::size_t copy = 0; copy < copies; ++copy) {
       const bool first = copy == 0;
       eng_local.schedule_cross(
-          0, eng_local.now() + latency, [this, i, m, sz, first, c = cycle_] {
-            global_host_.receive(sz, [this, i, m, first, c] {
+          0, eng_local.now() + latency,
+          [this, i, m, fr, sz, first, c = cycle_] {
+            global_host_.receive(sz, [this, i, m, fr, first, c] {
               if (fault_ != nullptr &&
                   (!first || !collect_open_ || c != cycle_ ||
                    collect_seen_[i] != 0)) {
@@ -691,10 +788,35 @@ class Run {
                 collect_seen_[i] = 1;
                 note_fresh_reply(i, eng0_.now(), cycle_recoveries_);
               }
-              flat_metrics_[i] = m;
+              account_collect_frame(0, fr);
+              if (store_collect_) {
+                if (fr.is_delta) {
+                  const core::DeltaStatus status = store_.apply_delta(
+                      fr.delta, static_cast<std::uint32_t>(i));
+                  assert(status == core::DeltaStatus::kApplied);
+                  (void)status;
+                } else {
+                  store_.update_at(static_cast<std::uint32_t>(i), m);
+                }
+              } else {
+                flat_metrics_[i] = m;
+              }
               if (--flat_pending_ == 0) close_collect_flat(false);
             });
           });
+    }
+  }
+
+  /// Wire accounting for one accepted collect report, on the receiving
+  /// controller's lane (each slot is touched only by its lane's events;
+  /// finalize() sums them with the lanes quiescent).
+  void account_collect_frame(std::uint32_t lane, const CollectFrame& fr) {
+    lane_collect_bytes_[lane] += fr.wire;
+    lane_collect_bytes_full_[lane] += fr.wire_full;
+    if (fr.is_delta) {
+      ++lane_frames_delta_[lane];
+    } else {
+      ++lane_frames_full_[lane];
     }
   }
 
@@ -734,9 +856,17 @@ class Run {
       received = flat_scratch_.size();
       compute_result_ = global_.compute(std::span<const proto::StageMetrics>(
           flat_scratch_.data(), flat_scratch_.size()));
+      compute_view_ = &compute_result_;
+    } else if (store_collect_) {
+      // Incremental path: only jobs whose stages moved are re-summed and
+      // re-split; the returned result is persistent and bit-identical to
+      // the batch compute below.
+      compute_view_ =
+          &global_.compute_from_store(store_, cfg_.psfa_full_recompute);
     } else {
       compute_result_ = global_.compute(std::span<const proto::StageMetrics>(
           flat_metrics_.data(), flat_metrics_.size()));
+      compute_view_ = &compute_result_;
     }
     const Nanos cost = scaled(prof_.cpu_merge_per_stage, received) +
                        scaled(prof_.cpu_psfa_per_job, num_jobs()) +
@@ -750,7 +880,7 @@ class Run {
   }
 
   void enforce_flat() {
-    global_acks_pending_ = compute_result_.rules.size();
+    global_acks_pending_ = compute_view_->rules.size();
     if (global_acks_pending_ == 0) {
       finish_cycle();
       return;
@@ -763,7 +893,7 @@ class Run {
         on_enforce_deadline(c);
       });
     }
-    for (const auto& rule : compute_result_.rules) {
+    for (const auto& rule : compute_view_->rules) {
       proto::EnforceBatch single;
       single.cycle_id = cycle_;
       single.rules.push_back(rule);
@@ -1010,7 +1140,8 @@ class Run {
           return;
         }
         const proto::StageMetrics m = stages_[idx].collect(cycle_, eng_local.now());
-        const std::size_t sz = frame_size(m);
+        const CollectFrame fr = frame_report(idx, m);
+        const std::size_t sz = fr.wire;
         Nanos latency = stage_latency(idx, eng_local.now());
         std::size_t copies = 1;
         if (fault_ != nullptr &&
@@ -1021,8 +1152,8 @@ class Run {
         for (std::size_t copy = 0; copy < copies; ++copy) {
           const bool first = copy == 0;
           eng_local.schedule_in(
-              latency, [this, a, i, idx, m, sz, first, c = cycle_] {
-                aggs_[a]->host->receive(sz, [this, a, i, idx, m, first, c] {
+              latency, [this, a, i, idx, m, fr, sz, first, c = cycle_] {
+                aggs_[a]->host->receive(sz, [this, a, i, idx, m, fr, first, c] {
                   Agg& agg = *aggs_[a];
                   if (fault_ != nullptr) {
                     if (!first || !agg.collect_open || agg.fault_cycle != c ||
@@ -1032,7 +1163,22 @@ class Run {
                     agg.fault_seen[i] = 1;
                     note_fresh_reply(idx, eng(agg.lane).now(), agg.recoveries);
                   }
-                  agg.collected.push_back(m);
+                  account_collect_frame(agg.lane, fr);
+                  if (store_collect_) {
+                    // Slot index == position in stage_indices (bind order).
+                    if (fr.is_delta) {
+                      const core::DeltaStatus status =
+                          agg.core->store().apply_delta(
+                              fr.delta, static_cast<std::uint32_t>(i));
+                      assert(status == core::DeltaStatus::kApplied);
+                      (void)status;
+                    } else {
+                      agg.core->store().update_at(static_cast<std::uint32_t>(i),
+                                                  m);
+                    }
+                  } else {
+                    agg.collected.push_back(m);
+                  }
                   if (--agg.pending_metrics == 0) {
                     agg_close_collect(a, false);
                   }
@@ -1089,8 +1235,12 @@ class Run {
       cfg_.tracer->record(std::move(span));
     }
     if (cfg_.preaggregate) {
+      // Store path: incremental slot-ordered summary (only dirty jobs
+      // re-summed); legacy path: full arrival-ordered merge. Copied into
+      // the report closure either way — it crosses to lane 0 by value.
       const proto::AggregatedMetrics report =
-          agg.core->aggregate(cycle_, agg.collected);
+          store_collect_ ? agg.core->aggregate_from_store(cycle_)
+                         : agg.core->aggregate(cycle_, agg.collected);
       const Nanos cost = scaled(prof_.cpu_agg_merge_per_stage, n_a);
       const std::size_t sz = frame_size(report);
       const int parent = agg.parent;
@@ -1731,6 +1881,12 @@ class Run {
     }
     result.mean_data_utilization = data_utilization_.mean();
     result.mean_meta_utilization = meta_utilization_.mean();
+    for (std::size_t l = 0; l < lane_collect_bytes_.size(); ++l) {
+      result.collect_wire_bytes += lane_collect_bytes_[l];
+      result.collect_wire_bytes_full += lane_collect_bytes_full_[l];
+      result.collect_frames_full += lane_frames_full_[l];
+      result.collect_frames_delta += lane_frames_delta_[l];
+    }
     if (fault_ != nullptr) {
       result.degraded_cycles = stats_.degraded_cycles();
       result.stale_stage_reports = stats_.stale_stages();
@@ -1928,6 +2084,13 @@ class Run {
   Engine& eng0_;  // lane 0: the global controller's engine
   SimHost global_host_;
   core::GlobalControllerCore global_;
+  /// Columnar store backing the flat collect path (hierarchical runs use
+  /// each AggregatorCore's own store instead).
+  core::MetricsStore store_;
+  /// Store path enabled for this run (cfg_.store_collect minus the modes
+  /// that keep the legacy pipeline; resolved in execute()).
+  bool store_collect_ = false;
+  bool delta_collect_ = false;
   std::vector<std::unique_ptr<Agg>> aggs_;
   std::vector<std::unique_ptr<Super>> supers_;
   std::vector<std::unique_ptr<Peer>> peers_;
@@ -1963,6 +2126,20 @@ class Run {
   std::size_t global_acks_pending_ = 0;
   std::size_t serial_cursor_ = 0;
   core::ComputeResult compute_result_;
+  /// What enforce_flat disseminates: &compute_result_ on the batch
+  /// paths, GlobalControllerCore's persistent store-backed result on the
+  /// incremental path. Set by compute_flat() before every enforce.
+  const core::ComputeResult* compute_view_ = nullptr;
+  /// Per-stage previous report + first-report flag for delta framing
+  /// (each slot owned by the lane that runs the stage's collect).
+  std::vector<proto::StageMetrics> last_report_;
+  std::vector<char> has_report_;
+  /// Collect wire accounting, indexed by receiving controller's lane
+  /// (summed at finalize() with the lanes quiescent).
+  std::vector<std::uint64_t> lane_collect_bytes_;
+  std::vector<std::uint64_t> lane_collect_bytes_full_;
+  std::vector<std::uint64_t> lane_frames_full_;
+  std::vector<std::uint64_t> lane_frames_delta_;
   core::CycleStats stats_;
   RunningStats data_utilization_;
   RunningStats meta_utilization_;

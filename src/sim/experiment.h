@@ -75,6 +75,34 @@ struct ExperimentConfig {
   core::Budgets budgets{};
   /// PSFA tuning (activity threshold, headroom ramp, probe share).
   policy::PsfaOptions psfa{};
+  /// Columnar collect path: controllers fold stage reports into a
+  /// core::MetricsStore in place and recompute incrementally from it
+  /// (flat: GlobalControllerCore::compute_from_store; hierarchical:
+  /// AggregatorCore::aggregate_from_store at each aggregator). Rules are
+  /// bit-identical to the batch path on the flat topology; hierarchical
+  /// summaries are store-slot-ordered instead of arrival-ordered, which
+  /// only perturbs last-bit FP rounding. Silently falls back to the
+  /// legacy batch path under a fault plan (degraded cycles need the
+  /// received-only compaction), in coordinated mode, in pass-through
+  /// mode and with local decisions.
+  bool store_collect = true;
+  /// Ablation: force the store-backed compute to rebuild every job from
+  /// scratch each cycle. Identical decisions, none of the incremental
+  /// savings — the control arm for the bit-identity claim.
+  bool psfa_full_recompute = false;
+  /// Delta-encoded collect frames (requires the store path): after its
+  /// first report each stage sends a StageMetricsDelta carrying only
+  /// the fields that changed since its previous report, with a full
+  /// StageMetrics refresh every `delta_refresh` cycles (staggered by
+  /// stage index so refresh bursts spread across cycles). Deltas
+  /// reproduce the full frame bit-for-bit at the receiver, so decisions
+  /// are unchanged — only the modeled collect wire bytes shrink.
+  bool delta_collect = false;
+  std::size_t delta_refresh = 64;
+  /// MetricsStore compute-view threshold (ops/s): reported moves of at
+  /// most this magnitude leave the compute view — and therefore the
+  /// incremental dirty sets — untouched. 0 = track every change.
+  double activity_threshold = 0.0;
   FronteraProfile profile{};
   /// Wall-clock-independent utilization sampling interval (see
   /// ExperimentResult::mean_data_utilization).
@@ -179,6 +207,18 @@ struct ExperimentResult {
   /// Mean restart-to-first-fresh-collect time (ms; 0 when no stage
   /// recovered during the run).
   double mean_recovery_ms = 0;
+  // -- Collect-path wire accounting -------------------------------------
+  /// Bytes of accepted stage→controller collect report frames as modeled
+  /// on the wire (delta frames when delta_collect is on). Coordinated
+  /// mode does not fill these counters.
+  std::uint64_t collect_wire_bytes = 0;
+  /// What the same reports would have cost as full StageMetrics frames
+  /// (== collect_wire_bytes when delta_collect is off). The ratio
+  /// full/actual is the delta compression factor the wire benchmarks
+  /// gate on.
+  std::uint64_t collect_wire_bytes_full = 0;
+  std::uint64_t collect_frames_full = 0;
+  std::uint64_t collect_frames_delta = 0;
 };
 
 /// Run one configuration. Fails with kResourceExhausted when a topology

@@ -1,0 +1,247 @@
+// Property tests for GlobalControllerCore::compute_from_store: the
+// incremental pipeline (dirty-set re-sums, memoized water-filling,
+// partial re-splits) must be BIT-identical to the batch compute() over
+// the same compute-view values — across randomized demand walks,
+// activity thresholds, activity flips, cap transitions, weight and
+// budget changes, and the --psfa-full-recompute ablation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/global.h"
+#include "core/metrics_store.h"
+
+namespace sds::core {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t stages, std::size_t jobs, double threshold,
+                   Budgets budgets = {100000.0, 10000.0})
+      : store(MetricsStoreOptions{threshold}) {
+    GlobalOptions options;
+    options.budgets = budgets;
+    core = std::make_unique<GlobalControllerCore>(options);
+    reference = std::make_unique<GlobalControllerCore>(options);
+    for (std::uint32_t i = 0; i < stages; ++i) {
+      (void)store.bind(StageId{i}, JobId{static_cast<std::uint32_t>(i % jobs)});
+    }
+  }
+
+  /// Batch-path input mirroring the store's compute view in slot order —
+  /// by construction the same values, job order, and FP sum order the
+  /// incremental path sees.
+  [[nodiscard]] std::vector<proto::StageMetrics> view_snapshot() const {
+    std::vector<proto::StageMetrics> out;
+    out.reserve(store.size());
+    for (std::uint32_t i = 0; i < store.size(); ++i) {
+      proto::StageMetrics m;
+      m.stage_id = store.stage_ids()[i];
+      m.job_id = store.job_ids()[i];
+      m.data_iops = store.data_iops()[i];
+      m.meta_iops = store.meta_iops()[i];
+      out.push_back(m);
+    }
+    return out;
+  }
+
+  /// One incremental cycle checked against the batch reference,
+  /// bit-for-bit (no tolerances anywhere).
+  void check_cycle() {
+    const std::vector<proto::StageMetrics> snapshot = view_snapshot();
+    const ComputeResult& incremental = core->compute_from_store(store);
+    const ComputeResult batch = reference->compute(
+        std::span<const proto::StageMetrics>(snapshot.data(), snapshot.size()));
+    ASSERT_EQ(incremental.rules.size(), batch.rules.size());
+    for (std::size_t i = 0; i < batch.rules.size(); ++i) {
+      ASSERT_EQ(incremental.rules[i].stage_id, batch.rules[i].stage_id);
+      ASSERT_EQ(incremental.rules[i].job_id, batch.rules[i].job_id);
+      ASSERT_EQ(incremental.rules[i].data_iops_limit,
+                batch.rules[i].data_iops_limit)
+          << "slot " << i;
+      ASSERT_EQ(incremental.rules[i].meta_iops_limit,
+                batch.rules[i].meta_iops_limit)
+          << "slot " << i;
+    }
+    ASSERT_EQ(incremental.data_allocations.size(),
+              batch.data_allocations.size());
+    for (std::size_t j = 0; j < batch.data_allocations.size(); ++j) {
+      ASSERT_EQ(incremental.data_allocations[j].allocation,
+                batch.data_allocations[j].allocation);
+      ASSERT_EQ(incremental.meta_allocations[j].allocation,
+                batch.meta_allocations[j].allocation);
+    }
+  }
+
+  MetricsStore store;
+  std::unique_ptr<GlobalControllerCore> core;
+  std::unique_ptr<GlobalControllerCore> reference;
+};
+
+proto::StageMetrics report(const MetricsStore& store, std::uint32_t slot,
+                           std::uint64_t cycle, double data, double meta) {
+  proto::StageMetrics m;
+  m.cycle_id = cycle;
+  m.stage_id = store.stage_ids()[slot];
+  m.job_id = store.job_ids()[slot];
+  m.data_iops = data;
+  m.meta_iops = meta;
+  return m;
+}
+
+TEST(StoreComputeTest, SteadyStateSkipsAlgorithmRuns) {
+  Fixture fx(64, 8, 0.0);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    (void)fx.store.update(report(fx.store, i, 1, 100.0 + i, 10.0));
+  }
+  fx.check_cycle();
+  const std::uint64_t runs = fx.core->store_compute_stats().algorithm_runs;
+  // Identical re-reports: nothing dirties, the algorithm never re-runs,
+  // and the persistent result stays bit-identical to the batch path.
+  for (std::uint64_t cycle = 2; cycle <= 5; ++cycle) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      (void)fx.store.update(report(fx.store, i, cycle, 100.0 + i, 10.0));
+    }
+    fx.check_cycle();
+  }
+  EXPECT_EQ(fx.core->store_compute_stats().algorithm_runs, runs);
+}
+
+TEST(StoreComputeTest, SingleStageChangeOnlyResplitsItsJob) {
+  Fixture fx(100, 10, 0.0);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    (void)fx.store.update(report(fx.store, i, 1, 50.0, 5.0));
+  }
+  fx.check_cycle();
+  const std::uint64_t resummed = fx.core->store_compute_stats().jobs_resummed;
+  (void)fx.store.update(report(fx.store, 42, 2, 500.0, 5.0));
+  fx.check_cycle();
+  // One dirty stage dirties exactly one job's re-sum; the budget shift
+  // may legitimately re-split other jobs whose allocation moved.
+  EXPECT_EQ(fx.core->store_compute_stats().jobs_resummed, resummed + 1);
+}
+
+class StoreComputeWalkTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StoreComputeWalkTest, RandomWalkMatchesBatchBitForBit) {
+  const double threshold = GetParam();
+  constexpr std::size_t kStages = 120;
+  constexpr std::size_t kJobs = 11;
+  Fixture fx(kStages, kJobs, threshold);
+  Rng rng(0x5eedu + static_cast<std::uint64_t>(threshold));
+  std::vector<double> data(kStages);
+  std::vector<double> meta(kStages);
+  for (std::size_t i = 0; i < kStages; ++i) {
+    data[i] = 500.0 + rng.uniform01() * 1000.0;
+    meta[i] = 20.0 + rng.uniform01() * 50.0;
+  }
+  for (std::uint64_t cycle = 1; cycle <= 120; ++cycle) {
+    for (std::uint32_t i = 0; i < kStages; ++i) {
+      // Low-churn walk: most stages re-report unchanged values; some
+      // drift; a few flip activity entirely (idle <-> busy), moving
+      // jobs across the active/capped boundary of the water-fill.
+      const double roll = rng.uniform01();
+      if (roll < 0.10) {
+        data[i] *= 1.0 + rng.normal(0, 0.05);
+        meta[i] += rng.normal(0, 1.0);
+        if (meta[i] < 0) meta[i] = 0;
+      } else if (roll < 0.12) {
+        data[i] = data[i] > 0 ? 0.0 : 800.0 + rng.uniform01() * 400.0;
+      }
+      (void)fx.store.update(
+          report(fx.store, i, cycle, data[i], meta[i]));
+    }
+    // Administrative churn: QoS weight and budget moves mid-walk.
+    if (cycle == 40) {
+      fx.core->policies().set_weight(JobId{3}, 4.0);
+      fx.reference->policies().set_weight(JobId{3}, 4.0);
+    }
+    if (cycle == 80) {
+      fx.core->policies().set_budgets({60000.0, 6000.0});
+      fx.reference->policies().set_budgets({60000.0, 6000.0});
+    }
+    fx.check_cycle();
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "diverged at cycle " << cycle << " threshold " << threshold;
+    }
+  }
+  // The incremental machinery actually took its shortcuts: fewer
+  // re-sums than a full pipeline would have done every cycle.
+  const auto& stats = fx.core->store_compute_stats();
+  EXPECT_LT(stats.jobs_resummed, stats.cycles * kJobs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, StoreComputeWalkTest,
+                         ::testing::Values(0.0, 5.0, 50.0));
+
+TEST(StoreComputeTest, FullRecomputeAblationBitIdentical) {
+  // --psfa-full-recompute semantics: forcing the whole pipeline each
+  // cycle must not change a single output bit vs the incremental path.
+  constexpr std::size_t kStages = 80;
+  Fixture incremental(kStages, 7, 0.0);
+  Fixture full(kStages, 7, 0.0);
+  Rng rng(0xab1eu);
+  std::vector<double> data(kStages, 100.0);
+  for (std::uint64_t cycle = 1; cycle <= 60; ++cycle) {
+    for (std::uint32_t i = 0; i < kStages; ++i) {
+      if (rng.bernoulli(0.05)) data[i] *= 1.0 + rng.normal(0, 0.1);
+      const auto m = report(incremental.store, i, cycle, data[i], 10.0);
+      (void)incremental.store.update(m);
+      (void)full.store.update(m);
+    }
+    const ComputeResult& a =
+        incremental.core->compute_from_store(incremental.store, false);
+    const ComputeResult& b = full.core->compute_from_store(full.store, true);
+    ASSERT_EQ(a.rules.size(), b.rules.size());
+    for (std::size_t i = 0; i < a.rules.size(); ++i) {
+      ASSERT_EQ(a.rules[i].data_iops_limit, b.rules[i].data_iops_limit);
+      ASSERT_EQ(a.rules[i].meta_iops_limit, b.rules[i].meta_iops_limit);
+      ASSERT_EQ(a.rules[i].epoch, b.rules[i].epoch);
+    }
+  }
+  // The ablation really did run the full pipeline every cycle...
+  EXPECT_EQ(full.core->store_compute_stats().jobs_resummed, 60u * 7u);
+  // ...while the incremental path skipped most of it.
+  EXPECT_LT(incremental.core->store_compute_stats().jobs_resummed, 60u * 7u);
+}
+
+TEST(StoreComputeTest, StructureChangeRebuildsAndStaysIdentical) {
+  Fixture fx(10, 2, 0.0);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    (void)fx.store.update(report(fx.store, i, 1, 100.0, 10.0));
+  }
+  fx.check_cycle();
+  // A late bind (new stage registered) bumps the structure epoch; the
+  // next compute must transparently rebuild and still match batch.
+  const std::uint32_t slot = fx.store.bind(StageId{999}, JobId{1});
+  (void)fx.store.update(report(fx.store, slot, 2, 250.0, 25.0));
+  fx.check_cycle();
+}
+
+TEST(StoreComputeTest, DeltaFedStoreMatchesBatch) {
+  // End-to-end over the wire form: updates arrive as StageMetricsDelta
+  // frames, and the compute over the folded store still matches batch.
+  constexpr std::size_t kStages = 40;
+  Fixture fx(kStages, 5, 0.0);
+  Rng rng(0x0ddu);
+  std::vector<proto::StageMetrics> last(kStages);
+  for (std::uint32_t i = 0; i < kStages; ++i) {
+    last[i] = report(fx.store, i, 1, 300.0 + i, 30.0);
+    (void)fx.store.update(last[i]);
+  }
+  fx.check_cycle();
+  for (std::uint64_t cycle = 2; cycle <= 40; ++cycle) {
+    for (std::uint32_t i = 0; i < kStages; ++i) {
+      proto::StageMetrics curr = last[i];
+      curr.cycle_id = cycle;
+      if (rng.bernoulli(0.2)) curr.data_iops *= 1.0 + rng.normal(0, 0.02);
+      const auto delta = proto::StageMetricsDelta::make(last[i], curr, true);
+      ASSERT_EQ(fx.store.apply_delta(delta), DeltaStatus::kApplied);
+      last[i] = curr;
+    }
+    fx.check_cycle();
+  }
+}
+
+}  // namespace
+}  // namespace sds::core

@@ -1,0 +1,115 @@
+#include "policy/incremental_psfa.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sds::policy {
+namespace {
+
+std::vector<JobAllocation> run(const ControlAlgorithm& algo,
+                               const std::vector<JobDemand>& demands,
+                               double budget) {
+  std::vector<JobAllocation> out;
+  algo.compute(demands, budget, out);
+  return out;
+}
+
+std::vector<JobDemand> sample_demands(std::size_t n) {
+  std::vector<JobDemand> demands;
+  demands.reserve(n);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    demands.push_back({JobId{j}, 100.0 * (j + 1), 1.0 + (j % 3)});
+  }
+  return demands;
+}
+
+TEST(IncrementalPsfaTest, MatchesInnerPsfaBitForBit) {
+  IncrementalPsfa memo;
+  Psfa plain;
+  const auto demands = sample_demands(8);
+  const auto cached = run(memo, demands, 2000.0);
+  const auto direct = run(plain, demands, 2000.0);
+  ASSERT_EQ(cached.size(), direct.size());
+  for (std::size_t j = 0; j < direct.size(); ++j) {
+    EXPECT_EQ(cached[j].job_id, direct[j].job_id);
+    EXPECT_EQ(cached[j].allocation, direct[j].allocation);
+  }
+}
+
+TEST(IncrementalPsfaTest, RepeatedInputsHitTheCache) {
+  IncrementalPsfa memo;
+  const auto demands = sample_demands(8);
+  const auto first = run(memo, demands, 2000.0);
+  EXPECT_EQ(memo.misses(), 1u);
+  EXPECT_EQ(memo.hits(), 0u);
+  const auto second = run(memo, demands, 2000.0);
+  EXPECT_EQ(memo.hits(), 1u);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t j = 0; j < first.size(); ++j) {
+    EXPECT_EQ(second[j].allocation, first[j].allocation);
+  }
+}
+
+TEST(IncrementalPsfaTest, TwoSlotCacheSurvivesDataMetaAlternation) {
+  // The controller core alternates data- and meta-dimension calls with
+  // different budgets every cycle; both must stay cached.
+  IncrementalPsfa memo;
+  const auto demands = sample_demands(6);
+  (void)run(memo, demands, 100000.0);  // data
+  (void)run(memo, demands, 10000.0);   // meta
+  EXPECT_EQ(memo.misses(), 2u);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    (void)run(memo, demands, 100000.0);
+    (void)run(memo, demands, 10000.0);
+  }
+  EXPECT_EQ(memo.misses(), 2u);
+  EXPECT_EQ(memo.hits(), 10u);
+}
+
+TEST(IncrementalPsfaTest, AnyInputChangeMisses) {
+  IncrementalPsfa memo;
+  auto demands = sample_demands(4);
+  (void)run(memo, demands, 2000.0);
+  (void)run(memo, demands, 2001.0);  // budget moved
+  demands[2].demand += 0.5;          // demand moved
+  (void)run(memo, demands, 2001.0);
+  demands[2].weight = 9.0;           // weight moved
+  (void)run(memo, demands, 2001.0);
+  EXPECT_EQ(memo.misses(), 4u);
+  EXPECT_EQ(memo.hits(), 0u);
+}
+
+TEST(IncrementalPsfaTest, RandomizedReplayNeverDiverges) {
+  IncrementalPsfa memo;
+  Psfa plain;
+  Rng rng(0xcac4eu);
+  auto demands = sample_demands(10);
+  for (int round = 0; round < 300; ++round) {
+    // Mostly repeats (cache hits), occasional drift (misses).
+    if (rng.bernoulli(0.15)) {
+      demands[rng.next_below(10)].demand *= 1.0 + rng.normal(0, 0.05);
+    }
+    const double budget = rng.bernoulli(0.5) ? 100000.0 : 10000.0;
+    const auto cached = run(memo, demands, budget);
+    const auto direct = run(plain, demands, budget);
+    ASSERT_EQ(cached.size(), direct.size());
+    for (std::size_t j = 0; j < direct.size(); ++j) {
+      ASSERT_EQ(cached[j].allocation, direct[j].allocation)
+          << "round " << round << " job " << j;
+    }
+  }
+  EXPECT_GT(memo.hits(), 0u);
+  EXPECT_GT(memo.misses(), 0u);
+}
+
+TEST(IncrementalPsfaTest, WrapsArbitraryInnerAlgorithm) {
+  IncrementalPsfa memo(std::make_unique<Psfa>(PsfaOptions{}));
+  EXPECT_EQ(memo.name(), "incremental-psfa");
+  EXPECT_EQ(memo.inner().name(), "psfa");
+}
+
+}  // namespace
+}  // namespace sds::policy

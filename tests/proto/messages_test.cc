@@ -168,7 +168,7 @@ TEST(MessagesTest, RandomGarbagePayloadsNeverCrash) {
   Rng rng(5);
   for (int round = 0; round < 3000; ++round) {
     wire::Frame frame;
-    frame.type = static_cast<std::uint16_t>(1 + rng.next_below(12));
+    frame.type = static_cast<std::uint16_t>(1 + rng.next_below(13));
     frame.payload.resize(rng.next_below(128));
     for (auto& b : frame.payload) {
       b = static_cast<std::uint8_t>(rng.next_below(256));
@@ -178,6 +178,7 @@ TEST(MessagesTest, RandomGarbagePayloadsNeverCrash) {
     (void)from_frame<RegisterAck>(frame);
     (void)from_frame<CollectRequest>(frame);
     (void)from_frame<StageMetrics>(frame);
+    (void)from_frame<StageMetricsDelta>(frame);
     (void)from_frame<MetricsBatch>(frame);
     (void)from_frame<AggregatedMetrics>(frame);
     (void)from_frame<EnforceBatch>(frame);
@@ -187,6 +188,149 @@ TEST(MessagesTest, RandomGarbagePayloadsNeverCrash) {
     (void)from_frame<BudgetLease>(frame);
     (void)from_frame<ErrorMessage>(frame);
   }
+}
+
+TEST(StageMetricsDeltaTest, MakeApplyReproducesBitForBit) {
+  const StageMetrics prev = sample_metrics(5);
+  StageMetrics curr = prev;
+  curr.cycle_id = prev.cycle_id + 1;
+  curr.data_iops = prev.data_iops * 1.0001;
+  curr.meta_iops = prev.meta_iops - 0.125;
+  const auto delta = StageMetricsDelta::make(prev, curr, true);
+  EXPECT_EQ(delta.fields & StageMetricsDelta::kDataIops,
+            StageMetricsDelta::kDataIops);
+  EXPECT_EQ(delta.fields & StageMetricsDelta::kMetaIops,
+            StageMetricsDelta::kMetaIops);
+  EXPECT_EQ(delta.fields & StageMetricsDelta::kDataLimit, 0);
+  EXPECT_EQ(delta.apply(prev), curr);
+}
+
+TEST(StageMetricsDeltaTest, RoundTripWithAndWithoutStageId) {
+  const StageMetrics prev = sample_metrics(5);
+  StageMetrics curr = prev;
+  curr.cycle_id = prev.cycle_id + 1;
+  curr.data_iops += 17.5;
+  curr.data_limit = 1234.0;
+  expect_roundtrip(StageMetricsDelta::make(prev, curr, true));
+  expect_roundtrip(StageMetricsDelta::make(prev, curr, false));
+}
+
+TEST(StageMetricsDeltaTest, UnchangedMetricsEncodeNoFields) {
+  StageMetrics prev = sample_metrics(5);
+  StageMetrics curr = prev;
+  curr.cycle_id = prev.cycle_id + 1;
+  const auto delta = StageMetricsDelta::make(prev, curr, false);
+  EXPECT_EQ(delta.fields & 0x0f, 0);
+  // cycle varint + flags byte only: the idle-stage floor.
+  EXPECT_LE(delta.wire_size(), 3u);
+  EXPECT_EQ(delta.apply(prev), curr);
+  expect_roundtrip(delta);
+}
+
+TEST(StageMetricsDeltaTest, ExplicitBaseAgeRoundTrips) {
+  StageMetrics prev = sample_metrics(5);
+  StageMetrics curr = prev;
+  curr.cycle_id = prev.cycle_id + 4;  // three reports skipped
+  curr.meta_iops += 1.0;
+  const auto delta = StageMetricsDelta::make(prev, curr, true);
+  EXPECT_EQ(delta.base_cycle_id, prev.cycle_id);
+  // The non-default base age costs an extra varint on the wire.
+  StageMetricsDelta adjacent = delta;
+  adjacent.base_cycle_id = delta.cycle_id - 1;
+  EXPECT_GT(delta.wire_size(), adjacent.wire_size());
+  expect_roundtrip(delta);
+  EXPECT_EQ(delta.apply(prev), curr);
+}
+
+TEST(StageMetricsDeltaTest, LimitTransitionsToAndFromUnlimited) {
+  StageMetrics prev = sample_metrics(5);
+  prev.data_limit = kUnlimited;
+  StageMetrics curr = prev;
+  curr.cycle_id = prev.cycle_id + 1;
+  curr.data_limit = 512.0;
+  const auto to_capped = StageMetricsDelta::make(prev, curr, true);
+  EXPECT_EQ(to_capped.apply(prev), curr);
+  StageMetrics next = curr;
+  next.cycle_id = curr.cycle_id + 1;
+  next.data_limit = kUnlimited;
+  const auto to_uncapped = StageMetricsDelta::make(curr, next, true);
+  EXPECT_EQ(to_uncapped.apply(curr), next);
+  expect_roundtrip(to_capped);
+  expect_roundtrip(to_uncapped);
+}
+
+TEST(StageMetricsDeltaTest, ReservedFlagBitsRejected) {
+  StageMetrics prev = sample_metrics(5);
+  StageMetrics curr = prev;
+  curr.cycle_id = prev.cycle_id + 1;
+  curr.data_iops += 1.0;
+  const auto delta = StageMetricsDelta::make(prev, curr, true);
+  wire::Frame frame = to_frame(delta);
+  for (const unsigned reserved : {0x40u, 0x80u, 0xc0u}) {
+    wire::Frame bad;
+    bad.type = frame.type;
+    wire::Encoder enc(bad.payload);
+    enc.put_varint(delta.cycle_id);
+    enc.put_u8(static_cast<std::uint8_t>(delta.fields | reserved));
+    auto decoded = from_frame<StageMetricsDelta>(bad);
+    EXPECT_FALSE(decoded.is_ok()) << "reserved bit 0x" << std::hex
+                                  << int(reserved) << " accepted";
+  }
+}
+
+TEST(StageMetricsDeltaTest, LowChurnDeltaIsAFractionOfFullFrame) {
+  // The wire-bytes claim behind the tentpole: a one-field drift on a
+  // per-stage connection (no stage id) stays well under a third of the
+  // full StageMetrics frame.
+  const StageMetrics prev = sample_metrics(5);
+  StageMetrics curr = prev;
+  curr.cycle_id = prev.cycle_id + 1;
+  curr.data_iops = prev.data_iops * (1.0 + 1e-9);
+  const auto delta = StageMetricsDelta::make(prev, curr, false);
+  EXPECT_LE(delta.wire_size() * 3, curr.wire_size());
+}
+
+TEST(StageMetricsDeltaTest, RandomWalkRoundTripsAndApplies) {
+  Rng rng(0xd17a);
+  StageMetrics prev = sample_metrics(1);
+  for (int round = 0; round < 500; ++round) {
+    StageMetrics curr = prev;
+    curr.cycle_id = prev.cycle_id + 1 + rng.next_below(3);
+    if (rng.bernoulli(0.8)) curr.data_iops *= 1.0 + rng.normal(0, 0.02);
+    if (rng.bernoulli(0.4)) curr.meta_iops += rng.normal(0, 1.0);
+    if (rng.bernoulli(0.05)) {
+      curr.data_limit = rng.bernoulli(0.5) ? kUnlimited : rng.uniform01() * 1e4;
+    }
+    const bool with_id = rng.bernoulli(0.5);
+    const auto delta = StageMetricsDelta::make(prev, curr, with_id);
+    expect_roundtrip(delta);
+    ASSERT_EQ(delta.apply(prev), curr);
+    prev = curr;
+  }
+}
+
+TEST(StageMetricsDeltaTest, FullFrameGoldenBytesPinned) {
+  // The delta path leaves full StageMetrics frames byte-identical: pin
+  // the exact encoding so a codec change can't silently slip past the
+  // compatibility claim.
+  StageMetrics m;
+  m.cycle_id = 7;
+  m.stage_id = StageId{3};
+  m.job_id = JobId{1};
+  m.data_iops = 2.0;
+  m.meta_iops = 0.5;
+  m.data_limit = kUnlimited;
+  m.meta_limit = kUnlimited;
+  const wire::Frame frame = to_frame(m);
+  wire::Encoder expected;
+  expected.put_varint(7);
+  expected.put_u32(3);
+  expected.put_u32(1);
+  expected.put_double(2.0);
+  expected.put_double(0.5);
+  expected.put_double(kUnlimited);
+  expected.put_double(kUnlimited);
+  EXPECT_EQ(frame.payload, expected.bytes());
 }
 
 class MetricsBatchSizeTest : public ::testing::TestWithParam<std::size_t> {};

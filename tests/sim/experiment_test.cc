@@ -424,6 +424,125 @@ TEST(CoordinatedSimTest, FasterThanHierarchyAtScale) {
   EXPECT_LT(c->stats.mean_total_ms(), h->stats.mean_total_ms());
 }
 
+// ---- Columnar store / delta-collect path ----------------------------
+
+TEST(StoreCollectTest, FlatStorePathBitIdenticalToLegacyBatch) {
+  ExperimentConfig legacy = quick(120);
+  legacy.store_collect = false;
+  ExperimentConfig store = quick(120);
+  store.store_collect = true;
+  const auto a = run_experiment(legacy);
+  const auto b = run_experiment(store);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  ASSERT_EQ(a->final_data_limits.size(), b->final_data_limits.size());
+  for (std::size_t i = 0; i < a->final_data_limits.size(); ++i) {
+    ASSERT_EQ(a->final_data_limits[i], b->final_data_limits[i]) << i;
+    ASSERT_EQ(a->final_meta_limits[i], b->final_meta_limits[i]) << i;
+  }
+  EXPECT_EQ(a->final_data_limit_sum, b->final_data_limit_sum);
+}
+
+TEST(StoreCollectTest, FullRecomputeAblationBitIdentical) {
+  ExperimentConfig incremental = quick(150);
+  ExperimentConfig full = quick(150);
+  full.psfa_full_recompute = true;
+  const auto a = run_experiment(incremental);
+  const auto b = run_experiment(full);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  ASSERT_EQ(a->final_data_limits.size(), b->final_data_limits.size());
+  for (std::size_t i = 0; i < a->final_data_limits.size(); ++i) {
+    ASSERT_EQ(a->final_data_limits[i], b->final_data_limits[i]) << i;
+    ASSERT_EQ(a->final_meta_limits[i], b->final_meta_limits[i]) << i;
+  }
+  EXPECT_EQ(a->cycles, b->cycles);
+}
+
+TEST(StoreCollectTest, HierStorePathMatchesLegacyWithinTolerance) {
+  // Hierarchical summaries are slot-ordered on the store path (vs
+  // arrival-ordered legacy): FP sums may differ in the last bit, so the
+  // comparison is tight but not bitwise.
+  ExperimentConfig legacy = quick(400, 4);
+  legacy.store_collect = false;
+  ExperimentConfig store = quick(400, 4);
+  const auto a = run_experiment(legacy);
+  const auto b = run_experiment(store);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_NEAR(a->final_data_limit_sum, b->final_data_limit_sum,
+              a->final_data_limit_sum * 1e-9);
+}
+
+TEST(StoreCollectTest, DeltaCollectBitIdenticalAndCheaperOnTheWire) {
+  ExperimentConfig base = quick(200);
+  base.max_cycles = 30;
+  ExperimentConfig delta = base;
+  delta.delta_collect = true;
+  const auto a = run_experiment(base);
+  const auto b = run_experiment(delta);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  // Deltas reproduce the full reports bit-for-bit, so decisions match.
+  ASSERT_EQ(a->final_data_limits.size(), b->final_data_limits.size());
+  for (std::size_t i = 0; i < a->final_data_limits.size(); ++i) {
+    ASSERT_EQ(a->final_data_limits[i], b->final_data_limits[i]) << i;
+  }
+  // Wire accounting: the full-frame path ships what it accounts...
+  EXPECT_EQ(a->collect_wire_bytes, a->collect_wire_bytes_full);
+  EXPECT_EQ(a->collect_frames_delta, 0u);
+  // ...while the delta path ships mostly deltas at a fraction of the
+  // bytes (first-cycle refreshes and the periodic stagger stay full).
+  EXPECT_GT(b->collect_frames_delta, b->collect_frames_full);
+  EXPECT_LT(b->collect_wire_bytes, b->collect_wire_bytes_full);
+  EXPECT_EQ(b->collect_wire_bytes_full, a->collect_wire_bytes_full);
+}
+
+TEST(StoreCollectTest, DeltaCollectSteadyStateCompressionAtLeast3x) {
+  // Past the warmup cycle, low-churn stages drift one field at a time:
+  // the aggregate byte ratio must clear the tentpole's 3x floor even
+  // with the periodic full refresh mixed in.
+  ExperimentConfig config = quick(300);
+  config.max_cycles = 50;
+  config.delta_collect = true;
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_GE(static_cast<double>(result->collect_wire_bytes_full),
+            3.0 * static_cast<double>(result->collect_wire_bytes));
+}
+
+TEST(StoreCollectTest, DeltaCollectWorksHierPreaggregated) {
+  ExperimentConfig config = quick(400, 4);
+  config.delta_collect = true;
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_GT(result->collect_frames_delta, 0u);
+  EXPECT_LE(result->final_data_limit_sum,
+            config.budgets.data_iops * 1.2 + 1e-6);
+}
+
+TEST(StoreCollectTest, DeltaCollectRequiresStorePath) {
+  ExperimentConfig config = quick(50);
+  config.store_collect = false;
+  config.delta_collect = true;
+  EXPECT_EQ(run_experiment(config).status().code(),
+            StatusCode::kInvalidArgument);
+  config.store_collect = true;
+  config.delta_refresh = 0;
+  EXPECT_EQ(run_experiment(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StoreCollectTest, ActivityThresholdStillRespectsBudget) {
+  ExperimentConfig config = quick(100);
+  config.budgets = {20'000.0, 2'000.0};
+  config.activity_threshold = 25.0;  // ignore small jitter
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_LE(result->final_data_limit_sum, 20'000.0 * 1.001);
+  EXPECT_GE(result->final_data_limit_sum, 20'000.0 * 0.90);
+}
+
 struct ScaleCase {
   std::size_t stages;
   std::size_t aggregators;

@@ -324,6 +324,36 @@ TEST(ParallelExperimentTest, BitIdenticalAcrossLaneCountsTopologiesSeeds) {
   }
 }
 
+TEST(ParallelExperimentTest, DeltaCollectBitIdenticalAcrossLaneCounts) {
+  // The delta-collect path keeps per-stage framing state on the stage's
+  // lane and wire counters per receiving lane, so sharding must not
+  // change a single output bit — including the wire-byte accounting.
+  const Topology topologies[] = {
+      {"flat-delta", 120, 0, 0, 0},
+      {"hier-delta", 250, 7, 0, 0},
+  };
+  for (const auto& topo : topologies) {
+    auto config = make_config(topo, 42);
+    config.delta_collect = true;
+    config.delta_refresh = 8;  // several refresh waves within 12 cycles
+    const auto reference = run_experiment(config);
+    ASSERT_TRUE(reference.is_ok()) << topo.name << ": " << reference.status();
+    ASSERT_GT(reference->collect_frames_delta, 0u) << topo.name;
+    const std::string want = fingerprint(*reference);
+    for (const std::size_t lanes : {2, 4}) {
+      config.lanes = lanes;
+      const auto result = run_experiment(config);
+      ASSERT_TRUE(result.is_ok())
+          << topo.name << " lanes=" << lanes << ": " << result.status();
+      EXPECT_EQ(fingerprint(*result), want) << topo.name << " lanes=" << lanes;
+      EXPECT_EQ(result->collect_wire_bytes, reference->collect_wire_bytes)
+          << topo.name << " lanes=" << lanes;
+      EXPECT_EQ(result->collect_frames_delta, reference->collect_frames_delta)
+          << topo.name << " lanes=" << lanes;
+    }
+  }
+}
+
 TEST(ParallelExperimentTest, Fig6StyleSweepIsLaneCountInvariant) {
   // The fig6 comparison (flat vs one-aggregator hierarchy at equal
   // scale), diffed between serial and 4-lane runs.

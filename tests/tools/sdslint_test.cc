@@ -8,6 +8,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -160,14 +162,44 @@ TEST(SdslintRules, HotpathAllocHitsOnlyInsideRegion) {
   const RunResult r = run_sdslint(fixture("hotpath/bad_hotpath_alloc.cc"));
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_NE(r.output.find("[hotpath-alloc]"), std::string::npos) << r.output;
-  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:14:"), std::string::npos);
-  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:15:"), std::string::npos);
-  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:16:"), std::string::npos);
-  // Allocations before/after the region and placement new inside it are
-  // all unrestricted.
-  EXPECT_EQ(r.output.find("bad_hotpath_alloc.cc:10:"), std::string::npos);
-  EXPECT_EQ(r.output.find("bad_hotpath_alloc.cc:23:"), std::string::npos);
-  EXPECT_EQ(r.output.find("bad_hotpath_alloc.cc:27:"), std::string::npos);
+  // heap new[], make_unique, std::function, malloc, to_string, and a
+  // by-value container declaration, in fixture order.
+  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:17:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:18:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:19:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:20:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:21:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad_hotpath_alloc.cc:22:"), std::string::npos);
+  // Allocations before/after the region, placement new inside it, and a
+  // reference-bound container parameter are all unrestricted.
+  EXPECT_EQ(r.output.find("bad_hotpath_alloc.cc:13:"), std::string::npos);
+  EXPECT_EQ(r.output.find("bad_hotpath_alloc.cc:31:"), std::string::npos);
+  EXPECT_EQ(r.output.find("bad_hotpath_alloc.cc:35:"), std::string::npos);
+  EXPECT_EQ(r.output.find("bad_hotpath_alloc.cc:39:"), std::string::npos);
+}
+
+// The rule exists for the PR-7 hot paths: the columnar MetricsStore's
+// per-report fold/apply_delta and the incremental-PSFA compute must stay
+// allocation-free in steady state. Lint the real files and require both
+// that they are clean and that their regions are actually present (a
+// deleted marker would silently disable the rule).
+TEST(SdslintTree, StoreAndIncrementalPsfaHotPathsStayClean) {
+  const std::string files = repo("src/core/metrics_store.cc") + " " +
+                            repo("src/core/global.cc") + " " +
+                            repo("src/policy/incremental_psfa.cc") + " " +
+                            repo("src/core/aggregator.cc");
+  const RunResult r = run_sdslint(files);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* file :
+       {"src/core/metrics_store.cc", "src/core/global.cc",
+        "src/policy/incremental_psfa.cc", "src/core/aggregator.cc"}) {
+    std::ifstream in(repo(file));
+    ASSERT_TRUE(in.is_open()) << file;
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("sdslint: hotpath"), std::string::npos) << file;
+    EXPECT_NE(text.find("sdslint: end-hotpath"), std::string::npos) << file;
+  }
 }
 
 TEST(SdslintSuppression, AllowDirectivesSilenceFindings) {

@@ -9,6 +9,9 @@
 #   tracing   `ctest -L tracing` on the default tree (wire trace
 #             trailer, span attribution, flight recorder, introspection,
 #             trace_report)
+#   million   `ctest -L million` on the default tree: perf_million
+#             --quick with its regression gates live (incremental-PSFA
+#             speedup, delta-frame compression, ablation bit-identity)
 #   lint      sdslint over the tree + the `lint` ctest label
 #   tidy      clang-tidy with the checked-in .clang-tidy (skipped when
 #             clang-tidy is not installed)
@@ -44,7 +47,7 @@ for arg in "$@"; do
       exit 0
       ;;
     format) WITH_FORMAT=1 ;;
-    default|asan|ubsan|tsan|tracing|lint|tidy|tsa) STAGES+=("$arg") ;;
+    default|asan|ubsan|tsan|tracing|million|lint|tidy|tsa) STAGES+=("$arg") ;;
     *)
       echo "check.sh: unknown stage '$arg' (see --help)" >&2
       exit 2
@@ -52,7 +55,7 @@ for arg in "$@"; do
   esac
 done
 if [ "${#STAGES[@]}" -eq 0 ]; then
-  STAGES=(default asan ubsan tsan tracing lint tidy tsa)
+  STAGES=(default asan ubsan tsan tracing million lint tidy tsa)
 fi
 if [ "$WITH_FORMAT" -eq 1 ]; then
   STAGES+=(format)
@@ -108,6 +111,12 @@ run_stage() {
       note "causal-tracing suites: ctest -L tracing"
       configure_and_build build-check/default || return 1
       ctest --test-dir build-check/default -L tracing -j "$JOBS" \
+        --output-on-failure || return 1
+      ;;
+    million)
+      note "million-stage fast-path gates: ctest -L million"
+      configure_and_build build-check/default || return 1
+      ctest --test-dir build-check/default -L million -j "$JOBS" \
         --output-on-failure || return 1
       ;;
     lint)

@@ -28,8 +28,14 @@
 //                                into emitted rows.
 //   hotpath-alloc   [all]        inside `// sdslint: hotpath` regions:
 //                                no heap `new` (placement new is fine),
-//                                make_unique/make_shared, or
-//                                std::function construction.
+//                                make_unique/make_shared, malloc-family
+//                                calls, std::function construction,
+//                                heap-string formatting (to_string,
+//                                stringstreams), or by-value owning-
+//                                container declarations (references,
+//                                pointers, and reuse of buffers sized
+//                                outside the region are the sanctioned
+//                                idiom — see core/metrics_store.cc).
 //
 // Directives (in comments):
 //   // sdslint: hotpath          begin a hot-path region
@@ -85,7 +91,8 @@ constexpr RuleInfo kRules[] = {
     {"unordered-iter", "src/sim, bench",
      "iteration over an unordered container (hash order leaks into output)"},
     {"hotpath-alloc", "hotpath regions",
-     "heap allocation or std::function in a hot-path region"},
+     "heap allocation, std::function, heap-string formatting, or by-value "
+     "container declaration in a hot-path region"},
     {"fault-wallclock", "src/fault",
      "wall-clock time source in fault-plan code"},
     {"fault-rand", "src/fault", "unseeded randomness in fault-plan code"},
@@ -322,6 +329,50 @@ bool has_heap_new(const std::string& code) {
       if (j >= code.size()) return true;  // `new` at end of line
     }
     pos = end;
+  }
+  return false;
+}
+
+/// A container *declared by value* on this line: one of the owning
+/// container templates with its argument list closed here, followed by
+/// a declared name. `std::vector<T>& out` parameters and `*` locals
+/// bind without allocating and pass; `std::vector<T> scratch;`
+/// constructs (and, once filled, allocates) per entry into the region.
+/// Names followed by '(' are treated as function declarations and
+/// skipped — the same heuristic collect_unordered_names uses; multi-
+/// line declarations are out of reach by design.
+bool declares_container_by_value(const std::string& code) {
+  for (const char* tmpl :
+       {"vector", "deque", "basic_string", "map", "set", "list",
+        "unordered_map", "unordered_set", "multimap", "multiset"}) {
+    const std::size_t len = std::strlen(tmpl);
+    std::size_t pos = 0;
+    while ((pos = code.find(tmpl, pos)) != std::string::npos) {
+      const std::size_t end = pos + len;
+      const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+      if (!left_ok || end >= code.size() || code[end] != '<') {
+        pos = end;
+        continue;
+      }
+      int depth = 0;
+      std::size_t i = end;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>' && --depth == 0) {
+          ++i;
+          break;
+        }
+      }
+      if (depth != 0) break;  // argument list continues on the next line
+      while (i < code.size() && code[i] == ' ') ++i;
+      std::string name;
+      while (i < code.size() && is_ident_char(code[i])) {
+        name.push_back(code[i++]);
+      }
+      while (i < code.size() && code[i] == ' ') ++i;
+      if (!name.empty() && (i >= code.size() || code[i] != '(')) return true;
+      pos = i;
+    }
   }
   return false;
 }
@@ -581,6 +632,28 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
         hit("hotpath-alloc",
             "std::function construction may allocate in a hot-path "
             "region; use SmallFn or a template parameter");
+      }
+      for (const char* fn :
+           {"malloc", "calloc", "realloc", "strdup", "aligned_alloc"}) {
+        if (find_word(code, fn, /*require_call=*/true) !=
+            std::string::npos) {
+          hit("hotpath-alloc",
+              std::string(fn) + " allocates in a hot-path region");
+        }
+      }
+      for (const char* fn : {"to_string", "stringstream", "ostringstream"}) {
+        if (find_word(code, fn) != std::string::npos) {
+          hit("hotpath-alloc",
+              std::string(fn) +
+                  " builds a heap string in a hot-path region; format "
+                  "outside the region or into a caller-owned buffer");
+        }
+      }
+      if (declares_container_by_value(code)) {
+        hit("hotpath-alloc",
+            "owning container declared by value in a hot-path region; "
+            "reuse a buffer sized outside the region (references and "
+            "pointers are fine)");
       }
     }
 
