@@ -72,7 +72,7 @@ void Logger::write(LogLevel level, std::string_view file, int line,
   std::strftime(when, sizeof(when), "%Y-%m-%d %H:%M:%S", &tm_buf);
 
   // One writer at a time so concurrent records never interleave.
-  static Mutex mu;
+  static Mutex mu{LockRank::kLog};
   MutexLock lock(mu);
   std::fprintf(stderr, "[%s.%06lld T%llu] %-5s %.*s:%d] %.*s\n", when,
                static_cast<long long>(us % 1'000'000),

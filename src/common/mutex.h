@@ -23,36 +23,88 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
 
 namespace sds {
 
-/// Annotated std::mutex. Same semantics, same size (one std::mutex).
+/// Annotated std::mutex. Same semantics; same size as one std::mutex in
+/// Release builds (the LockRank member only exists while the lock-order
+/// validator is compiled in — see common/lock_rank.h).
+///
+/// Stamp every mutex with its position in the repo-wide acquisition
+/// hierarchy at the declaration:
+///   mutable Mutex mu_{LockRank::kTelemetryRegistry};
+/// `tools/sdscheck --pass=lockgraph` rejects unranked mutexes in src/.
 class SDS_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank) {
+#if defined(SDS_LOCK_ORDER_CHECKS) && SDS_LOCK_ORDER_CHECKS
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() SDS_ACQUIRE() { mu_.lock(); }
-  void unlock() SDS_RELEASE() { mu_.unlock(); }
+  void lock() SDS_ACQUIRE() {
+    lock_order::note_acquire(this, rank());
+    mu_.lock();
+  }
+  void unlock() SDS_RELEASE() {
+    mu_.unlock();
+    lock_order::note_release(this);
+  }
   [[nodiscard]] bool try_lock() SDS_TRY_ACQUIRE(true) {
-    return mu_.try_lock();
+    // No order check: try_lock cannot deadlock. Held-stack bookkeeping
+    // only, so later acquires still see this lock as held.
+    if (!mu_.try_lock()) return false;
+#if defined(SDS_LOCK_ORDER_CHECKS) && SDS_LOCK_ORDER_CHECKS
+    lock_order::note_acquire(this, LockRank::kUnranked);
+#endif
+    return true;
   }
 
   /// The wrapped mutex, for interop with std APIs (CondVar uses it).
   [[nodiscard]] std::mutex& native() { return mu_; }
 
+  [[nodiscard]] LockRank rank() const {
+#if defined(SDS_LOCK_ORDER_CHECKS) && SDS_LOCK_ORDER_CHECKS
+    return rank_;
+#else
+    return LockRank::kUnranked;
+#endif
+  }
+
  private:
   std::mutex mu_;
+#if defined(SDS_LOCK_ORDER_CHECKS) && SDS_LOCK_ORDER_CHECKS
+  LockRank rank_ = LockRank::kUnranked;
+#endif
 };
 
 /// RAII guard over Mutex; the annotated replacement for both
 /// std::lock_guard and std::unique_lock (CondVar can wait on it).
 class SDS_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) SDS_ACQUIRE(mu) : lock_(mu.native()) {}
-  ~MutexLock() SDS_RELEASE() = default;
+  // The order check runs BEFORE blocking on the mutex, so an execution
+  // that would deadlock reports a rank violation instead of hanging.
+  explicit MutexLock(Mutex& mu) SDS_ACQUIRE(mu)
+      : lock_(mu.native(), std::defer_lock) {
+    lock_order::note_acquire(&mu, mu.rank());
+    lock_.lock();
+#if defined(SDS_LOCK_ORDER_CHECKS) && SDS_LOCK_ORDER_CHECKS
+    mu_ = &mu;
+#endif
+  }
+  ~MutexLock() SDS_RELEASE() {
+#if defined(SDS_LOCK_ORDER_CHECKS) && SDS_LOCK_ORDER_CHECKS
+    if (lock_.owns_lock()) lock_.unlock();
+    lock_order::note_release(mu_);
+#endif
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
@@ -62,6 +114,9 @@ class SDS_SCOPED_CAPABILITY MutexLock {
 
  private:
   std::unique_lock<std::mutex> lock_;
+#if defined(SDS_LOCK_ORDER_CHECKS) && SDS_LOCK_ORDER_CHECKS
+  Mutex* mu_ = nullptr;
+#endif
 };
 
 /// Condition variable that waits on MutexLock. All waits take a

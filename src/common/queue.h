@@ -108,7 +108,7 @@ class Queue {
   }
 
   const std::size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kQueue};
   CondVar not_empty_;
   CondVar not_full_;
   std::deque<T> items_ SDS_GUARDED_BY(mu_);

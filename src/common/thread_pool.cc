@@ -112,7 +112,7 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
 
-  Mutex error_mu;
+  Mutex error_mu{LockRank::kLeaf};
   std::exception_ptr first_error;
   const auto run_range = [&](std::size_t begin, std::size_t end) {
     try {

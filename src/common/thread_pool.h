@@ -41,7 +41,7 @@ class WaitGroup {
   }
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kWaitGroup};
   CondVar cv_;
   std::size_t count_ SDS_GUARDED_BY(mu_) = 0;
 };
@@ -89,7 +89,7 @@ class ThreadPool {
   /// One worker's deque. The owner pops from the back; thieves take from
   /// the front, so steals grab the oldest (likely largest-remaining) work.
   struct WorkerQueue {
-    Mutex mu;
+    Mutex mu{LockRank::kThreadPool};
     std::deque<Task> tasks SDS_GUARDED_BY(mu);
   };
 
@@ -99,7 +99,10 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  Mutex sleep_mu_;
+  // Same rank as the worker queues: the two are only ever taken in
+  // separate scopes (submit reserves under sleep_mu_, releases, then
+  // pushes under the queue lock), never nested.
+  Mutex sleep_mu_{LockRank::kThreadPool};
   CondVar sleep_cv_;
   std::atomic<std::size_t> pending_{0};     // queued, not yet popped
   std::atomic<std::size_t> next_queue_{0};  // round-robin submit target

@@ -276,7 +276,7 @@ class CycleStats {
   std::uint64_t cycles_ = 0;
   std::uint64_t degraded_cycles_ = 0;
   std::uint64_t stale_stages_ = 0;
-  mutable Mutex recent_mu_;
+  mutable Mutex recent_mu_{LockRank::kCycleStats};
   std::deque<RecentCycle> recent_ SDS_GUARDED_BY(recent_mu_);
   // Bound telemetry instruments (owned by the registry, may be null).
   telemetry::Counter* cycles_total_ = nullptr;

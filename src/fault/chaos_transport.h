@@ -89,7 +89,7 @@ class ChaosNetwork final : public transport::Network {
   const Options options_;
   telemetry::Counter* injected_ = nullptr;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kChaosNetwork};
   ChaosStats stats_ SDS_GUARDED_BY(mu_);
   std::deque<Delayed> delayed_ SDS_GUARDED_BY(mu_);
   bool shutdown_ SDS_GUARDED_BY(mu_) = false;

@@ -67,7 +67,7 @@ class ResourceMonitor {
  private:
   std::vector<const transport::Endpoint*> endpoints_;
   // Previous sample seen by the telemetry collector (rates need a delta).
-  Mutex collect_mu_;
+  Mutex collect_mu_{LockRank::kMonitor};
   ResourceSample last_collected_ SDS_GUARDED_BY(collect_mu_){};
   bool has_last_collected_ SDS_GUARDED_BY(collect_mu_) = false;
 };

@@ -111,7 +111,7 @@ class Gather {
   const std::vector<ConnId> expected_;
   const std::shared_ptr<const GatherTelemetry> telemetry_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kRpcGather};
   CondVar cv_;
   std::unordered_set<ConnId> waiting_ SDS_GUARDED_BY(mu_);
   std::unordered_set<ConnId> replied_ SDS_GUARDED_BY(mu_);
@@ -153,7 +153,7 @@ class Dispatcher {
       SDS_EXCLUDES(mu_);
 
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kRpcDispatcher};
   std::vector<std::shared_ptr<Gather>> gathers_ SDS_GUARDED_BY(mu_);
   FallbackHandler fallback_ SDS_GUARDED_BY(mu_);
   std::shared_ptr<const GatherTelemetry> telemetry_ SDS_GUARDED_BY(mu_);

@@ -115,7 +115,7 @@ class AggregatorServer {
   ServerTelemetry telemetry_;
   telemetry::Counter* cycles_counter_ = nullptr;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kRuntimeServer};
   core::AggregatorCore core_ SDS_GUARDED_BY(mu_);
   std::unordered_map<ConnId, std::vector<StageId>> stages_by_conn_
       SDS_GUARDED_BY(mu_);

@@ -114,7 +114,7 @@ class StageHost {
   ServerTelemetry telemetry_;
   telemetry::Counter* collects_counter_ = nullptr;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kRuntimeServer};
   struct Slot {
     stage::VirtualStage stage;
     ConnId conn;                    // connection to the controller

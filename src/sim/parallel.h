@@ -204,7 +204,7 @@ class LaneRunner {
   // bumps `generation_`; each worker runs its lane's window for that
   // generation and decrements `remaining_`. All engine state crossing
   // between coordinator and workers is ordered by this mutex.
-  Mutex team_mu_;
+  Mutex team_mu_{LockRank::kSimLaneTeam};
   CondVar team_cv_;
   std::uint64_t generation_ SDS_GUARDED_BY(team_mu_) = 0;
   std::size_t remaining_ SDS_GUARDED_BY(team_mu_) = 0;
@@ -213,10 +213,11 @@ class LaneRunner {
   std::vector<std::thread> workers_;
   // sdslint: end-lane-runner
 
-  // Stats / telemetry.
-  std::size_t rounds_ = 0;
-  std::uint64_t cross_messages_ = 0;
-  std::uint64_t barriers_run_ = 0;
+  // Stats / telemetry. Coordinator-thread-only: written between worker
+  // handshakes, never while the team runs a window.
+  std::size_t rounds_ = 0;          // sdscheck: allow(unguarded-field)
+  std::uint64_t cross_messages_ = 0;  // sdscheck: allow(unguarded-field)
+  std::uint64_t barriers_run_ = 0;  // sdscheck: allow(unguarded-field)
   telemetry::MetricsRegistry* metrics_;
   telemetry::SpanTracer* tracer_;
   telemetry::Labels labels_;

@@ -95,7 +95,7 @@ class PosixStage {
   proto::StageInfo info_;
   const Clock* clock_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStage};
   RateLimiter limiter_ SDS_GUARDED_BY(mu_);
   std::array<std::uint64_t, kNumDimensions> admitted_ SDS_GUARDED_BY(mu_){};
   std::array<std::uint64_t, kNumDimensions> throttled_ SDS_GUARDED_BY(mu_){};

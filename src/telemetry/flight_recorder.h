@@ -95,7 +95,7 @@ class FlightRecorder {
 
  private:
   const std::size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTelemetryTracer};
   std::vector<FlightRecord> ring_ SDS_GUARDED_BY(mu_);
   std::size_t head_ SDS_GUARDED_BY(mu_) = 0;
   std::size_t size_ SDS_GUARDED_BY(mu_) = 0;

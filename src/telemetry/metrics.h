@@ -84,7 +84,7 @@ class HistogramMetric {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTelemetryInstrument};
   Histogram hist_ SDS_GUARDED_BY(mu_);
 };
 
@@ -175,7 +175,7 @@ class MetricsRegistry {
   Instrument* find_or_create(std::string_view name, Labels labels,
                              MetricKind kind) SDS_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTelemetryRegistry};
   std::deque<Instrument> instruments_ SDS_GUARDED_BY(mu_);
   std::map<std::string, Instrument*> index_ SDS_GUARDED_BY(mu_);
   std::vector<std::function<void(MetricsRegistry&)>> collectors_

@@ -82,7 +82,7 @@ class TelemetryReporter {
   const std::string component_;
   const Nanos period_;
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kTelemetryReporter};
   CondVar cv_;
   bool stopping_ SDS_GUARDED_BY(mu_) = false;
   bool started_ SDS_GUARDED_BY(mu_) = false;

@@ -125,7 +125,7 @@ class SpanTracer {
 
  private:
   const std::size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTelemetryTracer};
   std::vector<Span> ring_ SDS_GUARDED_BY(mu_);
   /// Next write slot once the ring wrapped.
   std::size_t head_ SDS_GUARDED_BY(mu_) = 0;

@@ -250,7 +250,7 @@ class InProcCore : public std::enable_shared_from_this<InProcCore> {
   const std::string address_;
   const EndpointOptions options_;
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kTransportEndpoint};
   FrameHandler frame_handler_ SDS_GUARDED_BY(mu_);
   ConnEventHandler conn_handler_ SDS_GUARDED_BY(mu_);
   std::unordered_map<ConnId, Peer> conns_ SDS_GUARDED_BY(mu_);

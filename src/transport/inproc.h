@@ -45,7 +45,7 @@ class InProcNetwork final : public Network {
   void unbind(const std::string& address, const detail::InProcCore* core)
       SDS_EXCLUDES(mu_);
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kTransportNetwork};
   std::unordered_map<std::string, std::weak_ptr<detail::InProcCore>> registry_
       SDS_GUARDED_BY(mu_);
 };

@@ -515,14 +515,14 @@ class TcpEndpoint final : public Endpoint {
   std::atomic<std::uint64_t> next_conn_{1};
   std::atomic<std::size_t> slots_{0};
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kTransportEndpoint};
   FrameHandler frame_handler_ SDS_GUARDED_BY(mu_);
   ConnEventHandler conn_handler_ SDS_GUARDED_BY(mu_);
   std::vector<std::function<void()>> commands_ SDS_GUARDED_BY(mu_);
 
   // Event-loop-thread-only state.
-  std::unordered_map<int, Conn> conns_;
-  std::unordered_map<ConnId, Conn*> by_id_;
+  std::unordered_map<int, Conn> conns_;       // sdscheck: allow(unguarded-field)
+  std::unordered_map<ConnId, Conn*> by_id_;   // sdscheck: allow(unguarded-field)
 
   CounterBlock counters_;
 };

@@ -1,0 +1,172 @@
+// Tests for the debug-build lock-order validator (common/lock_rank.h).
+//
+// The validator is compiled out unless SDS_LOCK_ORDER_CHECKS is on
+// (Debug builds, -DSDS_LOCK_ORDER=ON, or -DSDS_TSAN=ON), so in release
+// configurations this file degenerates to a single skip. When the
+// checks are live we install a capturing violation handler — the
+// default one aborts — and drive real Mutex / MutexLock objects
+// through ordered, inverted, and try-lock acquisition patterns.
+
+#include "common/lock_rank.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/mutex.h"
+
+#if defined(SDS_LOCK_ORDER_CHECKS) && SDS_LOCK_ORDER_CHECKS
+
+namespace {
+
+int g_violations = 0;
+std::string g_last_message;
+
+void capture_violation(const char* message) {
+  ++g_violations;
+  g_last_message = message;
+}
+
+// Installs the capturing handler for one test and restores whatever was
+// there before (the default abort handler under ctest).
+class CaptureViolations {
+ public:
+  CaptureViolations() {
+    g_violations = 0;
+    g_last_message.clear();
+    previous_ = sds::lock_order::set_violation_handler(capture_violation);
+  }
+  ~CaptureViolations() {
+    sds::lock_order::set_violation_handler(previous_);
+  }
+
+ private:
+  sds::lock_order::ViolationHandler previous_;
+};
+
+TEST(LockOrder, OrderedNestingIsClean) {
+  CaptureViolations capture;
+  sds::Mutex outer{sds::LockRank::kQueue};
+  sds::Mutex inner{sds::LockRank::kLog};
+  {
+    sds::MutexLock hold_outer(outer);
+    sds::MutexLock hold_inner(inner);
+    EXPECT_EQ(sds::lock_order::held_count(), 2u);
+  }
+  EXPECT_EQ(g_violations, 0) << g_last_message;
+  EXPECT_EQ(sds::lock_order::held_count(), 0u);
+}
+
+TEST(LockOrder, InversionReportsBeforeBlocking) {
+  CaptureViolations capture;
+  sds::Mutex high{sds::LockRank::kTelemetryRegistry};
+  sds::Mutex low{sds::LockRank::kQueue};
+  {
+    sds::MutexLock hold_high(high);
+    sds::MutexLock hold_low(low);  // kQueue < kTelemetryRegistry: violation
+  }
+  EXPECT_EQ(g_violations, 1);
+  EXPECT_NE(g_last_message.find("kQueue"), std::string::npos)
+      << g_last_message;
+  EXPECT_NE(g_last_message.find("kTelemetryRegistry"), std::string::npos)
+      << g_last_message;
+  EXPECT_EQ(sds::lock_order::held_count(), 0u);
+}
+
+TEST(LockOrder, EqualRanksMayNotNest) {
+  CaptureViolations capture;
+  sds::Mutex a{sds::LockRank::kStage};
+  sds::Mutex b{sds::LockRank::kStage};
+  {
+    sds::MutexLock hold_a(a);
+    sds::MutexLock hold_b(b);  // same rank: must use try_lock instead
+  }
+  EXPECT_EQ(g_violations, 1) << g_last_message;
+}
+
+TEST(LockOrder, TryLockIsExemptFromOrdering) {
+  CaptureViolations capture;
+  sds::Mutex high{sds::LockRank::kLog};
+  sds::Mutex low{sds::LockRank::kQueue};
+  {
+    sds::MutexLock hold_high(high);
+    // try_lock cannot deadlock, so rank inversion is permitted.
+    ASSERT_TRUE(low.try_lock());
+    EXPECT_EQ(sds::lock_order::held_count(), 2u);
+    low.unlock();
+  }
+  EXPECT_EQ(g_violations, 0) << g_last_message;
+  EXPECT_EQ(sds::lock_order::held_count(), 0u);
+}
+
+TEST(LockOrder, UnrankedMutexesAreNeverCompared) {
+  CaptureViolations capture;
+  sds::Mutex ranked{sds::LockRank::kLeaf};
+  sds::Mutex unranked;  // legacy-style, no rank
+  {
+    sds::MutexLock hold_ranked(ranked);
+    sds::MutexLock hold_unranked(unranked);
+    EXPECT_EQ(sds::lock_order::held_count(), 2u);
+  }
+  {
+    // The reverse nesting is equally silent. Fresh instances: nesting
+    // the SAME pair both ways would be a genuine A/B cycle, and under
+    // TSan its own deadlock detector would (correctly) flag it.
+    sds::Mutex ranked2{sds::LockRank::kLeaf};
+    sds::Mutex unranked2;
+    sds::MutexLock hold_unranked(unranked2);
+    sds::MutexLock hold_ranked(ranked2);
+  }
+  EXPECT_EQ(g_violations, 0) << g_last_message;
+}
+
+TEST(LockOrder, OutOfOrderReleaseIsTracked) {
+  CaptureViolations capture;
+  sds::Mutex a{sds::LockRank::kQueue};
+  sds::Mutex b{sds::LockRank::kThreadPool};
+  a.lock();
+  b.lock();
+  a.unlock();  // released before b: stack must drop the right entry
+  EXPECT_EQ(sds::lock_order::held_count(), 1u);
+  b.unlock();
+  EXPECT_EQ(sds::lock_order::held_count(), 0u);
+  EXPECT_EQ(g_violations, 0) << g_last_message;
+}
+
+TEST(LockOrder, ViolationMessageNamesTheHeader) {
+  CaptureViolations capture;
+  sds::Mutex high{sds::LockRank::kLeaf};
+  sds::Mutex low{sds::LockRank::kRuntimeServer};
+  {
+    sds::MutexLock hold_high(high);
+    sds::MutexLock hold_low(low);
+  }
+  ASSERT_EQ(g_violations, 1);
+  EXPECT_NE(g_last_message.find("common/lock_rank.h"), std::string::npos)
+      << g_last_message;
+}
+
+TEST(LockOrder, RankAccessorReflectsConstruction) {
+  sds::Mutex mu{sds::LockRank::kMonitor};
+  EXPECT_EQ(mu.rank(), sds::LockRank::kMonitor);
+  sds::Mutex plain;
+  EXPECT_EQ(plain.rank(), sds::LockRank::kUnranked);
+}
+
+TEST(LockOrder, ToStringCoversTheTable) {
+  EXPECT_STREQ(sds::to_string(sds::LockRank::kUnranked), "kUnranked");
+  EXPECT_STREQ(sds::to_string(sds::LockRank::kQueue), "kQueue");
+  EXPECT_STREQ(sds::to_string(sds::LockRank::kLeaf), "kLeaf");
+}
+
+}  // namespace
+
+#else  // !SDS_LOCK_ORDER_CHECKS
+
+TEST(LockOrder, ChecksAreCompiledOut) {
+  GTEST_SKIP() << "built without SDS_LOCK_ORDER_CHECKS; configure with "
+                  "-DSDS_LOCK_ORDER=ON (or a Debug / TSan build) to "
+                  "exercise the runtime validator";
+}
+
+#endif  // SDS_LOCK_ORDER_CHECKS

@@ -1,0 +1,9 @@
+// sdslint fixture: an end marker with no matching begin.
+namespace fixture {
+
+void fine() {}
+// sdslint: end-hotpath
+void also_fine() {}
+// sdslint: end-lane-runner
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// sdslint fixture: a region opened and never closed — reported at the
+// begin line, not at end of file.
+namespace fixture {
+
+// sdslint: hotpath
+void stuck(int* out) { *out = 1; }
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: `count_` sits below the mutex with no SDS_GUARDED_BY and no
+// allow marker — the annotations pass must flag it. `named_` shows the
+// same-line marker suppressing the finding.
+#pragma once
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;  // sdscheck: allow(lock-rank)
+  int count_ = 0;
+  int named_ = 0;  // sdscheck: allow(unguarded-field)
+};
+
+}  // namespace fixture

@@ -1,0 +1,2 @@
+// Fixture: bottom-layer header, freely includable.
+#pragma once

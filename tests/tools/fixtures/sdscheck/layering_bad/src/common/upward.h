@@ -1,0 +1,4 @@
+// Fixture: a plain rank violation — the bottom layer reaching up.
+#pragma once
+
+#include "fault/chaos.h"

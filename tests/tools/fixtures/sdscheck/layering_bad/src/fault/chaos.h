@@ -1,0 +1,5 @@
+// Fixture: fault may include transport (rank 30 < 40) — but this makes
+// it a smuggling route for sim, which the transitive check must catch.
+#pragma once
+
+#include "transport/socket.h"

@@ -1,0 +1,4 @@
+// Fixture: a direct banned include (sim -> transport).
+#pragma once
+
+#include "transport/socket.h"

@@ -1,0 +1,5 @@
+// Fixture: no direct banned include — but fault/chaos.h pulls in
+// transport, so the transitive closure check must report the chain.
+#pragma once
+
+#include "fault/chaos.h"

@@ -1,0 +1,4 @@
+// Fixture: live-I/O layer header; sim must never see it.
+#pragma once
+
+#include "common/base.h"

@@ -1,0 +1,27 @@
+// Fixture: two functions acquire the same pair of mutexes in opposite
+// orders — the classic AB/BA deadlock. Both mutexes opt out of ranking so
+// the lock-graph cycle (not a rank inversion) is what sdscheck reports.
+#pragma once
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Pair {
+ public:
+  void forward() {
+    MutexLock lock_a(a_);
+    MutexLock lock_b(b_);
+  }
+
+  void backward() {
+    MutexLock lock_b(b_);
+    MutexLock lock_a(a_);
+  }
+
+ private:
+  Mutex a_;  // sdscheck: allow(lock-rank)
+  Mutex b_;  // sdscheck: allow(lock-rank)
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture rank table (parsed by sdscheck like the real one).
+#pragma once
+
+namespace sds {
+
+enum class LockRank : unsigned short {
+  kUnranked = 0,
+  kOuter = 10,
+  kLeft = 20,
+  kRight = 30,
+  kInner = 40,
+};
+
+}  // namespace sds

@@ -1,0 +1,32 @@
+// Fixture: a diamond-shaped acquisition graph (outer -> left -> inner,
+// outer -> right -> inner) is acyclic and rank-increasing on every path,
+// so sdscheck accepts it even though `inner_` has two predecessors.
+#pragma once
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Diamond {
+ public:
+  void via_left() {
+    MutexLock outer(outer_);
+    MutexLock left(left_);
+    MutexLock inner(inner_);
+  }
+
+  void via_right() {
+    MutexLock outer(outer_);
+    MutexLock right(right_);
+    MutexLock inner(inner_);
+  }
+
+ private:
+  Mutex outer_{LockRank::kOuter};
+  Mutex left_{LockRank::kLeft};
+  Mutex right_{LockRank::kRight};
+  Mutex inner_{LockRank::kInner};
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture rank table (parsed by sdscheck like the real one).
+#pragma once
+
+namespace sds {
+
+enum class LockRank : unsigned short {
+  kUnranked = 0,
+  kLow = 10,
+  kHigh = 20,
+};
+
+}  // namespace sds

@@ -1,0 +1,23 @@
+// Fixture: both mutexes are ranked, but the nesting acquires the
+// lower-ranked one while holding the higher-ranked one — a rank
+// inversion even though the graph itself is acyclic.
+#pragma once
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Inversion {
+ public:
+  void wrong_way() {
+    MutexLock high(high_);
+    MutexLock low(low_);
+  }
+
+ private:
+  Mutex low_{LockRank::kLow};
+  Mutex high_{LockRank::kHigh};
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: a mutex with neither a LockRank stamp nor an
+// `// sdscheck: allow(lock-rank)` marker must be reported.
+#pragma once
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Unranked {
+ private:
+  Mutex mu_;
+  int value_ SDS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

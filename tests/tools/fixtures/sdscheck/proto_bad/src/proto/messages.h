@@ -1,0 +1,19 @@
+// Fixture: two message kinds; only Ping has a round-trip test.
+#pragma once
+
+namespace fixture::proto {
+
+enum class MessageType : unsigned short {
+  kPing = 1,
+  kPong = 2,
+};
+
+struct Ping {
+  static constexpr MessageType kType = MessageType::kPing;
+};
+
+struct Pong {
+  static constexpr MessageType kType = MessageType::kPong;
+};
+
+}  // namespace fixture::proto

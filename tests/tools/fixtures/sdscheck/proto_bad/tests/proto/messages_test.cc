@@ -1,0 +1,8 @@
+// Fixture test file: round-trips Ping but never decodes Pong.
+#include "proto/messages.h"
+
+void roundtrip_ping() {
+  // to_frame(ping); from_frame<Ping>(frame);
+  auto frame = to_frame(fixture::proto::Ping{});
+  (void)from_frame<fixture::proto::Ping>(frame);
+}

@@ -202,6 +202,41 @@ TEST(SdslintTree, StoreAndIncrementalPsfaHotPathsStayClean) {
   }
 }
 
+// Regions nest: the inner region's end (spelled with the
+// hotpath-begin/hotpath-end aliases) must not terminate the outer
+// region, so the allocation after it still fires.
+TEST(SdslintRegions, NestedHotpathRegionsTrackDepth) {
+  const RunResult r = run_sdslint(fixture("hotpath/nested.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("nested.cc:15:"), std::string::npos) << r.output;
+  // The regression this guards: after the inner hotpath-end, the outer
+  // region is still open.
+  EXPECT_NE(r.output.find("nested.cc:19:"), std::string::npos) << r.output;
+  // Outside every region allocation is unrestricted again.
+  EXPECT_EQ(r.output.find("nested.cc:25:"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("[unbalanced-directive]"), std::string::npos)
+      << r.output;
+}
+
+TEST(SdslintRegions, EndWithoutBeginIsAnError) {
+  const RunResult r = run_sdslint(fixture("hotpath/unbalanced_end.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[unbalanced-directive]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("unbalanced_end.cc:5:"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("unbalanced_end.cc:7:"), std::string::npos)
+      << r.output;
+}
+
+TEST(SdslintRegions, RegionOpenAtEofReportsTheBeginLine) {
+  const RunResult r = run_sdslint(fixture("hotpath/unbalanced_open.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("unbalanced_open.cc:5:"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("never closed"), std::string::npos) << r.output;
+}
+
 TEST(SdslintSuppression, AllowDirectivesSilenceFindings) {
   const RunResult r = run_sdslint(fixture("sim/suppressed.cc") + " " +
                                   fixture("hotpath/suppressed.cc"));

@@ -1,0 +1,1176 @@
+// sdscheck — whole-repo concurrency & architecture conformance analyzer.
+//
+// Complements sdslint (determinism invariants) with structural checks that
+// span files:
+//
+//   layering        The module include graph must follow the layer DAG
+//                   declared in tools/layering.toml: a module may include
+//                   only strictly-lower-ranked modules (or itself), and
+//                   banned pairs (sim -> transport/runtime) are rejected
+//                   transitively through the file-level include closure.
+//   lockgraph       Every sds::Mutex declared under src/ must be stamped
+//                   with a LockRank; acquisition edges inferred from
+//                   nested MutexLock scopes and SDS_ACQUIRED_AFTER
+//                   annotations must be rank-increasing and acyclic.
+//   annotations     A mutable field declared after the first Mutex member
+//                   of a mutex-owning class must carry SDS_GUARDED_BY (or
+//                   be of an inherently-synchronized type, or carry an
+//                   explicit `// sdscheck: allow(unguarded-field)` marker
+//                   with a comment saying which thread owns it).
+//   protocoverage   Every proto:: message kind (a struct with a kType
+//                   member in src/proto/messages.h) must have an
+//                   encode/decode round-trip test under tests/.
+//
+// Like sdslint, this is a token/line-level analyzer, not a compiler
+// plugin: it errs toward simplicity and explainability. Statements it
+// cannot resolve statically (mutexes reached through `.`/`->`, multi-line
+// declarations of locals) are skipped, not guessed at — the runtime
+// LockOrderValidator (common/lock_rank.h) backstops what the static pass
+// cannot see. Suppressions are explicit and grep-able:
+//
+//   Mutex mu_;                        // sdscheck: allow(lock-rank)
+//   std::unordered_map<...> conns_;   // sdscheck: allow(unguarded-field)
+//
+// A marker may also sit on a standalone comment line immediately above
+// the declaration it excuses.
+//
+// Usage:
+//   sdscheck [--pass=layering|lockgraph|annotations|protocoverage] ...
+//            [--config=tools/layering.toml] <repo-root>
+//
+// With no --pass flags all four passes run. Exit codes: 0 clean,
+// 1 findings, 2 usage/configuration error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Lexical helpers (sdslint idiom).
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Splits `line` into code and comment, blanking string/char literal
+/// contents in the code part (the quotes survive, the payload does not) so
+/// braces and keywords inside literals cannot confuse the scanners.
+/// `in_block_comment` carries /* ... */ state across lines.
+void split_line(const std::string& line, bool& in_block_comment,
+                std::string& code, std::string& comment) {
+  code.clear();
+  comment.clear();
+  bool in_string = false;
+  bool in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_block_comment) {
+      comment += c;
+      if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        comment += '/';
+        ++i;
+        in_block_comment = false;
+      }
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+        code += '"';
+      }
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+        code += '\'';
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      comment.append(line, i + 2, std::string::npos);
+      break;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      code += '"';
+      continue;
+    }
+    if (c == '\'') {
+      in_char = true;
+      code += '\'';
+      continue;
+    }
+    code += c;
+  }
+}
+
+/// Position just past `word` when it occurs as a whole identifier in
+/// `code` at or after `from`; npos otherwise.
+[[nodiscard]] std::size_t find_word(const std::string& code,
+                                    const std::string& word,
+                                    std::size_t from = 0) {
+  std::size_t pos = from;
+  while ((pos = code.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= code.size() || !is_ident_char(code[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+[[nodiscard]] std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+[[nodiscard]] std::size_t skip_spaces(const std::string& s, std::size_t pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Reads the identifier starting at `pos` (empty if none).
+[[nodiscard]] std::string read_ident(const std::string& s, std::size_t pos) {
+  std::size_t end = pos;
+  while (end < s.size() && is_ident_char(s[end])) ++end;
+  if (end == pos || std::isdigit(static_cast<unsigned char>(s[pos])) != 0) {
+    return {};
+  }
+  return s.substr(pos, end - pos);
+}
+
+/// True when `comment` carries `sdscheck: allow(<rule>)`.
+[[nodiscard]] bool has_allow(const std::string& comment,
+                             const std::string& rule) {
+  const std::string needle = "sdscheck: allow(" + rule + ")";
+  return comment.find(needle) != std::string::npos;
+}
+
+[[nodiscard]] std::vector<std::string> read_lines(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Source files under `dir`, sorted for deterministic diagnostics.
+[[nodiscard]] std::vector<fs::path> collect_sources(const fs::path& dir) {
+  std::vector<fs::path> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp") {
+      out.push_back(entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: layering.
+// ---------------------------------------------------------------------------
+
+struct LayeringConfig {
+  std::map<std::string, int> ranks;
+  /// module -> modules it must never include, even transitively.
+  std::map<std::string, std::set<std::string>> banned;
+  /// (src-relative file, included module) pairs excused by the config.
+  std::set<std::pair<std::string, std::string>> allow;
+};
+
+/// Minimal TOML subset: [section] headers, `key = value` lines, `#`
+/// comments. Values are integers ([ranks]) or quoted strings.
+[[nodiscard]] bool load_layering_config(const fs::path& path,
+                                        LayeringConfig& config,
+                                        std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path.string();
+    return false;
+  }
+  std::string section;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') {
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      error = path.string() + ":" + std::to_string(lineno) +
+              ": expected `key = value`";
+      return false;
+    }
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (key.size() >= 2 && key.front() == '"' && key.back() == '"') {
+      key = key.substr(1, key.size() - 2);
+    }
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+      value = value.substr(1, value.size() - 2);
+    }
+    if (section == "ranks") {
+      config.ranks[key] = std::atoi(value.c_str());
+    } else if (section == "banned") {
+      std::size_t start = 0;
+      while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::string target =
+            trim(value.substr(start, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - start));
+        if (!target.empty()) config.banned[key].insert(target);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (section == "allow") {
+      config.allow.emplace(key, value);
+    } else {
+      error = path.string() + ":" + std::to_string(lineno) +
+              ": unknown section [" + section + "]";
+      return false;
+    }
+  }
+  if (config.ranks.empty()) {
+    error = path.string() + ": [ranks] section is empty";
+    return false;
+  }
+  return true;
+}
+
+/// First path component ("" for files directly under src/).
+[[nodiscard]] std::string module_of(const std::string& rel) {
+  const std::size_t slash = rel.find('/');
+  return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+/// Quoted `#include "..."` targets, parsed from the raw line (split_line
+/// blanks string contents, which is exactly the part we need here).
+[[nodiscard]] std::optional<std::string> parse_include(
+    const std::string& raw) {
+  std::size_t pos = skip_spaces(raw, 0);
+  if (pos >= raw.size() || raw[pos] != '#') return std::nullopt;
+  pos = skip_spaces(raw, pos + 1);
+  if (raw.compare(pos, 7, "include") != 0) return std::nullopt;
+  pos = skip_spaces(raw, pos + 7);
+  if (pos >= raw.size() || raw[pos] != '"') return std::nullopt;
+  const std::size_t end = raw.find('"', pos + 1);
+  if (end == std::string::npos) return std::nullopt;
+  return raw.substr(pos + 1, end - pos - 1);
+}
+
+void run_layering(const fs::path& root, const LayeringConfig& config,
+                  std::vector<Finding>& findings) {
+  const fs::path src = root / "src";
+  // file (src-relative) -> quoted includes that resolve inside src/.
+  std::map<std::string, std::vector<std::pair<std::string, int>>> includes;
+  for (const fs::path& path : collect_sources(src)) {
+    const std::string rel = fs::relative(path, src).generic_string();
+    const std::string mod = module_of(rel);
+    const std::vector<std::string> lines = read_lines(path);
+    auto& edges = includes[rel];
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const auto inc = parse_include(lines[i]);
+      if (!inc) continue;
+      edges.emplace_back(*inc, static_cast<int>(i + 1));
+      const std::string inc_mod = module_of(*inc);
+      if (inc_mod.empty()) continue;  // same-directory or umbrella include
+      if (mod.empty()) continue;      // files directly under src/ are exempt
+      if (config.allow.count({rel, inc_mod}) != 0) continue;
+      const auto from_rank = config.ranks.find(mod);
+      const auto to_rank = config.ranks.find(inc_mod);
+      if (from_rank == config.ranks.end()) {
+        findings.push_back({path.string(), static_cast<int>(i + 1),
+                            "layering",
+                            "module '" + mod +
+                                "' is not declared in [ranks] of "
+                                "tools/layering.toml"});
+        continue;
+      }
+      if (to_rank == config.ranks.end()) {
+        findings.push_back({path.string(), static_cast<int>(i + 1),
+                            "layering",
+                            "included module '" + inc_mod +
+                                "' is not declared in [ranks] of "
+                                "tools/layering.toml"});
+        continue;
+      }
+      const auto banned = config.banned.find(mod);
+      const bool is_banned =
+          banned != config.banned.end() && banned->second.count(inc_mod) != 0;
+      if (is_banned) {
+        findings.push_back(
+            {path.string(), static_cast<int>(i + 1), "layering",
+             "module '" + mod + "' must not include '" + inc_mod +
+                 "' (banned pair in tools/layering.toml)"});
+        continue;
+      }
+      if (inc_mod != mod && to_rank->second >= from_rank->second) {
+        findings.push_back(
+            {path.string(), static_cast<int>(i + 1), "layering",
+             "module '" + mod + "' (rank " +
+                 std::to_string(from_rank->second) + ") may not include '" +
+                 inc_mod + "' (rank " + std::to_string(to_rank->second) +
+                 "); only strictly lower layers are visible "
+                 "(tools/layering.toml)"});
+      }
+    }
+  }
+
+  // Banned pairs hold transitively: sim must not reach transport even
+  // through an intermediate module whose direct edges are all legal
+  // (fault sits below sim and above transport, so sim -> fault ->
+  // transport would otherwise smuggle the dependency in).
+  for (const auto& [mod, targets] : config.banned) {
+    for (const auto& [rel, _] : includes) {
+      if (module_of(rel) != mod) continue;
+      // BFS over the file-level include closure, remembering parents so
+      // the diagnostic can print the chain.
+      std::map<std::string, std::string> parent;
+      std::deque<std::string> queue;
+      parent[rel] = "";
+      queue.push_back(rel);
+      while (!queue.empty()) {
+        const std::string cur = queue.front();
+        queue.pop_front();
+        const auto it = includes.find(cur);
+        if (it == includes.end()) continue;
+        for (const auto& [inc, line] : it->second) {
+          if (includes.count(inc) == 0) continue;  // not a src/ file
+          if (parent.count(inc) != 0) continue;
+          parent[inc] = cur;
+          const std::string inc_mod = module_of(inc);
+          if (targets.count(inc_mod) != 0) {
+            // Direct banned includes are reported by the per-include
+            // check above; the closure only reports smuggled routes.
+            if (cur == rel) continue;
+            std::string chain = inc;
+            std::string first_hop = cur;
+            for (std::string hop = cur; !hop.empty(); hop = parent[hop]) {
+              chain = hop + " -> " + chain;
+              if (!parent[hop].empty()) first_hop = hop;
+            }
+            int hop_line = 1;
+            for (const auto& [target, l] : includes[rel]) {
+              if (target == first_hop) hop_line = l;
+            }
+            findings.push_back(
+                {(root / "src" / rel).string(), hop_line, "layering",
+                 "module '" + mod + "' reaches banned module '" + inc_mod +
+                     "' transitively: " + chain});
+          } else {
+            queue.push_back(inc);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared scanner for the lockgraph and annotations passes.
+// ---------------------------------------------------------------------------
+
+struct MutexDecl {
+  std::string file;
+  int line = 0;
+  std::string class_name;  // innermost class, "" for locals/file scope
+  std::string name;
+  std::string rank;  // "kFoo", "" when unranked
+  bool allowed_unranked = false;
+  std::vector<std::string> acquired_after;  // raw mutex names
+};
+
+struct LockEdge {
+  std::string file;
+  int line = 0;
+  std::string from;  // raw mutex name at the acquisition site
+  std::string to;
+};
+
+struct FileScan {
+  std::vector<MutexDecl> mutexes;
+  std::vector<LockEdge> edges;
+};
+
+struct ClassFrame {
+  std::string name;
+  int body_depth = 0;
+  bool has_mutex = false;
+};
+
+struct HeldLock {
+  int decl_depth = 0;
+  std::string name;
+};
+
+/// One forward scan of `lines` extracting mutex declarations, nested
+/// MutexLock acquisition edges, and unguarded-field findings. The class
+/// stack and brace depth are tracked character-accurately over the
+/// comment-stripped code.
+void scan_concurrency(const std::string& display_path,
+                      const std::vector<std::string>& lines,
+                      bool check_annotations, FileScan& scan,
+                      std::vector<Finding>& findings) {
+  bool in_block_comment = false;
+  int depth = 0;
+  std::vector<ClassFrame> classes;
+  std::vector<HeldLock> held;
+
+  // class/struct parsing state.
+  bool pending_struct = false;
+  bool collecting_name = true;
+  bool skip_next_struct = false;  // set by a preceding `enum`
+  std::string candidate;
+
+  // Member-statement accumulation for the annotations pass.
+  std::string stmt;
+  int stmt_line = 0;
+  bool stmt_allow = false;
+  bool after_close = false;  // just returned to member depth from a brace
+
+  // A standalone `// sdscheck: allow(...)` comment excuses the next
+  // declaration (sdslint's pending-allow idiom).
+  bool pending_allow_rank = false;
+  bool pending_allow_field = false;
+
+  auto innermost = [&]() -> ClassFrame* {
+    return classes.empty() ? nullptr : &classes.back();
+  };
+
+  auto flush_stmt = [&](bool allow_field) {
+    std::string body = trim(stmt);
+    stmt.clear();
+    ClassFrame* frame = innermost();
+    if (!check_annotations || frame == nullptr || body.empty()) return;
+    for (const char* spec : {"public:", "private:", "protected:"}) {
+      const std::size_t pos = body.find(spec);
+      if (pos != std::string::npos) {
+        body = trim(body.substr(pos + std::strlen(spec)));
+      }
+    }
+    if (body.empty()) return;
+    if (!frame->has_mutex) return;  // fields above the mutex: not checked
+    if (allow_field) return;
+    // Skip everything that is not a mutable data member.
+    static const char* kSkipPrefixes[] = {
+        "using ",    "typedef ", "friend ",   "static ",  "enum ",
+        "class ",    "struct ",  "template ", "explicit ", "virtual ",
+        "operator",  "return ",  "const ",    "constexpr ", "~",
+        "SDS_",      "#"};
+    for (const char* prefix : kSkipPrefixes) {
+      if (body.rfind(prefix, 0) == 0) return;
+    }
+    if (body.find("SDS_GUARDED_BY") != std::string::npos ||
+        body.find("SDS_PT_GUARDED_BY") != std::string::npos) {
+      return;
+    }
+    // A '(' without a guard annotation is a method/functor declaration —
+    // skipped, documented as permissive.
+    if (body.find('(') != std::string::npos) return;
+    // Inherently-synchronized or immutable-by-idiom types.
+    static const char* kExemptTypes[] = {
+        "Mutex",       "CondVar",     "Queue<",        "std::thread",
+        "std::atomic", "WaitGroup",   "CounterBlock",  "ThreadPool",
+        "std::condition_variable",    "telemetry::"};
+    for (const char* exempt : kExemptTypes) {
+      if (body.find(exempt) != std::string::npos) return;
+    }
+    // Member name: last identifier before the initializer (if any).
+    std::size_t end = body.size();
+    for (const char stop : {'=', '{', ';'}) {
+      const std::size_t pos = body.find(stop);
+      if (pos != std::string::npos && pos < end) end = pos;
+    }
+    std::string head = trim(body.substr(0, end));
+    std::size_t name_end = head.size();
+    while (name_end > 0 && !is_ident_char(head[name_end - 1])) --name_end;
+    std::size_t name_begin = name_end;
+    while (name_begin > 0 && is_ident_char(head[name_begin - 1])) {
+      --name_begin;
+    }
+    const std::string name = head.substr(name_begin, name_end - name_begin);
+    if (name.empty() || name_begin == 0) return;  // no `type name` shape
+    findings.push_back(
+        {display_path, stmt_line, "unguarded-field",
+         "field '" + frame->name + "::" + name +
+             "' is mutable state in a mutex-owning class but has no "
+             "SDS_GUARDED_BY annotation (mark the owning thread with "
+             "`// sdscheck: allow(unguarded-field)` if it is "
+             "single-threaded by design)"});
+  };
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int lineno = static_cast<int>(i + 1);
+    std::string code;
+    std::string comment;
+    split_line(lines[i], in_block_comment, code, comment);
+
+    const bool line_allow_rank = has_allow(comment, "lock-rank");
+    const bool line_allow_field = has_allow(comment, "unguarded-field");
+    if (line_allow_field) stmt_allow = true;
+
+    // Mutex declarations are single-line in practice; parses the rest of
+    // the line from the `Mutex` token. Called from the character walk so
+    // the brace depth and class stack are current at the token.
+    auto parse_mutex_decl = [&](std::size_t token_end) {
+      std::size_t cursor = skip_spaces(code, token_end);
+      const std::string name = read_ident(code, cursor);
+      if (name.empty()) return;
+      cursor = skip_spaces(code, cursor + name.size());
+      // `Mutex foo(...)` is a constructor/function, not a declaration.
+      if (cursor < code.size() && code[cursor] == '(') return;
+      MutexDecl decl;
+      decl.file = display_path;
+      decl.line = lineno;
+      decl.name = name;
+      ClassFrame* frame = innermost();
+      if (frame != nullptr && depth == frame->body_depth) {
+        // Only direct members belong to the class; deeper declarations
+        // are function locals inside an inline method.
+        decl.class_name = frame->name;
+        frame->has_mutex = true;
+      }
+      const std::size_t rank_pos = code.find("LockRank::", cursor);
+      if (rank_pos != std::string::npos) {
+        decl.rank = read_ident(code, rank_pos + 10);
+      }
+      decl.allowed_unranked = line_allow_rank || pending_allow_rank;
+      const std::size_t after_pos = code.find("SDS_ACQUIRED_AFTER(", cursor);
+      if (after_pos != std::string::npos) {
+        const std::size_t open = after_pos + 19;
+        const std::size_t close_pos = code.find(')', open);
+        if (close_pos != std::string::npos) {
+          std::string args = code.substr(open, close_pos - open);
+          std::size_t start = 0;
+          while (start <= args.size()) {
+            const std::size_t comma = args.find(',', start);
+            const std::string arg =
+                trim(args.substr(start, comma == std::string::npos
+                                            ? std::string::npos
+                                            : comma - start));
+            if (!arg.empty()) decl.acquired_after.push_back(arg);
+            if (comma == std::string::npos) break;
+            start = comma + 1;
+          }
+        }
+      }
+      scan.mutexes.push_back(std::move(decl));
+    };
+
+    // MutexLock acquisitions: record an edge from every lock still held
+    // in an enclosing scope to the newly acquired one. Also called from
+    // the character walk, so `depth` is the acquisition's scope depth.
+    auto parse_mutex_lock = [&](std::size_t token_end) {
+      std::size_t cursor = skip_spaces(code, token_end);
+      const std::string var = read_ident(code, cursor);
+      if (var.empty()) return;
+      cursor = skip_spaces(code, cursor + var.size());
+      if (cursor >= code.size() ||
+          (code[cursor] != '(' && code[cursor] != '{')) {
+        return;
+      }
+      const char close = code[cursor] == '(' ? ')' : '}';
+      const std::size_t end = code.find(close, cursor + 1);
+      if (end == std::string::npos) return;
+      std::string arg = code.substr(cursor + 1, end - cursor - 1);
+      const std::size_t comma = arg.find(',');
+      if (comma != std::string::npos) arg = arg.substr(0, comma);
+      arg = trim(arg);
+      // Member access through another object cannot be resolved at the
+      // token level; the runtime validator covers those sites.
+      const bool resolvable = !arg.empty() &&
+                              arg.find('.') == std::string::npos &&
+                              arg.find("->") == std::string::npos &&
+                              arg.find('[') == std::string::npos &&
+                              arg.find('(') == std::string::npos;
+      if (!resolvable) arg.clear();
+      for (const HeldLock& outer : held) {
+        if (!outer.name.empty() && !arg.empty() && outer.name != arg) {
+          scan.edges.push_back({display_path, lineno, outer.name, arg});
+        }
+      }
+      held.push_back({depth, arg});
+    };
+
+    // Character walk: brace depth, class stack, statement accumulation.
+    for (std::size_t c = 0; c < code.size(); ++c) {
+      const char ch = code[c];
+      ClassFrame* frame = innermost();
+      const bool at_member_depth =
+          frame != nullptr && depth == frame->body_depth;
+
+      if (pending_struct) {
+        if (is_ident_char(ch)) {
+          if (collecting_name) {
+            const std::string ident = read_ident(code, c);
+            if (!ident.empty()) {
+              candidate = ident;
+              c += ident.size() - 1;
+              continue;
+            }
+          }
+        } else if (ch == '(') {
+          // Attribute macro (SDS_CAPABILITY(...)): its argument is not
+          // the class name. Skip to the matching ')'.
+          int parens = 1;
+          std::size_t j = c + 1;
+          while (j < code.size() && parens > 0) {
+            if (code[j] == '(') ++parens;
+            if (code[j] == ')') --parens;
+            ++j;
+          }
+          candidate.clear();
+          c = j - 1;
+          continue;
+        } else if (ch == ':') {
+          collecting_name = false;
+          continue;
+        } else if (ch == '<' || ch == '>' || ch == ',' || ch == ';') {
+          // Template parameter list or forward declaration.
+          pending_struct = false;
+          collecting_name = true;
+        } else if (ch == '{') {
+          ++depth;
+          classes.push_back(
+              {candidate.empty() ? "<anonymous>" : candidate, depth, false});
+          pending_struct = false;
+          collecting_name = true;
+          stmt.clear();
+          continue;
+        }
+      }
+
+      if (is_ident_char(ch)) {
+        const std::string ident = read_ident(code, c);
+        if (ident == "enum") {
+          skip_next_struct = true;
+        } else if (ident == "class" || ident == "struct" ||
+                   ident == "union") {
+          if (skip_next_struct) {
+            skip_next_struct = false;
+          } else {
+            pending_struct = true;
+            collecting_name = true;
+            candidate.clear();
+          }
+          if (at_member_depth) {
+            stmt += ident;
+            stmt += ' ';
+          }
+          if (!ident.empty()) c += ident.size() - 1;
+          continue;
+        } else if (ident == "Mutex") {
+          parse_mutex_decl(c + ident.size());
+        } else if (ident == "MutexLock") {
+          parse_mutex_lock(c + ident.size());
+        } else if (!ident.empty() && ident != "enum") {
+          skip_next_struct = skip_next_struct && ident == "class";
+        }
+        if (at_member_depth) {
+          if (after_close) {
+            stmt.clear();
+            after_close = false;
+          }
+          if (stmt.empty()) {
+            stmt_line = lineno;
+            stmt_allow = line_allow_field || pending_allow_field;
+          }
+          stmt += ident;
+        }
+        if (!ident.empty()) c += ident.size() - 1;
+        continue;
+      }
+
+      switch (ch) {
+        case '{':
+          ++depth;
+          break;
+        case '}': {
+          --depth;
+          while (!held.empty() && held.back().decl_depth > depth) {
+            held.pop_back();
+          }
+          ClassFrame* top = innermost();
+          if (top != nullptr && depth < top->body_depth) {
+            classes.pop_back();
+            stmt.clear();
+            after_close = false;
+          } else if (top != nullptr && depth == top->body_depth) {
+            // Either a brace initializer (a `;` follows — keep the
+            // statement) or an inline method body (discard).
+            after_close = true;
+          }
+          break;
+        }
+        case ';':
+          if (at_member_depth) {
+            after_close = false;
+            flush_stmt(stmt_allow || line_allow_field);
+            stmt_allow = false;
+          }
+          break;
+        default:
+          if (at_member_depth && !std::isspace(static_cast<unsigned char>(ch))) {
+            if (after_close) {
+              stmt.clear();
+              after_close = false;
+            }
+            if (stmt.empty()) {
+              stmt_line = lineno;
+              stmt_allow = line_allow_field || pending_allow_field;
+            }
+          }
+          if (at_member_depth && !stmt.empty()) stmt += ch;
+          break;
+      }
+    }
+
+    // Standalone allow comments excuse the next declaration only.
+    if (trim(code).empty() && !comment.empty()) {
+      if (line_allow_rank) pending_allow_rank = true;
+      if (line_allow_field) pending_allow_field = true;
+    } else if (!trim(code).empty()) {
+      pending_allow_rank = false;
+      pending_allow_field = false;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: lockgraph.
+// ---------------------------------------------------------------------------
+
+/// LockRank values parsed from src/common/lock_rank.h (`kFoo = N,`).
+[[nodiscard]] std::map<std::string, int> load_rank_values(
+    const fs::path& root) {
+  std::map<std::string, int> values;
+  const fs::path header = root / "src" / "common" / "lock_rank.h";
+  if (!fs::exists(header)) return values;
+  bool in_enum = false;
+  bool in_block_comment = false;
+  for (const std::string& raw : read_lines(header)) {
+    std::string code;
+    std::string comment;
+    split_line(raw, in_block_comment, code, comment);
+    if (code.find("enum class LockRank") != std::string::npos) {
+      in_enum = true;
+      continue;
+    }
+    if (!in_enum) continue;
+    if (code.find("};") != std::string::npos) break;
+    const std::size_t k = code.find('k');
+    const std::size_t eq = code.find('=');
+    if (k == std::string::npos || eq == std::string::npos || eq < k) continue;
+    const std::string name = trim(code.substr(k, eq - k));
+    const std::string value = trim(code.substr(eq + 1));
+    if (!name.empty() && name[0] == 'k') {
+      values[name] = std::atoi(value.c_str());
+    }
+  }
+  return values;
+}
+
+void run_lockgraph(const fs::path& root, std::vector<Finding>& findings) {
+  const std::map<std::string, int> rank_values = load_rank_values(root);
+
+  struct GraphEdge {
+    std::string file;
+    int line = 0;
+  };
+  // node ("Class::member" or "file-scope member") -> successor -> site.
+  std::map<std::string, std::map<std::string, GraphEdge>> graph;
+  std::map<std::string, const MutexDecl*> nodes;
+  std::vector<FileScan> scans;
+  std::vector<Finding> sink;  // annotation findings are not this pass's job
+
+  const std::vector<fs::path> sources = collect_sources(root / "src");
+  scans.reserve(sources.size());
+  for (const fs::path& path : sources) {
+    FileScan scan;
+    scan_concurrency(path.string(), read_lines(path), false, scan, sink);
+    scans.push_back(std::move(scan));
+  }
+
+  std::vector<MutexDecl> all_decls;
+  for (const FileScan& scan : scans) {
+    for (const MutexDecl& decl : scan.mutexes) {
+      all_decls.push_back(decl);
+    }
+  }
+
+  auto node_id = [](const MutexDecl& decl) {
+    if (!decl.class_name.empty()) return decl.class_name + "::" + decl.name;
+    return fs::path(decl.file).filename().string() + "::" + decl.name;
+  };
+  auto rank_of = [&](const MutexDecl& decl) -> std::optional<int> {
+    if (decl.rank.empty()) return std::nullopt;
+    const auto it = rank_values.find(decl.rank);
+    if (it == rank_values.end()) return std::nullopt;
+    return it->second;
+  };
+
+  for (const MutexDecl& decl : all_decls) {
+    nodes.emplace(node_id(decl), &decl);
+    if (decl.rank.empty() && !decl.allowed_unranked) {
+      findings.push_back(
+          {decl.file, decl.line, "lock-rank",
+           "mutex '" + node_id(decl) +
+               "' has no LockRank; stamp it at the declaration "
+               "(`Mutex mu_{LockRank::k...};`, see common/lock_rank.h) or "
+               "mark it `// sdscheck: allow(lock-rank)`"});
+    } else if (!decl.rank.empty() && !rank_values.empty() &&
+               rank_values.count(decl.rank) == 0) {
+      findings.push_back({decl.file, decl.line, "lock-rank",
+                          "mutex '" + node_id(decl) + "' names LockRank::" +
+                              decl.rank +
+                              ", which is not declared in "
+                              "common/lock_rank.h"});
+    }
+  }
+
+  // Per-file name resolution: a raw mutex name resolves only when the
+  // file declares exactly one mutex with that name.
+  for (const FileScan& scan : scans) {
+    std::map<std::string, const MutexDecl*> by_name;
+    std::set<std::string> ambiguous;
+    for (const MutexDecl& decl : scan.mutexes) {
+      if (!by_name.emplace(decl.name, &decl).second) {
+        ambiguous.insert(decl.name);
+      }
+    }
+    auto resolve = [&](const std::string& name) -> const MutexDecl* {
+      if (ambiguous.count(name) != 0) return nullptr;
+      const auto it = by_name.find(name);
+      return it == by_name.end() ? nullptr : it->second;
+    };
+    auto add_edge = [&](const MutexDecl& from, const MutexDecl& to,
+                        const std::string& file, int line) {
+      const std::string from_id = node_id(from);
+      const std::string to_id = node_id(to);
+      if (from_id == to_id) return;
+      graph[from_id].emplace(to_id, GraphEdge{file, line});
+      const auto fr = rank_of(from);
+      const auto tr = rank_of(to);
+      if (fr && tr && *tr <= *fr) {
+        findings.push_back(
+            {file, line, "lock-order",
+             "acquires '" + to_id + "' (LockRank::" + to.rank + " = " +
+                 std::to_string(*tr) + ") while holding '" + from_id +
+                 "' (LockRank::" + from.rank + " = " + std::to_string(*fr) +
+                 "); acquisition ranks must be strictly increasing "
+                 "(see common/lock_rank.h)"});
+      }
+    };
+    for (const LockEdge& edge : scan.edges) {
+      const MutexDecl* from = resolve(edge.from);
+      const MutexDecl* to = resolve(edge.to);
+      if (from == nullptr || to == nullptr) continue;
+      add_edge(*from, *to, edge.file, edge.line);
+    }
+    for (const MutexDecl& decl : scan.mutexes) {
+      for (const std::string& before : decl.acquired_after) {
+        const MutexDecl* from = resolve(before);
+        if (from == nullptr) continue;
+        add_edge(*from, decl, decl.file, decl.line);
+      }
+    }
+  }
+
+  // Cycle detection (iterative DFS, colors). Each cycle is reported once,
+  // anchored at the declaration of its lexically-first node.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    for (const auto& [next, site] : graph[node]) {
+      if (color[next] == 1) {
+        // Found a back edge: the cycle is stack[from next .. end] + next.
+        auto begin =
+            std::find(stack.begin(), stack.end(), next);
+        std::vector<std::string> cycle(begin, stack.end());
+        cycle.push_back(next);
+        // Canonical key so the same cycle is not reported from every
+        // entry point.
+        std::vector<std::string> sorted(cycle.begin(), cycle.end() - 1);
+        std::sort(sorted.begin(), sorted.end());
+        std::string key;
+        for (const std::string& n : sorted) key += n + "|";
+        if (reported.insert(key).second) {
+          std::string path;
+          for (const std::string& n : cycle) {
+            if (!path.empty()) path += " -> ";
+            path += n;
+          }
+          const auto anchor = nodes.find(sorted.front());
+          const std::string file =
+              anchor != nodes.end() ? anchor->second->file : site.file;
+          const int line =
+              anchor != nodes.end() ? anchor->second->line : site.line;
+          findings.push_back(
+              {file, line, "lock-cycle",
+               "lock-graph cycle: " + path +
+                   " (an execution interleaving these acquisitions "
+                   "deadlocks; break the cycle or restructure to "
+                   "copy-then-call-out)"});
+        }
+      } else if (color[next] == 0) {
+        dfs(next);
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  };
+  for (const auto& [node, _] : graph) {
+    if (color[node] == 0) dfs(node);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: annotations.
+// ---------------------------------------------------------------------------
+
+void run_annotations(const fs::path& root, std::vector<Finding>& findings) {
+  for (const fs::path& path : collect_sources(root / "src")) {
+    FileScan scan;
+    scan_concurrency(path.string(), read_lines(path), true, scan, findings);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: protocoverage.
+// ---------------------------------------------------------------------------
+
+void run_protocoverage(const fs::path& root, std::vector<Finding>& findings) {
+  const fs::path messages = root / "src" / "proto" / "messages.h";
+  if (!fs::exists(messages)) return;  // fixture roots without a proto layer
+
+  struct Message {
+    std::string struct_name;
+    std::string kind;  // enumerator, e.g. "kError"
+    int line = 0;
+  };
+  std::vector<Message> kinds;
+  {
+    bool in_block_comment = false;
+    std::string current_struct;
+    const std::vector<std::string> lines = read_lines(messages);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::string code;
+      std::string comment;
+      split_line(lines[i], in_block_comment, code, comment);
+      const std::size_t struct_pos = find_word(code, "struct");
+      if (struct_pos != std::string::npos) {
+        const std::string name =
+            read_ident(code, skip_spaces(code, struct_pos + 6));
+        if (!name.empty()) current_struct = name;
+      }
+      const std::size_t ktype = code.find("MessageType kType");
+      if (ktype == std::string::npos || current_struct.empty()) continue;
+      const std::size_t value_pos = code.find("MessageType::", ktype);
+      if (value_pos == std::string::npos) continue;
+      const std::string kind = read_ident(code, value_pos + 13);
+      if (kind.empty()) continue;
+      kinds.push_back({current_struct, kind, static_cast<int>(i + 1)});
+    }
+  }
+
+  // A message kind counts as round-trip covered when some test file
+  // decodes it (`from_frame<Name>`) and also encodes (`to_frame`).
+  std::set<std::string> covered;
+  for (const fs::path& path : collect_sources(root / "tests")) {
+    bool in_block_comment = false;
+    bool encodes = false;
+    std::set<std::string> decoded;
+    for (const std::string& raw : read_lines(path)) {
+      std::string code;
+      std::string comment;
+      split_line(raw, in_block_comment, code, comment);
+      if (find_word(code, "to_frame") != std::string::npos) encodes = true;
+      std::size_t pos = 0;
+      while ((pos = code.find("from_frame<", pos)) != std::string::npos) {
+        pos += 11;
+        std::string name = read_ident(code, skip_spaces(code, pos));
+        // Strip a namespace qualifier (from_frame<proto::Foo>).
+        std::size_t cursor = skip_spaces(code, pos) + name.size();
+        while (cursor + 1 < code.size() && code[cursor] == ':' &&
+               code[cursor + 1] == ':') {
+          name = read_ident(code, cursor + 2);
+          cursor += 2 + name.size();
+        }
+        if (!name.empty()) decoded.insert(name);
+      }
+    }
+    if (encodes) {
+      covered.insert(decoded.begin(), decoded.end());
+    }
+  }
+
+  for (const Message& msg : kinds) {
+    if (covered.count(msg.struct_name) != 0) continue;
+    findings.push_back(
+        {messages.string(), msg.line, "proto-coverage",
+         "proto::" + msg.struct_name + " (MessageType::" + msg.kind +
+             ") has no encode/decode round-trip test under tests/ "
+             "(expected a test calling to_frame and from_frame<" +
+             msg.struct_name + ">)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+void print_help() {
+  std::printf(
+      "usage: sdscheck [--pass=NAME]... [--config=FILE] <repo-root>\n"
+      "\n"
+      "Whole-repo conformance passes (all run when no --pass is given):\n"
+      "  layering        module include graph vs tools/layering.toml\n"
+      "  lockgraph       LockRank stamps, acquisition order, cycles\n"
+      "  annotations     SDS_GUARDED_BY coverage in mutex-owning classes\n"
+      "  protocoverage   proto message round-trip test coverage\n"
+      "\n"
+      "Exit: 0 clean, 1 findings, 2 usage/configuration error.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::set<std::string> passes;
+  std::string config_path;
+  std::string root_arg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    }
+    if (arg.rfind("--pass=", 0) == 0) {
+      const std::string pass = arg.substr(7);
+      if (pass != "layering" && pass != "lockgraph" &&
+          pass != "annotations" && pass != "protocoverage") {
+        std::fprintf(stderr, "sdscheck: unknown pass '%s'\n", pass.c_str());
+        return 2;
+      }
+      passes.insert(pass);
+      continue;
+    }
+    if (arg.rfind("--config=", 0) == 0) {
+      config_path = arg.substr(9);
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "sdscheck: unknown flag '%s' (see --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+    if (!root_arg.empty()) {
+      std::fprintf(stderr, "sdscheck: exactly one repo root expected\n");
+      return 2;
+    }
+    root_arg = arg;
+  }
+  if (root_arg.empty()) {
+    std::fprintf(stderr, "sdscheck: no repo root given (see --help)\n");
+    return 2;
+  }
+  const fs::path root = root_arg;
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "sdscheck: %s has no src/ directory\n",
+                 root_arg.c_str());
+    return 2;
+  }
+  if (passes.empty()) {
+    passes = {"layering", "lockgraph", "annotations", "protocoverage"};
+  }
+
+  std::vector<Finding> findings;
+  if (passes.count("layering") != 0) {
+    LayeringConfig config;
+    std::string error;
+    const fs::path path =
+        config_path.empty() ? root / "tools" / "layering.toml"
+                            : fs::path(config_path);
+    if (!load_layering_config(path, config, error)) {
+      std::fprintf(stderr, "sdscheck: %s\n", error.c_str());
+      return 2;
+    }
+    run_layering(root, config, findings);
+  }
+  if (passes.count("lockgraph") != 0) run_lockgraph(root, findings);
+  if (passes.count("annotations") != 0) run_annotations(root, findings);
+  if (passes.count("protocoverage") != 0) run_protocoverage(root, findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  for (const Finding& finding : findings) {
+    std::fprintf(stderr, "%s:%d: error: [%s] %s\n", finding.file.c_str(),
+                 finding.line, finding.rule.c_str(),
+                 finding.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "sdscheck: %zu issue(s)\n", findings.size());
+    return 1;
+  }
+  std::string names;
+  for (const std::string& pass : passes) {
+    if (!names.empty()) names += ", ";
+    names += pass;
+  }
+  std::printf("sdscheck: OK (%s)\n", names.c_str());
+  return 0;
+}

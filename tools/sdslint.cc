@@ -39,12 +39,17 @@
 //
 // Directives (in comments):
 //   // sdslint: hotpath          begin a hot-path region
-//   // sdslint: end-hotpath      end it
+//   // sdslint: end-hotpath      end it (hotpath-begin / hotpath-end are
+//                                accepted aliases)
 //   // sdslint: lane-runner      begin a lane-runner region (sim-thread
 //                                suspended; all other rules still apply)
 //   // sdslint: end-lane-runner  end it
 //   // sdslint: allow(rule,...)  suppress on this line (or, when the
 //                                comment stands alone, on the next line)
+//
+// Regions nest: each end marker closes the innermost open region of its
+// kind. An end without a begin, or a region still open at end of file,
+// is an `unbalanced-directive` error (not suppressible).
 //
 // This is a token/line-level checker, not a compiler plugin: it reads
 // each file once, strips comments and string/char literals, and pattern
@@ -99,6 +104,9 @@ constexpr RuleInfo kRules[] = {
     {"span-wallclock", "src/sim, bench",
      "wall-clock read stamping a trace span (span times must come from "
      "the virtual clock)"},
+    {"unbalanced-directive", "all",
+     "region directive without a matching begin, or a region left open "
+     "at end of file"},
 };
 
 bool is_ident_char(char c) {
@@ -385,14 +393,30 @@ struct Directives {
   std::set<std::string> allowed;
 };
 
-/// Parse `sdslint:` directives out of a line's comment text.
+/// Parse `sdslint:` directives out of a line's comment text. Only a
+/// comment that *starts* with `sdslint:` is a directive — prose that
+/// merely mentions one (doc headers, fixture descriptions quoting
+/// `// sdslint: lane-runner`) must not open or close a region.
 Directives parse_directives(const std::string& comment) {
   Directives d;
-  std::size_t pos = comment.find("sdslint:");
-  while (pos != std::string::npos) {
+  std::size_t start = 0;
+  while (start < comment.size() &&
+         (comment[start] == ' ' || comment[start] == '\t')) {
+    ++start;
+  }
+  std::size_t pos = comment.compare(start, 8, "sdslint:") == 0
+                        ? start
+                        : std::string::npos;
+  if (pos != std::string::npos) {
     std::size_t i = pos + 8;
     while (i < comment.size() && comment[i] == ' ') ++i;
-    if (comment.compare(i, 11, "end-hotpath") == 0) {
+    // Longer spellings first: `hotpath-end` must not match the plain
+    // `hotpath` prefix and begin a region instead of ending one.
+    if (comment.compare(i, 13, "hotpath-begin") == 0) {
+      d.hotpath_begin = true;
+    } else if (comment.compare(i, 11, "hotpath-end") == 0) {
+      d.hotpath_end = true;
+    } else if (comment.compare(i, 11, "end-hotpath") == 0) {
       d.hotpath_end = true;
     } else if (comment.compare(i, 7, "hotpath") == 0) {
       d.hotpath_begin = true;
@@ -413,7 +437,6 @@ Directives parse_directives(const std::string& comment) {
       }
       if (!rule.empty()) d.allowed.insert(rule);
     }
-    pos = comment.find("sdslint:", pos + 8);
   }
   return d;
 }
@@ -451,8 +474,12 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
 
   std::set<std::string> unordered_names;
   bool in_block_comment = false;
-  bool in_hotpath = false;
-  bool in_lane_runner = false;
+  // Regions nest: a helper with its own `hotpath` region may be spliced
+  // into an enclosing one, and its `end-hotpath` must not terminate the
+  // outer region. Each open begin remembers its line so a region left
+  // open at EOF is reported where it started.
+  std::vector<int> hotpath_stack;
+  std::vector<int> lane_runner_stack;
   std::set<std::string> pending_allow;  // from a standalone comment line
   std::string line;
   std::string code;
@@ -462,10 +489,28 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
     ++lineno;
     split_line(line, in_block_comment, code, comment);
     const Directives directives = parse_directives(comment);
-    if (directives.hotpath_begin) in_hotpath = true;
-    if (directives.hotpath_end) in_hotpath = false;
-    if (directives.lane_runner_begin) in_lane_runner = true;
-    if (directives.lane_runner_end) in_lane_runner = false;
+    if (directives.hotpath_begin) hotpath_stack.push_back(lineno);
+    if (directives.hotpath_end) {
+      if (hotpath_stack.empty()) {
+        findings.push_back({path.string(), lineno, "unbalanced-directive",
+                            "`end-hotpath` without a matching `hotpath` "
+                            "begin"});
+      } else {
+        hotpath_stack.pop_back();
+      }
+    }
+    if (directives.lane_runner_begin) lane_runner_stack.push_back(lineno);
+    if (directives.lane_runner_end) {
+      if (lane_runner_stack.empty()) {
+        findings.push_back({path.string(), lineno, "unbalanced-directive",
+                            "`end-lane-runner` without a matching "
+                            "`lane-runner` begin"});
+      } else {
+        lane_runner_stack.pop_back();
+      }
+    }
+    const bool in_hotpath = !hotpath_stack.empty();
+    const bool in_lane_runner = !lane_runner_stack.empty();
 
     const bool has_code =
         code.find_first_not_of(" \t") != std::string::npos;
@@ -661,6 +706,17 @@ void lint_file(const fs::path& path, std::vector<Finding>& findings) {
       if (allowed.count(finding.rule) != 0) continue;
       findings.push_back(std::move(finding));
     }
+  }
+
+  for (const int begin_line : hotpath_stack) {
+    findings.push_back({path.string(), begin_line, "unbalanced-directive",
+                        "`hotpath` region opened here is never closed "
+                        "(missing `end-hotpath`)"});
+  }
+  for (const int begin_line : lane_runner_stack) {
+    findings.push_back({path.string(), begin_line, "unbalanced-directive",
+                        "`lane-runner` region opened here is never closed "
+                        "(missing `end-lane-runner`)"});
   }
 }
 
